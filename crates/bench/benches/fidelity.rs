@@ -1,0 +1,48 @@
+//! Fidelity-estimation benchmarks: the analytic inner-product path vs the
+//! full SWAP-test circuit (DESIGN.md §7 ablation).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use quclassi::encoding::{DataEncoder, EncodingStrategy};
+use quclassi::layers::LayerStack;
+use quclassi::swap_test::FidelityEstimator;
+use quclassi_sim::executor::Executor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_fidelity_methods(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fidelity_estimation");
+    for &dims in &[4usize, 8, 16] {
+        let encoder = DataEncoder::new(EncodingStrategy::DualAngle, dims).unwrap();
+        let stack = LayerStack::qc_s(encoder.num_qubits()).unwrap();
+        let params: Vec<f64> = (0..stack.parameter_count()).map(|i| 0.2 + 0.1 * i as f64).collect();
+        let x: Vec<f64> = (0..dims).map(|i| (i as f64 + 0.5) / (dims as f64 + 1.0)).collect();
+
+        group.bench_with_input(BenchmarkId::new("analytic", dims), &dims, |b, _| {
+            let estimator = FidelityEstimator::analytic();
+            let mut rng = StdRng::seed_from_u64(1);
+            b.iter(|| {
+                black_box(
+                    estimator
+                        .estimate(&stack, &params, &encoder, &x, &mut rng)
+                        .unwrap(),
+                )
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("swap_test", dims), &dims, |b, _| {
+            let estimator = FidelityEstimator::swap_test(Executor::ideal());
+            let mut rng = StdRng::seed_from_u64(1);
+            b.iter(|| {
+                black_box(
+                    estimator
+                        .estimate(&stack, &params, &encoder, &x, &mut rng)
+                        .unwrap(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fidelity_methods);
+criterion_main!(benches);

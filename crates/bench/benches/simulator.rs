@@ -1,0 +1,59 @@
+//! Simulator micro-benchmarks: state-vector gate application and full
+//! QuClassi SWAP-test circuit execution as the register grows from the
+//! 5-qubit Iris circuit to the 17-qubit MNIST circuit.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use quclassi::encoding::{DataEncoder, EncodingStrategy};
+use quclassi::layers::LayerStack;
+use quclassi::swap_test::build_swap_test_circuit;
+use quclassi_sim::gate::Gate;
+use quclassi_sim::state::StateVector;
+use std::hint::black_box;
+
+fn bench_gate_application(c: &mut Criterion) {
+    let mut group = c.benchmark_group("statevector_gate_layer");
+    for &qubits in &[5usize, 9, 13, 17] {
+        group.bench_with_input(BenchmarkId::from_parameter(qubits), &qubits, |b, &n| {
+            b.iter(|| {
+                let mut sv = StateVector::zero_state(n);
+                for q in 0..n {
+                    sv.apply_gate(&Gate::Ry(q, 0.3)).unwrap();
+                }
+                for q in 0..n - 1 {
+                    sv.apply_gate(&Gate::Cnot {
+                        control: q,
+                        target: q + 1,
+                    })
+                    .unwrap();
+                }
+                black_box(sv.norm_sqr())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_swap_test_circuit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("swap_test_circuit");
+    for &dims in &[4usize, 8, 16] {
+        let encoder = DataEncoder::new(EncodingStrategy::DualAngle, dims).unwrap();
+        let stack = LayerStack::qc_s(encoder.num_qubits()).unwrap();
+        let x: Vec<f64> = (0..dims).map(|i| (i as f64 + 1.0) / (dims as f64 + 1.0)).collect();
+        let (circuit, layout) = build_swap_test_circuit(&stack, &encoder, &x).unwrap();
+        let params: Vec<f64> = (0..stack.parameter_count()).map(|i| 0.1 * i as f64).collect();
+        group.bench_with_input(
+            BenchmarkId::new("qubits", layout.total_qubits),
+            &circuit,
+            |b, circuit| {
+                b.iter(|| {
+                    let sv = circuit.execute(&params).unwrap();
+                    black_box(sv.probability_of_one(layout.ancilla).unwrap())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_gate_application, bench_swap_test_circuit);
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! Training-cost benchmarks: one parameter-shift gradient step and one full
+//! Iris training epoch, per architecture.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use quclassi::prelude::*;
+use quclassi_bench::data::iris_task;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_training_epoch(c: &mut Criterion) {
+    let task = iris_task(3);
+    let mut group = c.benchmark_group("iris_training_epoch");
+    group.sample_size(10);
+    for (name, config) in [
+        ("QC-S", QuClassiConfig::qc_s(4, 3)),
+        ("QC-SD", QuClassiConfig::qc_sd(4, 3)),
+        ("QC-SDE", QuClassiConfig::qc_sde(4, 3)),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &config, |b, config| {
+            b.iter(|| {
+                let mut rng = StdRng::seed_from_u64(9);
+                let mut model =
+                    QuClassiModel::with_random_parameters(config.clone(), &mut rng).unwrap();
+                let trainer = Trainer::new(
+                    TrainingConfig {
+                        epochs: 1,
+                        learning_rate: 0.05,
+                        max_samples_per_class: Some(10),
+                        ..Default::default()
+                    },
+                    FidelityEstimator::analytic(),
+                );
+                black_box(
+                    trainer
+                        .fit(&mut model, &task.train.features, &task.train.labels, &mut rng)
+                        .unwrap(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_gradient_step(c: &mut Criterion) {
+    use quclassi::gradient::parameter_shift_gradient;
+    let task = iris_task(3);
+    let x = task.train.features[0].clone();
+    let mut group = c.benchmark_group("parameter_shift_gradient");
+    for &dims in &[4usize, 8, 16] {
+        let encoder = DataEncoder::new(EncodingStrategy::DualAngle, dims).unwrap();
+        let stack = LayerStack::qc_s(encoder.num_qubits()).unwrap();
+        let params: Vec<f64> = (0..stack.parameter_count()).map(|i| 0.1 * i as f64).collect();
+        let sample: Vec<f64> = (0..dims).map(|i| x[i % x.len()]).collect();
+        let estimator = FidelityEstimator::analytic();
+        group.bench_with_input(BenchmarkId::from_parameter(dims), &dims, |b, _| {
+            let mut rng = StdRng::seed_from_u64(5);
+            b.iter(|| {
+                let mut f = |p: &[f64]| {
+                    estimator
+                        .estimate(&stack, p, &encoder, &sample, &mut rng)
+                        .unwrap()
+                };
+                black_box(parameter_shift_gradient(&mut f, &params, 0.5))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_training_epoch, bench_gradient_step);
+criterion_main!(benches);

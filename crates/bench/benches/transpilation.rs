@@ -1,0 +1,33 @@
+//! Transpilation benchmarks: decomposing and routing the QuClassi SWAP-test
+//! circuit onto sparse and all-to-all devices (Section 5.4's CNOT-count
+//! comparison).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use quclassi::encoding::{DataEncoder, EncodingStrategy};
+use quclassi::layers::LayerStack;
+use quclassi::swap_test::build_swap_test_circuit;
+use quclassi_sim::device::DeviceModel;
+use quclassi_sim::transpile::transpile;
+use std::hint::black_box;
+
+fn bench_transpile(c: &mut Criterion) {
+    let encoder = DataEncoder::new(EncodingStrategy::DualAngle, 4).unwrap();
+    let stack = LayerStack::qc_s(encoder.num_qubits()).unwrap();
+    let x = vec![0.2, 0.4, 0.6, 0.8];
+    let (circuit, _) = build_swap_test_circuit(&stack, &encoder, &x).unwrap();
+    let params: Vec<f64> = (0..stack.parameter_count()).map(|i| 0.3 * i as f64).collect();
+    let gates = circuit.bind(&params).unwrap();
+
+    let mut group = c.benchmark_group("transpile_swap_test");
+    for device in [DeviceModel::ionq(), DeviceModel::ibmq_cairo(), DeviceModel::ibmq_rome()] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(device.name.clone()),
+            &device,
+            |b, device| b.iter(|| black_box(transpile(&gates, &device.coupling).unwrap())),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_transpile);
+criterion_main!(benches);

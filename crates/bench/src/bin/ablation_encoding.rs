@@ -1,0 +1,56 @@
+//! Ablation — dual-angle (two features per qubit) vs single-angle (one
+//! feature per qubit) data encoding on the Iris task (paper Section 4.2
+//! discusses the trade-off).
+
+use quclassi::prelude::*;
+use quclassi_bench::data::iris_task;
+use quclassi_bench::report::ExperimentReport;
+use quclassi_bench::runtime::scaled;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn run(encoding: EncodingStrategy, epochs: usize, rng: &mut StdRng) -> (usize, usize, f64) {
+    let task = iris_task(21);
+    let config = QuClassiConfig {
+        encoding,
+        ..QuClassiConfig::qc_s(4, 3)
+    };
+    let qubits = config.total_qubits();
+    let mut model = QuClassiModel::with_random_parameters(config, rng).unwrap();
+    let params = model.parameter_count();
+    let trainer = Trainer::new(
+        TrainingConfig {
+            epochs,
+            learning_rate: 0.05,
+            ..Default::default()
+        },
+        FidelityEstimator::analytic(),
+    );
+    trainer
+        .fit(&mut model, &task.train.features, &task.train.labels, rng)
+        .expect("training succeeds");
+    let acc = model
+        .evaluate_accuracy(
+            &task.test.features,
+            &task.test.labels,
+            &FidelityEstimator::analytic(),
+            rng,
+        )
+        .expect("evaluation succeeds");
+    (qubits, params, acc)
+}
+
+fn main() {
+    let epochs = scaled(20, 5);
+    let mut rng = StdRng::seed_from_u64(2121);
+    let mut report = ExperimentReport::new(
+        "ablation_encoding",
+        &["encoding", "total qubits", "parameters", "test accuracy"],
+    );
+    let (q, p, acc) = run(EncodingStrategy::DualAngle, epochs, &mut rng);
+    report.add_row(vec!["dual-angle (RY+RZ)".into(), q.to_string(), p.to_string(), format!("{acc:.4}")]);
+    let (q, p, acc) = run(EncodingStrategy::SingleAngle, epochs, &mut rng);
+    report.add_row(vec!["single-angle (RY)".into(), q.to_string(), p.to_string(), format!("{acc:.4}")]);
+    report.print();
+    report.save_tsv();
+}

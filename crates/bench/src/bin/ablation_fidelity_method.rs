@@ -1,0 +1,68 @@
+//! Ablation — analytic fidelity vs ideal SWAP test vs shot-limited SWAP test
+//! as the training estimator (DESIGN.md §7). All three are mathematically
+//! the same estimator in the noiseless infinite-shot limit; this experiment
+//! shows the accuracy impact of shot noise and the wall-clock cost of the
+//! full-register SWAP-test circuit.
+
+use quclassi::prelude::*;
+use quclassi_bench::data::iris_task;
+use quclassi_bench::report::ExperimentReport;
+use quclassi_bench::runtime::scaled;
+use quclassi_sim::executor::Executor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+fn run(estimator: FidelityEstimator, epochs: usize, rng: &mut StdRng) -> (f64, f64) {
+    let task = iris_task(55);
+    let mut model =
+        QuClassiModel::with_random_parameters(QuClassiConfig::qc_s(4, 3), rng).unwrap();
+    let trainer = Trainer::new(
+        TrainingConfig {
+            epochs,
+            learning_rate: 0.05,
+            max_samples_per_class: Some(12),
+            ..Default::default()
+        },
+        estimator,
+    );
+    let start = Instant::now();
+    trainer
+        .fit(&mut model, &task.train.features, &task.train.labels, rng)
+        .expect("training succeeds");
+    let secs = start.elapsed().as_secs_f64();
+    let acc = model
+        .evaluate_accuracy(
+            &task.test.features,
+            &task.test.labels,
+            &FidelityEstimator::analytic(),
+            rng,
+        )
+        .expect("evaluation succeeds");
+    (acc, secs)
+}
+
+fn main() {
+    let epochs = scaled(10, 3);
+    let mut rng = StdRng::seed_from_u64(5353);
+    let mut report = ExperimentReport::new(
+        "ablation_fidelity_method",
+        &["estimator", "test accuracy", "training time (s)"],
+    );
+    let (acc, secs) = run(FidelityEstimator::analytic(), epochs, &mut rng);
+    report.add_row(vec!["analytic".into(), format!("{acc:.4}"), format!("{secs:.2}")]);
+    let (acc, secs) = run(
+        FidelityEstimator::swap_test(Executor::ideal()),
+        epochs,
+        &mut rng,
+    );
+    report.add_row(vec!["swap test (exact)".into(), format!("{acc:.4}"), format!("{secs:.2}")]);
+    let (acc, secs) = run(
+        FidelityEstimator::swap_test(Executor::ideal().with_shots(Some(2048))),
+        epochs,
+        &mut rng,
+    );
+    report.add_row(vec!["swap test (2048 shots)".into(), format!("{acc:.4}"), format!("{secs:.2}")]);
+    report.print();
+    report.save_tsv();
+}

@@ -1,0 +1,115 @@
+//! Figure 10 — multi-class MNIST classification: QuClassi QC-S vs QF-pNet vs
+//! DNN-306 / DNN-1308 on (0,3,6), (1,3,6), (0,3,6,9), (0,1,3,6,9) and the
+//! full 10-class task, using 16 PCA dimensions.
+
+use quclassi::prelude::*;
+use quclassi_baselines::prelude::*;
+use quclassi_bench::data::{mnist_task, PreparedTask};
+use quclassi_bench::report::ExperimentReport;
+use quclassi_bench::runtime::scaled;
+use quclassi_classical::network::{Mlp, MlpConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn quclassi_accuracy(task: &PreparedTask, epochs: usize, rng: &mut StdRng) -> (f64, usize) {
+    let dims = task.train.dim();
+    let classes = task.train.num_classes;
+    let mut model =
+        QuClassiModel::with_random_parameters(QuClassiConfig::qc_s(dims, classes), rng).unwrap();
+    let params = model.parameter_count();
+    let trainer = Trainer::new(
+        TrainingConfig {
+            epochs,
+            learning_rate: 0.1,
+            contrastive: true,
+            ..Default::default()
+        },
+        FidelityEstimator::analytic(),
+    );
+    trainer
+        .fit(&mut model, &task.train.features, &task.train.labels, rng)
+        .expect("training succeeds");
+    let acc = model
+        .evaluate_accuracy(
+            &task.test.features,
+            &task.test.labels,
+            &FidelityEstimator::analytic(),
+            rng,
+        )
+        .expect("evaluation succeeds");
+    (acc, params)
+}
+
+fn qf_pnet_accuracy(task: &PreparedTask, epochs: usize, rng: &mut StdRng) -> f64 {
+    let mut net = QfPnet::new(
+        QfPnetConfig {
+            data_dim: task.train.dim(),
+            num_classes: task.train.num_classes,
+            hidden: 8,
+            epochs,
+            learning_rate: 0.1,
+        },
+        rng,
+    )
+    .expect("valid QF-pNet config");
+    net.fit(&task.train.features, &task.train.labels, rng)
+        .expect("QF-pNet training succeeds");
+    net.evaluate_accuracy(&task.test.features, &task.test.labels, rng)
+        .expect("QF-pNet evaluation succeeds")
+}
+
+fn dnn_accuracy(task: &PreparedTask, target_params: usize, epochs: usize, rng: &mut StdRng) -> f64 {
+    let (cfg, _) =
+        MlpConfig::with_target_params(task.train.dim(), task.train.num_classes, target_params);
+    let mut net = Mlp::new(cfg, rng);
+    net.fit(
+        &task.train.features,
+        &task.train.labels,
+        epochs,
+        0.1,
+        None,
+        rng,
+    );
+    net.evaluate_accuracy(&task.test.features, &task.test.labels)
+}
+
+fn main() {
+    let per_class = scaled(60, 12);
+    let epochs = scaled(10, 3);
+    let tasks: Vec<Vec<usize>> = vec![
+        vec![0, 3, 6],
+        vec![1, 3, 6],
+        vec![0, 3, 6, 9],
+        vec![0, 1, 3, 6, 9],
+        (0..10).collect(),
+    ];
+    let mut rng = StdRng::seed_from_u64(1010);
+
+    let mut report = ExperimentReport::new(
+        "fig10_mnist_multiclass",
+        &["task", "QC-S", "QC-S params", "QF-pNet", "DNN-306", "DNN-1308"],
+    );
+    for digits in &tasks {
+        let task = mnist_task(digits, 16, per_class, digits.len() as u64 + 40);
+        let (qc, params) = quclassi_accuracy(&task, epochs, &mut rng);
+        let qf = qf_pnet_accuracy(&task, 4 * epochs, &mut rng);
+        let d306 = dnn_accuracy(&task, 306, 4 * epochs, &mut rng);
+        let d1308 = dnn_accuracy(&task, 1308, 4 * epochs, &mut rng);
+        let label: Vec<String> = digits.iter().map(|d| d.to_string()).collect();
+        let label = if digits.len() == 10 {
+            "10-class".to_string()
+        } else {
+            label.join("/")
+        };
+        report.add_row(vec![
+            label,
+            format!("{qc:.4}"),
+            params.to_string(),
+            format!("{qf:.4}"),
+            format!("{d306:.4}"),
+            format!("{d1308:.4}"),
+        ]);
+    }
+    report.print();
+    report.save_tsv();
+}

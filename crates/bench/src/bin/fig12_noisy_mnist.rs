@@ -1,0 +1,122 @@
+//! Figure 12 — binary MNIST accuracy on a noisy quantum device (4 PCA
+//! dimensions, 5-qubit circuits): QC-S / QC-SD / QC-SDE trained on the ideal
+//! simulator, the same QC-S model evaluated through the IBM-Q Rome noise
+//! model, and the TFQ-style comparator, on the pairs (3,4), (6,9), (2,9).
+
+use quclassi::prelude::*;
+use quclassi::swap_test::build_swap_test_circuit;
+use quclassi_baselines::prelude::*;
+use quclassi_bench::data::{mnist_task, PreparedTask};
+use quclassi_bench::report::ExperimentReport;
+use quclassi_bench::runtime::scaled;
+use quclassi_sim::device::DeviceModel;
+use quclassi_sim::executor::Executor;
+use quclassi_sim::noise::NoiseModel;
+use quclassi_sim::transpile::transpile;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn train_quclassi(
+    config: QuClassiConfig,
+    task: &PreparedTask,
+    epochs: usize,
+    rng: &mut StdRng,
+) -> QuClassiModel {
+    let mut model = QuClassiModel::with_random_parameters(config, rng).unwrap();
+    let trainer = Trainer::new(
+        TrainingConfig {
+            epochs,
+            learning_rate: 0.1,
+            ..Default::default()
+        },
+        FidelityEstimator::analytic(),
+    );
+    trainer
+        .fit(&mut model, &task.train.features, &task.train.labels, rng)
+        .expect("training succeeds");
+    model
+}
+
+fn accuracy(model: &QuClassiModel, task: &PreparedTask, est: &FidelityEstimator, rng: &mut StdRng) -> f64 {
+    model
+        .evaluate_accuracy(&task.test.features, &task.test.labels, est, rng)
+        .expect("evaluation succeeds")
+}
+
+fn main() {
+    let per_class = scaled(60, 15);
+    let epochs = scaled(10, 3);
+    let shots = 4096;
+    let pairs: [(usize, usize); 3] = [(3, 4), (6, 9), (2, 9)];
+    let mut rng = StdRng::seed_from_u64(1212);
+
+    let mut report = ExperimentReport::new(
+        "fig12_noisy_mnist",
+        &["pair", "QC-S", "QC-SD", "QC-SDE", "IBM-Q (noisy QC-S)", "TFQ"],
+    );
+    for (a, b) in pairs {
+        let task = mnist_task(&[a, b], 4, per_class, (a * 7 + b) as u64);
+
+        let qc_s = train_quclassi(QuClassiConfig::qc_s(4, 2), &task, epochs, &mut rng);
+        let qc_sd = train_quclassi(QuClassiConfig::qc_sd(4, 2), &task, epochs, &mut rng);
+        let qc_sde = train_quclassi(QuClassiConfig::qc_sde(4, 2), &task, epochs, &mut rng);
+
+        let ideal = FidelityEstimator::analytic();
+        let acc_s = accuracy(&qc_s, &task, &ideal, &mut rng);
+        let acc_sd = accuracy(&qc_sd, &task, &ideal, &mut rng);
+        let acc_sde = accuracy(&qc_sde, &task, &ideal, &mut rng);
+
+        // The same QC-S model evaluated through a real-device noise model,
+        // like running inference on IBM-Q Rome. The noise simulation applies
+        // channels per *logical* gate, but the physical device executes the
+        // transpiled circuit (CSWAPs decomposed to CNOTs plus routing SWAPs
+        // on the linear coupling map), so the effective two-qubit error is
+        // scaled by the transpiled-vs-logical CNOT ratio.
+        let rome = DeviceModel::ibmq_rome();
+        let (circuit, _) =
+            build_swap_test_circuit(qc_s.stack(), qc_s.encoder(), &task.test.features[0])
+                .expect("circuit builds");
+        let bound = circuit
+            .bind(qc_s.class_params(0).expect("class 0 exists"))
+            .expect("parameters bind");
+        let routed = transpile(&bound, &rome.coupling).expect("routing succeeds");
+        let logical_two_qubit = bound.iter().filter(|g| g.arity() >= 2).count().max(1);
+        let amplification = routed.cnot_count as f64 / logical_two_qubit as f64;
+        let p1 = rome.noise.single_qubit[0].parameter();
+        let p2 = (rome.noise.two_qubit[0].parameter() * amplification).min(0.45);
+        let readout = rome.noise.readout.p01;
+        let hw_noise = NoiseModel::depolarizing(p1, p2, readout).expect("valid noise model");
+        let noisy_est = FidelityEstimator::swap_test(
+            Executor::noisy_density(hw_noise).with_shots(Some(shots)),
+        );
+        let acc_hw = accuracy(&qc_s, &task, &noisy_est, &mut rng);
+
+        let mut tfq = TfqClassifier::new(
+            TfqConfig {
+                data_dim: 4,
+                num_layers: 2,
+                learning_rate: 0.2,
+                epochs,
+            },
+            &mut rng,
+        )
+        .expect("valid TFQ config");
+        tfq.fit(&task.train.features, &task.train.labels, &mut rng)
+            .expect("TFQ training succeeds");
+        let acc_tfq = tfq
+            .evaluate_accuracy(&task.test.features, &task.test.labels, &mut rng)
+            .expect("TFQ evaluation succeeds");
+
+        report.add_row(vec![
+            format!("{a}/{b}"),
+            format!("{acc_s:.4}"),
+            format!("{acc_sd:.4}"),
+            format!("{acc_sde:.4}"),
+            format!("{acc_hw:.4}"),
+            format!("{acc_tfq:.4}"),
+        ]);
+    }
+    report.print();
+    report.save_tsv();
+    println!("noisy evaluations use the ibmq_rome noise model with {shots} shots per fidelity");
+}

@@ -1,0 +1,87 @@
+//! Figure 6b — Iris test accuracy of QC-S / QC-SD / QC-SDE against classical
+//! DNN baselines with 12, 56 and 112 parameters.
+
+use quclassi::prelude::*;
+use quclassi_bench::data::iris_task;
+use quclassi_bench::report::ExperimentReport;
+use quclassi_bench::runtime::scaled;
+use quclassi_classical::network::{Mlp, MlpConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn train_quclassi(
+    config: QuClassiConfig,
+    task: &quclassi_bench::data::PreparedTask,
+    epochs: usize,
+    rng: &mut StdRng,
+) -> (String, usize, f64) {
+    let mut model =
+        QuClassiModel::with_random_parameters(config, rng).expect("valid configuration");
+    let name = model.stack().architecture_name();
+    let params = model.parameter_count();
+    let trainer = Trainer::new(
+        TrainingConfig {
+            epochs,
+            learning_rate: 0.05,
+            ..Default::default()
+        },
+        FidelityEstimator::analytic(),
+    );
+    trainer
+        .fit(&mut model, &task.train.features, &task.train.labels, rng)
+        .expect("training succeeds");
+    let acc = model
+        .evaluate_accuracy(
+            &task.test.features,
+            &task.test.labels,
+            &FidelityEstimator::analytic(),
+            rng,
+        )
+        .expect("evaluation succeeds");
+    (name, params, acc)
+}
+
+fn train_dnn(
+    target_params: usize,
+    task: &quclassi_bench::data::PreparedTask,
+    epochs: usize,
+    rng: &mut StdRng,
+) -> (String, usize, f64) {
+    let (cfg, count) = MlpConfig::with_target_params(4, 3, target_params);
+    let mut net = Mlp::new(cfg, rng);
+    net.fit(
+        &task.train.features,
+        &task.train.labels,
+        epochs,
+        0.05,
+        None,
+        rng,
+    );
+    let acc = net.evaluate_accuracy(&task.test.features, &task.test.labels);
+    (format!("DNN-{target_params}P"), count, acc)
+}
+
+fn main() {
+    let epochs = scaled(25, 6);
+    let task = iris_task(11);
+    let mut rng = StdRng::seed_from_u64(606);
+    let mut report = ExperimentReport::new(
+        "fig6b_iris_accuracy",
+        &["network", "parameters", "test_accuracy"],
+    );
+
+    for config in [
+        QuClassiConfig::qc_s(4, 3),
+        QuClassiConfig::qc_sd(4, 3),
+        QuClassiConfig::qc_sde(4, 3),
+    ] {
+        let (name, params, acc) = train_quclassi(config, &task, epochs, &mut rng);
+        report.add_row(vec![name, params.to_string(), format!("{acc:.4}")]);
+    }
+    for target in [12usize, 56, 112] {
+        let (name, params, acc) = train_dnn(target, &task, epochs, &mut rng);
+        report.add_row(vec![name, params.to_string(), format!("{acc:.4}")]);
+    }
+    report.print();
+    report.save_tsv();
+}

@@ -1,0 +1,77 @@
+//! Figure 6c — accuracy as a function of epoch for QuClassi (12-parameter
+//! QC-S) against classical networks of 12–112 parameters.
+
+use quclassi::prelude::*;
+use quclassi_bench::data::iris_task;
+use quclassi_bench::report::ExperimentReport;
+use quclassi_bench::runtime::scaled;
+use quclassi_classical::network::{Mlp, MlpConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let epochs = scaled(20, 6);
+    let task = iris_task(17);
+    let mut rng = StdRng::seed_from_u64(66);
+
+    // QuClassi QC-S, 12 trainable parameters in total (4 per class).
+    let mut model =
+        QuClassiModel::with_random_parameters(QuClassiConfig::qc_s(4, 3), &mut rng).unwrap();
+    let trainer = Trainer::new(
+        TrainingConfig {
+            epochs,
+            learning_rate: 0.05,
+            ..Default::default()
+        },
+        FidelityEstimator::analytic(),
+    );
+    let history = trainer
+        .fit_with_eval(
+            &mut model,
+            &task.train.features,
+            &task.train.labels,
+            Some(EvalSet {
+                features: &task.test.features,
+                labels: &task.test.labels,
+            }),
+            &mut rng,
+        )
+        .expect("training succeeds");
+    let quclassi_series = history.accuracy_series();
+
+    // Classical baselines of increasing parameter count.
+    let mut dnn_series: Vec<(String, Vec<f64>)> = Vec::new();
+    for target in [12usize, 28, 56, 112] {
+        let (cfg, _) = MlpConfig::with_target_params(4, 3, target);
+        let mut net = Mlp::new(cfg, &mut rng);
+        let stats = net.fit(
+            &task.train.features,
+            &task.train.labels,
+            epochs,
+            0.05,
+            Some((&task.test.features, &task.test.labels)),
+            &mut rng,
+        );
+        dnn_series.push((
+            format!("DNN-{target}P"),
+            stats.iter().map(|s| s.eval_accuracy.unwrap_or(0.0)).collect(),
+        ));
+    }
+
+    let mut columns: Vec<String> = vec!["epoch".to_string(), "QuClassi-12P".to_string()];
+    columns.extend(dnn_series.iter().map(|(n, _)| n.clone()));
+    let column_refs: Vec<&str> = columns.iter().map(String::as_str).collect();
+    let mut report = ExperimentReport::new("fig6c_iris_convergence", &column_refs);
+    for e in 0..epochs {
+        let mut row = vec![(e + 1).to_string(), format!("{:.4}", quclassi_series[e])];
+        for (_, series) in &dnn_series {
+            row.push(format!("{:.4}", series[e]));
+        }
+        report.add_row(row);
+    }
+    report.print();
+    report.save_tsv();
+
+    let final_q = quclassi_series.last().copied().unwrap_or(0.0);
+    println!("QuClassi final accuracy: {final_q:.4}");
+}

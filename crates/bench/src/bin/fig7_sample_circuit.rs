@@ -1,0 +1,33 @@
+//! Figure 7 — the 5-qubit sample SWAP-test circuit for the Iris task
+//! (ancilla + 2 learned-state qubits + 2 data qubits), printed as text.
+
+use quclassi::encoding::{DataEncoder, EncodingStrategy};
+use quclassi::layers::LayerStack;
+use quclassi::swap_test::build_swap_test_circuit;
+
+fn main() {
+    let encoder = DataEncoder::new(EncodingStrategy::DualAngle, 4).expect("4-dimensional encoder");
+    let stack = LayerStack::qc_s(encoder.num_qubits()).expect("QC-S stack");
+    let sample = [0.62, 0.35, 0.47, 0.51];
+    let (circuit, layout) =
+        build_swap_test_circuit(&stack, &encoder, &sample).expect("circuit builds");
+
+    println!("QuClassi sample circuit (paper Fig. 7)");
+    println!("  total qubits     : {}", layout.total_qubits);
+    println!("  ancilla (control): q[{}]", layout.ancilla);
+    println!(
+        "  trained state    : q[{}]..q[{}]",
+        layout.learned_offset,
+        layout.learned_offset + layout.register_width - 1
+    );
+    println!(
+        "  loaded data      : q[{}]..q[{}]",
+        layout.data_offset,
+        layout.data_offset + layout.register_width - 1
+    );
+    println!("  trainable params : {}", circuit.num_parameters());
+    println!("  gate count       : {}", circuit.gate_count());
+    println!("  depth            : {}", circuit.depth());
+    println!();
+    println!("{}", circuit.to_text());
+}

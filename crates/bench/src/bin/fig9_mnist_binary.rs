@@ -1,0 +1,117 @@
+//! Figure 9 — binary MNIST classification: QuClassi QC-S vs QF-pNet vs
+//! TFQ-style vs DNN-306 / DNN-1218 on the digit pairs (1,5), (3,6), (3,9)
+//! and (3,8), using 16 PCA dimensions (17-qubit QuClassi circuits).
+
+use quclassi::prelude::*;
+use quclassi_baselines::prelude::*;
+use quclassi_bench::data::{mnist_task, PreparedTask};
+use quclassi_bench::report::ExperimentReport;
+use quclassi_bench::runtime::scaled;
+use quclassi_classical::network::{Mlp, MlpConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn quclassi_accuracy(task: &PreparedTask, epochs: usize, rng: &mut StdRng) -> f64 {
+    let dims = task.train.dim();
+    let mut model =
+        QuClassiModel::with_random_parameters(QuClassiConfig::qc_s(dims, 2), rng).unwrap();
+    let trainer = Trainer::new(
+        TrainingConfig {
+            epochs,
+            learning_rate: 0.1,
+            ..Default::default()
+        },
+        FidelityEstimator::analytic(),
+    );
+    trainer
+        .fit(&mut model, &task.train.features, &task.train.labels, rng)
+        .expect("training succeeds");
+    model
+        .evaluate_accuracy(
+            &task.test.features,
+            &task.test.labels,
+            &FidelityEstimator::analytic(),
+            rng,
+        )
+        .expect("evaluation succeeds")
+}
+
+fn tfq_accuracy(task: &PreparedTask, epochs: usize, rng: &mut StdRng) -> f64 {
+    let mut clf = TfqClassifier::new(
+        TfqConfig {
+            data_dim: task.train.dim(),
+            num_layers: 1,
+            learning_rate: 0.2,
+            epochs,
+        },
+        rng,
+    )
+    .expect("valid TFQ config");
+    clf.fit(&task.train.features, &task.train.labels, rng)
+        .expect("TFQ training succeeds");
+    clf.evaluate_accuracy(&task.test.features, &task.test.labels, rng)
+        .expect("TFQ evaluation succeeds")
+}
+
+fn qf_pnet_accuracy(task: &PreparedTask, epochs: usize, rng: &mut StdRng) -> f64 {
+    let mut net = QfPnet::new(
+        QfPnetConfig {
+            data_dim: task.train.dim(),
+            num_classes: 2,
+            hidden: 8,
+            epochs,
+            learning_rate: 0.1,
+        },
+        rng,
+    )
+    .expect("valid QF-pNet config");
+    net.fit(&task.train.features, &task.train.labels, rng)
+        .expect("QF-pNet training succeeds");
+    net.evaluate_accuracy(&task.test.features, &task.test.labels, rng)
+        .expect("QF-pNet evaluation succeeds")
+}
+
+fn dnn_accuracy(task: &PreparedTask, target_params: usize, epochs: usize, rng: &mut StdRng) -> f64 {
+    let (cfg, _) = MlpConfig::with_target_params(task.train.dim(), 2, target_params);
+    let mut net = Mlp::new(cfg, rng);
+    net.fit(
+        &task.train.features,
+        &task.train.labels,
+        epochs,
+        0.1,
+        None,
+        rng,
+    );
+    net.evaluate_accuracy(&task.test.features, &task.test.labels)
+}
+
+fn main() {
+    let per_class = scaled(80, 15);
+    let epochs = scaled(10, 3);
+    let pairs: [(usize, usize); 4] = [(1, 5), (3, 6), (3, 9), (3, 8)];
+    let mut rng = StdRng::seed_from_u64(909);
+
+    let mut report = ExperimentReport::new(
+        "fig9_mnist_binary",
+        &["pair", "QC-S", "QF-pNet", "TFQ", "DNN-306", "DNN-1218"],
+    );
+    for (a, b) in pairs {
+        let task = mnist_task(&[a, b], 16, per_class, (a * 10 + b) as u64);
+        let qc = quclassi_accuracy(&task, epochs, &mut rng);
+        let qf = qf_pnet_accuracy(&task, 4 * epochs, &mut rng);
+        let tfq = tfq_accuracy(&task, epochs.min(5), &mut rng);
+        let d306 = dnn_accuracy(&task, 306, 4 * epochs, &mut rng);
+        let d1218 = dnn_accuracy(&task, 1218, 4 * epochs, &mut rng);
+        report.add_row(vec![
+            format!("{a}/{b}"),
+            format!("{qc:.4}"),
+            format!("{qf:.4}"),
+            format!("{tfq:.4}"),
+            format!("{d306:.4}"),
+            format!("{d1218:.4}"),
+        ]);
+    }
+    report.print();
+    report.save_tsv();
+    println!("QuClassi-S uses 32 trainable parameters (16 per class) on these tasks.");
+}

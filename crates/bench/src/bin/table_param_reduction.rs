@@ -1,0 +1,66 @@
+//! Section 5.3 parameter-reduction claims — compares the trainable-parameter
+//! counts of QuClassi models against the classical DNN baselines the paper
+//! pairs them with (97.37 % reduction for binary MNIST, 96.33 % for 5-class,
+//! 47.71 % for 10-class, and the Iris setting).
+
+use quclassi::prelude::*;
+use quclassi_bench::report::ExperimentReport;
+use quclassi_classical::network::MlpConfig;
+
+fn reduction(quantum: usize, classical: usize) -> f64 {
+    100.0 * (1.0 - quantum as f64 / classical as f64)
+}
+
+fn main() {
+    let mut report = ExperimentReport::new(
+        "table_param_reduction",
+        &["task", "QuClassi params", "DNN baseline", "DNN params", "reduction %"],
+    );
+
+    // Binary MNIST: QC-S on 16 dims, 2 classes (32 params) vs DNN-1218.
+    let binary = QuClassiModel::new(QuClassiConfig::qc_s(16, 2)).unwrap();
+    let (_, dnn1218) = MlpConfig::with_target_params(16, 2, 1218);
+    report.add_row(vec![
+        "MNIST binary (16d)".into(),
+        binary.parameter_count().to_string(),
+        "DNN-1218".into(),
+        dnn1218.to_string(),
+        format!("{:.2}", reduction(binary.parameter_count(), dnn1218)),
+    ]);
+
+    // 5-class MNIST vs DNN-1308.
+    let five = QuClassiModel::new(QuClassiConfig::qc_s(16, 5)).unwrap();
+    let (_, dnn1308) = MlpConfig::with_target_params(16, 5, 1308);
+    report.add_row(vec![
+        "MNIST 5-class (16d)".into(),
+        five.parameter_count().to_string(),
+        "DNN-1308".into(),
+        dnn1308.to_string(),
+        format!("{:.2}", reduction(five.parameter_count(), dnn1308)),
+    ]);
+
+    // 10-class MNIST vs DNN-306.
+    let ten = QuClassiModel::new(QuClassiConfig::qc_s(16, 10)).unwrap();
+    let (_, dnn306) = MlpConfig::with_target_params(16, 10, 306);
+    report.add_row(vec![
+        "MNIST 10-class (16d)".into(),
+        ten.parameter_count().to_string(),
+        "DNN-306".into(),
+        dnn306.to_string(),
+        format!("{:.2}", reduction(ten.parameter_count(), dnn306)),
+    ]);
+
+    // Iris vs DNN-112.
+    let iris = QuClassiModel::new(QuClassiConfig::qc_s(4, 3)).unwrap();
+    let (_, dnn112) = MlpConfig::with_target_params(4, 3, 112);
+    report.add_row(vec![
+        "Iris (4d, 3 classes)".into(),
+        iris.parameter_count().to_string(),
+        "DNN-112".into(),
+        dnn112.to_string(),
+        format!("{:.2}", reduction(iris.parameter_count(), dnn112)),
+    ]);
+
+    report.print();
+    report.save_tsv();
+}

@@ -1,0 +1,157 @@
+//! Symmetric eigendecomposition via the cyclic Jacobi rotation method.
+//!
+//! Used by the PCA substrate for small covariance matrices and by tests to
+//! validate the large-matrix power-iteration path. Complexity is O(n³) per
+//! sweep, which is fine for the ≤ 64-dimensional matrices it is applied to.
+
+use crate::matrix::Matrix;
+
+/// Result of a symmetric eigendecomposition: `matrix = V · diag(λ) · Vᵀ`.
+#[derive(Clone, Debug)]
+pub struct EigenDecomposition {
+    /// Eigenvalues sorted in descending order.
+    pub eigenvalues: Vec<f64>,
+    /// Eigenvectors as rows, aligned with `eigenvalues`.
+    pub eigenvectors: Vec<Vec<f64>>,
+}
+
+/// Computes the eigendecomposition of a symmetric matrix with the cyclic
+/// Jacobi method.
+///
+/// # Panics
+/// Panics if the matrix is not square.
+pub fn jacobi_eigen(matrix: &Matrix, max_sweeps: usize, tol: f64) -> EigenDecomposition {
+    assert_eq!(matrix.rows(), matrix.cols(), "Jacobi needs a square matrix");
+    let n = matrix.rows();
+    let mut a = matrix.clone();
+    let mut v = Matrix::identity(n);
+
+    for _ in 0..max_sweeps {
+        // Sum of squares of the off-diagonal entries.
+        let mut off = 0.0;
+        for i in 0..n {
+            for j in 0..n {
+                if i != j {
+                    off += a[(i, j)] * a[(i, j)];
+                }
+            }
+        }
+        if off.sqrt() < tol {
+            break;
+        }
+        for p in 0..n {
+            for q in (p + 1)..n {
+                if a[(p, q)].abs() < 1e-300 {
+                    continue;
+                }
+                let theta = (a[(q, q)] - a[(p, p)]) / (2.0 * a[(p, q)]);
+                let t = theta.signum() / (theta.abs() + (theta * theta + 1.0).sqrt());
+                let c = 1.0 / (t * t + 1.0).sqrt();
+                let s = t * c;
+                // Rotate rows/columns p and q of A.
+                for k in 0..n {
+                    let akp = a[(k, p)];
+                    let akq = a[(k, q)];
+                    a[(k, p)] = c * akp - s * akq;
+                    a[(k, q)] = s * akp + c * akq;
+                }
+                for k in 0..n {
+                    let apk = a[(p, k)];
+                    let aqk = a[(q, k)];
+                    a[(p, k)] = c * apk - s * aqk;
+                    a[(q, k)] = s * apk + c * aqk;
+                }
+                // Accumulate the rotation into V.
+                for k in 0..n {
+                    let vkp = v[(k, p)];
+                    let vkq = v[(k, q)];
+                    v[(k, p)] = c * vkp - s * vkq;
+                    v[(k, q)] = s * vkp + c * vkq;
+                }
+            }
+        }
+    }
+
+    let mut pairs: Vec<(f64, Vec<f64>)> = (0..n)
+        .map(|i| {
+            let eigenvalue = a[(i, i)];
+            let eigenvector: Vec<f64> = (0..n).map(|k| v[(k, i)]).collect();
+            (eigenvalue, eigenvector)
+        })
+        .collect();
+    pairs.sort_by(|x, y| y.0.partial_cmp(&x.0).unwrap_or(std::cmp::Ordering::Equal));
+
+    EigenDecomposition {
+        eigenvalues: pairs.iter().map(|(l, _)| *l).collect(),
+        eigenvectors: pairs.into_iter().map(|(_, v)| v).collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::dot;
+
+    #[test]
+    fn diagonal_matrix_eigenvalues() {
+        let m = Matrix::from_vec(3, 3, vec![3.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 2.0]);
+        let eig = jacobi_eigen(&m, 50, 1e-12);
+        assert!((eig.eigenvalues[0] - 3.0).abs() < 1e-10);
+        assert!((eig.eigenvalues[1] - 2.0).abs() < 1e-10);
+        assert!((eig.eigenvalues[2] - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn known_2x2_eigensystem() {
+        // [[2, 1], [1, 2]] has eigenvalues 3 and 1.
+        let m = Matrix::from_vec(2, 2, vec![2.0, 1.0, 1.0, 2.0]);
+        let eig = jacobi_eigen(&m, 50, 1e-12);
+        assert!((eig.eigenvalues[0] - 3.0).abs() < 1e-10);
+        assert!((eig.eigenvalues[1] - 1.0).abs() < 1e-10);
+        // Eigenvector for λ = 3 is (1, 1)/√2 up to sign.
+        let v = &eig.eigenvectors[0];
+        assert!((v[0].abs() - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-8);
+        assert!((v[0] - v[1]).abs() < 1e-8);
+    }
+
+    #[test]
+    fn eigenvectors_are_orthonormal_and_satisfy_definition() {
+        // A random-ish symmetric matrix.
+        let m = Matrix::from_vec(
+            4,
+            4,
+            vec![
+                4.0, 1.0, 0.5, 0.2, //
+                1.0, 3.0, 0.3, 0.1, //
+                0.5, 0.3, 2.0, 0.4, //
+                0.2, 0.1, 0.4, 1.0,
+            ],
+        );
+        let eig = jacobi_eigen(&m, 100, 1e-14);
+        for i in 0..4 {
+            for j in 0..4 {
+                let d = dot(&eig.eigenvectors[i], &eig.eigenvectors[j]);
+                let expected = if i == j { 1.0 } else { 0.0 };
+                assert!((d - expected).abs() < 1e-8, "v{i}·v{j} = {d}");
+            }
+        }
+        // A·v ≈ λ·v.
+        for (lambda, v) in eig.eigenvalues.iter().zip(eig.eigenvectors.iter()) {
+            let av = m.matvec(v);
+            for (a, b) in av.iter().zip(v.iter()) {
+                assert!((a - lambda * b).abs() < 1e-8);
+            }
+        }
+        // Trace equals the eigenvalue sum.
+        let trace = 4.0 + 3.0 + 2.0 + 1.0;
+        let sum: f64 = eig.eigenvalues.iter().sum();
+        assert!((trace - sum).abs() < 1e-8);
+    }
+
+    #[test]
+    #[should_panic(expected = "square")]
+    fn non_square_panics() {
+        let m = Matrix::zeros(2, 3);
+        let _ = jacobi_eigen(&m, 10, 1e-10);
+    }
+}

@@ -1,0 +1,27 @@
+//! # quclassi-classical
+//!
+//! Classical machine-learning substrates for the QuClassi reproduction:
+//!
+//! * [`network`] — the "DNN-kP" fully-connected baselines the paper compares
+//!   against (one hidden layer, softmax output, per-sample SGD), with the
+//!   parameter-count-targeting constructor used to build DNN-12 … DNN-1308;
+//! * [`pca`] — principal component analysis used to reduce MNIST's 784
+//!   dimensions to 16 (simulation) or 4 (hardware experiments);
+//! * [`matrix`], [`activation`], [`eigen`] — the small linear-algebra and
+//!   activation utilities those are built on.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod activation;
+pub mod eigen;
+pub mod matrix;
+pub mod network;
+pub mod pca;
+
+/// Re-exports of the most commonly used types.
+pub mod prelude {
+    pub use crate::activation::Activation;
+    pub use crate::network::{Mlp, MlpConfig, MlpEpochStats};
+    pub use crate::pca::Pca;
+}

@@ -1,0 +1,344 @@
+//! Principal component analysis (PCA).
+//!
+//! The paper downsizes MNIST's 784 dimensions to 16 (simulations) or 4
+//! (IBM-Q experiments) with PCA before quantum encoding. This module
+//! implements PCA without external linear-algebra crates:
+//!
+//! * the components are found by **orthogonal (subspace) power iteration**
+//!   that never materialises the `d × d` covariance matrix — each iteration
+//!   multiplies the current basis by `Xᵀ(X·B)/n`, so a 784-dimensional fit is
+//!   cheap even in debug builds;
+//! * for small dimensionalities a dense covariance + Jacobi eigensolver path
+//!   exists ([`Pca::fit_exact`]) and is used to validate the iterative path.
+
+use crate::eigen::jacobi_eigen;
+use crate::matrix::{dot, normalize, Matrix};
+use rand::Rng;
+
+/// A fitted PCA transform.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Pca {
+    mean: Vec<f64>,
+    /// Principal components as rows (each of length `input_dim`).
+    components: Vec<Vec<f64>>,
+    explained_variance: Vec<f64>,
+}
+
+impl Pca {
+    /// Fits `num_components` principal components with subspace power
+    /// iteration.
+    ///
+    /// # Panics
+    /// Panics when the data is empty, ragged, or has fewer dimensions than
+    /// requested components.
+    pub fn fit<R: Rng + ?Sized>(data: &[Vec<f64>], num_components: usize, rng: &mut R) -> Self {
+        assert!(!data.is_empty(), "cannot fit PCA on an empty dataset");
+        let dim = data[0].len();
+        assert!(dim > 0, "data must have at least one dimension");
+        assert!(
+            num_components >= 1 && num_components <= dim,
+            "requested {num_components} components from {dim}-dimensional data"
+        );
+        for row in data {
+            assert_eq!(row.len(), dim, "ragged data rows");
+        }
+        let n = data.len() as f64;
+        let mean: Vec<f64> = (0..dim)
+            .map(|j| data.iter().map(|row| row[j]).sum::<f64>() / n)
+            .collect();
+        // Centre the data once.
+        let centered: Vec<Vec<f64>> = data
+            .iter()
+            .map(|row| row.iter().zip(mean.iter()).map(|(x, m)| x - m).collect())
+            .collect();
+
+        // Random orthonormal starting basis.
+        let mut basis: Vec<Vec<f64>> = (0..num_components)
+            .map(|_| (0..dim).map(|_| rng.gen_range(-1.0..1.0)).collect())
+            .collect();
+        orthonormalize(&mut basis);
+
+        let iterations = 60;
+        for _ in 0..iterations {
+            // B ← Xᵀ(X·B)/n, computed row-by-row to avoid the d×d covariance.
+            let mut next: Vec<Vec<f64>> = vec![vec![0.0; dim]; num_components];
+            for row in &centered {
+                // projections of this sample onto each basis vector.
+                for (b, nb) in basis.iter().zip(next.iter_mut()) {
+                    let proj = dot(row, b);
+                    for (o, &x) in nb.iter_mut().zip(row.iter()) {
+                        *o += proj * x;
+                    }
+                }
+            }
+            for nb in &mut next {
+                for x in nb.iter_mut() {
+                    *x /= n;
+                }
+            }
+            orthonormalize(&mut next);
+            basis = next;
+        }
+
+        // Explained variance = Rayleigh quotients of the converged directions.
+        let explained_variance: Vec<f64> = basis
+            .iter()
+            .map(|b| {
+                centered
+                    .iter()
+                    .map(|row| {
+                        let p = dot(row, b);
+                        p * p
+                    })
+                    .sum::<f64>()
+                    / n
+            })
+            .collect();
+
+        // Order components by decreasing variance.
+        let mut order: Vec<usize> = (0..num_components).collect();
+        order.sort_by(|&a, &b| {
+            explained_variance[b]
+                .partial_cmp(&explained_variance[a])
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let components = order.iter().map(|&i| basis[i].clone()).collect();
+        let explained_variance = order.iter().map(|&i| explained_variance[i]).collect();
+
+        Pca {
+            mean,
+            components,
+            explained_variance,
+        }
+    }
+
+    /// Fits PCA exactly via the dense covariance matrix and a Jacobi
+    /// eigensolver. Only suitable for small dimensionalities (≤ ~64); used
+    /// for testing and for the 4-dimensional hardware experiments.
+    pub fn fit_exact(data: &[Vec<f64>], num_components: usize) -> Self {
+        assert!(!data.is_empty(), "cannot fit PCA on an empty dataset");
+        let dim = data[0].len();
+        assert!(
+            num_components >= 1 && num_components <= dim,
+            "requested {num_components} components from {dim}-dimensional data"
+        );
+        let n = data.len() as f64;
+        let mean: Vec<f64> = (0..dim)
+            .map(|j| data.iter().map(|row| row[j]).sum::<f64>() / n)
+            .collect();
+        let mut cov = Matrix::zeros(dim, dim);
+        for row in data {
+            let centered: Vec<f64> = row.iter().zip(mean.iter()).map(|(x, m)| x - m).collect();
+            for i in 0..dim {
+                for j in 0..dim {
+                    cov[(i, j)] += centered[i] * centered[j] / n;
+                }
+            }
+        }
+        let eig = jacobi_eigen(&cov, 100, 1e-12);
+        Pca {
+            mean,
+            components: eig.eigenvectors.into_iter().take(num_components).collect(),
+            explained_variance: eig.eigenvalues.into_iter().take(num_components).collect(),
+        }
+    }
+
+    /// Number of components.
+    pub fn num_components(&self) -> usize {
+        self.components.len()
+    }
+
+    /// Input dimensionality the transform was fitted on.
+    pub fn input_dim(&self) -> usize {
+        self.mean.len()
+    }
+
+    /// Per-component explained variance, in decreasing order.
+    pub fn explained_variance(&self) -> &[f64] {
+        &self.explained_variance
+    }
+
+    /// The principal components (rows of length `input_dim`).
+    pub fn components(&self) -> &[Vec<f64>] {
+        &self.components
+    }
+
+    /// Projects one sample onto the principal components.
+    pub fn transform_one(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.input_dim(), "PCA transform dimension mismatch");
+        let centered: Vec<f64> = x.iter().zip(self.mean.iter()).map(|(v, m)| v - m).collect();
+        self.components.iter().map(|c| dot(&centered, c)).collect()
+    }
+
+    /// Projects a whole dataset.
+    pub fn transform(&self, data: &[Vec<f64>]) -> Vec<Vec<f64>> {
+        data.iter().map(|x| self.transform_one(x)).collect()
+    }
+
+    /// Reconstructs a sample from its projection (inverse transform within
+    /// the retained subspace).
+    pub fn inverse_transform_one(&self, z: &[f64]) -> Vec<f64> {
+        assert_eq!(z.len(), self.num_components(), "projection length mismatch");
+        let mut out = self.mean.clone();
+        for (coef, comp) in z.iter().zip(self.components.iter()) {
+            for (o, c) in out.iter_mut().zip(comp.iter()) {
+                *o += coef * c;
+            }
+        }
+        out
+    }
+}
+
+/// Gram–Schmidt orthonormalisation of a set of vectors (in place).
+fn orthonormalize(vectors: &mut [Vec<f64>]) {
+    for i in 0..vectors.len() {
+        for j in 0..i {
+            let proj = dot(&vectors[i], &vectors[j]);
+            let (head, tail) = vectors.split_at_mut(i);
+            for (x, y) in tail[0].iter_mut().zip(head[j].iter()) {
+                *x -= proj * y;
+            }
+        }
+        normalize(&mut vectors[i]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Correlated 3-D data whose dominant direction is (1, 1, 0)/√2.
+    fn correlated_data(n: usize, seed: u64) -> Vec<Vec<f64>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                let t: f64 = rng.gen_range(-2.0..2.0);
+                let noise: f64 = rng.gen_range(-0.05..0.05);
+                let z: f64 = rng.gen_range(-0.1..0.1);
+                vec![t + noise, t - noise, z]
+            })
+            .collect()
+    }
+
+    #[test]
+    fn dominant_direction_recovered() {
+        let data = correlated_data(400, 1);
+        let mut rng = StdRng::seed_from_u64(2);
+        let pca = Pca::fit(&data, 2, &mut rng);
+        let c0 = &pca.components()[0];
+        // First component should be ±(1,1,0)/√2.
+        let expected = std::f64::consts::FRAC_1_SQRT_2;
+        assert!((c0[0].abs() - expected).abs() < 0.05, "{c0:?}");
+        assert!((c0[1].abs() - expected).abs() < 0.05);
+        assert!(c0[2].abs() < 0.1);
+        // Explained variance is decreasing.
+        assert!(pca.explained_variance()[0] >= pca.explained_variance()[1]);
+    }
+
+    #[test]
+    fn iterative_and_exact_fits_agree() {
+        let data = correlated_data(300, 3);
+        let mut rng = StdRng::seed_from_u64(4);
+        let fast = Pca::fit(&data, 2, &mut rng);
+        let exact = Pca::fit_exact(&data, 2);
+        for (a, b) in fast
+            .explained_variance()
+            .iter()
+            .zip(exact.explained_variance().iter())
+        {
+            assert!((a - b).abs() / b.max(1e-9) < 0.05, "{a} vs {b}");
+        }
+        // Components agree up to sign.
+        for (ca, cb) in fast.components().iter().zip(exact.components().iter()) {
+            let cos = dot(ca, cb).abs();
+            assert!(cos > 0.98, "component overlap only {cos}");
+        }
+    }
+
+    #[test]
+    fn components_are_orthonormal() {
+        let data = correlated_data(200, 5);
+        let mut rng = StdRng::seed_from_u64(6);
+        let pca = Pca::fit(&data, 3, &mut rng);
+        for i in 0..3 {
+            for j in 0..3 {
+                let d = dot(&pca.components()[i], &pca.components()[j]);
+                let expected = if i == j { 1.0 } else { 0.0 };
+                assert!((d - expected).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn transform_and_inverse_reconstruct_within_subspace() {
+        let data = correlated_data(200, 7);
+        let mut rng = StdRng::seed_from_u64(8);
+        let pca = Pca::fit(&data, 2, &mut rng);
+        let z = pca.transform(&data);
+        assert_eq!(z.len(), data.len());
+        assert_eq!(z[0].len(), 2);
+        // Reconstruction error should be small because the data is nearly 2-D.
+        let mut err = 0.0;
+        for (x, zx) in data.iter().zip(z.iter()) {
+            let rec = pca.inverse_transform_one(zx);
+            err += x
+                .iter()
+                .zip(rec.iter())
+                .map(|(a, b)| (a - b) * (a - b))
+                .sum::<f64>();
+        }
+        err /= data.len() as f64;
+        assert!(err < 0.02, "mean reconstruction error {err}");
+    }
+
+    #[test]
+    fn transform_centering_sends_mean_to_origin() {
+        let data = correlated_data(150, 9);
+        let mut rng = StdRng::seed_from_u64(10);
+        let pca = Pca::fit(&data, 2, &mut rng);
+        let z = pca.transform(&data);
+        for k in 0..2 {
+            let mean_k: f64 = z.iter().map(|r| r[k]).sum::<f64>() / z.len() as f64;
+            assert!(mean_k.abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn high_dimensional_fit_is_tractable() {
+        // 128-dimensional data with a planted 4-D structure.
+        let mut rng = StdRng::seed_from_u64(11);
+        let dim = 128;
+        let n = 200;
+        let data: Vec<Vec<f64>> = (0..n)
+            .map(|_| {
+                let factors: Vec<f64> = (0..4).map(|_| rng.gen_range(-1.0..1.0)).collect();
+                (0..dim)
+                    .map(|j| {
+                        let f = factors[j % 4];
+                        f * (1.0 + (j as f64) / dim as f64) + rng.gen_range(-0.01..0.01)
+                    })
+                    .collect()
+            })
+            .collect();
+        let pca = Pca::fit(&data, 4, &mut rng);
+        let total_var: f64 = pca.explained_variance().iter().sum();
+        assert!(total_var > 0.0);
+        assert_eq!(pca.transform_one(&data[0]).len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty dataset")]
+    fn empty_data_panics() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = Pca::fit(&[], 2, &mut rng);
+    }
+
+    #[test]
+    #[should_panic(expected = "components")]
+    fn too_many_components_panics() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = Pca::fit(&[vec![1.0, 2.0]], 5, &mut rng);
+    }
+}

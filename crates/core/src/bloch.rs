@@ -1,0 +1,156 @@
+//! Bloch-sphere inspection of learned states (paper Fig. 8).
+//!
+//! The paper visualises training by plotting each learned-state qubit on the
+//! Bloch sphere across epochs, showing the state rotating towards the data.
+//! This module extracts the per-qubit Bloch vectors and renders a small
+//! text-based visualisation that the `fig8_bloch_evolution` experiment
+//! prints.
+
+use crate::error::QuClassiError;
+use quclassi_sim::state::StateVector;
+
+/// The Bloch-sphere coordinates of one qubit of a (possibly entangled) state.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct BlochPoint {
+    /// ⟨X⟩ component.
+    pub x: f64,
+    /// ⟨Y⟩ component.
+    pub y: f64,
+    /// ⟨Z⟩ component.
+    pub z: f64,
+}
+
+impl BlochPoint {
+    /// Length of the Bloch vector (1 for pure single-qubit marginals,
+    /// < 1 when the qubit is entangled with the rest of the register).
+    pub fn radius(&self) -> f64 {
+        (self.x * self.x + self.y * self.y + self.z * self.z).sqrt()
+    }
+
+    /// Polar angle θ ∈ [0, π] measured from |0⟩ (the +Z pole).
+    pub fn polar_angle(&self) -> f64 {
+        let r = self.radius();
+        if r < 1e-12 {
+            0.0
+        } else {
+            (self.z / r).clamp(-1.0, 1.0).acos()
+        }
+    }
+
+    /// Azimuthal angle φ ∈ (−π, π] in the X–Y plane.
+    pub fn azimuthal_angle(&self) -> f64 {
+        self.y.atan2(self.x)
+    }
+}
+
+/// Extracts the Bloch vector of every qubit of a state.
+pub fn bloch_points(state: &StateVector) -> Result<Vec<BlochPoint>, QuClassiError> {
+    (0..state.num_qubits())
+        .map(|q| {
+            let [x, y, z] = state.bloch_vector(q)?;
+            Ok(BlochPoint { x, y, z })
+        })
+        .collect()
+}
+
+/// Angular distance (in radians) between two Bloch vectors; 0 when aligned,
+/// π when anti-podal. Used to quantify how far the learned state moved
+/// towards the data state between epochs.
+pub fn angular_distance(a: &BlochPoint, b: &BlochPoint) -> f64 {
+    let ra = a.radius();
+    let rb = b.radius();
+    if ra < 1e-12 || rb < 1e-12 {
+        return 0.0;
+    }
+    let dot = (a.x * b.x + a.y * b.y + a.z * b.z) / (ra * rb);
+    dot.clamp(-1.0, 1.0).acos()
+}
+
+/// Renders a one-line-per-qubit description of the Bloch vectors, suitable
+/// for terminal output of the Fig. 8 experiment.
+pub fn render_text(points: &[BlochPoint]) -> String {
+    let mut out = String::new();
+    for (q, p) in points.iter().enumerate() {
+        out.push_str(&format!(
+            "qubit {q}: x={:+.4} y={:+.4} z={:+.4} | θ={:.3} rad φ={:+.3} rad r={:.3}\n",
+            p.x,
+            p.y,
+            p.z,
+            p.polar_angle(),
+            p.azimuthal_angle(),
+            p.radius()
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quclassi_sim::gate::Gate;
+
+    #[test]
+    fn zero_state_points_at_north_pole() {
+        let sv = StateVector::zero_state(1);
+        let p = bloch_points(&sv).unwrap();
+        assert_eq!(p.len(), 1);
+        assert!((p[0].z - 1.0).abs() < 1e-12);
+        assert!(p[0].polar_angle() < 1e-9);
+        assert!((p[0].radius() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn excited_state_points_at_south_pole() {
+        let mut sv = StateVector::zero_state(1);
+        sv.apply_gate(&Gate::X(0)).unwrap();
+        let p = bloch_points(&sv).unwrap()[0];
+        assert!((p.z + 1.0).abs() < 1e-12);
+        assert!((p.polar_angle() - std::f64::consts::PI).abs() < 1e-9);
+    }
+
+    #[test]
+    fn plus_state_lies_on_equator() {
+        let mut sv = StateVector::zero_state(1);
+        sv.apply_gate(&Gate::H(0)).unwrap();
+        let p = bloch_points(&sv).unwrap()[0];
+        assert!((p.x - 1.0).abs() < 1e-12);
+        assert!((p.polar_angle() - std::f64::consts::FRAC_PI_2).abs() < 1e-9);
+        assert!(p.azimuthal_angle().abs() < 1e-9);
+    }
+
+    #[test]
+    fn entangled_qubits_have_short_bloch_vectors() {
+        let mut sv = StateVector::zero_state(2);
+        sv.apply_gate(&Gate::H(0)).unwrap();
+        sv.apply_gate(&Gate::Cnot {
+            control: 0,
+            target: 1,
+        })
+        .unwrap();
+        for p in bloch_points(&sv).unwrap() {
+            assert!(p.radius() < 1e-9, "Bell-state marginals are maximally mixed");
+        }
+    }
+
+    #[test]
+    fn angular_distance_properties() {
+        let north = BlochPoint { x: 0.0, y: 0.0, z: 1.0 };
+        let south = BlochPoint { x: 0.0, y: 0.0, z: -1.0 };
+        let east = BlochPoint { x: 1.0, y: 0.0, z: 0.0 };
+        assert!(angular_distance(&north, &north) < 1e-12);
+        assert!((angular_distance(&north, &south) - std::f64::consts::PI).abs() < 1e-12);
+        assert!((angular_distance(&north, &east) - std::f64::consts::FRAC_PI_2).abs() < 1e-12);
+        // Degenerate zero vector.
+        let zero = BlochPoint { x: 0.0, y: 0.0, z: 0.0 };
+        assert_eq!(angular_distance(&zero, &north), 0.0);
+    }
+
+    #[test]
+    fn render_text_lists_every_qubit() {
+        let sv = StateVector::zero_state(3);
+        let text = render_text(&bloch_points(&sv).unwrap());
+        assert_eq!(text.lines().count(), 3);
+        assert!(text.contains("qubit 0:"));
+        assert!(text.contains("qubit 2:"));
+    }
+}

@@ -1,0 +1,317 @@
+//! Data qubitization: translating classical feature vectors into quantum
+//! states (paper Section 4.2).
+//!
+//! Each feature is first normalised to `[0, 1]` (done upstream, validated
+//! here). A feature value `x` is mapped to a rotation angle
+//! `θ = 2·asin(√x)` so that the *expectation* of the qubit measured along
+//! the Z axis equals `x`.
+//!
+//! Two strategies are supported:
+//!
+//! * [`EncodingStrategy::DualAngle`] — the paper's default: two features per
+//!   qubit, the first through an `RY` rotation, the second through an `RZ`
+//!   rotation on the same qubit (Eq. 12). Halves the qubit count.
+//! * [`EncodingStrategy::SingleAngle`] — one feature per qubit through an
+//!   `RY` only, the ablation mentioned in Section 4.2.
+
+use crate::error::QuClassiError;
+use quclassi_sim::circuit::Circuit;
+use quclassi_sim::gate::Gate;
+use quclassi_sim::state::StateVector;
+
+/// How classical features are packed onto qubits.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EncodingStrategy {
+    /// Two features per qubit: RY for even-indexed features, RZ for odd.
+    DualAngle,
+    /// One feature per qubit, RY only.
+    SingleAngle,
+}
+
+/// Converts a normalised feature value in [0, 1] to its rotation angle
+/// `2·asin(√x)`.
+pub fn feature_to_angle(x: f64) -> f64 {
+    2.0 * x.clamp(0.0, 1.0).sqrt().asin()
+}
+
+/// Inverse of [`feature_to_angle`]: recovers the feature from the angle.
+pub fn angle_to_feature(theta: f64) -> f64 {
+    let s = (theta / 2.0).sin();
+    s * s
+}
+
+/// A configured encoder for feature vectors of a fixed dimension.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DataEncoder {
+    strategy: EncodingStrategy,
+    dim: usize,
+}
+
+impl DataEncoder {
+    /// Creates an encoder for `dim`-dimensional data.
+    ///
+    /// # Errors
+    /// Returns an error when `dim` is zero.
+    pub fn new(strategy: EncodingStrategy, dim: usize) -> Result<Self, QuClassiError> {
+        if dim == 0 {
+            return Err(QuClassiError::InvalidConfig(
+                "data dimension must be at least 1".to_string(),
+            ));
+        }
+        Ok(DataEncoder { strategy, dim })
+    }
+
+    /// The expected feature-vector dimension.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The configured strategy.
+    pub fn strategy(&self) -> EncodingStrategy {
+        self.strategy
+    }
+
+    /// Number of qubits needed to encode one data point.
+    pub fn num_qubits(&self) -> usize {
+        match self.strategy {
+            EncodingStrategy::DualAngle => self.dim.div_ceil(2),
+            EncodingStrategy::SingleAngle => self.dim,
+        }
+    }
+
+    /// Validates a feature vector: correct dimension, finite, within [0, 1].
+    pub fn validate(&self, x: &[f64]) -> Result<(), QuClassiError> {
+        if x.len() != self.dim {
+            return Err(QuClassiError::InvalidData(format!(
+                "expected {} features, got {}",
+                self.dim,
+                x.len()
+            )));
+        }
+        for (i, &v) in x.iter().enumerate() {
+            if !v.is_finite() {
+                return Err(QuClassiError::InvalidData(format!(
+                    "feature {i} is not finite ({v})"
+                )));
+            }
+            if !(0.0..=1.0).contains(&v) {
+                return Err(QuClassiError::InvalidData(format!(
+                    "feature {i} = {v} is outside the normalised range [0, 1]"
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// The encoding gates for one data point, acting on qubits
+    /// `qubit_offset .. qubit_offset + num_qubits()`.
+    pub fn encoding_gates(
+        &self,
+        x: &[f64],
+        qubit_offset: usize,
+    ) -> Result<Vec<Gate>, QuClassiError> {
+        self.validate(x)?;
+        let mut gates = Vec::new();
+        match self.strategy {
+            EncodingStrategy::DualAngle => {
+                for (i, &v) in x.iter().enumerate() {
+                    let qubit = qubit_offset + i / 2;
+                    let theta = feature_to_angle(v);
+                    if i % 2 == 0 {
+                        gates.push(Gate::Ry(qubit, theta));
+                    } else {
+                        gates.push(Gate::Rz(qubit, theta));
+                    }
+                }
+            }
+            EncodingStrategy::SingleAngle => {
+                for (i, &v) in x.iter().enumerate() {
+                    gates.push(Gate::Ry(qubit_offset + i, feature_to_angle(v)));
+                }
+            }
+        }
+        Ok(gates)
+    }
+
+    /// Builds a stand-alone circuit (width = `num_qubits()`) that prepares
+    /// the encoded state from |0…0⟩.
+    pub fn encoding_circuit(&self, x: &[f64]) -> Result<Circuit, QuClassiError> {
+        let mut c = Circuit::new(self.num_qubits());
+        for g in self.encoding_gates(x, 0)? {
+            c.push(g);
+        }
+        Ok(c)
+    }
+
+    /// Directly prepares the encoded state |φ_x⟩ (used by the analytic
+    /// fidelity path).
+    pub fn encode_state(&self, x: &[f64]) -> Result<StateVector, QuClassiError> {
+        let circuit = self.encoding_circuit(x)?;
+        Ok(circuit.execute(&[])?)
+    }
+
+    /// Reconstructs the feature vector from the encoded state by reading each
+    /// qubit's Bloch vector. Demonstrates the paper's claim that knowing the
+    /// expectation across the Y and Z axes allows reconstruction.
+    pub fn decode_state(&self, state: &StateVector) -> Result<Vec<f64>, QuClassiError> {
+        if state.num_qubits() != self.num_qubits() {
+            return Err(QuClassiError::InvalidData(format!(
+                "state has {} qubits but the encoder expects {}",
+                state.num_qubits(),
+                self.num_qubits()
+            )));
+        }
+        let mut features = Vec::with_capacity(self.dim);
+        match self.strategy {
+            EncodingStrategy::SingleAngle => {
+                for q in 0..self.dim {
+                    // P(1) = x directly.
+                    features.push(state.probability_of_one(q)?);
+                }
+            }
+            EncodingStrategy::DualAngle => {
+                for q in 0..self.num_qubits() {
+                    let [bx, by, bz] = state.bloch_vector(q)?;
+                    // First feature: polar angle θ with z = cos θ and θ = 2 asin(√x₁)
+                    // ⇒ x₁ = (1 - z) / 2.
+                    let x1 = ((1.0 - bz) / 2.0).clamp(0.0, 1.0);
+                    features.push(x1);
+                    if 2 * q + 1 < self.dim {
+                        // Second feature: azimuthal angle φ of the Bloch vector equals
+                        // the RZ angle 2 asin(√x₂) ⇒ x₂ = sin²(φ/2).
+                        let phi = by.atan2(bx);
+                        let x2 = ((phi / 2.0).sin().powi(2)).clamp(0.0, 1.0);
+                        features.push(x2);
+                    }
+                }
+            }
+        }
+        Ok(features)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TOL: f64 = 1e-9;
+
+    #[test]
+    fn angle_round_trip() {
+        for &x in &[0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 1.0] {
+            let theta = feature_to_angle(x);
+            assert!((angle_to_feature(theta) - x).abs() < TOL);
+        }
+        // Out-of-range values are clamped rather than producing NaN.
+        assert!(feature_to_angle(1.5).is_finite());
+        assert!(feature_to_angle(-0.5).abs() < TOL);
+    }
+
+    #[test]
+    fn qubit_counts_per_strategy() {
+        let dual = DataEncoder::new(EncodingStrategy::DualAngle, 4).unwrap();
+        assert_eq!(dual.num_qubits(), 2);
+        let dual_odd = DataEncoder::new(EncodingStrategy::DualAngle, 5).unwrap();
+        assert_eq!(dual_odd.num_qubits(), 3);
+        let single = DataEncoder::new(EncodingStrategy::SingleAngle, 4).unwrap();
+        assert_eq!(single.num_qubits(), 4);
+        assert!(DataEncoder::new(EncodingStrategy::DualAngle, 0).is_err());
+    }
+
+    #[test]
+    fn validation_rejects_bad_inputs() {
+        let enc = DataEncoder::new(EncodingStrategy::DualAngle, 2).unwrap();
+        assert!(enc.validate(&[0.5, 0.5]).is_ok());
+        assert!(enc.validate(&[0.5]).is_err());
+        assert!(enc.validate(&[0.5, 1.5]).is_err());
+        assert!(enc.validate(&[f64::NAN, 0.1]).is_err());
+        assert!(enc.validate(&[-0.1, 0.1]).is_err());
+    }
+
+    #[test]
+    fn single_angle_encoding_sets_expectations() {
+        let enc = DataEncoder::new(EncodingStrategy::SingleAngle, 3).unwrap();
+        let x = vec![0.2, 0.7, 1.0];
+        let state = enc.encode_state(&x).unwrap();
+        for (q, &v) in x.iter().enumerate() {
+            assert!((state.probability_of_one(q).unwrap() - v).abs() < TOL);
+        }
+    }
+
+    #[test]
+    fn dual_angle_encoding_preserves_first_feature_expectation() {
+        // The RZ rotation does not change the Z expectation, so P(1) of each
+        // qubit still equals the even-indexed feature.
+        let enc = DataEncoder::new(EncodingStrategy::DualAngle, 4).unwrap();
+        let x = vec![0.3, 0.8, 0.6, 0.1];
+        let state = enc.encode_state(&x).unwrap();
+        assert!((state.probability_of_one(0).unwrap() - 0.3).abs() < TOL);
+        assert!((state.probability_of_one(1).unwrap() - 0.6).abs() < TOL);
+    }
+
+    #[test]
+    fn dual_angle_gate_structure() {
+        let enc = DataEncoder::new(EncodingStrategy::DualAngle, 4).unwrap();
+        let gates = enc.encoding_gates(&[0.1, 0.2, 0.3, 0.4], 5).unwrap();
+        assert_eq!(gates.len(), 4);
+        assert!(matches!(gates[0], Gate::Ry(5, _)));
+        assert!(matches!(gates[1], Gate::Rz(5, _)));
+        assert!(matches!(gates[2], Gate::Ry(6, _)));
+        assert!(matches!(gates[3], Gate::Rz(6, _)));
+    }
+
+    #[test]
+    fn decode_inverts_encode_for_dual_angle() {
+        let enc = DataEncoder::new(EncodingStrategy::DualAngle, 4).unwrap();
+        // Stay away from the degenerate poles (x₁ ∈ {0, 1}) where the
+        // azimuthal angle is undefined — the paper notes this limitation.
+        let x = vec![0.3, 0.65, 0.52, 0.18];
+        let state = enc.encode_state(&x).unwrap();
+        let decoded = enc.decode_state(&state).unwrap();
+        for (a, b) in x.iter().zip(decoded.iter()) {
+            assert!((a - b).abs() < 1e-6, "expected {a}, decoded {b}");
+        }
+    }
+
+    #[test]
+    fn decode_inverts_encode_for_single_angle() {
+        let enc = DataEncoder::new(EncodingStrategy::SingleAngle, 3).unwrap();
+        let x = vec![0.0, 0.42, 1.0];
+        let state = enc.encode_state(&x).unwrap();
+        let decoded = enc.decode_state(&state).unwrap();
+        for (a, b) in x.iter().zip(decoded.iter()) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn decode_rejects_wrong_register_width() {
+        let enc = DataEncoder::new(EncodingStrategy::DualAngle, 4).unwrap();
+        let state = StateVector::zero_state(5);
+        assert!(enc.decode_state(&state).is_err());
+    }
+
+    #[test]
+    fn odd_dimension_dual_encoding_leaves_last_rz_out() {
+        let enc = DataEncoder::new(EncodingStrategy::DualAngle, 3).unwrap();
+        let gates = enc.encoding_gates(&[0.2, 0.4, 0.9], 0).unwrap();
+        assert_eq!(gates.len(), 3);
+        assert!(matches!(gates[2], Gate::Ry(1, _)));
+    }
+
+    #[test]
+    fn identical_points_have_identical_states() {
+        let enc = DataEncoder::new(EncodingStrategy::DualAngle, 4).unwrap();
+        let a = enc.encode_state(&[0.1, 0.9, 0.4, 0.6]).unwrap();
+        let b = enc.encode_state(&[0.1, 0.9, 0.4, 0.6]).unwrap();
+        assert!((a.fidelity(&b).unwrap() - 1.0).abs() < TOL);
+    }
+
+    #[test]
+    fn different_points_have_lower_fidelity() {
+        let enc = DataEncoder::new(EncodingStrategy::DualAngle, 4).unwrap();
+        let a = enc.encode_state(&[0.9, 0.9, 0.9, 0.9]).unwrap();
+        let b = enc.encode_state(&[0.1, 0.1, 0.1, 0.1]).unwrap();
+        assert!(a.fidelity(&b).unwrap() < 0.5);
+    }
+}

@@ -1,0 +1,90 @@
+//! Error type for the QuClassi core crate.
+
+use quclassi_sim::error::SimError;
+use std::fmt;
+
+/// Errors produced while encoding data, building models, or training.
+#[derive(Clone, Debug, PartialEq)]
+pub enum QuClassiError {
+    /// Input data was invalid (wrong dimension, out of range, NaN, …).
+    InvalidData(String),
+    /// Model configuration was invalid.
+    InvalidConfig(String),
+    /// Labels were inconsistent with the configured number of classes.
+    InvalidLabel {
+        /// The offending label.
+        label: usize,
+        /// The number of classes the model was built for.
+        num_classes: usize,
+    },
+    /// An underlying simulator error.
+    Sim(SimError),
+    /// A model file could not be parsed.
+    Parse(String),
+}
+
+impl fmt::Display for QuClassiError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QuClassiError::InvalidData(msg) => write!(f, "invalid data: {msg}"),
+            QuClassiError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            QuClassiError::InvalidLabel { label, num_classes } => {
+                write!(f, "label {label} out of range for {num_classes} classes")
+            }
+            QuClassiError::Sim(e) => write!(f, "simulator error: {e}"),
+            QuClassiError::Parse(msg) => write!(f, "parse error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for QuClassiError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            QuClassiError::Sim(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SimError> for QuClassiError {
+    fn from(e: SimError) -> Self {
+        QuClassiError::Sim(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_covers_all_variants() {
+        let cases: Vec<(QuClassiError, &str)> = vec![
+            (QuClassiError::InvalidData("x".into()), "invalid data"),
+            (QuClassiError::InvalidConfig("y".into()), "invalid configuration"),
+            (
+                QuClassiError::InvalidLabel {
+                    label: 5,
+                    num_classes: 3,
+                },
+                "label 5",
+            ),
+            (
+                QuClassiError::Sim(SimError::DuplicateQubit(1)),
+                "simulator error",
+            ),
+            (QuClassiError::Parse("bad".into()), "parse error"),
+        ];
+        for (e, needle) in cases {
+            assert!(e.to_string().contains(needle));
+        }
+    }
+
+    #[test]
+    fn sim_error_converts_and_exposes_source() {
+        let e: QuClassiError = SimError::DuplicateQubit(2).into();
+        assert!(matches!(e, QuClassiError::Sim(_)));
+        use std::error::Error;
+        assert!(e.source().is_some());
+        assert!(QuClassiError::Parse("x".into()).source().is_none());
+    }
+}

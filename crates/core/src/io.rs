@@ -1,0 +1,229 @@
+//! Plain-text (de)serialisation of trained models.
+//!
+//! A deliberately simple, dependency-free, line-oriented format so that
+//! trained models can be saved from an experiment binary and reloaded by an
+//! example or a test:
+//!
+//! ```text
+//! quclassi-model v1
+//! data_dim 4
+//! num_classes 3
+//! encoding dual
+//! layers S,D,E
+//! class 0 0.1 0.2 0.3 ...
+//! class 1 ...
+//! ```
+
+use crate::encoding::EncodingStrategy;
+use crate::error::QuClassiError;
+use crate::layers::LayerKind;
+use crate::model::{QuClassiConfig, QuClassiModel};
+
+const HEADER: &str = "quclassi-model v1";
+
+fn encoding_to_str(e: EncodingStrategy) -> &'static str {
+    match e {
+        EncodingStrategy::DualAngle => "dual",
+        EncodingStrategy::SingleAngle => "single",
+    }
+}
+
+fn encoding_from_str(s: &str) -> Result<EncodingStrategy, QuClassiError> {
+    match s {
+        "dual" => Ok(EncodingStrategy::DualAngle),
+        "single" => Ok(EncodingStrategy::SingleAngle),
+        other => Err(QuClassiError::Parse(format!("unknown encoding '{other}'"))),
+    }
+}
+
+fn layer_to_char(l: LayerKind) -> char {
+    l.code()
+}
+
+fn layer_from_char(c: char) -> Result<LayerKind, QuClassiError> {
+    match c {
+        'S' => Ok(LayerKind::SingleQubitUnitary),
+        'D' => Ok(LayerKind::DualQubitUnitary),
+        'E' => Ok(LayerKind::Entanglement),
+        other => Err(QuClassiError::Parse(format!("unknown layer code '{other}'"))),
+    }
+}
+
+/// Serialises a model to the text format.
+pub fn model_to_string(model: &QuClassiModel) -> String {
+    let cfg = model.config();
+    let mut out = String::new();
+    out.push_str(HEADER);
+    out.push('\n');
+    out.push_str(&format!("data_dim {}\n", cfg.data_dim));
+    out.push_str(&format!("num_classes {}\n", cfg.num_classes));
+    out.push_str(&format!("encoding {}\n", encoding_to_str(cfg.encoding)));
+    let layer_codes: String = cfg
+        .layers
+        .iter()
+        .map(|&l| layer_to_char(l).to_string())
+        .collect::<Vec<_>>()
+        .join(",");
+    out.push_str(&format!("layers {layer_codes}\n"));
+    for c in 0..model.num_classes() {
+        let params = model
+            .class_params(c)
+            .expect("class index within num_classes");
+        let values: Vec<String> = params.iter().map(|p| format!("{p:.17e}")).collect();
+        out.push_str(&format!("class {c} {}\n", values.join(" ")));
+    }
+    out
+}
+
+fn parse_field<'a>(line: Option<&'a str>, key: &str) -> Result<&'a str, QuClassiError> {
+    let line = line.ok_or_else(|| QuClassiError::Parse(format!("missing '{key}' line")))?;
+    line.strip_prefix(key)
+        .map(str::trim)
+        .ok_or_else(|| QuClassiError::Parse(format!("expected line starting with '{key}', got '{line}'")))
+}
+
+/// Parses a model from the text format produced by [`model_to_string`].
+pub fn model_from_string(text: &str) -> Result<QuClassiModel, QuClassiError> {
+    let mut lines = text.lines().filter(|l| !l.trim().is_empty());
+    let header = lines
+        .next()
+        .ok_or_else(|| QuClassiError::Parse("empty model file".to_string()))?;
+    if header.trim() != HEADER {
+        return Err(QuClassiError::Parse(format!(
+            "unexpected header '{header}'"
+        )));
+    }
+    let data_dim: usize = parse_field(lines.next(), "data_dim")?
+        .parse()
+        .map_err(|e| QuClassiError::Parse(format!("bad data_dim: {e}")))?;
+    let num_classes: usize = parse_field(lines.next(), "num_classes")?
+        .parse()
+        .map_err(|e| QuClassiError::Parse(format!("bad num_classes: {e}")))?;
+    let encoding = encoding_from_str(parse_field(lines.next(), "encoding")?)?;
+    let layers_str = parse_field(lines.next(), "layers")?;
+    let mut layers = Vec::new();
+    for code in layers_str.split(',') {
+        let code = code.trim();
+        if code.len() != 1 {
+            return Err(QuClassiError::Parse(format!("bad layer code '{code}'")));
+        }
+        layers.push(layer_from_char(code.chars().next().expect("len checked"))?);
+    }
+
+    let config = QuClassiConfig {
+        data_dim,
+        num_classes,
+        encoding,
+        layers,
+    };
+    let mut model = QuClassiModel::new(config)?;
+
+    let mut seen = vec![false; num_classes];
+    for line in lines {
+        let rest = line
+            .strip_prefix("class ")
+            .ok_or_else(|| QuClassiError::Parse(format!("unexpected line '{line}'")))?;
+        let mut tokens = rest.split_whitespace();
+        let class: usize = tokens
+            .next()
+            .ok_or_else(|| QuClassiError::Parse("missing class index".to_string()))?
+            .parse()
+            .map_err(|e| QuClassiError::Parse(format!("bad class index: {e}")))?;
+        let params: Result<Vec<f64>, _> = tokens.map(str::parse::<f64>).collect();
+        let params = params.map_err(|e| QuClassiError::Parse(format!("bad parameter: {e}")))?;
+        model.set_class_params(class, params)?;
+        if class < seen.len() {
+            seen[class] = true;
+        }
+    }
+    if seen.iter().any(|&s| !s) {
+        return Err(QuClassiError::Parse(
+            "model file does not list parameters for every class".to_string(),
+        ));
+    }
+    Ok(model)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn random_model() -> QuClassiModel {
+        let mut rng = StdRng::seed_from_u64(42);
+        QuClassiModel::with_random_parameters(QuClassiConfig::qc_sde(6, 3), &mut rng).unwrap()
+    }
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        let model = random_model();
+        let text = model_to_string(&model);
+        let restored = model_from_string(&text).unwrap();
+        assert_eq!(restored.config(), model.config());
+        for c in 0..model.num_classes() {
+            let a = model.class_params(c).unwrap();
+            let b = restored.class_params(c).unwrap();
+            for (x, y) in a.iter().zip(b.iter()) {
+                assert!((x - y).abs() < 1e-15);
+            }
+        }
+    }
+
+    #[test]
+    fn round_trip_single_angle_encoding() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let config = QuClassiConfig {
+            encoding: EncodingStrategy::SingleAngle,
+            ..QuClassiConfig::qc_s(3, 2)
+        };
+        let model = QuClassiModel::with_random_parameters(config, &mut rng).unwrap();
+        let restored = model_from_string(&model_to_string(&model)).unwrap();
+        assert_eq!(restored.config(), model.config());
+    }
+
+    #[test]
+    fn rejects_corrupted_inputs() {
+        assert!(model_from_string("").is_err());
+        assert!(model_from_string("not a model").is_err());
+        let model = random_model();
+        let text = model_to_string(&model);
+        // Drop the last class line.
+        let truncated: Vec<&str> = text.lines().take(text.lines().count() - 1).collect();
+        assert!(model_from_string(&truncated.join("\n")).is_err());
+        // Corrupt a number.
+        let corrupted = text.replace("class 0 ", "class 0 NOT_A_NUMBER ");
+        assert!(model_from_string(&corrupted).is_err());
+        // Unknown layer code.
+        let bad_layers = text.replace("layers S,D,E", "layers S,Q");
+        assert!(model_from_string(&bad_layers).is_err());
+        // Unknown encoding.
+        let bad_encoding = text.replace("encoding dual", "encoding qutrit");
+        assert!(model_from_string(&bad_encoding).is_err());
+    }
+
+    #[test]
+    fn serialised_text_is_human_readable() {
+        let text = model_to_string(&random_model());
+        assert!(text.starts_with(HEADER));
+        assert!(text.contains("data_dim 6"));
+        assert!(text.contains("num_classes 3"));
+        assert!(text.contains("layers S,D,E"));
+        assert!(text.contains("class 2 "));
+    }
+
+    #[test]
+    fn restored_model_predicts_identically() {
+        use crate::swap_test::FidelityEstimator;
+        let model = random_model();
+        let restored = model_from_string(&model_to_string(&model)).unwrap();
+        let estimator = FidelityEstimator::analytic();
+        let mut rng = StdRng::seed_from_u64(9);
+        let x = vec![0.1, 0.8, 0.3, 0.6, 0.2, 0.9];
+        let a = model.predict_proba(&x, &estimator, &mut rng).unwrap();
+        let b = restored.predict_proba(&x, &estimator, &mut rng).unwrap();
+        for (p, q) in a.iter().zip(b.iter()) {
+            assert!((p - q).abs() < 1e-12);
+        }
+    }
+}

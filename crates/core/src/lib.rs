@@ -1,0 +1,89 @@
+//! # quclassi
+//!
+//! A from-scratch Rust reproduction of **QuClassi** (Stein et al.,
+//! *"QuClassi: A Hybrid Deep Neural Network Architecture based on Quantum
+//! State Fidelity"*, MLSys 2022).
+//!
+//! QuClassi is a hybrid quantum–classical classifier. For every class it
+//! learns a parameterised quantum state; classical data points are encoded
+//! into quantum states (two features per qubit via RY + RZ rotations); the
+//! classifier's score for a class is the quantum state fidelity between the
+//! encoded point and the class state, estimated with a SWAP test on a single
+//! ancilla qubit. Training uses a cross-entropy loss on the fidelity and an
+//! epoch-scaled parameter-shift rule; inference softmaxes the per-class
+//! fidelities.
+//!
+//! ## Crate layout
+//!
+//! * [`encoding`] — data qubitization (Section 4.2),
+//! * [`layers`] — the QC-S / QC-D / QC-E layer families (Section 4.3),
+//! * [`swap_test`] — SWAP-test circuits and fidelity estimators (Sections
+//!   3.3 and 4.4),
+//! * [`loss`], [`gradient`], [`optimizer`] — the training machinery
+//!   (Section 4.4, Eq. 13–15),
+//! * [`model`] — the per-class learned states and the inference rule
+//!   (Section 4.5),
+//! * [`trainer`] — Algorithm 1,
+//! * [`metrics`], [`bloch`], [`io`] — evaluation, visualisation and
+//!   persistence utilities.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use quclassi::prelude::*;
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+//!
+//! // A tiny separable binary problem on 4 normalised features.
+//! let features: Vec<Vec<f64>> = (0..10)
+//!     .flat_map(|i| {
+//!         let j = 0.01 * i as f64;
+//!         vec![vec![0.1 + j, 0.2, 0.1, 0.15], vec![0.9 - j, 0.8, 0.9, 0.85]]
+//!     })
+//!     .collect();
+//! let labels: Vec<usize> = (0..10).flat_map(|_| vec![0usize, 1usize]).collect();
+//!
+//! // QC-S architecture, dual-angle encoding, 2 classes.
+//! let mut model =
+//!     QuClassiModel::with_random_parameters(QuClassiConfig::qc_s(4, 2), &mut rng).unwrap();
+//! let trainer = Trainer::new(
+//!     TrainingConfig { epochs: 10, learning_rate: 0.1, ..Default::default() },
+//!     FidelityEstimator::analytic(),
+//! );
+//! trainer.fit(&mut model, &features, &labels, &mut rng).unwrap();
+//!
+//! let accuracy = model
+//!     .evaluate_accuracy(&features, &labels, &FidelityEstimator::analytic(), &mut rng)
+//!     .unwrap();
+//! assert!(accuracy > 0.9);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod bloch;
+pub mod encoding;
+pub mod error;
+pub mod gradient;
+pub mod io;
+pub mod layers;
+pub mod loss;
+pub mod metrics;
+pub mod model;
+pub mod optimizer;
+pub mod swap_test;
+pub mod trainer;
+
+/// Re-exports of the most commonly used types.
+pub mod prelude {
+    pub use crate::encoding::{DataEncoder, EncodingStrategy};
+    pub use crate::error::QuClassiError;
+    pub use crate::gradient::ShiftSchedule;
+    pub use crate::layers::{LayerKind, LayerStack};
+    pub use crate::metrics::{accuracy, ConfusionMatrix};
+    pub use crate::model::{QuClassiConfig, QuClassiModel};
+    pub use crate::optimizer::{Adam, Momentum, Optimizer, Sgd};
+    pub use crate::swap_test::{FidelityEstimator, FidelityMethod};
+    pub use crate::trainer::{EvalSet, Trainer, TrainingConfig, TrainingHistory};
+}

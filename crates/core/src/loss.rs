@@ -1,0 +1,142 @@
+//! Loss functions (paper Section 4.4, Eqs. 13–14).
+//!
+//! The training loss is the classical binary cross-entropy evaluated on the
+//! quantum state fidelity: for a sample of the class being trained, the
+//! target is `y = 1` (maximise fidelity); under contrastive training,
+//! samples of other classes use `y = 0` (minimise fidelity). Multi-class
+//! inference softmaxes the per-class fidelities, so the usual negative
+//! log-likelihood is also provided.
+
+/// Numerical floor/ceiling used when taking logarithms of probabilities.
+pub const PROBABILITY_EPSILON: f64 = 1e-9;
+
+/// Clamps a probability away from 0 and 1 so that logarithms stay finite.
+pub fn clamp_probability(p: f64) -> f64 {
+    p.clamp(PROBABILITY_EPSILON, 1.0 - PROBABILITY_EPSILON)
+}
+
+/// Binary cross-entropy `−y·log(p) − (1−y)·log(1−p)` (paper Eq. 14).
+pub fn binary_cross_entropy(p: f64, y: f64) -> f64 {
+    let p = clamp_probability(p);
+    -y * p.ln() - (1.0 - y) * (1.0 - p).ln()
+}
+
+/// Derivative of the binary cross-entropy with respect to `p`.
+pub fn binary_cross_entropy_grad(p: f64, y: f64) -> f64 {
+    let p = clamp_probability(p);
+    (p - y) / (p * (1.0 - p))
+}
+
+/// Mean fidelity cost of Eq. 13: the average SWAP-test fidelity over a set of
+/// samples. Used when reporting the raw (un-log-transformed) objective.
+pub fn mean_fidelity(fidelities: &[f64]) -> f64 {
+    if fidelities.is_empty() {
+        return 0.0;
+    }
+    fidelities.iter().sum::<f64>() / fidelities.len() as f64
+}
+
+/// Numerically stable softmax.
+pub fn softmax(scores: &[f64]) -> Vec<f64> {
+    if scores.is_empty() {
+        return Vec::new();
+    }
+    let max = scores.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let exps: Vec<f64> = scores.iter().map(|&s| (s - max).exp()).collect();
+    let sum: f64 = exps.iter().sum();
+    exps.into_iter().map(|e| e / sum).collect()
+}
+
+/// Negative log-likelihood of the true class under a softmax distribution.
+pub fn cross_entropy_multiclass(probabilities: &[f64], label: usize) -> f64 {
+    let p = probabilities.get(label).copied().unwrap_or(0.0);
+    -clamp_probability(p).ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bce_is_zero_for_perfect_predictions() {
+        assert!(binary_cross_entropy(1.0, 1.0) < 1e-6);
+        assert!(binary_cross_entropy(0.0, 0.0) < 1e-6);
+    }
+
+    #[test]
+    fn bce_is_large_for_confident_mistakes() {
+        assert!(binary_cross_entropy(0.001, 1.0) > 5.0);
+        assert!(binary_cross_entropy(0.999, 0.0) > 5.0);
+    }
+
+    #[test]
+    fn bce_matches_hand_computation() {
+        let p: f64 = 0.7;
+        let expected = -p.ln();
+        assert!((binary_cross_entropy(0.7, 1.0) - expected).abs() < 1e-9);
+        let expected0 = -(1.0 - p).ln();
+        assert!((binary_cross_entropy(0.7, 0.0) - expected0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bce_grad_matches_finite_difference() {
+        let eps = 1e-6;
+        for &(p, y) in &[(0.3, 1.0), (0.8, 0.0), (0.5, 1.0), (0.12, 0.0)] {
+            let numeric =
+                (binary_cross_entropy(p + eps, y) - binary_cross_entropy(p - eps, y)) / (2.0 * eps);
+            let analytic = binary_cross_entropy_grad(p, y);
+            assert!(
+                (numeric - analytic).abs() < 1e-4,
+                "p={p} y={y}: {numeric} vs {analytic}"
+            );
+        }
+    }
+
+    #[test]
+    fn bce_handles_extreme_probabilities_without_nan() {
+        assert!(binary_cross_entropy(0.0, 1.0).is_finite());
+        assert!(binary_cross_entropy(1.0, 0.0).is_finite());
+        assert!(binary_cross_entropy_grad(0.0, 1.0).is_finite());
+        assert!(binary_cross_entropy_grad(1.0, 0.0).is_finite());
+    }
+
+    #[test]
+    fn softmax_sums_to_one_and_preserves_order() {
+        let s = softmax(&[0.2, 1.5, -0.3, 0.9]);
+        let sum: f64 = s.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+        assert!(s[1] > s[3] && s[3] > s[0] && s[0] > s[2]);
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant_and_stable() {
+        let a = softmax(&[1.0, 2.0, 3.0]);
+        let b = softmax(&[1001.0, 1002.0, 1003.0]);
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert!((x - y).abs() < 1e-12);
+        }
+        assert!(softmax(&[]).is_empty());
+    }
+
+    #[test]
+    fn uniform_scores_give_uniform_softmax() {
+        let s = softmax(&[0.4; 5]);
+        for p in s {
+            assert!((p - 0.2).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn multiclass_cross_entropy() {
+        let probs = vec![0.1, 0.7, 0.2];
+        assert!((cross_entropy_multiclass(&probs, 1) - (-(0.7f64).ln())).abs() < 1e-9);
+        // Out-of-range label behaves as probability zero (large but finite loss).
+        assert!(cross_entropy_multiclass(&probs, 9).is_finite());
+    }
+
+    #[test]
+    fn mean_fidelity_handles_empty_and_averages() {
+        assert_eq!(mean_fidelity(&[]), 0.0);
+        assert!((mean_fidelity(&[0.2, 0.4, 0.9]) - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,210 @@
+//! Classification metrics used by the evaluation harness.
+
+use crate::error::QuClassiError;
+
+/// Fraction of predictions equal to the true labels.
+pub fn accuracy(predictions: &[usize], labels: &[usize]) -> Result<f64, QuClassiError> {
+    if predictions.len() != labels.len() {
+        return Err(QuClassiError::InvalidData(format!(
+            "{} predictions but {} labels",
+            predictions.len(),
+            labels.len()
+        )));
+    }
+    if predictions.is_empty() {
+        return Err(QuClassiError::InvalidData(
+            "cannot compute accuracy of an empty prediction set".to_string(),
+        ));
+    }
+    let correct = predictions
+        .iter()
+        .zip(labels.iter())
+        .filter(|(p, y)| p == y)
+        .count();
+    Ok(correct as f64 / predictions.len() as f64)
+}
+
+/// A row-major confusion matrix: `matrix[true][predicted]`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ConfusionMatrix {
+    num_classes: usize,
+    counts: Vec<usize>,
+}
+
+impl ConfusionMatrix {
+    /// Builds the confusion matrix for `num_classes` classes.
+    pub fn new(
+        predictions: &[usize],
+        labels: &[usize],
+        num_classes: usize,
+    ) -> Result<Self, QuClassiError> {
+        if predictions.len() != labels.len() {
+            return Err(QuClassiError::InvalidData(format!(
+                "{} predictions but {} labels",
+                predictions.len(),
+                labels.len()
+            )));
+        }
+        let mut counts = vec![0usize; num_classes * num_classes];
+        for (&p, &y) in predictions.iter().zip(labels.iter()) {
+            if p >= num_classes || y >= num_classes {
+                return Err(QuClassiError::InvalidLabel {
+                    label: p.max(y),
+                    num_classes,
+                });
+            }
+            counts[y * num_classes + p] += 1;
+        }
+        Ok(ConfusionMatrix {
+            num_classes,
+            counts,
+        })
+    }
+
+    /// Number of classes.
+    pub fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
+    /// Count of samples with true class `t` predicted as class `p`.
+    pub fn count(&self, t: usize, p: usize) -> usize {
+        self.counts[t * self.num_classes + p]
+    }
+
+    /// Total number of samples.
+    pub fn total(&self) -> usize {
+        self.counts.iter().sum()
+    }
+
+    /// Overall accuracy (trace / total).
+    pub fn accuracy(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        let correct: usize = (0..self.num_classes).map(|i| self.count(i, i)).sum();
+        correct as f64 / total as f64
+    }
+
+    /// Precision of a class: TP / (TP + FP). Returns 0 when the class is
+    /// never predicted.
+    pub fn precision(&self, class: usize) -> f64 {
+        let tp = self.count(class, class);
+        let predicted: usize = (0..self.num_classes).map(|t| self.count(t, class)).sum();
+        if predicted == 0 {
+            0.0
+        } else {
+            tp as f64 / predicted as f64
+        }
+    }
+
+    /// Recall of a class: TP / (TP + FN). Returns 0 when the class has no
+    /// true samples.
+    pub fn recall(&self, class: usize) -> f64 {
+        let tp = self.count(class, class);
+        let actual: usize = (0..self.num_classes).map(|p| self.count(class, p)).sum();
+        if actual == 0 {
+            0.0
+        } else {
+            tp as f64 / actual as f64
+        }
+    }
+
+    /// F1 score of a class (harmonic mean of precision and recall).
+    pub fn f1(&self, class: usize) -> f64 {
+        let p = self.precision(class);
+        let r = self.recall(class);
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+
+    /// Macro-averaged F1 across classes.
+    pub fn macro_f1(&self) -> f64 {
+        if self.num_classes == 0 {
+            return 0.0;
+        }
+        (0..self.num_classes).map(|c| self.f1(c)).sum::<f64>() / self.num_classes as f64
+    }
+
+    /// A plain-text table rendering of the matrix.
+    pub fn to_text(&self) -> String {
+        let mut out = String::from("true\\pred");
+        for p in 0..self.num_classes {
+            out.push_str(&format!("\t{p}"));
+        }
+        out.push('\n');
+        for t in 0..self.num_classes {
+            out.push_str(&format!("{t}"));
+            for p in 0..self.num_classes {
+                out.push_str(&format!("\t{}", self.count(t, p)));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accuracy_basic_and_errors() {
+        assert!((accuracy(&[0, 1, 1, 0], &[0, 1, 0, 0]).unwrap() - 0.75).abs() < 1e-12);
+        assert!(accuracy(&[0], &[0, 1]).is_err());
+        assert!(accuracy(&[], &[]).is_err());
+    }
+
+    #[test]
+    fn confusion_matrix_counts() {
+        let preds = vec![0, 1, 1, 2, 2, 2];
+        let labels = vec![0, 1, 2, 2, 2, 0];
+        let cm = ConfusionMatrix::new(&preds, &labels, 3).unwrap();
+        assert_eq!(cm.count(0, 0), 1);
+        assert_eq!(cm.count(2, 2), 2);
+        assert_eq!(cm.count(2, 1), 1);
+        assert_eq!(cm.count(0, 2), 1);
+        assert_eq!(cm.total(), 6);
+        assert!((cm.accuracy() - 4.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn precision_recall_f1() {
+        // Binary case with known values.
+        let preds = vec![1, 1, 1, 0, 0, 1];
+        let labels = vec![1, 1, 0, 0, 1, 1];
+        let cm = ConfusionMatrix::new(&preds, &labels, 2).unwrap();
+        // Class 1: TP=3, FP=1, FN=1.
+        assert!((cm.precision(1) - 0.75).abs() < 1e-12);
+        assert!((cm.recall(1) - 0.75).abs() < 1e-12);
+        assert!((cm.f1(1) - 0.75).abs() < 1e-12);
+        assert!(cm.macro_f1() > 0.0);
+    }
+
+    #[test]
+    fn degenerate_classes_do_not_divide_by_zero() {
+        let preds = vec![0, 0];
+        let labels = vec![0, 0];
+        let cm = ConfusionMatrix::new(&preds, &labels, 3).unwrap();
+        assert_eq!(cm.precision(2), 0.0);
+        assert_eq!(cm.recall(2), 0.0);
+        assert_eq!(cm.f1(2), 0.0);
+    }
+
+    #[test]
+    fn out_of_range_labels_rejected() {
+        assert!(ConfusionMatrix::new(&[0, 5], &[0, 1], 3).is_err());
+        assert!(ConfusionMatrix::new(&[0], &[0, 1], 3).is_err());
+    }
+
+    #[test]
+    fn text_rendering_contains_counts() {
+        let cm = ConfusionMatrix::new(&[0, 1], &[0, 1], 2).unwrap();
+        let text = cm.to_text();
+        assert!(text.contains("true\\pred"));
+        assert!(text.lines().count() >= 3);
+    }
+}

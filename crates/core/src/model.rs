@@ -1,0 +1,429 @@
+//! The QuClassi model: one learned quantum state per class (paper Section 4).
+//!
+//! A [`QuClassiModel`] owns a parameter vector for every class. Classifying a
+//! data point means estimating the fidelity between the encoded point and
+//! each class state, softmaxing the fidelities, and taking the arg-max
+//! (Section 4.5, "the quantum network is induced across all trained classes
+//! and the fidelity is softmaxed").
+
+use crate::encoding::{DataEncoder, EncodingStrategy};
+use crate::error::QuClassiError;
+use crate::layers::{LayerKind, LayerStack};
+use crate::loss::softmax;
+use crate::swap_test::{swap_test_layout, FidelityEstimator};
+use quclassi_sim::state::StateVector;
+use rand::Rng;
+
+/// Hyper-parameters that define a QuClassi architecture.
+#[derive(Clone, Debug, PartialEq)]
+pub struct QuClassiConfig {
+    /// Dimensionality of the (normalised) input features.
+    pub data_dim: usize,
+    /// Number of classes (≥ 2).
+    pub num_classes: usize,
+    /// How features are packed onto qubits.
+    pub encoding: EncodingStrategy,
+    /// The trainable layer stack applied to every class state.
+    pub layers: Vec<LayerKind>,
+}
+
+impl QuClassiConfig {
+    /// A QC-S model with dual-angle encoding — the paper's default setup.
+    pub fn qc_s(data_dim: usize, num_classes: usize) -> Self {
+        QuClassiConfig {
+            data_dim,
+            num_classes,
+            encoding: EncodingStrategy::DualAngle,
+            layers: vec![LayerKind::SingleQubitUnitary],
+        }
+    }
+
+    /// A QC-SD model with dual-angle encoding.
+    pub fn qc_sd(data_dim: usize, num_classes: usize) -> Self {
+        QuClassiConfig {
+            layers: vec![LayerKind::SingleQubitUnitary, LayerKind::DualQubitUnitary],
+            ..QuClassiConfig::qc_s(data_dim, num_classes)
+        }
+    }
+
+    /// A QC-SDE model with dual-angle encoding.
+    pub fn qc_sde(data_dim: usize, num_classes: usize) -> Self {
+        QuClassiConfig {
+            layers: vec![
+                LayerKind::SingleQubitUnitary,
+                LayerKind::DualQubitUnitary,
+                LayerKind::Entanglement,
+            ],
+            ..QuClassiConfig::qc_s(data_dim, num_classes)
+        }
+    }
+
+    /// Validates the configuration.
+    pub fn validate(&self) -> Result<(), QuClassiError> {
+        if self.data_dim == 0 {
+            return Err(QuClassiError::InvalidConfig(
+                "data dimension must be at least 1".to_string(),
+            ));
+        }
+        if self.num_classes < 2 {
+            return Err(QuClassiError::InvalidConfig(
+                "a classifier needs at least 2 classes".to_string(),
+            ));
+        }
+        if self.layers.is_empty() {
+            return Err(QuClassiError::InvalidConfig(
+                "at least one layer is required".to_string(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Number of qubits in each of the learned-state / data registers.
+    pub fn state_qubits(&self) -> usize {
+        match self.encoding {
+            EncodingStrategy::DualAngle => self.data_dim.div_ceil(2),
+            EncodingStrategy::SingleAngle => self.data_dim,
+        }
+    }
+
+    /// Total qubits of the SWAP-test circuit (ancilla + both registers) —
+    /// the paper's "Qubit Channels".
+    pub fn total_qubits(&self) -> usize {
+        swap_test_layout(self.state_qubits()).total_qubits
+    }
+}
+
+/// A trained (or trainable) QuClassi classifier.
+#[derive(Clone, Debug, PartialEq)]
+pub struct QuClassiModel {
+    config: QuClassiConfig,
+    encoder: DataEncoder,
+    stack: LayerStack,
+    /// One parameter vector per class.
+    class_params: Vec<Vec<f64>>,
+}
+
+impl QuClassiModel {
+    /// Creates a model with all parameters set to zero.
+    pub fn new(config: QuClassiConfig) -> Result<Self, QuClassiError> {
+        config.validate()?;
+        let encoder = DataEncoder::new(config.encoding, config.data_dim)?;
+        let stack = LayerStack::new(config.layers.clone(), config.state_qubits())?;
+        let per_class = stack.parameter_count();
+        let class_params = vec![vec![0.0; per_class]; config.num_classes];
+        Ok(QuClassiModel {
+            config,
+            encoder,
+            stack,
+            class_params,
+        })
+    }
+
+    /// Creates a model with parameters drawn uniformly from `[0, π]`
+    /// (Algorithm 1, line 3).
+    pub fn with_random_parameters<R: Rng + ?Sized>(
+        config: QuClassiConfig,
+        rng: &mut R,
+    ) -> Result<Self, QuClassiError> {
+        let mut model = QuClassiModel::new(config)?;
+        for params in &mut model.class_params {
+            for p in params.iter_mut() {
+                *p = rng.gen::<f64>() * std::f64::consts::PI;
+            }
+        }
+        Ok(model)
+    }
+
+    /// The model configuration.
+    pub fn config(&self) -> &QuClassiConfig {
+        &self.config
+    }
+
+    /// The data encoder.
+    pub fn encoder(&self) -> &DataEncoder {
+        &self.encoder
+    }
+
+    /// The layer stack shared by all class states.
+    pub fn stack(&self) -> &LayerStack {
+        &self.stack
+    }
+
+    /// Number of classes.
+    pub fn num_classes(&self) -> usize {
+        self.config.num_classes
+    }
+
+    /// Trainable parameters per class.
+    pub fn parameters_per_class(&self) -> usize {
+        self.stack.parameter_count()
+    }
+
+    /// Total trainable parameters (all classes).
+    pub fn parameter_count(&self) -> usize {
+        self.parameters_per_class() * self.num_classes()
+    }
+
+    /// The parameter vector of one class.
+    pub fn class_params(&self, class: usize) -> Result<&[f64], QuClassiError> {
+        self.class_params
+            .get(class)
+            .map(|v| v.as_slice())
+            .ok_or(QuClassiError::InvalidLabel {
+                label: class,
+                num_classes: self.num_classes(),
+            })
+    }
+
+    /// Mutable access to one class's parameters (used by the trainer).
+    pub fn class_params_mut(&mut self, class: usize) -> Result<&mut Vec<f64>, QuClassiError> {
+        let num_classes = self.num_classes();
+        self.class_params
+            .get_mut(class)
+            .ok_or(QuClassiError::InvalidLabel {
+                label: class,
+                num_classes,
+            })
+    }
+
+    /// Replaces one class's parameters.
+    pub fn set_class_params(&mut self, class: usize, params: Vec<f64>) -> Result<(), QuClassiError> {
+        if params.len() != self.parameters_per_class() {
+            return Err(QuClassiError::InvalidConfig(format!(
+                "expected {} parameters, got {}",
+                self.parameters_per_class(),
+                params.len()
+            )));
+        }
+        *self.class_params_mut(class)? = params;
+        Ok(())
+    }
+
+    /// The learned quantum state |ω_c⟩ of one class, prepared analytically.
+    pub fn learned_state(&self, class: usize) -> Result<StateVector, QuClassiError> {
+        let params = self.class_params(class)?;
+        Ok(self.stack.build_circuit().execute(params)?)
+    }
+
+    /// Fidelity between a data point and one class state.
+    pub fn class_fidelity<R: Rng + ?Sized>(
+        &self,
+        class: usize,
+        x: &[f64],
+        estimator: &FidelityEstimator,
+        rng: &mut R,
+    ) -> Result<f64, QuClassiError> {
+        let params = self.class_params(class)?;
+        estimator.estimate(&self.stack, params, &self.encoder, x, rng)
+    }
+
+    /// Fidelities between a data point and every class state.
+    pub fn class_fidelities<R: Rng + ?Sized>(
+        &self,
+        x: &[f64],
+        estimator: &FidelityEstimator,
+        rng: &mut R,
+    ) -> Result<Vec<f64>, QuClassiError> {
+        (0..self.num_classes())
+            .map(|c| self.class_fidelity(c, x, estimator, rng))
+            .collect()
+    }
+
+    /// Softmaxed class probabilities for a data point (Section 4.5).
+    pub fn predict_proba<R: Rng + ?Sized>(
+        &self,
+        x: &[f64],
+        estimator: &FidelityEstimator,
+        rng: &mut R,
+    ) -> Result<Vec<f64>, QuClassiError> {
+        Ok(softmax(&self.class_fidelities(x, estimator, rng)?))
+    }
+
+    /// Predicted class label (arg-max of the softmaxed fidelities).
+    pub fn predict<R: Rng + ?Sized>(
+        &self,
+        x: &[f64],
+        estimator: &FidelityEstimator,
+        rng: &mut R,
+    ) -> Result<usize, QuClassiError> {
+        let probs = self.predict_proba(x, estimator, rng)?;
+        Ok(probs
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+            .map(|(i, _)| i)
+            .unwrap_or(0))
+    }
+
+    /// Classification accuracy over a labelled set.
+    pub fn evaluate_accuracy<R: Rng + ?Sized>(
+        &self,
+        features: &[Vec<f64>],
+        labels: &[usize],
+        estimator: &FidelityEstimator,
+        rng: &mut R,
+    ) -> Result<f64, QuClassiError> {
+        if features.len() != labels.len() {
+            return Err(QuClassiError::InvalidData(format!(
+                "{} feature rows but {} labels",
+                features.len(),
+                labels.len()
+            )));
+        }
+        if features.is_empty() {
+            return Err(QuClassiError::InvalidData(
+                "cannot evaluate accuracy on an empty set".to_string(),
+            ));
+        }
+        let mut correct = 0usize;
+        for (x, &y) in features.iter().zip(labels.iter()) {
+            if self.predict(x, estimator, rng)? == y {
+                correct += 1;
+            }
+        }
+        Ok(correct as f64 / features.len() as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn config_validation() {
+        assert!(QuClassiConfig::qc_s(4, 3).validate().is_ok());
+        assert!(QuClassiConfig::qc_s(0, 3).validate().is_err());
+        assert!(QuClassiConfig::qc_s(4, 1).validate().is_err());
+        let mut cfg = QuClassiConfig::qc_s(4, 2);
+        cfg.layers.clear();
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn qubit_counts_match_paper() {
+        // Iris: 4 features, 3 classes → 2 state qubits, 5 total qubits.
+        let cfg = QuClassiConfig::qc_s(4, 3);
+        assert_eq!(cfg.state_qubits(), 2);
+        assert_eq!(cfg.total_qubits(), 5);
+        // MNIST 16-dim → 8 state qubits, 17 total qubits.
+        let cfg = QuClassiConfig::qc_s(16, 2);
+        assert_eq!(cfg.total_qubits(), 17);
+        // Single-angle encoding doubles the register width.
+        let cfg = QuClassiConfig {
+            encoding: EncodingStrategy::SingleAngle,
+            ..QuClassiConfig::qc_s(4, 2)
+        };
+        assert_eq!(cfg.state_qubits(), 4);
+        assert_eq!(cfg.total_qubits(), 9);
+    }
+
+    #[test]
+    fn parameter_counts_match_paper() {
+        // Binary MNIST QC-S: 32 trainable parameters (16 per class).
+        let model = QuClassiModel::new(QuClassiConfig::qc_s(16, 2)).unwrap();
+        assert_eq!(model.parameters_per_class(), 16);
+        assert_eq!(model.parameter_count(), 32);
+        // Iris QC-S, 3 classes: 12 parameters.
+        let model = QuClassiModel::new(QuClassiConfig::qc_s(4, 3)).unwrap();
+        assert_eq!(model.parameter_count(), 12);
+        // 10-class MNIST QC-S: 160 parameters.
+        let model = QuClassiModel::new(QuClassiConfig::qc_s(16, 10)).unwrap();
+        assert_eq!(model.parameter_count(), 160);
+    }
+
+    #[test]
+    fn random_initialisation_within_range() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let model =
+            QuClassiModel::with_random_parameters(QuClassiConfig::qc_s(4, 3), &mut rng).unwrap();
+        for c in 0..3 {
+            for &p in model.class_params(c).unwrap() {
+                assert!((0.0..=std::f64::consts::PI).contains(&p));
+            }
+        }
+        // Different classes get different random draws.
+        assert_ne!(model.class_params(0).unwrap(), model.class_params(1).unwrap());
+    }
+
+    #[test]
+    fn class_params_accessors_validate_labels() {
+        let mut model = QuClassiModel::new(QuClassiConfig::qc_s(4, 2)).unwrap();
+        assert!(model.class_params(5).is_err());
+        assert!(model.class_params_mut(2).is_err());
+        assert!(model.set_class_params(0, vec![0.0; 3]).is_err());
+        assert!(model.set_class_params(0, vec![0.1; 4]).is_ok());
+        assert_eq!(model.class_params(0).unwrap(), &[0.1; 4]);
+    }
+
+    #[test]
+    fn zero_parameters_give_zero_state() {
+        let model = QuClassiModel::new(QuClassiConfig::qc_s(4, 2)).unwrap();
+        let state = model.learned_state(0).unwrap();
+        assert!((state.probabilities()[0] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn predictions_favour_matching_class_state() {
+        // Hand-craft a model whose class-0 state encodes "low" features and
+        // class-1 state encodes "high" features; predictions should follow.
+        let mut model = QuClassiModel::new(QuClassiConfig::qc_s(4, 2)).unwrap();
+        let low = [0.1, 0.1, 0.1, 0.1];
+        let high = [0.9, 0.9, 0.9, 0.9];
+        let to_params = |x: &[f64]| -> Vec<f64> {
+            // QC-S on 2 qubits: RY, RZ per qubit — mirror the dual-angle encoding.
+            vec![
+                crate::encoding::feature_to_angle(x[0]),
+                crate::encoding::feature_to_angle(x[1]),
+                crate::encoding::feature_to_angle(x[2]),
+                crate::encoding::feature_to_angle(x[3]),
+            ]
+        };
+        model.set_class_params(0, to_params(&low)).unwrap();
+        model.set_class_params(1, to_params(&high)).unwrap();
+        let estimator = FidelityEstimator::analytic();
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(model.predict(&[0.15, 0.1, 0.12, 0.08], &estimator, &mut rng).unwrap(), 0);
+        assert_eq!(model.predict(&[0.85, 0.92, 0.88, 0.9], &estimator, &mut rng).unwrap(), 1);
+        let probs = model
+            .predict_proba(&[0.9, 0.9, 0.9, 0.9], &estimator, &mut rng)
+            .unwrap();
+        assert!((probs.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!(probs[1] > probs[0]);
+    }
+
+    #[test]
+    fn accuracy_evaluation_and_validation() {
+        let mut model = QuClassiModel::new(QuClassiConfig::qc_s(2, 2)).unwrap();
+        model
+            .set_class_params(0, vec![crate::encoding::feature_to_angle(0.05), 0.0])
+            .unwrap();
+        model
+            .set_class_params(1, vec![crate::encoding::feature_to_angle(0.95), 0.0])
+            .unwrap();
+        let estimator = FidelityEstimator::analytic();
+        let mut rng = StdRng::seed_from_u64(2);
+        let xs = vec![vec![0.1, 0.1], vec![0.0, 0.2], vec![0.9, 0.8], vec![1.0, 0.95]];
+        let ys = vec![0, 0, 1, 1];
+        let acc = model.evaluate_accuracy(&xs, &ys, &estimator, &mut rng).unwrap();
+        assert!((acc - 1.0).abs() < 1e-12);
+        assert!(model.evaluate_accuracy(&xs, &ys[..2], &estimator, &mut rng).is_err());
+        assert!(model.evaluate_accuracy(&[], &[], &estimator, &mut rng).is_err());
+    }
+
+    #[test]
+    fn fidelities_have_one_entry_per_class() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let model =
+            QuClassiModel::with_random_parameters(QuClassiConfig::qc_sde(4, 3), &mut rng).unwrap();
+        let estimator = FidelityEstimator::analytic();
+        let f = model
+            .class_fidelities(&[0.2, 0.4, 0.6, 0.8], &estimator, &mut rng)
+            .unwrap();
+        assert_eq!(f.len(), 3);
+        for v in f {
+            assert!((0.0..=1.0 + 1e-12).contains(&v));
+        }
+    }
+}

@@ -1,0 +1,243 @@
+//! Classical parameter-update rules.
+//!
+//! The paper trains QuClassi with plain stochastic gradient descent (the
+//! same optimiser it configures for the classical baselines). Momentum and
+//! Adam are provided as well because they are standard ablations and the
+//! classical-baseline crate shares this interface.
+
+/// A first-order optimiser that updates a parameter vector in place.
+pub trait Optimizer {
+    /// Applies one update step: `params ← params − direction(grads)`.
+    fn step(&mut self, params: &mut [f64], grads: &[f64]);
+
+    /// Resets any internal state (velocity, moment estimates).
+    fn reset(&mut self);
+
+    /// The configured learning rate.
+    fn learning_rate(&self) -> f64;
+}
+
+/// Plain stochastic gradient descent: `θ ← θ − α·g`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Sgd {
+    /// Learning rate α.
+    pub learning_rate: f64,
+}
+
+impl Sgd {
+    /// Creates an SGD optimiser with the paper's default rate (α = 0.01).
+    pub fn new(learning_rate: f64) -> Self {
+        Sgd { learning_rate }
+    }
+}
+
+impl Default for Sgd {
+    fn default() -> Self {
+        Sgd::new(0.01)
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, params: &mut [f64], grads: &[f64]) {
+        assert_eq!(params.len(), grads.len(), "parameter/gradient length mismatch");
+        for (p, g) in params.iter_mut().zip(grads.iter()) {
+            *p -= self.learning_rate * g;
+        }
+    }
+
+    fn reset(&mut self) {}
+
+    fn learning_rate(&self) -> f64 {
+        self.learning_rate
+    }
+}
+
+/// SGD with classical momentum.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Momentum {
+    /// Learning rate α.
+    pub learning_rate: f64,
+    /// Momentum coefficient β ∈ [0, 1).
+    pub beta: f64,
+    velocity: Vec<f64>,
+}
+
+impl Momentum {
+    /// Creates a momentum optimiser.
+    pub fn new(learning_rate: f64, beta: f64) -> Self {
+        Momentum {
+            learning_rate,
+            beta,
+            velocity: Vec::new(),
+        }
+    }
+}
+
+impl Optimizer for Momentum {
+    fn step(&mut self, params: &mut [f64], grads: &[f64]) {
+        assert_eq!(params.len(), grads.len(), "parameter/gradient length mismatch");
+        if self.velocity.len() != params.len() {
+            self.velocity = vec![0.0; params.len()];
+        }
+        for ((p, g), v) in params
+            .iter_mut()
+            .zip(grads.iter())
+            .zip(self.velocity.iter_mut())
+        {
+            *v = self.beta * *v + *g;
+            *p -= self.learning_rate * *v;
+        }
+    }
+
+    fn reset(&mut self) {
+        self.velocity.clear();
+    }
+
+    fn learning_rate(&self) -> f64 {
+        self.learning_rate
+    }
+}
+
+/// The Adam optimiser (Kingma & Ba, 2015).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Adam {
+    /// Learning rate α.
+    pub learning_rate: f64,
+    /// First-moment decay β₁.
+    pub beta1: f64,
+    /// Second-moment decay β₂.
+    pub beta2: f64,
+    /// Numerical stabiliser ε.
+    pub epsilon: f64,
+    m: Vec<f64>,
+    v: Vec<f64>,
+    t: usize,
+}
+
+impl Adam {
+    /// Creates an Adam optimiser with the usual default moments.
+    pub fn new(learning_rate: f64) -> Self {
+        Adam {
+            learning_rate,
+            beta1: 0.9,
+            beta2: 0.999,
+            epsilon: 1e-8,
+            m: Vec::new(),
+            v: Vec::new(),
+            t: 0,
+        }
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, params: &mut [f64], grads: &[f64]) {
+        assert_eq!(params.len(), grads.len(), "parameter/gradient length mismatch");
+        if self.m.len() != params.len() {
+            self.m = vec![0.0; params.len()];
+            self.v = vec![0.0; params.len()];
+            self.t = 0;
+        }
+        self.t += 1;
+        let t = self.t as f64;
+        for i in 0..params.len() {
+            self.m[i] = self.beta1 * self.m[i] + (1.0 - self.beta1) * grads[i];
+            self.v[i] = self.beta2 * self.v[i] + (1.0 - self.beta2) * grads[i] * grads[i];
+            let m_hat = self.m[i] / (1.0 - self.beta1.powf(t));
+            let v_hat = self.v[i] / (1.0 - self.beta2.powf(t));
+            params[i] -= self.learning_rate * m_hat / (v_hat.sqrt() + self.epsilon);
+        }
+    }
+
+    fn reset(&mut self) {
+        self.m.clear();
+        self.v.clear();
+        self.t = 0;
+    }
+
+    fn learning_rate(&self) -> f64 {
+        self.learning_rate
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Minimise f(x) = (x - 3)² with gradient 2(x - 3).
+    fn minimise<O: Optimizer>(mut opt: O, steps: usize) -> f64 {
+        let mut params = vec![-5.0];
+        for _ in 0..steps {
+            let grads = vec![2.0 * (params[0] - 3.0)];
+            opt.step(&mut params, &grads);
+        }
+        params[0]
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        let x = minimise(Sgd::new(0.1), 200);
+        assert!((x - 3.0).abs() < 1e-3, "converged to {x}");
+    }
+
+    #[test]
+    fn momentum_converges_on_quadratic() {
+        let x = minimise(Momentum::new(0.05, 0.9), 300);
+        assert!((x - 3.0).abs() < 1e-2, "converged to {x}");
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let x = minimise(Adam::new(0.2), 400);
+        assert!((x - 3.0).abs() < 1e-2, "converged to {x}");
+    }
+
+    #[test]
+    fn sgd_single_step_matches_formula() {
+        let mut opt = Sgd::new(0.5);
+        let mut params = vec![1.0, 2.0];
+        opt.step(&mut params, &[0.2, -0.4]);
+        assert!((params[0] - 0.9).abs() < 1e-12);
+        assert!((params[1] - 2.2).abs() < 1e-12);
+        assert_eq!(opt.learning_rate(), 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        let mut opt = Sgd::default();
+        let mut params = vec![1.0];
+        opt.step(&mut params, &[0.1, 0.2]);
+    }
+
+    #[test]
+    fn momentum_accumulates_velocity() {
+        let mut opt = Momentum::new(0.1, 0.9);
+        let mut params = vec![0.0];
+        opt.step(&mut params, &[1.0]);
+        let after_one = params[0];
+        opt.step(&mut params, &[1.0]);
+        let second_delta = params[0] - after_one;
+        // Second step is larger in magnitude because velocity accumulates.
+        assert!(second_delta.abs() > after_one.abs());
+        opt.reset();
+        let mut params2 = vec![0.0];
+        opt.step(&mut params2, &[1.0]);
+        assert!((params2[0] - after_one).abs() < 1e-12);
+    }
+
+    #[test]
+    fn adam_reset_clears_state() {
+        let mut opt = Adam::new(0.1);
+        let mut params = vec![1.0];
+        opt.step(&mut params, &[0.5]);
+        opt.reset();
+        let mut params2 = vec![1.0];
+        opt.step(&mut params2, &[0.5]);
+        assert!((params[0] - params2[0]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn default_sgd_uses_paper_learning_rate() {
+        assert_eq!(Sgd::default().learning_rate, 0.01);
+    }
+}

@@ -1,0 +1,360 @@
+//! The SWAP test and fidelity estimation (paper Sections 3.3 and 4.4).
+//!
+//! QuClassi scores a data point against a class by the fidelity
+//! `F = |⟨φ_x|ω_c⟩|²` between the encoded data state and the class's learned
+//! state. Two estimation paths are provided:
+//!
+//! * **SWAP test** (paper-faithful): build the full `2·m + 1`-qubit circuit
+//!   of Fig. 7 — ancilla + learned register + data register — apply a
+//!   Hadamard, per-pair CSWAPs, another Hadamard, and measure the ancilla.
+//!   `P(ancilla = 0) = ½ + ½·F`, so `F = 2·P(0) − 1`. This path goes through
+//!   the [`Executor`], so it supports shots and device noise.
+//! * **Analytic**: prepare the two `m`-qubit registers separately and take
+//!   the exact inner product. Mathematically identical in the noiseless,
+//!   infinite-shot limit, and much cheaper — this is what training uses by
+//!   default.
+
+use crate::encoding::DataEncoder;
+use crate::error::QuClassiError;
+use crate::layers::LayerStack;
+use quclassi_sim::circuit::Circuit;
+use quclassi_sim::executor::Executor;
+use rand::Rng;
+
+/// Qubit layout of the SWAP-test circuit (matches the paper's Fig. 7).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SwapTestLayout {
+    /// The ancilla / control qubit that is measured.
+    pub ancilla: usize,
+    /// First qubit of the learned-state register.
+    pub learned_offset: usize,
+    /// First qubit of the data register.
+    pub data_offset: usize,
+    /// Width of each register (learned and data are the same width).
+    pub register_width: usize,
+    /// Total number of qubits in the circuit.
+    pub total_qubits: usize,
+}
+
+/// Computes the layout for a given register width: ancilla on qubit 0,
+/// learned state on qubits `1..=m`, data on qubits `m+1..=2m`.
+pub fn swap_test_layout(register_width: usize) -> SwapTestLayout {
+    SwapTestLayout {
+        ancilla: 0,
+        learned_offset: 1,
+        data_offset: 1 + register_width,
+        register_width,
+        total_qubits: 2 * register_width + 1,
+    }
+}
+
+/// Converts the ancilla's probability of measuring |0⟩ into a fidelity,
+/// clamped to the physical range [0, 1].
+pub fn fidelity_from_p0(p0: f64) -> f64 {
+    (2.0 * p0 - 1.0).clamp(0.0, 1.0)
+}
+
+/// Builds the full SWAP-test circuit for one data point.
+///
+/// The learned-state register is parametric (its angles are the trainable
+/// parameters, indices `0..stack.parameter_count()`); the data register is
+/// fixed to the encoding of `x`.
+pub fn build_swap_test_circuit(
+    stack: &LayerStack,
+    encoder: &DataEncoder,
+    x: &[f64],
+) -> Result<(Circuit, SwapTestLayout), QuClassiError> {
+    if stack.num_qubits() != encoder.num_qubits() {
+        return Err(QuClassiError::InvalidConfig(format!(
+            "learned-state register has {} qubits but the encoder needs {}",
+            stack.num_qubits(),
+            encoder.num_qubits()
+        )));
+    }
+    let layout = swap_test_layout(stack.num_qubits());
+    let mut circuit = Circuit::new(layout.total_qubits);
+    // Ancilla into superposition.
+    circuit.h(layout.ancilla);
+    // Learned state (parametric).
+    stack.append_to(&mut circuit, layout.learned_offset, 0);
+    // Data state (fixed).
+    for gate in encoder.encoding_gates(x, layout.data_offset)? {
+        circuit.push(gate);
+    }
+    // Pairwise controlled SWAPs.
+    for i in 0..layout.register_width {
+        circuit.cswap(
+            layout.ancilla,
+            layout.learned_offset + i,
+            layout.data_offset + i,
+        );
+    }
+    // Interfere and (conceptually) measure the ancilla.
+    circuit.h(layout.ancilla);
+    Ok((circuit, layout))
+}
+
+/// How fidelities are computed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FidelityMethod {
+    /// Exact inner product between separately prepared registers.
+    Analytic,
+    /// Full SWAP-test circuit through an [`Executor`] (supports noise/shots).
+    SwapTest,
+}
+
+/// A configured fidelity estimator shared by training and inference.
+#[derive(Clone, Debug)]
+pub struct FidelityEstimator {
+    method: FidelityMethod,
+    executor: Executor,
+}
+
+impl Default for FidelityEstimator {
+    fn default() -> Self {
+        FidelityEstimator::analytic()
+    }
+}
+
+impl FidelityEstimator {
+    /// Exact analytic estimator (no noise, no shots).
+    pub fn analytic() -> Self {
+        FidelityEstimator {
+            method: FidelityMethod::Analytic,
+            executor: Executor::ideal(),
+        }
+    }
+
+    /// SWAP-test estimator through the given executor (which may be noisy
+    /// and/or shot-limited).
+    pub fn swap_test(executor: Executor) -> Self {
+        FidelityEstimator {
+            method: FidelityMethod::SwapTest,
+            executor,
+        }
+    }
+
+    /// The estimation method.
+    pub fn method(&self) -> FidelityMethod {
+        self.method
+    }
+
+    /// The executor used for SWAP-test estimation.
+    pub fn executor(&self) -> &Executor {
+        &self.executor
+    }
+
+    /// Estimates `|⟨φ_x|ω(params)⟩|²`.
+    pub fn estimate<R: Rng + ?Sized>(
+        &self,
+        stack: &LayerStack,
+        params: &[f64],
+        encoder: &DataEncoder,
+        x: &[f64],
+        rng: &mut R,
+    ) -> Result<f64, QuClassiError> {
+        if params.len() != stack.parameter_count() {
+            return Err(QuClassiError::InvalidConfig(format!(
+                "expected {} parameters, got {}",
+                stack.parameter_count(),
+                params.len()
+            )));
+        }
+        match self.method {
+            FidelityMethod::Analytic => {
+                let learned = stack.build_circuit().execute(params)?;
+                let data = encoder.encode_state(x)?;
+                if learned.num_qubits() != data.num_qubits() {
+                    return Err(QuClassiError::InvalidConfig(format!(
+                        "learned-state register has {} qubits but the encoder needs {}",
+                        learned.num_qubits(),
+                        data.num_qubits()
+                    )));
+                }
+                Ok(learned.fidelity(&data)?)
+            }
+            FidelityMethod::SwapTest => {
+                let (circuit, layout) = build_swap_test_circuit(stack, encoder, x)?;
+                let p1 = self
+                    .executor
+                    .probability_of_one(&circuit, params, layout.ancilla, rng)?;
+                Ok(fidelity_from_p0(1.0 - p1))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encoding::EncodingStrategy;
+    use quclassi_sim::noise::NoiseModel;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup(dim: usize) -> (LayerStack, DataEncoder) {
+        let encoder = DataEncoder::new(EncodingStrategy::DualAngle, dim).unwrap();
+        let stack = LayerStack::qc_s(encoder.num_qubits()).unwrap();
+        (stack, encoder)
+    }
+
+    #[test]
+    fn layout_matches_paper_figure_7() {
+        // Iris: 4 features → 2-qubit registers → 5-qubit circuit.
+        let layout = swap_test_layout(2);
+        assert_eq!(layout.total_qubits, 5);
+        assert_eq!(layout.ancilla, 0);
+        assert_eq!(layout.learned_offset, 1);
+        assert_eq!(layout.data_offset, 3);
+    }
+
+    #[test]
+    fn mnist_layout_uses_17_qubits() {
+        // 16 PCA features → 8-qubit registers → 17 qubits (Section 5.3.1).
+        assert_eq!(swap_test_layout(8).total_qubits, 17);
+    }
+
+    #[test]
+    fn fidelity_from_p0_clamps() {
+        assert!((fidelity_from_p0(1.0) - 1.0).abs() < 1e-12);
+        assert!((fidelity_from_p0(0.5)).abs() < 1e-12);
+        assert_eq!(fidelity_from_p0(0.4), 0.0);
+        assert_eq!(fidelity_from_p0(1.2), 1.0);
+    }
+
+    #[test]
+    fn swap_test_matches_analytic_fidelity_exactly() {
+        let (stack, encoder) = setup(4);
+        let mut rng = StdRng::seed_from_u64(1);
+        let x = vec![0.3, 0.8, 0.2, 0.6];
+        let params: Vec<f64> = (0..stack.parameter_count())
+            .map(|i| 0.4 + 0.3 * i as f64)
+            .collect();
+        let analytic = FidelityEstimator::analytic()
+            .estimate(&stack, &params, &encoder, &x, &mut rng)
+            .unwrap();
+        let swap = FidelityEstimator::swap_test(Executor::ideal())
+            .estimate(&stack, &params, &encoder, &x, &mut rng)
+            .unwrap();
+        assert!(
+            (analytic - swap).abs() < 1e-9,
+            "analytic {analytic} vs swap {swap}"
+        );
+    }
+
+    #[test]
+    fn identical_states_give_unit_fidelity_through_swap_test() {
+        // If the learned state is exactly the encoding of x, fidelity = 1.
+        let encoder = DataEncoder::new(EncodingStrategy::SingleAngle, 2).unwrap();
+        let stack = LayerStack::qc_s(2).unwrap();
+        let x = vec![0.37, 0.81];
+        // QC-S applies RY(θ0) RZ(θ1) per qubit; choose θ's to reproduce the
+        // encoding (RZ angle of 0 ≠ encoding's RZ, but SingleAngle encoding has
+        // no RZ, so set RZ params to 0).
+        let params = vec![
+            crate::encoding::feature_to_angle(x[0]),
+            0.0,
+            crate::encoding::feature_to_angle(x[1]),
+            0.0,
+        ];
+        let mut rng = StdRng::seed_from_u64(2);
+        for est in [
+            FidelityEstimator::analytic(),
+            FidelityEstimator::swap_test(Executor::ideal()),
+        ] {
+            let f = est.estimate(&stack, &params, &encoder, &x, &mut rng).unwrap();
+            assert!((f - 1.0).abs() < 1e-9, "fidelity {f}");
+        }
+    }
+
+    #[test]
+    fn orthogonal_states_give_zero_fidelity() {
+        let encoder = DataEncoder::new(EncodingStrategy::SingleAngle, 1).unwrap();
+        let stack = LayerStack::qc_s(1).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        // Data encodes |1⟩ (x = 1); learned state stays |0⟩ (all params 0).
+        let f = FidelityEstimator::analytic()
+            .estimate(&stack, &[0.0, 0.0], &encoder, &[1.0], &mut rng)
+            .unwrap();
+        assert!(f < 1e-12);
+        let f = FidelityEstimator::swap_test(Executor::ideal())
+            .estimate(&stack, &[0.0, 0.0], &encoder, &[1.0], &mut rng)
+            .unwrap();
+        assert!(f < 1e-9);
+    }
+
+    #[test]
+    fn shot_limited_swap_test_is_close_to_exact() {
+        let (stack, encoder) = setup(4);
+        let mut rng = StdRng::seed_from_u64(4);
+        let x = vec![0.5, 0.1, 0.9, 0.4];
+        let params: Vec<f64> = vec![0.3, 1.0, 2.0, 0.2];
+        let exact = FidelityEstimator::analytic()
+            .estimate(&stack, &params, &encoder, &x, &mut rng)
+            .unwrap();
+        // 8000 shots, the count used on IBM-Q in Section 5.4.
+        let sampled = FidelityEstimator::swap_test(Executor::ideal().with_shots(Some(8000)))
+            .estimate(&stack, &params, &encoder, &x, &mut rng)
+            .unwrap();
+        assert!((exact - sampled).abs() < 0.05, "{exact} vs {sampled}");
+    }
+
+    #[test]
+    fn noisy_swap_test_underestimates_fidelity() {
+        // Noise degrades the interference, pulling the measured fidelity
+        // towards the orthogonal-state value.
+        let (stack, encoder) = setup(4);
+        let mut rng = StdRng::seed_from_u64(5);
+        let x = vec![0.2, 0.3, 0.4, 0.5];
+        // Train-free check: use the exact encoding as the learned state so
+        // the ideal fidelity is high.
+        let params = vec![
+            crate::encoding::feature_to_angle(0.2),
+            crate::encoding::feature_to_angle(0.3),
+            crate::encoding::feature_to_angle(0.4),
+            crate::encoding::feature_to_angle(0.5),
+        ];
+        let ideal = FidelityEstimator::swap_test(Executor::ideal())
+            .estimate(&stack, &params, &encoder, &x, &mut rng)
+            .unwrap();
+        let noisy_exec =
+            Executor::noisy(NoiseModel::depolarizing(0.002, 0.02, 0.02).unwrap())
+                .with_trajectories(40);
+        let noisy = FidelityEstimator::swap_test(noisy_exec)
+            .estimate(&stack, &params, &encoder, &x, &mut rng)
+            .unwrap();
+        assert!(ideal > 0.9);
+        assert!(noisy < ideal);
+    }
+
+    #[test]
+    fn mismatched_widths_and_param_counts_error() {
+        let encoder = DataEncoder::new(EncodingStrategy::DualAngle, 4).unwrap();
+        let wrong_stack = LayerStack::qc_s(3).unwrap();
+        assert!(build_swap_test_circuit(&wrong_stack, &encoder, &[0.1, 0.2, 0.3, 0.4]).is_err());
+        let stack = LayerStack::qc_s(2).unwrap();
+        let mut rng = StdRng::seed_from_u64(6);
+        let err = FidelityEstimator::analytic().estimate(
+            &stack,
+            &[0.0],
+            &encoder,
+            &[0.1, 0.2, 0.3, 0.4],
+            &mut rng,
+        );
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn swap_test_circuit_structure() {
+        let (stack, encoder) = setup(4);
+        let (circuit, layout) = build_swap_test_circuit(&stack, &encoder, &[0.1, 0.2, 0.3, 0.4]).unwrap();
+        assert_eq!(circuit.num_qubits(), 5);
+        // 2 Hadamards + 4 learned-state rotations + 4 encoding rotations + 2 CSWAPs.
+        assert_eq!(circuit.gate_count(), 12);
+        assert_eq!(circuit.num_parameters(), stack.parameter_count());
+        assert_eq!(layout.register_width, 2);
+        let text = circuit.to_text();
+        assert!(text.contains("cswap"));
+        assert!(text.starts_with("h q[0];"));
+    }
+}

@@ -1,0 +1,101 @@
+//! Property-based tests of the QuClassi model-level invariants.
+
+use proptest::prelude::*;
+use quclassi::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn feature_vec(dim: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(0.0f64..=1.0, dim)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Class probabilities always form a distribution and the prediction is
+    /// their arg-max, for every architecture.
+    #[test]
+    fn predictions_are_argmax_of_probabilities(x in feature_vec(4), seed in 0u64..1000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        for config in [
+            QuClassiConfig::qc_s(4, 3),
+            QuClassiConfig::qc_sd(4, 3),
+            QuClassiConfig::qc_sde(4, 3),
+        ] {
+            let model = QuClassiModel::with_random_parameters(config, &mut rng).unwrap();
+            let estimator = FidelityEstimator::analytic();
+            let probs = model.predict_proba(&x, &estimator, &mut rng).unwrap();
+            prop_assert_eq!(probs.len(), 3);
+            let sum: f64 = probs.iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-9);
+            let argmax = probs
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                .unwrap()
+                .0;
+            let pred = model.predict(&x, &estimator, &mut rng).unwrap();
+            prop_assert_eq!(pred, argmax);
+        }
+    }
+
+    /// Fidelities are invariant to which estimator backend computes them
+    /// (analytic vs ideal SWAP test), for every architecture.
+    #[test]
+    fn estimators_agree_for_all_architectures(x in feature_vec(6), seed in 0u64..1000) {
+        use quclassi_sim::executor::Executor;
+        let mut rng = StdRng::seed_from_u64(seed);
+        for config in [QuClassiConfig::qc_s(6, 2), QuClassiConfig::qc_sde(6, 2)] {
+            let model = QuClassiModel::with_random_parameters(config, &mut rng).unwrap();
+            let a = model
+                .class_fidelity(0, &x, &FidelityEstimator::analytic(), &mut rng)
+                .unwrap();
+            let b = model
+                .class_fidelity(0, &x, &FidelityEstimator::swap_test(Executor::ideal()), &mut rng)
+                .unwrap();
+            prop_assert!((a - b).abs() < 1e-8, "analytic {} vs swap {}", a, b);
+        }
+    }
+
+    /// Serialisation round-trips preserve every parameter bit-exactly.
+    #[test]
+    fn serialisation_round_trip(seed in 0u64..10_000) {
+        use quclassi::io::{model_from_string, model_to_string};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let model =
+            QuClassiModel::with_random_parameters(QuClassiConfig::qc_sd(5, 3), &mut rng).unwrap();
+        let restored = model_from_string(&model_to_string(&model)).unwrap();
+        for c in 0..3 {
+            let a = model.class_params(c).unwrap();
+            let b = restored.class_params(c).unwrap();
+            for (x, y) in a.iter().zip(b.iter()) {
+                prop_assert!((x - y).abs() < 1e-15);
+            }
+        }
+    }
+
+    /// One SGD step on a sample with target 1 never moves the fidelity of
+    /// that sample *down* by a large amount (sanity of the gradient sign).
+    #[test]
+    fn training_step_moves_fidelity_up(x in feature_vec(4), seed in 0u64..500) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut model =
+            QuClassiModel::with_random_parameters(QuClassiConfig::qc_s(4, 2), &mut rng).unwrap();
+        let estimator = FidelityEstimator::analytic();
+        let before = model.class_fidelity(0, &x, &estimator, &mut rng).unwrap();
+        let trainer = Trainer::new(
+            TrainingConfig {
+                epochs: 1,
+                learning_rate: 0.05,
+                shuffle: false,
+                ..Default::default()
+            },
+            FidelityEstimator::analytic(),
+        );
+        trainer
+            .fit(&mut model, &[x.clone()], &[0], &mut rng)
+            .unwrap();
+        let after = model.class_fidelity(0, &x, &estimator, &mut rng).unwrap();
+        prop_assert!(after >= before - 1e-6, "fidelity decreased: {} -> {}", before, after);
+    }
+}

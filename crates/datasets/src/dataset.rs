@@ -1,0 +1,248 @@
+//! A small in-memory labelled dataset and the operations the experiments
+//! need: class filtering/relabelling, stratified splitting and subsampling.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// A labelled dataset with dense feature rows.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Dataset {
+    /// Feature rows, all of the same length.
+    pub features: Vec<Vec<f64>>,
+    /// Labels aligned with `features`, in `0..num_classes`.
+    pub labels: Vec<usize>,
+    /// Number of classes.
+    pub num_classes: usize,
+    /// Optional human-readable class names (length `num_classes` when set).
+    pub class_names: Vec<String>,
+}
+
+impl Dataset {
+    /// Creates a dataset, validating shapes and label ranges.
+    ///
+    /// # Panics
+    /// Panics on ragged features, mismatched lengths or out-of-range labels.
+    pub fn new(features: Vec<Vec<f64>>, labels: Vec<usize>, num_classes: usize) -> Self {
+        assert_eq!(features.len(), labels.len(), "features/labels length mismatch");
+        assert!(!features.is_empty(), "a dataset needs at least one sample");
+        let dim = features[0].len();
+        for row in &features {
+            assert_eq!(row.len(), dim, "ragged feature rows");
+        }
+        for &y in &labels {
+            assert!(y < num_classes, "label {y} out of range for {num_classes} classes");
+        }
+        Dataset {
+            features,
+            labels,
+            num_classes,
+            class_names: Vec::new(),
+        }
+    }
+
+    /// Attaches class names.
+    pub fn with_class_names(mut self, names: Vec<String>) -> Self {
+        assert_eq!(names.len(), self.num_classes, "one name per class required");
+        self.class_names = names;
+        self
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.features.len()
+    }
+
+    /// Whether the dataset is empty (never true for constructed datasets).
+    pub fn is_empty(&self) -> bool {
+        self.features.is_empty()
+    }
+
+    /// Feature dimensionality.
+    pub fn dim(&self) -> usize {
+        self.features[0].len()
+    }
+
+    /// Number of samples in each class.
+    pub fn class_counts(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.num_classes];
+        for &y in &self.labels {
+            counts[y] += 1;
+        }
+        counts
+    }
+
+    /// Keeps only the listed classes (in the given order) and relabels them
+    /// `0..classes.len()`. Used for the paper's digit-pair and digit-subset
+    /// tasks, e.g. `filter_classes(&[3, 6])` builds the (3, 6) binary task.
+    pub fn filter_classes(&self, classes: &[usize]) -> Dataset {
+        assert!(!classes.is_empty(), "must keep at least one class");
+        let mut features = Vec::new();
+        let mut labels = Vec::new();
+        for (x, &y) in self.features.iter().zip(self.labels.iter()) {
+            if let Some(new_label) = classes.iter().position(|&c| c == y) {
+                features.push(x.clone());
+                labels.push(new_label);
+            }
+        }
+        let class_names = if self.class_names.is_empty() {
+            classes.iter().map(|c| c.to_string()).collect()
+        } else {
+            classes
+                .iter()
+                .map(|&c| self.class_names.get(c).cloned().unwrap_or_else(|| c.to_string()))
+                .collect()
+        };
+        Dataset::new(features, labels, classes.len()).with_class_names(class_names)
+    }
+
+    /// Randomly keeps at most `per_class` samples of every class.
+    pub fn subsample_per_class<R: Rng + ?Sized>(&self, per_class: usize, rng: &mut R) -> Dataset {
+        let mut by_class: Vec<Vec<usize>> = vec![Vec::new(); self.num_classes];
+        for (i, &y) in self.labels.iter().enumerate() {
+            by_class[y].push(i);
+        }
+        let mut keep = Vec::new();
+        for indices in &mut by_class {
+            indices.shuffle(rng);
+            keep.extend(indices.iter().take(per_class).copied());
+        }
+        keep.sort_unstable();
+        let features = keep.iter().map(|&i| self.features[i].clone()).collect();
+        let labels = keep.iter().map(|&i| self.labels[i]).collect();
+        let mut out = Dataset::new(features, labels, self.num_classes);
+        out.class_names = self.class_names.clone();
+        out
+    }
+
+    /// Stratified train/test split: `train_fraction` of each class goes to
+    /// the training set (at least one sample per class in each side when the
+    /// class has ≥ 2 samples).
+    pub fn stratified_split<R: Rng + ?Sized>(
+        &self,
+        train_fraction: f64,
+        rng: &mut R,
+    ) -> (Dataset, Dataset) {
+        assert!(
+            (0.0..1.0).contains(&train_fraction) && train_fraction > 0.0,
+            "train fraction must be in (0, 1)"
+        );
+        let mut train_idx = Vec::new();
+        let mut test_idx = Vec::new();
+        let mut by_class: Vec<Vec<usize>> = vec![Vec::new(); self.num_classes];
+        for (i, &y) in self.labels.iter().enumerate() {
+            by_class[y].push(i);
+        }
+        for indices in &mut by_class {
+            if indices.is_empty() {
+                continue;
+            }
+            indices.shuffle(rng);
+            let mut n_train = (indices.len() as f64 * train_fraction).round() as usize;
+            n_train = n_train.clamp(1, indices.len().saturating_sub(1).max(1));
+            train_idx.extend(indices.iter().take(n_train).copied());
+            test_idx.extend(indices.iter().skip(n_train).copied());
+        }
+        let build = |idx: &[usize]| -> Dataset {
+            let features = idx.iter().map(|&i| self.features[i].clone()).collect();
+            let labels = idx.iter().map(|&i| self.labels[i]).collect();
+            let mut d = Dataset::new(features, labels, self.num_classes);
+            d.class_names = self.class_names.clone();
+            d
+        };
+        (build(&train_idx), build(&test_idx))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn toy() -> Dataset {
+        let mut features = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..30 {
+            features.push(vec![i as f64, (i % 3) as f64]);
+            labels.push(i % 3);
+        }
+        Dataset::new(features, labels, 3)
+    }
+
+    #[test]
+    fn construction_and_counts() {
+        let d = toy();
+        assert_eq!(d.len(), 30);
+        assert_eq!(d.dim(), 2);
+        assert_eq!(d.class_counts(), vec![10, 10, 10]);
+        assert!(!d.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        let _ = Dataset::new(vec![vec![1.0]], vec![0, 1], 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_label_panics() {
+        let _ = Dataset::new(vec![vec![1.0]], vec![5], 2);
+    }
+
+    #[test]
+    fn filter_classes_relabels() {
+        let d = toy();
+        let pair = d.filter_classes(&[2, 0]);
+        assert_eq!(pair.num_classes, 2);
+        assert_eq!(pair.len(), 20);
+        // Old class 2 is new class 0; old class 0 is new class 1.
+        for (x, &y) in pair.features.iter().zip(pair.labels.iter()) {
+            let old = x[1] as usize;
+            let expected = if old == 2 { 0 } else { 1 };
+            assert_eq!(y, expected);
+        }
+        assert_eq!(pair.class_names, vec!["2".to_string(), "0".to_string()]);
+    }
+
+    #[test]
+    fn subsample_caps_each_class() {
+        let d = toy();
+        let mut rng = StdRng::seed_from_u64(0);
+        let s = d.subsample_per_class(3, &mut rng);
+        assert_eq!(s.class_counts(), vec![3, 3, 3]);
+        // Requesting more than available keeps everything.
+        let s = d.subsample_per_class(100, &mut rng);
+        assert_eq!(s.len(), 30);
+    }
+
+    #[test]
+    fn stratified_split_preserves_class_balance() {
+        let d = toy();
+        let mut rng = StdRng::seed_from_u64(1);
+        let (train, test) = d.stratified_split(0.7, &mut rng);
+        assert_eq!(train.len() + test.len(), d.len());
+        assert_eq!(train.class_counts(), vec![7, 7, 7]);
+        assert_eq!(test.class_counts(), vec![3, 3, 3]);
+        // No overlap: every feature row appears exactly once across the split.
+        let mut all: Vec<f64> = train.features.iter().chain(test.features.iter()).map(|r| r[0]).collect();
+        all.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let expected: Vec<f64> = (0..30).map(|i| i as f64).collect();
+        assert_eq!(all, expected);
+    }
+
+    #[test]
+    #[should_panic(expected = "train fraction")]
+    fn bad_split_fraction_panics() {
+        let d = toy();
+        let mut rng = StdRng::seed_from_u64(2);
+        let _ = d.stratified_split(1.5, &mut rng);
+    }
+
+    #[test]
+    fn class_names_follow_filtering() {
+        let d = toy().with_class_names(vec!["a".into(), "b".into(), "c".into()]);
+        let f = d.filter_classes(&[1]);
+        assert_eq!(f.class_names, vec!["b".to_string()]);
+    }
+}

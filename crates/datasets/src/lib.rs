@@ -1,0 +1,26 @@
+//! # quclassi-datasets
+//!
+//! Datasets and preprocessing for the QuClassi reproduction:
+//!
+//! * [`iris`] — the three-class Iris problem, regenerated from the published
+//!   per-class statistics (see DESIGN.md §5 for the substitution rationale);
+//! * [`mnist`] — a procedural synthetic MNIST-like digit generator
+//!   (28×28 images, 10 classes, the paper's confusion structure);
+//! * [`dataset`] — the in-memory [`dataset::Dataset`] container with class
+//!   filtering, stratified splitting and per-class subsampling;
+//! * [`preprocess`] — min–max normalisation into the `[0, 1]` range the
+//!   quantum encoder requires.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod dataset;
+pub mod iris;
+pub mod mnist;
+pub mod preprocess;
+
+/// Re-exports of the most commonly used types.
+pub mod prelude {
+    pub use crate::dataset::Dataset;
+    pub use crate::preprocess::{normalize_dataset, normalize_split, MinMaxScaler};
+}

@@ -1,0 +1,282 @@
+//! A synthetic MNIST-like handwritten-digit generator (paper Section 5.3).
+//!
+//! **Substitution note (see DESIGN.md §5):** the original MNIST image files
+//! are not bundled. The paper's MNIST experiments only consume PCA-reduced,
+//! min–max-normalised feature vectors, so what matters is a 10-class image
+//! distribution with (a) 28×28 = 784 raw dimensions, (b) classes that are
+//! mostly separable after PCA, and (c) the familiar confusion structure
+//! (3 ↔ 8 ↔ 9 hard, 4 ↔ 9 hard, 1 and 0 easy). This module procedurally
+//! renders each digit from a 7×7 stroke template upscaled to 28×28, then
+//! perturbs every sample with a random translation, per-sample intensity
+//! scaling, optional thickening, smoothing and pixel noise.
+
+use crate::dataset::Dataset;
+use rand::Rng;
+use rand::SeedableRng;
+
+/// Image side length (28 pixels, like MNIST).
+pub const IMAGE_SIDE: usize = 28;
+/// Number of pixels per image (784, like MNIST).
+pub const IMAGE_PIXELS: usize = IMAGE_SIDE * IMAGE_SIDE;
+/// Number of digit classes.
+pub const NUM_CLASSES: usize = 10;
+
+/// 7×7 stroke templates for the ten digits ('X' = ink).
+const TEMPLATES: [[&str; 7]; 10] = [
+    // 0
+    [".XXXXX.", "X.....X", "X.....X", "X.....X", "X.....X", "X.....X", ".XXXXX."],
+    // 1
+    ["...X...", "..XX...", "...X...", "...X...", "...X...", "...X...", "..XXX.."],
+    // 2
+    [".XXXXX.", "X.....X", "......X", ".....X.", "...XX..", ".XX....", "XXXXXXX"],
+    // 3
+    [".XXXXX.", "......X", "......X", "..XXXX.", "......X", "......X", ".XXXXX."],
+    // 4
+    ["X....X.", "X....X.", "X....X.", "XXXXXXX", ".....X.", ".....X.", ".....X."],
+    // 5
+    ["XXXXXXX", "X......", "X......", "XXXXXX.", "......X", "......X", "XXXXXX."],
+    // 6
+    [".XXXXX.", "X......", "X......", "XXXXXX.", "X.....X", "X.....X", ".XXXXX."],
+    // 7
+    ["XXXXXXX", "......X", ".....X.", "....X..", "...X...", "..X....", "..X...."],
+    // 8
+    [".XXXXX.", "X.....X", "X.....X", ".XXXXX.", "X.....X", "X.....X", ".XXXXX."],
+    // 9
+    [".XXXXX.", "X.....X", "X.....X", ".XXXXXX", "......X", "......X", ".XXXXX."],
+];
+
+/// Renders the clean (noise-free, centred) 28×28 prototype of a digit with
+/// pixel intensities in [0, 1].
+pub fn prototype(digit: usize) -> Vec<f64> {
+    assert!(digit < NUM_CLASSES, "digit {digit} out of range");
+    let template = &TEMPLATES[digit];
+    let mut image = vec![0.0; IMAGE_PIXELS];
+    let scale = IMAGE_SIDE / 7; // 4 pixels per template cell
+    for (r, row) in template.iter().enumerate() {
+        for (c, ch) in row.chars().enumerate() {
+            if ch == 'X' {
+                for dr in 0..scale {
+                    for dc in 0..scale {
+                        let rr = r * scale + dr;
+                        let cc = c * scale + dc;
+                        image[rr * IMAGE_SIDE + cc] = 1.0;
+                    }
+                }
+            }
+        }
+    }
+    image
+}
+
+/// One 3×3 box-blur pass (keeps values in [0, 1], softens the block edges so
+/// that PCA components are smooth like on real handwriting).
+fn smooth(image: &[f64]) -> Vec<f64> {
+    let mut out = vec![0.0; IMAGE_PIXELS];
+    for r in 0..IMAGE_SIDE {
+        for c in 0..IMAGE_SIDE {
+            let mut acc = 0.0;
+            let mut count = 0.0;
+            for dr in -1i32..=1 {
+                for dc in -1i32..=1 {
+                    let rr = r as i32 + dr;
+                    let cc = c as i32 + dc;
+                    if (0..IMAGE_SIDE as i32).contains(&rr) && (0..IMAGE_SIDE as i32).contains(&cc) {
+                        acc += image[rr as usize * IMAGE_SIDE + cc as usize];
+                        count += 1.0;
+                    }
+                }
+            }
+            out[r * IMAGE_SIDE + c] = acc / count;
+        }
+    }
+    out
+}
+
+/// Translates an image by (dr, dc) pixels, filling with zeros.
+fn translate(image: &[f64], dr: i32, dc: i32) -> Vec<f64> {
+    let mut out = vec![0.0; IMAGE_PIXELS];
+    for r in 0..IMAGE_SIDE as i32 {
+        for c in 0..IMAGE_SIDE as i32 {
+            let sr = r - dr;
+            let sc = c - dc;
+            if (0..IMAGE_SIDE as i32).contains(&sr) && (0..IMAGE_SIDE as i32).contains(&sc) {
+                out[(r as usize) * IMAGE_SIDE + c as usize] =
+                    image[(sr as usize) * IMAGE_SIDE + sc as usize];
+            }
+        }
+    }
+    out
+}
+
+/// Dilates ink by one pixel (simulates a thicker pen stroke).
+fn thicken(image: &[f64]) -> Vec<f64> {
+    let mut out = image.to_vec();
+    for r in 0..IMAGE_SIDE {
+        for c in 0..IMAGE_SIDE {
+            if image[r * IMAGE_SIDE + c] > 0.5 {
+                for (dr, dc) in [(0i32, 1i32), (0, -1), (1, 0), (-1, 0)] {
+                    let rr = r as i32 + dr;
+                    let cc = c as i32 + dc;
+                    if (0..IMAGE_SIDE as i32).contains(&rr) && (0..IMAGE_SIDE as i32).contains(&cc) {
+                        let idx = rr as usize * IMAGE_SIDE + cc as usize;
+                        out[idx] = out[idx].max(0.8);
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Renders one randomly perturbed sample of a digit.
+pub fn sample_digit<R: Rng + ?Sized>(digit: usize, rng: &mut R) -> Vec<f64> {
+    let mut image = prototype(digit);
+    if rng.gen_bool(0.4) {
+        image = thicken(&image);
+    }
+    let dr = rng.gen_range(-2i32..=2);
+    let dc = rng.gen_range(-2i32..=2);
+    image = translate(&image, dr, dc);
+    image = smooth(&image);
+    let intensity: f64 = rng.gen_range(0.75..1.0);
+    let noise_level: f64 = rng.gen_range(0.02..0.08);
+    for px in &mut image {
+        let noise: f64 = rng.gen_range(-1.0..1.0) * noise_level;
+        *px = (*px * intensity + noise).clamp(0.0, 1.0);
+    }
+    image
+}
+
+/// Generates a full synthetic-MNIST dataset with `per_class` samples of every
+/// digit, deterministically from `seed`. Pixel values are already in [0, 1].
+pub fn generate(per_class: usize, seed: u64) -> Dataset {
+    assert!(per_class >= 1, "need at least one sample per class");
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut features = Vec::with_capacity(per_class * NUM_CLASSES);
+    let mut labels = Vec::with_capacity(per_class * NUM_CLASSES);
+    for digit in 0..NUM_CLASSES {
+        for _ in 0..per_class {
+            features.push(sample_digit(digit, &mut rng));
+            labels.push(digit);
+        }
+    }
+    Dataset::new(features, labels, NUM_CLASSES)
+        .with_class_names((0..NUM_CLASSES).map(|d| d.to_string()).collect())
+}
+
+/// Renders an image as ASCII art (rows of ' ', '.', 'o', '#') for terminal
+/// inspection in the examples.
+pub fn render_ascii(image: &[f64]) -> String {
+    assert_eq!(image.len(), IMAGE_PIXELS, "expected a 28x28 image");
+    let mut out = String::with_capacity(IMAGE_PIXELS + IMAGE_SIDE);
+    for r in 0..IMAGE_SIDE {
+        for c in 0..IMAGE_SIDE {
+            let v = image[r * IMAGE_SIDE + c];
+            out.push(match v {
+                v if v > 0.75 => '#',
+                v if v > 0.45 => 'o',
+                v if v > 0.15 => '.',
+                _ => ' ',
+            });
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pixel_distance(a: &[f64], b: &[f64]) -> f64 {
+        a.iter()
+            .zip(b.iter())
+            .map(|(x, y)| (x - y) * (x - y))
+            .sum::<f64>()
+            .sqrt()
+    }
+
+    #[test]
+    fn prototypes_have_right_shape_and_range() {
+        for d in 0..NUM_CLASSES {
+            let p = prototype(d);
+            assert_eq!(p.len(), IMAGE_PIXELS);
+            assert!(p.iter().all(|&v| (0.0..=1.0).contains(&v)));
+            let ink: f64 = p.iter().sum();
+            assert!(ink > 50.0, "digit {d} has almost no ink");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_digit_panics() {
+        let _ = prototype(10);
+    }
+
+    #[test]
+    fn generate_shapes_and_determinism() {
+        let a = generate(5, 42);
+        assert_eq!(a.len(), 50);
+        assert_eq!(a.dim(), IMAGE_PIXELS);
+        assert_eq!(a.num_classes, NUM_CLASSES);
+        assert_eq!(a.class_counts(), vec![5; 10]);
+        let b = generate(5, 42);
+        assert_eq!(a, b);
+        let c = generate(5, 43);
+        assert_ne!(a.features, c.features);
+    }
+
+    #[test]
+    fn pixels_stay_in_unit_interval() {
+        let d = generate(3, 7);
+        for row in &d.features {
+            for &px in row {
+                assert!((0.0..=1.0).contains(&px));
+            }
+        }
+    }
+
+    #[test]
+    fn samples_of_same_digit_vary_but_stay_close_to_prototype() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let proto = smooth(&prototype(0));
+        let s1 = sample_digit(0, &mut rng);
+        let s2 = sample_digit(0, &mut rng);
+        assert!(pixel_distance(&s1, &s2) > 0.1, "samples should differ");
+        // Same-class distance should be smaller than distance to a very
+        // different digit (1).
+        let other = smooth(&prototype(1));
+        assert!(pixel_distance(&s1, &proto) < pixel_distance(&s1, &other));
+    }
+
+    #[test]
+    fn confusable_pairs_are_closer_than_distinct_pairs() {
+        // 3 vs 8 (confusable on MNIST) should be closer in pixel space than
+        // 1 vs 0 (easy pair).
+        let d = |a: usize, b: usize| pixel_distance(&prototype(a), &prototype(b));
+        assert!(d(3, 8) < d(1, 0), "3/8 = {}, 1/0 = {}", d(3, 8), d(1, 0));
+        assert!(d(3, 9) < d(1, 0));
+        assert!(d(5, 6) < d(1, 0));
+    }
+
+    #[test]
+    fn ascii_rendering_shape() {
+        let art = render_ascii(&prototype(8));
+        assert_eq!(art.lines().count(), IMAGE_SIDE);
+        assert!(art.contains('#'));
+    }
+
+    #[test]
+    fn translation_and_thickening_preserve_shape_and_range() {
+        let p = prototype(4);
+        let t = translate(&p, 2, -1);
+        assert_eq!(t.len(), IMAGE_PIXELS);
+        let ink_before: f64 = p.iter().sum();
+        let ink_after: f64 = t.iter().sum();
+        // Translation by ≤2 px may clip a little ink but not much.
+        assert!(ink_after > 0.8 * ink_before);
+        let thick = thicken(&p);
+        let ink_thick: f64 = thick.iter().sum();
+        assert!(ink_thick > ink_before);
+    }
+}

@@ -1,0 +1,146 @@
+//! Feature normalisation (paper Section 4.2 requires every feature in
+//! `[0, 1]` before quantum encoding).
+
+use crate::dataset::Dataset;
+
+/// A fitted per-feature min–max scaler mapping features into [0, 1].
+#[derive(Clone, Debug, PartialEq)]
+pub struct MinMaxScaler {
+    mins: Vec<f64>,
+    maxs: Vec<f64>,
+}
+
+impl MinMaxScaler {
+    /// Fits the scaler on a dataset's features.
+    ///
+    /// # Panics
+    /// Panics on an empty dataset.
+    pub fn fit(features: &[Vec<f64>]) -> Self {
+        assert!(!features.is_empty(), "cannot fit a scaler on an empty dataset");
+        let dim = features[0].len();
+        let mut mins = vec![f64::INFINITY; dim];
+        let mut maxs = vec![f64::NEG_INFINITY; dim];
+        for row in features {
+            assert_eq!(row.len(), dim, "ragged feature rows");
+            for (j, &v) in row.iter().enumerate() {
+                mins[j] = mins[j].min(v);
+                maxs[j] = maxs[j].max(v);
+            }
+        }
+        MinMaxScaler { mins, maxs }
+    }
+
+    /// Transforms one sample, clamping to [0, 1] (values outside the fitted
+    /// range — e.g. test samples — are clipped rather than leaking out of the
+    /// encoder's valid domain).
+    pub fn transform_one(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.mins.len(), "scaler dimension mismatch");
+        x.iter()
+            .enumerate()
+            .map(|(j, &v)| {
+                let range = self.maxs[j] - self.mins[j];
+                if range <= f64::EPSILON {
+                    0.5
+                } else {
+                    ((v - self.mins[j]) / range).clamp(0.0, 1.0)
+                }
+            })
+            .collect()
+    }
+
+    /// Transforms a set of samples.
+    pub fn transform(&self, features: &[Vec<f64>]) -> Vec<Vec<f64>> {
+        features.iter().map(|x| self.transform_one(x)).collect()
+    }
+
+    /// Fits on the training features and returns both sets transformed.
+    pub fn fit_transform_pair(
+        train: &[Vec<f64>],
+        test: &[Vec<f64>],
+    ) -> (Self, Vec<Vec<f64>>, Vec<Vec<f64>>) {
+        let scaler = MinMaxScaler::fit(train);
+        let t = scaler.transform(train);
+        let e = scaler.transform(test);
+        (scaler, t, e)
+    }
+}
+
+/// Normalises a whole dataset in place with a scaler fitted on itself.
+pub fn normalize_dataset(dataset: &Dataset) -> Dataset {
+    let scaler = MinMaxScaler::fit(&dataset.features);
+    let mut out = dataset.clone();
+    out.features = scaler.transform(&dataset.features);
+    out
+}
+
+/// Normalises a train/test pair with a scaler fitted on the training set
+/// only (no information leak from the test set).
+pub fn normalize_split(train: &Dataset, test: &Dataset) -> (Dataset, Dataset) {
+    let scaler = MinMaxScaler::fit(&train.features);
+    let mut tr = train.clone();
+    let mut te = test.clone();
+    tr.features = scaler.transform(&train.features);
+    te.features = scaler.transform(&test.features);
+    (tr, te)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fit_transform_maps_into_unit_interval() {
+        let data = vec![vec![-2.0, 10.0], vec![0.0, 20.0], vec![2.0, 30.0]];
+        let scaler = MinMaxScaler::fit(&data);
+        let t = scaler.transform(&data);
+        assert_eq!(t[0], vec![0.0, 0.0]);
+        assert_eq!(t[2], vec![1.0, 1.0]);
+        assert!((t[1][0] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn out_of_range_values_are_clamped() {
+        let scaler = MinMaxScaler::fit(&[vec![0.0], vec![1.0]]);
+        assert_eq!(scaler.transform_one(&[5.0]), vec![1.0]);
+        assert_eq!(scaler.transform_one(&[-5.0]), vec![0.0]);
+    }
+
+    #[test]
+    fn constant_features_map_to_half() {
+        let scaler = MinMaxScaler::fit(&[vec![3.0, 1.0], vec![3.0, 2.0]]);
+        let t = scaler.transform_one(&[3.0, 1.5]);
+        assert_eq!(t[0], 0.5);
+        assert!((t[1] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty dataset")]
+    fn empty_fit_panics() {
+        let _ = MinMaxScaler::fit(&[]);
+    }
+
+    #[test]
+    fn normalize_dataset_and_split() {
+        let d = Dataset::new(vec![vec![0.0, 100.0], vec![10.0, 200.0]], vec![0, 1], 2);
+        let n = normalize_dataset(&d);
+        assert_eq!(n.features[0], vec![0.0, 0.0]);
+        assert_eq!(n.features[1], vec![1.0, 1.0]);
+
+        let train = Dataset::new(vec![vec![0.0], vec![10.0]], vec![0, 1], 2);
+        let test = Dataset::new(vec![vec![5.0], vec![20.0]], vec![0, 1], 2);
+        let (tr, te) = normalize_split(&train, &test);
+        assert_eq!(tr.features[1], vec![1.0]);
+        assert!((te.features[0][0] - 0.5).abs() < 1e-12);
+        // Test value above the training range is clamped.
+        assert_eq!(te.features[1], vec![1.0]);
+    }
+
+    #[test]
+    fn fit_transform_pair_uses_train_statistics() {
+        let train = vec![vec![0.0], vec![4.0]];
+        let test = vec![vec![2.0]];
+        let (_, t, e) = MinMaxScaler::fit_transform_pair(&train, &test);
+        assert_eq!(t[1], vec![1.0]);
+        assert!((e[0][0] - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,322 @@
+//! A minimal, dependency-free complex number type used throughout the
+//! simulator.
+//!
+//! Only the operations needed by a state-vector / density-matrix simulator
+//! are provided: arithmetic, conjugation, norm, polar construction and a few
+//! convenience constants. The representation is a pair of `f64`s, `#[repr(C)]`
+//! so that slices of amplitudes have a predictable layout.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A double-precision complex number `re + i·im`.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+#[repr(C)]
+pub struct Complex {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex {
+    /// The additive identity `0 + 0i`.
+    pub const ZERO: Complex = Complex { re: 0.0, im: 0.0 };
+    /// The multiplicative identity `1 + 0i`.
+    pub const ONE: Complex = Complex { re: 1.0, im: 0.0 };
+    /// The imaginary unit `0 + 1i`.
+    pub const I: Complex = Complex { re: 0.0, im: 1.0 };
+
+    /// Creates a complex number from its real and imaginary parts.
+    #[inline]
+    pub const fn new(re: f64, im: f64) -> Self {
+        Complex { re, im }
+    }
+
+    /// Creates a purely real complex number.
+    #[inline]
+    pub const fn from_real(re: f64) -> Self {
+        Complex { re, im: 0.0 }
+    }
+
+    /// Creates a complex number from polar coordinates `r·e^{iθ}`.
+    #[inline]
+    pub fn from_polar(r: f64, theta: f64) -> Self {
+        Complex::new(r * theta.cos(), r * theta.sin())
+    }
+
+    /// Returns `e^{iθ}`, a unit-modulus phase factor.
+    #[inline]
+    pub fn cis(theta: f64) -> Self {
+        Complex::new(theta.cos(), theta.sin())
+    }
+
+    /// Complex conjugate `re - i·im`.
+    #[inline]
+    pub fn conj(self) -> Self {
+        Complex::new(self.re, -self.im)
+    }
+
+    /// Squared modulus `|z|²`.
+    #[inline]
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Modulus `|z|`.
+    #[inline]
+    pub fn norm(self) -> f64 {
+        self.norm_sqr().sqrt()
+    }
+
+    /// Argument (phase angle) in radians, in `(-π, π]`.
+    #[inline]
+    pub fn arg(self) -> f64 {
+        self.im.atan2(self.re)
+    }
+
+    /// Multiplicative inverse. Returns NaN components when `self` is zero.
+    #[inline]
+    pub fn inv(self) -> Self {
+        let d = self.norm_sqr();
+        Complex::new(self.re / d, -self.im / d)
+    }
+
+    /// Returns `self * other.conj()`.
+    #[inline]
+    pub fn mul_conj(self, other: Self) -> Self {
+        Complex::new(
+            self.re * other.re + self.im * other.im,
+            self.im * other.re - self.re * other.im,
+        )
+    }
+
+    /// Scales the complex number by a real factor.
+    #[inline]
+    pub fn scale(self, s: f64) -> Self {
+        Complex::new(self.re * s, self.im * s)
+    }
+
+    /// True when both components are finite.
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.re.is_finite() && self.im.is_finite()
+    }
+
+    /// Approximate equality within an absolute tolerance on both components.
+    #[inline]
+    pub fn approx_eq(self, other: Self, tol: f64) -> bool {
+        (self.re - other.re).abs() <= tol && (self.im - other.im).abs() <= tol
+    }
+}
+
+impl From<f64> for Complex {
+    fn from(re: f64) -> Self {
+        Complex::from_real(re)
+    }
+}
+
+impl fmt::Display for Complex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.im >= 0.0 {
+            write!(f, "{:.6}+{:.6}i", self.re, self.im)
+        } else {
+            write!(f, "{:.6}-{:.6}i", self.re, -self.im)
+        }
+    }
+}
+
+impl Add for Complex {
+    type Output = Complex;
+    #[inline]
+    fn add(self, rhs: Complex) -> Complex {
+        Complex::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl Sub for Complex {
+    type Output = Complex;
+    #[inline]
+    fn sub(self, rhs: Complex) -> Complex {
+        Complex::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl Mul for Complex {
+    type Output = Complex;
+    #[inline]
+    fn mul(self, rhs: Complex) -> Complex {
+        Complex::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl Mul<f64> for Complex {
+    type Output = Complex;
+    #[inline]
+    fn mul(self, rhs: f64) -> Complex {
+        self.scale(rhs)
+    }
+}
+
+impl Mul<Complex> for f64 {
+    type Output = Complex;
+    #[inline]
+    fn mul(self, rhs: Complex) -> Complex {
+        rhs.scale(self)
+    }
+}
+
+impl Div for Complex {
+    type Output = Complex;
+    #[inline]
+    fn div(self, rhs: Complex) -> Complex {
+        self * rhs.inv()
+    }
+}
+
+impl Div<f64> for Complex {
+    type Output = Complex;
+    #[inline]
+    fn div(self, rhs: f64) -> Complex {
+        Complex::new(self.re / rhs, self.im / rhs)
+    }
+}
+
+impl Neg for Complex {
+    type Output = Complex;
+    #[inline]
+    fn neg(self) -> Complex {
+        Complex::new(-self.re, -self.im)
+    }
+}
+
+impl AddAssign for Complex {
+    #[inline]
+    fn add_assign(&mut self, rhs: Complex) {
+        self.re += rhs.re;
+        self.im += rhs.im;
+    }
+}
+
+impl SubAssign for Complex {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Complex) {
+        self.re -= rhs.re;
+        self.im -= rhs.im;
+    }
+}
+
+impl MulAssign for Complex {
+    #[inline]
+    fn mul_assign(&mut self, rhs: Complex) {
+        *self = *self * rhs;
+    }
+}
+
+impl Sum for Complex {
+    fn sum<I: Iterator<Item = Complex>>(iter: I) -> Complex {
+        iter.fold(Complex::ZERO, |a, b| a + b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TOL: f64 = 1e-12;
+
+    #[test]
+    fn construction_and_constants() {
+        assert_eq!(Complex::ZERO, Complex::new(0.0, 0.0));
+        assert_eq!(Complex::ONE, Complex::new(1.0, 0.0));
+        assert_eq!(Complex::I, Complex::new(0.0, 1.0));
+        assert_eq!(Complex::from_real(2.5), Complex::new(2.5, 0.0));
+        assert_eq!(Complex::from(3.0), Complex::new(3.0, 0.0));
+    }
+
+    #[test]
+    fn addition_and_subtraction() {
+        let a = Complex::new(1.0, 2.0);
+        let b = Complex::new(3.0, -4.0);
+        assert_eq!(a + b, Complex::new(4.0, -2.0));
+        assert_eq!(a - b, Complex::new(-2.0, 6.0));
+        let mut c = a;
+        c += b;
+        assert_eq!(c, a + b);
+        c -= b;
+        assert_eq!(c, a);
+    }
+
+    #[test]
+    fn multiplication_matches_expansion() {
+        let a = Complex::new(1.0, 2.0);
+        let b = Complex::new(3.0, -4.0);
+        // (1+2i)(3-4i) = 3 - 4i + 6i + 8 = 11 + 2i
+        assert!(( a * b).approx_eq(Complex::new(11.0, 2.0), TOL));
+    }
+
+    #[test]
+    fn division_inverts_multiplication() {
+        let a = Complex::new(0.3, -1.7);
+        let b = Complex::new(-2.0, 0.5);
+        let c = a * b;
+        assert!((c / b).approx_eq(a, 1e-10));
+    }
+
+    #[test]
+    fn conjugate_and_norm() {
+        let a = Complex::new(3.0, 4.0);
+        assert_eq!(a.conj(), Complex::new(3.0, -4.0));
+        assert!((a.norm() - 5.0).abs() < TOL);
+        assert!((a.norm_sqr() - 25.0).abs() < TOL);
+        // z * conj(z) = |z|^2
+        let p = a * a.conj();
+        assert!(p.approx_eq(Complex::from_real(25.0), TOL));
+    }
+
+    #[test]
+    fn polar_and_cis() {
+        let z = Complex::from_polar(2.0, std::f64::consts::FRAC_PI_2);
+        assert!(z.approx_eq(Complex::new(0.0, 2.0), TOL));
+        let u = Complex::cis(std::f64::consts::PI);
+        assert!(u.approx_eq(Complex::new(-1.0, 0.0), TOL));
+        assert!((u.norm() - 1.0).abs() < TOL);
+    }
+
+    #[test]
+    fn arg_is_phase() {
+        let z = Complex::new(0.0, 1.0);
+        assert!((z.arg() - std::f64::consts::FRAC_PI_2).abs() < TOL);
+    }
+
+    #[test]
+    fn mul_conj_shortcut() {
+        let a = Complex::new(1.5, -0.5);
+        let b = Complex::new(-0.25, 2.0);
+        assert!(a.mul_conj(b).approx_eq(a * b.conj(), TOL));
+    }
+
+    #[test]
+    fn inverse_of_zero_is_not_finite() {
+        assert!(!Complex::ZERO.inv().is_finite());
+        assert!(Complex::new(1.0, 1.0).is_finite());
+    }
+
+    #[test]
+    fn sum_over_iterator() {
+        let s: Complex = (0..4).map(|k| Complex::new(k as f64, -(k as f64))).sum();
+        assert_eq!(s, Complex::new(6.0, -6.0));
+    }
+
+    #[test]
+    fn display_formats_sign() {
+        let pos = format!("{}", Complex::new(1.0, 2.0));
+        assert!(pos.contains('+'));
+        let neg = format!("{}", Complex::new(1.0, -2.0));
+        assert!(neg.contains('-'));
+    }
+}

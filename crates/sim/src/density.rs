@@ -1,0 +1,417 @@
+//! Density-matrix simulation for exact modelling of noisy circuits.
+//!
+//! The density-matrix engine stores the full `2^n × 2^n` operator and applies
+//! gates as `ρ → U ρ U†` and noise channels as `ρ → Σ_k K_k ρ K_k†`. It is
+//! exact (no trajectory sampling error) but memory-hungry, so it is intended
+//! for the small registers used in the paper's hardware experiments
+//! (5 qubits for the Iris / 4-dimensional MNIST circuits). Larger noisy
+//! registers should use trajectory sampling on [`StateVector`].
+
+use crate::complex::Complex;
+use crate::error::SimError;
+use crate::gate::Gate;
+use crate::linalg::CMatrix;
+use crate::noise::{NoiseChannel, NoiseModel};
+use crate::state::StateVector;
+
+/// A mixed quantum state on `n` qubits stored as a dense density matrix.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DensityMatrix {
+    num_qubits: usize,
+    /// Row-major `dim × dim` matrix.
+    data: Vec<Complex>,
+    dim: usize,
+}
+
+impl DensityMatrix {
+    /// Maximum register width the density engine will allocate (2^12 × 2^12
+    /// complex numbers ≈ 256 MiB).
+    pub const MAX_QUBITS: usize = 12;
+
+    /// Creates the pure state |0…0⟩⟨0…0|.
+    pub fn zero_state(num_qubits: usize) -> Self {
+        assert!(
+            (1..=Self::MAX_QUBITS).contains(&num_qubits),
+            "density matrix register width {num_qubits} unsupported (max {})",
+            Self::MAX_QUBITS
+        );
+        let dim = 1 << num_qubits;
+        let mut data = vec![Complex::ZERO; dim * dim];
+        data[0] = Complex::ONE;
+        DensityMatrix {
+            num_qubits,
+            data,
+            dim,
+        }
+    }
+
+    /// Creates a density matrix from a pure state: ρ = |ψ⟩⟨ψ|.
+    pub fn from_pure(state: &StateVector) -> Self {
+        let num_qubits = state.num_qubits();
+        assert!(
+            num_qubits <= Self::MAX_QUBITS,
+            "density matrix register width {num_qubits} unsupported (max {})",
+            Self::MAX_QUBITS
+        );
+        let dim = state.dim();
+        let amps = state.amplitudes();
+        let mut data = vec![Complex::ZERO; dim * dim];
+        for r in 0..dim {
+            for c in 0..dim {
+                data[r * dim + c] = amps[r] * amps[c].conj();
+            }
+        }
+        DensityMatrix {
+            num_qubits,
+            data,
+            dim,
+        }
+    }
+
+    /// Number of qubits.
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// Hilbert-space dimension (2^n).
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The matrix element ρ[r, c].
+    pub fn element(&self, r: usize, c: usize) -> Complex {
+        self.data[r * self.dim + c]
+    }
+
+    /// Trace of the density matrix (should be ≈ 1).
+    pub fn trace(&self) -> f64 {
+        (0..self.dim).map(|i| self.data[i * self.dim + i].re).sum()
+    }
+
+    /// Purity Tr(ρ²); 1 for pure states, 1/2^n for the maximally mixed state.
+    pub fn purity(&self) -> f64 {
+        // Tr(ρ²) = Σ_{r,c} ρ_{rc} ρ_{cr} = Σ_{r,c} |ρ_{rc}|² for Hermitian ρ.
+        self.data.iter().map(|z| z.norm_sqr()).sum()
+    }
+
+    /// Fidelity ⟨ψ|ρ|ψ⟩ against a pure state.
+    pub fn fidelity_with_pure(&self, state: &StateVector) -> Result<f64, SimError> {
+        if state.num_qubits() != self.num_qubits {
+            return Err(SimError::DimensionMismatch {
+                expected: self.num_qubits,
+                found: state.num_qubits(),
+            });
+        }
+        let amps = state.amplitudes();
+        let mut acc = Complex::ZERO;
+        for r in 0..self.dim {
+            for c in 0..self.dim {
+                acc += amps[r].conj() * self.data[r * self.dim + c] * amps[c];
+            }
+        }
+        Ok(acc.re.max(0.0))
+    }
+
+    fn check_qubits(&self, qubits: &[usize]) -> Result<(), SimError> {
+        for &q in qubits {
+            if q >= self.num_qubits {
+                return Err(SimError::QubitOutOfRange {
+                    qubit: q,
+                    num_qubits: self.num_qubits,
+                });
+            }
+        }
+        for i in 0..qubits.len() {
+            for j in (i + 1)..qubits.len() {
+                if qubits[i] == qubits[j] {
+                    return Err(SimError::DuplicateQubit(qubits[i]));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Applies `m` (acting on `qubits`) to the row index: data ← (M ⊗ I) · data.
+    fn apply_matrix_left(&mut self, qubits: &[usize], m: &CMatrix) {
+        let k = qubits.len();
+        let masks: Vec<usize> = qubits.iter().map(|&q| 1usize << q).collect();
+        let full_mask: usize = masks.iter().sum();
+        let dim = self.dim;
+        let sub_dim = 1usize << k;
+        let mut scratch = vec![Complex::ZERO; sub_dim];
+        for col in 0..dim {
+            for base in 0..dim {
+                if base & full_mask != 0 {
+                    continue;
+                }
+                for (sub, slot) in scratch.iter_mut().enumerate() {
+                    let mut idx = base;
+                    for (bit, mask) in masks.iter().enumerate() {
+                        if sub & (1 << bit) != 0 {
+                            idx |= mask;
+                        }
+                    }
+                    *slot = self.data[idx * dim + col];
+                }
+                for row in 0..sub_dim {
+                    let mut idx = base;
+                    for (bit, mask) in masks.iter().enumerate() {
+                        if row & (1 << bit) != 0 {
+                            idx |= mask;
+                        }
+                    }
+                    let mut acc = Complex::ZERO;
+                    for (c, &amp) in scratch.iter().enumerate() {
+                        acc += m[(row, c)] * amp;
+                    }
+                    self.data[idx * dim + col] = acc;
+                }
+            }
+        }
+    }
+
+    /// Applies `m†` to the column index: data ← data · (M ⊗ I)†.
+    fn apply_matrix_right_dagger(&mut self, qubits: &[usize], m: &CMatrix) {
+        let k = qubits.len();
+        let masks: Vec<usize> = qubits.iter().map(|&q| 1usize << q).collect();
+        let full_mask: usize = masks.iter().sum();
+        let dim = self.dim;
+        let sub_dim = 1usize << k;
+        let mut scratch = vec![Complex::ZERO; sub_dim];
+        for row in 0..dim {
+            for base in 0..dim {
+                if base & full_mask != 0 {
+                    continue;
+                }
+                for (sub, slot) in scratch.iter_mut().enumerate() {
+                    let mut idx = base;
+                    for (bit, mask) in masks.iter().enumerate() {
+                        if sub & (1 << bit) != 0 {
+                            idx |= mask;
+                        }
+                    }
+                    *slot = self.data[row * dim + idx];
+                }
+                for col in 0..sub_dim {
+                    let mut idx = base;
+                    for (bit, mask) in masks.iter().enumerate() {
+                        if col & (1 << bit) != 0 {
+                            idx |= mask;
+                        }
+                    }
+                    // (ρ M†)_{row, idx} = Σ_c ρ_{row, c} conj(M_{idx_sub, c_sub})
+                    let mut acc = Complex::ZERO;
+                    for (c, &amp) in scratch.iter().enumerate() {
+                        acc += amp * m[(col, c)].conj();
+                    }
+                    self.data[row * dim + idx] = acc;
+                }
+            }
+        }
+    }
+
+    /// Applies a unitary gate: ρ → U ρ U†.
+    pub fn apply_gate(&mut self, gate: &Gate) -> Result<(), SimError> {
+        let qubits = gate.qubits();
+        self.check_qubits(&qubits)?;
+        let m = gate.matrix();
+        self.apply_matrix_left(&qubits, &m);
+        self.apply_matrix_right_dagger(&qubits, &m);
+        Ok(())
+    }
+
+    /// Applies a sequence of gates.
+    pub fn apply_gates(&mut self, gates: &[Gate]) -> Result<(), SimError> {
+        for g in gates {
+            self.apply_gate(g)?;
+        }
+        Ok(())
+    }
+
+    /// Applies a single-qubit Kraus channel exactly: ρ → Σ_k K_k ρ K_k†.
+    pub fn apply_channel(&mut self, qubit: usize, channel: &NoiseChannel) -> Result<(), SimError> {
+        channel.validate()?;
+        self.check_qubits(&[qubit])?;
+        let kraus = channel.kraus_operators();
+        let original = self.clone();
+        for z in &mut self.data {
+            *z = Complex::ZERO;
+        }
+        for k in &kraus {
+            let mut branch = original.clone();
+            branch.apply_matrix_left(&[qubit], k);
+            branch.apply_matrix_right_dagger(&[qubit], k);
+            for (dst, src) in self.data.iter_mut().zip(branch.data.iter()) {
+                *dst += *src;
+            }
+        }
+        Ok(())
+    }
+
+    /// Runs a concrete gate list under a noise model: after each gate, the
+    /// model's channels are applied exactly.
+    pub fn apply_gates_with_noise(
+        &mut self,
+        gates: &[Gate],
+        noise: &NoiseModel,
+    ) -> Result<(), SimError> {
+        for g in gates {
+            self.apply_gate(g)?;
+            for (q, c) in noise.channels_for_gate(g) {
+                self.apply_channel(q, &c)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Probability of measuring qubit `q` in state |1⟩.
+    pub fn probability_of_one(&self, q: usize) -> Result<f64, SimError> {
+        self.check_qubits(&[q])?;
+        let bit = 1usize << q;
+        let mut p = 0.0;
+        for i in 0..self.dim {
+            if i & bit != 0 {
+                p += self.data[i * self.dim + i].re;
+            }
+        }
+        Ok(p.clamp(0.0, 1.0))
+    }
+
+    /// Diagonal of the density matrix: the basis-state probabilities.
+    pub fn probabilities(&self) -> Vec<f64> {
+        (0..self.dim)
+            .map(|i| self.data[i * self.dim + i].re.max(0.0))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TOL: f64 = 1e-10;
+
+    #[test]
+    fn zero_state_is_pure_with_unit_trace() {
+        let rho = DensityMatrix::zero_state(2);
+        assert!((rho.trace() - 1.0).abs() < TOL);
+        assert!((rho.purity() - 1.0).abs() < TOL);
+    }
+
+    #[test]
+    fn from_pure_matches_statevector_probabilities() {
+        let mut sv = StateVector::zero_state(2);
+        sv.apply_gates(&[Gate::H(0), Gate::Cnot {
+            control: 0,
+            target: 1,
+        }])
+        .unwrap();
+        let rho = DensityMatrix::from_pure(&sv);
+        let p = rho.probabilities();
+        assert!((p[0] - 0.5).abs() < TOL);
+        assert!((p[3] - 0.5).abs() < TOL);
+        assert!((rho.purity() - 1.0).abs() < TOL);
+    }
+
+    #[test]
+    fn gate_application_matches_statevector_engine() {
+        let gates = vec![
+            Gate::H(0),
+            Gate::Ry(1, 0.7),
+            Gate::Cnot {
+                control: 0,
+                target: 2,
+            },
+            Gate::CRz {
+                control: 1,
+                target: 2,
+                theta: 0.4,
+            },
+            Gate::CSwap {
+                control: 0,
+                a: 1,
+                b: 2,
+            },
+        ];
+        let mut sv = StateVector::zero_state(3);
+        sv.apply_gates(&gates).unwrap();
+        let mut rho = DensityMatrix::zero_state(3);
+        rho.apply_gates(&gates).unwrap();
+        for q in 0..3 {
+            assert!(
+                (sv.probability_of_one(q).unwrap() - rho.probability_of_one(q).unwrap()).abs()
+                    < 1e-9
+            );
+        }
+        assert!((rho.fidelity_with_pure(&sv).unwrap() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn trace_preserved_under_gates_and_channels() {
+        let mut rho = DensityMatrix::zero_state(2);
+        rho.apply_gate(&Gate::H(0)).unwrap();
+        rho.apply_channel(0, &NoiseChannel::Depolarizing(0.2)).unwrap();
+        rho.apply_channel(1, &NoiseChannel::AmplitudeDamping(0.3))
+            .unwrap();
+        rho.apply_gate(&Gate::Cnot {
+            control: 0,
+            target: 1,
+        })
+        .unwrap();
+        assert!((rho.trace() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn depolarizing_reduces_purity() {
+        let mut rho = DensityMatrix::zero_state(1);
+        rho.apply_gate(&Gate::H(0)).unwrap();
+        let before = rho.purity();
+        rho.apply_channel(0, &NoiseChannel::Depolarizing(0.3)).unwrap();
+        assert!(rho.purity() < before);
+    }
+
+    #[test]
+    fn full_depolarizing_yields_maximally_mixed() {
+        let mut rho = DensityMatrix::zero_state(1);
+        rho.apply_channel(0, &NoiseChannel::Depolarizing(0.75)).unwrap();
+        // p = 0.75 with equal Pauli mixing sends any state to I/2.
+        assert!((rho.element(0, 0).re - 0.5).abs() < 1e-9);
+        assert!((rho.element(1, 1).re - 0.5).abs() < 1e-9);
+        assert!((rho.purity() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn amplitude_damping_moves_population_down() {
+        let mut rho = DensityMatrix::zero_state(1);
+        rho.apply_gate(&Gate::X(0)).unwrap();
+        rho.apply_channel(0, &NoiseChannel::AmplitudeDamping(0.25))
+            .unwrap();
+        assert!((rho.probability_of_one(0).unwrap() - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn noisy_gate_sequence_runs() {
+        let noise = NoiseModel::depolarizing(0.01, 0.05, 0.0).unwrap();
+        let gates = vec![
+            Gate::H(0),
+            Gate::Cnot {
+                control: 0,
+                target: 1,
+            },
+        ];
+        let mut rho = DensityMatrix::zero_state(2);
+        rho.apply_gates_with_noise(&gates, &noise).unwrap();
+        assert!((rho.trace() - 1.0).abs() < 1e-9);
+        assert!(rho.purity() < 1.0);
+    }
+
+    #[test]
+    fn dimension_checks() {
+        let rho = DensityMatrix::zero_state(2);
+        let sv = StateVector::zero_state(3);
+        assert!(rho.fidelity_with_pure(&sv).is_err());
+        let mut rho = DensityMatrix::zero_state(2);
+        assert!(rho.apply_gate(&Gate::H(5)).is_err());
+        assert!(rho.probability_of_one(7).is_err());
+    }
+}

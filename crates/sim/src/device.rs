@@ -1,0 +1,370 @@
+//! Quantum device models.
+//!
+//! The paper evaluates QuClassi on several IBM-Q superconducting machines
+//! (London, New York, Melbourne, Rome, Cairo) and on IonQ's trapped-ion
+//! processor. Those machines differ in two ways that matter for the results:
+//!
+//! 1. **Connectivity** — superconducting devices have sparse coupling maps,
+//!    so CSWAP-heavy circuits need routing SWAPs (the paper counts 21 extra
+//!    CNOTs on IBM-Q Cairo for the (3,6) task), whereas the trapped-ion
+//!    device is all-to-all.
+//! 2. **Gate fidelity** — per-gate and readout error rates differ.
+//!
+//! [`DeviceModel`] captures both, pairing a [`CouplingMap`] with a
+//! [`NoiseModel`]. The concrete numbers are calibration-era public values
+//! (order of magnitude), chosen so the relative behaviour in Figs. 11–12 and
+//! the IonQ vs IBM-Cairo comparison reproduce.
+
+use crate::error::SimError;
+use crate::noise::NoiseModel;
+use std::collections::VecDeque;
+
+/// An undirected qubit-connectivity graph.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CouplingMap {
+    num_qubits: usize,
+    /// Adjacency list (symmetric).
+    adjacency: Vec<Vec<usize>>,
+    all_to_all: bool,
+}
+
+impl CouplingMap {
+    /// A fully connected device (every pair of qubits can interact).
+    pub fn all_to_all(num_qubits: usize) -> Self {
+        let adjacency = (0..num_qubits)
+            .map(|q| (0..num_qubits).filter(|&p| p != q).collect())
+            .collect();
+        CouplingMap {
+            num_qubits,
+            adjacency,
+            all_to_all: true,
+        }
+    }
+
+    /// A linear chain 0–1–2–…–(n-1).
+    pub fn linear(num_qubits: usize) -> Self {
+        let edges: Vec<(usize, usize)> = (0..num_qubits.saturating_sub(1))
+            .map(|i| (i, i + 1))
+            .collect();
+        CouplingMap::from_edges(num_qubits, &edges)
+    }
+
+    /// Builds a coupling map from an explicit undirected edge list.
+    pub fn from_edges(num_qubits: usize, edges: &[(usize, usize)]) -> Self {
+        let mut adjacency = vec![Vec::new(); num_qubits];
+        for &(a, b) in edges {
+            assert!(a < num_qubits && b < num_qubits, "edge ({a},{b}) out of range");
+            assert_ne!(a, b, "self-loop edge ({a},{b})");
+            if !adjacency[a].contains(&b) {
+                adjacency[a].push(b);
+                adjacency[b].push(a);
+            }
+        }
+        CouplingMap {
+            num_qubits,
+            adjacency,
+            all_to_all: false,
+        }
+    }
+
+    /// Number of physical qubits.
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// Whether every pair of qubits is connected.
+    pub fn is_all_to_all(&self) -> bool {
+        self.all_to_all
+    }
+
+    /// Whether two qubits can directly interact.
+    pub fn are_adjacent(&self, a: usize, b: usize) -> bool {
+        a != b && self.adjacency.get(a).is_some_and(|n| n.contains(&b))
+    }
+
+    /// Neighbours of a qubit.
+    pub fn neighbors(&self, q: usize) -> &[usize] {
+        &self.adjacency[q]
+    }
+
+    /// Shortest path between two qubits (inclusive of endpoints), found by
+    /// breadth-first search.
+    pub fn shortest_path(&self, from: usize, to: usize) -> Result<Vec<usize>, SimError> {
+        if from >= self.num_qubits || to >= self.num_qubits {
+            return Err(SimError::QubitOutOfRange {
+                qubit: from.max(to),
+                num_qubits: self.num_qubits,
+            });
+        }
+        if from == to {
+            return Ok(vec![from]);
+        }
+        let mut prev = vec![usize::MAX; self.num_qubits];
+        let mut visited = vec![false; self.num_qubits];
+        let mut queue = VecDeque::new();
+        visited[from] = true;
+        queue.push_back(from);
+        while let Some(u) = queue.pop_front() {
+            for &v in &self.adjacency[u] {
+                if !visited[v] {
+                    visited[v] = true;
+                    prev[v] = u;
+                    if v == to {
+                        let mut path = vec![to];
+                        let mut cur = to;
+                        while prev[cur] != usize::MAX {
+                            cur = prev[cur];
+                            path.push(cur);
+                        }
+                        path.reverse();
+                        return Ok(path);
+                    }
+                    queue.push_back(v);
+                }
+            }
+        }
+        Err(SimError::Routing(format!(
+            "no path between physical qubits {from} and {to}"
+        )))
+    }
+
+    /// Graph distance (number of edges) between two qubits.
+    pub fn distance(&self, from: usize, to: usize) -> Result<usize, SimError> {
+        Ok(self.shortest_path(from, to)?.len().saturating_sub(1))
+    }
+}
+
+/// A complete device model: name, connectivity and noise.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DeviceModel {
+    /// Human-readable device name (e.g. `ibmq_london`).
+    pub name: String,
+    /// Connectivity constraints.
+    pub coupling: CouplingMap,
+    /// Gate and readout noise.
+    pub noise: NoiseModel,
+}
+
+impl DeviceModel {
+    /// An ideal simulator: all-to-all connectivity, no noise.
+    pub fn ideal_simulator(num_qubits: usize) -> Self {
+        DeviceModel {
+            name: "simulator".to_string(),
+            coupling: CouplingMap::all_to_all(num_qubits),
+            noise: NoiseModel::ideal(),
+        }
+    }
+
+    /// IBM-Q London: 5 qubits in a T shape (0-1, 1-2, 1-3, 3-4).
+    pub fn ibmq_london() -> Self {
+        DeviceModel {
+            name: "ibmq_london".to_string(),
+            coupling: CouplingMap::from_edges(5, &[(0, 1), (1, 2), (1, 3), (3, 4)]),
+            noise: NoiseModel::depolarizing(0.0006, 0.012, 0.02)
+                .expect("static london noise parameters are valid"),
+        }
+    }
+
+    /// IBM-Q New York (modelled as a 5-qubit T-shaped device with slightly
+    /// higher two-qubit error than London).
+    pub fn ibmq_new_york() -> Self {
+        DeviceModel {
+            name: "ibmq_new_york".to_string(),
+            coupling: CouplingMap::from_edges(5, &[(0, 1), (1, 2), (1, 3), (3, 4)]),
+            noise: NoiseModel::depolarizing(0.0009, 0.016, 0.025)
+                .expect("static new-york noise parameters are valid"),
+        }
+    }
+
+    /// IBM-Q Melbourne: 15-qubit ladder, noisier older device.
+    pub fn ibmq_melbourne() -> Self {
+        let mut edges = Vec::new();
+        // Two rows of 7/8 qubits with rungs (simplified Melbourne ladder).
+        for i in 0..6 {
+            edges.push((i, i + 1));
+        }
+        for i in 7..14 {
+            edges.push((i, i + 1));
+        }
+        for i in 0..7 {
+            edges.push((i, 14 - i));
+        }
+        DeviceModel {
+            name: "ibmq_melbourne".to_string(),
+            coupling: CouplingMap::from_edges(15, &edges),
+            noise: NoiseModel::depolarizing(0.0012, 0.025, 0.04)
+                .expect("static melbourne noise parameters are valid"),
+        }
+    }
+
+    /// IBM-Q Rome: 5-qubit linear chain.
+    pub fn ibmq_rome() -> Self {
+        DeviceModel {
+            name: "ibmq_rome".to_string(),
+            coupling: CouplingMap::linear(5),
+            noise: NoiseModel::depolarizing(0.0005, 0.011, 0.018)
+                .expect("static rome noise parameters are valid"),
+        }
+    }
+
+    /// IBM-Q Cairo: 27-qubit heavy-hex lattice (Falcon r5.11 layout).
+    pub fn ibmq_cairo() -> Self {
+        // Heavy-hex edge list for the 27-qubit Falcon processors.
+        let edges = [
+            (0, 1),
+            (1, 2),
+            (1, 4),
+            (2, 3),
+            (3, 5),
+            (4, 7),
+            (5, 8),
+            (6, 7),
+            (7, 10),
+            (8, 9),
+            (8, 11),
+            (10, 12),
+            (11, 14),
+            (12, 13),
+            (12, 15),
+            (13, 14),
+            (14, 16),
+            (15, 18),
+            (16, 19),
+            (17, 18),
+            (18, 21),
+            (19, 20),
+            (19, 22),
+            (21, 23),
+            (22, 25),
+            (23, 24),
+            (24, 25),
+            (25, 26),
+        ];
+        DeviceModel {
+            name: "ibmq_cairo".to_string(),
+            coupling: CouplingMap::from_edges(27, &edges),
+            noise: NoiseModel::depolarizing(0.0004, 0.010, 0.015)
+                .expect("static cairo noise parameters are valid"),
+        }
+    }
+
+    /// IonQ trapped-ion device: 11 qubits, all-to-all connectivity, lower
+    /// two-qubit error, slower but that does not matter here.
+    pub fn ionq() -> Self {
+        DeviceModel {
+            name: "ionq".to_string(),
+            coupling: CouplingMap::all_to_all(11),
+            noise: NoiseModel::depolarizing(0.0003, 0.006, 0.01)
+                .expect("static ionq noise parameters are valid"),
+        }
+    }
+
+    /// All predefined hardware models (excluding the ideal simulator).
+    pub fn catalog() -> Vec<DeviceModel> {
+        vec![
+            DeviceModel::ibmq_london(),
+            DeviceModel::ibmq_new_york(),
+            DeviceModel::ibmq_melbourne(),
+            DeviceModel::ibmq_rome(),
+            DeviceModel::ibmq_cairo(),
+            DeviceModel::ionq(),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_to_all_adjacency() {
+        let c = CouplingMap::all_to_all(4);
+        assert!(c.is_all_to_all());
+        for a in 0..4 {
+            for b in 0..4 {
+                assert_eq!(c.are_adjacent(a, b), a != b);
+            }
+        }
+    }
+
+    #[test]
+    fn linear_chain_adjacency_and_distance() {
+        let c = CouplingMap::linear(5);
+        assert!(c.are_adjacent(0, 1));
+        assert!(!c.are_adjacent(0, 2));
+        assert_eq!(c.distance(0, 4).unwrap(), 4);
+        assert_eq!(c.shortest_path(0, 3).unwrap(), vec![0, 1, 2, 3]);
+        assert_eq!(c.shortest_path(2, 2).unwrap(), vec![2]);
+    }
+
+    #[test]
+    fn disconnected_graph_reports_routing_error() {
+        let c = CouplingMap::from_edges(4, &[(0, 1), (2, 3)]);
+        assert!(matches!(c.shortest_path(0, 3), Err(SimError::Routing(_))));
+    }
+
+    #[test]
+    fn out_of_range_path_is_error() {
+        let c = CouplingMap::linear(3);
+        assert!(c.shortest_path(0, 5).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn edge_out_of_range_panics() {
+        let _ = CouplingMap::from_edges(2, &[(0, 3)]);
+    }
+
+    #[test]
+    fn t_shaped_london_topology() {
+        let d = DeviceModel::ibmq_london();
+        assert!(d.coupling.are_adjacent(1, 3));
+        assert!(!d.coupling.are_adjacent(0, 4));
+        assert_eq!(d.coupling.distance(0, 4).unwrap(), 3);
+    }
+
+    #[test]
+    fn ionq_is_all_to_all_and_lower_error() {
+        let ionq = DeviceModel::ionq();
+        let cairo = DeviceModel::ibmq_cairo();
+        assert!(ionq.coupling.is_all_to_all());
+        assert!(!cairo.coupling.is_all_to_all());
+        // IonQ's two-qubit error is strictly lower than Cairo's.
+        let ionq_p2 = ionq.noise.two_qubit[0].parameter();
+        let cairo_p2 = cairo.noise.two_qubit[0].parameter();
+        assert!(ionq_p2 < cairo_p2);
+    }
+
+    #[test]
+    fn cairo_is_connected() {
+        let d = DeviceModel::ibmq_cairo();
+        for q in 1..27 {
+            assert!(d.coupling.shortest_path(0, q).is_ok(), "qubit {q} unreachable");
+        }
+    }
+
+    #[test]
+    fn melbourne_is_connected() {
+        let d = DeviceModel::ibmq_melbourne();
+        for q in 1..15 {
+            assert!(d.coupling.shortest_path(0, q).is_ok(), "qubit {q} unreachable");
+        }
+    }
+
+    #[test]
+    fn catalog_contains_six_devices_with_unique_names() {
+        let cat = DeviceModel::catalog();
+        assert_eq!(cat.len(), 6);
+        let mut names: Vec<&str> = cat.iter().map(|d| d.name.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 6);
+    }
+
+    #[test]
+    fn ideal_simulator_is_noiseless() {
+        let d = DeviceModel::ideal_simulator(8);
+        assert!(d.noise.is_ideal());
+        assert_eq!(d.coupling.num_qubits(), 8);
+    }
+}

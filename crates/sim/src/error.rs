@@ -1,0 +1,112 @@
+//! Error types for the simulator crate.
+
+use std::fmt;
+
+/// Errors produced by the state-vector / density-matrix simulator.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SimError {
+    /// A qubit index was outside the register.
+    QubitOutOfRange {
+        /// The offending qubit index.
+        qubit: usize,
+        /// The register size.
+        num_qubits: usize,
+    },
+    /// The same qubit was passed twice to a multi-qubit gate.
+    DuplicateQubit(usize),
+    /// Two states (or a state and an operator) had incompatible sizes.
+    DimensionMismatch {
+        /// Expected number of qubits.
+        expected: usize,
+        /// Number of qubits found.
+        found: usize,
+    },
+    /// A state vector or density matrix failed validation.
+    InvalidState(String),
+    /// A circuit referenced a symbolic parameter that was not bound.
+    UnboundParameter {
+        /// Index of the missing parameter.
+        index: usize,
+        /// Number of values provided at bind time.
+        provided: usize,
+    },
+    /// A noise-model probability was outside [0, 1].
+    InvalidProbability(f64),
+    /// The requested operation is not supported by this backend.
+    Unsupported(String),
+    /// Routing / transpilation failed (e.g. disconnected coupling map).
+    Routing(String),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::QubitOutOfRange { qubit, num_qubits } => {
+                write!(f, "qubit {qubit} out of range for a {num_qubits}-qubit register")
+            }
+            SimError::DuplicateQubit(q) => write!(f, "duplicate qubit operand {q}"),
+            SimError::DimensionMismatch { expected, found } => {
+                write!(f, "dimension mismatch: expected {expected} qubits, found {found}")
+            }
+            SimError::InvalidState(msg) => write!(f, "invalid state: {msg}"),
+            SimError::UnboundParameter { index, provided } => write!(
+                f,
+                "circuit parameter {index} is unbound ({provided} values were provided)"
+            ),
+            SimError::InvalidProbability(p) => {
+                write!(f, "probability {p} is outside the interval [0, 1]")
+            }
+            SimError::Unsupported(msg) => write!(f, "unsupported operation: {msg}"),
+            SimError::Routing(msg) => write!(f, "routing error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let cases: Vec<(SimError, &str)> = vec![
+            (
+                SimError::QubitOutOfRange {
+                    qubit: 7,
+                    num_qubits: 5,
+                },
+                "qubit 7",
+            ),
+            (SimError::DuplicateQubit(3), "duplicate"),
+            (
+                SimError::DimensionMismatch {
+                    expected: 4,
+                    found: 2,
+                },
+                "dimension mismatch",
+            ),
+            (SimError::InvalidState("bad".into()), "invalid state"),
+            (
+                SimError::UnboundParameter {
+                    index: 2,
+                    provided: 1,
+                },
+                "unbound",
+            ),
+            (SimError::InvalidProbability(1.5), "probability"),
+            (SimError::Unsupported("x".into()), "unsupported"),
+            (SimError::Routing("no path".into()), "routing"),
+        ];
+        for (err, needle) in cases {
+            let msg = err.to_string();
+            assert!(msg.contains(needle), "{msg} should contain {needle}");
+        }
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_error<E: std::error::Error>(_e: &E) {}
+        assert_error(&SimError::DuplicateQubit(0));
+    }
+}

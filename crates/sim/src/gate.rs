@@ -1,0 +1,682 @@
+//! Quantum gate definitions.
+//!
+//! Every gate used by QuClassi (and a few extra standard gates useful for
+//! testing and transpilation) is represented by the [`Gate`] enum. Gates know
+//! which qubits they act on and can produce their unitary matrix, which is
+//! what the state-vector and density-matrix engines consume.
+//!
+//! Conventions:
+//!
+//! * Qubit 0 is the least-significant bit of a basis-state index
+//!   (|q_{n-1} … q_1 q_0⟩ ↔ integer `q_{n-1}·2^{n-1} + … + q_0`).
+//! * Rotation gates follow the standard convention `R_A(θ) = exp(-i θ A / 2)`.
+//!   The paper's Eq. 5–11 use the same convention (its printed RYY/RZZ
+//!   matrices contain typographical errors; we use the standard forms, which
+//!   is what Qiskit — the paper's simulator — implements).
+
+use crate::complex::Complex;
+use crate::linalg::CMatrix;
+
+/// A quantum gate applied to specific qubit indices.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Gate {
+    /// Identity on one qubit (useful as a placeholder).
+    I(usize),
+    /// Pauli-X (NOT).
+    X(usize),
+    /// Pauli-Y.
+    Y(usize),
+    /// Pauli-Z.
+    Z(usize),
+    /// Hadamard.
+    H(usize),
+    /// Phase gate S = diag(1, i).
+    S(usize),
+    /// Inverse phase gate S† = diag(1, -i).
+    Sdg(usize),
+    /// T gate = diag(1, e^{iπ/4}).
+    T(usize),
+    /// T† gate.
+    Tdg(usize),
+    /// Rotation about X by `theta`.
+    Rx(usize, f64),
+    /// Rotation about Y by `theta`.
+    Ry(usize, f64),
+    /// Rotation about Z by `theta`.
+    Rz(usize, f64),
+    /// General single-qubit rotation R(θ, φ) from the paper's Eq. 5.
+    R(usize, f64, f64),
+    /// Controlled-NOT with `control` and `target` qubits.
+    Cnot {
+        /// Control qubit.
+        control: usize,
+        /// Target qubit.
+        target: usize,
+    },
+    /// Controlled-Z.
+    Cz {
+        /// Control qubit.
+        control: usize,
+        /// Target qubit.
+        target: usize,
+    },
+    /// SWAP of two qubits.
+    Swap(usize, usize),
+    /// Controlled-SWAP (Fredkin) gate: swaps `a` and `b` when `control` is |1⟩.
+    CSwap {
+        /// Control qubit.
+        control: usize,
+        /// First swapped qubit.
+        a: usize,
+        /// Second swapped qubit.
+        b: usize,
+    },
+    /// Controlled rotation about X.
+    CRx {
+        /// Control qubit.
+        control: usize,
+        /// Target qubit.
+        target: usize,
+        /// Rotation angle.
+        theta: f64,
+    },
+    /// Controlled rotation about Y.
+    CRy {
+        /// Control qubit.
+        control: usize,
+        /// Target qubit.
+        target: usize,
+        /// Rotation angle.
+        theta: f64,
+    },
+    /// Controlled rotation about Z.
+    CRz {
+        /// Control qubit.
+        control: usize,
+        /// Target qubit.
+        target: usize,
+        /// Rotation angle.
+        theta: f64,
+    },
+    /// Two-qubit XX rotation exp(-i θ X⊗X / 2).
+    Rxx(usize, usize, f64),
+    /// Two-qubit YY rotation exp(-i θ Y⊗Y / 2).
+    Ryy(usize, usize, f64),
+    /// Two-qubit ZZ rotation exp(-i θ Z⊗Z / 2).
+    Rzz(usize, usize, f64),
+}
+
+impl Gate {
+    /// Returns the qubit indices this gate acts on, in matrix-ordering
+    /// (least-significant operand first).
+    pub fn qubits(&self) -> Vec<usize> {
+        match *self {
+            Gate::I(q)
+            | Gate::X(q)
+            | Gate::Y(q)
+            | Gate::Z(q)
+            | Gate::H(q)
+            | Gate::S(q)
+            | Gate::Sdg(q)
+            | Gate::T(q)
+            | Gate::Tdg(q)
+            | Gate::Rx(q, _)
+            | Gate::Ry(q, _)
+            | Gate::Rz(q, _)
+            | Gate::R(q, _, _) => vec![q],
+            Gate::Cnot { control, target }
+            | Gate::Cz { control, target }
+            | Gate::CRx {
+                control, target, ..
+            }
+            | Gate::CRy {
+                control, target, ..
+            }
+            | Gate::CRz {
+                control, target, ..
+            } => vec![target, control],
+            Gate::Swap(a, b) => vec![a, b],
+            Gate::Rxx(a, b, _) | Gate::Ryy(a, b, _) | Gate::Rzz(a, b, _) => vec![a, b],
+            Gate::CSwap { control, a, b } => vec![a, b, control],
+        }
+    }
+
+    /// Number of qubits the gate acts on.
+    pub fn arity(&self) -> usize {
+        self.qubits().len()
+    }
+
+    /// Short mnemonic name for display and circuit dumps.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Gate::I(_) => "i",
+            Gate::X(_) => "x",
+            Gate::Y(_) => "y",
+            Gate::Z(_) => "z",
+            Gate::H(_) => "h",
+            Gate::S(_) => "s",
+            Gate::Sdg(_) => "sdg",
+            Gate::T(_) => "t",
+            Gate::Tdg(_) => "tdg",
+            Gate::Rx(..) => "rx",
+            Gate::Ry(..) => "ry",
+            Gate::Rz(..) => "rz",
+            Gate::R(..) => "r",
+            Gate::Cnot { .. } => "cx",
+            Gate::Cz { .. } => "cz",
+            Gate::Swap(..) => "swap",
+            Gate::CSwap { .. } => "cswap",
+            Gate::CRx { .. } => "crx",
+            Gate::CRy { .. } => "cry",
+            Gate::CRz { .. } => "crz",
+            Gate::Rxx(..) => "rxx",
+            Gate::Ryy(..) => "ryy",
+            Gate::Rzz(..) => "rzz",
+        }
+    }
+
+    /// Returns the rotation angle for parameterised gates, if any.
+    pub fn angle(&self) -> Option<f64> {
+        match *self {
+            Gate::Rx(_, t)
+            | Gate::Ry(_, t)
+            | Gate::Rz(_, t)
+            | Gate::R(_, t, _)
+            | Gate::CRx { theta: t, .. }
+            | Gate::CRy { theta: t, .. }
+            | Gate::CRz { theta: t, .. }
+            | Gate::Rxx(_, _, t)
+            | Gate::Ryy(_, _, t)
+            | Gate::Rzz(_, _, t) => Some(t),
+            _ => None,
+        }
+    }
+
+    /// Returns the same gate with its angle replaced (no-op for fixed gates).
+    pub fn with_angle(&self, theta: f64) -> Gate {
+        match *self {
+            Gate::Rx(q, _) => Gate::Rx(q, theta),
+            Gate::Ry(q, _) => Gate::Ry(q, theta),
+            Gate::Rz(q, _) => Gate::Rz(q, theta),
+            Gate::R(q, _, phi) => Gate::R(q, theta, phi),
+            Gate::CRx {
+                control, target, ..
+            } => Gate::CRx {
+                control,
+                target,
+                theta,
+            },
+            Gate::CRy {
+                control, target, ..
+            } => Gate::CRy {
+                control,
+                target,
+                theta,
+            },
+            Gate::CRz {
+                control, target, ..
+            } => Gate::CRz {
+                control,
+                target,
+                theta,
+            },
+            Gate::Rxx(a, b, _) => Gate::Rxx(a, b, theta),
+            Gate::Ryy(a, b, _) => Gate::Ryy(a, b, theta),
+            Gate::Rzz(a, b, _) => Gate::Rzz(a, b, theta),
+            ref g => g.clone(),
+        }
+    }
+
+    /// Returns the inverse (adjoint) gate.
+    pub fn dagger(&self) -> Gate {
+        match *self {
+            Gate::S(q) => Gate::Sdg(q),
+            Gate::Sdg(q) => Gate::S(q),
+            Gate::T(q) => Gate::Tdg(q),
+            Gate::Tdg(q) => Gate::T(q),
+            Gate::Rx(q, t) => Gate::Rx(q, -t),
+            Gate::Ry(q, t) => Gate::Ry(q, -t),
+            Gate::Rz(q, t) => Gate::Rz(q, -t),
+            Gate::R(q, t, phi) => Gate::R(q, -t, phi),
+            Gate::CRx {
+                control,
+                target,
+                theta,
+            } => Gate::CRx {
+                control,
+                target,
+                theta: -theta,
+            },
+            Gate::CRy {
+                control,
+                target,
+                theta,
+            } => Gate::CRy {
+                control,
+                target,
+                theta: -theta,
+            },
+            Gate::CRz {
+                control,
+                target,
+                theta,
+            } => Gate::CRz {
+                control,
+                target,
+                theta: -theta,
+            },
+            Gate::Rxx(a, b, t) => Gate::Rxx(a, b, -t),
+            Gate::Ryy(a, b, t) => Gate::Ryy(a, b, -t),
+            Gate::Rzz(a, b, t) => Gate::Rzz(a, b, -t),
+            ref g => g.clone(), // self-inverse gates (Paulis, H, CNOT, CZ, SWAP, CSWAP)
+        }
+    }
+
+    /// The unitary matrix of this gate in the basis ordering of
+    /// [`Gate::qubits`] (first listed qubit = least-significant bit).
+    pub fn matrix(&self) -> CMatrix {
+        match *self {
+            Gate::I(_) => CMatrix::identity(2),
+            Gate::X(_) => matrices::pauli_x(),
+            Gate::Y(_) => matrices::pauli_y(),
+            Gate::Z(_) => matrices::pauli_z(),
+            Gate::H(_) => matrices::hadamard(),
+            Gate::S(_) => matrices::phase(std::f64::consts::FRAC_PI_2),
+            Gate::Sdg(_) => matrices::phase(-std::f64::consts::FRAC_PI_2),
+            Gate::T(_) => matrices::phase(std::f64::consts::FRAC_PI_4),
+            Gate::Tdg(_) => matrices::phase(-std::f64::consts::FRAC_PI_4),
+            Gate::Rx(_, t) => matrices::rx(t),
+            Gate::Ry(_, t) => matrices::ry(t),
+            Gate::Rz(_, t) => matrices::rz(t),
+            Gate::R(_, t, phi) => matrices::r(t, phi),
+            Gate::Cnot { .. } => matrices::controlled(&matrices::pauli_x()),
+            Gate::Cz { .. } => matrices::controlled(&matrices::pauli_z()),
+            Gate::Swap(..) => matrices::swap(),
+            Gate::CSwap { .. } => matrices::cswap(),
+            Gate::CRx { theta, .. } => matrices::controlled(&matrices::rx(theta)),
+            Gate::CRy { theta, .. } => matrices::controlled(&matrices::ry(theta)),
+            Gate::CRz { theta, .. } => matrices::controlled(&matrices::rz(theta)),
+            Gate::Rxx(_, _, t) => matrices::rxx(t),
+            Gate::Ryy(_, _, t) => matrices::ryy(t),
+            Gate::Rzz(_, _, t) => matrices::rzz(t),
+        }
+    }
+}
+
+/// Constructors for the raw gate matrices.
+pub mod matrices {
+    use super::*;
+
+    /// Pauli-X matrix.
+    pub fn pauli_x() -> CMatrix {
+        CMatrix::from_real(2, 2, &[0.0, 1.0, 1.0, 0.0])
+    }
+
+    /// Pauli-Y matrix.
+    pub fn pauli_y() -> CMatrix {
+        CMatrix::from_rows(
+            2,
+            2,
+            vec![
+                Complex::ZERO,
+                Complex::new(0.0, -1.0),
+                Complex::new(0.0, 1.0),
+                Complex::ZERO,
+            ],
+        )
+    }
+
+    /// Pauli-Z matrix.
+    pub fn pauli_z() -> CMatrix {
+        CMatrix::from_real(2, 2, &[1.0, 0.0, 0.0, -1.0])
+    }
+
+    /// Hadamard matrix.
+    pub fn hadamard() -> CMatrix {
+        let s = std::f64::consts::FRAC_1_SQRT_2;
+        CMatrix::from_real(2, 2, &[s, s, s, -s])
+    }
+
+    /// Phase gate diag(1, e^{iλ}).
+    pub fn phase(lambda: f64) -> CMatrix {
+        CMatrix::from_rows(
+            2,
+            2,
+            vec![
+                Complex::ONE,
+                Complex::ZERO,
+                Complex::ZERO,
+                Complex::cis(lambda),
+            ],
+        )
+    }
+
+    /// General rotation from the paper's Eq. 5:
+    /// `R(θ, φ) = [[cos θ/2, -i e^{-iφ} sin θ/2], [-i e^{iφ} sin θ/2, cos θ/2]]`.
+    pub fn r(theta: f64, phi: f64) -> CMatrix {
+        let c = Complex::from_real((theta / 2.0).cos());
+        let s = (theta / 2.0).sin();
+        let mi = Complex::new(0.0, -1.0);
+        CMatrix::from_rows(
+            2,
+            2,
+            vec![
+                c,
+                mi * Complex::cis(-phi) * s,
+                mi * Complex::cis(phi) * s,
+                c,
+            ],
+        )
+    }
+
+    /// Rotation about X: `RX(θ) = R(θ, 0)` (paper Eq. 6).
+    pub fn rx(theta: f64) -> CMatrix {
+        r(theta, 0.0)
+    }
+
+    /// Rotation about Y: `RY(θ) = R(θ, π/2)` (paper Eq. 7).
+    pub fn ry(theta: f64) -> CMatrix {
+        let c = (theta / 2.0).cos();
+        let s = (theta / 2.0).sin();
+        CMatrix::from_real(2, 2, &[c, -s, s, c])
+    }
+
+    /// Rotation about Z: `RZ(θ) = diag(e^{-iθ/2}, e^{iθ/2})` (paper Eq. 8).
+    pub fn rz(theta: f64) -> CMatrix {
+        CMatrix::from_rows(
+            2,
+            2,
+            vec![
+                Complex::cis(-theta / 2.0),
+                Complex::ZERO,
+                Complex::ZERO,
+                Complex::cis(theta / 2.0),
+            ],
+        )
+    }
+
+    /// Promotes a single-qubit unitary to its controlled version on two
+    /// qubits (control = most-significant operand).
+    pub fn controlled(u: &CMatrix) -> CMatrix {
+        assert_eq!(u.rows(), 2);
+        assert_eq!(u.cols(), 2);
+        let mut m = CMatrix::identity(4);
+        // Basis ordering |control target⟩ with target as least-significant bit:
+        // indices 2 and 3 have control = 1.
+        m[(2, 2)] = u[(0, 0)];
+        m[(2, 3)] = u[(0, 1)];
+        m[(3, 2)] = u[(1, 0)];
+        m[(3, 3)] = u[(1, 1)];
+        m
+    }
+
+    /// SWAP matrix on two qubits.
+    pub fn swap() -> CMatrix {
+        CMatrix::from_real(
+            4,
+            4,
+            &[
+                1.0, 0.0, 0.0, 0.0, //
+                0.0, 0.0, 1.0, 0.0, //
+                0.0, 1.0, 0.0, 0.0, //
+                0.0, 0.0, 0.0, 1.0,
+            ],
+        )
+    }
+
+    /// Controlled-SWAP (Fredkin) matrix on three qubits; control is the
+    /// most-significant operand, the two swapped qubits are the lower two.
+    pub fn cswap() -> CMatrix {
+        let mut m = CMatrix::identity(8);
+        // When control bit (value 4) is set, swap the two low bits:
+        // |1 b a⟩: indices 4..8; swap index 5 (a=1,b=0) and 6 (a=0,b=1).
+        m[(5, 5)] = Complex::ZERO;
+        m[(6, 6)] = Complex::ZERO;
+        m[(5, 6)] = Complex::ONE;
+        m[(6, 5)] = Complex::ONE;
+        m
+    }
+
+    /// Two-qubit rotation exp(-i θ X⊗X / 2) (paper Eq. 9).
+    pub fn rxx(theta: f64) -> CMatrix {
+        let c = Complex::from_real((theta / 2.0).cos());
+        let ms = Complex::new(0.0, -(theta / 2.0).sin());
+        let z = Complex::ZERO;
+        CMatrix::from_rows(
+            4,
+            4,
+            vec![
+                c, z, z, ms, //
+                z, c, ms, z, //
+                z, ms, c, z, //
+                ms, z, z, c,
+            ],
+        )
+    }
+
+    /// Two-qubit rotation exp(-i θ Y⊗Y / 2) (paper Eq. 10, corrected signs).
+    pub fn ryy(theta: f64) -> CMatrix {
+        let c = Complex::from_real((theta / 2.0).cos());
+        let ps = Complex::new(0.0, (theta / 2.0).sin());
+        let ms = Complex::new(0.0, -(theta / 2.0).sin());
+        let z = Complex::ZERO;
+        CMatrix::from_rows(
+            4,
+            4,
+            vec![
+                c, z, z, ps, //
+                z, c, ms, z, //
+                z, ms, c, z, //
+                ps, z, z, c,
+            ],
+        )
+    }
+
+    /// Two-qubit rotation exp(-i θ Z⊗Z / 2) (paper Eq. 11, corrected — the
+    /// printed matrix is a global phase, the standard RZZ is used instead).
+    pub fn rzz(theta: f64) -> CMatrix {
+        let em = Complex::cis(-theta / 2.0);
+        let ep = Complex::cis(theta / 2.0);
+        let z = Complex::ZERO;
+        CMatrix::from_rows(
+            4,
+            4,
+            vec![
+                em, z, z, z, //
+                z, ep, z, z, //
+                z, z, ep, z, //
+                z, z, z, em,
+            ],
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::PI;
+
+    const TOL: f64 = 1e-12;
+
+    #[test]
+    fn all_gate_matrices_are_unitary() {
+        let gates = vec![
+            Gate::I(0),
+            Gate::X(0),
+            Gate::Y(0),
+            Gate::Z(0),
+            Gate::H(0),
+            Gate::S(0),
+            Gate::Sdg(0),
+            Gate::T(0),
+            Gate::Tdg(0),
+            Gate::Rx(0, 0.7),
+            Gate::Ry(0, 1.3),
+            Gate::Rz(0, -2.1),
+            Gate::R(0, 0.4, 1.1),
+            Gate::Cnot {
+                control: 1,
+                target: 0,
+            },
+            Gate::Cz {
+                control: 1,
+                target: 0,
+            },
+            Gate::Swap(0, 1),
+            Gate::CSwap {
+                control: 2,
+                a: 0,
+                b: 1,
+            },
+            Gate::CRx {
+                control: 1,
+                target: 0,
+                theta: 0.3,
+            },
+            Gate::CRy {
+                control: 1,
+                target: 0,
+                theta: 0.9,
+            },
+            Gate::CRz {
+                control: 1,
+                target: 0,
+                theta: -0.5,
+            },
+            Gate::Rxx(0, 1, 0.8),
+            Gate::Ryy(0, 1, 1.9),
+            Gate::Rzz(0, 1, -0.2),
+        ];
+        for g in gates {
+            assert!(
+                g.matrix().is_unitary(TOL),
+                "gate {} is not unitary",
+                g.name()
+            );
+            assert_eq!(g.matrix().rows(), 1 << g.arity());
+        }
+    }
+
+    #[test]
+    fn rx_matches_paper_definition() {
+        // RX(θ) = R(θ, 0)
+        let theta = 0.613;
+        assert!(matrices::rx(theta).max_abs_diff(&matrices::r(theta, 0.0)) < TOL);
+    }
+
+    #[test]
+    fn ry_matches_r_with_phi_pi_over_two() {
+        let theta = 1.234;
+        assert!(matrices::ry(theta).max_abs_diff(&matrices::r(theta, PI / 2.0)) < TOL);
+    }
+
+    #[test]
+    fn rotation_by_zero_is_identity() {
+        for m in [matrices::rx(0.0), matrices::ry(0.0), matrices::rz(0.0)] {
+            assert!(m.max_abs_diff(&CMatrix::identity(2)) < TOL);
+        }
+        for m in [matrices::rxx(0.0), matrices::ryy(0.0), matrices::rzz(0.0)] {
+            assert!(m.max_abs_diff(&CMatrix::identity(4)) < TOL);
+        }
+    }
+
+    #[test]
+    fn rotation_by_two_pi_is_minus_identity() {
+        let m = matrices::ry(2.0 * PI);
+        assert!(m.max_abs_diff(&CMatrix::identity(2).scale(Complex::from_real(-1.0))) < 1e-10);
+    }
+
+    #[test]
+    fn ry_pi_maps_zero_to_one() {
+        let v = matrices::ry(PI).matvec(&[Complex::ONE, Complex::ZERO]);
+        assert!((v[1].norm_sqr() - 1.0).abs() < TOL);
+    }
+
+    #[test]
+    fn cnot_flips_target_when_control_set() {
+        let cx = matrices::controlled(&matrices::pauli_x());
+        // |control=1, target=0⟩ = index 2 -> |11⟩ = index 3
+        let mut v = vec![Complex::ZERO; 4];
+        v[2] = Complex::ONE;
+        let out = cx.matvec(&v);
+        assert_eq!(out[3], Complex::ONE);
+        // |control=0, target=1⟩ = index 1 stays
+        let mut v = vec![Complex::ZERO; 4];
+        v[1] = Complex::ONE;
+        let out = cx.matvec(&v);
+        assert_eq!(out[1], Complex::ONE);
+    }
+
+    #[test]
+    fn cswap_swaps_only_with_control_set() {
+        let m = matrices::cswap();
+        // control clear: |0,b=0,a=1⟩ = index 1 unchanged
+        let mut v = vec![Complex::ZERO; 8];
+        v[1] = Complex::ONE;
+        assert_eq!(m.matvec(&v)[1], Complex::ONE);
+        // control set: |1,b=0,a=1⟩ = index 5 -> |1,b=1,a=0⟩ = index 6
+        let mut v = vec![Complex::ZERO; 8];
+        v[5] = Complex::ONE;
+        assert_eq!(m.matvec(&v)[6], Complex::ONE);
+    }
+
+    #[test]
+    fn dagger_inverts_rotations() {
+        let g = Gate::Ry(0, 0.77);
+        let prod = g.matrix().matmul(&g.dagger().matrix());
+        assert!(prod.max_abs_diff(&CMatrix::identity(2)) < TOL);
+        let g = Gate::Rzz(0, 1, 1.5);
+        let prod = g.matrix().matmul(&g.dagger().matrix());
+        assert!(prod.max_abs_diff(&CMatrix::identity(4)) < TOL);
+    }
+
+    #[test]
+    fn with_angle_replaces_parameter() {
+        let g = Gate::CRy {
+            control: 3,
+            target: 1,
+            theta: 0.1,
+        };
+        let g2 = g.with_angle(0.9);
+        assert_eq!(g2.angle(), Some(0.9));
+        assert_eq!(g2.qubits(), g.qubits());
+        // Fixed gates are untouched.
+        assert_eq!(Gate::H(2).with_angle(5.0), Gate::H(2));
+    }
+
+    #[test]
+    fn qubit_lists_and_arity() {
+        assert_eq!(Gate::H(3).qubits(), vec![3]);
+        assert_eq!(
+            Gate::Cnot {
+                control: 2,
+                target: 5
+            }
+            .qubits(),
+            vec![5, 2]
+        );
+        assert_eq!(
+            Gate::CSwap {
+                control: 0,
+                a: 1,
+                b: 2
+            }
+            .arity(),
+            3
+        );
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(Gate::Rx(0, 1.0).name(), "rx");
+        assert_eq!(
+            Gate::CSwap {
+                control: 0,
+                a: 1,
+                b: 2
+            }
+            .name(),
+            "cswap"
+        );
+    }
+}

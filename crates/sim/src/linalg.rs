@@ -1,0 +1,318 @@
+//! Small dense complex matrix type and the handful of linear-algebra
+//! routines the simulator needs (matrix product, Kronecker product,
+//! adjoint, unitarity checks).
+//!
+//! Matrices are stored row-major in a flat `Vec<Complex>`; sizes are small
+//! (gate matrices are at most 8×8, density matrices up to 2¹⁰×2¹⁰ in tests)
+//! so no effort is spent on blocking or SIMD.
+
+use crate::complex::Complex;
+
+/// A dense, row-major complex matrix.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<Complex>,
+}
+
+impl CMatrix {
+    /// Creates a matrix of zeros with the given shape.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        CMatrix {
+            rows,
+            cols,
+            data: vec![Complex::ZERO; rows * cols],
+        }
+    }
+
+    /// Creates the `n × n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = CMatrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = Complex::ONE;
+        }
+        m
+    }
+
+    /// Builds a matrix from a row-major slice of complex entries.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_rows(rows: usize, cols: usize, data: Vec<Complex>) -> Self {
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "matrix data length {} does not match shape {}x{}",
+            data.len(),
+            rows,
+            cols
+        );
+        CMatrix { rows, cols, data }
+    }
+
+    /// Builds a matrix from real entries (imaginary parts zero).
+    pub fn from_real(rows: usize, cols: usize, data: &[f64]) -> Self {
+        let data = data.iter().map(|&x| Complex::from_real(x)).collect();
+        CMatrix::from_rows(rows, cols, data)
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Flat row-major view of the entries.
+    pub fn as_slice(&self) -> &[Complex] {
+        &self.data
+    }
+
+    /// Matrix product `self · rhs`.
+    ///
+    /// # Panics
+    /// Panics on inner-dimension mismatch.
+    pub fn matmul(&self, rhs: &CMatrix) -> CMatrix {
+        assert_eq!(
+            self.cols, rhs.rows,
+            "matmul dimension mismatch: {}x{} · {}x{}",
+            self.rows, self.cols, rhs.rows, rhs.cols
+        );
+        let mut out = CMatrix::zeros(self.rows, rhs.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self[(i, k)];
+                if a == Complex::ZERO {
+                    continue;
+                }
+                for j in 0..rhs.cols {
+                    out[(i, j)] += a * rhs[(k, j)];
+                }
+            }
+        }
+        out
+    }
+
+    /// Matrix–vector product `self · v`.
+    pub fn matvec(&self, v: &[Complex]) -> Vec<Complex> {
+        assert_eq!(self.cols, v.len(), "matvec dimension mismatch");
+        let mut out = vec![Complex::ZERO; self.rows];
+        for i in 0..self.rows {
+            let mut acc = Complex::ZERO;
+            for j in 0..self.cols {
+                acc += self[(i, j)] * v[j];
+            }
+            out[i] = acc;
+        }
+        out
+    }
+
+    /// Kronecker (tensor) product `self ⊗ rhs`.
+    pub fn kron(&self, rhs: &CMatrix) -> CMatrix {
+        let mut out = CMatrix::zeros(self.rows * rhs.rows, self.cols * rhs.cols);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                let a = self[(i, j)];
+                if a == Complex::ZERO {
+                    continue;
+                }
+                for k in 0..rhs.rows {
+                    for l in 0..rhs.cols {
+                        out[(i * rhs.rows + k, j * rhs.cols + l)] = a * rhs[(k, l)];
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Conjugate transpose (adjoint) `self†`.
+    pub fn adjoint(&self) -> CMatrix {
+        let mut out = CMatrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                out[(j, i)] = self[(i, j)].conj();
+            }
+        }
+        out
+    }
+
+    /// Transpose without conjugation.
+    pub fn transpose(&self) -> CMatrix {
+        let mut out = CMatrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                out[(j, i)] = self[(i, j)];
+            }
+        }
+        out
+    }
+
+    /// Scales every entry by a complex factor.
+    pub fn scale(&self, s: Complex) -> CMatrix {
+        let data = self.data.iter().map(|&z| z * s).collect();
+        CMatrix::from_rows(self.rows, self.cols, data)
+    }
+
+    /// Entry-wise sum `self + rhs`.
+    pub fn add(&self, rhs: &CMatrix) -> CMatrix {
+        assert_eq!(self.rows, rhs.rows);
+        assert_eq!(self.cols, rhs.cols);
+        let data = self
+            .data
+            .iter()
+            .zip(rhs.data.iter())
+            .map(|(&a, &b)| a + b)
+            .collect();
+        CMatrix::from_rows(self.rows, self.cols, data)
+    }
+
+    /// Trace of a square matrix.
+    pub fn trace(&self) -> Complex {
+        assert_eq!(self.rows, self.cols, "trace requires a square matrix");
+        (0..self.rows).map(|i| self[(i, i)]).sum()
+    }
+
+    /// Maximum absolute difference between corresponding entries.
+    pub fn max_abs_diff(&self, rhs: &CMatrix) -> f64 {
+        assert_eq!(self.rows, rhs.rows);
+        assert_eq!(self.cols, rhs.cols);
+        self.data
+            .iter()
+            .zip(rhs.data.iter())
+            .map(|(&a, &b)| (a - b).norm())
+            .fold(0.0, f64::max)
+    }
+
+    /// Checks `U†U ≈ I` within `tol`.
+    pub fn is_unitary(&self, tol: f64) -> bool {
+        if self.rows != self.cols {
+            return false;
+        }
+        let prod = self.adjoint().matmul(self);
+        prod.max_abs_diff(&CMatrix::identity(self.rows)) <= tol
+    }
+
+    /// Checks `A ≈ A†` within `tol`.
+    pub fn is_hermitian(&self, tol: f64) -> bool {
+        if self.rows != self.cols {
+            return false;
+        }
+        self.max_abs_diff(&self.adjoint()) <= tol
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for CMatrix {
+    type Output = Complex;
+    #[inline]
+    fn index(&self, (i, j): (usize, usize)) -> &Complex {
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for CMatrix {
+    #[inline]
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut Complex {
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(re: f64, im: f64) -> Complex {
+        Complex::new(re, im)
+    }
+
+    #[test]
+    fn identity_times_anything_is_identity_map() {
+        let a = CMatrix::from_real(2, 2, &[1.0, 2.0, 3.0, 4.0]);
+        let i = CMatrix::identity(2);
+        assert_eq!(i.matmul(&a), a);
+        assert_eq!(a.matmul(&i), a);
+    }
+
+    #[test]
+    fn matmul_known_product() {
+        let a = CMatrix::from_real(2, 2, &[1.0, 2.0, 3.0, 4.0]);
+        let b = CMatrix::from_real(2, 2, &[5.0, 6.0, 7.0, 8.0]);
+        let p = a.matmul(&b);
+        assert_eq!(p, CMatrix::from_real(2, 2, &[19.0, 22.0, 43.0, 50.0]));
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul dimension mismatch")]
+    fn matmul_shape_mismatch_panics() {
+        let a = CMatrix::zeros(2, 3);
+        let b = CMatrix::zeros(2, 3);
+        let _ = a.matmul(&b);
+    }
+
+    #[test]
+    fn matvec_matches_matmul() {
+        let a = CMatrix::from_real(2, 2, &[0.0, 1.0, 1.0, 0.0]);
+        let v = vec![c(1.0, 0.0), c(0.0, 0.0)];
+        let out = a.matvec(&v);
+        assert_eq!(out, vec![c(0.0, 0.0), c(1.0, 0.0)]);
+    }
+
+    #[test]
+    fn kron_dimensions_and_values() {
+        let a = CMatrix::from_real(2, 2, &[1.0, 0.0, 0.0, 1.0]);
+        let b = CMatrix::from_real(2, 2, &[0.0, 1.0, 1.0, 0.0]);
+        let k = a.kron(&b);
+        assert_eq!(k.rows(), 4);
+        assert_eq!(k.cols(), 4);
+        // I ⊗ X applied to |00> -> |01>
+        let v = vec![c(1.0, 0.0), c(0.0, 0.0), c(0.0, 0.0), c(0.0, 0.0)];
+        let out = k.matvec(&v);
+        assert_eq!(out[1], Complex::ONE);
+    }
+
+    #[test]
+    fn adjoint_conjugates_and_transposes() {
+        let a = CMatrix::from_rows(2, 2, vec![c(1.0, 1.0), c(2.0, 0.0), c(0.0, 3.0), c(4.0, -1.0)]);
+        let ad = a.adjoint();
+        assert_eq!(ad[(0, 1)], c(0.0, -3.0));
+        assert_eq!(ad[(1, 0)], c(2.0, 0.0));
+    }
+
+    #[test]
+    fn unitary_and_hermitian_checks() {
+        // Hadamard is both unitary and Hermitian.
+        let s = std::f64::consts::FRAC_1_SQRT_2;
+        let h = CMatrix::from_real(2, 2, &[s, s, s, -s]);
+        assert!(h.is_unitary(1e-12));
+        assert!(h.is_hermitian(1e-12));
+        // A non-unitary matrix.
+        let m = CMatrix::from_real(2, 2, &[1.0, 1.0, 0.0, 1.0]);
+        assert!(!m.is_unitary(1e-12));
+    }
+
+    #[test]
+    fn trace_sums_diagonal() {
+        let a = CMatrix::from_real(2, 2, &[1.0, 9.0, 9.0, 2.0]);
+        assert_eq!(a.trace(), c(3.0, 0.0));
+    }
+
+    #[test]
+    fn scale_and_add() {
+        let a = CMatrix::identity(2);
+        let b = a.scale(c(0.0, 2.0));
+        assert_eq!(b[(0, 0)], c(0.0, 2.0));
+        let s = a.add(&b);
+        assert_eq!(s[(1, 1)], c(1.0, 2.0));
+    }
+
+    #[test]
+    fn non_square_is_not_unitary_or_hermitian() {
+        let m = CMatrix::zeros(2, 3);
+        assert!(!m.is_unitary(1e-9));
+        assert!(!m.is_hermitian(1e-9));
+    }
+}

@@ -1,0 +1,392 @@
+//! Noise channels and device noise models.
+//!
+//! Two consumption paths are provided:
+//!
+//! * **Kraus form** — every channel can produce its Kraus operators, which
+//!   the density-matrix engine applies exactly (`ρ → Σ_k K_k ρ K_k†`).
+//! * **Trajectory form** — for registers too large for a density matrix, the
+//!   state-vector engine samples one Kraus branch per channel application
+//!   (quantum-trajectory / Monte-Carlo wave-function method).
+//!
+//! A [`NoiseModel`] bundles per-gate error rates and readout error, which is
+//! how the repository models the IBM-Q and IonQ devices used in the paper's
+//! Section 5.4.
+
+use crate::complex::Complex;
+use crate::error::SimError;
+use crate::gate::Gate;
+use crate::linalg::CMatrix;
+use crate::state::StateVector;
+use rand::Rng;
+
+/// A single-qubit noise channel.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum NoiseChannel {
+    /// Depolarizing channel with error probability `p` (X, Y, Z each with p/3).
+    Depolarizing(f64),
+    /// Bit flip (X) with probability `p`.
+    BitFlip(f64),
+    /// Phase flip (Z) with probability `p`.
+    PhaseFlip(f64),
+    /// Amplitude damping with decay probability `gamma`.
+    AmplitudeDamping(f64),
+    /// Phase damping with probability `lambda`.
+    PhaseDamping(f64),
+}
+
+impl NoiseChannel {
+    /// The error probability / strength parameter of the channel.
+    pub fn parameter(&self) -> f64 {
+        match *self {
+            NoiseChannel::Depolarizing(p)
+            | NoiseChannel::BitFlip(p)
+            | NoiseChannel::PhaseFlip(p)
+            | NoiseChannel::AmplitudeDamping(p)
+            | NoiseChannel::PhaseDamping(p) => p,
+        }
+    }
+
+    /// Validates that the channel parameter is a probability.
+    pub fn validate(&self) -> Result<(), SimError> {
+        let p = self.parameter();
+        if !(0.0..=1.0).contains(&p) || !p.is_finite() {
+            return Err(SimError::InvalidProbability(p));
+        }
+        Ok(())
+    }
+
+    /// Kraus operators of the channel (2×2 matrices).
+    pub fn kraus_operators(&self) -> Vec<CMatrix> {
+        match *self {
+            NoiseChannel::Depolarizing(p) => {
+                let k0 = CMatrix::identity(2).scale(Complex::from_real((1.0 - p).sqrt()));
+                let s = (p / 3.0).sqrt();
+                vec![
+                    k0,
+                    crate::gate::matrices::pauli_x().scale(Complex::from_real(s)),
+                    crate::gate::matrices::pauli_y().scale(Complex::from_real(s)),
+                    crate::gate::matrices::pauli_z().scale(Complex::from_real(s)),
+                ]
+            }
+            NoiseChannel::BitFlip(p) => vec![
+                CMatrix::identity(2).scale(Complex::from_real((1.0 - p).sqrt())),
+                crate::gate::matrices::pauli_x().scale(Complex::from_real(p.sqrt())),
+            ],
+            NoiseChannel::PhaseFlip(p) => vec![
+                CMatrix::identity(2).scale(Complex::from_real((1.0 - p).sqrt())),
+                crate::gate::matrices::pauli_z().scale(Complex::from_real(p.sqrt())),
+            ],
+            NoiseChannel::AmplitudeDamping(gamma) => {
+                let mut k0 = CMatrix::identity(2);
+                k0[(1, 1)] = Complex::from_real((1.0 - gamma).sqrt());
+                let mut k1 = CMatrix::zeros(2, 2);
+                k1[(0, 1)] = Complex::from_real(gamma.sqrt());
+                vec![k0, k1]
+            }
+            NoiseChannel::PhaseDamping(lambda) => {
+                let mut k0 = CMatrix::identity(2);
+                k0[(1, 1)] = Complex::from_real((1.0 - lambda).sqrt());
+                let mut k1 = CMatrix::zeros(2, 2);
+                k1[(1, 1)] = Complex::from_real(lambda.sqrt());
+                vec![k0, k1]
+            }
+        }
+    }
+
+    /// Applies the channel to a single qubit of a state vector by sampling
+    /// one Kraus branch (quantum-trajectory step).
+    pub fn apply_trajectory<R: Rng + ?Sized>(
+        &self,
+        state: &mut StateVector,
+        qubit: usize,
+        rng: &mut R,
+    ) -> Result<(), SimError> {
+        self.validate()?;
+        if qubit >= state.num_qubits() {
+            return Err(SimError::QubitOutOfRange {
+                qubit,
+                num_qubits: state.num_qubits(),
+            });
+        }
+        let kraus = self.kraus_operators();
+        // Compute branch probabilities p_k = <psi| K_k† K_k |psi> by applying
+        // K_k to a copy and taking the squared norm.
+        let mut probs = Vec::with_capacity(kraus.len());
+        let mut branches = Vec::with_capacity(kraus.len());
+        for k in &kraus {
+            let mut branch = state.clone();
+            branch.apply_single_qubit_matrix(qubit, k);
+            let p = branch.norm_sqr();
+            probs.push(p);
+            branches.push(branch);
+        }
+        let total: f64 = probs.iter().sum();
+        let mut r = rng.gen::<f64>() * total;
+        for (p, mut branch) in probs.into_iter().zip(branches.into_iter()) {
+            if r < p || p >= total {
+                branch.renormalize();
+                *state = branch;
+                return Ok(());
+            }
+            r -= p;
+        }
+        Ok(())
+    }
+}
+
+/// Readout (measurement assignment) error: probability of flipping the
+/// classical outcome after a perfect projective measurement.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct ReadoutError {
+    /// P(report 1 | true 0).
+    pub p01: f64,
+    /// P(report 0 | true 1).
+    pub p10: f64,
+}
+
+impl ReadoutError {
+    /// Creates a readout error model; both probabilities must lie in [0, 1].
+    pub fn new(p01: f64, p10: f64) -> Result<Self, SimError> {
+        for p in [p01, p10] {
+            if !(0.0..=1.0).contains(&p) || !p.is_finite() {
+                return Err(SimError::InvalidProbability(p));
+            }
+        }
+        Ok(ReadoutError { p01, p10 })
+    }
+
+    /// Applies the assignment error to a true probability of measuring |1⟩.
+    pub fn corrupt_probability(&self, p1_true: f64) -> f64 {
+        (1.0 - p1_true) * self.p01 + p1_true * (1.0 - self.p10)
+    }
+
+    /// Flips a sampled classical bit according to the assignment error.
+    pub fn corrupt_bit<R: Rng + ?Sized>(&self, bit: bool, rng: &mut R) -> bool {
+        let flip_prob = if bit { self.p10 } else { self.p01 };
+        if rng.gen::<f64>() < flip_prob {
+            !bit
+        } else {
+            bit
+        }
+    }
+}
+
+/// A gate-level noise model: error channels attached to every single- and
+/// two-qubit gate, plus readout error.
+#[derive(Clone, Debug, PartialEq)]
+pub struct NoiseModel {
+    /// Channel applied to the operand of every single-qubit gate.
+    pub single_qubit: Vec<NoiseChannel>,
+    /// Channel applied to *each* operand of every multi-qubit gate.
+    pub two_qubit: Vec<NoiseChannel>,
+    /// Readout error applied at measurement time.
+    pub readout: ReadoutError,
+}
+
+impl NoiseModel {
+    /// An ideal (noise-free) model.
+    pub fn ideal() -> Self {
+        NoiseModel {
+            single_qubit: Vec::new(),
+            two_qubit: Vec::new(),
+            readout: ReadoutError::default(),
+        }
+    }
+
+    /// A simple depolarizing model with separate 1-qubit / 2-qubit error
+    /// rates and symmetric readout error — the shape used for the IBM-Q
+    /// device models.
+    pub fn depolarizing(p1: f64, p2: f64, readout: f64) -> Result<Self, SimError> {
+        let c1 = NoiseChannel::Depolarizing(p1);
+        let c2 = NoiseChannel::Depolarizing(p2);
+        c1.validate()?;
+        c2.validate()?;
+        Ok(NoiseModel {
+            single_qubit: vec![c1],
+            two_qubit: vec![c2],
+            readout: ReadoutError::new(readout, readout)?,
+        })
+    }
+
+    /// Whether the model is exactly noise-free.
+    pub fn is_ideal(&self) -> bool {
+        self.single_qubit.is_empty()
+            && self.two_qubit.is_empty()
+            && self.readout == ReadoutError::default()
+    }
+
+    /// The channels to apply to each qubit after executing `gate`.
+    pub fn channels_for_gate(&self, gate: &Gate) -> Vec<(usize, NoiseChannel)> {
+        let qubits = gate.qubits();
+        let channels = if qubits.len() == 1 {
+            &self.single_qubit
+        } else {
+            &self.two_qubit
+        };
+        let mut out = Vec::new();
+        for &q in &qubits {
+            for &c in channels {
+                out.push((q, c));
+            }
+        }
+        out
+    }
+
+    /// Applies the per-gate noise to a state vector via trajectory sampling.
+    pub fn apply_after_gate<R: Rng + ?Sized>(
+        &self,
+        state: &mut StateVector,
+        gate: &Gate,
+        rng: &mut R,
+    ) -> Result<(), SimError> {
+        for (q, c) in self.channels_for_gate(gate) {
+            c.apply_trajectory(state, q, rng)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn kraus_completeness(channel: NoiseChannel) -> f64 {
+        // Σ K† K should equal the identity.
+        let kraus = channel.kraus_operators();
+        let mut sum = CMatrix::zeros(2, 2);
+        for k in &kraus {
+            sum = sum.add(&k.adjoint().matmul(k));
+        }
+        sum.max_abs_diff(&CMatrix::identity(2))
+    }
+
+    #[test]
+    fn kraus_operators_are_trace_preserving() {
+        for ch in [
+            NoiseChannel::Depolarizing(0.1),
+            NoiseChannel::BitFlip(0.25),
+            NoiseChannel::PhaseFlip(0.3),
+            NoiseChannel::AmplitudeDamping(0.4),
+            NoiseChannel::PhaseDamping(0.2),
+        ] {
+            assert!(
+                kraus_completeness(ch) < 1e-12,
+                "channel {ch:?} is not trace preserving"
+            );
+        }
+    }
+
+    #[test]
+    fn invalid_probabilities_rejected() {
+        assert!(NoiseChannel::Depolarizing(1.5).validate().is_err());
+        assert!(NoiseChannel::BitFlip(-0.1).validate().is_err());
+        assert!(NoiseChannel::Depolarizing(f64::NAN).validate().is_err());
+        assert!(ReadoutError::new(0.5, 1.2).is_err());
+        assert!(NoiseModel::depolarizing(2.0, 0.0, 0.0).is_err());
+    }
+
+    #[test]
+    fn trajectory_preserves_normalisation() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut sv = StateVector::zero_state(2);
+        sv.apply_gate(&Gate::H(0)).unwrap();
+        for _ in 0..50 {
+            NoiseChannel::Depolarizing(0.2)
+                .apply_trajectory(&mut sv, 0, &mut rng)
+                .unwrap();
+            NoiseChannel::AmplitudeDamping(0.1)
+                .apply_trajectory(&mut sv, 1, &mut rng)
+                .unwrap();
+            assert!((sv.norm_sqr() - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn bit_flip_trajectory_statistics() {
+        // Starting from |0>, a bit-flip channel with p = 0.3 should leave the
+        // qubit in |1> about 30 % of the time.
+        let mut rng = StdRng::seed_from_u64(99);
+        let trials = 4000;
+        let mut ones = 0;
+        for _ in 0..trials {
+            let mut sv = StateVector::zero_state(1);
+            NoiseChannel::BitFlip(0.3)
+                .apply_trajectory(&mut sv, 0, &mut rng)
+                .unwrap();
+            if sv.probability_of_one(0).unwrap() > 0.5 {
+                ones += 1;
+            }
+        }
+        let frac = ones as f64 / trials as f64;
+        assert!((frac - 0.3).abs() < 0.03, "observed flip fraction {frac}");
+    }
+
+    #[test]
+    fn amplitude_damping_relaxes_excited_state() {
+        // |1> under repeated amplitude damping decays towards |0>.
+        let mut rng = StdRng::seed_from_u64(5);
+        let trials = 2000;
+        let mut stayed_excited = 0;
+        for _ in 0..trials {
+            let mut sv = StateVector::zero_state(1);
+            sv.apply_gate(&Gate::X(0)).unwrap();
+            NoiseChannel::AmplitudeDamping(0.4)
+                .apply_trajectory(&mut sv, 0, &mut rng)
+                .unwrap();
+            if sv.probability_of_one(0).unwrap() > 0.5 {
+                stayed_excited += 1;
+            }
+        }
+        let frac = stayed_excited as f64 / trials as f64;
+        assert!((frac - 0.6).abs() < 0.04, "excited fraction {frac}");
+    }
+
+    #[test]
+    fn readout_error_corrupts_probability() {
+        let ro = ReadoutError::new(0.1, 0.2).unwrap();
+        assert!((ro.corrupt_probability(0.0) - 0.1).abs() < 1e-12);
+        assert!((ro.corrupt_probability(1.0) - 0.8).abs() < 1e-12);
+        let mid = ro.corrupt_probability(0.5);
+        assert!((mid - (0.5 * 0.1 + 0.5 * 0.8)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn readout_error_corrupts_bits_at_expected_rate() {
+        let ro = ReadoutError::new(0.25, 0.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(123);
+        let flips = (0..4000).filter(|_| ro.corrupt_bit(false, &mut rng)).count();
+        let frac = flips as f64 / 4000.0;
+        assert!((frac - 0.25).abs() < 0.03);
+    }
+
+    #[test]
+    fn noise_model_channel_selection() {
+        let model = NoiseModel::depolarizing(0.01, 0.05, 0.02).unwrap();
+        assert!(!model.is_ideal());
+        assert!(NoiseModel::ideal().is_ideal());
+        let single = model.channels_for_gate(&Gate::H(0));
+        assert_eq!(single.len(), 1);
+        assert_eq!(single[0].1, NoiseChannel::Depolarizing(0.01));
+        let double = model.channels_for_gate(&Gate::Cnot {
+            control: 0,
+            target: 1,
+        });
+        assert_eq!(double.len(), 2);
+        assert_eq!(double[0].1, NoiseChannel::Depolarizing(0.05));
+    }
+
+    #[test]
+    fn ideal_model_does_not_disturb_state() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let model = NoiseModel::ideal();
+        let mut sv = StateVector::zero_state(2);
+        sv.apply_gate(&Gate::H(0)).unwrap();
+        let before = sv.clone();
+        model
+            .apply_after_gate(&mut sv, &Gate::H(0), &mut rng)
+            .unwrap();
+        assert_eq!(sv, before);
+    }
+}

@@ -1,0 +1,698 @@
+//! State-vector representation of a pure quantum state and in-place gate
+//! application.
+//!
+//! A register of `n` qubits is a vector of `2^n` complex amplitudes. Qubit 0
+//! is the least-significant bit of the basis-state index. Gate application is
+//! performed in place without ever materialising the full `2^n × 2^n`
+//! unitary: single- and two-qubit gates use specialised strided loops, and a
+//! general k-qubit path handles everything else (CSWAP in particular).
+
+use crate::complex::Complex;
+use crate::error::SimError;
+use crate::gate::Gate;
+use crate::linalg::CMatrix;
+use rand::Rng;
+
+/// A pure quantum state on `n` qubits, stored as `2^n` amplitudes.
+#[derive(Clone, Debug, PartialEq)]
+pub struct StateVector {
+    num_qubits: usize,
+    amplitudes: Vec<Complex>,
+}
+
+impl StateVector {
+    /// Creates the all-zeros state |0…0⟩ on `num_qubits` qubits.
+    ///
+    /// # Panics
+    /// Panics if `num_qubits` is 0 or larger than 26 (the simulator refuses
+    /// to allocate more than a gibi-amplitude register).
+    pub fn zero_state(num_qubits: usize) -> Self {
+        assert!(
+            (1..=26).contains(&num_qubits),
+            "unsupported qubit count: {num_qubits}"
+        );
+        let mut amplitudes = vec![Complex::ZERO; 1 << num_qubits];
+        amplitudes[0] = Complex::ONE;
+        StateVector {
+            num_qubits,
+            amplitudes,
+        }
+    }
+
+    /// Creates a state from raw amplitudes.
+    ///
+    /// The length must be a power of two and the vector must be normalised
+    /// to within `1e-6`.
+    pub fn from_amplitudes(amplitudes: Vec<Complex>) -> Result<Self, SimError> {
+        let len = amplitudes.len();
+        if len < 2 || !len.is_power_of_two() {
+            return Err(SimError::InvalidState(format!(
+                "amplitude vector length {len} is not a power of two >= 2"
+            )));
+        }
+        let norm: f64 = amplitudes.iter().map(|a| a.norm_sqr()).sum();
+        if (norm - 1.0).abs() > 1e-6 {
+            return Err(SimError::InvalidState(format!(
+                "amplitude vector is not normalised (norm² = {norm})"
+            )));
+        }
+        Ok(StateVector {
+            num_qubits: len.trailing_zeros() as usize,
+            amplitudes,
+        })
+    }
+
+    /// Creates a basis state |index⟩ on `num_qubits` qubits.
+    pub fn basis_state(num_qubits: usize, index: usize) -> Result<Self, SimError> {
+        if index >= (1 << num_qubits) {
+            return Err(SimError::InvalidState(format!(
+                "basis index {index} out of range for {num_qubits} qubits"
+            )));
+        }
+        let mut sv = StateVector::zero_state(num_qubits);
+        sv.amplitudes[0] = Complex::ZERO;
+        sv.amplitudes[index] = Complex::ONE;
+        Ok(sv)
+    }
+
+    /// Number of qubits in the register.
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// Dimension of the state (2^n).
+    pub fn dim(&self) -> usize {
+        self.amplitudes.len()
+    }
+
+    /// Read-only view of the amplitudes.
+    pub fn amplitudes(&self) -> &[Complex] {
+        &self.amplitudes
+    }
+
+    /// The squared norm of the state (should always be ≈ 1).
+    pub fn norm_sqr(&self) -> f64 {
+        self.amplitudes.iter().map(|a| a.norm_sqr()).sum()
+    }
+
+    /// Renormalises the state (useful after noisy trajectory jumps).
+    pub fn renormalize(&mut self) {
+        let n = self.norm_sqr().sqrt();
+        if n > 0.0 {
+            for a in &mut self.amplitudes {
+                *a = *a / n;
+            }
+        }
+    }
+
+    /// Inner product ⟨self|other⟩.
+    pub fn inner_product(&self, other: &StateVector) -> Result<Complex, SimError> {
+        if self.num_qubits != other.num_qubits {
+            return Err(SimError::DimensionMismatch {
+                expected: self.num_qubits,
+                found: other.num_qubits,
+            });
+        }
+        Ok(self
+            .amplitudes
+            .iter()
+            .zip(other.amplitudes.iter())
+            .map(|(a, b)| a.conj() * *b)
+            .sum())
+    }
+
+    /// State fidelity |⟨self|other⟩|² between two pure states.
+    pub fn fidelity(&self, other: &StateVector) -> Result<f64, SimError> {
+        Ok(self.inner_product(other)?.norm_sqr())
+    }
+
+    /// Tensor product `self ⊗ other`; `other`'s qubits become the new
+    /// low-order qubits.
+    pub fn tensor(&self, other: &StateVector) -> StateVector {
+        let mut amplitudes = vec![Complex::ZERO; self.dim() * other.dim()];
+        for (i, &a) in self.amplitudes.iter().enumerate() {
+            if a == Complex::ZERO {
+                continue;
+            }
+            for (j, &b) in other.amplitudes.iter().enumerate() {
+                amplitudes[i * other.dim() + j] = a * b;
+            }
+        }
+        StateVector {
+            num_qubits: self.num_qubits + other.num_qubits,
+            amplitudes,
+        }
+    }
+
+    /// Applies a gate in place.
+    ///
+    /// # Errors
+    /// Returns an error if any operand qubit is out of range or duplicated.
+    pub fn apply_gate(&mut self, gate: &Gate) -> Result<(), SimError> {
+        let qubits = gate.qubits();
+        for &q in &qubits {
+            if q >= self.num_qubits {
+                return Err(SimError::QubitOutOfRange {
+                    qubit: q,
+                    num_qubits: self.num_qubits,
+                });
+            }
+        }
+        for i in 0..qubits.len() {
+            for j in (i + 1)..qubits.len() {
+                if qubits[i] == qubits[j] {
+                    return Err(SimError::DuplicateQubit(qubits[i]));
+                }
+            }
+        }
+        match gate {
+            // Fast diagonal/permutation special cases.
+            Gate::I(_) => {}
+            Gate::X(q) => self.apply_x(*q),
+            Gate::Z(q) => self.apply_phase_flip(*q, Complex::from_real(-1.0)),
+            Gate::S(q) => self.apply_phase_flip(*q, Complex::I),
+            Gate::Sdg(q) => self.apply_phase_flip(*q, Complex::new(0.0, -1.0)),
+            Gate::T(q) => self.apply_phase_flip(*q, Complex::cis(std::f64::consts::FRAC_PI_4)),
+            Gate::Tdg(q) => self.apply_phase_flip(*q, Complex::cis(-std::f64::consts::FRAC_PI_4)),
+            Gate::Swap(a, b) => self.apply_swap(*a, *b),
+            Gate::Cnot { control, target } => self.apply_cnot(*control, *target),
+            g if g.arity() == 1 => self.apply_single_qubit_matrix(qubits[0], &g.matrix()),
+            g if g.arity() == 2 => self.apply_two_qubit_matrix(qubits[0], qubits[1], &g.matrix()),
+            g => self.apply_k_qubit_matrix(&qubits, &g.matrix()),
+        }
+        Ok(())
+    }
+
+    /// Applies a sequence of gates in order.
+    pub fn apply_gates(&mut self, gates: &[Gate]) -> Result<(), SimError> {
+        for g in gates {
+            self.apply_gate(g)?;
+        }
+        Ok(())
+    }
+
+    fn apply_x(&mut self, q: usize) {
+        let bit = 1usize << q;
+        for i in 0..self.dim() {
+            if i & bit == 0 {
+                self.amplitudes.swap(i, i | bit);
+            }
+        }
+    }
+
+    fn apply_phase_flip(&mut self, q: usize, phase: Complex) {
+        let bit = 1usize << q;
+        for i in 0..self.dim() {
+            if i & bit != 0 {
+                self.amplitudes[i] *= phase;
+            }
+        }
+    }
+
+    fn apply_swap(&mut self, a: usize, b: usize) {
+        let ba = 1usize << a;
+        let bb = 1usize << b;
+        for i in 0..self.dim() {
+            // Swap amplitudes of |..a=1,b=0..⟩ and |..a=0,b=1..⟩ once.
+            if i & ba != 0 && i & bb == 0 {
+                let j = (i & !ba) | bb;
+                self.amplitudes.swap(i, j);
+            }
+        }
+    }
+
+    fn apply_cnot(&mut self, control: usize, target: usize) {
+        let cb = 1usize << control;
+        let tb = 1usize << target;
+        for i in 0..self.dim() {
+            if i & cb != 0 && i & tb == 0 {
+                self.amplitudes.swap(i, i | tb);
+            }
+        }
+    }
+
+    /// Applies an arbitrary 2×2 matrix to one qubit.
+    pub fn apply_single_qubit_matrix(&mut self, q: usize, m: &CMatrix) {
+        debug_assert_eq!(m.rows(), 2);
+        let bit = 1usize << q;
+        let (m00, m01, m10, m11) = (m[(0, 0)], m[(0, 1)], m[(1, 0)], m[(1, 1)]);
+        for i in 0..self.dim() {
+            if i & bit == 0 {
+                let j = i | bit;
+                let a0 = self.amplitudes[i];
+                let a1 = self.amplitudes[j];
+                self.amplitudes[i] = m00 * a0 + m01 * a1;
+                self.amplitudes[j] = m10 * a0 + m11 * a1;
+            }
+        }
+    }
+
+    /// Applies an arbitrary 4×4 matrix to two qubits (`q0` = least-significant
+    /// operand of the matrix).
+    pub fn apply_two_qubit_matrix(&mut self, q0: usize, q1: usize, m: &CMatrix) {
+        debug_assert_eq!(m.rows(), 4);
+        let b0 = 1usize << q0;
+        let b1 = 1usize << q1;
+        for i in 0..self.dim() {
+            if i & b0 == 0 && i & b1 == 0 {
+                let idx = [i, i | b0, i | b1, i | b0 | b1];
+                let amps = [
+                    self.amplitudes[idx[0]],
+                    self.amplitudes[idx[1]],
+                    self.amplitudes[idx[2]],
+                    self.amplitudes[idx[3]],
+                ];
+                for (r, &target_index) in idx.iter().enumerate() {
+                    let mut acc = Complex::ZERO;
+                    for (c, &amp) in amps.iter().enumerate() {
+                        acc += m[(r, c)] * amp;
+                    }
+                    self.amplitudes[target_index] = acc;
+                }
+            }
+        }
+    }
+
+    /// Applies an arbitrary 2^k × 2^k matrix to `k` qubits (first listed qubit
+    /// = least-significant bit of the matrix basis).
+    pub fn apply_k_qubit_matrix(&mut self, qubits: &[usize], m: &CMatrix) {
+        let k = qubits.len();
+        debug_assert_eq!(m.rows(), 1 << k);
+        let masks: Vec<usize> = qubits.iter().map(|&q| 1usize << q).collect();
+        let full_mask: usize = masks.iter().sum();
+        let dim = self.dim();
+        let mut scratch = vec![Complex::ZERO; 1 << k];
+        for base in 0..dim {
+            if base & full_mask != 0 {
+                continue;
+            }
+            // Gather the 2^k amplitudes in matrix basis order.
+            for (sub, slot) in scratch.iter_mut().enumerate() {
+                let mut idx = base;
+                for (bit, mask) in masks.iter().enumerate() {
+                    if sub & (1 << bit) != 0 {
+                        idx |= mask;
+                    }
+                }
+                *slot = self.amplitudes[idx];
+            }
+            // Scatter the transformed amplitudes back.
+            for (row, _) in scratch.iter().enumerate() {
+                let mut idx = base;
+                for (bit, mask) in masks.iter().enumerate() {
+                    if row & (1 << bit) != 0 {
+                        idx |= mask;
+                    }
+                }
+                let mut acc = Complex::ZERO;
+                for (col, &amp) in scratch.iter().enumerate() {
+                    acc += m[(row, col)] * amp;
+                }
+                self.amplitudes[idx] = acc;
+            }
+        }
+    }
+
+    /// Probability of measuring qubit `q` in state |1⟩.
+    pub fn probability_of_one(&self, q: usize) -> Result<f64, SimError> {
+        if q >= self.num_qubits {
+            return Err(SimError::QubitOutOfRange {
+                qubit: q,
+                num_qubits: self.num_qubits,
+            });
+        }
+        let bit = 1usize << q;
+        Ok(self
+            .amplitudes
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| i & bit != 0)
+            .map(|(_, a)| a.norm_sqr())
+            .sum())
+    }
+
+    /// Expectation value of Pauli-Z on qubit `q`: `P(0) - P(1)`.
+    pub fn expectation_z(&self, q: usize) -> Result<f64, SimError> {
+        let p1 = self.probability_of_one(q)?;
+        Ok(1.0 - 2.0 * p1)
+    }
+
+    /// Full probability distribution over the 2^n basis states.
+    pub fn probabilities(&self) -> Vec<f64> {
+        self.amplitudes.iter().map(|a| a.norm_sqr()).collect()
+    }
+
+    /// Samples a full-register measurement outcome (basis-state index)
+    /// without collapsing the state.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let r: f64 = rng.gen();
+        let mut acc = 0.0;
+        for (i, a) in self.amplitudes.iter().enumerate() {
+            acc += a.norm_sqr();
+            if r < acc {
+                return i;
+            }
+        }
+        self.dim() - 1
+    }
+
+    /// Samples `shots` measurements of a single qubit and returns the number
+    /// of |1⟩ outcomes. The state is not collapsed between shots (each shot
+    /// is an independent preparation, matching how shot counts are used on
+    /// real hardware).
+    pub fn sample_qubit<R: Rng + ?Sized>(
+        &self,
+        q: usize,
+        shots: usize,
+        rng: &mut R,
+    ) -> Result<usize, SimError> {
+        let p1 = self.probability_of_one(q)?;
+        let mut ones = 0;
+        for _ in 0..shots {
+            if rng.gen::<f64>() < p1 {
+                ones += 1;
+            }
+        }
+        Ok(ones)
+    }
+
+    /// Measures qubit `q`, collapsing the state, and returns the outcome.
+    pub fn measure_qubit<R: Rng + ?Sized>(
+        &mut self,
+        q: usize,
+        rng: &mut R,
+    ) -> Result<bool, SimError> {
+        let p1 = self.probability_of_one(q)?;
+        let outcome = rng.gen::<f64>() < p1;
+        self.collapse_qubit(q, outcome)?;
+        Ok(outcome)
+    }
+
+    /// Projects qubit `q` onto the given outcome and renormalises.
+    pub fn collapse_qubit(&mut self, q: usize, outcome: bool) -> Result<(), SimError> {
+        if q >= self.num_qubits {
+            return Err(SimError::QubitOutOfRange {
+                qubit: q,
+                num_qubits: self.num_qubits,
+            });
+        }
+        let bit = 1usize << q;
+        for (i, a) in self.amplitudes.iter_mut().enumerate() {
+            let is_one = i & bit != 0;
+            if is_one != outcome {
+                *a = Complex::ZERO;
+            }
+        }
+        self.renormalize();
+        Ok(())
+    }
+
+    /// Resets qubit `q` to |0⟩ by measuring it and applying X if needed.
+    pub fn reset_qubit<R: Rng + ?Sized>(&mut self, q: usize, rng: &mut R) -> Result<(), SimError> {
+        let outcome = self.measure_qubit(q, rng)?;
+        if outcome {
+            self.apply_x(q);
+        }
+        Ok(())
+    }
+
+    /// Reduced single-qubit Bloch vector (⟨X⟩, ⟨Y⟩, ⟨Z⟩) of qubit `q`.
+    pub fn bloch_vector(&self, q: usize) -> Result<[f64; 3], SimError> {
+        if q >= self.num_qubits {
+            return Err(SimError::QubitOutOfRange {
+                qubit: q,
+                num_qubits: self.num_qubits,
+            });
+        }
+        let bit = 1usize << q;
+        // Reduced density matrix entries rho00, rho01 (rho10 = conj, rho11 = 1-rho00).
+        let mut rho00 = 0.0;
+        let mut rho01 = Complex::ZERO;
+        for i in 0..self.dim() {
+            if i & bit == 0 {
+                let a0 = self.amplitudes[i];
+                let a1 = self.amplitudes[i | bit];
+                rho00 += a0.norm_sqr();
+                rho01 += a0 * a1.conj();
+            }
+        }
+        let x = 2.0 * rho01.re;
+        let y = -2.0 * rho01.im;
+        let z = 2.0 * rho00 - 1.0;
+        Ok([x, y, z])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::f64::consts::PI;
+
+    const TOL: f64 = 1e-10;
+
+    #[test]
+    fn zero_state_is_normalised() {
+        let sv = StateVector::zero_state(3);
+        assert_eq!(sv.dim(), 8);
+        assert!((sv.norm_sqr() - 1.0).abs() < TOL);
+        assert_eq!(sv.amplitudes()[0], Complex::ONE);
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported qubit count")]
+    fn zero_qubits_rejected() {
+        let _ = StateVector::zero_state(0);
+    }
+
+    #[test]
+    fn from_amplitudes_validates() {
+        assert!(StateVector::from_amplitudes(vec![Complex::ONE; 3]).is_err());
+        assert!(StateVector::from_amplitudes(vec![Complex::ONE, Complex::ONE]).is_err());
+        let ok = StateVector::from_amplitudes(vec![Complex::ONE, Complex::ZERO]);
+        assert!(ok.is_ok());
+    }
+
+    #[test]
+    fn basis_state_sets_single_amplitude() {
+        let sv = StateVector::basis_state(3, 5).unwrap();
+        assert_eq!(sv.amplitudes()[5], Complex::ONE);
+        assert!(StateVector::basis_state(2, 4).is_err());
+    }
+
+    #[test]
+    fn x_gate_flips_qubit() {
+        let mut sv = StateVector::zero_state(2);
+        sv.apply_gate(&Gate::X(1)).unwrap();
+        assert_eq!(sv.amplitudes()[2], Complex::ONE);
+    }
+
+    #[test]
+    fn hadamard_creates_uniform_superposition() {
+        let mut sv = StateVector::zero_state(1);
+        sv.apply_gate(&Gate::H(0)).unwrap();
+        assert!((sv.probability_of_one(0).unwrap() - 0.5).abs() < TOL);
+    }
+
+    #[test]
+    fn bell_state_probabilities() {
+        let mut sv = StateVector::zero_state(2);
+        sv.apply_gate(&Gate::H(0)).unwrap();
+        sv.apply_gate(&Gate::Cnot {
+            control: 0,
+            target: 1,
+        })
+        .unwrap();
+        let p = sv.probabilities();
+        assert!((p[0] - 0.5).abs() < TOL);
+        assert!((p[3] - 0.5).abs() < TOL);
+        assert!(p[1].abs() < TOL && p[2].abs() < TOL);
+    }
+
+    #[test]
+    fn ry_angle_encodes_expectation() {
+        // RY(2 asin(sqrt(x))) |0> has P(1) = x — the QuClassi encoding rule.
+        let x: f64 = 0.3;
+        let theta = 2.0 * x.sqrt().asin();
+        let mut sv = StateVector::zero_state(1);
+        sv.apply_gate(&Gate::Ry(0, theta)).unwrap();
+        assert!((sv.probability_of_one(0).unwrap() - x).abs() < TOL);
+    }
+
+    #[test]
+    fn swap_gate_exchanges_qubits() {
+        let mut sv = StateVector::zero_state(2);
+        sv.apply_gate(&Gate::X(0)).unwrap();
+        sv.apply_gate(&Gate::Swap(0, 1)).unwrap();
+        assert_eq!(sv.amplitudes()[2], Complex::ONE);
+    }
+
+    #[test]
+    fn cswap_conditioned_on_control() {
+        // Prepare |control=1⟩|a=1⟩|b=0⟩ then CSWAP: a and b exchange.
+        let mut sv = StateVector::zero_state(3);
+        sv.apply_gate(&Gate::X(2)).unwrap(); // control
+        sv.apply_gate(&Gate::X(0)).unwrap(); // a
+        sv.apply_gate(&Gate::CSwap {
+            control: 2,
+            a: 0,
+            b: 1,
+        })
+        .unwrap();
+        // Expect |control=1, b=1, a=0⟩ = index 4 + 2 = 6.
+        assert!((sv.amplitudes()[6].norm_sqr() - 1.0).abs() < TOL);
+    }
+
+    #[test]
+    fn gate_application_matches_full_matrix_kron() {
+        // Apply RY(0.7) to qubit 1 of a 3-qubit random-ish state and compare
+        // against the explicit I ⊗ RY ⊗ I construction.
+        let mut sv = StateVector::zero_state(3);
+        sv.apply_gates(&[Gate::H(0), Gate::H(1), Gate::H(2), Gate::T(1), Gate::S(2)])
+            .unwrap();
+        let mut by_gate = sv.clone();
+        by_gate.apply_gate(&Gate::Ry(1, 0.7)).unwrap();
+
+        let full = CMatrix::identity(2)
+            .kron(&crate::gate::matrices::ry(0.7))
+            .kron(&CMatrix::identity(2));
+        let expected = full.matvec(sv.amplitudes());
+        for (a, b) in by_gate.amplitudes().iter().zip(expected.iter()) {
+            assert!(a.approx_eq(*b, 1e-9));
+        }
+    }
+
+    #[test]
+    fn two_qubit_gate_matches_general_path() {
+        let mut sv = StateVector::zero_state(3);
+        sv.apply_gates(&[Gate::H(0), Gate::Ry(1, 0.4), Gate::Rz(2, 1.3)])
+            .unwrap();
+        let mut a = sv.clone();
+        let mut b = sv.clone();
+        let gate = Gate::Rxx(0, 2, 0.9);
+        a.apply_gate(&gate).unwrap();
+        b.apply_k_qubit_matrix(&gate.qubits(), &gate.matrix());
+        for (x, y) in a.amplitudes().iter().zip(b.amplitudes().iter()) {
+            assert!(x.approx_eq(*y, 1e-9));
+        }
+    }
+
+    #[test]
+    fn out_of_range_and_duplicate_qubits_error() {
+        let mut sv = StateVector::zero_state(2);
+        assert!(sv.apply_gate(&Gate::H(2)).is_err());
+        assert!(sv.apply_gate(&Gate::Swap(1, 1)).is_err());
+    }
+
+    #[test]
+    fn inner_product_and_fidelity() {
+        let mut a = StateVector::zero_state(2);
+        let b = StateVector::zero_state(2);
+        assert!((a.fidelity(&b).unwrap() - 1.0).abs() < TOL);
+        a.apply_gate(&Gate::X(0)).unwrap();
+        assert!(a.fidelity(&b).unwrap() < TOL);
+        let c = StateVector::zero_state(3);
+        assert!(a.fidelity(&c).is_err());
+    }
+
+    #[test]
+    fn tensor_product_dimensions() {
+        let a = StateVector::basis_state(2, 2).unwrap();
+        let b = StateVector::basis_state(1, 1).unwrap();
+        let t = a.tensor(&b);
+        assert_eq!(t.num_qubits(), 3);
+        // index = a_index * 2 + b_index = 2*2 + 1 = 5
+        assert_eq!(t.amplitudes()[5], Complex::ONE);
+    }
+
+    #[test]
+    fn measurement_collapses_state() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut sv = StateVector::zero_state(1);
+        sv.apply_gate(&Gate::H(0)).unwrap();
+        let outcome = sv.measure_qubit(0, &mut rng).unwrap();
+        let p1 = sv.probability_of_one(0).unwrap();
+        if outcome {
+            assert!((p1 - 1.0).abs() < TOL);
+        } else {
+            assert!(p1 < TOL);
+        }
+    }
+
+    #[test]
+    fn reset_returns_qubit_to_zero() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut sv = StateVector::zero_state(2);
+        sv.apply_gates(&[Gate::H(0), Gate::X(1)]).unwrap();
+        sv.reset_qubit(0, &mut rng).unwrap();
+        assert!(sv.probability_of_one(0).unwrap() < TOL);
+        assert!((sv.probability_of_one(1).unwrap() - 1.0).abs() < TOL);
+    }
+
+    #[test]
+    fn sampling_matches_distribution() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut sv = StateVector::zero_state(1);
+        sv.apply_gate(&Gate::Ry(0, 2.0 * (0.25f64).sqrt().asin()))
+            .unwrap();
+        let ones = sv.sample_qubit(0, 20_000, &mut rng).unwrap();
+        let frac = ones as f64 / 20_000.0;
+        assert!((frac - 0.25).abs() < 0.02, "sampled fraction {frac}");
+    }
+
+    #[test]
+    fn sample_full_register() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let sv = StateVector::basis_state(3, 6).unwrap();
+        for _ in 0..10 {
+            assert_eq!(sv.sample(&mut rng), 6);
+        }
+    }
+
+    #[test]
+    fn bloch_vector_of_known_states() {
+        let sv = StateVector::zero_state(1);
+        let [x, y, z] = sv.bloch_vector(0).unwrap();
+        assert!(x.abs() < TOL && y.abs() < TOL && (z - 1.0).abs() < TOL);
+
+        let mut plus = StateVector::zero_state(1);
+        plus.apply_gate(&Gate::H(0)).unwrap();
+        let [x, y, z] = plus.bloch_vector(0).unwrap();
+        assert!((x - 1.0).abs() < TOL && y.abs() < TOL && z.abs() < TOL);
+
+        let mut minus_y = StateVector::zero_state(1);
+        minus_y.apply_gate(&Gate::Rx(0, PI / 2.0)).unwrap();
+        let [_, y, _] = minus_y.bloch_vector(0).unwrap();
+        assert!((y + 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn norm_preserved_under_long_circuits() {
+        let mut sv = StateVector::zero_state(4);
+        let gates = vec![
+            Gate::H(0),
+            Gate::Ry(1, 0.3),
+            Gate::CRy {
+                control: 0,
+                target: 2,
+                theta: 1.1,
+            },
+            Gate::Rzz(1, 3, 0.6),
+            Gate::CSwap {
+                control: 0,
+                a: 1,
+                b: 2,
+            },
+            Gate::Rx(3, 2.2),
+            Gate::Cz {
+                control: 2,
+                target: 3,
+            },
+        ];
+        for _ in 0..10 {
+            sv.apply_gates(&gates).unwrap();
+        }
+        assert!((sv.norm_sqr() - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,491 @@
+//! Gate decomposition and routing ("transpilation").
+//!
+//! Real devices execute a small native gate set (single-qubit rotations plus
+//! CNOT) and can only apply two-qubit gates between coupled qubits. This
+//! module provides:
+//!
+//! * [`decompose_gate`] — rewrites every gate of the simulator's gate set
+//!   into {single-qubit rotations, H, T, CNOT},
+//! * [`route`] — inserts SWAPs so every CNOT acts on adjacent physical
+//!   qubits of a [`CouplingMap`],
+//! * [`transpile`] — decompose + route, returning CNOT counts.
+//!
+//! The CNOT counts are what the paper's Section 5.4 uses to explain the
+//! IonQ-vs-IBM-Cairo accuracy gap (0 routing SWAPs vs 21 extra CNOTs).
+
+use crate::device::CouplingMap;
+use crate::error::SimError;
+use crate::gate::Gate;
+use std::f64::consts::FRAC_PI_2;
+
+/// Summary of a transpilation run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TranspileReport {
+    /// The physical-basis gate sequence (single-qubit gates + CNOT).
+    pub gates: Vec<Gate>,
+    /// Total CNOT count after decomposition and routing.
+    pub cnot_count: usize,
+    /// Number of routing SWAPs that had to be inserted (each costs 3 CNOTs).
+    pub swaps_inserted: usize,
+    /// CNOTs attributable purely to routing (3 × `swaps_inserted`).
+    pub routing_cnots: usize,
+    /// Final logical→physical qubit layout.
+    pub layout: Vec<usize>,
+}
+
+/// Decomposes a Toffoli (CCX) gate into the standard 6-CNOT + T circuit.
+fn decompose_toffoli(c1: usize, c2: usize, t: usize) -> Vec<Gate> {
+    vec![
+        Gate::H(t),
+        Gate::Cnot {
+            control: c2,
+            target: t,
+        },
+        Gate::Tdg(t),
+        Gate::Cnot {
+            control: c1,
+            target: t,
+        },
+        Gate::T(t),
+        Gate::Cnot {
+            control: c2,
+            target: t,
+        },
+        Gate::Tdg(t),
+        Gate::Cnot {
+            control: c1,
+            target: t,
+        },
+        Gate::T(c2),
+        Gate::T(t),
+        Gate::H(t),
+        Gate::Cnot {
+            control: c1,
+            target: c2,
+        },
+        Gate::T(c1),
+        Gate::Tdg(c2),
+        Gate::Cnot {
+            control: c1,
+            target: c2,
+        },
+    ]
+}
+
+/// Rewrites a gate into the native basis {1-qubit gates, CNOT}.
+///
+/// Gates that are already native are returned unchanged (as a single-element
+/// vector).
+pub fn decompose_gate(gate: &Gate) -> Vec<Gate> {
+    match *gate {
+        // Already native.
+        Gate::I(_)
+        | Gate::X(_)
+        | Gate::Y(_)
+        | Gate::Z(_)
+        | Gate::H(_)
+        | Gate::S(_)
+        | Gate::Sdg(_)
+        | Gate::T(_)
+        | Gate::Tdg(_)
+        | Gate::Rx(..)
+        | Gate::Ry(..)
+        | Gate::Rz(..)
+        | Gate::R(..)
+        | Gate::Cnot { .. } => vec![gate.clone()],
+        Gate::Cz { control, target } => vec![
+            Gate::H(target),
+            Gate::Cnot { control, target },
+            Gate::H(target),
+        ],
+        Gate::Swap(a, b) => vec![
+            Gate::Cnot {
+                control: a,
+                target: b,
+            },
+            Gate::Cnot {
+                control: b,
+                target: a,
+            },
+            Gate::Cnot {
+                control: a,
+                target: b,
+            },
+        ],
+        Gate::CRy {
+            control,
+            target,
+            theta,
+        } => vec![
+            Gate::Ry(target, theta / 2.0),
+            Gate::Cnot { control, target },
+            Gate::Ry(target, -theta / 2.0),
+            Gate::Cnot { control, target },
+        ],
+        Gate::CRz {
+            control,
+            target,
+            theta,
+        } => vec![
+            Gate::Rz(target, theta / 2.0),
+            Gate::Cnot { control, target },
+            Gate::Rz(target, -theta / 2.0),
+            Gate::Cnot { control, target },
+        ],
+        Gate::CRx {
+            control,
+            target,
+            theta,
+        } => {
+            // CRX = H_t · CRZ · H_t
+            let mut out = vec![Gate::H(target)];
+            out.extend(decompose_gate(&Gate::CRz {
+                control,
+                target,
+                theta,
+            }));
+            out.push(Gate::H(target));
+            out
+        }
+        Gate::Rzz(a, b, theta) => vec![
+            Gate::Cnot {
+                control: a,
+                target: b,
+            },
+            Gate::Rz(b, theta),
+            Gate::Cnot {
+                control: a,
+                target: b,
+            },
+        ],
+        Gate::Rxx(a, b, theta) => {
+            let mut out = vec![Gate::H(a), Gate::H(b)];
+            out.extend(decompose_gate(&Gate::Rzz(a, b, theta)));
+            out.push(Gate::H(a));
+            out.push(Gate::H(b));
+            out
+        }
+        Gate::Ryy(a, b, theta) => {
+            let mut out = vec![Gate::Rx(a, FRAC_PI_2), Gate::Rx(b, FRAC_PI_2)];
+            out.extend(decompose_gate(&Gate::Rzz(a, b, theta)));
+            out.push(Gate::Rx(a, -FRAC_PI_2));
+            out.push(Gate::Rx(b, -FRAC_PI_2));
+            out
+        }
+        Gate::CSwap { control, a, b } => {
+            // Fredkin = CNOT(b→a) · Toffoli(control, a → b) · CNOT(b→a)
+            let mut out = vec![Gate::Cnot {
+                control: b,
+                target: a,
+            }];
+            out.extend(decompose_toffoli(control, a, b));
+            out.push(Gate::Cnot {
+                control: b,
+                target: a,
+            });
+            out
+        }
+    }
+}
+
+/// Decomposes a whole gate sequence into the native basis.
+pub fn decompose_all(gates: &[Gate]) -> Vec<Gate> {
+    gates.iter().flat_map(decompose_gate).collect()
+}
+
+/// Counts CNOT gates in a sequence.
+pub fn count_cnots(gates: &[Gate]) -> usize {
+    gates
+        .iter()
+        .filter(|g| matches!(g, Gate::Cnot { .. }))
+        .count()
+}
+
+/// Remaps a native-basis gate onto physical qubits according to `layout`
+/// (logical index → physical index).
+fn remap_gate(gate: &Gate, layout: &[usize]) -> Gate {
+    match *gate {
+        Gate::I(q) => Gate::I(layout[q]),
+        Gate::X(q) => Gate::X(layout[q]),
+        Gate::Y(q) => Gate::Y(layout[q]),
+        Gate::Z(q) => Gate::Z(layout[q]),
+        Gate::H(q) => Gate::H(layout[q]),
+        Gate::S(q) => Gate::S(layout[q]),
+        Gate::Sdg(q) => Gate::Sdg(layout[q]),
+        Gate::T(q) => Gate::T(layout[q]),
+        Gate::Tdg(q) => Gate::Tdg(layout[q]),
+        Gate::Rx(q, t) => Gate::Rx(layout[q], t),
+        Gate::Ry(q, t) => Gate::Ry(layout[q], t),
+        Gate::Rz(q, t) => Gate::Rz(layout[q], t),
+        Gate::R(q, t, p) => Gate::R(layout[q], t, p),
+        Gate::Cnot { control, target } => Gate::Cnot {
+            control: layout[control],
+            target: layout[target],
+        },
+        ref g => panic!("remap_gate called on non-native gate {}", g.name()),
+    }
+}
+
+/// Routes a native-basis circuit onto a coupling map, inserting SWAPs
+/// (expanded to 3 CNOTs) whenever a CNOT spans non-adjacent physical qubits.
+///
+/// Uses a simple greedy strategy: walk the shortest physical path and swap
+/// the control towards the target until they are adjacent. The logical→
+/// physical layout is threaded through the whole circuit.
+pub fn route(gates: &[Gate], coupling: &CouplingMap) -> Result<TranspileReport, SimError> {
+    let num_logical = gates
+        .iter()
+        .flat_map(|g| g.qubits())
+        .max()
+        .map_or(0, |m| m + 1);
+    if num_logical > coupling.num_qubits() {
+        return Err(SimError::Routing(format!(
+            "circuit uses {num_logical} qubits but the device has only {}",
+            coupling.num_qubits()
+        )));
+    }
+    // layout[logical] = physical
+    let mut layout: Vec<usize> = (0..coupling.num_qubits()).collect();
+    let mut out = Vec::with_capacity(gates.len());
+    let mut swaps_inserted = 0usize;
+
+    for gate in gates {
+        match gate {
+            Gate::Cnot { control, target } => {
+                let mut pc = layout[*control];
+                let pt = layout[*target];
+                if !coupling.are_adjacent(pc, pt) {
+                    let path = coupling.shortest_path(pc, pt)?;
+                    // Move the control along the path until adjacent to target.
+                    for &next in path.iter().skip(1).take(path.len().saturating_sub(2)) {
+                        // SWAP physical qubits pc and next = 3 CNOTs.
+                        out.push(Gate::Cnot {
+                            control: pc,
+                            target: next,
+                        });
+                        out.push(Gate::Cnot {
+                            control: next,
+                            target: pc,
+                        });
+                        out.push(Gate::Cnot {
+                            control: pc,
+                            target: next,
+                        });
+                        swaps_inserted += 1;
+                        // Update layout: whichever logical qubits live at pc/next swap homes.
+                        for slot in layout.iter_mut() {
+                            if *slot == pc {
+                                *slot = next;
+                            } else if *slot == next {
+                                *slot = pc;
+                            }
+                        }
+                        pc = next;
+                        if coupling.are_adjacent(pc, pt) {
+                            break;
+                        }
+                    }
+                }
+                out.push(Gate::Cnot {
+                    control: layout[*control],
+                    target: layout[*target],
+                });
+            }
+            g if g.arity() == 1 => out.push(remap_gate(g, &layout)),
+            g => {
+                return Err(SimError::Routing(format!(
+                    "gate {} is not in the native basis; decompose before routing",
+                    g.name()
+                )))
+            }
+        }
+    }
+
+    let cnot_count = count_cnots(&out);
+    Ok(TranspileReport {
+        gates: out,
+        cnot_count,
+        swaps_inserted,
+        routing_cnots: swaps_inserted * 3,
+        layout,
+    })
+}
+
+/// Full transpilation: decompose to the native basis, then route onto the
+/// coupling map.
+pub fn transpile(gates: &[Gate], coupling: &CouplingMap) -> Result<TranspileReport, SimError> {
+    let native = decompose_all(gates);
+    route(&native, coupling)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state::StateVector;
+
+    /// Checks that two gate sequences implement the same unitary (up to
+    /// global phase) by comparing their action on every basis state.
+    fn assert_equivalent(num_qubits: usize, a: &[Gate], b: &[Gate], tol: f64) {
+        let dim = 1 << num_qubits;
+        // Determine a reference phase from the first basis state with
+        // non-negligible amplitude, then compare all columns.
+        for basis in 0..dim {
+            let mut sa = StateVector::basis_state(num_qubits, basis).unwrap();
+            let mut sb = StateVector::basis_state(num_qubits, basis).unwrap();
+            sa.apply_gates(a).unwrap();
+            sb.apply_gates(b).unwrap();
+            let fid = sa.fidelity(&sb).unwrap();
+            assert!(
+                (fid - 1.0).abs() < tol,
+                "column {basis}: fidelity {fid} between decomposition and original"
+            );
+        }
+    }
+
+    #[test]
+    fn cry_decomposition_is_exact() {
+        let g = Gate::CRy {
+            control: 1,
+            target: 0,
+            theta: 0.87,
+        };
+        assert_equivalent(2, &[g.clone()], &decompose_gate(&g), 1e-10);
+    }
+
+    #[test]
+    fn crz_decomposition_is_exact() {
+        let g = Gate::CRz {
+            control: 0,
+            target: 1,
+            theta: -1.3,
+        };
+        assert_equivalent(2, &[g.clone()], &decompose_gate(&g), 1e-10);
+    }
+
+    #[test]
+    fn crx_decomposition_is_exact() {
+        let g = Gate::CRx {
+            control: 0,
+            target: 1,
+            theta: 2.1,
+        };
+        assert_equivalent(2, &[g.clone()], &decompose_gate(&g), 1e-10);
+    }
+
+    #[test]
+    fn swap_and_cz_decompositions() {
+        let g = Gate::Swap(0, 1);
+        assert_equivalent(2, &[g.clone()], &decompose_gate(&g), 1e-10);
+        let g = Gate::Cz {
+            control: 1,
+            target: 0,
+        };
+        assert_equivalent(2, &[g.clone()], &decompose_gate(&g), 1e-10);
+    }
+
+    #[test]
+    fn two_qubit_rotation_decompositions() {
+        for g in [
+            Gate::Rzz(0, 1, 0.71),
+            Gate::Rxx(0, 1, 1.4),
+            Gate::Ryy(0, 1, -0.9),
+        ] {
+            assert_equivalent(2, &[g.clone()], &decompose_gate(&g), 1e-9);
+        }
+    }
+
+    #[test]
+    fn cswap_decomposition_is_exact_and_uses_8_cnots() {
+        let g = Gate::CSwap {
+            control: 2,
+            a: 0,
+            b: 1,
+        };
+        let dec = decompose_gate(&g);
+        assert_equivalent(3, &[g.clone()], &dec, 1e-9);
+        assert_eq!(count_cnots(&dec), 8);
+    }
+
+    #[test]
+    fn native_gates_pass_through() {
+        let g = Gate::Ry(3, 0.5);
+        assert_eq!(decompose_gate(&g), vec![g]);
+    }
+
+    #[test]
+    fn routing_on_all_to_all_inserts_no_swaps() {
+        let gates = vec![
+            Gate::H(0),
+            Gate::Cnot {
+                control: 0,
+                target: 4,
+            },
+        ];
+        let report = route(&gates, &CouplingMap::all_to_all(5)).unwrap();
+        assert_eq!(report.swaps_inserted, 0);
+        assert_eq!(report.cnot_count, 1);
+    }
+
+    #[test]
+    fn routing_on_linear_chain_inserts_swaps() {
+        let gates = vec![Gate::Cnot {
+            control: 0,
+            target: 3,
+        }];
+        let report = route(&gates, &CouplingMap::linear(4)).unwrap();
+        assert!(report.swaps_inserted >= 2);
+        assert_eq!(report.cnot_count, 1 + 3 * report.swaps_inserted);
+    }
+
+    #[test]
+    fn routed_circuit_preserves_semantics_on_linear_chain() {
+        // Entangle 0 and 2 on a 3-qubit linear chain; the routed circuit must
+        // produce the same measurement statistics after undoing the layout.
+        let logical = vec![
+            Gate::H(0),
+            Gate::Cnot {
+                control: 0,
+                target: 2,
+            },
+        ];
+        let report = route(&logical, &CouplingMap::linear(3)).unwrap();
+        let mut ideal = StateVector::zero_state(3);
+        ideal.apply_gates(&logical).unwrap();
+        let mut routed = StateVector::zero_state(3);
+        routed.apply_gates(&report.gates).unwrap();
+        // Compare per-logical-qubit marginals through the final layout.
+        for logical_q in 0..3 {
+            let physical_q = report.layout[logical_q];
+            let pi = ideal.probability_of_one(logical_q).unwrap();
+            let pr = routed.probability_of_one(physical_q).unwrap();
+            assert!((pi - pr).abs() < 1e-9, "qubit {logical_q}: {pi} vs {pr}");
+        }
+    }
+
+    #[test]
+    fn route_rejects_oversized_circuits_and_non_native_gates() {
+        let gates = vec![Gate::Cnot {
+            control: 0,
+            target: 9,
+        }];
+        assert!(route(&gates, &CouplingMap::linear(4)).is_err());
+        let gates = vec![Gate::Swap(0, 1)];
+        assert!(route(&gates, &CouplingMap::linear(2)).is_err());
+    }
+
+    #[test]
+    fn transpile_counts_routing_overhead_ionq_vs_linear() {
+        // A CSWAP between distant qubits: all-to-all needs no routing CNOTs,
+        // a sparse chain needs strictly more.
+        let gates = vec![Gate::CSwap {
+            control: 4,
+            a: 0,
+            b: 2,
+        }];
+        let ionq = transpile(&gates, &CouplingMap::all_to_all(5)).unwrap();
+        let chain = transpile(&gates, &CouplingMap::linear(5)).unwrap();
+        assert_eq!(ionq.routing_cnots, 0);
+        assert!(chain.routing_cnots > 0);
+        assert!(chain.cnot_count > ionq.cnot_count);
+    }
+}

@@ -1,0 +1,157 @@
+//! Property-based tests of the simulator's core invariants.
+
+use proptest::prelude::*;
+use quclassi_sim::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A strategy producing an arbitrary gate on a register of `n` qubits.
+fn arb_gate(n: usize) -> impl Strategy<Value = Gate> {
+    let q = 0..n;
+    let q2 = 0..n;
+    let q3 = 0..n;
+    let angle = -6.3f64..6.3;
+    (q, q2, q3, angle, 0..10u8).prop_map(move |(a, b, c, theta, kind)| {
+        let b = if b == a { (a + 1) % n } else { b };
+        let mut c = c;
+        while c == a || c == b {
+            c = (c + 1) % n;
+        }
+        match kind {
+            0 => Gate::H(a),
+            1 => Gate::X(a),
+            2 => Gate::Ry(a, theta),
+            3 => Gate::Rz(a, theta),
+            4 => Gate::Rx(a, theta),
+            5 => Gate::Cnot {
+                control: a,
+                target: b,
+            },
+            6 => Gate::CRy {
+                control: a,
+                target: b,
+                theta,
+            },
+            7 => Gate::CRz {
+                control: a,
+                target: b,
+                theta,
+            },
+            8 => Gate::Rzz(a, b, theta),
+            _ => Gate::CSwap {
+                control: c,
+                a,
+                b,
+            },
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Any sequence of gates preserves the norm of the state.
+    #[test]
+    fn random_circuits_preserve_norm(gates in prop::collection::vec(arb_gate(4), 1..30)) {
+        let mut sv = StateVector::zero_state(4);
+        sv.apply_gates(&gates).unwrap();
+        prop_assert!((sv.norm_sqr() - 1.0).abs() < 1e-9);
+        let probs = sv.probabilities();
+        let total: f64 = probs.iter().sum();
+        prop_assert!((total - 1.0).abs() < 1e-9);
+        prop_assert!(probs.iter().all(|&p| p >= -1e-12));
+    }
+
+    /// Applying a gate then its dagger is the identity.
+    #[test]
+    fn gate_dagger_inverts(gates in prop::collection::vec(arb_gate(3), 1..15)) {
+        let mut sv = StateVector::zero_state(3);
+        // Prepare some non-trivial state first.
+        sv.apply_gates(&[Gate::H(0), Gate::Ry(1, 0.4), Gate::Cnot { control: 0, target: 2 }]).unwrap();
+        let reference = sv.clone();
+        sv.apply_gates(&gates).unwrap();
+        let inverse: Vec<Gate> = gates.iter().rev().map(Gate::dagger).collect();
+        sv.apply_gates(&inverse).unwrap();
+        prop_assert!((sv.fidelity(&reference).unwrap() - 1.0).abs() < 1e-7);
+    }
+
+    /// Gate matrices stay unitary for arbitrary angles.
+    #[test]
+    fn matrices_are_unitary(gate in arb_gate(3)) {
+        prop_assert!(gate.matrix().is_unitary(1e-9), "{:?}", gate);
+    }
+
+    /// The decomposition of any gate into the native basis implements the
+    /// same unitary (checked column by column on basis states).
+    #[test]
+    fn decomposition_preserves_semantics(gate in arb_gate(3)) {
+        let decomposed = quclassi_sim::transpile::decompose_gate(&gate);
+        let dim = 1 << 3;
+        for basis in 0..dim {
+            let mut a = StateVector::basis_state(3, basis).unwrap();
+            let mut b = StateVector::basis_state(3, basis).unwrap();
+            a.apply_gate(&gate).unwrap();
+            b.apply_gates(&decomposed).unwrap();
+            prop_assert!((a.fidelity(&b).unwrap() - 1.0).abs() < 1e-7);
+        }
+    }
+
+    /// Density-matrix evolution agrees with state-vector evolution for pure
+    /// (noise-free) circuits.
+    #[test]
+    fn density_matches_statevector(gates in prop::collection::vec(arb_gate(3), 1..12)) {
+        let mut sv = StateVector::zero_state(3);
+        sv.apply_gates(&gates).unwrap();
+        let mut rho = DensityMatrix::zero_state(3);
+        rho.apply_gates(&gates).unwrap();
+        prop_assert!((rho.fidelity_with_pure(&sv).unwrap() - 1.0).abs() < 1e-7);
+        prop_assert!((rho.trace() - 1.0).abs() < 1e-9);
+        prop_assert!((rho.purity() - 1.0).abs() < 1e-7);
+    }
+
+    /// Noise channels keep the density matrix a valid state (unit trace,
+    /// purity in (0, 1]).
+    #[test]
+    fn channels_keep_states_physical(p in 0.0f64..1.0, gamma in 0.0f64..1.0) {
+        let mut rho = DensityMatrix::zero_state(2);
+        rho.apply_gate(&Gate::H(0)).unwrap();
+        rho.apply_gate(&Gate::Cnot { control: 0, target: 1 }).unwrap();
+        rho.apply_channel(0, &NoiseChannel::Depolarizing(p)).unwrap();
+        rho.apply_channel(1, &NoiseChannel::AmplitudeDamping(gamma)).unwrap();
+        prop_assert!((rho.trace() - 1.0).abs() < 1e-9);
+        let purity = rho.purity();
+        prop_assert!(purity > 0.0 && purity <= 1.0 + 1e-9);
+        for q in 0..2 {
+            let p1 = rho.probability_of_one(q).unwrap();
+            prop_assert!((0.0..=1.0).contains(&p1));
+        }
+    }
+
+    /// Sampling frequencies converge to the exact single-qubit probability.
+    #[test]
+    fn sampling_matches_probability(x in 0.02f64..0.98) {
+        let theta = 2.0 * x.sqrt().asin();
+        let mut sv = StateVector::zero_state(1);
+        sv.apply_gate(&Gate::Ry(0, theta)).unwrap();
+        let mut rng = StdRng::seed_from_u64((x * 1e6) as u64);
+        let ones = sv.sample_qubit(0, 8000, &mut rng).unwrap();
+        let frac = ones as f64 / 8000.0;
+        prop_assert!((frac - x).abs() < 0.05, "x = {x}, sampled {frac}");
+    }
+
+    /// Routing onto a linear chain never loses gates: the routed circuit has
+    /// at least as many CNOTs as the logical one and the layout is a
+    /// permutation.
+    #[test]
+    fn routing_is_conservative(gates in prop::collection::vec(arb_gate(4), 1..10)) {
+        let native = quclassi_sim::transpile::decompose_all(&gates);
+        let coupling = CouplingMap::linear(4);
+        let report = quclassi_sim::transpile::route(&native, &coupling).unwrap();
+        let logical_cnots = quclassi_sim::transpile::count_cnots(&native);
+        prop_assert!(report.cnot_count >= logical_cnots);
+        prop_assert_eq!(report.cnot_count, logical_cnots + 3 * report.swaps_inserted);
+        let mut layout = report.layout.clone();
+        layout.sort_unstable();
+        prop_assert_eq!(layout, (0..4).collect::<Vec<_>>());
+    }
+}

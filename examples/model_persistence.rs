@@ -1,0 +1,62 @@
+//! Saving and reloading a trained QuClassi model with the plain-text format
+//! from `quclassi::io` — train once, persist to disk, reload, and verify the
+//! predictions are identical.
+//!
+//! ```text
+//! cargo run -p quclassi-examples --example model_persistence
+//! ```
+
+use quclassi::io::{model_from_string, model_to_string};
+use quclassi::prelude::*;
+use quclassi_datasets::iris;
+use quclassi_datasets::preprocess::normalize_split;
+use quclassi_examples::percent;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(13);
+    let dataset = iris::load();
+    let (train_raw, test_raw) = dataset.stratified_split(0.7, &mut rng);
+    let (train, test) = normalize_split(&train_raw, &test_raw);
+
+    let mut model =
+        QuClassiModel::with_random_parameters(QuClassiConfig::qc_sde(4, 3), &mut rng).unwrap();
+    let trainer = Trainer::new(
+        TrainingConfig {
+            epochs: 12,
+            learning_rate: 0.05,
+            ..Default::default()
+        },
+        FidelityEstimator::analytic(),
+    );
+    trainer
+        .fit(&mut model, &train.features, &train.labels, &mut rng)
+        .expect("training succeeds");
+
+    // Persist to a file under the system temp directory.
+    let serialized = model_to_string(&model);
+    let path = std::env::temp_dir().join("quclassi_iris_model.txt");
+    std::fs::write(&path, &serialized).expect("model file written");
+    println!("saved trained model to {}", path.display());
+    println!("file size: {} bytes", serialized.len());
+
+    // Reload and verify predictions agree exactly.
+    let restored_text = std::fs::read_to_string(&path).expect("model file read");
+    let restored = model_from_string(&restored_text).expect("model parses");
+    let estimator = FidelityEstimator::analytic();
+    let mut mismatches = 0;
+    for x in &test.features {
+        let a = model.predict(x, &estimator, &mut rng).unwrap();
+        let b = restored.predict(x, &estimator, &mut rng).unwrap();
+        if a != b {
+            mismatches += 1;
+        }
+    }
+    let acc = restored
+        .evaluate_accuracy(&test.features, &test.labels, &estimator, &mut rng)
+        .unwrap();
+    println!("restored model test accuracy: {}", percent(acc));
+    println!("prediction mismatches after reload: {mismatches}");
+    assert_eq!(mismatches, 0, "reloaded model must predict identically");
+}

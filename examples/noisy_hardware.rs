@@ -1,0 +1,71 @@
+//! Running QuClassi through realistic device noise models — the scenario of
+//! the paper's Section 5.4 (IBM-Q and IonQ executions).
+//!
+//! Trains a small Iris model on the ideal simulator, then evaluates the same
+//! model through every device model in the catalog (exact density-matrix
+//! noise + 8000-shot sampling) and reports the accuracy degradation and the
+//! transpiled CNOT cost on each device.
+//!
+//! ```text
+//! cargo run --release -p quclassi-examples --example noisy_hardware
+//! ```
+
+use quclassi::prelude::*;
+use quclassi::swap_test::build_swap_test_circuit;
+use quclassi_datasets::iris;
+use quclassi_datasets::preprocess::normalize_split;
+use quclassi_examples::percent;
+use quclassi_sim::device::DeviceModel;
+use quclassi_sim::executor::Executor;
+use quclassi_sim::transpile::transpile;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(54);
+    let dataset = iris::load();
+    let (train_raw, test_raw) = dataset.stratified_split(0.7, &mut rng);
+    let (train, test) = normalize_split(&train_raw, &test_raw);
+
+    let mut model =
+        QuClassiModel::with_random_parameters(QuClassiConfig::qc_s(4, 3), &mut rng).unwrap();
+    let trainer = Trainer::new(
+        TrainingConfig {
+            epochs: 15,
+            learning_rate: 0.05,
+            ..Default::default()
+        },
+        FidelityEstimator::analytic(),
+    );
+    trainer
+        .fit(&mut model, &train.features, &train.labels, &mut rng)
+        .expect("training succeeds");
+
+    let ideal_acc = model
+        .evaluate_accuracy(&test.features, &test.labels, &FidelityEstimator::analytic(), &mut rng)
+        .unwrap();
+    println!("ideal simulator accuracy: {}", percent(ideal_acc));
+
+    // Transpiled CNOT cost of one inference circuit per device.
+    let (circuit, _) =
+        build_swap_test_circuit(model.stack(), model.encoder(), &test.features[0]).unwrap();
+    let bound = circuit.bind(model.class_params(0).unwrap()).unwrap();
+
+    println!("\ndevice                 accuracy   cnots  routing-swaps");
+    for device in DeviceModel::catalog() {
+        let estimator = FidelityEstimator::swap_test(
+            Executor::noisy_density(device.noise.clone()).with_shots(Some(8000)),
+        );
+        let acc = model
+            .evaluate_accuracy(&test.features, &test.labels, &estimator, &mut rng)
+            .unwrap();
+        let routed = transpile(&bound, &device.coupling).expect("transpiles");
+        println!(
+            "{:<22} {:>8}   {:>5}  {:>5}",
+            device.name,
+            percent(acc),
+            routed.cnot_count,
+            routed.swaps_inserted
+        );
+    }
+}

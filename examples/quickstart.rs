@@ -1,0 +1,74 @@
+//! Quickstart: train QuClassi on the Iris task and report test accuracy.
+//!
+//! ```text
+//! cargo run -p quclassi-examples --example quickstart
+//! ```
+
+use quclassi::prelude::*;
+use quclassi_datasets::iris;
+use quclassi_datasets::preprocess::normalize_split;
+use quclassi_examples::percent;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(7);
+
+    // 1. Load and normalise the data (every feature into [0, 1]).
+    let dataset = iris::load();
+    let (train_raw, test_raw) = dataset.stratified_split(0.7, &mut rng);
+    let (train, test) = normalize_split(&train_raw, &test_raw);
+    println!(
+        "Iris: {} training / {} test samples, {} features, {} classes",
+        train.len(),
+        test.len(),
+        train.dim(),
+        train.num_classes
+    );
+
+    // 2. Build a QC-S QuClassi model: 4 features → 2 qubits per register,
+    //    5-qubit SWAP-test circuit, 4 trainable parameters per class.
+    let config = QuClassiConfig::qc_s(train.dim(), train.num_classes);
+    println!(
+        "model: {} qubits total, {} trainable parameters",
+        config.total_qubits(),
+        QuClassiModel::new(config.clone()).unwrap().parameter_count()
+    );
+    let mut model = QuClassiModel::with_random_parameters(config, &mut rng).unwrap();
+
+    // 3. Train with the paper's Algorithm 1 (cross-entropy on state fidelity,
+    //    epoch-scaled parameter shift, SGD).
+    let trainer = Trainer::new(
+        TrainingConfig {
+            epochs: 20,
+            learning_rate: 0.05,
+            ..Default::default()
+        },
+        FidelityEstimator::analytic(),
+    );
+    let history = trainer
+        .fit_with_eval(
+            &mut model,
+            &train.features,
+            &train.labels,
+            Some(EvalSet {
+                features: &test.features,
+                labels: &test.labels,
+            }),
+            &mut rng,
+        )
+        .expect("training succeeds");
+
+    for stats in &history.epochs {
+        println!(
+            "epoch {:>2}: loss {:.4}, test accuracy {}",
+            stats.epoch,
+            stats.mean_loss,
+            percent(stats.eval_accuracy.unwrap_or(0.0))
+        );
+    }
+    println!(
+        "final test accuracy: {}",
+        percent(history.final_accuracy().unwrap_or(0.0))
+    );
+}

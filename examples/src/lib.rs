@@ -1,0 +1,25 @@
+//! Support crate for the runnable examples.
+//!
+//! The examples themselves live next to this package's manifest
+//! (`examples/quickstart.rs`, `examples/iris_classification.rs`, …) and are
+//! declared as explicit `[[example]]` targets; run one with, e.g.
+//! `cargo run -p quclassi-examples --example quickstart`.
+//!
+//! This library exposes one helper shared by several examples.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+/// Formats an accuracy as a percentage string with two decimals.
+pub fn percent(x: f64) -> String {
+    format!("{:.2}%", 100.0 * x)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn percent_formatting() {
+        assert_eq!(super::percent(0.9737), "97.37%");
+        assert_eq!(super::percent(1.0), "100.00%");
+    }
+}

@@ -1,0 +1,167 @@
+//! The comparator classifiers (TFQ-style, QF-pNet-style, classical DNN) run
+//! end-to-end on the same prepared data as QuClassi, and the relative
+//! behaviour the paper reports holds qualitatively.
+
+use quclassi::prelude::*;
+use quclassi_baselines::prelude::*;
+use quclassi_classical::network::{Mlp, MlpConfig};
+use quclassi_integration_tests::{iris_split, mnist_pair_split};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn all_methods_learn_an_easy_binary_pair() {
+    let split = mnist_pair_split(1, 5, 6, 30, 31);
+    let mut rng = StdRng::seed_from_u64(31);
+
+    // QuClassi.
+    let mut model =
+        QuClassiModel::with_random_parameters(QuClassiConfig::qc_s(6, 2), &mut rng).unwrap();
+    let trainer = Trainer::new(
+        TrainingConfig {
+            epochs: 8,
+            learning_rate: 0.1,
+            ..Default::default()
+        },
+        FidelityEstimator::analytic(),
+    );
+    trainer
+        .fit(&mut model, &split.train_x, &split.train_y, &mut rng)
+        .unwrap();
+    let qc = model
+        .evaluate_accuracy(&split.test_x, &split.test_y, &FidelityEstimator::analytic(), &mut rng)
+        .unwrap();
+
+    // QF-pNet-style.
+    let mut qf = QfPnet::new(
+        QfPnetConfig {
+            data_dim: 6,
+            num_classes: 2,
+            hidden: 8,
+            epochs: 40,
+            learning_rate: 0.1,
+        },
+        &mut rng,
+    )
+    .unwrap();
+    qf.fit(&split.train_x, &split.train_y, &mut rng).unwrap();
+    let qf_acc = qf
+        .evaluate_accuracy(&split.test_x, &split.test_y, &mut rng)
+        .unwrap();
+
+    // Classical DNN.
+    let (cfg, _) = MlpConfig::with_target_params(6, 2, 306);
+    let mut dnn = Mlp::new(cfg, &mut rng);
+    dnn.fit(&split.train_x, &split.train_y, 40, 0.1, None, &mut rng);
+    let dnn_acc = dnn.evaluate_accuracy(&split.test_x, &split.test_y);
+
+    assert!(qc >= 0.8, "QuClassi accuracy {qc}");
+    assert!(qf_acc >= 0.7, "QF-pNet accuracy {qf_acc}");
+    assert!(dnn_acc >= 0.8, "DNN accuracy {dnn_acc}");
+}
+
+#[test]
+fn tfq_baseline_trains_on_iris_pair() {
+    // TFQ-style comparator is binary-only: use classes 0 vs 2 of Iris.
+    let split = iris_split(32);
+    let mut rng = StdRng::seed_from_u64(32);
+    let filter = |xs: &[Vec<f64>], ys: &[usize]| -> (Vec<Vec<f64>>, Vec<usize>) {
+        let mut fx = Vec::new();
+        let mut fy = Vec::new();
+        for (x, &y) in xs.iter().zip(ys.iter()) {
+            if y == 0 || y == 2 {
+                fx.push(x.clone());
+                fy.push(usize::from(y == 2));
+            }
+        }
+        (fx, fy)
+    };
+    let (train_x, train_y) = filter(&split.train_x, &split.train_y);
+    let (test_x, test_y) = filter(&split.test_x, &split.test_y);
+
+    let mut clf = TfqClassifier::new(
+        TfqConfig {
+            data_dim: 4,
+            num_layers: 2,
+            learning_rate: 0.3,
+            epochs: 8,
+        },
+        &mut rng,
+    )
+    .unwrap();
+    let losses = clf.fit(&train_x, &train_y, &mut rng).unwrap();
+    assert!(losses.last().unwrap() <= losses.first().unwrap());
+    let acc = clf.evaluate_accuracy(&test_x, &test_y, &mut rng).unwrap();
+    assert!(acc >= 0.8, "TFQ accuracy on separable Iris pair {acc}");
+}
+
+#[test]
+fn quclassi_is_more_noise_robust_than_qf_pnet() {
+    // The paper's qualitative claim: QuClassi's single-ancilla fidelity
+    // readout degrades less under device noise than QF-pNet's
+    // per-neuron circuit deployment. Compare accuracy drops under the same
+    // noise level.
+    use quclassi_sim::executor::Executor;
+    use quclassi_sim::noise::NoiseModel;
+
+    let split = mnist_pair_split(3, 6, 4, 30, 33);
+    let mut rng = StdRng::seed_from_u64(33);
+    let noise = NoiseModel::depolarizing(0.01, 0.05, 0.08).unwrap();
+
+    // QuClassi trained ideally, evaluated noisily.
+    let mut model =
+        QuClassiModel::with_random_parameters(QuClassiConfig::qc_s(4, 2), &mut rng).unwrap();
+    Trainer::new(
+        TrainingConfig {
+            epochs: 8,
+            learning_rate: 0.1,
+            ..Default::default()
+        },
+        FidelityEstimator::analytic(),
+    )
+    .fit(&mut model, &split.train_x, &split.train_y, &mut rng)
+    .unwrap();
+    let qc_ideal = model
+        .evaluate_accuracy(&split.test_x, &split.test_y, &FidelityEstimator::analytic(), &mut rng)
+        .unwrap();
+    let qc_noisy = model
+        .evaluate_accuracy(
+            &split.test_x,
+            &split.test_y,
+            &FidelityEstimator::swap_test(Executor::noisy_density(noise.clone()).with_shots(Some(1024))),
+            &mut rng,
+        )
+        .unwrap();
+
+    // QF-pNet trained classically, deployed noisily.
+    let mut qf = QfPnet::new(
+        QfPnetConfig {
+            data_dim: 4,
+            num_classes: 2,
+            hidden: 8,
+            epochs: 40,
+            learning_rate: 0.1,
+        },
+        &mut rng,
+    )
+    .unwrap();
+    qf.fit(&split.train_x, &split.train_y, &mut rng).unwrap();
+    let qf_ideal = qf
+        .evaluate_accuracy(&split.test_x, &split.test_y, &mut rng)
+        .unwrap();
+    let qf_noisy = qf
+        .clone()
+        .with_executor(Executor::noisy_density(noise).with_shots(Some(64)))
+        .evaluate_accuracy(&split.test_x, &split.test_y, &mut rng)
+        .unwrap();
+
+    let qc_drop = qc_ideal - qc_noisy;
+    let qf_drop = qf_ideal - qf_noisy;
+    // Allow slack: both should remain sane classifiers, and QuClassi's drop
+    // must not be dramatically worse than QF-pNet's.
+    assert!(qc_ideal >= 0.7 && qf_ideal >= 0.7);
+    assert!(
+        qc_drop <= qf_drop + 0.25,
+        "QuClassi drop {qc_drop} vs QF-pNet drop {qf_drop}"
+    );
+}

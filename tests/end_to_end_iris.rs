@@ -1,0 +1,97 @@
+//! End-to-end Iris pipeline: data → normalisation → QuClassi training →
+//! evaluation, for each of the three architectures.
+
+use quclassi::prelude::*;
+use quclassi_integration_tests::iris_split;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn train_and_evaluate(config: QuClassiConfig, epochs: usize, seed: u64) -> f64 {
+    let split = iris_split(seed);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut model = QuClassiModel::with_random_parameters(config, &mut rng).unwrap();
+    let trainer = Trainer::new(
+        TrainingConfig {
+            epochs,
+            learning_rate: 0.05,
+            ..Default::default()
+        },
+        FidelityEstimator::analytic(),
+    );
+    trainer
+        .fit(&mut model, &split.train_x, &split.train_y, &mut rng)
+        .expect("training succeeds");
+    model
+        .evaluate_accuracy(&split.test_x, &split.test_y, &FidelityEstimator::analytic(), &mut rng)
+        .expect("evaluation succeeds")
+}
+
+#[test]
+fn qc_s_reaches_high_accuracy_on_iris() {
+    let acc = train_and_evaluate(QuClassiConfig::qc_s(4, 3), 20, 7);
+    assert!(acc >= 0.85, "QC-S Iris accuracy {acc}");
+}
+
+#[test]
+fn qc_sd_reaches_high_accuracy_on_iris() {
+    let acc = train_and_evaluate(QuClassiConfig::qc_sd(4, 3), 15, 8);
+    assert!(acc >= 0.8, "QC-SD Iris accuracy {acc}");
+}
+
+#[test]
+fn qc_sde_reaches_high_accuracy_on_iris() {
+    let acc = train_and_evaluate(QuClassiConfig::qc_sde(4, 3), 15, 9);
+    assert!(acc >= 0.8, "QC-SDE Iris accuracy {acc}");
+}
+
+#[test]
+fn setosa_is_classified_perfectly() {
+    // Setosa (class 0) is linearly separable; after training no setosa test
+    // sample should be misclassified.
+    let split = iris_split(11);
+    let mut rng = StdRng::seed_from_u64(11);
+    let mut model =
+        QuClassiModel::with_random_parameters(QuClassiConfig::qc_s(4, 3), &mut rng).unwrap();
+    let trainer = Trainer::new(
+        TrainingConfig {
+            epochs: 20,
+            learning_rate: 0.05,
+            ..Default::default()
+        },
+        FidelityEstimator::analytic(),
+    );
+    trainer
+        .fit(&mut model, &split.train_x, &split.train_y, &mut rng)
+        .unwrap();
+    let estimator = FidelityEstimator::analytic();
+    for (x, &y) in split.test_x.iter().zip(split.test_y.iter()) {
+        if y == 0 {
+            let pred = model.predict(x, &estimator, &mut rng).unwrap();
+            assert_eq!(pred, 0, "a setosa sample was misclassified as {pred}");
+        }
+    }
+}
+
+#[test]
+fn training_loss_decreases_monotonically_enough() {
+    // The loss series should trend downward: the last epoch's loss must be
+    // below 60 % of the first epoch's.
+    let split = iris_split(13);
+    let mut rng = StdRng::seed_from_u64(13);
+    let mut model =
+        QuClassiModel::with_random_parameters(QuClassiConfig::qc_s(4, 3), &mut rng).unwrap();
+    let trainer = Trainer::new(
+        TrainingConfig {
+            epochs: 20,
+            learning_rate: 0.05,
+            ..Default::default()
+        },
+        FidelityEstimator::analytic(),
+    );
+    let history = trainer
+        .fit(&mut model, &split.train_x, &split.train_y, &mut rng)
+        .unwrap();
+    let first = history.epochs.first().unwrap().mean_loss;
+    let last = history.final_loss().unwrap();
+    assert!(last < 0.6 * first, "loss {first} -> {last} did not decrease enough");
+}

@@ -1,0 +1,82 @@
+//! End-to-end synthetic-MNIST binary pipeline: image generation → PCA →
+//! normalisation → QuClassi training → evaluation.
+
+use quclassi::prelude::*;
+use quclassi_integration_tests::mnist_pair_split;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn train_pair(a: usize, b: usize, dims: usize, epochs: usize, seed: u64) -> f64 {
+    let split = mnist_pair_split(a, b, dims, 30, seed);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut model =
+        QuClassiModel::with_random_parameters(QuClassiConfig::qc_s(dims, 2), &mut rng).unwrap();
+    let trainer = Trainer::new(
+        TrainingConfig {
+            epochs,
+            learning_rate: 0.1,
+            ..Default::default()
+        },
+        FidelityEstimator::analytic(),
+    );
+    trainer
+        .fit(&mut model, &split.train_x, &split.train_y, &mut rng)
+        .expect("training succeeds");
+    model
+        .evaluate_accuracy(&split.test_x, &split.test_y, &FidelityEstimator::analytic(), &mut rng)
+        .expect("evaluation succeeds")
+}
+
+#[test]
+fn easy_pair_one_vs_five_is_learned_well() {
+    let acc = train_pair(1, 5, 6, 8, 3);
+    assert!(acc >= 0.85, "(1,5) accuracy {acc}");
+}
+
+#[test]
+fn zero_vs_six_is_learned_above_chance() {
+    let acc = train_pair(0, 6, 6, 8, 4);
+    assert!(acc >= 0.75, "(0,6) accuracy {acc}");
+}
+
+#[test]
+fn hard_pair_three_vs_eight_is_above_chance() {
+    // 3 vs 8 is deliberately the hardest pair of the synthetic generator;
+    // it must still beat random guessing by a clear margin.
+    let acc = train_pair(3, 8, 8, 10, 5);
+    assert!(acc >= 0.65, "(3,8) accuracy {acc}");
+}
+
+#[test]
+fn three_class_mnist_subset_trains() {
+    use quclassi_classical::pca::Pca;
+    use quclassi_datasets::mnist;
+    use quclassi_datasets::preprocess::MinMaxScaler;
+
+    let mut rng = StdRng::seed_from_u64(6);
+    let dataset = mnist::generate(24, 6).filter_classes(&[0, 3, 6]);
+    let (train_raw, test_raw) = dataset.stratified_split(0.7, &mut rng);
+    let pca = Pca::fit(&train_raw.features, 6, &mut rng);
+    let scaler = MinMaxScaler::fit(&pca.transform(&train_raw.features));
+    let train_x = scaler.transform(&pca.transform(&train_raw.features));
+    let test_x = scaler.transform(&pca.transform(&test_raw.features));
+
+    let mut model =
+        QuClassiModel::with_random_parameters(QuClassiConfig::qc_s(6, 3), &mut rng).unwrap();
+    let trainer = Trainer::new(
+        TrainingConfig {
+            epochs: 8,
+            learning_rate: 0.1,
+            contrastive: true,
+            ..Default::default()
+        },
+        FidelityEstimator::analytic(),
+    );
+    trainer
+        .fit(&mut model, &train_x, &train_raw.labels, &mut rng)
+        .unwrap();
+    let acc = model
+        .evaluate_accuracy(&test_x, &test_raw.labels, &FidelityEstimator::analytic(), &mut rng)
+        .unwrap();
+    assert!(acc >= 0.6, "(0,3,6) accuracy {acc}");
+}

@@ -1,0 +1,101 @@
+//! Training and evaluating under device noise models (the paper's Section
+//! 5.4 scenario): convergence must survive realistic gate/readout noise and
+//! finite shots, and noise must not *improve* accuracy.
+
+use quclassi::prelude::*;
+use quclassi_integration_tests::iris_split;
+use quclassi_sim::device::DeviceModel;
+use quclassi_sim::executor::Executor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn noisy_swap_test_training_still_converges() {
+    let split = iris_split(21);
+    let mut rng = StdRng::seed_from_u64(21);
+    let device = DeviceModel::ibmq_london();
+    let estimator = FidelityEstimator::swap_test(
+        Executor::noisy_density(device.noise.clone()).with_shots(Some(2048)),
+    );
+    let mut model =
+        QuClassiModel::with_random_parameters(QuClassiConfig::qc_s(4, 3), &mut rng).unwrap();
+    let trainer = Trainer::new(
+        TrainingConfig {
+            epochs: 4,
+            learning_rate: 0.05,
+            max_samples_per_class: Some(6),
+            ..Default::default()
+        },
+        estimator,
+    );
+    let history = trainer
+        .fit(&mut model, &split.train_x, &split.train_y, &mut rng)
+        .expect("noisy training succeeds");
+    let first = history.epochs.first().unwrap().mean_loss;
+    let last = history.final_loss().unwrap();
+    assert!(
+        last < first,
+        "noisy training loss did not decrease: {first} -> {last}"
+    );
+}
+
+#[test]
+fn noise_does_not_improve_over_ideal_evaluation() {
+    let split = iris_split(22);
+    let mut rng = StdRng::seed_from_u64(22);
+    let mut model =
+        QuClassiModel::with_random_parameters(QuClassiConfig::qc_s(4, 3), &mut rng).unwrap();
+    let trainer = Trainer::new(
+        TrainingConfig {
+            epochs: 12,
+            learning_rate: 0.05,
+            ..Default::default()
+        },
+        FidelityEstimator::analytic(),
+    );
+    trainer
+        .fit(&mut model, &split.train_x, &split.train_y, &mut rng)
+        .unwrap();
+
+    let ideal = model
+        .evaluate_accuracy(&split.test_x, &split.test_y, &FidelityEstimator::analytic(), &mut rng)
+        .unwrap();
+    // A deliberately very noisy device.
+    let noisy_est = FidelityEstimator::swap_test(
+        Executor::noisy_density(
+            quclassi_sim::noise::NoiseModel::depolarizing(0.01, 0.08, 0.05).unwrap(),
+        )
+        .with_shots(Some(256)),
+    );
+    let noisy = model
+        .evaluate_accuracy(&split.test_x, &split.test_y, &noisy_est, &mut rng)
+        .unwrap();
+    assert!(ideal >= 0.85, "ideal accuracy {ideal}");
+    assert!(
+        noisy <= ideal + 0.05,
+        "noisy accuracy {noisy} should not exceed ideal {ideal}"
+    );
+}
+
+#[test]
+fn melbourne_is_noisier_than_london() {
+    // Fidelity of the same circuit should degrade more on the older,
+    // noisier Melbourne model than on London.
+    let split = iris_split(23);
+    let mut rng = StdRng::seed_from_u64(23);
+    let model = QuClassiModel::with_random_parameters(QuClassiConfig::qc_s(4, 3), &mut rng).unwrap();
+    let x = &split.train_x[0];
+
+    let fidelity_under = |device: DeviceModel, rng: &mut StdRng| -> f64 {
+        let est = FidelityEstimator::swap_test(Executor::noisy_density(device.noise.clone()));
+        model.class_fidelity(0, x, &est, rng).unwrap()
+    };
+    let ideal = model
+        .class_fidelity(0, x, &FidelityEstimator::swap_test(Executor::ideal()), &mut rng)
+        .unwrap();
+    let london = fidelity_under(DeviceModel::ibmq_london(), &mut rng);
+    let melbourne = fidelity_under(DeviceModel::ibmq_melbourne(), &mut rng);
+    // Noise pulls the estimated fidelity away from the ideal value, and the
+    // noisier device pulls it further.
+    assert!((ideal - melbourne).abs() >= (ideal - london).abs() - 1e-9);
+}

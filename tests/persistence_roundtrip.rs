@@ -1,0 +1,58 @@
+//! Train → serialise → reload → identical predictions, across crates.
+
+use quclassi::io::{model_from_string, model_to_string};
+use quclassi::prelude::*;
+use quclassi_integration_tests::iris_split;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn trained_model_round_trips_through_text_format() {
+    let split = iris_split(41);
+    let mut rng = StdRng::seed_from_u64(41);
+    let mut model =
+        QuClassiModel::with_random_parameters(QuClassiConfig::qc_sde(4, 3), &mut rng).unwrap();
+    let trainer = Trainer::new(
+        TrainingConfig {
+            epochs: 8,
+            learning_rate: 0.05,
+            ..Default::default()
+        },
+        FidelityEstimator::analytic(),
+    );
+    trainer
+        .fit(&mut model, &split.train_x, &split.train_y, &mut rng)
+        .unwrap();
+
+    let text = model_to_string(&model);
+    let restored = model_from_string(&text).expect("model parses back");
+    assert_eq!(restored.config(), model.config());
+
+    let estimator = FidelityEstimator::analytic();
+    for x in split.test_x.iter() {
+        let a = model.predict(x, &estimator, &mut rng).unwrap();
+        let b = restored.predict(x, &estimator, &mut rng).unwrap();
+        assert_eq!(a, b, "prediction changed after round trip");
+        let pa = model.predict_proba(x, &estimator, &mut rng).unwrap();
+        let pb = restored.predict_proba(x, &estimator, &mut rng).unwrap();
+        for (p, q) in pa.iter().zip(pb.iter()) {
+            assert!((p - q).abs() < 1e-12);
+        }
+    }
+}
+
+#[test]
+fn file_round_trip_through_disk() {
+    let mut rng = StdRng::seed_from_u64(42);
+    let model =
+        QuClassiModel::with_random_parameters(QuClassiConfig::qc_s(6, 4), &mut rng).unwrap();
+    let path = std::env::temp_dir().join("quclassi_roundtrip_test_model.txt");
+    std::fs::write(&path, model_to_string(&model)).unwrap();
+    let text = std::fs::read_to_string(&path).unwrap();
+    let restored = model_from_string(&text).unwrap();
+    assert_eq!(restored.parameter_count(), model.parameter_count());
+    for c in 0..4 {
+        assert_eq!(restored.class_params(c).unwrap(), model.class_params(c).unwrap());
+    }
+    let _ = std::fs::remove_file(&path);
+}

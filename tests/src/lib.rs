@@ -1,0 +1,93 @@
+//! Shared helpers for the cross-crate integration tests.
+//!
+//! The integration tests live next to this package's manifest (one file per
+//! scenario, declared as explicit `[[test]]` targets) and exercise the full
+//! pipeline: dataset generation → preprocessing → QuClassi / baseline
+//! training → evaluation.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use quclassi_classical::pca::Pca;
+use quclassi_datasets::dataset::Dataset;
+use quclassi_datasets::preprocess::MinMaxScaler;
+use quclassi_datasets::{iris, mnist};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A normalised train/test split ready for quantum encoding.
+#[derive(Clone, Debug)]
+pub struct Split {
+    /// Training features in [0, 1].
+    pub train_x: Vec<Vec<f64>>,
+    /// Training labels.
+    pub train_y: Vec<usize>,
+    /// Test features in [0, 1].
+    pub test_x: Vec<Vec<f64>>,
+    /// Test labels.
+    pub test_y: Vec<usize>,
+    /// Number of classes.
+    pub num_classes: usize,
+}
+
+fn split_dataset(dataset: &Dataset, train_fraction: f64, seed: u64) -> Split {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let (train_raw, test_raw) = dataset.stratified_split(train_fraction, &mut rng);
+    let scaler = MinMaxScaler::fit(&train_raw.features);
+    Split {
+        train_x: scaler.transform(&train_raw.features),
+        train_y: train_raw.labels.clone(),
+        test_x: scaler.transform(&test_raw.features),
+        test_y: test_raw.labels.clone(),
+        num_classes: dataset.num_classes,
+    }
+}
+
+/// The normalised Iris split used by several integration tests.
+pub fn iris_split(seed: u64) -> Split {
+    split_dataset(&iris::load(), 0.7, seed)
+}
+
+/// A small PCA-reduced synthetic-MNIST digit-pair split (kept small so the
+/// tests stay fast in debug builds).
+pub fn mnist_pair_split(a: usize, b: usize, dims: usize, per_class: usize, seed: u64) -> Split {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let dataset = mnist::generate(per_class, seed).filter_classes(&[a, b]);
+    let (train_raw, test_raw) = dataset.stratified_split(0.7, &mut rng);
+    let pca = Pca::fit(&train_raw.features, dims, &mut rng);
+    let train_z = pca.transform(&train_raw.features);
+    let test_z = pca.transform(&test_raw.features);
+    let scaler = MinMaxScaler::fit(&train_z);
+    Split {
+        train_x: scaler.transform(&train_z),
+        train_y: train_raw.labels.clone(),
+        test_x: scaler.transform(&test_z),
+        test_y: test_raw.labels.clone(),
+        num_classes: 2,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iris_split_is_normalised() {
+        let s = iris_split(1);
+        assert_eq!(s.num_classes, 3);
+        assert!(!s.train_x.is_empty() && !s.test_x.is_empty());
+        for row in s.train_x.iter().chain(s.test_x.iter()) {
+            for &v in row {
+                assert!((0.0..=1.0).contains(&v));
+            }
+        }
+    }
+
+    #[test]
+    fn mnist_pair_split_shape() {
+        let s = mnist_pair_split(1, 5, 6, 20, 2);
+        assert_eq!(s.num_classes, 2);
+        assert_eq!(s.train_x[0].len(), 6);
+        assert!(!s.test_x.is_empty());
+    }
+}
