@@ -269,19 +269,27 @@ impl Mlp {
             // derivative, which happens in the next iteration).
             let layer = &self.layers[l];
             let mut prev_delta = vec![0.0; layer.input_dim];
-            for o in 0..layer.output_dim {
-                for i in 0..layer.input_dim {
-                    prev_delta[i] += layer.weights[o * layer.input_dim + i] * local_delta[o];
+            for (row, &d) in layer
+                .weights
+                .chunks_exact(layer.input_dim)
+                .zip(local_delta.iter())
+            {
+                for (p, &w) in prev_delta.iter_mut().zip(row.iter()) {
+                    *p += w * d;
                 }
             }
             // Gradient step.
             let layer = &mut self.layers[l];
-            for o in 0..layer.output_dim {
-                for i in 0..layer.input_dim {
-                    layer.weights[o * layer.input_dim + i] -=
-                        learning_rate * local_delta[o] * input_act[i];
+            for ((row, bias), &d) in layer
+                .weights
+                .chunks_exact_mut(layer.input_dim)
+                .zip(layer.biases.iter_mut())
+                .zip(local_delta.iter())
+            {
+                for (w, &a) in row.iter_mut().zip(input_act.iter()) {
+                    *w -= learning_rate * d * a;
                 }
-                layer.biases[o] -= learning_rate * local_delta[o];
+                *bias -= learning_rate * d;
             }
             delta = prev_delta;
         }

@@ -15,18 +15,13 @@
 use std::f64::consts::FRAC_PI_2;
 
 /// The shift schedule used by the parameter-shift rule.
-#[derive(Clone, Copy, Debug, PartialEq)]
+#[derive(Clone, Copy, Debug, PartialEq, Default)]
 pub enum ShiftSchedule {
     /// The paper's schedule: `π / (2·√ε)` where `ε` is the 1-based epoch.
+    #[default]
     EpochScaled,
     /// A constant shift (the textbook parameter-shift rule uses `π/2`).
     Fixed(f64),
-}
-
-impl Default for ShiftSchedule {
-    fn default() -> Self {
-        ShiftSchedule::EpochScaled
-    }
 }
 
 impl ShiftSchedule {

@@ -93,7 +93,7 @@ proptest! {
             FidelityEstimator::analytic(),
         );
         trainer
-            .fit(&mut model, &[x.clone()], &[0], &mut rng)
+            .fit(&mut model, std::slice::from_ref(&x), &[0], &mut rng)
             .unwrap();
         let after = model.class_fidelity(0, &x, &estimator, &mut rng).unwrap();
         prop_assert!(after >= before - 1e-6, "fidelity decreased: {} -> {}", before, after);

@@ -111,8 +111,8 @@ mod tests {
     #[test]
     fn per_class_means_match_published_statistics() {
         let d = load_with(400, 7);
-        for class in 0..3 {
-            for j in 0..4 {
+        for (class, class_means) in MEANS.iter().enumerate() {
+            for (j, &target) in class_means.iter().enumerate() {
                 let values: Vec<f64> = d
                     .features
                     .iter()
@@ -122,9 +122,8 @@ mod tests {
                     .collect();
                 let mean: f64 = values.iter().sum::<f64>() / values.len() as f64;
                 assert!(
-                    (mean - MEANS[class][j]).abs() < 0.12,
-                    "class {class} feature {j}: mean {mean} vs {}",
-                    MEANS[class][j]
+                    (mean - target).abs() < 0.12,
+                    "class {class} feature {j}: mean {mean} vs {target}"
                 );
             }
         }

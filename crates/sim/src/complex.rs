@@ -173,6 +173,7 @@ impl Mul<Complex> for f64 {
 impl Div for Complex {
     type Output = Complex;
     #[inline]
+    #[allow(clippy::suspicious_arithmetic_impl)] // z / w == z * w⁻¹ by definition
     fn div(self, rhs: Complex) -> Complex {
         self * rhs.inv()
     }

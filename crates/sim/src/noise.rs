@@ -122,7 +122,7 @@ impl NoiseChannel {
         }
         let total: f64 = probs.iter().sum();
         let mut r = rng.gen::<f64>() * total;
-        for (p, mut branch) in probs.into_iter().zip(branches.into_iter()) {
+        for (p, mut branch) in probs.into_iter().zip(branches) {
             if r < p || p >= total {
                 branch.renormalize();
                 *state = branch;

@@ -349,7 +349,7 @@ mod tests {
             target: 0,
             theta: 0.87,
         };
-        assert_equivalent(2, &[g.clone()], &decompose_gate(&g), 1e-10);
+        assert_equivalent(2, std::slice::from_ref(&g), &decompose_gate(&g), 1e-10);
     }
 
     #[test]
@@ -359,7 +359,7 @@ mod tests {
             target: 1,
             theta: -1.3,
         };
-        assert_equivalent(2, &[g.clone()], &decompose_gate(&g), 1e-10);
+        assert_equivalent(2, std::slice::from_ref(&g), &decompose_gate(&g), 1e-10);
     }
 
     #[test]
@@ -369,18 +369,18 @@ mod tests {
             target: 1,
             theta: 2.1,
         };
-        assert_equivalent(2, &[g.clone()], &decompose_gate(&g), 1e-10);
+        assert_equivalent(2, std::slice::from_ref(&g), &decompose_gate(&g), 1e-10);
     }
 
     #[test]
     fn swap_and_cz_decompositions() {
         let g = Gate::Swap(0, 1);
-        assert_equivalent(2, &[g.clone()], &decompose_gate(&g), 1e-10);
+        assert_equivalent(2, std::slice::from_ref(&g), &decompose_gate(&g), 1e-10);
         let g = Gate::Cz {
             control: 1,
             target: 0,
         };
-        assert_equivalent(2, &[g.clone()], &decompose_gate(&g), 1e-10);
+        assert_equivalent(2, std::slice::from_ref(&g), &decompose_gate(&g), 1e-10);
     }
 
     #[test]
@@ -390,7 +390,7 @@ mod tests {
             Gate::Rxx(0, 1, 1.4),
             Gate::Ryy(0, 1, -0.9),
         ] {
-            assert_equivalent(2, &[g.clone()], &decompose_gate(&g), 1e-9);
+            assert_equivalent(2, std::slice::from_ref(&g), &decompose_gate(&g), 1e-9);
         }
     }
 
@@ -402,7 +402,7 @@ mod tests {
             b: 1,
         };
         let dec = decompose_gate(&g);
-        assert_equivalent(3, &[g.clone()], &dec, 1e-9);
+        assert_equivalent(3, std::slice::from_ref(&g), &dec, 1e-9);
         assert_eq!(count_cnots(&dec), 8);
     }
 

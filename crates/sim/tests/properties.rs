@@ -139,6 +139,126 @@ proptest! {
         prop_assert!((frac - x).abs() < 0.05, "x = {x}, sampled {frac}");
     }
 
+    /// Every single gate variant in the gate set preserves the state norm,
+    /// at arbitrary angles, applied to a non-trivial state.
+    #[test]
+    fn every_gate_variant_preserves_norm(theta in -6.3f64..6.3, phi in -6.3f64..6.3) {
+        // Exhaustive no-op match: adding a Gate variant fails to compile
+        // here until it is added to `all_gates` below.
+        let _enforce_coverage = |g: &Gate| match g {
+            Gate::I(_) | Gate::X(_) | Gate::Y(_) | Gate::Z(_) | Gate::H(_)
+            | Gate::S(_) | Gate::Sdg(_) | Gate::T(_) | Gate::Tdg(_)
+            | Gate::Rx(..) | Gate::Ry(..) | Gate::Rz(..) | Gate::R(..)
+            | Gate::Cnot { .. } | Gate::Cz { .. } | Gate::Swap(..)
+            | Gate::CSwap { .. } | Gate::CRx { .. } | Gate::CRy { .. }
+            | Gate::CRz { .. } | Gate::Rxx(..) | Gate::Ryy(..) | Gate::Rzz(..) => (),
+        };
+        let all_gates = [
+            Gate::I(0),
+            Gate::X(0),
+            Gate::Y(1),
+            Gate::Z(2),
+            Gate::H(0),
+            Gate::S(1),
+            Gate::Sdg(2),
+            Gate::T(0),
+            Gate::Tdg(1),
+            Gate::Rx(0, theta),
+            Gate::Ry(1, theta),
+            Gate::Rz(2, theta),
+            Gate::R(0, theta, phi),
+            Gate::Cnot { control: 0, target: 1 },
+            Gate::Cz { control: 1, target: 2 },
+            Gate::Swap(0, 2),
+            Gate::CSwap { control: 0, a: 1, b: 2 },
+            Gate::CRx { control: 0, target: 1, theta },
+            Gate::CRy { control: 1, target: 2, theta },
+            Gate::CRz { control: 2, target: 0, theta },
+            Gate::Rxx(0, 1, theta),
+            Gate::Ryy(1, 2, theta),
+            Gate::Rzz(0, 2, theta),
+        ];
+        for gate in &all_gates {
+            let mut sv = StateVector::zero_state(3);
+            // Non-trivial entangled start state.
+            sv.apply_gates(&[
+                Gate::H(0),
+                Gate::Ry(1, 0.7),
+                Gate::Cnot { control: 0, target: 2 },
+            ])
+            .unwrap();
+            sv.apply_gate(gate).unwrap();
+            prop_assert!(
+                (sv.norm_sqr() - 1.0).abs() < 1e-12,
+                "{gate:?} broke normalisation: {}",
+                sv.norm_sqr()
+            );
+        }
+    }
+
+    /// A SWAP test between two arbitrary single-qubit states yields a
+    /// fidelity estimate in [0, 1] that matches the analytic overlap.
+    #[test]
+    fn swap_test_fidelity_in_unit_interval(
+        alpha in -6.3f64..6.3,
+        beta in -6.3f64..6.3,
+        phase_a in -6.3f64..6.3,
+        phase_b in -6.3f64..6.3,
+    ) {
+        // Ancilla is qubit 2; the two compared states live on qubits 0 and 1.
+        let mut circuit = Circuit::new(3);
+        circuit.ry(0, alpha).rz(0, phase_a).ry(1, beta).rz(1, phase_b);
+        circuit.h(2).cswap(2, 0, 1).h(2);
+        let mut rng = StdRng::seed_from_u64(99);
+        let p1 = Executor::ideal()
+            .probability_of_one(&circuit, &[], 2, &mut rng)
+            .unwrap();
+        // Section 3.3: P(ancilla = 1) = (1 - F) / 2, so F = 1 - 2 P(1).
+        let fidelity = 1.0 - 2.0 * p1;
+        prop_assert!(
+            (-1e-9..=1.0 + 1e-9).contains(&fidelity),
+            "SWAP-test fidelity {fidelity} outside [0, 1]"
+        );
+        // Cross-check against the analytic overlap of the two states.
+        let mut sa = StateVector::zero_state(1);
+        sa.apply_gates(&[Gate::Ry(0, alpha), Gate::Rz(0, phase_a)]).unwrap();
+        let mut sb = StateVector::zero_state(1);
+        sb.apply_gates(&[Gate::Ry(0, beta), Gate::Rz(0, phase_b)]).unwrap();
+        let analytic = sa.fidelity(&sb).unwrap();
+        prop_assert!(
+            (fidelity - analytic).abs() < 1e-9,
+            "SWAP test {fidelity} vs analytic {analytic}"
+        );
+    }
+
+    /// Every Kraus channel at every strength keeps the density matrix a
+    /// valid state: unit trace, Hermitian-positive probabilities.
+    #[test]
+    fn kraus_channels_preserve_trace(p in 0.0f64..=1.0) {
+        let channels = [
+            NoiseChannel::Depolarizing(p),
+            NoiseChannel::BitFlip(p),
+            NoiseChannel::PhaseFlip(p),
+            NoiseChannel::AmplitudeDamping(p),
+            NoiseChannel::PhaseDamping(p),
+        ];
+        for channel in &channels {
+            let mut rho = DensityMatrix::zero_state(2);
+            rho.apply_gate(&Gate::H(0)).unwrap();
+            rho.apply_gate(&Gate::Cnot { control: 0, target: 1 }).unwrap();
+            rho.apply_channel(0, channel).unwrap();
+            prop_assert!(
+                (rho.trace() - 1.0).abs() < 1e-9,
+                "{channel:?} broke the trace: {}",
+                rho.trace()
+            );
+            for q in 0..2 {
+                let p1 = rho.probability_of_one(q).unwrap();
+                prop_assert!((-1e-12..=1.0 + 1e-12).contains(&p1));
+            }
+        }
+    }
+
     /// Routing onto a linear chain never loses gates: the routed circuit has
     /// at least as many CNOTs as the logical one and the layout is a
     /// permutation.

@@ -31,7 +31,7 @@ fn main() {
     let mut train_y = Vec::new();
     let mut test_x = Vec::new();
     let mut test_y = Vec::new();
-    let mut seen = vec![0usize; 2];
+    let mut seen = [0usize; 2];
     for (x, &y) in pair.features.iter().zip(pair.labels.iter()) {
         if seen[y] < per_class_train {
             train_x.push(x.clone());

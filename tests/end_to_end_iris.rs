@@ -73,6 +73,57 @@ fn setosa_is_classified_perfectly() {
 }
 
 #[test]
+fn training_is_bit_identical_for_equal_seeds() {
+    // Two full pipeline runs from the same seed must agree bit-for-bit in
+    // every learned parameter and in the final accuracy: the whole stack —
+    // splitting, shuffling, initialisation, gradients — is deterministic.
+    let run = || {
+        let split = iris_split(17);
+        let mut rng = StdRng::seed_from_u64(17);
+        let mut model =
+            QuClassiModel::with_random_parameters(QuClassiConfig::qc_s(4, 3), &mut rng).unwrap();
+        let trainer = Trainer::new(
+            TrainingConfig {
+                epochs: 5,
+                learning_rate: 0.05,
+                ..Default::default()
+            },
+            FidelityEstimator::analytic(),
+        );
+        trainer
+            .fit(&mut model, &split.train_x, &split.train_y, &mut rng)
+            .unwrap();
+        let acc = model
+            .evaluate_accuracy(&split.test_x, &split.test_y, &FidelityEstimator::analytic(), &mut rng)
+            .unwrap();
+        let params: Vec<Vec<u64>> = (0..3)
+            .map(|c| model.class_params(c).unwrap().iter().map(|p| p.to_bits()).collect())
+            .collect();
+        (params, acc.to_bits())
+    };
+    let (params_a, acc_a) = run();
+    let (params_b, acc_b) = run();
+    assert_eq!(params_a, params_b, "learned parameters diverged between identically seeded runs");
+    assert_eq!(acc_a, acc_b, "accuracy diverged between identically seeded runs");
+}
+
+/// The paper-scale Iris run (Fig. 6): all three architectures at full epoch
+/// count. Slow, so opt in with `cargo test -- --ignored` (or
+/// `--include-ignored` for everything).
+#[test]
+#[ignore = "full paper reproduction (~minutes); run with: cargo test -- --ignored"]
+fn full_paper_iris_reproduction() {
+    for (config, name) in [
+        (QuClassiConfig::qc_s(4, 3), "QC-S"),
+        (QuClassiConfig::qc_sd(4, 3), "QC-SD"),
+        (QuClassiConfig::qc_sde(4, 3), "QC-SDE"),
+    ] {
+        let acc = train_and_evaluate(config, 100, 7);
+        assert!(acc >= 0.9, "{name} full-epoch Iris accuracy {acc}");
+    }
+}
+
+#[test]
 fn training_loss_decreases_monotonically_enough() {
     // The loss series should trend downward: the last epoch's loss must be
     // below 60 % of the first epoch's.

@@ -6,8 +6,15 @@ use quclassi_integration_tests::mnist_pair_split;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-fn train_pair(a: usize, b: usize, dims: usize, epochs: usize, seed: u64) -> f64 {
-    let split = mnist_pair_split(a, b, dims, 30, seed);
+fn train_pair_with_budget(
+    a: usize,
+    b: usize,
+    dims: usize,
+    per_class: usize,
+    epochs: usize,
+    seed: u64,
+) -> f64 {
+    let split = mnist_pair_split(a, b, dims, per_class, seed);
     let mut rng = StdRng::seed_from_u64(seed);
     let mut model =
         QuClassiModel::with_random_parameters(QuClassiConfig::qc_s(dims, 2), &mut rng).unwrap();
@@ -25,6 +32,10 @@ fn train_pair(a: usize, b: usize, dims: usize, epochs: usize, seed: u64) -> f64 
     model
         .evaluate_accuracy(&split.test_x, &split.test_y, &FidelityEstimator::analytic(), &mut rng)
         .expect("evaluation succeeds")
+}
+
+fn train_pair(a: usize, b: usize, dims: usize, epochs: usize, seed: u64) -> f64 {
+    train_pair_with_budget(a, b, dims, 30, epochs, seed)
 }
 
 #[test]
@@ -45,6 +56,18 @@ fn hard_pair_three_vs_eight_is_above_chance() {
     // it must still beat random guessing by a clear margin.
     let acc = train_pair(3, 8, 8, 10, 5);
     assert!(acc >= 0.65, "(3,8) accuracy {acc}");
+}
+
+/// The paper-scale binary-MNIST sweep (Fig. 9 pairs at full epoch count and
+/// larger per-class sample budgets). Slow, so opt in with
+/// `cargo test -- --ignored`.
+#[test]
+#[ignore = "full paper reproduction (~minutes); run with: cargo test -- --ignored"]
+fn full_paper_mnist_binary_reproduction() {
+    for (a, b, floor) in [(1usize, 5usize, 0.9), (0, 6, 0.85), (3, 8, 0.7)] {
+        let acc = train_pair_with_budget(a, b, 8, 100, 30, 3);
+        assert!(acc >= floor, "({a},{b}) full-epoch accuracy {acc}");
+    }
 }
 
 #[test]

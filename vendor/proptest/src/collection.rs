@@ -1,0 +1,67 @@
+//! Collection strategies (`vec`).
+
+use crate::strategy::Strategy;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// The size specification [`vec`] accepts: an exact length or a half-open
+/// length range.
+#[derive(Clone, Debug)]
+pub struct SizeRange {
+    lo: usize,
+    hi_exclusive: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(exact: usize) -> Self {
+        SizeRange {
+            lo: exact,
+            hi_exclusive: exact + 1,
+        }
+    }
+}
+
+impl From<core::ops::Range<usize>> for SizeRange {
+    fn from(r: core::ops::Range<usize>) -> Self {
+        assert!(r.start < r.end, "vec size range must be non-empty");
+        SizeRange {
+            lo: r.start,
+            hi_exclusive: r.end,
+        }
+    }
+}
+
+impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+    fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+        assert!(r.start() <= r.end(), "vec size range must be non-empty");
+        SizeRange {
+            lo: *r.start(),
+            hi_exclusive: *r.end() + 1,
+        }
+    }
+}
+
+/// Generates `Vec`s whose elements come from `element` and whose length is
+/// drawn from `size`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+/// Strategy returned by [`vec`].
+#[derive(Clone, Debug)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut StdRng) -> Self::Value {
+        let len = rng.gen_range(self.size.lo..self.size.hi_exclusive);
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}

@@ -1,0 +1,225 @@
+//! Offline vendored subset of the `proptest` 1.x API.
+//!
+//! The build container has no network access to crates.io, so the workspace
+//! vendors the slice of proptest its property tests actually use:
+//!
+//! * the [`strategy::Strategy`] trait with `prop_map`, implemented for
+//!   integer/float ranges and strategy tuples,
+//! * [`collection::vec`] with exact and ranged sizes,
+//! * the [`proptest!`] macro (with `#![proptest_config(..)]` support),
+//! * [`prop_assert!`] / [`prop_assert_eq!`] and
+//!   [`test_runner::ProptestConfig`].
+//!
+//! Failing cases are reported with their case index and the deterministic
+//! per-case seed; there is no shrinking. Generation is fully deterministic
+//! per (test name, case index) — simply rerunning the failing test
+//! regenerates the exact same inputs, so CI failures reproduce locally.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// The commonly `use`d surface, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+
+    /// Mirrors `proptest::prelude::prop`: module-path access to the
+    /// strategy constructors.
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+#[doc(hidden)]
+pub mod __rt {
+    use crate::strategy::Strategy;
+    use crate::test_runner::{ProptestConfig, TestCaseError};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Deterministic seed for (test name, case index). FNV-1a over the name
+    /// bytes, mixed with the case index — a fixed algorithm, so the seed is
+    /// stable across runs, platforms, and Rust releases (std's
+    /// `DefaultHasher` explicitly is not).
+    pub fn case_seed(test_name: &str, case: u32) -> u64 {
+        let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+        for &b in test_name.as_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        h ^= case as u64;
+        h.wrapping_mul(0x0000_0100_0000_01B3)
+    }
+
+    /// Runs `body` for every case, generating inputs from `strategy`.
+    pub fn run<S, F>(test_name: &str, config: &ProptestConfig, strategy: &S, body: F)
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> Result<(), TestCaseError>,
+    {
+        for case in 0..config.cases {
+            let seed = case_seed(test_name, case);
+            let mut rng = StdRng::seed_from_u64(seed);
+            let value = strategy.generate(&mut rng);
+            if let Err(err) = body(value) {
+                panic!(
+                    "proptest case {case}/{total} failed for `{test_name}` \
+                     (seed {seed}): {err}. Generation is deterministic: \
+                     rerunning this test reproduces the same inputs.",
+                    total = config.cases,
+                );
+            }
+        }
+    }
+}
+
+/// Defines property tests. Mirrors `proptest::proptest!`:
+///
+/// ```
+/// use proptest::prelude::*;
+///
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(16))]
+///
+///     fn addition_commutes(a in 0i64..1000, b in 0i64..1000) {
+///         prop_assert_eq!(a + b, b + a);
+///     }
+/// }
+/// # addition_commutes();
+/// ```
+///
+/// (In real test modules each function carries `#[test]` so the harness
+/// collects it; the attribute is passed through unchanged.)
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($config:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __config = $config;
+            let __strategy = ($($strat,)+);
+            $crate::__rt::run(
+                stringify!($name),
+                &__config,
+                &__strategy,
+                |($($arg,)+)| {
+                    $body
+                    ::std::result::Result::Ok(())
+                },
+            );
+        }
+    )*};
+}
+
+/// Asserts a condition inside a property test, failing the case (with an
+/// optional formatted message) instead of panicking directly.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `{:?}` == `{:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(left == right, $($fmt)*);
+    }};
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(
+            left != right,
+            "assertion failed: `{:?}` != `{:?}`",
+            left,
+            right
+        );
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn tuples_and_maps_compose(v in prop::collection::vec((0usize..5).prop_map(|x| x * 2), 1..10)) {
+            prop_assert!(!v.is_empty() && v.len() < 10);
+            prop_assert!(v.iter().all(|&x| x % 2 == 0 && x < 10));
+        }
+
+        #[test]
+        fn float_ranges_in_bounds(x in -6.3f64..6.3, y in 0.0f64..=1.0) {
+            prop_assert!((-6.3..6.3).contains(&x));
+            prop_assert!((0.0..=1.0).contains(&y));
+        }
+    }
+
+    #[test]
+    fn determinism_across_runs() {
+        use crate::strategy::Strategy;
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let strat = crate::collection::vec(0.0f64..1.0, 5);
+        let a = strat.generate(&mut StdRng::seed_from_u64(7));
+        let b = strat.generate(&mut StdRng::seed_from_u64(7));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest case")]
+    fn failing_property_panics_with_case_info() {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(8))]
+            fn always_fails(x in 0usize..10) {
+                prop_assert!(x > 100, "x was {x}");
+            }
+        }
+        always_fails();
+    }
+}

@@ -1,0 +1,48 @@
+//! Test-runner configuration and failure reporting.
+
+use std::fmt;
+
+/// Configuration for a `proptest!` block, mirroring
+/// `proptest::test_runner::Config`.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Upstream defaults to 256; this repo always overrides per-block, so
+        // keep the fallback modest to bound `cargo test -q` time.
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Why a single test case failed.
+#[derive(Clone, Debug)]
+pub enum TestCaseError {
+    /// An assertion inside the property body failed.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// Builds a failure with the given message.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError::Fail(message.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TestCaseError::Fail(msg) => write!(f, "{msg}"),
+        }
+    }
+}

@@ -1,0 +1,60 @@
+//! Concrete RNG implementations.
+
+use crate::{RngCore, SeedableRng};
+
+/// The workspace's standard deterministic RNG: xoshiro256++.
+///
+/// Not the ChaCha12 generator upstream `rand` uses, but every consumer in
+/// this repo needs only a seeded, deterministic, statistically solid stream.
+#[derive(Clone, Debug)]
+pub struct StdRng {
+    s: [u64; 4],
+}
+
+impl StdRng {
+    #[inline]
+    fn step(&mut self) -> u64 {
+        let result = (self.s[0].wrapping_add(self.s[3]))
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
+impl RngCore for StdRng {
+    fn next_u32(&mut self) -> u32 {
+        (self.step() >> 32) as u32
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.step()
+    }
+}
+
+impl SeedableRng for StdRng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut s = [0u64; 4];
+        for (i, chunk) in seed.chunks_exact(8).enumerate() {
+            s[i] = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+        }
+        if s == [0; 4] {
+            // xoshiro must not start from the all-zero state.
+            s = [
+                0x9E37_79B9_7F4A_7C15,
+                0x6A09_E667_F3BC_C909,
+                0xBB67_AE85_84CA_A73B,
+                0x3C6E_F372_FE94_F82B,
+            ];
+        }
+        StdRng { s }
+    }
+}
