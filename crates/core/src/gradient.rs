@@ -57,6 +57,45 @@ where
     grad
 }
 
+/// Builds the `2·P` shifted parameter vectors the two-point rule evaluates,
+/// in the order `[θ+s·e_0, θ−s·e_0, θ+s·e_1, θ−s·e_1, …]`.
+///
+/// Together with [`gradient_from_shifted_values`] this splits
+/// [`parameter_shift_gradient`] into a *plan* and a *fold*, so the shifted
+/// evaluations — by far the dominant cost of a training step — can be fanned
+/// out over a batch executor instead of being forced through a sequential
+/// closure.
+pub fn shifted_parameter_sets(params: &[f64], shift: f64) -> Vec<Vec<f64>> {
+    let mut sets = Vec::with_capacity(2 * params.len());
+    for i in 0..params.len() {
+        let mut forward = params.to_vec();
+        forward[i] += shift;
+        sets.push(forward);
+        let mut backward = params.to_vec();
+        backward[i] -= shift;
+        sets.push(backward);
+    }
+    sets
+}
+
+/// Folds objective values evaluated at [`shifted_parameter_sets`] back into
+/// the two-point gradient: entry `i` is `½·(f(θ+s·e_i) − f(θ−s·e_i))`.
+///
+/// # Panics
+/// Panics if `values` has odd length (it must pair forward/backward
+/// evaluations).
+pub fn gradient_from_shifted_values(values: &[f64]) -> Vec<f64> {
+    assert!(
+        values.len().is_multiple_of(2),
+        "shifted values must come in forward/backward pairs, got {}",
+        values.len()
+    );
+    values
+        .chunks_exact(2)
+        .map(|pair| 0.5 * (pair[0] - pair[1]))
+        .collect()
+}
+
 /// Central finite-difference gradient, used in tests to validate the shift
 /// rule and available for debugging.
 pub fn finite_difference_gradient<F>(mut f: F, params: &[f64], eps: f64) -> Vec<f64>
@@ -194,5 +233,31 @@ mod tests {
     fn gradient_of_empty_parameter_vector_is_empty() {
         let g = parameter_shift_gradient(|_| 1.0, &[], 0.5);
         assert!(g.is_empty());
+        assert!(shifted_parameter_sets(&[], 0.5).is_empty());
+        assert!(gradient_from_shifted_values(&[]).is_empty());
+    }
+
+    #[test]
+    fn planned_shift_evaluation_matches_closure_rule() {
+        // Evaluating the planned parameter sets and folding must reproduce
+        // parameter_shift_gradient exactly, bit for bit: both walk the same
+        // inputs through the same arithmetic.
+        let f = |p: &[f64]| (p[0] * 1.3).sin() + p[1].cos() * p[2];
+        let params = [0.4, -1.1, 2.2];
+        let shift = 0.7;
+        let sets = shifted_parameter_sets(&params, shift);
+        assert_eq!(sets.len(), 6);
+        let values: Vec<f64> = sets.iter().map(|s| f(s)).collect();
+        let folded = gradient_from_shifted_values(&values);
+        let direct = parameter_shift_gradient(f, &params, shift);
+        for (a, b) in folded.iter().zip(direct.iter()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "forward/backward pairs")]
+    fn odd_shifted_values_rejected() {
+        let _ = gradient_from_shifted_values(&[1.0, 2.0, 3.0]);
     }
 }

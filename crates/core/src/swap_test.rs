@@ -17,8 +17,10 @@
 use crate::encoding::DataEncoder;
 use crate::error::QuClassiError;
 use crate::layers::LayerStack;
+use quclassi_sim::batch::BatchExecutor;
 use quclassi_sim::circuit::Circuit;
 use quclassi_sim::executor::Executor;
+use quclassi_sim::fusion::FusedCircuit;
 use rand::Rng;
 
 /// Qubit layout of the SWAP-test circuit (matches the paper's Fig. 7).
@@ -144,6 +146,88 @@ impl FidelityEstimator {
         &self.executor
     }
 
+    /// Whether estimates consume randomness (SWAP test through a noisy or
+    /// shot-limited executor). Deterministic estimators never touch the
+    /// caller's RNG, which is what lets the batched training path stay
+    /// bit-identical to the sequential one.
+    pub fn is_stochastic(&self) -> bool {
+        self.method == FidelityMethod::SwapTest && !self.executor.is_exact()
+    }
+
+    fn check_param_len(&self, stack: &LayerStack, params: &[f64]) -> Result<(), QuClassiError> {
+        if params.len() != stack.parameter_count() {
+            return Err(QuClassiError::InvalidConfig(format!(
+                "expected {} parameters, got {}",
+                stack.parameter_count(),
+                params.len()
+            )));
+        }
+        Ok(())
+    }
+
+    /// Estimates `|⟨φ_x|ω(params)⟩|²` for *many* parameter vectors against
+    /// one data point, fanning the evaluations out over `batch`.
+    ///
+    /// This is the training hot path: one parameter-shift step needs
+    /// `2·P + 1` fidelity evaluations of the same circuit shape, so the
+    /// circuit is built (and, for the SWAP-test method, fused) **once** and
+    /// reused by every job instead of being rebuilt per evaluation as
+    /// [`FidelityEstimator::estimate`] must.
+    ///
+    /// Determinism: per-job RNG streams are derived from `base_seed` and the
+    /// job index, so results are bit-identical for any thread count. For
+    /// deterministic estimators (analytic, or exact SWAP test) the results
+    /// are additionally bit-identical to sequential [`FidelityEstimator::estimate`]
+    /// calls on the same inputs, and `base_seed` is ignored.
+    pub fn estimate_many(
+        &self,
+        stack: &LayerStack,
+        param_sets: &[Vec<f64>],
+        encoder: &DataEncoder,
+        x: &[f64],
+        batch: &BatchExecutor,
+        base_seed: u64,
+    ) -> Result<Vec<f64>, QuClassiError> {
+        for params in param_sets {
+            self.check_param_len(stack, params)?;
+        }
+        match self.method {
+            FidelityMethod::Analytic => {
+                let circuit = stack.build_circuit();
+                let data = encoder.encode_state(x)?;
+                if circuit.num_qubits() != data.num_qubits() {
+                    return Err(QuClassiError::InvalidConfig(format!(
+                        "learned-state register has {} qubits but the encoder needs {}",
+                        circuit.num_qubits(),
+                        data.num_qubits()
+                    )));
+                }
+                let jobs: Vec<&[f64]> = param_sets.iter().map(Vec::as_slice).collect();
+                batch
+                    .run_seeded(base_seed, jobs, |_, params, _| {
+                        circuit
+                            .execute(params)
+                            .and_then(|learned| learned.fidelity(&data))
+                    })
+                    .into_iter()
+                    .map(|r| r.map_err(QuClassiError::from))
+                    .collect()
+            }
+            FidelityMethod::SwapTest => {
+                let (circuit, layout) = build_swap_test_circuit(stack, encoder, x)?;
+                let fused = FusedCircuit::compile(&circuit);
+                let p1s = batch.probabilities_of_one(
+                    &self.executor,
+                    &fused,
+                    param_sets,
+                    layout.ancilla,
+                    base_seed,
+                )?;
+                Ok(p1s.into_iter().map(|p1| fidelity_from_p0(1.0 - p1)).collect())
+            }
+        }
+    }
+
     /// Estimates `|⟨φ_x|ω(params)⟩|²`.
     pub fn estimate<R: Rng + ?Sized>(
         &self,
@@ -153,13 +237,7 @@ impl FidelityEstimator {
         x: &[f64],
         rng: &mut R,
     ) -> Result<f64, QuClassiError> {
-        if params.len() != stack.parameter_count() {
-            return Err(QuClassiError::InvalidConfig(format!(
-                "expected {} parameters, got {}",
-                stack.parameter_count(),
-                params.len()
-            )));
-        }
+        self.check_param_len(stack, params)?;
         match self.method {
             FidelityMethod::Analytic => {
                 let learned = stack.build_circuit().execute(params)?;
@@ -340,6 +418,96 @@ mod tests {
             &encoder,
             &[0.1, 0.2, 0.3, 0.4],
             &mut rng,
+        );
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn estimate_many_matches_sequential_estimates_bit_for_bit() {
+        // Deterministic estimators: the batched path must reproduce the
+        // sequential path exactly, for both methods and any thread count.
+        let (stack, encoder) = setup(4);
+        let x = vec![0.3, 0.8, 0.2, 0.6];
+        let sets: Vec<Vec<f64>> = (0..5)
+            .map(|s| {
+                (0..stack.parameter_count())
+                    .map(|i| 0.1 + 0.2 * s as f64 + 0.05 * i as f64)
+                    .collect()
+            })
+            .collect();
+        for est in [
+            FidelityEstimator::analytic(),
+            FidelityEstimator::swap_test(Executor::ideal()),
+        ] {
+            assert!(!est.is_stochastic());
+            let mut rng = StdRng::seed_from_u64(9);
+            let sequential: Vec<u64> = sets
+                .iter()
+                .map(|p| est.estimate(&stack, p, &encoder, &x, &mut rng).unwrap().to_bits())
+                .collect();
+            for threads in [1, 2, 8] {
+                let batch = BatchExecutor::new(threads, 0);
+                let batched: Vec<u64> = est
+                    .estimate_many(&stack, &sets, &encoder, &x, &batch, 12345)
+                    .unwrap()
+                    .into_iter()
+                    .map(f64::to_bits)
+                    .collect();
+                if est.method() == FidelityMethod::Analytic {
+                    assert_eq!(sequential, batched, "{threads} threads");
+                } else {
+                    // The fused SWAP-test path re-associates floating point;
+                    // equality holds to fusion tolerance and across threads.
+                    for (s, b) in sequential.iter().zip(batched.iter()) {
+                        let (s, b) = (f64::from_bits(*s), f64::from_bits(*b));
+                        assert!((s - b).abs() < 1e-10, "{s} vs {b}");
+                    }
+                    let one_thread: Vec<u64> = est
+                        .estimate_many(&stack, &sets, &encoder, &x, &BatchExecutor::new(1, 0), 12345)
+                        .unwrap()
+                        .into_iter()
+                        .map(f64::to_bits)
+                        .collect();
+                    assert_eq!(one_thread, batched, "{threads} threads");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stochastic_estimate_many_is_thread_count_invariant() {
+        let (stack, encoder) = setup(4);
+        let x = vec![0.5, 0.1, 0.9, 0.4];
+        let est = FidelityEstimator::swap_test(Executor::ideal().with_shots(Some(512)));
+        assert!(est.is_stochastic());
+        let sets: Vec<Vec<f64>> = (0..4)
+            .map(|s| vec![0.3 + s as f64 * 0.2, 1.0, 2.0, 0.2])
+            .collect();
+        let run = |threads: usize, seed: u64| -> Vec<u64> {
+            est.estimate_many(&stack, &sets, &encoder, &x, &BatchExecutor::new(threads, 0), seed)
+                .unwrap()
+                .into_iter()
+                .map(f64::to_bits)
+                .collect()
+        };
+        assert_eq!(run(1, 7), run(2, 7));
+        assert_eq!(run(1, 7), run(8, 7));
+        // A different base seed draws different shots.
+        assert_ne!(run(1, 7), run(1, 8));
+    }
+
+    #[test]
+    fn estimate_many_validates_every_parameter_set() {
+        let (stack, encoder) = setup(4);
+        let good = vec![0.1; stack.parameter_count()];
+        let bad = vec![0.1; stack.parameter_count() + 1];
+        let err = FidelityEstimator::analytic().estimate_many(
+            &stack,
+            &[good, bad],
+            &encoder,
+            &[0.1, 0.2, 0.3, 0.4],
+            &BatchExecutor::default(),
+            0,
         );
         assert!(err.is_err());
     }

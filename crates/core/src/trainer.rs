@@ -11,11 +11,12 @@
 //! evaluate train/test accuracy after every epoch (Fig. 6c).
 
 use crate::error::QuClassiError;
-use crate::gradient::{parameter_shift_gradient, ShiftSchedule};
+use crate::gradient::{gradient_from_shifted_values, shifted_parameter_sets, ShiftSchedule};
 use crate::loss::{binary_cross_entropy, binary_cross_entropy_grad};
 use crate::model::QuClassiModel;
 use crate::optimizer::{Optimizer, Sgd};
 use crate::swap_test::FidelityEstimator;
+use quclassi_sim::batch::BatchExecutor;
 use rand::seq::SliceRandom;
 use rand::Rng;
 
@@ -134,17 +135,39 @@ pub struct Trainer {
     pub config: TrainingConfig,
     /// Fidelity estimation backend (analytic, ideal SWAP test, noisy, …).
     pub estimator: FidelityEstimator,
+    /// Batch executor every per-class/per-shift fidelity evaluation is
+    /// dispatched through. Defaults to single-threaded, which is exactly a
+    /// sequential loop; any thread count produces bit-identical training.
+    batch: BatchExecutor,
 }
 
 impl Trainer {
-    /// Creates a trainer.
+    /// Creates a single-threaded trainer.
     pub fn new(config: TrainingConfig, estimator: FidelityEstimator) -> Self {
-        Trainer { config, estimator }
+        Trainer {
+            config,
+            estimator,
+            batch: BatchExecutor::single_threaded(0),
+        }
     }
 
     /// A trainer with default hyper-parameters and the analytic estimator.
     pub fn default_analytic() -> Self {
         Trainer::new(TrainingConfig::default(), FidelityEstimator::analytic())
+    }
+
+    /// Replaces the batch executor (e.g. to fan the `2·P + 1` fidelity
+    /// evaluations of every training step out over several threads). The
+    /// thread count never changes the result: per-job RNG streams make
+    /// training bit-identical for any worker count.
+    pub fn with_batch_executor(mut self, batch: BatchExecutor) -> Self {
+        self.batch = batch;
+        self
+    }
+
+    /// The batch executor training dispatches through.
+    pub fn batch_executor(&self) -> &BatchExecutor {
+        &self.batch
     }
 
     fn validate_dataset(
@@ -292,33 +315,29 @@ impl Trainer {
         let encoder = model.encoder().clone();
         let params = model.class_params(class)?.to_vec();
 
-        // Current fidelity and loss.
-        let fidelity = self
+        // One batched dispatch evaluates the current fidelity and every
+        // parameter-shift neighbour: the circuit is built (and fused) once
+        // and the 2·P + 1 evaluations fan out over the batch executor.
+        // Estimator noise (shots / hardware) flows through per-job RNG
+        // streams exactly as it would on a real device, and only stochastic
+        // estimators draw from the trainer RNG at all — deterministic
+        // training is therefore bit-identical to the sequential path.
+        let mut sets = Vec::with_capacity(1 + 2 * params.len());
+        sets.push(params.clone());
+        sets.extend(shifted_parameter_sets(&params, shift));
+        let base_seed = if self.estimator.is_stochastic() {
+            rng.gen::<u64>()
+        } else {
+            0
+        };
+        let values = self
             .estimator
-            .estimate(&stack, &params, &encoder, x, rng)?;
+            .estimate_many(&stack, &sets, &encoder, x, &self.batch, base_seed)?;
+
+        let fidelity = values[0];
         let loss = binary_cross_entropy(fidelity, target);
         let dloss_dfid = binary_cross_entropy_grad(fidelity, target);
-
-        // Parameter-shift gradient of the fidelity. The closure re-estimates
-        // fidelity at shifted parameters; estimator noise (shots / hardware)
-        // flows through exactly as it would on a real device.
-        let mut eval_error: Option<QuClassiError> = None;
-        let fidelity_grad = {
-            let estimator = &self.estimator;
-            let mut call = |p: &[f64]| -> f64 {
-                match estimator.estimate(&stack, p, &encoder, x, rng) {
-                    Ok(f) => f,
-                    Err(e) => {
-                        eval_error = Some(e);
-                        0.0
-                    }
-                }
-            };
-            parameter_shift_gradient(&mut call, &params, shift)
-        };
-        if let Some(e) = eval_error {
-            return Err(e);
-        }
+        let fidelity_grad = gradient_from_shifted_values(&values[1..]);
 
         // Chain rule: ∂loss/∂θ = ∂loss/∂F · ∂F/∂θ, then SGD.
         let grads: Vec<f64> = fidelity_grad.iter().map(|g| dloss_dfid * g).collect();
@@ -509,6 +528,51 @@ mod tests {
         );
         let history = trainer.fit(&mut model, &xs, &ys, &mut rng).unwrap();
         assert_eq!(history.epochs.len(), 2);
+    }
+
+    #[test]
+    fn training_is_bit_identical_for_any_thread_count() {
+        // The batch executor must never change what is learned: the same
+        // seed through 1, 2 and 8 workers yields the same parameters to the
+        // last bit, for a deterministic and a stochastic estimator alike.
+        let (xs, ys) = toy_binary();
+        let estimators = [
+            FidelityEstimator::analytic(),
+            FidelityEstimator::swap_test(
+                quclassi_sim::executor::Executor::ideal().with_shots(Some(256)),
+            ),
+        ];
+        for estimator in estimators {
+            let run = |threads: usize| -> Vec<Vec<u64>> {
+                let mut rng = StdRng::seed_from_u64(29);
+                let mut model =
+                    QuClassiModel::with_random_parameters(QuClassiConfig::qc_s(4, 2), &mut rng)
+                        .unwrap();
+                let trainer = Trainer::new(
+                    TrainingConfig {
+                        epochs: 2,
+                        learning_rate: 0.05,
+                        ..Default::default()
+                    },
+                    estimator.clone(),
+                )
+                .with_batch_executor(BatchExecutor::new(threads, 0));
+                trainer.fit(&mut model, &xs, &ys, &mut rng).unwrap();
+                (0..2)
+                    .map(|c| {
+                        model
+                            .class_params(c)
+                            .unwrap()
+                            .iter()
+                            .map(|p| p.to_bits())
+                            .collect()
+                    })
+                    .collect()
+            };
+            let one = run(1);
+            assert_eq!(one, run(2), "2 threads diverged");
+            assert_eq!(one, run(8), "8 threads diverged");
+        }
     }
 
     #[test]

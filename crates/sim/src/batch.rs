@@ -1,0 +1,268 @@
+//! Parallel batch execution with deterministic per-job randomness.
+//!
+//! Training evaluates the same circuit shape against many parameter vectors
+//! (every sample × class × parameter-shift evaluation); inference scores a
+//! batch of samples against every class state. A [`BatchExecutor`] runs such
+//! job lists over a small scoped thread pool (`vendor/threadpool`) while
+//! keeping the results **bit-identical regardless of thread count**:
+//!
+//! * each job receives its own [`StdRng`] seeded by SplitMix64 from a root
+//!   (or caller-provided base) seed and the job's stable index — never from
+//!   a shared stream whose consumption order would depend on scheduling;
+//! * results are returned in job order, not completion order.
+//!
+//! Consequently `BatchExecutor::new(1, seed)`, `::new(2, seed)` and
+//! `::new(8, seed)` produce the same bytes for the same jobs, and a
+//! single-threaded pool is exactly a sequential loop — which is what makes
+//! the batched training path verifiable against the sequential golden run.
+
+use crate::circuit::Circuit;
+use crate::error::SimError;
+use crate::executor::Executor;
+use crate::fusion::FusedCircuit;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use threadpool::ThreadPool;
+
+/// Expands a seed through SplitMix64 — the same scrambler `rand` documents
+/// for `seed_from_u64` — so consecutive job indices land on statistically
+/// independent streams.
+fn splitmix64(mut state: u64) -> u64 {
+    state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A parallel evaluator for batches of circuit jobs.
+///
+/// Construction is cheap (no OS threads are held between batches), so a
+/// `BatchExecutor` can be freely cloned into trainers and estimators.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BatchExecutor {
+    pool: ThreadPool,
+    root_seed: u64,
+}
+
+impl Default for BatchExecutor {
+    fn default() -> Self {
+        BatchExecutor::single_threaded(0)
+    }
+}
+
+impl BatchExecutor {
+    /// Creates a batch executor running jobs on `threads` workers, deriving
+    /// per-job RNG streams from `root_seed`.
+    ///
+    /// # Panics
+    /// Panics if `threads` is zero — rejected at construction, like
+    /// [`Executor::with_trajectories`] with zero trajectories.
+    pub fn new(threads: usize, root_seed: u64) -> Self {
+        BatchExecutor {
+            pool: ThreadPool::new(threads),
+            root_seed,
+        }
+    }
+
+    /// A batch executor that runs every job inline on the calling thread.
+    pub fn single_threaded(root_seed: u64) -> Self {
+        BatchExecutor {
+            pool: ThreadPool::single_threaded(),
+            root_seed,
+        }
+    }
+
+    /// The configured worker count.
+    pub fn threads(&self) -> usize {
+        self.pool.threads()
+    }
+
+    /// The root seed per-job streams are derived from.
+    pub fn root_seed(&self) -> u64 {
+        self.root_seed
+    }
+
+    /// The seed of job `index` under base seed `base`: a pure function of
+    /// `(base, index)`, independent of thread count and scheduling.
+    pub fn job_seed(base: u64, index: u64) -> u64 {
+        splitmix64(base ^ splitmix64(index))
+    }
+
+    /// Runs `f` over `jobs` in parallel. Each invocation receives the job's
+    /// index, the job itself, and a private RNG seeded from the executor's
+    /// root seed and that index. Results come back in job order.
+    pub fn run<T, U, F>(&self, jobs: Vec<T>, f: F) -> Vec<U>
+    where
+        T: Send,
+        U: Send,
+        F: Fn(usize, T, &mut StdRng) -> U + Sync,
+    {
+        self.run_seeded(self.root_seed, jobs, f)
+    }
+
+    /// Like [`BatchExecutor::run`] but derives per-job RNGs from `base`
+    /// instead of the root seed. Callers that dispatch many batches (e.g.
+    /// one per training step) thread a fresh base seed through each batch so
+    /// stochastic estimates do not repeat, while thread-count invariance is
+    /// preserved within every batch.
+    pub fn run_seeded<T, U, F>(&self, base: u64, jobs: Vec<T>, f: F) -> Vec<U>
+    where
+        T: Send,
+        U: Send,
+        F: Fn(usize, T, &mut StdRng) -> U + Sync,
+    {
+        self.pool.scoped_map(jobs, |index, job| {
+            let mut rng = StdRng::seed_from_u64(Self::job_seed(base, index as u64));
+            f(index, job, &mut rng)
+        })
+    }
+
+    /// Evaluates `P(qubit = 1)` for each parameter vector against a compiled
+    /// circuit through `executor` (which may be noisy and/or shot-limited).
+    ///
+    /// One `(state, circuit)` evolution per parameter set, fanned out over
+    /// the pool; the fused fast path is used whenever the executor's
+    /// configuration allows it.
+    pub fn probabilities_of_one(
+        &self,
+        executor: &Executor,
+        circuit: &FusedCircuit,
+        param_sets: &[Vec<f64>],
+        qubit: usize,
+        base_seed: u64,
+    ) -> Result<Vec<f64>, SimError> {
+        let jobs: Vec<&[f64]> = param_sets.iter().map(Vec::as_slice).collect();
+        self.run_seeded(base_seed, jobs, |_, params, rng| {
+            executor.probability_of_one_compiled(circuit, params, qubit, rng)
+        })
+        .into_iter()
+        .collect()
+    }
+
+    /// Executes a compiled circuit to a final statevector for each parameter
+    /// set (ideal evolution — no noise, no shots), in parallel.
+    pub fn execute_statevectors(
+        &self,
+        circuit: &FusedCircuit,
+        param_sets: &[Vec<f64>],
+    ) -> Result<Vec<crate::state::StateVector>, SimError> {
+        let jobs: Vec<&[f64]> = param_sets.iter().map(Vec::as_slice).collect();
+        self.run(jobs, |_, params, _| circuit.execute(params))
+            .into_iter()
+            .collect()
+    }
+
+    /// Samples `shots` full-register measurements for each parameter set,
+    /// returning one histogram per set (see [`Executor::sample_counts`]).
+    pub fn sample_counts(
+        &self,
+        executor: &Executor,
+        circuit: &Circuit,
+        param_sets: &[Vec<f64>],
+        shots: usize,
+        base_seed: u64,
+    ) -> Result<Vec<Vec<(usize, usize)>>, SimError> {
+        let jobs: Vec<&[f64]> = param_sets.iter().map(Vec::as_slice).collect();
+        self.run_seeded(base_seed, jobs, |_, params, rng| {
+            executor.sample_counts(circuit, params, shots, rng)
+        })
+        .into_iter()
+        .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gate::Gate;
+
+    fn ry_circuit() -> Circuit {
+        let mut c = Circuit::new(2);
+        c.ry_param(0, 0).ry_param(1, 1).cnot(0, 1);
+        c
+    }
+
+    #[test]
+    fn default_is_single_threaded() {
+        let b = BatchExecutor::default();
+        assert_eq!(b.threads(), 1);
+        assert_eq!(b.root_seed(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_threads_rejected_at_construction() {
+        let _ = BatchExecutor::new(0, 7);
+    }
+
+    #[test]
+    fn job_seeds_are_stable_and_distinct() {
+        let a = BatchExecutor::job_seed(42, 0);
+        let b = BatchExecutor::job_seed(42, 1);
+        let c = BatchExecutor::job_seed(43, 0);
+        assert_eq!(a, BatchExecutor::job_seed(42, 0));
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn run_results_are_thread_count_invariant() {
+        use rand::Rng;
+        let jobs: Vec<usize> = (0..40).collect();
+        let eval = |b: &BatchExecutor| {
+            b.run(jobs.clone(), |i, job, rng| {
+                assert_eq!(i, job);
+                rng.gen::<u64>()
+            })
+        };
+        let one = eval(&BatchExecutor::new(1, 99));
+        let two = eval(&BatchExecutor::new(2, 99));
+        let eight = eval(&BatchExecutor::new(8, 99));
+        assert_eq!(one, two);
+        assert_eq!(one, eight);
+        // Different root seed → different streams.
+        assert_ne!(one, eval(&BatchExecutor::new(1, 100)));
+    }
+
+    #[test]
+    fn probabilities_match_direct_execution() {
+        let circuit = ry_circuit();
+        let fused = FusedCircuit::compile(&circuit);
+        let exec = Executor::ideal();
+        let sets: Vec<Vec<f64>> = (0..6)
+            .map(|i| vec![0.2 * i as f64, 1.0 - 0.1 * i as f64])
+            .collect();
+        let batch = BatchExecutor::new(4, 0);
+        let got = batch
+            .probabilities_of_one(&exec, &fused, &sets, 1, 0)
+            .unwrap();
+        for (params, p) in sets.iter().zip(got.iter()) {
+            let direct = circuit.execute(params).unwrap().probability_of_one(1).unwrap();
+            assert!((p - direct).abs() < 1e-12, "{p} vs {direct}");
+        }
+    }
+
+    #[test]
+    fn execute_statevectors_matches_sequential() {
+        let circuit = ry_circuit();
+        let fused = FusedCircuit::compile(&circuit);
+        let sets: Vec<Vec<f64>> = vec![vec![0.1, 0.2], vec![1.5, -0.4], vec![3.0, 0.0]];
+        let batch = BatchExecutor::new(8, 1);
+        let states = batch.execute_statevectors(&fused, &sets).unwrap();
+        for (params, sv) in sets.iter().zip(states.iter()) {
+            assert_eq!(sv, &fused.execute(params).unwrap());
+        }
+    }
+
+    #[test]
+    fn errors_propagate_from_jobs() {
+        let mut c = Circuit::new(1);
+        c.push(Gate::Ry(0, 0.0));
+        c.ry_param(0, 5); // needs 6 params
+        let fused = FusedCircuit::compile(&c);
+        let batch = BatchExecutor::new(2, 0);
+        let err = batch.execute_statevectors(&fused, &[vec![0.1]]);
+        assert!(matches!(err, Err(SimError::UnboundParameter { .. })));
+    }
+}

@@ -19,7 +19,12 @@
 //! * [`transpile`] — decomposition to the native basis and SWAP-insertion
 //!   routing with CNOT accounting,
 //! * [`executor::Executor`] — the execution façade (ideal / noisy /
-//!   shot-sampled) consumed by the `quclassi` crate.
+//!   shot-sampled) consumed by the `quclassi` crate,
+//! * [`fusion::FusedCircuit`] — gate fusion: circuits compiled once into
+//!   dense `2^k × 2^k` unitaries (k ≤ 3) and reused across evaluations,
+//! * [`batch::BatchExecutor`] — parallel batch evaluation over a scoped
+//!   thread pool with deterministic per-job RNG streams (results are
+//!   bit-identical for any thread count).
 //!
 //! ## Quick example
 //!
@@ -40,12 +45,14 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod batch;
 pub mod circuit;
 pub mod complex;
 pub mod density;
 pub mod device;
 pub mod error;
 pub mod executor;
+pub mod fusion;
 pub mod gate;
 pub mod linalg;
 pub mod noise;
@@ -54,12 +61,14 @@ pub mod transpile;
 
 /// Convenient re-exports of the most commonly used types.
 pub mod prelude {
+    pub use crate::batch::BatchExecutor;
     pub use crate::circuit::{Circuit, Operation};
     pub use crate::complex::Complex;
     pub use crate::density::DensityMatrix;
     pub use crate::device::{CouplingMap, DeviceModel};
     pub use crate::error::SimError;
     pub use crate::executor::{Executor, Method};
+    pub use crate::fusion::FusedCircuit;
     pub use crate::gate::Gate;
     pub use crate::linalg::CMatrix;
     pub use crate::noise::{NoiseChannel, NoiseModel, ReadoutError};

@@ -13,6 +13,11 @@ use crate::gate::Gate;
 use crate::linalg::CMatrix;
 use rand::Rng;
 
+/// Largest qubit count accepted by the dense-unitary kernels
+/// ([`StateVector::apply_k_qubit_matrix`] and fused-circuit execution):
+/// scratch buffers are stack-allocated at `2^MAX_DENSE_QUBITS`.
+pub const MAX_DENSE_QUBITS: usize = 6;
+
 /// A pure quantum state on `n` qubits, stored as `2^n` amplitudes.
 #[derive(Clone, Debug, PartialEq)]
 pub struct StateVector {
@@ -144,13 +149,9 @@ impl StateVector {
         }
     }
 
-    /// Applies a gate in place.
-    ///
-    /// # Errors
-    /// Returns an error if any operand qubit is out of range or duplicated.
-    pub fn apply_gate(&mut self, gate: &Gate) -> Result<(), SimError> {
-        let qubits = gate.qubits();
-        for &q in &qubits {
+    /// Checks that every listed qubit is in range and no qubit repeats.
+    fn validate_qubits(&self, qubits: &[usize]) -> Result<(), SimError> {
+        for &q in qubits {
             if q >= self.num_qubits {
                 return Err(SimError::QubitOutOfRange {
                     qubit: q,
@@ -165,6 +166,16 @@ impl StateVector {
                 }
             }
         }
+        Ok(())
+    }
+
+    /// Applies a gate in place.
+    ///
+    /// # Errors
+    /// Returns an error if any operand qubit is out of range or duplicated.
+    pub fn apply_gate(&mut self, gate: &Gate) -> Result<(), SimError> {
+        let qubits = gate.qubits();
+        self.validate_qubits(&qubits)?;
         match gate {
             // Fast diagonal/permutation special cases.
             Gate::I(_) => {}
@@ -176,9 +187,9 @@ impl StateVector {
             Gate::Tdg(q) => self.apply_phase_flip(*q, Complex::cis(-std::f64::consts::FRAC_PI_4)),
             Gate::Swap(a, b) => self.apply_swap(*a, *b),
             Gate::Cnot { control, target } => self.apply_cnot(*control, *target),
-            g if g.arity() == 1 => self.apply_single_qubit_matrix(qubits[0], &g.matrix()),
-            g if g.arity() == 2 => self.apply_two_qubit_matrix(qubits[0], qubits[1], &g.matrix()),
-            g => self.apply_k_qubit_matrix(&qubits, &g.matrix()),
+            Gate::Cz { control, target } => self.apply_cz(*control, *target),
+            Gate::CSwap { control, a, b } => self.apply_cswap(*control, *a, *b),
+            g => self.apply_unitary_unchecked(&qubits, g.matrix().as_slice()),
         }
         Ok(())
     }
@@ -231,84 +242,192 @@ impl StateVector {
         }
     }
 
+    fn apply_cz(&mut self, control: usize, target: usize) {
+        // Diagonal: flip the sign where both bits are set. No multiplies.
+        let mask = (1usize << control) | (1usize << target);
+        for i in 0..self.dim() {
+            if i & mask == mask {
+                let a = self.amplitudes[i];
+                self.amplitudes[i] = Complex::new(-a.re, -a.im);
+            }
+        }
+    }
+
+    fn apply_cswap(&mut self, control: usize, a: usize, b: usize) {
+        // Permutation: swap the |a=1,b=0⟩ / |a=0,b=1⟩ amplitudes where the
+        // control bit is set. No multiplies.
+        let cb = 1usize << control;
+        let ab = 1usize << a;
+        let bb = 1usize << b;
+        for i in 0..self.dim() {
+            if i & cb != 0 && i & ab != 0 && i & bb == 0 {
+                let j = (i & !ab) | bb;
+                self.amplitudes.swap(i, j);
+            }
+        }
+    }
+
     /// Applies an arbitrary 2×2 matrix to one qubit.
     pub fn apply_single_qubit_matrix(&mut self, q: usize, m: &CMatrix) {
         debug_assert_eq!(m.rows(), 2);
-        let bit = 1usize << q;
-        let (m00, m01, m10, m11) = (m[(0, 0)], m[(0, 1)], m[(1, 0)], m[(1, 1)]);
-        for i in 0..self.dim() {
-            if i & bit == 0 {
-                let j = i | bit;
-                let a0 = self.amplitudes[i];
-                let a1 = self.amplitudes[j];
-                self.amplitudes[i] = m00 * a0 + m01 * a1;
-                self.amplitudes[j] = m10 * a0 + m11 * a1;
-            }
-        }
+        self.apply_unitary1(q, m.as_slice());
     }
 
     /// Applies an arbitrary 4×4 matrix to two qubits (`q0` = least-significant
     /// operand of the matrix).
     pub fn apply_two_qubit_matrix(&mut self, q0: usize, q1: usize, m: &CMatrix) {
         debug_assert_eq!(m.rows(), 4);
-        let b0 = 1usize << q0;
-        let b1 = 1usize << q1;
-        for i in 0..self.dim() {
-            if i & b0 == 0 && i & b1 == 0 {
-                let idx = [i, i | b0, i | b1, i | b0 | b1];
-                let amps = [
-                    self.amplitudes[idx[0]],
-                    self.amplitudes[idx[1]],
-                    self.amplitudes[idx[2]],
-                    self.amplitudes[idx[3]],
-                ];
-                for (r, &target_index) in idx.iter().enumerate() {
-                    let mut acc = Complex::ZERO;
-                    for (c, &amp) in amps.iter().enumerate() {
-                        acc += m[(r, c)] * amp;
-                    }
-                    self.amplitudes[target_index] = acc;
+        self.apply_unitary2(q0, q1, m.as_slice());
+    }
+
+    /// Applies an arbitrary 2^k × 2^k matrix to `k` qubits (first listed qubit
+    /// = least-significant bit of the matrix basis).
+    ///
+    /// # Errors
+    /// Returns [`SimError::QubitOutOfRange`] / [`SimError::DuplicateQubit`]
+    /// for invalid operand lists (rather than silently misindexing the
+    /// register), [`SimError::InvalidState`] when the matrix shape does not
+    /// match the qubit count, and [`SimError::Unsupported`] beyond
+    /// [`MAX_DENSE_QUBITS`] qubits.
+    pub fn apply_k_qubit_matrix(&mut self, qubits: &[usize], m: &CMatrix) -> Result<(), SimError> {
+        let k = qubits.len();
+        self.validate_qubits(qubits)?;
+        if k > MAX_DENSE_QUBITS {
+            return Err(SimError::Unsupported(format!(
+                "dense unitary application supports at most {MAX_DENSE_QUBITS} qubits, got {k}"
+            )));
+        }
+        if m.rows() != (1 << k) || m.cols() != (1 << k) {
+            return Err(SimError::InvalidState(format!(
+                "matrix shape {}x{} does not act on {k} qubits",
+                m.rows(),
+                m.cols()
+            )));
+        }
+        self.apply_unitary_unchecked(qubits, m.as_slice());
+        Ok(())
+    }
+
+    /// Applies a dense 2^k × 2^k unitary (flat row-major slice) to the listed
+    /// qubits without validating operands: callers guarantee distinct,
+    /// in-range qubits, `k <= MAX_DENSE_QUBITS` and a matching matrix size.
+    /// This is the shared kernel behind gate application and fused-circuit
+    /// execution.
+    pub(crate) fn apply_unitary_unchecked(&mut self, qubits: &[usize], m: &[Complex]) {
+        match qubits.len() {
+            0 => {}
+            1 => self.apply_unitary1(qubits[0], m),
+            2 => self.apply_unitary2(qubits[0], qubits[1], m),
+            _ => self.apply_unitary_k(qubits, m),
+        }
+    }
+
+    /// Inserts a zero bit at position `p`, spreading the higher bits up.
+    #[inline(always)]
+    fn insert_zero_bit(index: usize, p: usize) -> usize {
+        let low = index & ((1usize << p) - 1);
+        ((index >> p) << (p + 1)) | low
+    }
+
+    fn apply_unitary1(&mut self, q: usize, m: &[Complex]) {
+        debug_assert_eq!(m.len(), 4);
+        let step = 1usize << q;
+        let (m00, m01, m10, m11) = (m[0], m[1], m[2], m[3]);
+        // Contiguous slice halves per block: no per-index bit twiddling, no
+        // bounds checks, and the inner zip vectorises.
+        for chunk in self.amplitudes.chunks_exact_mut(step << 1) {
+            let (zeros, ones) = chunk.split_at_mut(step);
+            for (r0, r1) in zeros.iter_mut().zip(ones.iter_mut()) {
+                let a0 = *r0;
+                let a1 = *r1;
+                *r0 = m00 * a0 + m01 * a1;
+                *r1 = m10 * a0 + m11 * a1;
+            }
+        }
+    }
+
+    fn apply_unitary2(&mut self, q0: usize, q1: usize, m: &[Complex]) {
+        debug_assert_eq!(m.len(), 16);
+        let (lo, hi) = (q0.min(q1), q0.max(q1));
+        let s_lo = 1usize << lo;
+        let s_hi = 1usize << hi;
+        // The matrix basis puts q0 on bit 0; when q0 is the *higher* wire,
+        // conjugate the matrix by the bit-swap permutation once up front so
+        // the sweep can use the natural (hi, lo) slice layout throughout.
+        let perm = |x: usize| -> usize {
+            if q0 == lo {
+                x
+            } else {
+                ((x & 1) << 1) | (x >> 1)
+            }
+        };
+        let mut mm = [Complex::ZERO; 16];
+        for (r, row) in mm.chunks_exact_mut(4).enumerate() {
+            for (c, slot) in row.iter_mut().enumerate() {
+                *slot = m[perm(r) * 4 + perm(c)];
+            }
+        }
+        for chunk in self.amplitudes.chunks_exact_mut(s_hi << 1) {
+            let (h0, h1) = chunk.split_at_mut(s_hi);
+            for (sub0, sub1) in h0
+                .chunks_exact_mut(s_lo << 1)
+                .zip(h1.chunks_exact_mut(s_lo << 1))
+            {
+                let (a00, a01) = sub0.split_at_mut(s_lo);
+                let (a10, a11) = sub1.split_at_mut(s_lo);
+                for (((r0, r1), r2), r3) in a00
+                    .iter_mut()
+                    .zip(a01.iter_mut())
+                    .zip(a10.iter_mut())
+                    .zip(a11.iter_mut())
+                {
+                    let a = [*r0, *r1, *r2, *r3];
+                    *r0 = mm[0] * a[0] + mm[1] * a[1] + mm[2] * a[2] + mm[3] * a[3];
+                    *r1 = mm[4] * a[0] + mm[5] * a[1] + mm[6] * a[2] + mm[7] * a[3];
+                    *r2 = mm[8] * a[0] + mm[9] * a[1] + mm[10] * a[2] + mm[11] * a[3];
+                    *r3 = mm[12] * a[0] + mm[13] * a[1] + mm[14] * a[2] + mm[15] * a[3];
                 }
             }
         }
     }
 
-    /// Applies an arbitrary 2^k × 2^k matrix to `k` qubits (first listed qubit
-    /// = least-significant bit of the matrix basis).
-    pub fn apply_k_qubit_matrix(&mut self, qubits: &[usize], m: &CMatrix) {
+    fn apply_unitary_k(&mut self, qubits: &[usize], m: &[Complex]) {
         let k = qubits.len();
-        debug_assert_eq!(m.rows(), 1 << k);
-        let masks: Vec<usize> = qubits.iter().map(|&q| 1usize << q).collect();
-        let full_mask: usize = masks.iter().sum();
-        let dim = self.dim();
-        let mut scratch = vec![Complex::ZERO; 1 << k];
-        for base in 0..dim {
-            if base & full_mask != 0 {
-                continue;
-            }
-            // Gather the 2^k amplitudes in matrix basis order.
-            for (sub, slot) in scratch.iter_mut().enumerate() {
-                let mut idx = base;
-                for (bit, mask) in masks.iter().enumerate() {
-                    if sub & (1 << bit) != 0 {
-                        idx |= mask;
-                    }
+        debug_assert!(k <= MAX_DENSE_QUBITS);
+        let size = 1usize << k;
+        debug_assert_eq!(m.len(), size * size);
+        // Offset of each matrix basis state within a block: the OR of the
+        // qubit masks selected by the basis-index bits.
+        let mut offs = [0usize; 1 << MAX_DENSE_QUBITS];
+        for (sub, off) in offs[..size].iter_mut().enumerate() {
+            let mut o = 0usize;
+            for (bit, &q) in qubits.iter().enumerate() {
+                if sub & (1 << bit) != 0 {
+                    o |= 1 << q;
                 }
-                *slot = self.amplitudes[idx];
             }
-            // Scatter the transformed amplitudes back.
-            for (row, _) in scratch.iter().enumerate() {
-                let mut idx = base;
-                for (bit, mask) in masks.iter().enumerate() {
-                    if row & (1 << bit) != 0 {
-                        idx |= mask;
-                    }
-                }
+            *off = o;
+        }
+        // Ascending bit positions for zero-insertion base enumeration.
+        let mut pos = [0usize; MAX_DENSE_QUBITS];
+        pos[..k].copy_from_slice(qubits);
+        pos[..k].sort_unstable();
+        let mut scratch = [Complex::ZERO; 1 << MAX_DENSE_QUBITS];
+        for i in 0..self.dim() >> k {
+            let mut base = i;
+            for &p in &pos[..k] {
+                base = Self::insert_zero_bit(base, p);
+            }
+            for (slot, &off) in scratch[..size].iter_mut().zip(offs[..size].iter()) {
+                *slot = self.amplitudes[base | off];
+            }
+            for (row, &off) in offs[..size].iter().enumerate() {
+                let mrow = &m[row * size..(row + 1) * size];
                 let mut acc = Complex::ZERO;
-                for (col, &amp) in scratch.iter().enumerate() {
-                    acc += m[(row, col)] * amp;
+                for (col, &amp) in scratch[..size].iter().enumerate() {
+                    acc += mrow[col] * amp;
                 }
-                self.amplitudes[idx] = acc;
+                self.amplitudes[base | off] = acc;
             }
         }
     }
@@ -572,7 +691,7 @@ mod tests {
         let mut b = sv.clone();
         let gate = Gate::Rxx(0, 2, 0.9);
         a.apply_gate(&gate).unwrap();
-        b.apply_k_qubit_matrix(&gate.qubits(), &gate.matrix());
+        b.apply_k_qubit_matrix(&gate.qubits(), &gate.matrix()).unwrap();
         for (x, y) in a.amplitudes().iter().zip(b.amplitudes().iter()) {
             assert!(x.approx_eq(*y, 1e-9));
         }
@@ -583,6 +702,61 @@ mod tests {
         let mut sv = StateVector::zero_state(2);
         assert!(sv.apply_gate(&Gate::H(2)).is_err());
         assert!(sv.apply_gate(&Gate::Swap(1, 1)).is_err());
+    }
+
+    #[test]
+    fn k_qubit_matrix_rejects_invalid_operands() {
+        let mut sv = StateVector::zero_state(3);
+        let before = sv.clone();
+        let m = CMatrix::identity(4);
+        // Duplicate qubit index.
+        assert_eq!(
+            sv.apply_k_qubit_matrix(&[1, 1], &m),
+            Err(SimError::DuplicateQubit(1))
+        );
+        // Out-of-range qubit index.
+        assert!(matches!(
+            sv.apply_k_qubit_matrix(&[0, 5], &m),
+            Err(SimError::QubitOutOfRange { qubit: 5, .. })
+        ));
+        // Matrix shape not matching the qubit count.
+        assert!(matches!(
+            sv.apply_k_qubit_matrix(&[0], &m),
+            Err(SimError::InvalidState(_))
+        ));
+        // Too many qubits for the dense kernels.
+        let big = CMatrix::identity(1 << 7);
+        let mut wide = StateVector::zero_state(8);
+        assert!(matches!(
+            wide.apply_k_qubit_matrix(&[0, 1, 2, 3, 4, 5, 6], &big),
+            Err(SimError::Unsupported(_))
+        ));
+        // A failed application leaves the state untouched.
+        assert_eq!(sv, before);
+    }
+
+    #[test]
+    fn k_qubit_matrix_matches_per_gate_application_for_all_arities() {
+        let mut sv = StateVector::zero_state(4);
+        sv.apply_gates(&[Gate::H(0), Gate::Ry(1, 0.4), Gate::Rz(2, 1.3), Gate::H(3)])
+            .unwrap();
+        for gate in [
+            Gate::Ry(2, 0.9),
+            Gate::Rxx(3, 0, 1.1),
+            Gate::CSwap {
+                control: 3,
+                a: 0,
+                b: 2,
+            },
+        ] {
+            let mut a = sv.clone();
+            let mut b = sv.clone();
+            a.apply_gate(&gate).unwrap();
+            b.apply_k_qubit_matrix(&gate.qubits(), &gate.matrix()).unwrap();
+            for (x, y) in a.amplitudes().iter().zip(b.amplitudes().iter()) {
+                assert!(x.approx_eq(*y, 1e-12), "gate {}", gate.name());
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,213 @@
+//! Property-test net over the fusion hot path: for random circuits, fused
+//! execution must be indistinguishable (to 1e-10) from gate-by-gate
+//! execution, and must preserve the state norm.
+//!
+//! Case count: `ProptestConfig::default()` honours the `PROPTEST_CASES`
+//! environment variable (CI pins it; the local default is 64 cases per
+//! property, i.e. ≥ 64 random circuits per suite run).
+
+use proptest::prelude::*;
+use quclassi_sim::circuit::Circuit;
+use quclassi_sim::fusion::{FusedCircuit, MAX_FUSED_QUBITS};
+use quclassi_sim::gate::Gate;
+use quclassi_sim::state::StateVector;
+
+const TOL: f64 = 1e-10;
+
+/// Decodes one raw tuple into a gate on distinct qubits of an `n`-qubit
+/// register. Covers every `Gate` variant (23 kinds).
+fn gate_from_raw(n: usize, kind: usize, qa: usize, qb: usize, qc: usize, theta: f64) -> Gate {
+    let a = qa % n;
+    let b = (a + 1 + qb % (n - 1)) % n; // distinct from a
+    // distinct from both a and b (needs n >= 3; callers gate on arity).
+    let c = {
+        let mut others: Vec<usize> = (0..n).filter(|&q| q != a && q != b).collect();
+        if others.is_empty() {
+            others.push((a + 1) % n);
+        }
+        others[qc % others.len()]
+    };
+    match kind % 23 {
+        0 => Gate::I(a),
+        1 => Gate::X(a),
+        2 => Gate::Y(a),
+        3 => Gate::Z(a),
+        4 => Gate::H(a),
+        5 => Gate::S(a),
+        6 => Gate::Sdg(a),
+        7 => Gate::T(a),
+        8 => Gate::Tdg(a),
+        9 => Gate::Rx(a, theta),
+        10 => Gate::Ry(a, theta),
+        11 => Gate::Rz(a, theta),
+        12 => Gate::R(a, theta, theta * 0.7 - 1.0),
+        13 => Gate::Cnot {
+            control: a,
+            target: b,
+        },
+        14 => Gate::Cz {
+            control: a,
+            target: b,
+        },
+        15 => Gate::Swap(a, b),
+        16 => Gate::CRx {
+            control: a,
+            target: b,
+            theta,
+        },
+        17 => Gate::CRy {
+            control: a,
+            target: b,
+            theta,
+        },
+        18 => Gate::CRz {
+            control: a,
+            target: b,
+            theta,
+        },
+        19 => Gate::Rxx(a, b, theta),
+        20 => Gate::Ryy(a, b, theta),
+        21 => Gate::Rzz(a, b, theta),
+        _ => {
+            if n >= 3 {
+                Gate::CSwap { control: a, a: b, b: c }
+            } else {
+                Gate::Swap(a, b)
+            }
+        }
+    }
+}
+
+type RawGate = (usize, usize, usize, usize, f64);
+
+fn raw_gates(max_len: usize) -> impl Strategy<Value = Vec<RawGate>> {
+    prop::collection::vec(
+        (0usize..23, 0usize..64, 0usize..64, 0usize..64, -6.3f64..6.3),
+        1..max_len,
+    )
+}
+
+fn build_circuit(n: usize, raw: &[RawGate]) -> Circuit {
+    let mut c = Circuit::new(n);
+    for &(kind, qa, qb, qc, theta) in raw {
+        c.push(gate_from_raw(n, kind, qa, qb, qc, theta));
+    }
+    c
+}
+
+fn assert_states_close(fused: &StateVector, plain: &StateVector, tol: f64) {
+    for (x, y) in fused.amplitudes().iter().zip(plain.amplitudes().iter()) {
+        assert!(
+            x.approx_eq(*y, tol),
+            "fused amplitude {x:?} differs from unfused {y:?}"
+        );
+    }
+}
+
+proptest! {
+    /// Fused and unfused execution agree amplitude-by-amplitude within
+    /// 1e-10 for random fixed circuits over 2–6 qubits, and both preserve
+    /// the norm.
+    #[test]
+    fn fused_execution_is_equivalent_to_unfused(
+        n in 2usize..=6,
+        raw in raw_gates(40),
+    ) {
+        let circuit = build_circuit(n, &raw);
+        let fused = FusedCircuit::compile(&circuit);
+        prop_assert!(fused.num_fused_ops() <= circuit.gate_count());
+        prop_assert!(fused.max_group_span() <= MAX_FUSED_QUBITS);
+        let plain = circuit.execute(&[]).unwrap();
+        let state = fused.execute(&[]).unwrap();
+        prop_assert!((state.norm_sqr() - 1.0).abs() < TOL, "norm {}", state.norm_sqr());
+        for (x, y) in state.amplitudes().iter().zip(plain.amplitudes().iter()) {
+            prop_assert!(x.approx_eq(*y, TOL), "fused {:?} vs unfused {:?}", x, y);
+        }
+    }
+
+    /// Same equivalence with symbolic parameters bound at execute time:
+    /// rotation gates are made parametric and re-bound against two
+    /// different parameter vectors.
+    #[test]
+    fn fused_parametric_binding_is_equivalent(
+        n in 2usize..=5,
+        raw in raw_gates(24),
+        params in prop::collection::vec(-3.2f64..3.2, 8),
+    ) {
+        let mut circuit = Circuit::new(n);
+        let mut next_param = 0usize;
+        for &(kind, qa, qb, qc, theta) in &raw {
+            let gate = gate_from_raw(n, kind, qa, qb, qc, theta);
+            if gate.angle().is_some() && next_param < params.len() {
+                circuit.push_parametric(gate, next_param);
+                next_param += 1;
+            } else {
+                circuit.push(gate);
+            }
+        }
+        let fused = FusedCircuit::compile(&circuit);
+        // Re-bind the same compiled circuit twice to catch state leaking
+        // between binds.
+        for scale in [1.0f64, -0.5] {
+            let bound: Vec<f64> = params.iter().map(|p| p * scale).collect();
+            let plain = circuit.execute(&bound).unwrap();
+            let state = fused.execute(&bound).unwrap();
+            prop_assert!((state.norm_sqr() - 1.0).abs() < TOL);
+            for (x, y) in state.amplitudes().iter().zip(plain.amplitudes().iter()) {
+                prop_assert!(x.approx_eq(*y, TOL), "fused {:?} vs unfused {:?}", x, y);
+            }
+        }
+    }
+
+    /// Applying a fused circuit to an arbitrary prepared state (not just
+    /// |0…0⟩) matches unfused application on the same state.
+    #[test]
+    fn fused_execute_into_matches_on_prepared_states(
+        n in 2usize..=5,
+        prep in raw_gates(10),
+        raw in raw_gates(20),
+    ) {
+        let mut start = StateVector::zero_state(n);
+        build_circuit(n, &prep).execute_into(&mut start, &[]).unwrap();
+        let circuit = build_circuit(n, &raw);
+        let fused = FusedCircuit::compile(&circuit);
+        let mut a = start.clone();
+        let mut b = start;
+        circuit.execute_into(&mut a, &[]).unwrap();
+        fused.execute_into(&mut b, &[]).unwrap();
+        prop_assert!((b.norm_sqr() - 1.0).abs() < TOL);
+        for (x, y) in b.amplitudes().iter().zip(a.amplitudes().iter()) {
+            prop_assert!(x.approx_eq(*y, TOL), "fused {:?} vs unfused {:?}", x, y);
+        }
+    }
+}
+
+#[test]
+fn deep_circuit_equivalence_smoke() {
+    // A deterministic deep circuit (240 gates, all variants) as a fixed
+    // anchor alongside the random suites.
+    let n = 6;
+    let mut c = Circuit::new(n);
+    for layer in 0..10 {
+        for k in 0..23 {
+            c.push(gate_from_raw(
+                n,
+                k,
+                layer + k,
+                2 * layer + k,
+                3 * layer + 1,
+                0.1 * (layer as f64 + 1.0) * (k as f64 - 11.0),
+            ));
+        }
+    }
+    let fused = FusedCircuit::compile(&c);
+    // Dense runs fuse; diagonal/permutation gates deliberately stay on
+    // their specialised multiply-free paths (fusing them would *add*
+    // arithmetic), so the instruction count only shrinks moderately here —
+    // this anchor is about exactness on a deep all-variant circuit.
+    assert!(fused.num_fused_ops() < c.gate_count(), "fusion too weak");
+    let plain = c.execute(&[]).unwrap();
+    let state = fused.execute(&[]).unwrap();
+    assert!((state.norm_sqr() - 1.0).abs() < TOL);
+    assert_states_close(&state, &plain, TOL);
+}

@@ -1,0 +1,145 @@
+//! The batch execution engine through the full training pipeline: fanning
+//! the per-class/per-shift fidelity evaluations over worker threads must
+//! never change what is learned, and the batched gradients themselves must
+//! be bit-identical for any thread count.
+
+use quclassi::gradient::{gradient_from_shifted_values, shifted_parameter_sets};
+use quclassi::prelude::*;
+use quclassi::swap_test::FidelityEstimator;
+use quclassi_integration_tests::iris_split;
+use quclassi_sim::batch::BatchExecutor;
+use quclassi_sim::executor::Executor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Runs the seed-17 Iris pipeline — the same golden run pinned by
+/// `training_is_bit_identical_for_equal_seeds` in `end_to_end_iris.rs` —
+/// through a batch executor with the given thread count.
+fn golden_iris_fit(threads: usize) -> (Vec<Vec<u64>>, u64) {
+    let split = iris_split(17);
+    let mut rng = StdRng::seed_from_u64(17);
+    let mut model =
+        QuClassiModel::with_random_parameters(QuClassiConfig::qc_s(4, 3), &mut rng).unwrap();
+    let trainer = Trainer::new(
+        TrainingConfig {
+            epochs: 5,
+            learning_rate: 0.05,
+            ..Default::default()
+        },
+        FidelityEstimator::analytic(),
+    )
+    .with_batch_executor(BatchExecutor::new(threads, 0));
+    trainer
+        .fit(&mut model, &split.train_x, &split.train_y, &mut rng)
+        .unwrap();
+    let acc = model
+        .evaluate_accuracy(
+            &split.test_x,
+            &split.test_y,
+            &FidelityEstimator::analytic(),
+            &mut rng,
+        )
+        .unwrap();
+    let params: Vec<Vec<u64>> = (0..3)
+        .map(|c| {
+            model
+                .class_params(c)
+                .unwrap()
+                .iter()
+                .map(|p| p.to_bits())
+                .collect()
+        })
+        .collect();
+    (params, acc.to_bits())
+}
+
+#[test]
+fn batched_fit_matches_single_threaded_golden_run() {
+    // The default Trainer *is* the single-threaded batch path, so the
+    // 1-thread run is the golden reference; 2 and 8 workers must reproduce
+    // it to the last bit in every learned parameter and in the accuracy.
+    let (params_1, acc_1) = golden_iris_fit(1);
+    let (params_2, acc_2) = golden_iris_fit(2);
+    let (params_8, acc_8) = golden_iris_fit(8);
+    assert_eq!(params_1, params_2, "2-thread parameters diverged from golden run");
+    assert_eq!(params_1, params_8, "8-thread parameters diverged from golden run");
+    assert_eq!(acc_1, acc_2);
+    assert_eq!(acc_1, acc_8);
+}
+
+#[test]
+fn batched_gradients_are_bit_identical_across_thread_counts() {
+    let split = iris_split(19);
+    let x = &split.train_x[0];
+    let encoder = quclassi::encoding::DataEncoder::new(
+        quclassi::encoding::EncodingStrategy::DualAngle,
+        4,
+    )
+    .unwrap();
+    let stack = quclassi::layers::LayerStack::qc_sd(2).unwrap();
+    let params: Vec<f64> = (0..stack.parameter_count())
+        .map(|i| 0.25 + 0.13 * i as f64)
+        .collect();
+    let shift = std::f64::consts::FRAC_PI_2;
+    let sets = shifted_parameter_sets(&params, shift);
+
+    for estimator in [
+        FidelityEstimator::analytic(),
+        FidelityEstimator::swap_test(Executor::ideal().with_shots(Some(1024))),
+    ] {
+        let gradient = |threads: usize| -> Vec<u64> {
+            let batch = BatchExecutor::new(threads, 0);
+            let values = estimator
+                .estimate_many(&stack, &sets, &encoder, x, &batch, 42)
+                .unwrap();
+            gradient_from_shifted_values(&values)
+                .into_iter()
+                .map(f64::to_bits)
+                .collect()
+        };
+        let g1 = gradient(1);
+        assert_eq!(g1, gradient(2), "2-thread gradient diverged");
+        assert_eq!(g1, gradient(8), "8-thread gradient diverged");
+    }
+}
+
+#[test]
+fn batched_noisy_training_converges_like_sequential() {
+    // Stochastic estimators draw per-step base seeds from the fit RNG, so
+    // the learned parameters are deterministic per seed and thread-count
+    // invariant; convergence must survive the batched path.
+    let split = iris_split(37);
+    let estimator =
+        FidelityEstimator::swap_test(Executor::ideal().with_shots(Some(2048)));
+    let run = |threads: usize| {
+        let mut rng = StdRng::seed_from_u64(37);
+        let mut model =
+            QuClassiModel::with_random_parameters(QuClassiConfig::qc_s(4, 3), &mut rng).unwrap();
+        let trainer = Trainer::new(
+            TrainingConfig {
+                epochs: 3,
+                learning_rate: 0.05,
+                max_samples_per_class: Some(8),
+                ..Default::default()
+            },
+            estimator.clone(),
+        )
+        .with_batch_executor(BatchExecutor::new(threads, 0));
+        let history = trainer
+            .fit(&mut model, &split.train_x, &split.train_y, &mut rng)
+            .unwrap();
+        let params: Vec<u64> = model
+            .class_params(0)
+            .unwrap()
+            .iter()
+            .map(|p| p.to_bits())
+            .collect();
+        (history, params)
+    };
+    let (history, params_1) = run(1);
+    let (_, params_4) = run(4);
+    assert_eq!(params_1, params_4, "shot-based training diverged across thread counts");
+    let first = history.epochs.first().unwrap().mean_loss;
+    let last = history.final_loss().unwrap();
+    assert!(last < first, "batched noisy training did not converge: {first} -> {last}");
+}

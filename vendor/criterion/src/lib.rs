@@ -26,16 +26,26 @@ pub fn black_box<T>(value: T) -> T {
 /// Entry point handle passed to every benchmark function.
 pub struct Criterion {
     filter: Option<String>,
+    test_mode: bool,
 }
 
 impl Default for Criterion {
     fn default() -> Self {
         // cargo bench passes `--bench`; any other free argument is a
-        // substring filter on benchmark ids, as in real criterion.
-        let filter = std::env::args()
-            .skip(1)
-            .find(|a| !a.starts_with('-'));
-        Criterion { filter }
+        // substring filter on benchmark ids, as in real criterion. `--test`
+        // selects smoke mode: every benchmark routine runs exactly once,
+        // untimed — what CI uses to keep benches compiling and working
+        // without paying for measurements.
+        let mut filter = None;
+        let mut test_mode = false;
+        for arg in std::env::args().skip(1) {
+            if arg == "--test" {
+                test_mode = true;
+            } else if !arg.starts_with('-') && filter.is_none() {
+                filter = Some(arg);
+            }
+        }
+        Criterion { filter, test_mode }
     }
 }
 
@@ -54,7 +64,7 @@ impl Criterion {
     where
         F: FnMut(&mut Bencher),
     {
-        run_one(self.filter.as_deref(), id, 20, f);
+        run_one(self.filter.as_deref(), id, 20, self.test_mode, f);
         self
     }
 
@@ -88,7 +98,7 @@ impl BenchmarkGroup<'_> {
     {
         let full_id = format!("{}/{}", self.name, id.into_benchmark_id());
         if self.criterion.matches(&full_id) {
-            run_one(None, &full_id, self.sample_size, &mut f);
+            run_one(None, &full_id, self.sample_size, self.criterion.test_mode, &mut f);
         }
         self
     }
@@ -105,7 +115,9 @@ impl BenchmarkGroup<'_> {
     {
         let full_id = format!("{}/{}", self.name, id.into_benchmark_id());
         if self.criterion.matches(&full_id) {
-            run_one(None, &full_id, self.sample_size, |b| f(b, input));
+            run_one(None, &full_id, self.sample_size, self.criterion.test_mode, |b| {
+                f(b, input)
+            });
         }
         self
     }
@@ -166,11 +178,17 @@ pub struct Bencher {
     samples: Vec<Duration>,
     sample_count: usize,
     iters_per_sample: u64,
+    test_mode: bool,
 }
 
 impl Bencher {
     /// Times `routine`, recording one duration per sample.
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        if self.test_mode {
+            // Smoke mode (`--test`): exercise the routine once, untimed.
+            black_box(routine());
+            return;
+        }
         // Warm-up and auto-calibration: aim for samples of >= ~1 ms so the
         // clock resolution doesn't dominate, capped to keep benches quick.
         let mut iters: u64 = 1;
@@ -200,7 +218,13 @@ impl Bencher {
     }
 }
 
-fn run_one<F: FnMut(&mut Bencher)>(filter: Option<&str>, id: &str, sample_size: usize, mut f: F) {
+fn run_one<F: FnMut(&mut Bencher)>(
+    filter: Option<&str>,
+    id: &str,
+    sample_size: usize,
+    test_mode: bool,
+    mut f: F,
+) {
     if let Some(fl) = filter {
         if !id.contains(fl) {
             return;
@@ -210,8 +234,13 @@ fn run_one<F: FnMut(&mut Bencher)>(filter: Option<&str>, id: &str, sample_size: 
         samples: Vec::with_capacity(sample_size),
         sample_count: sample_size,
         iters_per_sample: 1,
+        test_mode,
     };
     f(&mut bencher);
+    if test_mode {
+        println!("Testing {id} ... ok");
+        return;
+    }
     if bencher.samples.is_empty() {
         println!("{id:<60} (no samples)");
         return;
@@ -274,8 +303,22 @@ mod tests {
     }
 
     #[test]
+    fn smoke_mode_runs_routine_once_untimed() {
+        let mut c = Criterion {
+            filter: None,
+            test_mode: true,
+        };
+        let mut iterations = 0u32;
+        c.bench_function("smoke", |b| b.iter(|| iterations += 1));
+        assert_eq!(iterations, 1, "--test mode must run the routine exactly once");
+    }
+
+    #[test]
     fn bencher_records_samples() {
-        let mut c = Criterion { filter: None };
+        let mut c = Criterion {
+            filter: None,
+            test_mode: false,
+        };
         let mut ran = 0u32;
         {
             let mut group = c.benchmark_group("g");

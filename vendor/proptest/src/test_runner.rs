@@ -19,9 +19,15 @@ impl ProptestConfig {
 
 impl Default for ProptestConfig {
     fn default() -> Self {
-        // Upstream defaults to 256; this repo always overrides per-block, so
-        // keep the fallback modest to bound `cargo test -q` time.
-        ProptestConfig { cases: 64 }
+        // Upstream proptest honours PROPTEST_CASES the same way, which lets
+        // CI pin an exact case count. The fallback is modest (upstream uses
+        // 256) to bound `cargo test -q` time.
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse::<u32>().ok())
+            .filter(|&c| c > 0)
+            .unwrap_or(64);
+        ProptestConfig { cases }
     }
 }
 

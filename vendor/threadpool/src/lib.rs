@@ -1,0 +1,154 @@
+//! Offline vendored scoped thread pool.
+//!
+//! The build container has no network access to crates.io, so the workspace
+//! vendors the tiny slice of a thread-pool crate the batch executor needs:
+//! a fixed worker count and an ordered parallel map over a job list.
+//!
+//! The implementation is built on [`std::thread::scope`], so jobs may borrow
+//! from the caller's stack (circuits, parameter sets, executors) without any
+//! `'static` bounds or `Arc` plumbing. Work is distributed dynamically via an
+//! atomic cursor, but results are written into their job's slot, so the
+//! output order — and therefore every downstream computation — is identical
+//! regardless of how many workers run or how the OS schedules them.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// A fixed-size pool of scoped worker threads.
+///
+/// The pool itself holds no OS threads; workers are spawned inside a
+/// [`std::thread::scope`] per [`ThreadPool::scoped_map`] call and joined
+/// before it returns. This keeps the type trivially `Clone` and free of
+/// shutdown logic while still amortising nothing worse than thread spawn
+/// (~10 µs) per *batch*, which the batch sizes used here dwarf.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ThreadPool {
+    threads: usize,
+}
+
+impl ThreadPool {
+    /// Creates a pool that runs jobs on `threads` workers.
+    ///
+    /// # Panics
+    /// Panics if `threads` is zero — a pool with no workers can never make
+    /// progress, so the mistake is rejected at construction.
+    pub fn new(threads: usize) -> Self {
+        assert!(threads > 0, "a thread pool needs at least one worker");
+        ThreadPool { threads }
+    }
+
+    /// A pool that runs everything inline on the calling thread.
+    pub fn single_threaded() -> Self {
+        ThreadPool { threads: 1 }
+    }
+
+    /// The configured worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Maps `f` over `items` in parallel, returning results in input order.
+    ///
+    /// `f` receives each item's index alongside the item, so callers can
+    /// derive per-job state (e.g. an RNG seed) from the stable job position
+    /// rather than from scheduling order. With one worker (or zero/one
+    /// items) the map runs inline with no thread machinery at all, so a
+    /// single-threaded pool is bit-for-bit a plain sequential loop.
+    ///
+    /// If `f` panics on any job the panic propagates to the caller once all
+    /// workers have stopped.
+    pub fn scoped_map<T, U, F>(&self, items: Vec<T>, f: F) -> Vec<U>
+    where
+        T: Send,
+        U: Send,
+        F: Fn(usize, T) -> U + Sync,
+    {
+        let n = items.len();
+        if self.threads == 1 || n <= 1 {
+            return items.into_iter().enumerate().map(|(i, t)| f(i, t)).collect();
+        }
+        let jobs: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+        let slots: Vec<Mutex<Option<U>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        let cursor = AtomicUsize::new(0);
+        let workers = self.threads.min(n);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let item = jobs[i]
+                        .lock()
+                        .expect("job slot poisoned")
+                        .take()
+                        .expect("job claimed twice");
+                    let out = f(i, item);
+                    *slots[i].lock().expect("result slot poisoned") = Some(out);
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("result slot poisoned")
+                    .expect("worker exited without producing its result")
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_input_order() {
+        let pool = ThreadPool::new(4);
+        let items: Vec<usize> = (0..100).collect();
+        let out = pool.scoped_map(items, |i, x| {
+            assert_eq!(i, x);
+            x * 3
+        });
+        assert_eq!(out, (0..100).map(|x| x * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn single_thread_matches_multi_thread() {
+        let items: Vec<u64> = (0..57).collect();
+        let f = |i: usize, x: u64| (i as u64).wrapping_mul(0x9E37_79B9).wrapping_add(x);
+        let seq = ThreadPool::new(1).scoped_map(items.clone(), f);
+        let par = ThreadPool::new(8).scoped_map(items, f);
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn borrows_from_the_caller_scope() {
+        let data = [10usize, 20, 30];
+        let pool = ThreadPool::new(2);
+        let out = pool.scoped_map(vec![0usize, 1, 2], |_, i| data[i] + 1);
+        assert_eq!(out, vec![11, 21, 31]);
+    }
+
+    #[test]
+    fn empty_input_yields_empty_output() {
+        let out: Vec<usize> = ThreadPool::new(3).scoped_map(Vec::<usize>::new(), |_, x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_workers_rejected() {
+        let _ = ThreadPool::new(0);
+    }
+
+    #[test]
+    fn more_threads_than_jobs_is_fine() {
+        let out = ThreadPool::new(16).scoped_map(vec![1, 2], |_, x| x * x);
+        assert_eq!(out, vec![1, 4]);
+    }
+}
