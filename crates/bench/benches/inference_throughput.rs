@@ -1,0 +1,235 @@
+//! The serving benchmark: compiled inference (`quclassi-infer`) against the
+//! convenience path (`QuClassiModel::predict`) it replaces in deployment.
+//!
+//! The workload is single-sample and batched prediction on the paper's two
+//! evaluation shapes — Iris (4 features / 3 classes, 5 qubits) and binary
+//! MNIST (16 features / 2 classes, 17 qubits) — under the default analytic
+//! estimator (what `predict` uses everywhere in this repo) and the exact
+//! SWAP-test estimator (the paper-faithful circuit path).
+//!
+//! Besides the criterion timings, the binary records the measured speedups
+//! to `BENCH_inference_throughput.json` at the workspace root so the perf
+//! trajectory is tracked across PRs. `--test` runs everything once, untimed
+//! (smoke mode does not overwrite the committed numbers).
+
+use criterion::{criterion_group, BenchmarkId, Criterion};
+use quclassi::model::{QuClassiConfig, QuClassiModel};
+use quclassi::swap_test::FidelityEstimator;
+use quclassi_infer::CompiledModel;
+use quclassi_sim::batch::BatchExecutor;
+use quclassi_sim::executor::Executor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+use std::time::Instant;
+
+struct Workload {
+    name: &'static str,
+    model: QuClassiModel,
+    /// A rotating probe set (distinct encodings, so single-sample latency
+    /// is measured cache-cold unless the path is explicitly the cached one).
+    xs: Vec<Vec<f64>>,
+    total_qubits: usize,
+}
+
+fn workload(name: &'static str, dims: usize, classes: usize, samples: usize) -> Workload {
+    let mut rng = StdRng::seed_from_u64(dims as u64);
+    let config = QuClassiConfig::qc_s(dims, classes);
+    let total_qubits = config.total_qubits();
+    let model = QuClassiModel::with_random_parameters(config, &mut rng).unwrap();
+    let xs: Vec<Vec<f64>> = (0..samples)
+        .map(|s| {
+            (0..dims)
+                .map(|i| (0.05 + 0.09 * ((s * dims + i) % 11) as f64).min(0.95))
+                .collect()
+        })
+        .collect();
+    Workload {
+        name,
+        model,
+        xs,
+        total_qubits,
+    }
+}
+
+/// The pre-compilation serving path: every `predict` call re-lowers the
+/// class circuits, re-prepares every class state and re-encodes the sample.
+fn serve_uncompiled(w: &Workload, estimator: &FidelityEstimator) -> usize {
+    let mut rng = StdRng::seed_from_u64(0);
+    let mut acc = 0;
+    for x in &w.xs {
+        acc += w.model.predict(x, estimator, &mut rng).unwrap();
+    }
+    acc
+}
+
+/// The compiled single-sample path (cache disabled: pure evaluation cost).
+fn serve_compiled_single(w: &Workload, compiled: &CompiledModel) -> usize {
+    let mut rng = StdRng::seed_from_u64(0);
+    let mut acc = 0;
+    for x in &w.xs {
+        acc += compiled.predict(x, &mut rng).unwrap();
+    }
+    acc
+}
+
+/// The compiled batched path: one `predict_many` fan-out over the pool.
+fn serve_compiled_batched(w: &Workload, compiled: &CompiledModel, batch: &BatchExecutor) -> usize {
+    compiled
+        .predict_many(&w.xs, batch, 0)
+        .unwrap()
+        .into_iter()
+        .map(|p| p.label)
+        .sum()
+}
+
+fn bench_serving_paths(c: &mut Criterion) {
+    let mut group = c.benchmark_group("inference_throughput");
+    group.sample_size(12);
+    for (dims, classes) in [(4usize, 3usize), (16, 2)] {
+        let w = workload("shape", dims, classes, 8);
+        let analytic = FidelityEstimator::analytic();
+        group.bench_with_input(
+            BenchmarkId::new("uncompiled_predict", dims),
+            &w,
+            |b, w| b.iter(|| black_box(serve_uncompiled(w, &analytic))),
+        );
+        let compiled = CompiledModel::compile(&w.model, analytic.clone())
+            .unwrap()
+            .with_cache_capacity(0);
+        group.bench_with_input(
+            BenchmarkId::new("compiled_predict", dims),
+            &w,
+            |b, w| b.iter(|| black_box(serve_compiled_single(w, &compiled))),
+        );
+        let batch = BatchExecutor::from_env(0);
+        group.bench_with_input(
+            BenchmarkId::new("compiled_predict_many", dims),
+            &w,
+            |b, w| b.iter(|| black_box(serve_compiled_batched(w, &compiled, &batch))),
+        );
+    }
+    group.finish();
+}
+
+/// Median wall-clock nanoseconds of `reps` runs of `f`.
+fn median_ns<F: FnMut() -> usize>(reps: usize, mut f: F) -> f64 {
+    let mut samples: Vec<f64> = (0..reps)
+        .map(|_| {
+            let start = Instant::now();
+            black_box(f());
+            start.elapsed().as_nanos() as f64
+        })
+        .collect();
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+fn emit_entry(
+    w: &Workload,
+    method: &str,
+    estimator: &FidelityEstimator,
+    reps: usize,
+    batch: &BatchExecutor,
+) -> String {
+    let n = w.xs.len() as f64;
+    let compiled = CompiledModel::compile(&w.model, estimator.clone())
+        .unwrap()
+        .with_cache_capacity(0);
+    let cached = CompiledModel::compile(&w.model, estimator.clone()).unwrap();
+
+    // Consistency guard: compiled and uncompiled serving must agree.
+    {
+        let mut rng = StdRng::seed_from_u64(0);
+        for x in &w.xs {
+            let a = w.model.predict_proba(x, estimator, &mut rng).unwrap();
+            let b = compiled.predict_proba(x, &mut rng).unwrap();
+            for (p, q) in a.iter().zip(b.iter()) {
+                assert!((p - q).abs() < 1e-9, "paths disagree: {p} vs {q}");
+            }
+        }
+    }
+
+    let uncompiled_ns = median_ns(reps, || serve_uncompiled(w, estimator)) / n;
+    let compiled_ns = median_ns(reps, || serve_compiled_single(w, &compiled)) / n;
+    // Warm the fingerprint cache once, then measure repeated-input serving.
+    serve_compiled_single(w, &cached);
+    let cached_ns = median_ns(reps, || serve_compiled_single(w, &cached)) / n;
+    let batched_ns = median_ns(reps, || serve_compiled_batched(w, &compiled, batch)) / n;
+
+    format!(
+        concat!(
+            "    {{\"workload\": \"{}\", \"total_qubits\": {}, \"method\": \"{}\", ",
+            "\"samples\": {}, \"uncompiled_single_ns\": {:.0}, \"compiled_single_ns\": {:.0}, ",
+            "\"compiled_cached_ns\": {:.0}, \"compiled_batched_per_sample_ns\": {:.0}, ",
+            "\"speedup_single\": {:.2}, \"speedup_cached\": {:.2}, \"speedup_batched\": {:.2}, ",
+            "\"threads\": {}}}"
+        ),
+        w.name,
+        w.total_qubits,
+        method,
+        w.xs.len(),
+        uncompiled_ns,
+        compiled_ns,
+        cached_ns,
+        batched_ns,
+        uncompiled_ns / compiled_ns,
+        uncompiled_ns / cached_ns,
+        uncompiled_ns / batched_ns,
+        // The pool that actually ran the batched timings (QUCLASSI_THREADS
+        // aware), not the machine's nominal parallelism.
+        batch.threads()
+    )
+}
+
+fn emit_bench_json(smoke: bool) {
+    let reps = if smoke { 1 } else { 30 };
+    let batch = BatchExecutor::from_env(0);
+    let mut entries = Vec::new();
+    for (name, dims, classes) in [("iris_4_features", 4usize, 3usize), ("mnist_16_features", 16, 2)] {
+        let w = workload(name, dims, classes, 8);
+        entries.push(emit_entry(
+            &w,
+            "analytic",
+            &FidelityEstimator::analytic(),
+            reps,
+            &batch,
+        ));
+        entries.push(emit_entry(
+            &w,
+            "swap_test",
+            &FidelityEstimator::swap_test(Executor::ideal()),
+            reps,
+            &batch,
+        ));
+    }
+    let json = format!(
+        "{{\n  \"bench\": \"inference_throughput\",\n  \"smoke\": {},\n  \"reps\": {},\n  \"workloads\": [\n{}\n  ]\n}}\n",
+        smoke,
+        reps,
+        entries.join(",\n")
+    );
+    if smoke {
+        // Smoke runs exercise the paths but must not clobber the committed
+        // perf-trajectory numbers with single-rep noise.
+        println!("smoke mode: skipping BENCH_inference_throughput.json update");
+    } else {
+        let path = concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../BENCH_inference_throughput.json"
+        );
+        match std::fs::write(path, &json) {
+            Ok(()) => println!("wrote {path}"),
+            Err(e) => eprintln!("could not write {path}: {e}"),
+        }
+    }
+    print!("{json}");
+}
+
+criterion_group!(benches, bench_serving_paths);
+
+fn main() {
+    benches();
+    let smoke = std::env::args().any(|a| a == "--test");
+    emit_bench_json(smoke);
+}

@@ -6,6 +6,8 @@ use quclassi_bench::data::iris_task;
 use quclassi_bench::report::ExperimentReport;
 use quclassi_bench::runtime::scaled;
 use quclassi_classical::network::{Mlp, MlpConfig};
+use quclassi_infer::CompiledModel;
+use quclassi_sim::batch::BatchExecutor;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -30,12 +32,15 @@ fn train_quclassi(
     trainer
         .fit(&mut model, &task.train.features, &task.train.labels, rng)
         .expect("training succeeds");
-    let acc = model
+    // Test accuracy through the compiled serving artifact (bit-identical to
+    // the uncompiled analytic path).
+    let acc = CompiledModel::compile(&model, FidelityEstimator::analytic())
+        .expect("compilation succeeds")
         .evaluate_accuracy(
             &task.test.features,
             &task.test.labels,
-            &FidelityEstimator::analytic(),
-            rng,
+            &BatchExecutor::from_env(0),
+            0,
         )
         .expect("evaluation succeeds");
     (name, params, acc)

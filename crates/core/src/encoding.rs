@@ -133,6 +133,51 @@ impl DataEncoder {
         Ok(gates)
     }
 
+    /// The rotation angles the encoder applies for `x`, in gate order (one
+    /// angle per feature, `θᵢ = 2·asin(√xᵢ)`). This is the *encoding
+    /// fingerprint* of a sample: two inputs with equal angle vectors are
+    /// indistinguishable to every downstream circuit, which is what the
+    /// serving-side result cache keys on.
+    pub fn encoding_angles(&self, x: &[f64]) -> Result<Vec<f64>, QuClassiError> {
+        self.validate(x)?;
+        Ok(x.iter().map(|&v| feature_to_angle(v)).collect())
+    }
+
+    /// Appends this encoder's gates as *parametric* operations reading
+    /// symbolic parameters `param_offset ..` (one per feature, in
+    /// [`DataEncoder::encoding_angles`] order) and acting on qubits
+    /// `qubit_offset ..`. Returns the number of parameters consumed.
+    ///
+    /// Binding the angles of a sample into the resulting circuit reproduces
+    /// [`DataEncoder::encoding_gates`] for that sample exactly — this is how
+    /// a compiled model swaps samples in and out of one precompiled
+    /// SWAP-test circuit without rebuilding it.
+    pub fn append_parametric_to(
+        &self,
+        circuit: &mut Circuit,
+        qubit_offset: usize,
+        param_offset: usize,
+    ) -> usize {
+        match self.strategy {
+            EncodingStrategy::DualAngle => {
+                for i in 0..self.dim {
+                    let qubit = qubit_offset + i / 2;
+                    if i % 2 == 0 {
+                        circuit.push_parametric(Gate::Ry(qubit, 0.0), param_offset + i);
+                    } else {
+                        circuit.push_parametric(Gate::Rz(qubit, 0.0), param_offset + i);
+                    }
+                }
+            }
+            EncodingStrategy::SingleAngle => {
+                for i in 0..self.dim {
+                    circuit.push_parametric(Gate::Ry(qubit_offset + i, 0.0), param_offset + i);
+                }
+            }
+        }
+        self.dim
+    }
+
     /// Builds a stand-alone circuit (width = `num_qubits()`) that prepares
     /// the encoded state from |0…0⟩.
     pub fn encoding_circuit(&self, x: &[f64]) -> Result<Circuit, QuClassiError> {
@@ -148,6 +193,67 @@ impl DataEncoder {
     pub fn encode_state(&self, x: &[f64]) -> Result<StateVector, QuClassiError> {
         let circuit = self.encoding_circuit(x)?;
         Ok(circuit.execute(&[])?)
+    }
+
+    /// The encoding gates for precomputed angles (the output of
+    /// [`DataEncoder::encoding_angles`]): identical to
+    /// [`DataEncoder::encoding_gates`] on the sample the angles came from.
+    ///
+    /// # Errors
+    /// Returns an error when the angle count does not match the feature
+    /// dimension.
+    pub fn encoding_gates_from_angles(
+        &self,
+        angles: &[f64],
+        qubit_offset: usize,
+    ) -> Result<Vec<Gate>, QuClassiError> {
+        if angles.len() != self.dim {
+            return Err(QuClassiError::InvalidData(format!(
+                "expected {} encoding angles, got {}",
+                self.dim,
+                angles.len()
+            )));
+        }
+        let mut gates = Vec::with_capacity(self.dim);
+        match self.strategy {
+            EncodingStrategy::DualAngle => {
+                for (i, &theta) in angles.iter().enumerate() {
+                    let qubit = qubit_offset + i / 2;
+                    if i % 2 == 0 {
+                        gates.push(Gate::Ry(qubit, theta));
+                    } else {
+                        gates.push(Gate::Rz(qubit, theta));
+                    }
+                }
+            }
+            EncodingStrategy::SingleAngle => {
+                for (i, &theta) in angles.iter().enumerate() {
+                    gates.push(Gate::Ry(qubit_offset + i, theta));
+                }
+            }
+        }
+        Ok(gates)
+    }
+
+    /// Prepares |φ_x⟩ from precomputed encoding angles through the
+    /// product-state fast path: both strategies emit their rotations in
+    /// ascending qubit order, so each gate sweeps only the already-active
+    /// prefix of the register (qubits above it are still |0⟩) via
+    /// [`StateVector::apply_single_qubit_matrix_active`].
+    ///
+    /// The arithmetic applied to every active amplitude is identical to
+    /// [`DataEncoder::encode_state`]'s full-register sweeps, so all nonzero
+    /// amplitudes — and every fidelity computed from them — are
+    /// bit-identical to the slow path. This is the per-sample hot path of
+    /// the compiled inference engine (`quclassi-infer`).
+    pub fn encode_state_from_angles(&self, angles: &[f64]) -> Result<StateVector, QuClassiError> {
+        let gates = self.encoding_gates_from_angles(angles, 0)?;
+        let mut sv = StateVector::zero_state(self.num_qubits());
+        for gate in &gates {
+            let q = gate.qubits()[0];
+            sv.apply_single_qubit_matrix_active(q, &gate.matrix())?;
+        }
+        Ok(sv)
     }
 
     /// Reconstructs the feature vector from the encoded state by reading each
@@ -281,6 +387,93 @@ mod tests {
         let decoded = enc.decode_state(&state).unwrap();
         for (a, b) in x.iter().zip(decoded.iter()) {
             assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn parametric_encoding_matches_fixed_gates_bit_for_bit() {
+        for (strategy, dim) in [
+            (EncodingStrategy::DualAngle, 4),
+            (EncodingStrategy::DualAngle, 5),
+            (EncodingStrategy::SingleAngle, 3),
+        ] {
+            let enc = DataEncoder::new(strategy, dim).unwrap();
+            let x: Vec<f64> = (0..dim).map(|i| 0.08 + 0.11 * i as f64).collect();
+            let mut parametric = Circuit::new(enc.num_qubits());
+            let consumed = enc.append_parametric_to(&mut parametric, 0, 0);
+            assert_eq!(consumed, dim);
+            assert_eq!(parametric.num_parameters(), dim);
+            let angles = enc.encoding_angles(&x).unwrap();
+            let a = parametric.execute(&angles).unwrap();
+            let b = enc.encode_state(&x).unwrap();
+            assert_eq!(a, b, "{strategy:?} dim {dim}");
+        }
+    }
+
+    #[test]
+    fn fast_encode_matches_slow_encode_bit_for_bit() {
+        for (strategy, dim) in [
+            (EncodingStrategy::DualAngle, 4),
+            (EncodingStrategy::DualAngle, 5),
+            (EncodingStrategy::SingleAngle, 3),
+        ] {
+            let enc = DataEncoder::new(strategy, dim).unwrap();
+            // Generic interior values plus the degenerate boundaries.
+            let probes: Vec<Vec<f64>> = vec![
+                (0..dim).map(|i| 0.07 + 0.11 * i as f64).collect(),
+                vec![0.0; dim],
+                vec![1.0; dim],
+                (0..dim).map(|i| if i % 2 == 0 { 0.0 } else { 1.0 }).collect(),
+            ];
+            for x in probes {
+                let slow = enc.encode_state(&x).unwrap();
+                let angles = enc.encoding_angles(&x).unwrap();
+                let fast = enc.encode_state_from_angles(&angles).unwrap();
+                // Semantically equal everywhere (±0 signs may differ in the
+                // zero region)…
+                assert_eq!(fast, slow, "{strategy:?} dim {dim} x {x:?}");
+                // …and bit-identical on every nonzero amplitude, which is
+                // what makes downstream fidelities bit-identical.
+                for (a, b) in fast.amplitudes().iter().zip(slow.amplitudes().iter()) {
+                    if b.re != 0.0 {
+                        assert_eq!(a.re.to_bits(), b.re.to_bits());
+                    }
+                    if b.im != 0.0 {
+                        assert_eq!(a.im.to_bits(), b.im.to_bits());
+                    }
+                }
+                // Fidelity against an arbitrary reference state matches bits.
+                let reference = enc
+                    .encode_state(&(0..dim).map(|i| 0.31 + 0.09 * i as f64).collect::<Vec<_>>())
+                    .unwrap();
+                assert_eq!(
+                    fast.fidelity(&reference).unwrap().to_bits(),
+                    slow.fidelity(&reference).unwrap().to_bits()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn gates_from_angles_match_gates_from_features() {
+        let enc = DataEncoder::new(EncodingStrategy::DualAngle, 4).unwrap();
+        let x = [0.2, 0.6, 0.9, 0.1];
+        let angles = enc.encoding_angles(&x).unwrap();
+        assert_eq!(
+            enc.encoding_gates_from_angles(&angles, 3).unwrap(),
+            enc.encoding_gates(&x, 3).unwrap()
+        );
+        assert!(enc.encoding_gates_from_angles(&angles[..2], 0).is_err());
+    }
+
+    #[test]
+    fn encoding_angles_validate_and_match_feature_to_angle() {
+        let enc = DataEncoder::new(EncodingStrategy::DualAngle, 3).unwrap();
+        assert!(enc.encoding_angles(&[0.1, 1.4, 0.2]).is_err());
+        let angles = enc.encoding_angles(&[0.1, 0.9, 0.5]).unwrap();
+        assert_eq!(angles.len(), 3);
+        for (a, &x) in angles.iter().zip([0.1, 0.9, 0.5].iter()) {
+            assert_eq!(a.to_bits(), feature_to_angle(x).to_bits());
         }
     }
 

@@ -95,6 +95,70 @@ impl LayerKind {
     }
 }
 
+impl LayerKind {
+    /// Like [`LayerKind::append_to`] but with the trained parameter values
+    /// bound in: the layer's gates are emitted as *fixed* (parameter-free)
+    /// gates reading their angles from `params` starting at `param_offset`.
+    /// Returns the number of parameter values consumed.
+    ///
+    /// Serving-time compilation uses this to bake a class's trained state
+    /// preparation into a circuit as static instructions, which the fusion
+    /// engine can then precompute (see `quclassi-infer`).
+    ///
+    /// # Panics
+    /// Panics when `params` holds fewer than `param_offset +
+    /// parameter_count(num_qubits)` values. Prefer the validating
+    /// [`LayerStack::append_bound_to`], which returns an error instead.
+    pub fn append_bound_to(
+        &self,
+        circuit: &mut Circuit,
+        qubit_offset: usize,
+        num_qubits: usize,
+        params: &[f64],
+        param_offset: usize,
+    ) -> usize {
+        let mut p = param_offset;
+        match self {
+            LayerKind::SingleQubitUnitary => {
+                for q in 0..num_qubits {
+                    circuit.ry(qubit_offset + q, params[p]);
+                    circuit.rz(qubit_offset + q, params[p + 1]);
+                    p += 2;
+                }
+            }
+            LayerKind::DualQubitUnitary => {
+                for q in 0..num_qubits.saturating_sub(1) {
+                    let a = qubit_offset + q;
+                    let b = qubit_offset + q + 1;
+                    circuit.ry(a, params[p]);
+                    circuit.ry(b, params[p]);
+                    circuit.rz(a, params[p + 1]);
+                    circuit.rz(b, params[p + 1]);
+                    p += 2;
+                }
+            }
+            LayerKind::Entanglement => {
+                for q in 0..num_qubits.saturating_sub(1) {
+                    let control = qubit_offset + q;
+                    let target = qubit_offset + q + 1;
+                    circuit.push(Gate::CRy {
+                        control,
+                        target,
+                        theta: params[p],
+                    });
+                    circuit.push(Gate::CRz {
+                        control,
+                        target,
+                        theta: params[p + 1],
+                    });
+                    p += 2;
+                }
+            }
+        }
+        p - param_offset
+    }
+}
+
 /// An ordered stack of layers acting on a fixed-width learned-state register.
 #[derive(Clone, Debug, PartialEq)]
 pub struct LayerStack {
@@ -208,6 +272,45 @@ impl LayerStack {
         }
         consumed
     }
+
+    /// Appends the stack's gates with `params` bound in as fixed angles, in
+    /// exactly the gate order of [`LayerStack::append_to`]. Serving-time
+    /// compilation uses this to make a trained class state parameter-free
+    /// (and therefore fusable into a precomputed static prelude).
+    ///
+    /// # Errors
+    /// Returns an error when `params` does not match
+    /// [`LayerStack::parameter_count`].
+    pub fn append_bound_to(
+        &self,
+        circuit: &mut Circuit,
+        qubit_offset: usize,
+        params: &[f64],
+    ) -> Result<(), QuClassiError> {
+        if params.len() != self.parameter_count() {
+            return Err(QuClassiError::InvalidConfig(format!(
+                "expected {} parameters, got {}",
+                self.parameter_count(),
+                params.len()
+            )));
+        }
+        let mut consumed = 0;
+        for layer in &self.layers {
+            consumed +=
+                layer.append_bound_to(circuit, qubit_offset, self.num_qubits, params, consumed);
+        }
+        debug_assert_eq!(consumed, self.parameter_count());
+        Ok(())
+    }
+
+    /// Builds the parameter-free circuit preparing the trained state
+    /// `|ω(params)⟩` from |0…0⟩ — [`LayerStack::build_circuit`] with the
+    /// parameters already bound.
+    pub fn build_bound_circuit(&self, params: &[f64]) -> Result<Circuit, QuClassiError> {
+        let mut c = Circuit::new(self.num_qubits);
+        self.append_bound_to(&mut c, 0, params)?;
+        Ok(c)
+    }
 }
 
 #[cfg(test)]
@@ -290,6 +393,36 @@ mod tests {
         assert!((p[0] - 0.5).abs() < 1e-10);
         assert!((p[3] - 0.5).abs() < 1e-10);
         assert!(p[1] < 1e-10 && p[2] < 1e-10);
+    }
+
+    #[test]
+    fn bound_stack_matches_parametric_execution_bit_for_bit() {
+        // Binding angles at build time and binding them at execute time must
+        // walk the same gates in the same order: the final amplitudes agree
+        // to the last bit for every architecture.
+        for stack in [
+            LayerStack::qc_s(3).unwrap(),
+            LayerStack::qc_d(3).unwrap(),
+            LayerStack::qc_e(3).unwrap(),
+            LayerStack::qc_sde(3).unwrap(),
+        ] {
+            let params: Vec<f64> = (0..stack.parameter_count())
+                .map(|i| 0.21 + 0.37 * i as f64)
+                .collect();
+            let parametric = stack.build_circuit().execute(&params).unwrap();
+            let bound_circuit = stack.build_bound_circuit(&params).unwrap();
+            assert_eq!(bound_circuit.num_parameters(), 0);
+            let bound = bound_circuit.execute(&[]).unwrap();
+            assert_eq!(parametric, bound, "{}", stack.architecture_name());
+        }
+    }
+
+    #[test]
+    fn bound_stack_validates_parameter_count() {
+        let stack = LayerStack::qc_s(2).unwrap();
+        assert!(stack.build_bound_circuit(&[0.1]).is_err());
+        let mut c = Circuit::new(2);
+        assert!(stack.append_bound_to(&mut c, 0, &[0.1, 0.2, 0.3]).is_err());
     }
 
     #[test]

@@ -27,6 +27,12 @@
 //! * [`metrics`], [`bloch`], [`io`] — evaluation, visualisation and
 //!   persistence utilities.
 //!
+//! [`model::QuClassiModel::predict`] is the convenience inference path: it
+//! re-lowers the class circuits on every call. For serving — batches, top-k,
+//! caching, and compile-once latency — freeze the trained model into a
+//! `CompiledModel` from the `quclassi-infer` crate (the train → compile →
+//! serve pipeline is described in `docs/ARCHITECTURE.md`).
+//!
 //! ## Quickstart
 //!
 //! ```
@@ -59,7 +65,7 @@
 //! assert!(accuracy > 0.9);
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod bloch;

@@ -96,6 +96,52 @@ pub fn build_swap_test_circuit(
     Ok((circuit, layout))
 }
 
+/// Builds the *serving-time* SWAP-test circuit for one trained class.
+///
+/// The gate sequence is identical to [`build_swap_test_circuit`], but the
+/// roles of the two registers are swapped around the parameter axis:
+///
+/// * the learned register's trained angles (`class_params`) are baked in as
+///   **fixed** gates — together with the leading ancilla Hadamard they are
+///   parameter-free, so [`quclassi_sim::fusion::FusedCircuit::compile`]
+///   hoists the whole class-state preparation into its precomputed static
+///   prelude;
+/// * the data register is **parametric**: symbolic parameters
+///   `0 .. encoder.dim()` stand for the sample's encoding angles (in
+///   [`DataEncoder::encoding_angles`] order), so one compiled circuit serves
+///   every sample without re-lowering.
+///
+/// This is the circuit shape `quclassi-infer` compiles once per class.
+pub fn build_class_swap_test_circuit(
+    stack: &LayerStack,
+    class_params: &[f64],
+    encoder: &DataEncoder,
+) -> Result<(Circuit, SwapTestLayout), QuClassiError> {
+    if stack.num_qubits() != encoder.num_qubits() {
+        return Err(QuClassiError::InvalidConfig(format!(
+            "learned-state register has {} qubits but the encoder needs {}",
+            stack.num_qubits(),
+            encoder.num_qubits()
+        )));
+    }
+    let layout = swap_test_layout(stack.num_qubits());
+    let mut circuit = Circuit::new(layout.total_qubits);
+    circuit.h(layout.ancilla);
+    // Learned state: trained angles bound in (parameter-free, hoistable).
+    stack.append_bound_to(&mut circuit, layout.learned_offset, class_params)?;
+    // Data state: symbolic encoding angles 0..dim.
+    encoder.append_parametric_to(&mut circuit, layout.data_offset, 0);
+    for i in 0..layout.register_width {
+        circuit.cswap(
+            layout.ancilla,
+            layout.learned_offset + i,
+            layout.data_offset + i,
+        );
+    }
+    circuit.h(layout.ancilla);
+    Ok((circuit, layout))
+}
+
 /// How fidelities are computed.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum FidelityMethod {
@@ -106,6 +152,30 @@ pub enum FidelityMethod {
 }
 
 /// A configured fidelity estimator shared by training and inference.
+///
+/// ```
+/// use quclassi::encoding::{DataEncoder, EncodingStrategy};
+/// use quclassi::layers::LayerStack;
+/// use quclassi::swap_test::FidelityEstimator;
+/// use quclassi_sim::executor::Executor;
+/// use rand::SeedableRng;
+///
+/// let encoder = DataEncoder::new(EncodingStrategy::DualAngle, 4).unwrap();
+/// let stack = LayerStack::qc_s(encoder.num_qubits()).unwrap();
+/// let params = vec![0.4, 1.1, 0.9, 0.2];
+/// let x = [0.3, 0.8, 0.2, 0.6];
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+///
+/// // The analytic path and the full SWAP-test circuit agree exactly.
+/// let analytic = FidelityEstimator::analytic()
+///     .estimate(&stack, &params, &encoder, &x, &mut rng)
+///     .unwrap();
+/// let swap = FidelityEstimator::swap_test(Executor::ideal())
+///     .estimate(&stack, &params, &encoder, &x, &mut rng)
+///     .unwrap();
+/// assert!((analytic - swap).abs() < 1e-9);
+/// assert!((0.0..=1.0).contains(&analytic));
+/// ```
 #[derive(Clone, Debug)]
 pub struct FidelityEstimator {
     method: FidelityMethod,
@@ -510,6 +580,62 @@ mod tests {
             0,
         );
         assert!(err.is_err());
+    }
+
+    #[test]
+    fn class_swap_test_circuit_matches_training_shape() {
+        // Binding a sample's angles into the serving circuit reproduces the
+        // training-time circuit (sample baked in, class params symbolic) on
+        // the ancilla, for every architecture.
+        let encoder = DataEncoder::new(EncodingStrategy::DualAngle, 4).unwrap();
+        let x = vec![0.25, 0.7, 0.4, 0.9];
+        for stack in [
+            LayerStack::qc_s(2).unwrap(),
+            LayerStack::qc_sde(2).unwrap(),
+        ] {
+            let params: Vec<f64> = (0..stack.parameter_count())
+                .map(|i| 0.3 + 0.17 * i as f64)
+                .collect();
+            let (train_circuit, layout) =
+                build_swap_test_circuit(&stack, &encoder, &x).unwrap();
+            let (serve_circuit, serve_layout) =
+                build_class_swap_test_circuit(&stack, &params, &encoder).unwrap();
+            assert_eq!(layout, serve_layout);
+            assert_eq!(serve_circuit.num_parameters(), encoder.dim());
+            assert_eq!(serve_circuit.gate_count(), train_circuit.gate_count());
+            let angles = encoder.encoding_angles(&x).unwrap();
+            let a = train_circuit.execute(&params).unwrap();
+            let b = serve_circuit.execute(&angles).unwrap();
+            // Same gates, different emission order between the registers is
+            // impossible by construction — states agree bit-for-bit.
+            assert_eq!(a, b, "{}", stack.architecture_name());
+        }
+    }
+
+    #[test]
+    fn class_swap_test_circuit_prelude_covers_class_state() {
+        // The whole learned register plus the leading Hadamard must land in
+        // the fused static prelude: per-sample work is only the data side.
+        use quclassi_sim::fusion::FusedCircuit;
+        let encoder = DataEncoder::new(EncodingStrategy::DualAngle, 4).unwrap();
+        let stack = LayerStack::qc_s(2).unwrap();
+        let params = vec![0.4, 1.0, 0.2, 0.8];
+        let (circuit, _) = build_class_swap_test_circuit(&stack, &params, &encoder).unwrap();
+        let fused = FusedCircuit::compile(&circuit);
+        assert!(
+            fused.prefix_len() >= 1,
+            "expected the class-state preparation to be hoisted"
+        );
+        assert!(fused.num_static_ops() >= 1);
+    }
+
+    #[test]
+    fn class_swap_test_circuit_validates_inputs() {
+        let encoder = DataEncoder::new(EncodingStrategy::DualAngle, 4).unwrap();
+        let wrong_stack = LayerStack::qc_s(3).unwrap();
+        assert!(build_class_swap_test_circuit(&wrong_stack, &[0.0; 6], &encoder).is_err());
+        let stack = LayerStack::qc_s(2).unwrap();
+        assert!(build_class_swap_test_circuit(&stack, &[0.0; 3], &encoder).is_err());
     }
 
     #[test]

@@ -129,6 +129,26 @@ pub struct EvalSet<'a> {
 }
 
 /// The QuClassi trainer (Algorithm 1).
+///
+/// ```
+/// use quclassi::prelude::*;
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+/// let mut model =
+///     QuClassiModel::with_random_parameters(QuClassiConfig::qc_s(2, 2), &mut rng).unwrap();
+/// let features = vec![vec![0.1, 0.2], vec![0.9, 0.8], vec![0.15, 0.1], vec![0.85, 0.9]];
+/// let labels = vec![0, 1, 0, 1];
+///
+/// let trainer = Trainer::new(
+///     TrainingConfig { epochs: 5, learning_rate: 0.1, ..Default::default() },
+///     FidelityEstimator::analytic(),
+/// );
+/// let history = trainer.fit(&mut model, &features, &labels, &mut rng).unwrap();
+/// assert_eq!(history.epochs.len(), 5);
+/// // Loss is finite and recorded per class.
+/// assert!(history.final_loss().unwrap().is_finite());
+/// ```
 #[derive(Clone, Debug)]
 pub struct Trainer {
     /// Training hyper-parameters.

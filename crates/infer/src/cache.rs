@@ -1,0 +1,183 @@
+//! The serving-side result cache.
+//!
+//! Production inference traffic is heavily repetitive: the same sample is
+//! retried, the same canonical inputs recur, and preprocessing pipelines
+//! quantise nearby raw inputs onto identical normalised features. The cache
+//! keys on the **encoding fingerprint** — the exact bit pattern of the
+//! sample's rotation-angle vector — so any two inputs the quantum circuits
+//! cannot distinguish share one entry, and a hit returns the *identical*
+//! fidelity vector a fresh evaluation would produce (deterministic
+//! estimators only; stochastic estimators bypass the cache entirely).
+//!
+//! Eviction is least-recently-used over a fixed capacity. The
+//! implementation is dependency-free: a `HashMap` from fingerprint to
+//! `(fidelities, last-use tick)` with an `O(entries)` scan on eviction —
+//! at serving-cache capacities (hundreds to a few thousand entries) the
+//! scan is noise next to a single circuit evaluation.
+
+use std::collections::HashMap;
+
+/// Counters describing cache effectiveness, retrievable through
+/// `CompiledModel::cache_stats`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that fell through to circuit evaluation.
+    pub misses: u64,
+    /// Entries currently resident.
+    pub entries: usize,
+    /// Maximum resident entries (0 = caching disabled).
+    pub capacity: usize,
+}
+
+impl CacheStats {
+    /// Fraction of lookups served from the cache (0 when none were made).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// The encoding fingerprint of a sample: the exact bits of its rotation
+/// angles. Equal fingerprints ⇒ indistinguishable inputs downstream.
+pub(crate) fn fingerprint(angles: &[f64]) -> Vec<u64> {
+    angles.iter().map(|a| a.to_bits()).collect()
+}
+
+/// A fixed-capacity LRU map from encoding fingerprint to per-class
+/// fidelities.
+#[derive(Clone, Debug)]
+pub(crate) struct EncodingCache {
+    capacity: usize,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+    map: HashMap<Vec<u64>, (Vec<f64>, u64)>,
+}
+
+impl EncodingCache {
+    pub(crate) fn new(capacity: usize) -> Self {
+        EncodingCache {
+            capacity,
+            tick: 0,
+            hits: 0,
+            misses: 0,
+            map: HashMap::with_capacity(capacity.min(1024)),
+        }
+    }
+
+    /// Looks a fingerprint up, refreshing its recency on a hit.
+    pub(crate) fn get(&mut self, key: &[u64]) -> Option<Vec<f64>> {
+        if self.capacity == 0 {
+            return None;
+        }
+        self.tick += 1;
+        match self.map.get_mut(key) {
+            Some((fidelities, last_used)) => {
+                *last_used = self.tick;
+                self.hits += 1;
+                Some(fidelities.clone())
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts (or refreshes) an entry, evicting the least-recently-used
+    /// one when at capacity.
+    pub(crate) fn insert(&mut self, key: Vec<u64>, fidelities: Vec<f64>) {
+        if self.capacity == 0 {
+            return;
+        }
+        self.tick += 1;
+        if !self.map.contains_key(&key) && self.map.len() >= self.capacity {
+            if let Some(oldest) = self
+                .map
+                .iter()
+                .min_by_key(|(_, (_, tick))| *tick)
+                .map(|(k, _)| k.clone())
+            {
+                self.map.remove(&oldest);
+            }
+        }
+        self.map.insert(key, (fidelities, self.tick));
+    }
+
+    pub(crate) fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits,
+            misses: self.misses,
+            entries: self.map.len(),
+            capacity: self.capacity,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let mut c = EncodingCache::new(2);
+        c.insert(vec![1], vec![0.1]);
+        c.insert(vec![2], vec![0.2]);
+        // Touch key 1 so key 2 becomes the LRU entry.
+        assert_eq!(c.get(&[1]), Some(vec![0.1]));
+        c.insert(vec![3], vec![0.3]);
+        assert_eq!(c.get(&[2]), None, "LRU entry should have been evicted");
+        assert_eq!(c.get(&[1]), Some(vec![0.1]));
+        assert_eq!(c.get(&[3]), Some(vec![0.3]));
+        assert_eq!(c.stats().entries, 2);
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let mut c = EncodingCache::new(0);
+        c.insert(vec![1], vec![0.1]);
+        assert_eq!(c.get(&[1]), None);
+        let s = c.stats();
+        assert_eq!(s.entries, 0);
+        assert_eq!(s.hits, 0);
+        // Disabled lookups are not counted as misses either.
+        assert_eq!(s.misses, 0);
+        assert_eq!(s.capacity, 0);
+    }
+
+    #[test]
+    fn stats_track_hits_and_misses() {
+        let mut c = EncodingCache::new(4);
+        assert!(c.get(&[9]).is_none());
+        c.insert(vec![9], vec![1.0]);
+        assert!(c.get(&[9]).is_some());
+        assert!(c.get(&[9]).is_some());
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses), (2, 1));
+        assert!((s.hit_rate() - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(CacheStats::default().hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn fingerprints_are_exact_bit_patterns() {
+        assert_eq!(fingerprint(&[0.5, -0.0]), vec![0.5f64.to_bits(), (-0.0f64).to_bits()]);
+        // -0.0 and 0.0 differ as fingerprints: they are different bit
+        // patterns, and exactness is the contract.
+        assert_ne!(fingerprint(&[0.0]), fingerprint(&[-0.0]));
+    }
+
+    #[test]
+    fn reinserting_refreshes_instead_of_duplicating() {
+        let mut c = EncodingCache::new(2);
+        c.insert(vec![1], vec![0.1]);
+        c.insert(vec![1], vec![0.9]);
+        assert_eq!(c.stats().entries, 1);
+        assert_eq!(c.get(&[1]), Some(vec![0.9]));
+    }
+}

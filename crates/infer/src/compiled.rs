@@ -1,0 +1,743 @@
+//! The immutable serving artifact: a trained model compiled for inference.
+
+use crate::cache::{fingerprint, CacheStats, EncodingCache};
+use quclassi::encoding::DataEncoder;
+use quclassi::error::QuClassiError;
+use quclassi::loss::softmax;
+use quclassi::model::{QuClassiConfig, QuClassiModel};
+use quclassi::swap_test::{
+    build_class_swap_test_circuit, fidelity_from_p0, FidelityEstimator, FidelityMethod,
+};
+use quclassi_sim::batch::BatchExecutor;
+use quclassi_sim::fusion::FusedCircuit;
+use quclassi_sim::state::StateVector;
+use rand::Rng;
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+/// Default capacity of the encoding-fingerprint LRU cache.
+pub const DEFAULT_CACHE_CAPACITY: usize = 1024;
+
+/// The method-specific compiled per-class artifacts.
+#[derive(Clone, Debug)]
+enum CompiledClasses {
+    /// Analytic method: every class state |ω_c⟩ evaluated once at compile
+    /// time — scoring a sample is one data-register preparation plus one
+    /// inner product per class.
+    Analytic { states: Vec<StateVector> },
+    /// SWAP-test method: one fused circuit per class with the trained
+    /// angles baked into the precomputed static prelude; the sample's
+    /// encoding angles are the circuit's only parameters.
+    SwapTest {
+        circuits: Vec<FusedCircuit>,
+        ancilla: usize,
+    },
+}
+
+/// One serving result: the arg-max label plus the full softmax distribution
+/// and the raw per-class fidelities it was derived from.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Prediction {
+    /// Predicted class: arg-max of `probabilities`, with exact ties
+    /// resolving to the *highest* tied index — the same tie-breaking as
+    /// `QuClassiModel::predict`, so compiled and uncompiled labels always
+    /// agree.
+    pub label: usize,
+    /// Softmaxed class probabilities (sums to 1).
+    pub probabilities: Vec<f64>,
+    /// Raw state fidelities the probabilities were softmaxed from.
+    pub fidelities: Vec<f64>,
+}
+
+impl Prediction {
+    /// The probability assigned to the predicted label.
+    pub fn confidence(&self) -> f64 {
+        self.probabilities.get(self.label).copied().unwrap_or(0.0)
+    }
+
+    /// Gap between the top-1 and top-2 probabilities (1.0 for a single
+    /// class): a margin near zero flags an ambiguous sample.
+    pub fn margin(&self) -> f64 {
+        let mut top = f64::NEG_INFINITY;
+        let mut second = f64::NEG_INFINITY;
+        for &p in &self.probabilities {
+            if p > top {
+                second = top;
+                top = p;
+            } else if p > second {
+                second = p;
+            }
+        }
+        if second.is_finite() {
+            top - second
+        } else {
+            1.0
+        }
+    }
+
+    /// The `k` most probable classes, most probable first. Exact ties
+    /// resolve to the higher class index, consistent with
+    /// [`Prediction::label`] (so `top_k(1)[0].0 == label` always holds).
+    /// `k` is clamped to the class count.
+    pub fn top_k(&self, k: usize) -> Vec<(usize, f64)> {
+        let mut order: Vec<usize> = (0..self.probabilities.len()).collect();
+        order.sort_by(|&a, &b| {
+            self.probabilities[b]
+                .partial_cmp(&self.probabilities[a])
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(b.cmp(&a))
+        });
+        order
+            .into_iter()
+            .take(k)
+            .map(|c| (c, self.probabilities[c]))
+            .collect()
+    }
+}
+
+/// A trained QuClassi model compiled into an immutable inference artifact.
+///
+/// Compile once with [`CompiledModel::compile`]; every circuit lowering,
+/// gate fusion and class-state evaluation happens there. Serving calls
+/// ([`CompiledModel::predict`], [`CompiledModel::predict_many`]) only bind
+/// a sample's encoding angles into the precompiled programs.
+///
+/// ```
+/// use quclassi::prelude::*;
+/// use quclassi_infer::CompiledModel;
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+/// let model =
+///     QuClassiModel::with_random_parameters(QuClassiConfig::qc_s(4, 3), &mut rng).unwrap();
+/// let compiled = CompiledModel::compile(&model, FidelityEstimator::analytic()).unwrap();
+///
+/// let x = [0.2, 0.7, 0.4, 0.9];
+/// // Bit-identical to the uncompiled path, for every deterministic query.
+/// let fast = compiled.predict_proba(&x, &mut rng).unwrap();
+/// let slow = model.predict_proba(&x, &FidelityEstimator::analytic(), &mut rng).unwrap();
+/// assert_eq!(fast, slow);
+/// assert_eq!(
+///     compiled.predict(&x, &mut rng).unwrap(),
+///     model.predict(&x, &FidelityEstimator::analytic(), &mut rng).unwrap(),
+/// );
+/// ```
+#[derive(Debug)]
+pub struct CompiledModel {
+    config: QuClassiConfig,
+    encoder: DataEncoder,
+    estimator: FidelityEstimator,
+    classes: CompiledClasses,
+    /// Capacity > 0 and deterministic estimator, frozen at construction so
+    /// the hot path never locks the cache just to learn it is disabled.
+    cache_enabled: bool,
+    cache: Mutex<EncodingCache>,
+}
+
+impl Clone for CompiledModel {
+    fn clone(&self) -> Self {
+        CompiledModel {
+            config: self.config.clone(),
+            encoder: self.encoder.clone(),
+            estimator: self.estimator.clone(),
+            classes: self.classes.clone(),
+            cache_enabled: self.cache_enabled,
+            cache: Mutex::new(self.lock_cache().clone()),
+        }
+    }
+}
+
+impl CompiledModel {
+    /// Compiles a trained model for serving under `estimator`.
+    ///
+    /// * Analytic method: each class state is prepared once, analytically.
+    /// * SWAP-test method: each class gets its own fused circuit with the
+    ///   trained angles baked in (hoisted into the precomputed prelude) and
+    ///   the data register parametric. Ideal executors run the fused
+    ///   program; noisy/density executors transparently fall back to
+    ///   per-gate evolution of the source circuit, preserving semantics.
+    pub fn compile(
+        model: &QuClassiModel,
+        estimator: FidelityEstimator,
+    ) -> Result<Self, QuClassiError> {
+        let config = model.config().clone();
+        let encoder = model.encoder().clone();
+        let classes = match estimator.method() {
+            FidelityMethod::Analytic => {
+                let states = (0..model.num_classes())
+                    .map(|c| model.learned_state(c))
+                    .collect::<Result<Vec<_>, _>>()?;
+                CompiledClasses::Analytic { states }
+            }
+            FidelityMethod::SwapTest => {
+                let mut circuits = Vec::with_capacity(model.num_classes());
+                let mut ancilla = 0;
+                for c in 0..model.num_classes() {
+                    let (circuit, layout) = build_class_swap_test_circuit(
+                        model.stack(),
+                        model.class_params(c)?,
+                        &encoder,
+                    )?;
+                    ancilla = layout.ancilla;
+                    circuits.push(FusedCircuit::compile(&circuit));
+                }
+                CompiledClasses::SwapTest { circuits, ancilla }
+            }
+        };
+        let cache_enabled = !estimator.is_stochastic();
+        Ok(CompiledModel {
+            config,
+            encoder,
+            estimator,
+            classes,
+            cache_enabled,
+            cache: Mutex::new(EncodingCache::new(DEFAULT_CACHE_CAPACITY)),
+        })
+    }
+
+    /// Replaces the LRU cache capacity (entries; 0 disables caching).
+    /// Existing entries and counters are discarded.
+    pub fn with_cache_capacity(self, capacity: usize) -> Self {
+        CompiledModel {
+            cache_enabled: capacity > 0 && !self.estimator.is_stochastic(),
+            cache: Mutex::new(EncodingCache::new(capacity)),
+            ..self
+        }
+    }
+
+    /// The model configuration the artifact was compiled from.
+    pub fn config(&self) -> &QuClassiConfig {
+        &self.config
+    }
+
+    /// The data encoder (defines the expected feature dimension).
+    pub fn encoder(&self) -> &DataEncoder {
+        &self.encoder
+    }
+
+    /// The estimator the artifact serves under.
+    pub fn estimator(&self) -> &FidelityEstimator {
+        &self.estimator
+    }
+
+    /// Number of classes.
+    pub fn num_classes(&self) -> usize {
+        self.config.num_classes
+    }
+
+    /// Whether results are answered from the fingerprint cache. Caching is
+    /// disabled for stochastic estimators (shots / noise draw fresh
+    /// randomness per query, which must never be replayed from a cache) and
+    /// when the capacity is 0.
+    pub fn cache_enabled(&self) -> bool {
+        self.cache_enabled
+    }
+
+    /// Cache effectiveness counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.lock_cache().stats()
+    }
+
+    fn lock_cache(&self) -> std::sync::MutexGuard<'_, EncodingCache> {
+        self.cache.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Fidelities between one encoded sample (given as angles) and every
+    /// class, computed sequentially — the single-sample hot path.
+    fn fidelities_from_angles<R: Rng + ?Sized>(
+        &self,
+        angles: &[f64],
+        rng: &mut R,
+    ) -> Result<Vec<f64>, QuClassiError> {
+        match &self.classes {
+            CompiledClasses::Analytic { states } => {
+                // Product-state fast preparation: bit-identical fidelities
+                // to the uncompiled `encode_state` path (see
+                // `DataEncoder::encode_state_from_angles`).
+                let data = self.encoder.encode_state_from_angles(angles)?;
+                states
+                    .iter()
+                    .map(|s| s.fidelity(&data).map_err(QuClassiError::from))
+                    .collect()
+            }
+            CompiledClasses::SwapTest { circuits, ancilla } => circuits
+                .iter()
+                .map(|circuit| {
+                    let p1 = self
+                        .estimator
+                        .executor()
+                        .probability_of_one_compiled(circuit, angles, *ancilla, rng)?;
+                    Ok(fidelity_from_p0(1.0 - p1))
+                })
+                .collect(),
+        }
+    }
+
+    /// Fidelities between a data point and every class state, answering
+    /// repeated encodings from the LRU cache when the estimator is
+    /// deterministic.
+    pub fn class_fidelities<R: Rng + ?Sized>(
+        &self,
+        x: &[f64],
+        rng: &mut R,
+    ) -> Result<Vec<f64>, QuClassiError> {
+        let angles = self.encoder.encoding_angles(x)?;
+        if !self.cache_enabled() {
+            return self.fidelities_from_angles(&angles, rng);
+        }
+        let key = fingerprint(&angles);
+        if let Some(hit) = self.lock_cache().get(&key) {
+            return Ok(hit);
+        }
+        let fidelities = self.fidelities_from_angles(&angles, rng)?;
+        self.lock_cache().insert(key, fidelities.clone());
+        Ok(fidelities)
+    }
+
+    /// Softmaxed class probabilities for one data point.
+    pub fn predict_proba<R: Rng + ?Sized>(
+        &self,
+        x: &[f64],
+        rng: &mut R,
+    ) -> Result<Vec<f64>, QuClassiError> {
+        Ok(softmax(&self.class_fidelities(x, rng)?))
+    }
+
+    /// Predicted class label for one data point.
+    pub fn predict<R: Rng + ?Sized>(&self, x: &[f64], rng: &mut R) -> Result<usize, QuClassiError> {
+        Ok(argmax(&self.predict_proba(x, rng)?))
+    }
+
+    /// The full [`Prediction`] (label, probabilities, fidelities) for one
+    /// data point.
+    pub fn predict_one<R: Rng + ?Sized>(
+        &self,
+        x: &[f64],
+        rng: &mut R,
+    ) -> Result<Prediction, QuClassiError> {
+        let fidelities = self.class_fidelities(x, rng)?;
+        Ok(prediction_from_fidelities(fidelities))
+    }
+
+    /// The `k` most probable classes for one data point.
+    pub fn top_k<R: Rng + ?Sized>(
+        &self,
+        x: &[f64],
+        k: usize,
+        rng: &mut R,
+    ) -> Result<Vec<(usize, f64)>, QuClassiError> {
+        Ok(self.predict_one(x, rng)?.top_k(k))
+    }
+
+    /// Scores a batch of samples, fanning the evaluations over `batch`.
+    ///
+    /// * **Deterministic estimators** — results are bit-identical to
+    ///   sequential [`CompiledModel::predict_one`] calls, for any thread
+    ///   count; duplicate encodings inside the batch are evaluated once and
+    ///   answered from the cache afterwards.
+    /// * **Stochastic estimators** — every sample × class evaluation draws
+    ///   from its own RNG stream derived from `(base_seed, job index)`, so
+    ///   results are bit-identical for any thread count and vary with
+    ///   `base_seed` exactly like `FidelityEstimator::estimate_many`. No
+    ///   deduplication or caching is applied.
+    pub fn predict_many(
+        &self,
+        xs: &[Vec<f64>],
+        batch: &BatchExecutor,
+        base_seed: u64,
+    ) -> Result<Vec<Prediction>, QuClassiError> {
+        let angles: Vec<Vec<f64>> = xs
+            .iter()
+            .map(|x| self.encoder.encoding_angles(x))
+            .collect::<Result<_, _>>()?;
+
+        if self.estimator.is_stochastic() {
+            // No dedup: each duplicate keeps its own sample draw, matching
+            // sequential serving semantics.
+            let fidelities = self.batched_fidelities(&angles, batch, base_seed)?;
+            return Ok(fidelities.into_iter().map(prediction_from_fidelities).collect());
+        }
+
+        // Deterministic path: resolve cache hits, dedup the misses by
+        // fingerprint (first appearance wins — a pure function of the input
+        // batch, so thread count cannot perturb it), evaluate once each.
+        let keys: Vec<Vec<u64>> = angles.iter().map(|a| fingerprint(a)).collect();
+        let cache_enabled = self.cache_enabled();
+        let mut resolved: Vec<Option<Vec<f64>>> = vec![None; xs.len()];
+        if cache_enabled {
+            let mut cache = self.lock_cache();
+            for (slot, key) in resolved.iter_mut().zip(keys.iter()) {
+                *slot = cache.get(key);
+            }
+        }
+        let mut miss_index: HashMap<&[u64], usize> = HashMap::new();
+        let mut miss_angles: Vec<Vec<f64>> = Vec::new();
+        let mut miss_keys: Vec<Vec<u64>> = Vec::new();
+        let mut sample_to_miss: Vec<Option<usize>> = vec![None; xs.len()];
+        for (i, key) in keys.iter().enumerate() {
+            if resolved[i].is_some() {
+                continue;
+            }
+            let idx = *miss_index.entry(key.as_slice()).or_insert_with(|| {
+                miss_angles.push(angles[i].clone());
+                miss_keys.push(key.clone());
+                miss_angles.len() - 1
+            });
+            sample_to_miss[i] = Some(idx);
+        }
+
+        let miss_fidelities = self.batched_fidelities(&miss_angles, batch, base_seed)?;
+        if cache_enabled {
+            let mut cache = self.lock_cache();
+            for (key, fidelities) in miss_keys.into_iter().zip(miss_fidelities.iter()) {
+                cache.insert(key, fidelities.clone());
+            }
+        }
+
+        Ok(resolved
+            .into_iter()
+            .zip(sample_to_miss)
+            .map(|(hit, miss)| {
+                let fidelities = match hit {
+                    Some(f) => f,
+                    None => miss_fidelities[miss.expect("unresolved sample is a miss")].clone(),
+                };
+                prediction_from_fidelities(fidelities)
+            })
+            .collect())
+    }
+
+    /// Evaluates per-class fidelities for many encoded samples through the
+    /// batch executor (one flat samples × classes job list for the
+    /// SWAP-test method, one job per sample for the analytic method).
+    fn batched_fidelities(
+        &self,
+        angles: &[Vec<f64>],
+        batch: &BatchExecutor,
+        base_seed: u64,
+    ) -> Result<Vec<Vec<f64>>, QuClassiError> {
+        if angles.is_empty() {
+            return Ok(Vec::new());
+        }
+        match &self.classes {
+            CompiledClasses::Analytic { states } => {
+                let jobs: Vec<&[f64]> = angles.iter().map(Vec::as_slice).collect();
+                batch
+                    .run_seeded(base_seed, jobs, |_, sample_angles, _| {
+                        let data = self.encoder.encode_state_from_angles(sample_angles)?;
+                        states
+                            .iter()
+                            .map(|s| s.fidelity(&data).map_err(QuClassiError::from))
+                            .collect::<Result<Vec<f64>, QuClassiError>>()
+                    })
+                    .into_iter()
+                    .collect()
+            }
+            CompiledClasses::SwapTest { circuits, ancilla } => {
+                let jobs: Vec<(&FusedCircuit, &[f64])> = angles
+                    .iter()
+                    .flat_map(|a| circuits.iter().map(move |c| (c, a.as_slice())))
+                    .collect();
+                let p1s = batch.probabilities_of_one_each(
+                    self.estimator.executor(),
+                    &jobs,
+                    *ancilla,
+                    base_seed,
+                )?;
+                Ok(p1s
+                    .chunks(circuits.len())
+                    .map(|chunk| chunk.iter().map(|&p1| fidelity_from_p0(1.0 - p1)).collect())
+                    .collect())
+            }
+        }
+    }
+
+    /// Classification accuracy of the compiled artifact over a labelled
+    /// set, scored through [`CompiledModel::predict_many`].
+    pub fn evaluate_accuracy(
+        &self,
+        features: &[Vec<f64>],
+        labels: &[usize],
+        batch: &BatchExecutor,
+        base_seed: u64,
+    ) -> Result<f64, QuClassiError> {
+        if features.len() != labels.len() {
+            return Err(QuClassiError::InvalidData(format!(
+                "{} feature rows but {} labels",
+                features.len(),
+                labels.len()
+            )));
+        }
+        if features.is_empty() {
+            return Err(QuClassiError::InvalidData(
+                "cannot evaluate accuracy on an empty set".to_string(),
+            ));
+        }
+        let predictions = self.predict_many(features, batch, base_seed)?;
+        let correct = predictions
+            .iter()
+            .zip(labels.iter())
+            .filter(|(p, &y)| p.label == y)
+            .count();
+        Ok(correct as f64 / features.len() as f64)
+    }
+}
+
+/// Arg-max with the exact tie-breaking of `QuClassiModel::predict`
+/// (`Iterator::max_by` — the *last* maximal index wins; empty input maps
+/// to 0).
+fn argmax(probs: &[f64]) -> usize {
+    probs
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+        .map(|(i, _)| i)
+        .unwrap_or(0)
+}
+
+fn prediction_from_fidelities(fidelities: Vec<f64>) -> Prediction {
+    let probabilities = softmax(&fidelities);
+    Prediction {
+        label: argmax(&probabilities),
+        probabilities,
+        fidelities,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quclassi::model::QuClassiConfig;
+    use quclassi_sim::executor::Executor;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn trained_model(seed: u64) -> QuClassiModel {
+        let mut rng = StdRng::seed_from_u64(seed);
+        QuClassiModel::with_random_parameters(QuClassiConfig::qc_sde(4, 3), &mut rng).unwrap()
+    }
+
+    fn samples() -> Vec<Vec<f64>> {
+        vec![
+            vec![0.1, 0.2, 0.3, 0.4],
+            vec![0.9, 0.8, 0.7, 0.6],
+            vec![0.5, 0.5, 0.5, 0.5],
+            vec![0.1, 0.2, 0.3, 0.4], // duplicate of sample 0
+        ]
+    }
+
+    #[test]
+    fn analytic_compiled_matches_model_bit_for_bit() {
+        let model = trained_model(1);
+        let compiled = CompiledModel::compile(&model, FidelityEstimator::analytic()).unwrap();
+        let estimator = FidelityEstimator::analytic();
+        let mut rng = StdRng::seed_from_u64(0);
+        for x in samples() {
+            let fast = compiled.class_fidelities(&x, &mut rng).unwrap();
+            let slow = model.class_fidelities(&x, &estimator, &mut rng).unwrap();
+            assert_eq!(fast, slow);
+            assert_eq!(
+                compiled.predict_proba(&x, &mut rng).unwrap(),
+                model.predict_proba(&x, &estimator, &mut rng).unwrap()
+            );
+            assert_eq!(
+                compiled.predict(&x, &mut rng).unwrap(),
+                model.predict(&x, &estimator, &mut rng).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn exact_swap_test_compiled_matches_model_closely() {
+        let model = trained_model(2);
+        let estimator = FidelityEstimator::swap_test(Executor::ideal());
+        let compiled = CompiledModel::compile(&model, estimator.clone()).unwrap();
+        let mut rng = StdRng::seed_from_u64(0);
+        for x in samples() {
+            let fast = compiled.class_fidelities(&x, &mut rng).unwrap();
+            let slow = model.class_fidelities(&x, &estimator, &mut rng).unwrap();
+            for (f, s) in fast.iter().zip(slow.iter()) {
+                assert!((f - s).abs() < 1e-10, "{f} vs {s}");
+            }
+            assert_eq!(
+                compiled.predict(&x, &mut rng).unwrap(),
+                model.predict(&x, &estimator, &mut rng).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn predict_many_matches_sequential_predictions() {
+        let model = trained_model(3);
+        let compiled = CompiledModel::compile(&model, FidelityEstimator::analytic()).unwrap();
+        let xs = samples();
+        let mut rng = StdRng::seed_from_u64(0);
+        let sequential: Vec<Prediction> = xs
+            .iter()
+            .map(|x| compiled.predict_one(x, &mut rng).unwrap())
+            .collect();
+        for threads in [1, 2, 8] {
+            // A fresh artifact per thread count: the cache must not leak
+            // results between runs of this comparison.
+            let fresh = CompiledModel::compile(&model, FidelityEstimator::analytic()).unwrap();
+            let batched = fresh
+                .predict_many(&xs, &BatchExecutor::new(threads, 0), 0)
+                .unwrap();
+            assert_eq!(batched, sequential, "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn duplicate_samples_are_evaluated_once_and_answered_identically() {
+        let model = trained_model(4);
+        let compiled = CompiledModel::compile(&model, FidelityEstimator::analytic()).unwrap();
+        let xs = samples();
+        let preds = compiled
+            .predict_many(&xs, &BatchExecutor::single_threaded(0), 0)
+            .unwrap();
+        assert_eq!(preds[0], preds[3]);
+        // 3 unique encodings inserted; lookups all missed (cold cache).
+        let stats = compiled.cache_stats();
+        assert_eq!(stats.entries, 3);
+        assert_eq!(stats.hits, 0);
+        // A second pass over the same batch is answered from the cache.
+        let again = compiled
+            .predict_many(&xs, &BatchExecutor::single_threaded(0), 0)
+            .unwrap();
+        assert_eq!(again, preds);
+        assert_eq!(compiled.cache_stats().hits, 4);
+    }
+
+    #[test]
+    fn stochastic_serving_is_thread_invariant_and_seed_sensitive() {
+        let model = trained_model(5);
+        let estimator = FidelityEstimator::swap_test(Executor::ideal().with_shots(Some(256)));
+        let compiled = CompiledModel::compile(&model, estimator).unwrap();
+        assert!(!compiled.cache_enabled());
+        let xs = samples();
+        let run = |threads: usize, seed: u64| -> Vec<Vec<u64>> {
+            compiled
+                .predict_many(&xs, &BatchExecutor::new(threads, 0), seed)
+                .unwrap()
+                .into_iter()
+                .map(|p| p.fidelities.iter().map(|f| f.to_bits()).collect())
+                .collect()
+        };
+        assert_eq!(run(1, 7), run(2, 7));
+        assert_eq!(run(1, 7), run(8, 7));
+        assert_ne!(run(1, 7), run(1, 8));
+        // Duplicates are *not* deduplicated under a stochastic estimator:
+        // each keeps its own shot noise.
+        let r = run(1, 7);
+        assert_ne!(r[0], r[3]);
+    }
+
+    #[test]
+    fn top_k_confidence_and_margin() {
+        let p = Prediction {
+            label: 2,
+            probabilities: vec![0.2, 0.3, 0.5],
+            fidelities: vec![0.1, 0.4, 0.9],
+        };
+        assert_eq!(p.top_k(2), vec![(2, 0.5), (1, 0.3)]);
+        assert_eq!(p.top_k(10).len(), 3);
+        assert!((p.confidence() - 0.5).abs() < 1e-12);
+        assert!((p.margin() - 0.2).abs() < 1e-12);
+        let single = Prediction {
+            label: 0,
+            probabilities: vec![1.0],
+            fidelities: vec![1.0],
+        };
+        assert_eq!(single.margin(), 1.0);
+    }
+
+    #[test]
+    fn exact_ties_resolve_identically_in_label_and_top_k() {
+        // Iterator::max_by returns the LAST maximal element, so on an exact
+        // tie the higher class index wins — label, top_k and the uncompiled
+        // QuClassiModel::predict must all agree on that.
+        let tied = prediction_from_fidelities(vec![0.25, 0.25]);
+        assert_eq!(tied.label, 1);
+        assert_eq!(tied.top_k(1), vec![(1, tied.probabilities[1])]);
+        assert_eq!(tied.top_k(2)[1].0, 0);
+        assert_eq!(tied.margin(), 0.0);
+        // Cross-check against the model's arg-max on a genuinely tied
+        // model: identical parameters for both classes.
+        let mut model = QuClassiModel::new(QuClassiConfig::qc_s(4, 2)).unwrap();
+        let params = vec![0.4; model.parameters_per_class()];
+        model.set_class_params(0, params.clone()).unwrap();
+        model.set_class_params(1, params).unwrap();
+        let estimator = FidelityEstimator::analytic();
+        let compiled = CompiledModel::compile(&model, estimator.clone()).unwrap();
+        let mut rng = StdRng::seed_from_u64(0);
+        let x = [0.3, 0.6, 0.2, 0.8];
+        assert_eq!(
+            compiled.predict(&x, &mut rng).unwrap(),
+            model.predict(&x, &estimator, &mut rng).unwrap()
+        );
+        assert_eq!(compiled.predict(&x, &mut rng).unwrap(), 1);
+    }
+
+    #[test]
+    fn cache_capacity_zero_disables_caching() {
+        let model = trained_model(6);
+        let compiled = CompiledModel::compile(&model, FidelityEstimator::analytic())
+            .unwrap()
+            .with_cache_capacity(0);
+        assert!(!compiled.cache_enabled());
+        let mut rng = StdRng::seed_from_u64(0);
+        let x = vec![0.3, 0.4, 0.5, 0.6];
+        compiled.class_fidelities(&x, &mut rng).unwrap();
+        compiled.class_fidelities(&x, &mut rng).unwrap();
+        assert_eq!(compiled.cache_stats().hits, 0);
+        assert_eq!(compiled.cache_stats().entries, 0);
+    }
+
+    #[test]
+    fn invalid_inputs_are_rejected() {
+        let model = trained_model(7);
+        let compiled = CompiledModel::compile(&model, FidelityEstimator::analytic()).unwrap();
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(compiled.predict(&[0.1, 0.2], &mut rng).is_err());
+        assert!(compiled.predict(&[0.1, 0.2, 0.3, 1.4], &mut rng).is_err());
+        let batch = BatchExecutor::single_threaded(0);
+        assert!(compiled
+            .predict_many(&[vec![0.1; 4], vec![2.0; 4]], &batch, 0)
+            .is_err());
+        assert!(compiled
+            .evaluate_accuracy(&[vec![0.1; 4]], &[0, 1], &batch, 0)
+            .is_err());
+        assert!(compiled.evaluate_accuracy(&[], &[], &batch, 0).is_err());
+    }
+
+    #[test]
+    fn evaluate_accuracy_matches_model_evaluation() {
+        let model = trained_model(8);
+        let estimator = FidelityEstimator::analytic();
+        let compiled = CompiledModel::compile(&model, estimator.clone()).unwrap();
+        let xs = samples();
+        let ys: Vec<usize> = {
+            let mut rng = StdRng::seed_from_u64(0);
+            xs.iter()
+                .map(|x| model.predict(x, &estimator, &mut rng).unwrap())
+                .collect()
+        };
+        let acc = compiled
+            .evaluate_accuracy(&xs, &ys, &BatchExecutor::new(4, 0), 0)
+            .unwrap();
+        assert!((acc - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clone_preserves_artifact_and_cache() {
+        let model = trained_model(9);
+        let compiled = CompiledModel::compile(&model, FidelityEstimator::analytic()).unwrap();
+        let mut rng = StdRng::seed_from_u64(0);
+        let x = vec![0.2, 0.3, 0.4, 0.5];
+        let a = compiled.class_fidelities(&x, &mut rng).unwrap();
+        let cloned = compiled.clone();
+        assert_eq!(cloned.cache_stats().entries, 1);
+        assert_eq!(cloned.class_fidelities(&x, &mut rng).unwrap(), a);
+        assert_eq!(cloned.cache_stats().hits, 1);
+    }
+}

@@ -1,0 +1,91 @@
+//! # quclassi-infer
+//!
+//! The compiled inference engine for the QuClassi reproduction: the
+//! deployment side of the train → compile → serve pipeline.
+//!
+//! QuClassi's serving story (Stein et al., MLSys 2022) is read-heavy and
+//! latency-sensitive: a trained model is frozen, and every request scores a
+//! sample against one precompiled quantum state per class via SWAP-test
+//! fidelity. The convenience path in the `quclassi` crate
+//! ([`quclassi::model::QuClassiModel::predict`]) re-lowers and re-fuses its
+//! circuits on *every* call; this crate moves all of that work to a single
+//! compile step:
+//!
+//! * [`CompiledModel::compile`] freezes a trained model into an immutable
+//!   artifact — per-class class-state preparations evaluated once (analytic
+//!   method) or per-class [`quclassi_sim::fusion::FusedCircuit`]s with the
+//!   trained angles baked into their precomputed static preludes (SWAP-test
+//!   method), plus a precompiled parametric data-register circuit so a
+//!   sample's encoding binds without any recompilation;
+//! * [`CompiledModel::predict_many`] fans samples × classes over a
+//!   [`quclassi_sim::batch::BatchExecutor`], returning softmaxed
+//!   probabilities, the arg-max label, and per-sample confidence/top-k
+//!   through [`Prediction`];
+//! * repeated and near-duplicate inputs are answered from an LRU cache
+//!   keyed by the sample's *encoding fingerprint* (the exact bit pattern of
+//!   its rotation angles), which is switched off automatically for
+//!   stochastic estimators so sampling semantics are never cached away.
+//!
+//! ## Determinism
+//!
+//! The artifact inherits PR 2's guarantees: deterministic estimators
+//! (analytic, exact SWAP test) produce results **bit-identical to the
+//! uncompiled sequential path** (analytic exactly; exact SWAP test up to
+//! gate-fusion float re-association, and bit-identical across any thread
+//! count), and stochastic estimators derive per-job RNG streams from
+//! `(base_seed, job index)` so batched serving is bit-identical for 1, 2 or
+//! 8 threads.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use quclassi::prelude::*;
+//! use quclassi_infer::CompiledModel;
+//! use quclassi_sim::batch::BatchExecutor;
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+//! // Train (or load) a model…
+//! let mut model =
+//!     QuClassiModel::with_random_parameters(QuClassiConfig::qc_s(4, 2), &mut rng).unwrap();
+//! let features = vec![vec![0.1, 0.2, 0.1, 0.15], vec![0.9, 0.8, 0.9, 0.85]];
+//! let labels = vec![0, 1];
+//! Trainer::new(
+//!     TrainingConfig { epochs: 5, learning_rate: 0.1, ..Default::default() },
+//!     FidelityEstimator::analytic(),
+//! )
+//! .fit(&mut model, &features, &labels, &mut rng)
+//! .unwrap();
+//!
+//! // …compile it once…
+//! let compiled = CompiledModel::compile(&model, FidelityEstimator::analytic()).unwrap();
+//!
+//! // …and serve batches without ever re-lowering a circuit.
+//! let predictions = compiled
+//!     .predict_many(&features, &BatchExecutor::from_env(0), 0)
+//!     .unwrap();
+//! assert_eq!(predictions.len(), 2);
+//! for (p, x) in predictions.iter().zip(features.iter()) {
+//!     // Identical to the uncompiled convenience path, without the re-lowering.
+//!     let reference = model.predict(x, &FidelityEstimator::analytic(), &mut rng).unwrap();
+//!     assert_eq!(p.label, reference);
+//!     assert!((p.probabilities.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+//!     assert!(p.confidence() >= 0.5);
+//! }
+//! ```
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod cache;
+mod compiled;
+
+pub use cache::CacheStats;
+pub use compiled::{CompiledModel, Prediction};
+
+/// Re-exports of the most commonly used serving types.
+pub mod prelude {
+    pub use crate::cache::CacheStats;
+    pub use crate::compiled::{CompiledModel, Prediction};
+    pub use quclassi_sim::batch::BatchExecutor;
+}

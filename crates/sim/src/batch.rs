@@ -73,6 +73,25 @@ impl BatchExecutor {
         }
     }
 
+    /// A batch executor sized from the environment: the `QUCLASSI_THREADS`
+    /// variable when set to a positive integer, otherwise the machine's
+    /// available parallelism. This is the constructor servers, benches and
+    /// examples should use — the thread count is a pure throughput knob
+    /// (results are bit-identical for any value), so it is safe to let the
+    /// deployment environment choose it.
+    pub fn from_env(root_seed: u64) -> Self {
+        let threads = std::env::var("QUCLASSI_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            });
+        BatchExecutor::new(threads, root_seed)
+    }
+
     /// The configured worker count.
     pub fn threads(&self) -> usize {
         self.pool.threads()
@@ -134,6 +153,28 @@ impl BatchExecutor {
     ) -> Result<Vec<f64>, SimError> {
         let jobs: Vec<&[f64]> = param_sets.iter().map(Vec::as_slice).collect();
         self.run_seeded(base_seed, jobs, |_, params, rng| {
+            executor.probability_of_one_compiled(circuit, params, qubit, rng)
+        })
+        .into_iter()
+        .collect()
+    }
+
+    /// Like [`BatchExecutor::probabilities_of_one`] but with a *different*
+    /// compiled circuit per job: each entry pairs a fused circuit with the
+    /// parameter vector to bind into it. This is the inference fan-out shape
+    /// — samples × classes, where every class owns its own precompiled
+    /// circuit — kept as one flat job list so per-job RNG streams stay a
+    /// pure function of `(base_seed, job index)` and results remain
+    /// bit-identical for any thread count.
+    pub fn probabilities_of_one_each(
+        &self,
+        executor: &Executor,
+        jobs: &[(&FusedCircuit, &[f64])],
+        qubit: usize,
+        base_seed: u64,
+    ) -> Result<Vec<f64>, SimError> {
+        let jobs: Vec<(&FusedCircuit, &[f64])> = jobs.to_vec();
+        self.run_seeded(base_seed, jobs, |_, (circuit, params), rng| {
             executor.probability_of_one_compiled(circuit, params, qubit, rng)
         })
         .into_iter()
@@ -253,6 +294,59 @@ mod tests {
         for (params, sv) in sets.iter().zip(states.iter()) {
             assert_eq!(sv, &fused.execute(params).unwrap());
         }
+    }
+
+    #[test]
+    fn per_job_circuits_match_direct_execution_for_any_thread_count() {
+        let a = {
+            let mut c = Circuit::new(2);
+            c.ry_param(0, 0).cnot(0, 1);
+            c
+        };
+        let b = {
+            let mut c = Circuit::new(2);
+            c.h(0).rz_param(1, 0).cnot(1, 0);
+            c
+        };
+        let fused_a = FusedCircuit::compile(&a);
+        let fused_b = FusedCircuit::compile(&b);
+        let pa = vec![0.4];
+        let pb = vec![-1.1];
+        let jobs: Vec<(&FusedCircuit, &[f64])> =
+            vec![(&fused_a, &pa), (&fused_b, &pb), (&fused_a, &pb)];
+        let exec = Executor::ideal();
+        let mut reference = Vec::new();
+        for (circuit, params) in &jobs {
+            reference.push(
+                circuit
+                    .source()
+                    .execute(params)
+                    .unwrap()
+                    .probability_of_one(0)
+                    .unwrap(),
+            );
+        }
+        let mut runs = Vec::new();
+        for threads in [1usize, 2, 8] {
+            let got = BatchExecutor::new(threads, 0)
+                .probabilities_of_one_each(&exec, &jobs, 0, 5)
+                .unwrap();
+            for (g, r) in got.iter().zip(reference.iter()) {
+                assert!((g - r).abs() < 1e-12, "{g} vs {r}");
+            }
+            runs.push(got.into_iter().map(f64::to_bits).collect::<Vec<_>>());
+        }
+        assert_eq!(runs[0], runs[1]);
+        assert_eq!(runs[0], runs[2]);
+    }
+
+    #[test]
+    fn from_env_honours_quclassi_threads() {
+        // Only assert on the explicit-override path: mutating the process
+        // environment in tests would race other threads.
+        let b = BatchExecutor::from_env(3);
+        assert!(b.threads() >= 1);
+        assert_eq!(b.root_seed(), 3);
     }
 
     #[test]

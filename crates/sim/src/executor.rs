@@ -33,6 +33,29 @@ pub enum Method {
 }
 
 /// A configured execution backend.
+///
+/// ```
+/// use quclassi_sim::circuit::Circuit;
+/// use quclassi_sim::executor::Executor;
+/// use rand::SeedableRng;
+///
+/// let mut bell = Circuit::new(2);
+/// bell.h(0).cnot(0, 1);
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+///
+/// // Exact probabilities through the ideal backend…
+/// let exact = Executor::ideal()
+///     .probability_of_one(&bell, &[], 1, &mut rng)
+///     .unwrap();
+/// assert!((exact - 0.5).abs() < 1e-12);
+///
+/// // …and a finite-shot estimate of the same quantity.
+/// let sampled = Executor::ideal()
+///     .with_shots(Some(4000))
+///     .probability_of_one(&bell, &[], 1, &mut rng)
+///     .unwrap();
+/// assert!((sampled - 0.5).abs() < 0.05);
+/// ```
 #[derive(Clone, Debug)]
 pub struct Executor {
     noise: NoiseModel,

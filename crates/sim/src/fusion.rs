@@ -165,6 +165,24 @@ impl FusedOp {
 /// then starts from a clone of that state and only replays the parametric
 /// remainder — in QuClassi's SWAP-test circuits this removes the whole
 /// data-register preparation from the per-evaluation cost.
+///
+/// ```
+/// use quclassi_sim::circuit::Circuit;
+/// use quclassi_sim::fusion::FusedCircuit;
+///
+/// let mut c = Circuit::new(2);
+/// c.h(0).ry_param(0, 0).rz_param(0, 1).ry_param(1, 2).cnot(0, 1);
+/// let fused = FusedCircuit::compile(&c);
+/// // The compiled program is shorter than the gate list…
+/// assert!(fused.num_fused_ops() < c.gate_count());
+/// // …and executes to the same state (up to float re-association).
+/// let params = [0.4, -0.9, 2.2];
+/// let a = fused.execute(&params).unwrap();
+/// let b = c.execute(&params).unwrap();
+/// for (x, y) in a.amplitudes().iter().zip(b.amplitudes().iter()) {
+///     assert!(x.approx_eq(*y, 1e-12));
+/// }
+/// ```
 #[derive(Clone, Debug, PartialEq)]
 pub struct FusedCircuit {
     source: Circuit,
@@ -426,6 +444,156 @@ impl FusedCircuit {
             }
         }
         Ok(())
+    }
+}
+
+/// A fused circuit with one concrete parameter vector bound in: the
+/// "bind parameters into an already-fused circuit" entry point.
+///
+/// [`FusedCircuit::bind`] resolves every dynamic group's matrix and every
+/// raw parametric gate **once**, so each [`BoundFusedCircuit::execute`] call
+/// is pure matrix/gate application — no parameter lookup, no group-matrix
+/// rebuild, no validation. Use it when one `(circuit, parameters)` pair is
+/// replayed many times (repeated serving of a hot input, shot loops,
+/// [`BoundFusedCircuit::execute_into`] over a stream of start states).
+///
+/// Execution is bit-identical to [`FusedCircuit::execute`] with the same
+/// parameters: binding changes *when* matrices are built, never *what* is
+/// applied.
+///
+/// ```
+/// use quclassi_sim::circuit::Circuit;
+/// use quclassi_sim::fusion::FusedCircuit;
+///
+/// let mut c = Circuit::new(2);
+/// c.ry_param(0, 0).rz_param(1, 1).cnot(0, 1);
+/// let fused = FusedCircuit::compile(&c);
+/// let bound = fused.bind(&[0.3, -1.2]).unwrap();
+/// // Replaying the bound artifact costs no per-run binding…
+/// let a = bound.execute();
+/// let b = bound.execute();
+/// assert_eq!(a, b);
+/// // …and reproduces the fused execution bit-for-bit.
+/// assert_eq!(a, fused.execute(&[0.3, -1.2]).unwrap());
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct BoundFusedCircuit {
+    num_qubits: usize,
+    prefix_state: StateVector,
+    ops: Vec<BoundOp>,
+}
+
+/// One fully-resolved instruction of a [`BoundFusedCircuit`].
+#[derive(Clone, Debug, PartialEq)]
+enum BoundOp {
+    /// A dense unitary (static group, or dynamic group bound at bind time).
+    Unitary {
+        qubits: Vec<usize>,
+        matrix: Vec<Complex>,
+    },
+    /// A bound raw gate keeping its specialised application path.
+    Gate(Gate),
+}
+
+impl BoundFusedCircuit {
+    /// Number of qubits in the register.
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// Number of resolved instructions replayed per execution (excludes the
+    /// precomputed prelude).
+    pub fn num_bound_ops(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Runs the bound circuit on |0…0⟩, starting from the precomputed
+    /// prelude state. Infallible: every failure mode (unbound parameters,
+    /// malformed operands) was surfaced by [`FusedCircuit::bind`].
+    pub fn execute(&self) -> StateVector {
+        let mut sv = self.prefix_state.clone();
+        self.replay(&mut sv);
+        sv
+    }
+
+    /// Applies the bound instructions (prelude *not* included — the prelude
+    /// shortcut only applies to |0…0⟩ starts; use the source circuit for
+    /// arbitrary-state replays of the full program) to an existing state.
+    pub fn execute_into(&self, state: &mut StateVector) -> Result<(), SimError> {
+        if state.num_qubits() != self.num_qubits {
+            return Err(SimError::DimensionMismatch {
+                expected: self.num_qubits,
+                found: state.num_qubits(),
+            });
+        }
+        self.replay(state);
+        Ok(())
+    }
+
+    fn replay(&self, state: &mut StateVector) {
+        for op in &self.ops {
+            match op {
+                BoundOp::Unitary { qubits, matrix } => {
+                    state.apply_unitary_unchecked(qubits, matrix);
+                }
+                BoundOp::Gate(gate) => state
+                    .apply_gate(gate)
+                    .expect("gates validated at bind time"),
+            }
+        }
+    }
+}
+
+impl FusedCircuit {
+    /// Binds `params` into the fused program, resolving every dynamic group
+    /// matrix and raw parametric gate exactly once. See
+    /// [`BoundFusedCircuit`] for when this pays.
+    ///
+    /// # Errors
+    /// Surfaces unbound-parameter and malformed-operand errors immediately
+    /// (instead of at every execution, as the unbound path must).
+    pub fn bind(&self, params: &[f64]) -> Result<BoundFusedCircuit, SimError> {
+        let mut ops = Vec::with_capacity(self.program.len() - self.prefix_len);
+        for op in &self.program[self.prefix_len..] {
+            ops.push(match op {
+                FusedOp::Static { qubits, matrix } => BoundOp::Unitary {
+                    qubits: qubits.clone(),
+                    matrix: matrix.clone(),
+                },
+                FusedOp::Dynamic { qubits, ops } => {
+                    let mut matrix = ZERO_GROUP_MATRIX;
+                    fuse_group_into(qubits, ops, params, &mut matrix)?;
+                    let size = 1usize << qubits.len();
+                    BoundOp::Unitary {
+                        qubits: qubits.clone(),
+                        matrix: matrix[..size * size].to_vec(),
+                    }
+                }
+                FusedOp::Raw(op) => {
+                    let gate = op.bind(params)?;
+                    // Reject malformed operands now, not at replay.
+                    let qubits = gate.qubits();
+                    if let Some(&dup) = qubits
+                        .iter()
+                        .find(|&&q| qubits.iter().filter(|&&o| o == q).count() > 1)
+                    {
+                        return Err(SimError::DuplicateQubit(dup));
+                    }
+                    if let Some(&oob) = qubits.iter().find(|&&q| q >= self.num_qubits()) {
+                        return Err(SimError::QubitOutOfRange {
+                            qubit: oob,
+                            num_qubits: self.num_qubits(),
+                        });
+                    }
+                    BoundOp::Gate(gate)
+                }
+            });
+        }
+        Ok(BoundFusedCircuit {
+            num_qubits: self.num_qubits(),
+            prefix_state: self.prefix_state.clone(),
+            ops,
+        })
     }
 }
 
@@ -727,6 +895,58 @@ mod tests {
         ] {
             assert!(is_fusible(&g), "{} should be fusible", g.name());
         }
+    }
+
+    #[test]
+    fn bound_circuit_matches_fused_execution_bit_for_bit() {
+        let mut c = Circuit::new(3);
+        c.h(0);
+        c.ry_param(1, 0).rz_param(1, 1).ry_param(2, 2);
+        c.cswap(0, 1, 2).h(0);
+        let fused = FusedCircuit::compile(&c);
+        for params in [vec![0.7, -0.2, 1.9], vec![0.0, 3.1, -2.4]] {
+            let bound = fused.bind(&params).unwrap();
+            assert_eq!(bound.num_qubits(), 3);
+            assert!(bound.num_bound_ops() <= fused.num_fused_ops());
+            let direct = fused.execute(&params).unwrap();
+            // Repeated replays are free of rebinding and identical.
+            assert_eq!(bound.execute(), direct);
+            assert_eq!(bound.execute(), direct);
+        }
+    }
+
+    #[test]
+    fn bind_surfaces_errors_eagerly() {
+        let mut c = Circuit::new(1);
+        c.ry_param(0, 3);
+        let fused = FusedCircuit::compile(&c);
+        assert!(matches!(
+            fused.bind(&[0.1]),
+            Err(SimError::UnboundParameter { .. })
+        ));
+        let mut c = Circuit::new(2);
+        c.push(Gate::Swap(1, 1));
+        let fused = FusedCircuit::compile(&c);
+        assert_eq!(fused.bind(&[]).err(), Some(SimError::DuplicateQubit(1)));
+    }
+
+    #[test]
+    fn bound_execute_into_checks_width_and_skips_prelude_state() {
+        let mut c = Circuit::new(2);
+        c.h(0).ry_param(1, 0);
+        let fused = FusedCircuit::compile(&c);
+        let bound = fused.bind(&[1.3]).unwrap();
+        let mut wrong = StateVector::zero_state(3);
+        assert!(matches!(
+            bound.execute_into(&mut wrong),
+            Err(SimError::DimensionMismatch { .. })
+        ));
+        // execute_into replays only the non-prelude remainder, matching the
+        // fused execute_into contract for states that already saw the prelude.
+        let mut sv = StateVector::zero_state(2);
+        sv.apply_gate(&Gate::H(0)).unwrap();
+        bound.execute_into(&mut sv).unwrap();
+        assert_states_close(&sv, &fused.execute(&[1.3]).unwrap(), TOL);
     }
 
     #[test]

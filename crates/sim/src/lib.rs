@@ -22,6 +22,8 @@
 //!   shot-sampled) consumed by the `quclassi` crate,
 //! * [`fusion::FusedCircuit`] — gate fusion: circuits compiled once into
 //!   dense `2^k × 2^k` unitaries (k ≤ 3) and reused across evaluations,
+//!   with [`fusion::BoundFusedCircuit`] for binding one parameter vector in
+//!   ahead of repeated replays,
 //! * [`batch::BatchExecutor`] — parallel batch evaluation over a scoped
 //!   thread pool with deterministic per-job RNG streams (results are
 //!   bit-identical for any thread count).
@@ -42,7 +44,7 @@
 //! assert!((p1 - 0.5).abs() < 1e-12);
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod batch;
@@ -68,7 +70,7 @@ pub mod prelude {
     pub use crate::device::{CouplingMap, DeviceModel};
     pub use crate::error::SimError;
     pub use crate::executor::{Executor, Method};
-    pub use crate::fusion::FusedCircuit;
+    pub use crate::fusion::{BoundFusedCircuit, FusedCircuit};
     pub use crate::gate::Gate;
     pub use crate::linalg::CMatrix;
     pub use crate::noise::{NoiseChannel, NoiseModel, ReadoutError};

@@ -273,6 +273,59 @@ impl StateVector {
         self.apply_unitary1(q, m.as_slice());
     }
 
+    /// Applies an arbitrary 2×2 matrix to qubit `q` of a state whose qubits
+    /// *above* `q` are all still |0⟩, sweeping only the `2^(q+1)` active
+    /// amplitudes instead of the whole register.
+    ///
+    /// This is the product-state preparation kernel: building an unentangled
+    /// state qubit-by-qubit (e.g. a data-register encoding) costs
+    /// `Σ 2^(q+1)` butterfly updates instead of `gates · 2^n`. Each active
+    /// amplitude goes through the exact arithmetic of the full sweep
+    /// ([`StateVector::apply_single_qubit_matrix`]), so nonzero amplitudes
+    /// are bit-identical to full-register application; the only difference
+    /// is that amplitudes in the untouched all-zero region keep their exact
+    /// `+0.0` representation instead of being rewritten as signed zeros.
+    ///
+    /// # Contract
+    /// The caller promises every qubit `> q` is exactly |0⟩ (all amplitudes
+    /// with any higher bit set are zero). Violating it silently computes the
+    /// wrong state — the promise is only debug-asserted.
+    ///
+    /// # Errors
+    /// Returns [`SimError::QubitOutOfRange`] when `q` is outside the
+    /// register.
+    pub fn apply_single_qubit_matrix_active(
+        &mut self,
+        q: usize,
+        m: &CMatrix,
+    ) -> Result<(), SimError> {
+        debug_assert_eq!(m.rows(), 2);
+        if q >= self.num_qubits() {
+            return Err(SimError::QubitOutOfRange {
+                qubit: q,
+                num_qubits: self.num_qubits(),
+            });
+        }
+        let step = 1usize << q;
+        debug_assert!(
+            self.amplitudes[step << 1..]
+                .iter()
+                .all(|a| a.re == 0.0 && a.im == 0.0),
+            "apply_single_qubit_matrix_active: qubits above {q} are not |0⟩"
+        );
+        let m = m.as_slice();
+        let (m00, m01, m10, m11) = (m[0], m[1], m[2], m[3]);
+        // The first (and only active) chunk of the apply_unitary1 sweep.
+        let (zeros, ones) = self.amplitudes[..step << 1].split_at_mut(step);
+        for (r0, r1) in zeros.iter_mut().zip(ones.iter_mut()) {
+            let a0 = *r0;
+            let a1 = *r1;
+            *r0 = m00 * a0 + m01 * a1;
+            *r1 = m10 * a0 + m11 * a1;
+        }
+        Ok(())
+    }
+
     /// Applies an arbitrary 4×4 matrix to two qubits (`q0` = least-significant
     /// operand of the matrix).
     pub fn apply_two_qubit_matrix(&mut self, q0: usize, q1: usize, m: &CMatrix) {
@@ -570,6 +623,38 @@ mod tests {
     use std::f64::consts::PI;
 
     const TOL: f64 = 1e-10;
+
+    #[test]
+    fn active_prefix_application_matches_full_sweep_bit_for_bit() {
+        // Build a 4-qubit product state qubit-by-qubit through the active
+        // kernel and through full-register sweeps: every nonzero amplitude
+        // must agree to the last bit.
+        let angles = [(0.7, -0.4), (2.2, 0.9), (0.1, 1.7), (3.0, -2.1)];
+        let mut fast = StateVector::zero_state(4);
+        let mut full = StateVector::zero_state(4);
+        for (q, &(ry, rz)) in angles.iter().enumerate() {
+            let gry = Gate::Ry(q, ry);
+            let grz = Gate::Rz(q, rz);
+            fast.apply_single_qubit_matrix_active(q, &gry.matrix()).unwrap();
+            fast.apply_single_qubit_matrix_active(q, &grz.matrix()).unwrap();
+            full.apply_gate(&gry).unwrap();
+            full.apply_gate(&grz).unwrap();
+        }
+        for (a, b) in fast.amplitudes().iter().zip(full.amplitudes().iter()) {
+            assert_eq!(a.re.to_bits(), b.re.to_bits());
+            assert_eq!(a.im.to_bits(), b.im.to_bits());
+        }
+    }
+
+    #[test]
+    fn active_prefix_application_rejects_out_of_range_qubits() {
+        let mut sv = StateVector::zero_state(2);
+        let m = Gate::Ry(0, 0.3).matrix();
+        assert!(matches!(
+            sv.apply_single_qubit_matrix_active(2, &m),
+            Err(SimError::QubitOutOfRange { .. })
+        ));
+    }
 
     #[test]
     fn zero_state_is_normalised() {

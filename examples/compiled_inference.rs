@@ -1,0 +1,111 @@
+//! The train → compile → serve pipeline: freeze a trained QuClassi model
+//! into a `CompiledModel` and serve it — batched predictions, top-k,
+//! per-sample confidence, and the encoding-fingerprint LRU cache.
+//!
+//! ```text
+//! cargo run --release -p quclassi-examples --example compiled_inference
+//! ```
+
+use quclassi::prelude::*;
+use quclassi_infer::prelude::*;
+use quclassi_datasets::iris;
+use quclassi_datasets::preprocess::normalize_split;
+use quclassi_examples::percent;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(42);
+
+    // 1. Train a QC-SDE Iris model (the "offline" phase).
+    let dataset = iris::load();
+    let (train_raw, test_raw) = dataset.stratified_split(0.7, &mut rng);
+    let (train, test) = normalize_split(&train_raw, &test_raw);
+    let mut model =
+        QuClassiModel::with_random_parameters(QuClassiConfig::qc_sde(4, 3), &mut rng).unwrap();
+    let trainer = Trainer::new(
+        TrainingConfig {
+            epochs: 15,
+            learning_rate: 0.05,
+            ..Default::default()
+        },
+        FidelityEstimator::analytic(),
+    );
+    trainer
+        .fit(&mut model, &train.features, &train.labels, &mut rng)
+        .expect("training succeeds");
+
+    // 2. Compile: every circuit lowering and class-state preparation
+    //    happens exactly once, here.
+    let start = Instant::now();
+    let compiled = CompiledModel::compile(&model, FidelityEstimator::analytic())
+        .expect("compilation succeeds");
+    println!(
+        "compiled {} ({} classes, {} parameters) in {:?}",
+        model.stack().architecture_name(),
+        model.num_classes(),
+        model.parameter_count(),
+        start.elapsed()
+    );
+
+    // 3. Serve a batch: one call fans samples × classes over the pool
+    //    (QUCLASSI_THREADS, or all cores). Thread count never changes the
+    //    results — only how fast they arrive.
+    let batch = BatchExecutor::from_env(0);
+    let start = Instant::now();
+    let predictions = compiled
+        .predict_many(&test.features, &batch, 0)
+        .expect("batched serving succeeds");
+    println!(
+        "served {} samples on {} thread(s) in {:?}",
+        predictions.len(),
+        batch.threads(),
+        start.elapsed()
+    );
+
+    // 4. Per-sample serving detail: label, confidence, margin, top-k.
+    println!("\nfirst five predictions:");
+    for (p, (x, &y)) in predictions
+        .iter()
+        .zip(test.features.iter().zip(test.labels.iter()))
+        .take(5)
+    {
+        let top = p.top_k(2);
+        println!(
+            "  {:28} -> {} ({}; margin {:.3}; runner-up {} @ {}) truth {}",
+            format!("{x:.2?}"),
+            iris::CLASS_NAMES[p.label],
+            percent(p.confidence()),
+            p.margin(),
+            iris::CLASS_NAMES[top[1].0],
+            percent(top[1].1),
+            iris::CLASS_NAMES[y],
+        );
+    }
+
+    let correct = predictions
+        .iter()
+        .zip(test.labels.iter())
+        .filter(|(p, &y)| p.label == y)
+        .count();
+    println!(
+        "\ntest accuracy: {}",
+        percent(correct as f64 / test.labels.len() as f64)
+    );
+
+    // 5. Repeated traffic hits the encoding-fingerprint LRU cache.
+    for _ in 0..3 {
+        compiled
+            .predict_many(&test.features, &batch, 0)
+            .expect("repeat serving succeeds");
+    }
+    let stats = compiled.cache_stats();
+    println!(
+        "cache after 3 repeat batches: {} entries, {} hits / {} misses ({} hit rate)",
+        stats.entries,
+        stats.hits,
+        stats.misses,
+        percent(stats.hit_rate())
+    );
+}

@@ -7,6 +7,7 @@
 //! ```
 
 use quclassi::prelude::*;
+use quclassi_infer::prelude::*;
 use quclassi_datasets::iris;
 use quclassi_datasets::preprocess::normalize_split;
 use quclassi_examples::percent;
@@ -18,7 +19,6 @@ fn main() {
     let dataset = iris::load();
     let (train_raw, test_raw) = dataset.stratified_split(0.7, &mut rng);
     let (train, test) = normalize_split(&train_raw, &test_raw);
-    let estimator = FidelityEstimator::analytic();
 
     for config in [
         QuClassiConfig::qc_s(4, 3),
@@ -39,10 +39,16 @@ fn main() {
             .fit(&mut model, &train.features, &train.labels, &mut rng)
             .expect("training succeeds");
 
-        let predictions: Vec<usize> = test
-            .features
-            .iter()
-            .map(|x| model.predict(x, &estimator, &mut rng).unwrap())
+        // Freeze the trained model into the compiled serving artifact and
+        // score the whole test split in one batched call (bit-identical to
+        // per-sample `model.predict` under the analytic estimator).
+        let compiled = CompiledModel::compile(&model, FidelityEstimator::analytic())
+            .expect("compilation succeeds");
+        let predictions: Vec<usize> = compiled
+            .predict_many(&test.features, &BatchExecutor::from_env(0), 0)
+            .expect("batched serving succeeds")
+            .into_iter()
+            .map(|p| p.label)
             .collect();
         let cm = ConfusionMatrix::new(&predictions, &test.labels, 3).unwrap();
         println!(

@@ -8,6 +8,7 @@
 
 use quclassi::io::{model_from_string, model_to_string};
 use quclassi::prelude::*;
+use quclassi_infer::prelude::*;
 use quclassi_datasets::iris;
 use quclassi_datasets::preprocess::normalize_split;
 use quclassi_examples::percent;
@@ -41,22 +42,31 @@ fn main() {
     println!("saved trained model to {}", path.display());
     println!("file size: {} bytes", serialized.len());
 
-    // Reload and verify predictions agree exactly.
+    // Reload, compile for serving, and verify predictions agree exactly:
+    // the save → load → compile pipeline is how a trained model ships.
     let restored_text = std::fs::read_to_string(&path).expect("model file read");
     let restored = model_from_string(&restored_text).expect("model parses");
     let estimator = FidelityEstimator::analytic();
+    let compiled = CompiledModel::compile(&restored, estimator.clone())
+        .expect("restored model compiles");
+    let batch = BatchExecutor::from_env(0);
+    let served = compiled
+        .predict_many(&test.features, &batch, 0)
+        .expect("batched serving succeeds");
     let mut mismatches = 0;
-    for x in &test.features {
+    for (x, p) in test.features.iter().zip(served.iter()) {
         let a = model.predict(x, &estimator, &mut rng).unwrap();
-        let b = restored.predict(x, &estimator, &mut rng).unwrap();
-        if a != b {
+        if a != p.label {
             mismatches += 1;
         }
     }
-    let acc = restored
-        .evaluate_accuracy(&test.features, &test.labels, &estimator, &mut rng)
+    let acc = compiled
+        .evaluate_accuracy(&test.features, &test.labels, &batch, 0)
         .unwrap();
-    println!("restored model test accuracy: {}", percent(acc));
-    println!("prediction mismatches after reload: {mismatches}");
-    assert_eq!(mismatches, 0, "reloaded model must predict identically");
+    println!("restored compiled-model test accuracy: {}", percent(acc));
+    println!("prediction mismatches after reload + compile: {mismatches}");
+    assert_eq!(
+        mismatches, 0,
+        "reloaded compiled model must predict identically"
+    );
 }
