@@ -102,7 +102,7 @@ fn bench_serving_paths(c: &mut Criterion) {
             &w,
             |b, w| b.iter(|| black_box(serve_compiled_single(w, &compiled))),
         );
-        let batch = BatchExecutor::from_env(0);
+        let batch = BatchExecutor::from_env(0).expect("invalid QUCLASSI_THREADS");
         group.bench_with_input(
             BenchmarkId::new("compiled_predict_many", dims),
             &w,
@@ -184,7 +184,7 @@ fn emit_entry(
 
 fn emit_bench_json(smoke: bool) {
     let reps = if smoke { 1 } else { 30 };
-    let batch = BatchExecutor::from_env(0);
+    let batch = BatchExecutor::from_env(0).expect("invalid QUCLASSI_THREADS");
     let mut entries = Vec::new();
     for (name, dims, classes) in [("iris_4_features", 4usize, 3usize), ("mnist_16_features", 16, 2)] {
         let w = workload(name, dims, classes, 8);

@@ -1,0 +1,302 @@
+//! The serving-runtime benchmark: a closed-loop load generator driving
+//! `quclassi-serve` across an offered-load sweep, comparing **per-request
+//! serving** (`max_batch = 1` — what a naive server does) against
+//! **dynamic micro-batching** (the scheduler drains whatever accumulated
+//! while the previous batch was being computed).
+//!
+//! Each cell of the sweep runs N closed-loop producer threads (every
+//! producer fires its next request the moment the previous one is
+//! answered) for a fixed request count against one runtime, then reads
+//! throughput and p50/p99 end-to-end latency from the runtime's own
+//! histogram. Before any timing, every workload asserts that served
+//! responses are **bit-identical** to direct `CompiledModel::predict_one`
+//! calls — serving must never change an answer.
+//!
+//! Results go to `BENCH_serving_latency.json` at the workspace root;
+//! `--test` runs everything once, tiny and untimed, without touching the
+//! committed numbers.
+
+use criterion::{criterion_group, BenchmarkId, Criterion};
+use quclassi::model::{QuClassiConfig, QuClassiModel};
+use quclassi::swap_test::FidelityEstimator;
+use quclassi_infer::CompiledModel;
+use quclassi_serve::{ServeConfig, ServeRuntime};
+use quclassi_sim::batch::BatchExecutor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+struct Workload {
+    name: &'static str,
+    total_qubits: usize,
+    model: QuClassiModel,
+    /// Distinct probe samples, cycled by every producer.
+    pool: Vec<Vec<f64>>,
+}
+
+fn workload(name: &'static str, dims: usize, classes: usize) -> Workload {
+    let mut rng = StdRng::seed_from_u64(dims as u64);
+    let config = QuClassiConfig::qc_s(dims, classes);
+    let total_qubits = config.total_qubits();
+    let model = QuClassiModel::with_random_parameters(config, &mut rng).unwrap();
+    let pool: Vec<Vec<f64>> = (0..16)
+        .map(|s| {
+            (0..dims)
+                .map(|i| (0.05 + 0.09 * ((s * dims + i) % 11) as f64).min(0.95))
+                .collect()
+        })
+        .collect();
+    Workload {
+        name,
+        total_qubits,
+        model,
+        pool,
+    }
+}
+
+/// Compiles the workload's model for serving with the fingerprint cache
+/// off, so the load generator measures honest evaluation throughput
+/// rather than cache hits.
+fn artifact(w: &Workload) -> CompiledModel {
+    CompiledModel::compile(&w.model, FidelityEstimator::analytic())
+        .unwrap()
+        .with_cache_capacity(0)
+}
+
+fn serve_config(micro_batched: bool) -> ServeConfig {
+    ServeConfig {
+        // Per-request baseline: every flush carries exactly one request.
+        // Micro-batched: drain whatever accumulated (zero window — the
+        // batch forms naturally while the previous flush computes, so no
+        // idle wait is ever added).
+        max_batch: if micro_batched { 64 } else { 1 },
+        batch_window: Duration::ZERO,
+        queue_capacity: 4096,
+        base_seed: 0,
+    }
+}
+
+struct CellResult {
+    throughput_rps: f64,
+    p50_us: f64,
+    p99_us: f64,
+    mean_batch_occupancy: f64,
+}
+
+/// One closed-loop measurement: `producers` threads, each issuing
+/// `requests_per_producer` blocking predictions back to back.
+fn run_cell(
+    w: &Workload,
+    micro_batched: bool,
+    producers: usize,
+    requests_per_producer: usize,
+) -> CellResult {
+    let runtime = ServeRuntime::start(
+        serve_config(micro_batched),
+        BatchExecutor::from_env(0).expect("invalid QUCLASSI_THREADS"),
+    )
+    .unwrap();
+    runtime.deploy("latency", artifact(w)).unwrap();
+    let pool = Arc::new(w.pool.clone());
+
+    let started = Instant::now();
+    let handles: Vec<_> = (0..producers)
+        .map(|producer| {
+            let client = runtime.client();
+            let pool = Arc::clone(&pool);
+            std::thread::spawn(move || {
+                let mut acc = 0usize;
+                for i in 0..requests_per_producer {
+                    let x = &pool[(producer * 5 + i) % pool.len()];
+                    acc += client.predict("latency", x).map(|r| r.prediction.label).unwrap_or_else(
+                        |_| unreachable!("closed-loop producers never saturate a 4096 queue"),
+                    );
+                }
+                acc
+            })
+        })
+        .collect();
+    let mut acc = 0usize;
+    for handle in handles {
+        acc += handle.join().unwrap();
+    }
+    black_box(acc);
+    let elapsed = started.elapsed();
+    let metrics = runtime.shutdown();
+    let total = (producers * requests_per_producer) as f64;
+    CellResult {
+        throughput_rps: total / elapsed.as_secs_f64(),
+        p50_us: metrics.latency.p50_us(),
+        p99_us: metrics.latency.p99_us(),
+        mean_batch_occupancy: metrics.mean_batch_occupancy(),
+    }
+}
+
+/// Sustained capability of a cell: the best of `reps` closed-loop runs.
+/// Each run is short (milliseconds), so a single OS scheduling hiccup on a
+/// small container can halve one measurement; the max over repetitions is
+/// what the configuration can sustain.
+fn measure_cell(
+    w: &Workload,
+    micro_batched: bool,
+    producers: usize,
+    requests_per_producer: usize,
+    reps: usize,
+) -> CellResult {
+    let mut best: Option<CellResult> = None;
+    for _ in 0..reps {
+        let r = run_cell(w, micro_batched, producers, requests_per_producer);
+        best = match best {
+            Some(b) if b.throughput_rps >= r.throughput_rps => Some(b),
+            _ => Some(r),
+        };
+    }
+    best.expect("reps >= 1")
+}
+
+/// Serving must not change answers: responses through the runtime are
+/// bit-identical to direct compiled evaluation, for both serving modes.
+fn assert_serving_consistency(w: &Workload) {
+    let direct_artifact = artifact(w);
+    let mut rng = StdRng::seed_from_u64(0);
+    let direct: Vec<_> = w
+        .pool
+        .iter()
+        .map(|x| direct_artifact.predict_one(x, &mut rng).unwrap())
+        .collect();
+    for micro_batched in [false, true] {
+        let runtime = ServeRuntime::start(
+            serve_config(micro_batched),
+            BatchExecutor::from_env(0).expect("invalid QUCLASSI_THREADS"),
+        )
+        .unwrap();
+        runtime.deploy("consistency", artifact(w)).unwrap();
+        let client = runtime.client();
+        for (x, want) in w.pool.iter().zip(direct.iter()) {
+            let got = client.predict("consistency", x).unwrap();
+            assert_eq!(
+                &got.prediction, want,
+                "served response diverged (micro_batched={micro_batched})"
+            );
+        }
+        runtime.shutdown();
+    }
+}
+
+fn bench_serving_roundtrip(c: &mut Criterion) {
+    let mut group = c.benchmark_group("serving_latency");
+    group.sample_size(10);
+    for (dims, classes) in [(4usize, 3usize), (16, 2)] {
+        let w = workload("roundtrip", dims, classes);
+        let runtime = ServeRuntime::start(
+            serve_config(true),
+            BatchExecutor::from_env(0).expect("invalid QUCLASSI_THREADS"),
+        )
+        .unwrap();
+        runtime.deploy("roundtrip", artifact(&w)).unwrap();
+        let client = runtime.client();
+        group.bench_with_input(
+            BenchmarkId::new("predict_roundtrip", dims),
+            &w,
+            |b, w| {
+                let mut i = 0usize;
+                b.iter(|| {
+                    i = (i + 1) % w.pool.len();
+                    black_box(client.predict("roundtrip", &w.pool[i]).unwrap().prediction.label)
+                })
+            },
+        );
+        runtime.shutdown();
+    }
+    group.finish();
+}
+
+fn emit_cell_json(producers: usize, requests: usize, label: &str, r: &CellResult) -> String {
+    format!(
+        concat!(
+            "        {{\"mode\": \"{}\", \"producers\": {}, \"requests\": {}, ",
+            "\"throughput_rps\": {:.0}, \"p50_us\": {:.1}, \"p99_us\": {:.1}, ",
+            "\"mean_batch_occupancy\": {:.2}}}"
+        ),
+        label, producers, requests, r.throughput_rps, r.p50_us, r.p99_us, r.mean_batch_occupancy
+    )
+}
+
+fn emit_bench_json(smoke: bool) {
+    let requests_per_producer = if smoke { 5 } else { 400 };
+    let reps = if smoke { 1 } else { 3 };
+    // The sweep starts at two producers: one closed-loop producer can never
+    // have a second request in flight, so both modes degenerate to
+    // identical per-request serving and the comparison measures nothing.
+    let producer_sweep: &[usize] = if smoke { &[2] } else { &[2, 4, 8] };
+    let executor = BatchExecutor::from_env(0).expect("invalid QUCLASSI_THREADS");
+    let mut workload_entries = Vec::new();
+    for (name, dims, classes) in [("iris_4_features", 4usize, 3usize), ("mnist_16_features", 16, 2)]
+    {
+        let mut w = workload("latency", dims, classes);
+        w.name = "latency";
+        assert_serving_consistency(&Workload {
+            name: "consistency",
+            total_qubits: w.total_qubits,
+            model: w.model.clone(),
+            pool: w.pool.clone(),
+        });
+        let mut cells = Vec::new();
+        let mut max_load_gain = 0.0f64;
+        for &producers in producer_sweep {
+            // Warm-up pass so thread spawn and first-touch costs are not
+            // attributed to either mode.
+            run_cell(&w, true, producers, requests_per_producer / 5 + 1);
+            run_cell(&w, false, producers, requests_per_producer / 5 + 1);
+            let baseline = measure_cell(&w, false, producers, requests_per_producer, reps);
+            let batched = measure_cell(&w, true, producers, requests_per_producer, reps);
+            max_load_gain = batched.throughput_rps / baseline.throughput_rps;
+            let total = producers * requests_per_producer;
+            cells.push(emit_cell_json(producers, total, "per_request", &baseline));
+            cells.push(emit_cell_json(producers, total, "micro_batched", &batched));
+        }
+        workload_entries.push(format!(
+            concat!(
+                "    {{\"workload\": \"{}\", \"total_qubits\": {}, \"method\": \"analytic\", ",
+                "\"threads\": {}, \"throughput_gain_at_max_load\": {:.2},\n",
+                "      \"sweep\": [\n{}\n      ]}}"
+            ),
+            name,
+            w.total_qubits,
+            executor.threads(),
+            max_load_gain,
+            cells.join(",\n")
+        ));
+    }
+    let json = format!(
+        "{{\n  \"bench\": \"serving_latency\",\n  \"smoke\": {},\n  \"requests_per_producer\": {},\n  \"workloads\": [\n{}\n  ]\n}}\n",
+        smoke,
+        requests_per_producer,
+        workload_entries.join(",\n")
+    );
+    if smoke {
+        // Smoke runs exercise the full load-generator path but must not
+        // clobber the committed perf-trajectory numbers with tiny-run noise.
+        println!("smoke mode: skipping BENCH_serving_latency.json update");
+    } else {
+        let path = concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../BENCH_serving_latency.json"
+        );
+        match std::fs::write(path, &json) {
+            Ok(()) => println!("wrote {path}"),
+            Err(e) => eprintln!("could not write {path}: {e}"),
+        }
+    }
+    print!("{json}");
+}
+
+criterion_group!(benches, bench_serving_roundtrip);
+
+fn main() {
+    benches();
+    let smoke = std::env::args().any(|a| a == "--test");
+    emit_bench_json(smoke);
+}

@@ -38,7 +38,7 @@ fn quclassi_accuracy(task: &PreparedTask, epochs: usize, rng: &mut StdRng) -> (f
         .evaluate_accuracy(
             &task.test.features,
             &task.test.labels,
-            &BatchExecutor::from_env(0),
+            &BatchExecutor::from_env(0).expect("invalid QUCLASSI_THREADS"),
             0,
         )
         .expect("evaluation succeeds");

@@ -39,7 +39,7 @@ fn train_quclassi(
         .evaluate_accuracy(
             &task.test.features,
             &task.test.labels,
-            &BatchExecutor::from_env(0),
+            &BatchExecutor::from_env(0).expect("invalid QUCLASSI_THREADS"),
             0,
         )
         .expect("evaluation succeeds");

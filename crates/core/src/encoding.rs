@@ -143,6 +143,35 @@ impl DataEncoder {
         Ok(x.iter().map(|&v| feature_to_angle(v)).collect())
     }
 
+    /// Number of rotation angles [`DataEncoder::encoding_angles`] produces:
+    /// one per feature, for both strategies.
+    pub fn num_angles(&self) -> usize {
+        self.dim
+    }
+
+    /// Validates a *precomputed* angle vector (count and finiteness) without
+    /// touching a state. This is the admission-time check a serving frontend
+    /// runs before queueing a request whose angles were computed once at the
+    /// edge: by the time the batch scheduler binds them, they are known
+    /// good, so a malformed request can never poison a whole micro-batch.
+    pub fn validate_angles(&self, angles: &[f64]) -> Result<(), QuClassiError> {
+        if angles.len() != self.dim {
+            return Err(QuClassiError::InvalidData(format!(
+                "expected {} encoding angles, got {}",
+                self.dim,
+                angles.len()
+            )));
+        }
+        for (i, &theta) in angles.iter().enumerate() {
+            if !theta.is_finite() {
+                return Err(QuClassiError::InvalidData(format!(
+                    "encoding angle {i} is not finite ({theta})"
+                )));
+            }
+        }
+        Ok(())
+    }
+
     /// Appends this encoder's gates as *parametric* operations reading
     /// symbolic parameters `param_offset ..` (one per feature, in
     /// [`DataEncoder::encoding_angles`] order) and acting on qubits

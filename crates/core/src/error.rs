@@ -23,6 +23,23 @@ pub enum QuClassiError {
     Parse(String),
 }
 
+impl QuClassiError {
+    /// Whether the failure is attributable to the *request* (malformed or
+    /// out-of-range input data, a label outside the configured classes)
+    /// rather than to the model or the system serving it.
+    ///
+    /// Serving frontends use this split to map failures onto their wire
+    /// taxonomy: client errors are reported back to the caller as rejected
+    /// requests (retrying identical input cannot succeed), everything else
+    /// is surfaced as an internal serving failure.
+    pub fn is_client_error(&self) -> bool {
+        matches!(
+            self,
+            QuClassiError::InvalidData(_) | QuClassiError::InvalidLabel { .. }
+        )
+    }
+}
+
 impl fmt::Display for QuClassiError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -77,6 +94,19 @@ mod tests {
         for (e, needle) in cases {
             assert!(e.to_string().contains(needle));
         }
+    }
+
+    #[test]
+    fn client_errors_are_distinguished_from_system_errors() {
+        assert!(QuClassiError::InvalidData("bad".into()).is_client_error());
+        assert!(QuClassiError::InvalidLabel {
+            label: 9,
+            num_classes: 2
+        }
+        .is_client_error());
+        assert!(!QuClassiError::InvalidConfig("x".into()).is_client_error());
+        assert!(!QuClassiError::Sim(SimError::DuplicateQubit(0)).is_client_error());
+        assert!(!QuClassiError::Parse("x".into()).is_client_error());
     }
 
     #[test]

@@ -180,4 +180,72 @@ mod tests {
         assert_eq!(c.stats().entries, 1);
         assert_eq!(c.get(&[1]), Some(vec![0.9]));
     }
+
+    #[test]
+    fn capacity_one_keeps_exactly_the_most_recent_insertion() {
+        let mut c = EncodingCache::new(1);
+        c.insert(vec![1], vec![0.1]);
+        assert_eq!(c.get(&[1]), Some(vec![0.1]));
+        // Inserting a second key evicts the first (the only possible LRU
+        // victim at capacity 1)…
+        c.insert(vec![2], vec![0.2]);
+        assert_eq!(c.stats().entries, 1);
+        assert_eq!(c.get(&[1]), None);
+        assert_eq!(c.get(&[2]), Some(vec![0.2]));
+        // …and the order keeps rotating: every new key displaces the last.
+        c.insert(vec![3], vec![0.3]);
+        assert_eq!(c.get(&[2]), None);
+        assert_eq!(c.get(&[3]), Some(vec![0.3]));
+        assert_eq!(c.stats().entries, 1);
+    }
+
+    #[test]
+    fn reinserting_at_capacity_does_not_evict_another_entry() {
+        // A duplicate-key insert is a refresh, not a new resident: with the
+        // map full, re-inserting an existing key must leave every other
+        // entry alone.
+        let mut c = EncodingCache::new(2);
+        c.insert(vec![1], vec![0.1]);
+        c.insert(vec![2], vec![0.2]);
+        c.insert(vec![1], vec![0.15]);
+        assert_eq!(c.stats().entries, 2);
+        assert_eq!(c.get(&[2]), Some(vec![0.2]), "untouched entry survives");
+        assert_eq!(c.get(&[1]), Some(vec![0.15]), "refresh updated the value");
+    }
+
+    #[test]
+    fn reinsertion_refreshes_recency_for_eviction_purposes() {
+        let mut c = EncodingCache::new(2);
+        c.insert(vec![1], vec![0.1]);
+        c.insert(vec![2], vec![0.2]);
+        // Re-inserting key 1 makes key 2 the LRU victim.
+        c.insert(vec![1], vec![0.11]);
+        c.insert(vec![3], vec![0.3]);
+        assert_eq!(c.get(&[2]), None, "stale entry should have been evicted");
+        assert_eq!(c.get(&[1]), Some(vec![0.11]));
+        assert_eq!(c.get(&[3]), Some(vec![0.3]));
+    }
+
+    #[test]
+    fn accounting_survives_eviction_churn() {
+        // hits/misses are lookup counters, not residency counters: eviction
+        // churn must not rewrite history, and `entries` tracks only the
+        // current residents.
+        let mut c = EncodingCache::new(2);
+        for k in 0..6u64 {
+            assert_eq!(c.get(&[k]), None); // 6 misses
+            c.insert(vec![k], vec![k as f64]);
+        }
+        assert_eq!(c.stats().entries, 2);
+        assert_eq!(c.stats().misses, 6);
+        assert_eq!(c.stats().hits, 0);
+        // The two most recent keys are resident; older ones miss again.
+        assert!(c.get(&[5]).is_some());
+        assert!(c.get(&[4]).is_some());
+        assert!(c.get(&[0]).is_none());
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses), (2, 7));
+        assert!((s.hit_rate() - 2.0 / 9.0).abs() < 1e-12);
+        assert_eq!(s.capacity, 2);
+    }
 }

@@ -350,7 +350,35 @@ impl CompiledModel {
             .iter()
             .map(|x| self.encoder.encoding_angles(x))
             .collect::<Result<_, _>>()?;
+        self.predict_many_from_angles(angles, batch, base_seed)
+    }
 
+    /// Like [`CompiledModel::predict_many`], but for samples whose encoding
+    /// angles were already computed (via
+    /// [`quclassi::encoding::DataEncoder::encoding_angles`]).
+    ///
+    /// This is the entry point of a serving runtime that validates and
+    /// encodes each request once at admission time and later drains queued
+    /// requests — now just angle vectors — into one batched fan-out: the
+    /// flush must not repeat (or re-fail) per-request work. Every angle
+    /// vector is still validated (count, finiteness) before anything is
+    /// evaluated, so a malformed entry rejects the call instead of
+    /// poisoning the batch.
+    ///
+    /// Semantics (dedup, caching, determinism) are exactly those of
+    /// [`CompiledModel::predict_many`]: for deterministic estimators the
+    /// result for each angle vector is bit-identical to a sequential
+    /// single-sample evaluation, for any thread count and any batch
+    /// composition.
+    pub fn predict_many_from_angles(
+        &self,
+        angles: Vec<Vec<f64>>,
+        batch: &BatchExecutor,
+        base_seed: u64,
+    ) -> Result<Vec<Prediction>, QuClassiError> {
+        for a in &angles {
+            self.encoder.validate_angles(a)?;
+        }
         if self.estimator.is_stochastic() {
             // No dedup: each duplicate keeps its own sample draw, matching
             // sequential serving semantics.
@@ -363,7 +391,7 @@ impl CompiledModel {
         // batch, so thread count cannot perturb it), evaluate once each.
         let keys: Vec<Vec<u64>> = angles.iter().map(|a| fingerprint(a)).collect();
         let cache_enabled = self.cache_enabled();
-        let mut resolved: Vec<Option<Vec<f64>>> = vec![None; xs.len()];
+        let mut resolved: Vec<Option<Vec<f64>>> = vec![None; angles.len()];
         if cache_enabled {
             let mut cache = self.lock_cache();
             for (slot, key) in resolved.iter_mut().zip(keys.iter()) {
@@ -373,7 +401,7 @@ impl CompiledModel {
         let mut miss_index: HashMap<&[u64], usize> = HashMap::new();
         let mut miss_angles: Vec<Vec<f64>> = Vec::new();
         let mut miss_keys: Vec<Vec<u64>> = Vec::new();
-        let mut sample_to_miss: Vec<Option<usize>> = vec![None; xs.len()];
+        let mut sample_to_miss: Vec<Option<usize>> = vec![None; angles.len()];
         for (i, key) in keys.iter().enumerate() {
             if resolved[i].is_some() {
                 continue;
@@ -606,6 +634,45 @@ mod tests {
             .unwrap();
         assert_eq!(again, preds);
         assert_eq!(compiled.cache_stats().hits, 4);
+    }
+
+    #[test]
+    fn predict_many_from_angles_matches_predict_many() {
+        let model = trained_model(11);
+        let compiled = CompiledModel::compile(&model, FidelityEstimator::analytic()).unwrap();
+        let xs = samples();
+        let batch = BatchExecutor::single_threaded(0);
+        let via_features = compiled.predict_many(&xs, &batch, 0).unwrap();
+        // A fresh artifact so the second run cannot be answered from the
+        // first run's cache.
+        let fresh = CompiledModel::compile(&model, FidelityEstimator::analytic()).unwrap();
+        let angles: Vec<Vec<f64>> = xs
+            .iter()
+            .map(|x| fresh.encoder().encoding_angles(x).unwrap())
+            .collect();
+        let via_angles = fresh.predict_many_from_angles(angles, &batch, 0).unwrap();
+        assert_eq!(via_angles, via_features);
+    }
+
+    #[test]
+    fn predict_many_from_angles_rejects_malformed_entries() {
+        let model = trained_model(12);
+        let compiled = CompiledModel::compile(&model, FidelityEstimator::analytic()).unwrap();
+        let batch = BatchExecutor::single_threaded(0);
+        let good = compiled.encoder().encoding_angles(&[0.1; 4]).unwrap();
+        // Wrong angle count.
+        assert!(compiled
+            .predict_many_from_angles(vec![good.clone(), vec![0.2; 3]], &batch, 0)
+            .is_err());
+        // Non-finite angle.
+        assert!(compiled
+            .predict_many_from_angles(vec![vec![0.1, f64::NAN, 0.2, 0.3]], &batch, 0)
+            .is_err());
+        // Rejection happens before evaluation: nothing was cached.
+        assert_eq!(compiled.cache_stats().entries, 0);
+        assert!(compiled
+            .predict_many_from_angles(vec![good], &batch, 0)
+            .is_ok());
     }
 
     #[test]

@@ -62,7 +62,7 @@
 //!
 //! // …and serve batches without ever re-lowering a circuit.
 //! let predictions = compiled
-//!     .predict_many(&features, &BatchExecutor::from_env(0), 0)
+//!     .predict_many(&features, &BatchExecutor::from_env(0).unwrap(), 0)
 //!     .unwrap();
 //! assert_eq!(predictions.len(), 2);
 //! for (p, x) in predictions.iter().zip(features.iter()) {

@@ -1,0 +1,167 @@
+//! The serve-side error taxonomy.
+//!
+//! Every failure a request can hit between admission and reply has a
+//! distinct variant, because the three audiences of an error need three
+//! different things: the *caller* must know whether to fix the request
+//! ([`ServeError::Model`] with a client error), retry later
+//! ([`ServeError::Saturated`]), or give up ([`ServeError::ShutDown`]); the
+//! *wire layer* maps variants onto stable `kind` strings so remote clients
+//! can branch without parsing prose; and the *operator* gets messages that
+//! name the knob or model involved.
+
+use quclassi::error::QuClassiError;
+use std::fmt;
+
+/// Errors produced by the serving runtime, its registry, and its wire
+/// protocol.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ServeError {
+    /// The bounded request queue is full: admission control rejected the
+    /// request instead of letting it wait unboundedly. This is the
+    /// backpressure signal — callers should slow down and retry.
+    Saturated {
+        /// Queue depth observed at rejection time.
+        depth: usize,
+        /// The configured queue capacity.
+        capacity: usize,
+    },
+    /// The runtime is shutting down (or has shut down) and admits no new
+    /// requests. Already-admitted requests are still drained and answered.
+    ShutDown,
+    /// No model with this name is deployed in the registry.
+    UnknownModel(String),
+    /// A runtime configuration value (environment knob, config field) was
+    /// invalid. Rejected at startup, never silently defaulted.
+    InvalidConfig(String),
+    /// The model layer failed — either at admission (input validation) or
+    /// during batch evaluation. Use [`QuClassiError::is_client_error`] to
+    /// tell a bad request from an internal failure.
+    Model(QuClassiError),
+    /// A wire-protocol frame or message was malformed (bad length prefix,
+    /// invalid JSON, missing fields, unknown op).
+    Protocol(String),
+    /// An I/O error on the wire (bind, accept, read, write).
+    Io(String),
+}
+
+impl ServeError {
+    /// A stable, machine-readable discriminator for the wire protocol.
+    ///
+    /// Remote clients branch on this string (`"saturated"` → back off and
+    /// retry, `"bad_request"` → fix the input, …) instead of parsing the
+    /// human-readable message.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ServeError::Saturated { .. } => "saturated",
+            ServeError::ShutDown => "shutdown",
+            ServeError::UnknownModel(_) => "unknown_model",
+            ServeError::InvalidConfig(_) => "invalid_config",
+            ServeError::Model(e) if e.is_client_error() => "bad_request",
+            ServeError::Model(_) => "model_error",
+            ServeError::Protocol(_) => "protocol",
+            ServeError::Io(_) => "io",
+        }
+    }
+
+    /// Whether retrying the *identical* request later can succeed.
+    ///
+    /// True for transient conditions (saturation); false for requests that
+    /// are wrong in themselves (unknown model, invalid input, protocol
+    /// violations) and for shutdown.
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, ServeError::Saturated { .. })
+    }
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Saturated { depth, capacity } => write!(
+                f,
+                "request queue saturated ({depth}/{capacity}); back off and retry"
+            ),
+            ServeError::ShutDown => write!(f, "serving runtime is shut down"),
+            ServeError::UnknownModel(name) => write!(f, "no model named '{name}' is deployed"),
+            ServeError::InvalidConfig(msg) => write!(f, "invalid serve configuration: {msg}"),
+            ServeError::Model(e) => write!(f, "model error: {e}"),
+            ServeError::Protocol(msg) => write!(f, "protocol error: {msg}"),
+            ServeError::Io(msg) => write!(f, "io error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Model(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<QuClassiError> for ServeError {
+    fn from(e: QuClassiError) -> Self {
+        ServeError::Model(e)
+    }
+}
+
+impl From<std::io::Error> for ServeError {
+    fn from(e: std::io::Error) -> Self {
+        ServeError::Io(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_are_stable_and_distinct_per_audience() {
+        let cases: Vec<(ServeError, &str)> = vec![
+            (
+                ServeError::Saturated {
+                    depth: 8,
+                    capacity: 8,
+                },
+                "saturated",
+            ),
+            (ServeError::ShutDown, "shutdown"),
+            (ServeError::UnknownModel("m".into()), "unknown_model"),
+            (ServeError::InvalidConfig("x".into()), "invalid_config"),
+            (
+                ServeError::Model(QuClassiError::InvalidData("nan".into())),
+                "bad_request",
+            ),
+            (
+                ServeError::Model(QuClassiError::InvalidConfig("c".into())),
+                "model_error",
+            ),
+            (ServeError::Protocol("junk".into()), "protocol"),
+            (ServeError::Io("eof".into()), "io"),
+        ];
+        for (err, kind) in cases {
+            assert_eq!(err.kind(), kind);
+            assert!(!err.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn only_saturation_is_retryable() {
+        assert!(ServeError::Saturated {
+            depth: 1,
+            capacity: 1
+        }
+        .is_retryable());
+        assert!(!ServeError::ShutDown.is_retryable());
+        assert!(!ServeError::UnknownModel("m".into()).is_retryable());
+        assert!(!ServeError::Model(QuClassiError::InvalidData("x".into())).is_retryable());
+    }
+
+    #[test]
+    fn model_errors_expose_their_source() {
+        use std::error::Error;
+        let e = ServeError::from(QuClassiError::InvalidData("bad".into()));
+        assert!(e.source().is_some());
+        assert!(ServeError::ShutDown.source().is_none());
+    }
+}

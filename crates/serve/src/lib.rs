@@ -1,0 +1,95 @@
+//! # quclassi-serve
+//!
+//! The serving runtime for compiled QuClassi models: the layer that turns
+//! the immutable [`quclassi_infer::CompiledModel`] artifact into a system
+//! that accepts concurrent requests, batches them, and answers under load.
+//!
+//! The QuClassi deployment regime (Stein et al., MLSys 2022) is
+//! read-heavy: one trained model, millions of cheap fidelity-based
+//! queries. This crate supplies the missing runtime between "an artifact
+//! that can score a batch" and "a server":
+//!
+//! * **Admission control & backpressure** — a bounded request queue that
+//!   rejects (with a retryable, explicit error) instead of buffering
+//!   without bound when the offered load exceeds capacity.
+//! * **Dynamic micro-batching** — a scheduler that drains queued requests
+//!   into [`quclassi_infer::CompiledModel::predict_many_from_angles`]
+//!   fan-outs over a shared [`quclassi_sim::batch::BatchExecutor`],
+//!   flushing on a batch-size target or a deadline window
+//!   (`QUCLASSI_MAX_BATCH` / `QUCLASSI_BATCH_WINDOW_US`).
+//! * **Multi-model registry** — named models with versioned, zero-downtime
+//!   hot-swap (load → warm → atomic switch → drain old) and per-model
+//!   stats.
+//! * **Metrics** — lock-free p50/p90/p99 latency histograms, queue depth,
+//!   batch occupancy, throughput, and per-model cache hit rates.
+//! * **Two frontends** — the in-process [`Client`] handle (primary,
+//!   test-friendly), and a minimal length-prefixed-JSON TCP protocol
+//!   ([`WireServer`] / [`WireClient`]) with graceful shutdown and no
+//!   dependencies.
+//!
+//! ## Determinism
+//!
+//! Serving never changes answers: for deterministic estimators, a
+//! response is bit-identical to calling
+//! [`quclassi_infer::CompiledModel::predict_one`] directly on the same
+//! artifact — regardless of batch window, batch size, thread count, or
+//! how concurrent requests interleave (pinned by the `serving` stress
+//! suite in the workspace `tests` crate).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use quclassi::prelude::*;
+//! use quclassi_infer::CompiledModel;
+//! use quclassi_serve::prelude::*;
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//! let model =
+//!     QuClassiModel::with_random_parameters(QuClassiConfig::qc_s(4, 2), &mut rng).unwrap();
+//! let compiled = CompiledModel::compile(&model, FidelityEstimator::analytic()).unwrap();
+//!
+//! let runtime = ServeRuntime::start(
+//!     ServeConfig::default(),
+//!     BatchExecutor::single_threaded(0),
+//! )
+//! .unwrap();
+//! runtime.deploy("quickstart", compiled).unwrap();
+//!
+//! let client = runtime.client();
+//! let reply = client.predict("quickstart", &[0.2, 0.8, 0.5, 0.1]).unwrap();
+//! assert_eq!((reply.model.as_str(), reply.version), ("quickstart", 1));
+//!
+//! let metrics = runtime.shutdown();
+//! assert_eq!(metrics.completed, 1);
+//! ```
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod error;
+pub mod json;
+pub mod metrics;
+mod queue;
+pub mod registry;
+pub mod runtime;
+pub mod wire;
+
+pub use error::ServeError;
+pub use metrics::{FlushReason, HistogramSnapshot, LatencyHistogram, ModelStatsSnapshot};
+pub use registry::{ModelEntry, ModelRegistry};
+pub use runtime::{
+    Client, MetricsSnapshot, ModelMetrics, PendingPrediction, ServeConfig, ServeResponse,
+    ServeRuntime,
+};
+pub use wire::{WireClient, WirePrediction, WireServer};
+
+/// Re-exports of the most commonly used serving types.
+pub mod prelude {
+    pub use crate::error::ServeError;
+    pub use crate::runtime::{
+        Client, MetricsSnapshot, ServeConfig, ServeResponse, ServeRuntime,
+    };
+    pub use crate::wire::{WireClient, WireServer};
+    pub use quclassi_sim::batch::BatchExecutor;
+}

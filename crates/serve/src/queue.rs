@@ -1,0 +1,279 @@
+//! The bounded request queue: admission control at the front, micro-batch
+//! draining at the back.
+//!
+//! The queue is the single coordination point between any number of
+//! producer threads (client handles) and the one scheduler thread. Its two
+//! defining behaviours:
+//!
+//! * **Backpressure, not buffering.** [`BoundedQueue::try_push`] rejects
+//!   immediately when the queue is at capacity. An unbounded queue converts
+//!   overload into unbounded latency and memory; a bounded one converts it
+//!   into an explicit, retryable [`ServeError::Saturated`] signal at the
+//!   edge, while admitted requests keep a predictable worst-case wait.
+//! * **Batch-at-once draining.** [`BoundedQueue::pop_batch`] blocks until at
+//!   least one item is queued, then keeps collecting until either the batch
+//!   size target is met or the batching window expires, and hands the whole
+//!   run to the scheduler in arrival order. A zero window means "drain
+//!   whatever is there" — natural batching that never idles: under load the
+//!   batch is whatever accumulated while the previous one was being
+//!   computed.
+//!
+//! Closing the queue ([`BoundedQueue::close`]) makes every subsequent push
+//! fail with [`ServeError::ShutDown`] while `pop_batch` continues to return
+//! the already-admitted remainder (flushing immediately, without waiting
+//! out the window) until the queue is empty — which is what makes graceful
+//! shutdown lossless.
+
+use crate::error::ServeError;
+use crate::metrics::FlushReason;
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+struct QueueState<T> {
+    items: VecDeque<T>,
+    closed: bool,
+    peak_depth: usize,
+}
+
+/// A bounded MPSC queue with admission control and batched draining.
+pub(crate) struct BoundedQueue<T> {
+    state: Mutex<QueueState<T>>,
+    not_empty: Condvar,
+    capacity: usize,
+}
+
+impl<T> BoundedQueue<T> {
+    /// Creates a queue admitting at most `capacity` in-flight items.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero (validated upstream by `ServeConfig`).
+    pub(crate) fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "queue capacity must be at least 1");
+        BoundedQueue {
+            state: Mutex::new(QueueState {
+                items: VecDeque::new(),
+                closed: false,
+                peak_depth: 0,
+            }),
+            not_empty: Condvar::new(),
+            capacity,
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, QueueState<T>> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// The configured capacity.
+    pub(crate) fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current number of queued items.
+    pub(crate) fn depth(&self) -> usize {
+        self.lock().items.len()
+    }
+
+    /// High-water mark of the queue depth since construction.
+    pub(crate) fn peak_depth(&self) -> usize {
+        self.lock().peak_depth
+    }
+
+    /// Admits `item`, or rejects it when the queue is full (backpressure)
+    /// or closed (shutdown). Never blocks.
+    pub(crate) fn try_push(&self, item: T) -> Result<(), ServeError> {
+        let mut state = self.lock();
+        if state.closed {
+            return Err(ServeError::ShutDown);
+        }
+        if state.items.len() >= self.capacity {
+            return Err(ServeError::Saturated {
+                depth: state.items.len(),
+                capacity: self.capacity,
+            });
+        }
+        state.items.push_back(item);
+        state.peak_depth = state.peak_depth.max(state.items.len());
+        drop(state);
+        // One consumer (the scheduler); one wake is enough.
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Blocks until at least one item is available, then drains up to
+    /// `max_batch` items, waiting at most `window` (measured from the
+    /// moment the first item is seen) for the batch to fill.
+    ///
+    /// Returns `None` only when the queue is closed *and* empty — the
+    /// scheduler's signal to exit. When the queue is closed with items
+    /// remaining, they are returned immediately (no window wait) with
+    /// [`FlushReason::Close`].
+    pub(crate) fn pop_batch(
+        &self,
+        max_batch: usize,
+        window: Duration,
+    ) -> Option<(Vec<T>, FlushReason)> {
+        let mut state = self.lock();
+        // Phase 1: wait for the first item (or close).
+        loop {
+            if !state.items.is_empty() {
+                break;
+            }
+            if state.closed {
+                return None;
+            }
+            state = self
+                .not_empty
+                .wait(state)
+                .unwrap_or_else(|e| e.into_inner());
+        }
+        // Phase 2: let the batch fill until the size target or the window
+        // deadline, whichever comes first. A closed queue flushes at once.
+        if !window.is_zero() {
+            let deadline = Instant::now() + window;
+            while state.items.len() < max_batch && !state.closed {
+                let now = Instant::now();
+                if now >= deadline {
+                    break;
+                }
+                let (guard, timeout) = self
+                    .not_empty
+                    .wait_timeout(state, deadline - now)
+                    .unwrap_or_else(|e| e.into_inner());
+                state = guard;
+                if timeout.timed_out() {
+                    break;
+                }
+            }
+        }
+        let closed = state.closed;
+        let n = state.items.len().min(max_batch);
+        let batch: Vec<T> = state.items.drain(..n).collect();
+        let reason = if batch.len() >= max_batch {
+            FlushReason::Size
+        } else if closed {
+            FlushReason::Close
+        } else {
+            FlushReason::Deadline
+        };
+        Some((batch, reason))
+    }
+
+    /// Closes the queue: every later `try_push` fails with
+    /// [`ServeError::ShutDown`]; `pop_batch` drains the remainder and then
+    /// returns `None`.
+    pub(crate) fn close(&self) {
+        self.lock().closed = true;
+        self.not_empty.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn saturation_rejects_with_depth_and_capacity() {
+        let q = BoundedQueue::new(2);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        match q.try_push(3) {
+            Err(ServeError::Saturated { depth, capacity }) => {
+                assert_eq!((depth, capacity), (2, 2));
+            }
+            other => panic!("expected saturation, got {other:?}"),
+        }
+        assert_eq!(q.depth(), 2);
+        assert_eq!(q.peak_depth(), 2);
+        // Draining frees capacity again.
+        let (batch, _) = q.pop_batch(10, Duration::ZERO).unwrap();
+        assert_eq!(batch, vec![1, 2]);
+        q.try_push(4).unwrap();
+        assert_eq!(q.depth(), 1);
+    }
+
+    #[test]
+    fn zero_window_drains_whatever_is_present() {
+        let q = BoundedQueue::new(8);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        q.try_push(3).unwrap();
+        let (batch, reason) = q.pop_batch(8, Duration::ZERO).unwrap();
+        assert_eq!(batch, vec![1, 2, 3]);
+        assert_eq!(reason, FlushReason::Deadline);
+    }
+
+    #[test]
+    fn size_target_flushes_without_waiting_out_the_window() {
+        let q = BoundedQueue::new(8);
+        for i in 0..4 {
+            q.try_push(i).unwrap();
+        }
+        let start = Instant::now();
+        let (batch, reason) = q.pop_batch(4, Duration::from_secs(5)).unwrap();
+        assert!(start.elapsed() < Duration::from_secs(1), "must not wait");
+        assert_eq!(batch.len(), 4);
+        assert_eq!(reason, FlushReason::Size);
+    }
+
+    #[test]
+    fn window_collects_late_arrivals() {
+        let q = Arc::new(BoundedQueue::new(8));
+        q.try_push(0).unwrap();
+        let producer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_millis(5));
+                q.try_push(1).unwrap();
+            })
+        };
+        // A generous window lets the second item join the first batch.
+        let (batch, _) = q.pop_batch(8, Duration::from_millis(500)).unwrap();
+        producer.join().unwrap();
+        assert_eq!(batch, vec![0, 1]);
+    }
+
+    #[test]
+    fn close_drains_remainder_then_signals_exit() {
+        let q = BoundedQueue::new(8);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        q.close();
+        assert_eq!(q.try_push(3), Err(ServeError::ShutDown));
+        // Remainder flushes immediately (no window wait), tagged Close.
+        let start = Instant::now();
+        let (batch, reason) = q.pop_batch(8, Duration::from_secs(5)).unwrap();
+        assert!(start.elapsed() < Duration::from_secs(1));
+        assert_eq!(batch, vec![1, 2]);
+        assert_eq!(reason, FlushReason::Close);
+        assert!(q.pop_batch(8, Duration::ZERO).is_none());
+    }
+
+    #[test]
+    fn close_wakes_a_blocked_consumer() {
+        let q = Arc::new(BoundedQueue::<u32>::new(4));
+        let consumer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || q.pop_batch(4, Duration::from_secs(30)))
+        };
+        std::thread::sleep(Duration::from_millis(10));
+        q.close();
+        assert!(consumer.join().unwrap().is_none());
+    }
+
+    #[test]
+    fn arrival_order_is_preserved_across_batches() {
+        let q = BoundedQueue::new(64);
+        for i in 0..10 {
+            q.try_push(i).unwrap();
+        }
+        let (a, _) = q.pop_batch(4, Duration::ZERO).unwrap();
+        let (b, _) = q.pop_batch(4, Duration::ZERO).unwrap();
+        let (c, _) = q.pop_batch(4, Duration::ZERO).unwrap();
+        assert_eq!(a, vec![0, 1, 2, 3]);
+        assert_eq!(b, vec![4, 5, 6, 7]);
+        assert_eq!(c, vec![8, 9]);
+    }
+}

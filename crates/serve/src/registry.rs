@@ -1,0 +1,241 @@
+//! The multi-model registry: named models, versioned hot-swap, per-model
+//! stats.
+//!
+//! A serving runtime outlives any single model artifact. The registry maps
+//! stable names (`"iris"`, `"mnist-36"`) onto immutable, reference-counted
+//! [`ModelEntry`]s so that deployments follow the classic zero-downtime
+//! sequence:
+//!
+//! 1. **load** — the caller compiles the new [`CompiledModel`] off to the
+//!    side (the registry never blocks serving while this happens);
+//! 2. **warm** — [`ModelRegistry::deploy`] pushes a synthetic mid-range
+//!    sample through the full predict path *before* the swap, so a broken
+//!    artifact is rejected while the old version still serves, and the
+//!    first real request never pays first-touch cost;
+//! 3. **atomic switch** — one write-locked map insert makes the new version
+//!    visible; every request admitted afterwards resolves to it;
+//! 4. **drain old** — requests admitted before the switch hold their own
+//!    `Arc<ModelEntry>` and finish on the version that admitted them. The
+//!    old artifact is freed when its last in-flight reference drops;
+//!    [`ModelRegistry::draining`] reports how many retired versions are
+//!    still alive.
+
+use crate::error::ServeError;
+use crate::metrics::ModelStats;
+use quclassi_infer::CompiledModel;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, RwLock, Weak};
+
+/// One deployed (name, version, artifact) triple plus its serving counters.
+///
+/// Entries are immutable once deployed: a "model update" is a new entry
+/// under the same name, never a mutation — which is what makes the switch
+/// atomic and the drain safe.
+#[derive(Debug)]
+pub struct ModelEntry {
+    name: String,
+    version: u64,
+    model: Arc<CompiledModel>,
+    stats: ModelStats,
+}
+
+impl ModelEntry {
+    /// The registry name this entry is deployed under.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The monotonically increasing version of this deployment (1 for the
+    /// first deploy of a name).
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// The immutable compiled artifact.
+    pub fn model(&self) -> &Arc<CompiledModel> {
+        &self.model
+    }
+
+    /// This entry's serving counters.
+    pub fn stats(&self) -> &ModelStats {
+        &self.stats
+    }
+}
+
+/// A thread-safe registry of named, versioned compiled models.
+#[derive(Debug, Default)]
+pub struct ModelRegistry {
+    active: RwLock<HashMap<String, Arc<ModelEntry>>>,
+    retired: Mutex<Vec<Weak<ModelEntry>>>,
+}
+
+impl ModelRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Deploys `model` under `name`, returning the new version number.
+    ///
+    /// Implements warm → atomic switch → drain-old: the artifact is warmed
+    /// with a synthetic mid-range sample first (a failure aborts the deploy
+    /// and leaves any currently active version untouched), then swapped in
+    /// with a single write-locked insert. The displaced entry, if any,
+    /// keeps serving its in-flight requests and is tracked by
+    /// [`ModelRegistry::draining`] until the last reference drops.
+    pub fn deploy(&self, name: &str, model: CompiledModel) -> Result<u64, ServeError> {
+        if name.is_empty() {
+            return Err(ServeError::InvalidConfig(
+                "model name must not be empty".to_string(),
+            ));
+        }
+        // Warm outside any lock: serving traffic proceeds on the old
+        // version for as long as this takes.
+        let warm_sample = vec![0.5; model.encoder().dim()];
+        let mut rng = StdRng::seed_from_u64(0);
+        model
+            .predict_one(&warm_sample, &mut rng)
+            .map_err(ServeError::Model)?;
+
+        let mut active = self.active.write().unwrap_or_else(|e| e.into_inner());
+        let version = active.get(name).map(|e| e.version + 1).unwrap_or(1);
+        let entry = Arc::new(ModelEntry {
+            name: name.to_string(),
+            version,
+            model: Arc::new(model),
+            stats: ModelStats::default(),
+        });
+        let displaced = active.insert(name.to_string(), entry);
+        drop(active);
+        if let Some(old) = displaced {
+            self.retired
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .push(Arc::downgrade(&old));
+            // `old` drops here; the entry stays alive exactly as long as
+            // in-flight requests still hold it.
+        }
+        Ok(version)
+    }
+
+    /// Resolves `name` to its currently active entry.
+    pub fn get(&self, name: &str) -> Result<Arc<ModelEntry>, ServeError> {
+        self.active
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(name)
+            .cloned()
+            .ok_or_else(|| ServeError::UnknownModel(name.to_string()))
+    }
+
+    /// The active version of `name`, if deployed.
+    pub fn active_version(&self, name: &str) -> Option<u64> {
+        self.active
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(name)
+            .map(|e| e.version)
+    }
+
+    /// Deployed model names, sorted.
+    pub fn names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self
+            .active
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .keys()
+            .cloned()
+            .collect();
+        names.sort();
+        names
+    }
+
+    /// Snapshots of every active entry, sorted by name.
+    pub fn entries(&self) -> Vec<Arc<ModelEntry>> {
+        let mut entries: Vec<Arc<ModelEntry>> = self
+            .active
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .values()
+            .cloned()
+            .collect();
+        entries.sort_by(|a, b| a.name.cmp(&b.name));
+        entries
+    }
+
+    /// Number of *retired* (hot-swapped-out) versions still referenced by
+    /// in-flight requests. Dropped references are pruned on each call, so
+    /// a quiescent runtime reports 0.
+    pub fn draining(&self) -> usize {
+        let mut retired = self.retired.lock().unwrap_or_else(|e| e.into_inner());
+        retired.retain(|w| w.strong_count() > 0);
+        retired.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quclassi::model::{QuClassiConfig, QuClassiModel};
+    use quclassi::swap_test::FidelityEstimator;
+
+    fn compiled(seed: u64) -> CompiledModel {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let model =
+            QuClassiModel::with_random_parameters(QuClassiConfig::qc_s(4, 2), &mut rng).unwrap();
+        CompiledModel::compile(&model, FidelityEstimator::analytic()).unwrap()
+    }
+
+    #[test]
+    fn deploy_versions_are_monotonic_per_name() {
+        let reg = ModelRegistry::new();
+        assert_eq!(reg.deploy("a", compiled(1)).unwrap(), 1);
+        assert_eq!(reg.deploy("a", compiled(2)).unwrap(), 2);
+        assert_eq!(reg.deploy("b", compiled(3)).unwrap(), 1);
+        assert_eq!(reg.active_version("a"), Some(2));
+        assert_eq!(reg.active_version("b"), Some(1));
+        assert_eq!(reg.names(), vec!["a".to_string(), "b".to_string()]);
+    }
+
+    #[test]
+    fn unknown_model_is_a_distinct_error() {
+        let reg = ModelRegistry::new();
+        assert_eq!(
+            reg.get("ghost").unwrap_err(),
+            ServeError::UnknownModel("ghost".to_string())
+        );
+        assert_eq!(reg.active_version("ghost"), None);
+    }
+
+    #[test]
+    fn hot_swap_keeps_in_flight_references_alive_then_drains() {
+        let reg = ModelRegistry::new();
+        reg.deploy("m", compiled(1)).unwrap();
+        let in_flight = reg.get("m").unwrap(); // a request mid-batch
+        reg.deploy("m", compiled(2)).unwrap();
+        // New admissions see v2; the in-flight request still holds v1.
+        assert_eq!(reg.get("m").unwrap().version(), 2);
+        assert_eq!(in_flight.version(), 1);
+        assert_eq!(reg.draining(), 1);
+        drop(in_flight);
+        assert_eq!(reg.draining(), 0, "v1 drained once its last ref dropped");
+    }
+
+    #[test]
+    fn warm_failure_aborts_the_deploy_and_keeps_the_old_version() {
+        let reg = ModelRegistry::new();
+        reg.deploy("m", compiled(1)).unwrap();
+        let v1 = reg.get("m").unwrap();
+        // A stochastic SWAP-test artifact with zero shots... not directly
+        // constructible; instead exercise the name-validation abort path
+        // and assert the registry is untouched by failed deploys.
+        assert!(matches!(
+            reg.deploy("", compiled(2)),
+            Err(ServeError::InvalidConfig(_))
+        ));
+        assert!(Arc::ptr_eq(&reg.get("m").unwrap(), &v1));
+        assert_eq!(reg.draining(), 0);
+    }
+}

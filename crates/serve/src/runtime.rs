@@ -1,0 +1,808 @@
+//! The serving runtime: admission → bounded queue → micro-batch scheduler
+//! → batched evaluation → reply.
+//!
+//! One [`ServeRuntime`] owns the bounded request queue, the model registry,
+//! a shared [`BatchExecutor`], and a single scheduler thread. Any number of
+//! cloneable [`Client`] handles feed it concurrently.
+//!
+//! ## Life of a request
+//!
+//! 1. **Admission** ([`Client::submit`]) — the model name resolves to its
+//!    current registry entry and the sample is validated + encoded to its
+//!    rotation angles *on the caller's thread*. A bad request is rejected
+//!    here, synchronously, and can never poison a batch. If the bounded
+//!    queue is full the request is rejected with
+//!    [`ServeError::Saturated`] — backpressure, not unbounded buffering.
+//! 2. **Batching** — the scheduler blocks for the first queued request,
+//!    then drains up to `max_batch` requests, waiting at most
+//!    `batch_window` for the batch to fill (a zero window drains whatever
+//!    has accumulated — natural batching with no added latency).
+//! 3. **Evaluation** — the batch is grouped by model entry (requests keep
+//!    the exact version that admitted them, even across a hot-swap) and
+//!    each group fans out through
+//!    [`CompiledModel::predict_many_from_angles`] on the shared executor.
+//! 4. **Reply** — each request's one-shot slot is fulfilled; blocked
+//!    callers wake with a [`ServeResponse`].
+//!
+//! ## Determinism
+//!
+//! For deterministic estimators (analytic, exact SWAP test) a response is
+//! **bit-identical to a direct [`CompiledModel::predict_one`] call** on the
+//! same artifact, regardless of batch window, batch size, thread count, or
+//! how requests interleave: per-sample evaluation is independent of batch
+//! composition, and the batch executor's results are thread-count
+//! invariant. For stochastic estimators each model group in a flush
+//! derives its RNG streams from `(base_seed, flush index, group index)`,
+//! so results are reproducible for a fixed arrival order but — as in any
+//! dynamically batched server — depend on how requests happened to batch.
+
+use crate::error::ServeError;
+use crate::metrics::{
+    HistogramSnapshot, ModelStatsSnapshot, RuntimeStats,
+};
+use crate::queue::BoundedQueue;
+use crate::registry::{ModelEntry, ModelRegistry};
+use quclassi_infer::{CacheStats, CompiledModel, Prediction};
+use quclassi_sim::batch::BatchExecutor;
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Tuning knobs of the serving runtime.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ServeConfig {
+    /// Flush a micro-batch as soon as it holds this many requests.
+    pub max_batch: usize,
+    /// How long the scheduler waits (from the first queued request) for a
+    /// batch to fill before flushing what it has. `Duration::ZERO` flushes
+    /// whatever has accumulated without waiting — maximum-throughput
+    /// natural batching.
+    pub batch_window: Duration,
+    /// Bounded queue capacity; admissions beyond it are rejected with
+    /// [`ServeError::Saturated`].
+    pub queue_capacity: usize,
+    /// Base seed for per-flush RNG streams (stochastic estimators only;
+    /// deterministic estimators ignore it).
+    pub base_seed: u64,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            max_batch: 32,
+            batch_window: Duration::from_micros(200),
+            queue_capacity: 1024,
+            base_seed: 0,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Reads the batching knobs from the environment on top of the
+    /// defaults: `QUCLASSI_MAX_BATCH` (positive integer),
+    /// `QUCLASSI_BATCH_WINDOW_US` (microseconds, 0 allowed), and
+    /// `QUCLASSI_QUEUE_CAPACITY` (positive integer).
+    ///
+    /// # Errors
+    /// A variable that is set but malformed is **rejected** with
+    /// [`ServeError::InvalidConfig`] — the same contract as
+    /// [`BatchExecutor::from_env`]: a typo in a deployment knob must fail
+    /// startup, not silently serve with a default.
+    pub fn from_env() -> Result<Self, ServeError> {
+        let mut config = ServeConfig::default();
+        if let Some(raw) = env_nonempty("QUCLASSI_MAX_BATCH") {
+            config.max_batch = parse_positive("QUCLASSI_MAX_BATCH", &raw)?;
+        }
+        if let Some(raw) = env_nonempty("QUCLASSI_BATCH_WINDOW_US") {
+            let us: u64 = raw.trim().parse().map_err(|_| {
+                ServeError::InvalidConfig(format!(
+                    "QUCLASSI_BATCH_WINDOW_US must be a non-negative integer \
+                     (microseconds), got '{raw}'"
+                ))
+            })?;
+            config.batch_window = Duration::from_micros(us);
+        }
+        if let Some(raw) = env_nonempty("QUCLASSI_QUEUE_CAPACITY") {
+            config.queue_capacity = parse_positive("QUCLASSI_QUEUE_CAPACITY", &raw)?;
+        }
+        config.validate()?;
+        Ok(config)
+    }
+
+    /// Checks the invariants (`max_batch ≥ 1`, `queue_capacity ≥ 1`).
+    pub fn validate(&self) -> Result<(), ServeError> {
+        if self.max_batch == 0 {
+            return Err(ServeError::InvalidConfig(
+                "max_batch must be at least 1".to_string(),
+            ));
+        }
+        if self.queue_capacity == 0 {
+            return Err(ServeError::InvalidConfig(
+                "queue_capacity must be at least 1".to_string(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+fn env_nonempty(key: &str) -> Option<String> {
+    std::env::var(key)
+        .ok()
+        .filter(|v| !v.trim().is_empty())
+}
+
+fn parse_positive(key: &str, raw: &str) -> Result<usize, ServeError> {
+    match raw.trim().parse::<usize>() {
+        Ok(n) if n > 0 => Ok(n),
+        _ => Err(ServeError::InvalidConfig(format!(
+            "{key} must be a positive integer, got '{raw}'"
+        ))),
+    }
+}
+
+/// One served prediction, tagged with the model (and version) that
+/// produced it — under hot-swap, the version that was active when the
+/// request was *admitted*.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ServeResponse {
+    /// Registry name the request was addressed to.
+    pub model: String,
+    /// Version of the entry that served the request.
+    pub version: u64,
+    /// The prediction (label, probabilities, fidelities, top-k helpers).
+    pub prediction: Prediction,
+}
+
+/// One-shot rendezvous between a blocked caller and the scheduler.
+#[derive(Debug)]
+struct ResponseSlot {
+    cell: Mutex<Option<Result<ServeResponse, ServeError>>>,
+    ready: Condvar,
+}
+
+impl ResponseSlot {
+    fn new() -> Self {
+        ResponseSlot {
+            cell: Mutex::new(None),
+            ready: Condvar::new(),
+        }
+    }
+
+    fn fulfill(&self, result: Result<ServeResponse, ServeError>) {
+        let mut cell = self.cell.lock().unwrap_or_else(|e| e.into_inner());
+        *cell = Some(result);
+        drop(cell);
+        self.ready.notify_all();
+    }
+}
+
+/// A submitted-but-not-yet-answered request (see [`Client::submit`]).
+#[derive(Debug)]
+pub struct PendingPrediction {
+    slot: Arc<ResponseSlot>,
+}
+
+impl PendingPrediction {
+    /// Blocks until the scheduler answers this request.
+    pub fn wait(self) -> Result<ServeResponse, ServeError> {
+        let mut cell = self.slot.cell.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if let Some(result) = cell.take() {
+                return result;
+            }
+            cell = self
+                .slot
+                .ready
+                .wait(cell)
+                .unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Whether the response has arrived (non-blocking).
+    pub fn is_ready(&self) -> bool {
+        self.slot
+            .cell
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .is_some()
+    }
+}
+
+/// A queued request: everything the scheduler needs, with the per-request
+/// work (resolution, validation, encoding) already done at admission.
+struct Request {
+    entry: Arc<ModelEntry>,
+    angles: Vec<f64>,
+    slot: Arc<ResponseSlot>,
+    admitted: Instant,
+}
+
+struct Shared {
+    queue: BoundedQueue<Request>,
+    registry: ModelRegistry,
+    executor: BatchExecutor,
+    stats: RuntimeStats,
+    config: ServeConfig,
+    started: Instant,
+}
+
+impl std::fmt::Debug for Shared {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Shared")
+            .field("config", &self.config)
+            .field("queue_depth", &self.queue.depth())
+            .field("models", &self.registry.names())
+            .finish_non_exhaustive()
+    }
+}
+
+/// Point-in-time serving metrics for one deployed model.
+#[derive(Clone, Debug)]
+pub struct ModelMetrics {
+    /// Registry name.
+    pub name: String,
+    /// Currently active version.
+    pub version: u64,
+    /// Admission/completion/failure/rejection counters + latency.
+    pub stats: ModelStatsSnapshot,
+    /// Encoding-fingerprint cache counters of the active artifact.
+    pub cache: CacheStats,
+}
+
+/// Point-in-time metrics of the whole runtime (see [`Client::metrics`]).
+#[derive(Clone, Debug)]
+pub struct MetricsSnapshot {
+    /// Time since the runtime started.
+    pub uptime: Duration,
+    /// Requests currently queued.
+    pub queue_depth: usize,
+    /// Configured queue capacity.
+    pub queue_capacity: usize,
+    /// High-water mark of the queue depth.
+    pub peak_queue_depth: usize,
+    /// Requests admitted to the queue.
+    pub admitted: u64,
+    /// Requests rejected at admission (unknown model, invalid input,
+    /// saturation, or shutdown): `admitted + rejected` reconstructs the
+    /// offered load.
+    pub rejected: u64,
+    /// Requests answered successfully.
+    pub completed: u64,
+    /// Requests that failed during evaluation.
+    pub failed: u64,
+    /// Micro-batches flushed.
+    pub batches: u64,
+    /// Total requests across all flushed batches.
+    pub batched_requests: u64,
+    /// Batches flushed because the size target was reached.
+    pub flush_on_size: u64,
+    /// Batches flushed because the batching window expired.
+    pub flush_on_deadline: u64,
+    /// Batches flushed while draining at shutdown.
+    pub flush_on_close: u64,
+    /// Retired (hot-swapped-out) versions still serving in-flight requests.
+    pub draining_models: usize,
+    /// End-to-end (admission → reply) latency across all models.
+    pub latency: HistogramSnapshot,
+    /// Per-model metrics, sorted by name.
+    pub models: Vec<ModelMetrics>,
+}
+
+impl MetricsSnapshot {
+    /// Completed requests per second of uptime.
+    pub fn throughput_rps(&self) -> f64 {
+        let secs = self.uptime.as_secs_f64();
+        if secs <= 0.0 {
+            0.0
+        } else {
+            self.completed as f64 / secs
+        }
+    }
+
+    /// Mean number of requests per flushed micro-batch (0.0 before the
+    /// first flush). The headline batching-efficiency number: 1.0 means
+    /// the scheduler is degenerating to per-request serving.
+    pub fn mean_batch_occupancy(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.batched_requests as f64 / self.batches as f64
+        }
+    }
+}
+
+/// The serving runtime: queue + scheduler + registry + metrics.
+///
+/// ```
+/// use quclassi::prelude::*;
+/// use quclassi_infer::CompiledModel;
+/// use quclassi_serve::{ServeConfig, ServeRuntime};
+/// use quclassi_sim::batch::BatchExecutor;
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+/// let model =
+///     QuClassiModel::with_random_parameters(QuClassiConfig::qc_s(4, 2), &mut rng).unwrap();
+/// let compiled = CompiledModel::compile(&model, FidelityEstimator::analytic()).unwrap();
+///
+/// let runtime = ServeRuntime::start(
+///     ServeConfig::default(),
+///     BatchExecutor::single_threaded(0),
+/// )
+/// .unwrap();
+/// runtime.deploy("demo", compiled).unwrap();
+///
+/// let client = runtime.client();
+/// let reply = client.predict("demo", &[0.1, 0.9, 0.4, 0.3]).unwrap();
+/// assert_eq!(reply.model, "demo");
+/// assert_eq!(reply.version, 1);
+/// assert!(reply.prediction.label < 2);
+///
+/// let metrics = runtime.shutdown();
+/// assert_eq!(metrics.completed, 1);
+/// ```
+#[derive(Debug)]
+pub struct ServeRuntime {
+    shared: Arc<Shared>,
+    scheduler: Option<JoinHandle<()>>,
+}
+
+impl ServeRuntime {
+    /// Starts the runtime: validates `config`, then spawns the scheduler
+    /// thread on top of `executor`.
+    pub fn start(config: ServeConfig, executor: BatchExecutor) -> Result<Self, ServeError> {
+        config.validate()?;
+        let shared = Arc::new(Shared {
+            queue: BoundedQueue::new(config.queue_capacity),
+            registry: ModelRegistry::new(),
+            executor,
+            stats: RuntimeStats::default(),
+            config: config.clone(),
+            started: Instant::now(),
+        });
+        let scheduler = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("quclassi-serve-scheduler".to_string())
+                .spawn(move || scheduler_loop(&shared))
+                .map_err(|e| ServeError::Io(format!("cannot spawn scheduler: {e}")))?
+        };
+        Ok(ServeRuntime {
+            shared,
+            scheduler: Some(scheduler),
+        })
+    }
+
+    /// The model registry (for deploys, version queries, drain tracking).
+    pub fn registry(&self) -> &ModelRegistry {
+        &self.shared.registry
+    }
+
+    /// Convenience for [`ModelRegistry::deploy`] on the runtime's registry.
+    pub fn deploy(&self, name: &str, model: CompiledModel) -> Result<u64, ServeError> {
+        self.shared.registry.deploy(name, model)
+    }
+
+    /// A cloneable handle for submitting requests and reading metrics.
+    pub fn client(&self) -> Client {
+        Client {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// Current metrics snapshot.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        snapshot(&self.shared)
+    }
+
+    /// Gracefully shuts down: stops admitting, drains and answers every
+    /// already-admitted request, joins the scheduler, and returns the
+    /// final metrics.
+    pub fn shutdown(mut self) -> MetricsSnapshot {
+        self.shutdown_in_place();
+        snapshot(&self.shared)
+    }
+
+    fn shutdown_in_place(&mut self) {
+        self.shared.queue.close();
+        if let Some(handle) = self.scheduler.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for ServeRuntime {
+    fn drop(&mut self) {
+        self.shutdown_in_place();
+    }
+}
+
+/// A cloneable, thread-safe handle into a [`ServeRuntime`].
+#[derive(Clone, Debug)]
+pub struct Client {
+    shared: Arc<Shared>,
+}
+
+impl Client {
+    /// Submits one request and blocks until its response.
+    pub fn predict(&self, model: &str, x: &[f64]) -> Result<ServeResponse, ServeError> {
+        self.submit(model, x)?.wait()
+    }
+
+    /// Submits one request without waiting. Resolution, validation and
+    /// encoding run synchronously here (errors surface immediately);
+    /// evaluation happens on the scheduler.
+    pub fn submit(&self, model: &str, x: &[f64]) -> Result<PendingPrediction, ServeError> {
+        let entry = match self.shared.registry.get(model) {
+            Ok(entry) => entry,
+            Err(e) => {
+                // Counted runtime-wide (admitted + rejected reconstructs
+                // offered load) but not per-model: there is no entry.
+                self.shared.stats.rejected.fetch_add(1, Ordering::Relaxed);
+                return Err(e);
+            }
+        };
+        let angles = match entry.model().encoder().encoding_angles(x) {
+            Ok(angles) => angles,
+            Err(e) => {
+                entry.stats().rejected.fetch_add(1, Ordering::Relaxed);
+                self.shared.stats.rejected.fetch_add(1, Ordering::Relaxed);
+                return Err(ServeError::Model(e));
+            }
+        };
+        let slot = Arc::new(ResponseSlot::new());
+        let request = Request {
+            entry: Arc::clone(&entry),
+            angles,
+            slot: Arc::clone(&slot),
+            admitted: Instant::now(),
+        };
+        match self.shared.queue.try_push(request) {
+            Ok(()) => {
+                self.shared.stats.admitted.fetch_add(1, Ordering::Relaxed);
+                entry.stats().admitted.fetch_add(1, Ordering::Relaxed);
+                Ok(PendingPrediction { slot })
+            }
+            Err(e) => {
+                self.shared.stats.rejected.fetch_add(1, Ordering::Relaxed);
+                entry.stats().rejected.fetch_add(1, Ordering::Relaxed);
+                Err(e)
+            }
+        }
+    }
+
+    /// Deployed model names with their active versions, sorted by name.
+    pub fn models(&self) -> Vec<(String, u64)> {
+        self.shared
+            .registry
+            .entries()
+            .into_iter()
+            .map(|e| (e.name().to_string(), e.version()))
+            .collect()
+    }
+
+    /// Current metrics snapshot.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        snapshot(&self.shared)
+    }
+}
+
+fn snapshot(shared: &Shared) -> MetricsSnapshot {
+    let stats = &shared.stats;
+    let models = shared.model_metrics();
+    MetricsSnapshot {
+        uptime: shared.started.elapsed(),
+        queue_depth: shared.queue.depth(),
+        queue_capacity: shared.queue.capacity(),
+        peak_queue_depth: shared.queue.peak_depth(),
+        admitted: stats.admitted.load(Ordering::Relaxed),
+        rejected: stats.rejected.load(Ordering::Relaxed),
+        completed: stats.completed.load(Ordering::Relaxed),
+        failed: stats.failed.load(Ordering::Relaxed),
+        batches: stats.batches.load(Ordering::Relaxed),
+        batched_requests: stats.batched_requests.load(Ordering::Relaxed),
+        flush_on_size: stats.flush_on_size.load(Ordering::Relaxed),
+        flush_on_deadline: stats.flush_on_deadline.load(Ordering::Relaxed),
+        flush_on_close: stats.flush_on_close.load(Ordering::Relaxed),
+        draining_models: shared.registry.draining(),
+        latency: stats.latency.snapshot(),
+        models,
+    }
+}
+
+impl Shared {
+    fn model_metrics(&self) -> Vec<ModelMetrics> {
+        self.registry
+            .entries()
+            .into_iter()
+            .map(|e| ModelMetrics {
+                name: e.name().to_string(),
+                version: e.version(),
+                stats: e.stats().snapshot(),
+                cache: e.model().cache_stats(),
+            })
+            .collect()
+    }
+}
+
+/// The scheduler: drains micro-batches, groups them by model entry, fans
+/// each group out through the shared executor, and fulfils the slots.
+fn scheduler_loop(shared: &Shared) {
+    let mut flush_index: u64 = 0;
+    while let Some((requests, reason)) = shared
+        .queue
+        .pop_batch(shared.config.max_batch, shared.config.batch_window)
+    {
+        shared.stats.record_flush(requests.len(), reason);
+        // Group by registry entry, preserving arrival order within each
+        // group. Requests pin the entry that admitted them, so a batch
+        // spanning a hot-swap serves each request on its own version.
+        let mut groups: Vec<(Arc<ModelEntry>, Vec<Request>)> = Vec::new();
+        for request in requests {
+            match groups
+                .iter_mut()
+                .find(|(entry, _)| Arc::ptr_eq(entry, &request.entry))
+            {
+                Some((_, members)) => members.push(request),
+                None => {
+                    let entry = Arc::clone(&request.entry);
+                    groups.push((entry, vec![request]));
+                }
+            }
+        }
+        // One seed per flush, split again per model group, so stochastic
+        // streams are a pure function of (base_seed, flush index, group
+        // index) — groups in the same flush never share streams.
+        let flush_seed = BatchExecutor::job_seed(shared.config.base_seed, flush_index);
+        flush_index += 1;
+        for (group_index, (entry, mut members)) in groups.into_iter().enumerate() {
+            let angles: Vec<Vec<f64>> = members
+                .iter_mut()
+                .map(|r| std::mem::take(&mut r.angles))
+                .collect();
+            let seed = BatchExecutor::job_seed(flush_seed, group_index as u64);
+            match entry
+                .model()
+                .predict_many_from_angles(angles, &shared.executor, seed)
+            {
+                Ok(predictions) => {
+                    for (request, prediction) in members.into_iter().zip(predictions) {
+                        let latency_ns = request.admitted.elapsed().as_nanos() as u64;
+                        shared.stats.latency.record_ns(latency_ns);
+                        entry.stats().latency.record_ns(latency_ns);
+                        shared.stats.completed.fetch_add(1, Ordering::Relaxed);
+                        entry.stats().completed.fetch_add(1, Ordering::Relaxed);
+                        request.slot.fulfill(Ok(ServeResponse {
+                            model: entry.name().to_string(),
+                            version: entry.version(),
+                            prediction,
+                        }));
+                    }
+                }
+                Err(e) => {
+                    for request in members {
+                        shared.stats.failed.fetch_add(1, Ordering::Relaxed);
+                        entry.stats().failed.fetch_add(1, Ordering::Relaxed);
+                        request.slot.fulfill(Err(ServeError::Model(e.clone())));
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quclassi::model::{QuClassiConfig, QuClassiModel};
+    use quclassi::swap_test::FidelityEstimator;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn compiled(seed: u64) -> CompiledModel {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let model =
+            QuClassiModel::with_random_parameters(QuClassiConfig::qc_s(4, 3), &mut rng).unwrap();
+        CompiledModel::compile(&model, FidelityEstimator::analytic()).unwrap()
+    }
+
+    fn runtime(config: ServeConfig) -> ServeRuntime {
+        ServeRuntime::start(config, BatchExecutor::single_threaded(0)).unwrap()
+    }
+
+    #[test]
+    fn config_validation_rejects_degenerate_values() {
+        assert!(ServeConfig {
+            max_batch: 0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(ServeConfig {
+            queue_capacity: 0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(ServeConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    fn responses_match_direct_compiled_prediction_bit_for_bit() {
+        let artifact = compiled(3);
+        let xs: Vec<Vec<f64>> = (0..6)
+            .map(|i| vec![0.1 * i as f64, 0.3, 0.5, 0.9 - 0.1 * i as f64])
+            .collect();
+        let mut rng = StdRng::seed_from_u64(0);
+        let direct: Vec<Prediction> = xs
+            .iter()
+            .map(|x| artifact.predict_one(x, &mut rng).unwrap())
+            .collect();
+        for window_us in [0u64, 100, 5000] {
+            let rt = runtime(ServeConfig {
+                batch_window: Duration::from_micros(window_us),
+                ..Default::default()
+            });
+            rt.deploy("m", compiled(3)).unwrap();
+            let client = rt.client();
+            for (x, want) in xs.iter().zip(direct.iter()) {
+                let got = client.predict("m", x).unwrap();
+                assert_eq!(&got.prediction, want, "window {window_us}µs");
+                assert_eq!(got.version, 1);
+            }
+            rt.shutdown();
+        }
+    }
+
+    #[test]
+    fn admission_rejects_bad_input_synchronously() {
+        let rt = runtime(ServeConfig::default());
+        rt.deploy("m", compiled(1)).unwrap();
+        let client = rt.client();
+        // Unknown model.
+        assert!(matches!(
+            client.predict("ghost", &[0.1; 4]),
+            Err(ServeError::UnknownModel(_))
+        ));
+        // Wrong dimension and out-of-range features are client errors.
+        let err = client.predict("m", &[0.1, 0.2]).unwrap_err();
+        assert_eq!(err.kind(), "bad_request");
+        let err = client.predict("m", &[0.1, 0.2, 0.3, 7.0]).unwrap_err();
+        assert_eq!(err.kind(), "bad_request");
+        let metrics = rt.shutdown();
+        assert_eq!(metrics.completed, 0);
+        assert_eq!(
+            metrics.rejected, 3,
+            "all three admission failures count toward offered load"
+        );
+        // The unknown-model rejection has no entry to attribute to; the
+        // two bad inputs land on model 'm'.
+        assert_eq!(metrics.models[0].stats.rejected, 2);
+    }
+
+    #[test]
+    fn saturation_applies_backpressure() {
+        // A runtime whose scheduler is effectively stalled behind a huge
+        // window cannot drain; a capacity-2 queue must reject the third
+        // concurrent submission.
+        let rt = runtime(ServeConfig {
+            queue_capacity: 2,
+            max_batch: 64,
+            batch_window: Duration::from_secs(5),
+            ..Default::default()
+        });
+        rt.deploy("m", compiled(1)).unwrap();
+        let client = rt.client();
+        let a = client.submit("m", &[0.1; 4]).unwrap();
+        let b = client.submit("m", &[0.2; 4]).unwrap();
+        // The scheduler may have already drained 0, 1 or 2 of those into
+        // its forming batch; fill whatever queue slack remains, then the
+        // next submit must saturate.
+        let mut pending = vec![a, b];
+        let mut rejected = None;
+        for i in 0..4 {
+            match client.submit("m", &[0.05 + 0.01 * i as f64; 4]) {
+                Ok(p) => pending.push(p),
+                Err(e) => {
+                    rejected = Some(e);
+                    break;
+                }
+            }
+        }
+        let err = rejected.expect("queue should have saturated");
+        assert_eq!(err.kind(), "saturated");
+        assert!(err.is_retryable());
+        // Shutdown drains the admitted requests; all pending slots resolve.
+        let rt_metrics = rt.shutdown();
+        for p in pending {
+            assert!(p.wait().is_ok());
+        }
+        assert!(rt_metrics.rejected >= 1);
+    }
+
+    #[test]
+    fn shutdown_drains_admitted_requests_and_rejects_new_ones() {
+        let rt = runtime(ServeConfig {
+            batch_window: Duration::from_millis(50),
+            ..Default::default()
+        });
+        rt.deploy("m", compiled(1)).unwrap();
+        let client = rt.client();
+        let pending: Vec<PendingPrediction> = (0..8)
+            .map(|i| client.submit("m", &[0.1 + 0.05 * i as f64; 4]).unwrap())
+            .collect();
+        let metrics = rt.shutdown();
+        assert_eq!(metrics.admitted, 8);
+        assert_eq!(metrics.completed, 8, "every admitted request is answered");
+        for p in pending {
+            assert!(p.wait().is_ok());
+        }
+        assert!(matches!(
+            client.predict("m", &[0.1; 4]),
+            Err(ServeError::ShutDown)
+        ));
+    }
+
+    #[test]
+    fn hot_swap_serves_each_request_on_the_version_that_admitted_it() {
+        let rt = runtime(ServeConfig::default());
+        rt.deploy("m", compiled(1)).unwrap();
+        let client = rt.client();
+        assert_eq!(client.predict("m", &[0.2; 4]).unwrap().version, 1);
+        rt.deploy("m", compiled(2)).unwrap();
+        assert_eq!(client.predict("m", &[0.2; 4]).unwrap().version, 2);
+        assert_eq!(client.models(), vec![("m".to_string(), 2)]);
+        // Old version drains once nothing references it.
+        assert_eq!(rt.registry().draining(), 0);
+        rt.shutdown();
+    }
+
+    #[test]
+    fn metrics_reflect_batching_and_latency() {
+        let rt = runtime(ServeConfig {
+            batch_window: Duration::from_millis(20),
+            max_batch: 8,
+            ..Default::default()
+        });
+        rt.deploy("m", compiled(1)).unwrap();
+        let client = rt.client();
+        // Submit a burst without waiting, so the scheduler can batch them.
+        let pending: Vec<PendingPrediction> = (0..8)
+            .map(|i| client.submit("m", &[0.05 + 0.1 * i as f64; 4]).unwrap())
+            .collect();
+        for p in pending {
+            p.wait().unwrap();
+        }
+        let m = rt.shutdown();
+        assert_eq!(m.completed, 8);
+        assert!(m.batches >= 1 && m.batches <= 8);
+        assert_eq!(m.batched_requests, 8);
+        assert!(m.mean_batch_occupancy() >= 1.0);
+        assert_eq!(m.latency.count(), 8);
+        assert!(m.latency.quantile_ns(0.5) > 0);
+        assert!(m.throughput_rps() > 0.0);
+        assert_eq!(m.models.len(), 1);
+        assert_eq!(m.models[0].stats.completed, 8);
+        assert_eq!(m.models[0].stats.latency.count(), 8);
+    }
+
+    #[test]
+    fn per_model_stats_are_attributed_correctly() {
+        let rt = runtime(ServeConfig::default());
+        rt.deploy("a", compiled(1)).unwrap();
+        rt.deploy("b", compiled(2)).unwrap();
+        let client = rt.client();
+        for _ in 0..3 {
+            client.predict("a", &[0.3; 4]).unwrap();
+        }
+        client.predict("b", &[0.3; 4]).unwrap();
+        let m = rt.shutdown();
+        let by_name: std::collections::HashMap<&str, &ModelMetrics> =
+            m.models.iter().map(|mm| (mm.name.as_str(), mm)).collect();
+        assert_eq!(by_name["a"].stats.completed, 3);
+        assert_eq!(by_name["b"].stats.completed, 1);
+        // Repeated identical inputs on 'a' hit its fingerprint cache.
+        assert!(by_name["a"].cache.hits >= 1);
+    }
+}

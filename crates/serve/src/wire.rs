@@ -1,0 +1,552 @@
+//! The wire protocol: length-prefixed JSON over TCP.
+//!
+//! A deliberately minimal, dependency-free protocol for driving a
+//! [`ServeRuntime`](crate::runtime::ServeRuntime) from another process:
+//!
+//! * **Framing** — every message is a 4-byte big-endian length followed by
+//!   that many bytes of UTF-8 JSON. Framing is independent of payload
+//!   content, so malformed JSON never desynchronises the stream; frames
+//!   above [`MAX_FRAME_BYTES`] are rejected before allocation.
+//! * **Requests** — objects with an `"op"` field:
+//!   `{"op":"predict","model":"iris","features":[0.1,…]}`,
+//!   `{"op":"models"}`, `{"op":"metrics"}`, `{"op":"ping"}`.
+//! * **Responses** — `{"ok":true,…}` on success;
+//!   `{"ok":false,"kind":"…","error":"…"}` on failure, where `kind` is the
+//!   stable [`ServeError::kind`] discriminator (`"saturated"` is the
+//!   wire-level backpressure signal: back off and retry).
+//!
+//! Numbers are serialised with shortest-round-trip formatting, so the
+//! probabilities and fidelities a remote client parses are bit-identical
+//! to what an in-process [`Client`] receives.
+//!
+//! One OS thread per connection keeps the protocol layer trivial; the
+//! concurrency story lives in the runtime's queue, where every connection
+//! thread is just another producer. Graceful shutdown closes the listener
+//! and joins every connection handler.
+
+use crate::error::ServeError;
+use crate::json::Json;
+use crate::runtime::{Client, MetricsSnapshot, ServeResponse};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+/// Upper bound on a single frame's payload, rejected before allocation.
+pub const MAX_FRAME_BYTES: usize = 16 * 1024 * 1024;
+
+/// Writes one length-prefixed frame.
+pub fn write_frame(writer: &mut impl Write, payload: &[u8]) -> std::io::Result<()> {
+    let len = u32::try_from(payload.len()).map_err(|_| {
+        std::io::Error::new(std::io::ErrorKind::InvalidInput, "frame too large")
+    })?;
+    writer.write_all(&len.to_be_bytes())?;
+    writer.write_all(payload)?;
+    writer.flush()
+}
+
+/// Reads one length-prefixed frame. Returns `Ok(None)` on a clean EOF at a
+/// frame boundary (the peer hung up); a mid-frame EOF is an error.
+pub fn read_frame(reader: &mut impl Read) -> std::io::Result<Option<Vec<u8>>> {
+    let mut header = [0u8; 4];
+    let mut filled = 0;
+    while filled < header.len() {
+        match reader.read(&mut header[filled..])? {
+            0 if filled == 0 => return Ok(None),
+            0 => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "EOF inside frame header",
+                ))
+            }
+            n => filled += n,
+        }
+    }
+    let len = u32::from_be_bytes(header) as usize;
+    if len > MAX_FRAME_BYTES {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("frame of {len} bytes exceeds the {MAX_FRAME_BYTES}-byte limit"),
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    reader.read_exact(&mut payload)?;
+    Ok(Some(payload))
+}
+
+/// A TCP frontend serving the wire protocol on top of an in-process
+/// [`Client`].
+#[derive(Debug)]
+pub struct WireServer {
+    local_addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+    connections: Arc<Mutex<Vec<Connection>>>,
+}
+
+/// An accepted connection: its handler thread plus a handle to the socket
+/// so shutdown can unblock a handler parked in `read_frame` on an idle but
+/// still-open peer.
+#[derive(Debug)]
+struct Connection {
+    handle: JoinHandle<()>,
+    stream: TcpStream,
+}
+
+impl WireServer {
+    /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and
+    /// starts accepting connections, each served on its own thread.
+    pub fn start(addr: impl ToSocketAddrs, client: Client) -> Result<Self, ServeError> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let connections: Arc<Mutex<Vec<Connection>>> = Arc::new(Mutex::new(Vec::new()));
+        let accept_thread = {
+            let shutdown = Arc::clone(&shutdown);
+            let connections = Arc::clone(&connections);
+            std::thread::Builder::new()
+                .name("quclassi-serve-accept".to_string())
+                .spawn(move || {
+                    for stream in listener.incoming() {
+                        if shutdown.load(Ordering::SeqCst) {
+                            break;
+                        }
+                        let Ok(stream) = stream else { continue };
+                        let Ok(stream_for_shutdown) = stream.try_clone() else {
+                            continue;
+                        };
+                        let client = client.clone();
+                        let handle = std::thread::Builder::new()
+                            .name("quclassi-serve-conn".to_string())
+                            .spawn(move || serve_connection(stream, &client));
+                        if let Ok(handle) = handle {
+                            let mut conns =
+                                connections.lock().unwrap_or_else(|e| e.into_inner());
+                            // Opportunistically reap finished handlers so a
+                            // long-lived server does not accumulate them.
+                            conns.retain(|c| !c.handle.is_finished());
+                            conns.push(Connection {
+                                handle,
+                                stream: stream_for_shutdown,
+                            });
+                        }
+                    }
+                })
+                .map_err(|e| ServeError::Io(format!("cannot spawn acceptor: {e}")))?
+        };
+        Ok(WireServer {
+            local_addr,
+            shutdown,
+            accept_thread: Some(accept_thread),
+            connections,
+        })
+    }
+
+    /// The bound address (useful with an ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Stops accepting, disconnects every open connection at its next
+    /// frame boundary, joins the handlers, and returns once the listener
+    /// is fully down. A request already handed to the runtime completes
+    /// (the runtime's own graceful shutdown guarantees an answer), but its
+    /// reply may no longer reach a disconnecting peer.
+    pub fn shutdown(mut self) {
+        self.shutdown_in_place();
+    }
+
+    fn shutdown_in_place(&mut self) {
+        if self.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.local_addr);
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+        let connections: Vec<Connection> = std::mem::take(
+            &mut *self.connections.lock().unwrap_or_else(|e| e.into_inner()),
+        );
+        for connection in connections {
+            // Handlers park in `read_frame` on idle-but-open peers; closing
+            // the socket turns that into an EOF so the join cannot hang.
+            let _ = connection.stream.shutdown(std::net::Shutdown::Both);
+            let _ = connection.handle.join();
+        }
+    }
+}
+
+impl Drop for WireServer {
+    fn drop(&mut self) {
+        self.shutdown_in_place();
+    }
+}
+
+fn serve_connection(stream: TcpStream, client: &Client) {
+    let mut reader = match stream.try_clone() {
+        Ok(r) => r,
+        Err(_) => return,
+    };
+    let mut writer = stream;
+    loop {
+        let payload = match read_frame(&mut reader) {
+            Ok(Some(payload)) => payload,
+            Ok(None) | Err(_) => return, // peer hung up / stream broken
+        };
+        let response = dispatch(&payload, client);
+        if write_frame(&mut writer, response.to_string().as_bytes()).is_err() {
+            return;
+        }
+    }
+}
+
+fn dispatch(payload: &[u8], client: &Client) -> Json {
+    let request = match std::str::from_utf8(payload)
+        .map_err(|_| ServeError::Protocol("frame is not UTF-8".to_string()))
+        .and_then(Json::parse)
+    {
+        Ok(v) => v,
+        Err(e) => return error_response(&e),
+    };
+    let Some(op) = request.get("op").and_then(Json::as_str) else {
+        return error_response(&ServeError::Protocol(
+            "request must be an object with a string 'op' field".to_string(),
+        ));
+    };
+    match op {
+        "ping" => Json::obj(vec![("ok", Json::Bool(true)), ("op", Json::str("ping"))]),
+        "models" => {
+            let models = client
+                .models()
+                .into_iter()
+                .map(|(name, version)| {
+                    Json::obj(vec![
+                        ("name", Json::str(name)),
+                        ("version", Json::Num(version as f64)),
+                    ])
+                })
+                .collect();
+            Json::obj(vec![("ok", Json::Bool(true)), ("models", Json::Arr(models))])
+        }
+        "metrics" => Json::obj(vec![
+            ("ok", Json::Bool(true)),
+            ("metrics", metrics_to_json(&client.metrics())),
+        ]),
+        "predict" => {
+            let Some(model) = request.get("model").and_then(Json::as_str) else {
+                return error_response(&ServeError::Protocol(
+                    "predict needs a string 'model' field".to_string(),
+                ));
+            };
+            let Some(features) = request.get("features").and_then(Json::as_arr) else {
+                return error_response(&ServeError::Protocol(
+                    "predict needs a 'features' array".to_string(),
+                ));
+            };
+            let mut x = Vec::with_capacity(features.len());
+            for item in features {
+                match item.as_f64() {
+                    Some(v) => x.push(v),
+                    None => {
+                        return error_response(&ServeError::Protocol(
+                            "'features' must contain only numbers".to_string(),
+                        ))
+                    }
+                }
+            }
+            match client.predict(model, &x) {
+                Ok(response) => prediction_to_json(&response),
+                Err(e) => error_response(&e),
+            }
+        }
+        other => error_response(&ServeError::Protocol(format!("unknown op '{other}'"))),
+    }
+}
+
+fn error_response(e: &ServeError) -> Json {
+    let mut fields = vec![
+        ("ok", Json::Bool(false)),
+        ("kind", Json::str(e.kind())),
+        ("error", Json::str(e.to_string())),
+    ];
+    if let ServeError::Saturated { depth, capacity } = e {
+        // Carry the backpressure detail so remote clients reconstruct the
+        // exact error (and its retryability) a local client would see.
+        fields.push(("depth", Json::Num(*depth as f64)));
+        fields.push(("capacity", Json::Num(*capacity as f64)));
+    }
+    Json::obj(fields)
+}
+
+/// Reconstructs a [`ServeError`] from a wire error response, preserving
+/// the `kind` contract: `"saturated"` maps back to a retryable
+/// [`ServeError::Saturated`], `"bad_request"` to a client-attributable
+/// model error, and so on. Only `"model_error"` (a server-internal model
+/// failure whose concrete cause cannot cross the wire) degrades to
+/// [`ServeError::Io`].
+fn error_from_wire(response: &Json, fallback_model: &str) -> ServeError {
+    let message = response
+        .get("error")
+        .and_then(Json::as_str)
+        .unwrap_or("malformed error response")
+        .to_string();
+    let kind = response.get("kind").and_then(Json::as_str).unwrap_or("");
+    match kind {
+        "saturated" => ServeError::Saturated {
+            depth: response
+                .get("depth")
+                .and_then(Json::as_u64)
+                .unwrap_or(0) as usize,
+            capacity: response
+                .get("capacity")
+                .and_then(Json::as_u64)
+                .unwrap_or(0) as usize,
+        },
+        "shutdown" => ServeError::ShutDown,
+        "unknown_model" => ServeError::UnknownModel(fallback_model.to_string()),
+        "invalid_config" => ServeError::InvalidConfig(message),
+        "protocol" => ServeError::Protocol(message),
+        "bad_request" => {
+            ServeError::Model(quclassi::error::QuClassiError::InvalidData(message))
+        }
+        other => ServeError::Io(format!("server error ({other}): {message}")),
+    }
+}
+
+fn prediction_to_json(response: &ServeResponse) -> Json {
+    let p = &response.prediction;
+    Json::obj(vec![
+        ("ok", Json::Bool(true)),
+        ("model", Json::str(response.model.clone())),
+        ("version", Json::Num(response.version as f64)),
+        ("label", Json::Num(p.label as f64)),
+        ("probabilities", Json::nums(&p.probabilities)),
+        ("fidelities", Json::nums(&p.fidelities)),
+        ("confidence", Json::Num(p.confidence())),
+        ("margin", Json::Num(p.margin())),
+    ])
+}
+
+fn metrics_to_json(m: &MetricsSnapshot) -> Json {
+    let models = m
+        .models
+        .iter()
+        .map(|mm| {
+            Json::obj(vec![
+                ("name", Json::str(mm.name.clone())),
+                ("version", Json::Num(mm.version as f64)),
+                ("admitted", Json::Num(mm.stats.admitted as f64)),
+                ("completed", Json::Num(mm.stats.completed as f64)),
+                ("failed", Json::Num(mm.stats.failed as f64)),
+                ("rejected", Json::Num(mm.stats.rejected as f64)),
+                ("p50_us", Json::Num(mm.stats.latency.p50_us())),
+                ("p99_us", Json::Num(mm.stats.latency.p99_us())),
+                ("cache_hit_rate", Json::Num(mm.cache.hit_rate())),
+                ("cache_entries", Json::Num(mm.cache.entries as f64)),
+            ])
+        })
+        .collect();
+    Json::obj(vec![
+        ("uptime_us", Json::Num(m.uptime.as_micros() as f64)),
+        ("queue_depth", Json::Num(m.queue_depth as f64)),
+        ("queue_capacity", Json::Num(m.queue_capacity as f64)),
+        ("peak_queue_depth", Json::Num(m.peak_queue_depth as f64)),
+        ("admitted", Json::Num(m.admitted as f64)),
+        ("rejected", Json::Num(m.rejected as f64)),
+        ("completed", Json::Num(m.completed as f64)),
+        ("failed", Json::Num(m.failed as f64)),
+        ("batches", Json::Num(m.batches as f64)),
+        ("mean_batch_occupancy", Json::Num(m.mean_batch_occupancy())),
+        ("flush_on_size", Json::Num(m.flush_on_size as f64)),
+        ("flush_on_deadline", Json::Num(m.flush_on_deadline as f64)),
+        ("flush_on_close", Json::Num(m.flush_on_close as f64)),
+        ("draining_models", Json::Num(m.draining_models as f64)),
+        ("throughput_rps", Json::Num(m.throughput_rps())),
+        ("p50_us", Json::Num(m.latency.p50_us())),
+        ("p90_us", Json::Num(m.latency.p90_us())),
+        ("p99_us", Json::Num(m.latency.p99_us())),
+        ("models", Json::Arr(models)),
+    ])
+}
+
+/// A prediction parsed back from the wire (see [`WireClient::predict`]).
+#[derive(Clone, Debug, PartialEq)]
+pub struct WirePrediction {
+    /// Model name echoed by the server.
+    pub model: String,
+    /// Version that served the request.
+    pub version: u64,
+    /// Predicted label.
+    pub label: usize,
+    /// Softmax probabilities (bit-identical to in-process serving).
+    pub probabilities: Vec<f64>,
+    /// Raw per-class fidelities (bit-identical to in-process serving).
+    pub fidelities: Vec<f64>,
+}
+
+/// A minimal blocking client for the wire protocol (used by tests, the
+/// serving example, and as a reference implementation for other
+/// languages).
+#[derive(Debug)]
+pub struct WireClient {
+    stream: TcpStream,
+}
+
+impl WireClient {
+    /// Connects to a [`WireServer`].
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, ServeError> {
+        Ok(WireClient {
+            stream: TcpStream::connect(addr)?,
+        })
+    }
+
+    /// Sends one request object and reads one response object.
+    pub fn call(&mut self, request: &Json) -> Result<Json, ServeError> {
+        write_frame(&mut self.stream, request.to_string().as_bytes())?;
+        let payload = read_frame(&mut self.stream)?
+            .ok_or_else(|| ServeError::Io("server closed the connection".to_string()))?;
+        let text = std::str::from_utf8(&payload)
+            .map_err(|_| ServeError::Protocol("response is not UTF-8".to_string()))?;
+        Json::parse(text)
+    }
+
+    /// Round-trips a ping.
+    pub fn ping(&mut self) -> Result<(), ServeError> {
+        let response = self.call(&Json::obj(vec![("op", Json::str("ping"))]))?;
+        if response.get("ok").and_then(Json::as_bool) == Some(true) {
+            Ok(())
+        } else {
+            Err(ServeError::Protocol(format!("unexpected pong: {response}")))
+        }
+    }
+
+    /// Requests a prediction, surfacing server-side errors as their
+    /// [`ServeError`] kinds.
+    pub fn predict(&mut self, model: &str, x: &[f64]) -> Result<WirePrediction, ServeError> {
+        let request = Json::obj(vec![
+            ("op", Json::str("predict")),
+            ("model", Json::str(model)),
+            ("features", Json::nums(x)),
+        ]);
+        let response = self.call(&request)?;
+        if response.get("ok").and_then(Json::as_bool) != Some(true) {
+            return Err(error_from_wire(&response, model));
+        }
+        let parse = || -> Option<WirePrediction> {
+            Some(WirePrediction {
+                model: response.get("model")?.as_str()?.to_string(),
+                version: response.get("version")?.as_u64()?,
+                label: response.get("label")?.as_u64()? as usize,
+                probabilities: response
+                    .get("probabilities")?
+                    .as_arr()?
+                    .iter()
+                    .map(Json::as_f64)
+                    .collect::<Option<Vec<f64>>>()?,
+                fidelities: response
+                    .get("fidelities")?
+                    .as_arr()?
+                    .iter()
+                    .map(Json::as_f64)
+                    .collect::<Option<Vec<f64>>>()?,
+            })
+        };
+        parse().ok_or_else(|| {
+            ServeError::Protocol(format!("malformed predict response: {response}"))
+        })
+    }
+
+    /// Fetches the server's metrics object.
+    pub fn metrics(&mut self) -> Result<Json, ServeError> {
+        let response = self.call(&Json::obj(vec![("op", Json::str("metrics"))]))?;
+        response
+            .get("metrics")
+            .cloned()
+            .ok_or_else(|| ServeError::Protocol(format!("malformed metrics: {response}")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_error_kinds_reconstruct_their_serve_errors() {
+        // The round trip ServeError → error_response → error_from_wire
+        // must preserve kind() and is_retryable() — the contract remote
+        // clients branch on.
+        let cases: Vec<ServeError> = vec![
+            ServeError::Saturated {
+                depth: 9,
+                capacity: 16,
+            },
+            ServeError::ShutDown,
+            ServeError::UnknownModel("m".into()),
+            ServeError::InvalidConfig("bad knob".into()),
+            ServeError::Protocol("junk".into()),
+            ServeError::Model(quclassi::error::QuClassiError::InvalidData("nan".into())),
+        ];
+        for original in cases {
+            let reconstructed = error_from_wire(&error_response(&original), "m");
+            assert_eq!(reconstructed.kind(), original.kind());
+            assert_eq!(reconstructed.is_retryable(), original.is_retryable());
+        }
+        // Saturation detail survives the wire.
+        let reconstructed = error_from_wire(
+            &error_response(&ServeError::Saturated {
+                depth: 9,
+                capacity: 16,
+            }),
+            "m",
+        );
+        assert_eq!(
+            reconstructed,
+            ServeError::Saturated {
+                depth: 9,
+                capacity: 16
+            }
+        );
+        // Internal model failures (whose concrete cause cannot cross the
+        // wire) degrade to Io, which is still non-retryable.
+        let internal = error_from_wire(
+            &error_response(&ServeError::Model(
+                quclassi::error::QuClassiError::InvalidConfig("c".into()),
+            )),
+            "m",
+        );
+        assert!(matches!(internal, ServeError::Io(_)));
+        assert!(!internal.is_retryable());
+    }
+
+    #[test]
+    fn frames_round_trip_through_a_buffer() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        write_frame(&mut buf, "ψ∿".as_bytes()).unwrap();
+        let mut cursor = &buf[..];
+        assert_eq!(read_frame(&mut cursor).unwrap().unwrap(), b"hello");
+        assert_eq!(read_frame(&mut cursor).unwrap().unwrap(), b"");
+        assert_eq!(read_frame(&mut cursor).unwrap().unwrap(), "ψ∿".as_bytes());
+        assert!(read_frame(&mut cursor).unwrap().is_none(), "clean EOF");
+    }
+
+    #[test]
+    fn truncated_and_oversized_frames_are_errors() {
+        // EOF inside the header.
+        let mut cursor: &[u8] = &[0u8, 0];
+        assert!(read_frame(&mut cursor).is_err());
+        // EOF inside the payload.
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        buf.truncate(buf.len() - 2);
+        let mut cursor = &buf[..];
+        assert!(read_frame(&mut cursor).is_err());
+        // Length prefix above the limit, rejected before allocation.
+        let huge = (MAX_FRAME_BYTES as u32 + 1).to_be_bytes();
+        let mut cursor = &huge[..];
+        assert!(read_frame(&mut cursor).is_err());
+    }
+}

@@ -79,17 +79,46 @@ impl BatchExecutor {
     /// examples should use — the thread count is a pure throughput knob
     /// (results are bit-identical for any value), so it is safe to let the
     /// deployment environment choose it.
-    pub fn from_env(root_seed: u64) -> Self {
-        let threads = std::env::var("QUCLASSI_THREADS")
-            .ok()
-            .and_then(|v| v.parse::<usize>().ok())
-            .filter(|&n| n > 0)
-            .unwrap_or_else(|| {
-                std::thread::available_parallelism()
-                    .map(|n| n.get())
-                    .unwrap_or(1)
-            });
-        BatchExecutor::new(threads, root_seed)
+    ///
+    /// # Errors
+    /// A `QUCLASSI_THREADS` value that is set but does not parse as a
+    /// positive integer is **rejected** with
+    /// [`SimError::InvalidConfiguration`], not silently replaced by a
+    /// default: a typo in the deployment knob must surface at startup, not
+    /// degrade a server to an unintended thread count. An unset (or empty)
+    /// variable falls back to the machine's available parallelism.
+    pub fn from_env(root_seed: u64) -> Result<Self, SimError> {
+        let raw = std::env::var("QUCLASSI_THREADS").ok();
+        Self::from_thread_spec(raw.as_deref(), root_seed)
+    }
+
+    /// The pure core of [`BatchExecutor::from_env`]: builds an executor from
+    /// an optional `QUCLASSI_THREADS`-style specification. `None` (and the
+    /// empty string, i.e. `QUCLASSI_THREADS=`) mean "unset — use available
+    /// parallelism"; anything else must parse as a positive integer.
+    pub fn from_thread_spec(spec: Option<&str>, root_seed: u64) -> Result<Self, SimError> {
+        let threads = match spec.map(str::trim).filter(|s| !s.is_empty()) {
+            None => std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            Some(raw) => match raw.parse::<usize>() {
+                Ok(n) if n > 0 => n,
+                Ok(_) => {
+                    return Err(SimError::InvalidConfiguration(
+                        "QUCLASSI_THREADS must be a positive integer; \
+                         0 threads cannot make progress (unset the variable \
+                         to use all available cores)"
+                            .to_string(),
+                    ))
+                }
+                Err(_) => {
+                    return Err(SimError::InvalidConfiguration(format!(
+                        "QUCLASSI_THREADS must be a positive integer, got '{raw}'"
+                    )))
+                }
+            },
+        };
+        Ok(BatchExecutor::new(threads, root_seed))
     }
 
     /// The configured worker count.
@@ -342,11 +371,41 @@ mod tests {
 
     #[test]
     fn from_env_honours_quclassi_threads() {
-        // Only assert on the explicit-override path: mutating the process
-        // environment in tests would race other threads.
-        let b = BatchExecutor::from_env(3);
+        // Only assert on the ambient-environment path here: mutating the
+        // process environment in tests would race other threads. The
+        // explicit specs are covered by `from_thread_spec` below.
+        let b = BatchExecutor::from_env(3).unwrap();
         assert!(b.threads() >= 1);
         assert_eq!(b.root_seed(), 3);
+    }
+
+    #[test]
+    fn thread_spec_accepts_positive_integers() {
+        let b = BatchExecutor::from_thread_spec(Some("4"), 9).unwrap();
+        assert_eq!(b.threads(), 4);
+        assert_eq!(b.root_seed(), 9);
+        // Surrounding whitespace is tolerated (shell quoting artefacts).
+        assert_eq!(
+            BatchExecutor::from_thread_spec(Some(" 2 "), 0).unwrap().threads(),
+            2
+        );
+        // Unset and empty both mean "use available parallelism".
+        assert!(BatchExecutor::from_thread_spec(None, 0).unwrap().threads() >= 1);
+        assert!(BatchExecutor::from_thread_spec(Some(""), 0).unwrap().threads() >= 1);
+    }
+
+    #[test]
+    fn thread_spec_rejects_zero_and_garbage() {
+        for bad in ["0", "abc", "-2", "1.5", "2x"] {
+            let err = BatchExecutor::from_thread_spec(Some(bad), 0)
+                .expect_err("spec should be rejected");
+            match err {
+                SimError::InvalidConfiguration(msg) => {
+                    assert!(msg.contains("QUCLASSI_THREADS"), "{msg}")
+                }
+                other => panic!("unexpected error for {bad:?}: {other:?}"),
+            }
+        }
     }
 
     #[test]

@@ -36,6 +36,12 @@ pub enum SimError {
     Unsupported(String),
     /// Routing / transpilation failed (e.g. disconnected coupling map).
     Routing(String),
+    /// A runtime configuration value (environment variable, executor
+    /// setting) was present but invalid. Rejected loudly instead of being
+    /// silently replaced by a default: a typo in a deployment knob like
+    /// `QUCLASSI_THREADS` must not degrade a server to an unintended
+    /// configuration.
+    InvalidConfiguration(String),
 }
 
 impl fmt::Display for SimError {
@@ -58,6 +64,9 @@ impl fmt::Display for SimError {
             }
             SimError::Unsupported(msg) => write!(f, "unsupported operation: {msg}"),
             SimError::Routing(msg) => write!(f, "routing error: {msg}"),
+            SimError::InvalidConfiguration(msg) => {
+                write!(f, "invalid configuration: {msg}")
+            }
         }
     }
 }
@@ -97,6 +106,10 @@ mod tests {
             (SimError::InvalidProbability(1.5), "probability"),
             (SimError::Unsupported("x".into()), "unsupported"),
             (SimError::Routing("no path".into()), "routing"),
+            (
+                SimError::InvalidConfiguration("QUCLASSI_THREADS".into()),
+                "invalid configuration",
+            ),
         ];
         for (err, needle) in cases {
             let msg = err.to_string();

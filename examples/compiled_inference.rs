@@ -52,7 +52,7 @@ fn main() {
     // 3. Serve a batch: one call fans samples × classes over the pool
     //    (QUCLASSI_THREADS, or all cores). Thread count never changes the
     //    results — only how fast they arrive.
-    let batch = BatchExecutor::from_env(0);
+    let batch = BatchExecutor::from_env(0).expect("invalid QUCLASSI_THREADS");
     let start = Instant::now();
     let predictions = compiled
         .predict_many(&test.features, &batch, 0)

@@ -45,7 +45,7 @@ fn main() {
         let compiled = CompiledModel::compile(&model, FidelityEstimator::analytic())
             .expect("compilation succeeds");
         let predictions: Vec<usize> = compiled
-            .predict_many(&test.features, &BatchExecutor::from_env(0), 0)
+            .predict_many(&test.features, &BatchExecutor::from_env(0).expect("invalid QUCLASSI_THREADS"), 0)
             .expect("batched serving succeeds")
             .into_iter()
             .map(|p| p.label)

@@ -71,7 +71,7 @@ fn main() {
     // 17-qubit shape — see BENCH_inference_throughput.json).
     let qc_acc = CompiledModel::compile(&model, FidelityEstimator::analytic())
         .unwrap()
-        .evaluate_accuracy(&test_z, &test_y, &BatchExecutor::from_env(0), 0)
+        .evaluate_accuracy(&test_z, &test_y, &BatchExecutor::from_env(0).expect("invalid QUCLASSI_THREADS"), 0)
         .unwrap();
 
     // 4. A classical DNN with ~1218 parameters on the same data.

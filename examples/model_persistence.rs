@@ -49,7 +49,7 @@ fn main() {
     let estimator = FidelityEstimator::analytic();
     let compiled = CompiledModel::compile(&restored, estimator.clone())
         .expect("restored model compiles");
-    let batch = BatchExecutor::from_env(0);
+    let batch = BatchExecutor::from_env(0).expect("invalid QUCLASSI_THREADS");
     let served = compiled
         .predict_many(&test.features, &batch, 0)
         .expect("batched serving succeeds");

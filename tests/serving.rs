@@ -1,0 +1,254 @@
+//! Serving-runtime stress tests: many producer threads against one
+//! runtime, asserting the serving layer's core contract — **no lost or
+//! duplicated responses, and every response bit-identical to a direct
+//! `CompiledModel` evaluation** for the analytic estimator, regardless of
+//! batching window, batch size target, executor thread count, or arrival
+//! order.
+
+use quclassi::model::{QuClassiConfig, QuClassiModel};
+use quclassi::swap_test::FidelityEstimator;
+use quclassi_infer::{CompiledModel, Prediction};
+use quclassi_serve::{ServeConfig, ServeError, ServeRuntime};
+use quclassi_sim::batch::BatchExecutor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn trained_compiled(seed: u64) -> CompiledModel {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let model =
+        QuClassiModel::with_random_parameters(QuClassiConfig::qc_sde(4, 3), &mut rng).unwrap();
+    CompiledModel::compile(&model, FidelityEstimator::analytic()).unwrap()
+}
+
+/// A pool of distinct samples, indexable from any producer thread.
+fn sample_pool(n: usize) -> Vec<Vec<f64>> {
+    (0..n)
+        .map(|i| {
+            (0..4)
+                .map(|d| ((0.07 * (1 + i * 4 + d) as f64).sin().abs() * 0.9).min(0.95))
+                .collect()
+        })
+        .collect()
+}
+
+/// Direct (un-served) references: what every response must equal, bit for
+/// bit. Computed on a *separate* artifact so the runtime's cache state
+/// cannot influence the reference.
+fn references(seed: u64, pool: &[Vec<f64>]) -> Vec<Prediction> {
+    let artifact = trained_compiled(seed);
+    let mut rng = StdRng::seed_from_u64(0);
+    pool.iter()
+        .map(|x| artifact.predict_one(x, &mut rng).unwrap())
+        .collect()
+}
+
+#[test]
+fn concurrent_producers_lose_nothing_and_match_direct_evaluation() {
+    const PRODUCERS: usize = 8;
+    const REQUESTS_PER_PRODUCER: usize = 25;
+    let pool = Arc::new(sample_pool(16));
+    let reference = Arc::new(references(42, &pool));
+
+    // Sweep the knobs that must NOT change any answer: batching window,
+    // batch size target (1 = per-request serving), executor threads.
+    let configs = [
+        (Duration::ZERO, 32usize, 1usize),
+        (Duration::from_micros(200), 16, 1),
+        (Duration::from_millis(5), 64, 2),
+        (Duration::from_micros(100), 1, 4),
+    ];
+    for (window, max_batch, threads) in configs {
+        let runtime = ServeRuntime::start(
+            ServeConfig {
+                batch_window: window,
+                max_batch,
+                queue_capacity: 4096,
+                base_seed: 0,
+            },
+            BatchExecutor::new(threads, 0),
+        )
+        .unwrap();
+        runtime.deploy("stress", trained_compiled(42)).unwrap();
+
+        let answered = Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = (0..PRODUCERS)
+            .map(|producer| {
+                let client = runtime.client();
+                let pool = Arc::clone(&pool);
+                let reference = Arc::clone(&reference);
+                let answered = Arc::clone(&answered);
+                std::thread::spawn(move || {
+                    for i in 0..REQUESTS_PER_PRODUCER {
+                        // Every producer walks the pool at its own stride,
+                        // so arrival order interleaves differently each run.
+                        let idx = (producer * 7 + i * 3) % pool.len();
+                        let response = client.predict("stress", &pool[idx]).unwrap();
+                        assert_eq!(
+                            response.prediction, reference[idx],
+                            "producer {producer}, request {i}, sample {idx}, \
+                             window {window:?}, max_batch {max_batch}, {threads} threads"
+                        );
+                        answered.fetch_add(1, Ordering::Relaxed);
+                    }
+                })
+            })
+            .collect();
+        for handle in handles {
+            handle.join().unwrap();
+        }
+
+        let metrics = runtime.shutdown();
+        let total = (PRODUCERS * REQUESTS_PER_PRODUCER) as u64;
+        // No lost responses: every blocking call returned (join proves it)…
+        assert_eq!(answered.load(Ordering::Relaxed) as u64, total);
+        // …and no duplicated/phantom work in the accounting.
+        assert_eq!(metrics.admitted, total);
+        assert_eq!(metrics.completed, total);
+        assert_eq!(metrics.rejected, 0);
+        assert_eq!(metrics.failed, 0);
+        assert_eq!(metrics.batched_requests, total);
+        assert_eq!(metrics.latency.count(), total);
+    }
+}
+
+#[test]
+fn hot_swap_under_load_serves_every_request_on_a_consistent_version() {
+    const PRODUCERS: usize = 4;
+    const REQUESTS_PER_PRODUCER: usize = 30;
+    let pool = Arc::new(sample_pool(8));
+    let reference_v1 = Arc::new(references(1, &pool));
+    let reference_v2 = Arc::new(references(2, &pool));
+
+    let runtime = ServeRuntime::start(
+        ServeConfig {
+            batch_window: Duration::from_micros(100),
+            max_batch: 8,
+            queue_capacity: 4096,
+            base_seed: 0,
+        },
+        BatchExecutor::single_threaded(0),
+    )
+    .unwrap();
+    runtime.deploy("swap", trained_compiled(1)).unwrap();
+
+    let handles: Vec<_> = (0..PRODUCERS)
+        .map(|producer| {
+            let client = runtime.client();
+            let pool = Arc::clone(&pool);
+            let v1 = Arc::clone(&reference_v1);
+            let v2 = Arc::clone(&reference_v2);
+            std::thread::spawn(move || {
+                let mut seen_versions = Vec::new();
+                for i in 0..REQUESTS_PER_PRODUCER {
+                    let idx = (producer + i * 5) % pool.len();
+                    let response = client.predict("swap", &pool[idx]).unwrap();
+                    // Whatever version served the request, the answer must
+                    // be that version's exact direct evaluation.
+                    let expected: &Prediction = match response.version {
+                        1 => &v1[idx],
+                        2 => &v2[idx],
+                        v => panic!("unexpected version {v}"),
+                    };
+                    assert_eq!(&response.prediction, expected);
+                    seen_versions.push(response.version);
+                }
+                seen_versions
+            })
+        })
+        .collect();
+
+    // Swap mid-flight.
+    std::thread::sleep(Duration::from_millis(2));
+    runtime.deploy("swap", trained_compiled(2)).unwrap();
+
+    let mut all_versions = Vec::new();
+    for handle in handles {
+        let versions = handle.join().unwrap();
+        // Per producer, versions are monotone: once v2 answered, v1 never
+        // answers again (admission resolves to the newest entry).
+        let mut max_seen = 0;
+        for &v in &versions {
+            assert!(v >= max_seen, "version went backwards: {versions:?}");
+            max_seen = v;
+        }
+        all_versions.extend(versions);
+    }
+    assert!(
+        all_versions.contains(&2),
+        "the swap should have become visible to producers"
+    );
+    let metrics = runtime.shutdown();
+    assert_eq!(
+        metrics.completed,
+        (PRODUCERS * REQUESTS_PER_PRODUCER) as u64
+    );
+    assert_eq!(metrics.failed, 0);
+    // Nothing still drains once all requests finished.
+    assert_eq!(metrics.draining_models, 0);
+}
+
+#[test]
+fn saturated_runtime_rejects_excess_but_answers_every_admitted_request() {
+    // A tiny queue with a slow (large-window) scheduler: concurrent
+    // producers must see a mix of served and saturation-rejected requests,
+    // with admitted + rejected == offered and no hangs.
+    let pool = sample_pool(4);
+    let runtime = ServeRuntime::start(
+        ServeConfig {
+            batch_window: Duration::from_millis(30),
+            max_batch: 64,
+            queue_capacity: 4,
+            base_seed: 0,
+        },
+        BatchExecutor::single_threaded(0),
+    )
+    .unwrap();
+    runtime.deploy("tiny", trained_compiled(3)).unwrap();
+
+    let offered = Arc::new(AtomicUsize::new(0));
+    let served = Arc::new(AtomicUsize::new(0));
+    let rejected = Arc::new(AtomicUsize::new(0));
+    let handles: Vec<_> = (0..8)
+        .map(|producer| {
+            let client = runtime.client();
+            let pool = pool.clone();
+            let offered = Arc::clone(&offered);
+            let served = Arc::clone(&served);
+            let rejected = Arc::clone(&rejected);
+            std::thread::spawn(move || {
+                for i in 0..10 {
+                    offered.fetch_add(1, Ordering::Relaxed);
+                    match client.predict("tiny", &pool[(producer + i) % pool.len()]) {
+                        Ok(_) => {
+                            served.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(e @ ServeError::Saturated { .. }) => {
+                            assert!(e.is_retryable());
+                            rejected.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(other) => panic!("unexpected error: {other}"),
+                    }
+                }
+            })
+        })
+        .collect();
+    for handle in handles {
+        handle.join().unwrap();
+    }
+    let metrics = runtime.shutdown();
+    assert_eq!(
+        served.load(Ordering::Relaxed) + rejected.load(Ordering::Relaxed),
+        offered.load(Ordering::Relaxed)
+    );
+    assert_eq!(metrics.admitted, served.load(Ordering::Relaxed) as u64);
+    assert_eq!(metrics.completed, metrics.admitted, "admitted ⇒ answered");
+    assert_eq!(metrics.rejected, rejected.load(Ordering::Relaxed) as u64);
+    assert!(
+        metrics.rejected > 0,
+        "a 4-deep queue under 80 eager requests must saturate at least once"
+    );
+    assert!(metrics.peak_queue_depth <= 4);
+}
