@@ -205,6 +205,18 @@ impl CompiledModel {
         }
     }
 
+    /// Sets the intra-circuit thread budget the single-sample serving
+    /// paths run under: large SWAP-test circuit sweeps and analytic
+    /// inner-product reductions split across the budget's workers. Batched
+    /// paths ([`CompiledModel::predict_many`]) take their budget from the
+    /// [`BatchExecutor`] instead (`QUCLASSI_INTRA_THREADS` via
+    /// [`BatchExecutor::from_env`]). Pure throughput knob — predictions
+    /// are bit-identical for any value.
+    pub fn with_intra(mut self, intra: quclassi_sim::intra::IntraThreads) -> Self {
+        self.estimator = self.estimator.with_intra(intra);
+        self
+    }
+
     /// The model configuration the artifact was compiled from.
     pub fn config(&self) -> &QuClassiConfig {
         &self.config
@@ -255,9 +267,10 @@ impl CompiledModel {
                 // to the uncompiled `encode_state` path (see
                 // `DataEncoder::encode_state_from_angles`).
                 let data = self.encoder.encode_state_from_angles(angles)?;
+                let intra = self.estimator.executor().intra();
                 states
                     .iter()
-                    .map(|s| s.fidelity(&data).map_err(QuClassiError::from))
+                    .map(|s| s.fidelity_with(&data, intra).map_err(QuClassiError::from))
                     .collect()
             }
             CompiledClasses::SwapTest { circuits, ancilla } => circuits
@@ -450,12 +463,13 @@ impl CompiledModel {
         match &self.classes {
             CompiledClasses::Analytic { states } => {
                 let jobs: Vec<&[f64]> = angles.iter().map(Vec::as_slice).collect();
+                let intra = batch.intra();
                 batch
                     .run_seeded(base_seed, jobs, |_, sample_angles, _| {
                         let data = self.encoder.encode_state_from_angles(sample_angles)?;
                         states
                             .iter()
-                            .map(|s| s.fidelity(&data).map_err(QuClassiError::from))
+                            .map(|s| s.fidelity_with(&data, intra).map_err(QuClassiError::from))
                             .collect::<Result<Vec<f64>, QuClassiError>>()
                     })
                     .into_iter()

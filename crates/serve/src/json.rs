@@ -13,9 +13,16 @@
 use crate::error::ServeError;
 use std::fmt;
 
-/// Maximum nesting depth the parser accepts — a protocol robustness bound,
-/// far above anything the wire protocol emits.
-const MAX_DEPTH: usize = 64;
+/// Maximum nesting depth the parser accepts.
+///
+/// The parser is recursive-descent, so without this cap a deeply nested
+/// array/object payload arriving over the TCP socket (`"[[[[…"` costs the
+/// attacker two bytes per level) would overflow the handler thread's stack
+/// and kill the serving process. The cap bounds recursion to a constant
+/// far above anything the wire protocol emits (responses nest 3 deep) and
+/// turns the attack into an ordinary non-retryable client-error response,
+/// with the connection staying usable.
+pub const MAX_PARSE_DEPTH: usize = 64;
 
 /// A JSON value.
 #[derive(Clone, Debug, PartialEq)]
@@ -219,8 +226,10 @@ impl<'a> Parser<'a> {
     }
 
     fn value(&mut self, depth: usize) -> Result<Json, ServeError> {
-        if depth > MAX_DEPTH {
-            return Err(self.error("nesting too deep"));
+        if depth > MAX_PARSE_DEPTH {
+            return Err(self.error(&format!(
+                "nesting deeper than the {MAX_PARSE_DEPTH}-level limit"
+            )));
         }
         match self.peek() {
             Some(b'n') => self.eat_literal("null", Json::Null),
@@ -460,6 +469,38 @@ mod tests {
         assert!(Json::parse(&deep).is_err());
         let ok = "[".repeat(30) + &"]".repeat(30);
         assert!(Json::parse(&ok).is_ok());
+    }
+
+    #[test]
+    fn depth_limit_is_exact_and_covers_objects_and_mixed_nesting() {
+        // Exactly at the cap parses; one deeper is rejected. The document
+        // root sits at depth 0, so MAX_PARSE_DEPTH + 1 brackets fit.
+        let at_cap = "[".repeat(MAX_PARSE_DEPTH + 1) + &"]".repeat(MAX_PARSE_DEPTH + 1);
+        assert!(Json::parse(&at_cap).is_ok());
+        let over = "[".repeat(MAX_PARSE_DEPTH + 2) + &"]".repeat(MAX_PARSE_DEPTH + 2);
+        let err = Json::parse(&over).unwrap_err();
+        assert_eq!(err.kind(), "protocol");
+        assert!(!err.is_retryable(), "a malformed payload is a client error");
+        // Object nesting hits the same cap.
+        let objects = "{\"a\":".repeat(MAX_PARSE_DEPTH + 2)
+            + "null"
+            + &"}".repeat(MAX_PARSE_DEPTH + 2);
+        assert!(Json::parse(&objects).is_err());
+        // Mixed array/object nesting too.
+        let mixed = "[{\"a\":".repeat((MAX_PARSE_DEPTH + 3) / 2)
+            + "null"
+            + &"}]".repeat((MAX_PARSE_DEPTH + 3) / 2);
+        assert!(Json::parse(&mixed).is_err());
+    }
+
+    #[test]
+    fn megabyte_scale_bracket_bombs_fail_fast_without_deep_recursion() {
+        // 2 MiB of '[': the parser must bail at the depth cap (constant
+        // stack), not recurse a million frames and overflow.
+        let bomb = "[".repeat(2 * 1024 * 1024);
+        assert!(Json::parse(&bomb).is_err());
+        let bomb_obj = "{\"k\":".repeat(500_000) + "1";
+        assert!(Json::parse(&bomb_obj).is_err());
     }
 
     #[test]

@@ -24,8 +24,11 @@
 //!   batch occupancy, throughput, and per-model cache hit rates.
 //! * **Two frontends** — the in-process [`Client`] handle (primary,
 //!   test-friendly), and a minimal length-prefixed-JSON TCP protocol
-//!   ([`WireServer`] / [`WireClient`]) with graceful shutdown and no
-//!   dependencies.
+//!   ([`WireServer`] / [`WireClient`]) with graceful shutdown, no
+//!   dependencies, and a hardened boundary: per-socket read/write
+//!   deadlines, a connection cap with a retryable `saturated` refusal,
+//!   frame-size limits and a JSON nesting cap ([`WireConfig`],
+//!   `QUCLASSI_MAX_CONNECTIONS` / `QUCLASSI_WIRE_TIMEOUT_MS`).
 //!
 //! ## Determinism
 //!
@@ -82,7 +85,7 @@ pub use runtime::{
     Client, MetricsSnapshot, ModelMetrics, PendingPrediction, ServeConfig, ServeResponse,
     ServeRuntime,
 };
-pub use wire::{WireClient, WirePrediction, WireServer};
+pub use wire::{WireClient, WireConfig, WirePrediction, WireServer};
 
 /// Re-exports of the most commonly used serving types.
 pub mod prelude {
@@ -90,6 +93,6 @@ pub mod prelude {
     pub use crate::runtime::{
         Client, MetricsSnapshot, ServeConfig, ServeResponse, ServeRuntime,
     };
-    pub use crate::wire::{WireClient, WireServer};
+    pub use crate::wire::{WireClient, WireConfig, WireServer};
     pub use quclassi_sim::batch::BatchExecutor;
 }

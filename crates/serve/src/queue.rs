@@ -31,7 +31,10 @@ use std::sync::{Condvar, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
 struct QueueState<T> {
-    items: VecDeque<T>,
+    /// Queued items, each stamped with its admission time so the batching
+    /// window can be measured from when the *oldest* request entered the
+    /// queue — not from when the scheduler happened to start waiting.
+    items: VecDeque<(Instant, T)>,
     closed: bool,
     peak_depth: usize,
 }
@@ -93,7 +96,7 @@ impl<T> BoundedQueue<T> {
                 capacity: self.capacity,
             });
         }
-        state.items.push_back(item);
+        state.items.push_back((Instant::now(), item));
         state.peak_depth = state.peak_depth.max(state.items.len());
         drop(state);
         // One consumer (the scheduler); one wake is enough.
@@ -102,8 +105,15 @@ impl<T> BoundedQueue<T> {
     }
 
     /// Blocks until at least one item is available, then drains up to
-    /// `max_batch` items, waiting at most `window` (measured from the
-    /// moment the first item is seen) for the batch to fill.
+    /// `max_batch` items, waiting until at most `window` **after the
+    /// oldest queued item was admitted** for the batch to fill.
+    ///
+    /// Measuring the window from enqueue time (not from when this call
+    /// started waiting) bounds every admitted request's batching delay by
+    /// `window` even when the scheduler was busy computing the previous
+    /// batch while the request arrived: a request that has already waited
+    /// out its window flushes immediately instead of waiting
+    /// `window + previous-batch-compute`.
     ///
     /// Returns `None` only when the queue is closed *and* empty — the
     /// scheduler's signal to exit. When the queue is closed with items
@@ -128,10 +138,12 @@ impl<T> BoundedQueue<T> {
                 .wait(state)
                 .unwrap_or_else(|e| e.into_inner());
         }
-        // Phase 2: let the batch fill until the size target or the window
-        // deadline, whichever comes first. A closed queue flushes at once.
+        // Phase 2: let the batch fill until the size target or the oldest
+        // item's window deadline, whichever comes first. A deadline already
+        // in the past (the request aged while the previous batch computed)
+        // flushes at once, as does a closed queue.
         if !window.is_zero() {
-            let deadline = Instant::now() + window;
+            let deadline = state.items.front().expect("phase 1 saw an item").0 + window;
             while state.items.len() < max_batch && !state.closed {
                 let now = Instant::now();
                 if now >= deadline {
@@ -149,7 +161,7 @@ impl<T> BoundedQueue<T> {
         }
         let closed = state.closed;
         let n = state.items.len().min(max_batch);
-        let batch: Vec<T> = state.items.drain(..n).collect();
+        let batch: Vec<T> = state.items.drain(..n).map(|(_, item)| item).collect();
         let reason = if batch.len() >= max_batch {
             FlushReason::Size
         } else if closed {
@@ -261,6 +273,45 @@ mod tests {
         std::thread::sleep(Duration::from_millis(10));
         q.close();
         assert!(consumer.join().unwrap().is_none());
+    }
+
+    #[test]
+    fn window_is_measured_from_enqueue_not_from_pop() {
+        // Regression: a request admitted while the scheduler was busy
+        // computing the previous batch used to wait up to
+        // `window + previous-batch-compute` — the deadline was measured
+        // from when pop_batch started waiting. It must be measured from
+        // the oldest item's admission.
+        let q = BoundedQueue::new(8);
+        q.try_push(1).unwrap();
+        // Simulate the scheduler being busy past the whole window.
+        std::thread::sleep(Duration::from_millis(250));
+        let start = Instant::now();
+        let (batch, reason) = q.pop_batch(8, Duration::from_millis(200)).unwrap();
+        assert!(
+            start.elapsed() < Duration::from_millis(120),
+            "expired window must flush immediately, waited {:?}",
+            start.elapsed()
+        );
+        assert_eq!(batch, vec![1]);
+        assert_eq!(reason, FlushReason::Deadline);
+    }
+
+    #[test]
+    fn partially_elapsed_window_only_waits_the_remainder() {
+        let q = BoundedQueue::new(8);
+        q.try_push(1).unwrap();
+        std::thread::sleep(Duration::from_millis(200));
+        let start = Instant::now();
+        // 300 ms window, ~200 ms already burned while "computing": the
+        // wait from here is the ~100 ms remainder, not a fresh 300 ms.
+        let (batch, _) = q.pop_batch(8, Duration::from_millis(300)).unwrap();
+        let waited = start.elapsed();
+        assert!(
+            waited < Duration::from_millis(250),
+            "must wait only the window remainder, waited {waited:?}"
+        );
+        assert_eq!(batch, vec![1]);
     }
 
     #[test]

@@ -23,6 +23,22 @@
 //! concurrency story lives in the runtime's queue, where every connection
 //! thread is just another producer. Graceful shutdown closes the listener
 //! and joins every connection handler.
+//!
+//! ## Robustness against adversarial / slow clients
+//!
+//! The boundary assumes hostile peers ([`WireConfig`]):
+//!
+//! * **Read/write timeouts** — a client that connects and never sends a
+//!   length header (or never drains its responses) cannot pin its
+//!   connection thread forever: every socket read and write carries a
+//!   deadline, and a timed-out connection is closed.
+//! * **Connection cap** — the accept loop refuses connections beyond
+//!   `max_connections` with a retryable `saturated` wire error instead of
+//!   spawning threads without bound.
+//! * **Frame and parse limits** — frames above [`MAX_FRAME_BYTES`] are
+//!   rejected before allocation, and JSON nesting beyond
+//!   [`crate::json::MAX_PARSE_DEPTH`] is rejected before it can exhaust
+//!   the parser's stack.
 
 use crate::error::ServeError;
 use crate::json::Json;
@@ -32,9 +48,103 @@ use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 /// Upper bound on a single frame's payload, rejected before allocation.
 pub const MAX_FRAME_BYTES: usize = 16 * 1024 * 1024;
+
+/// Robustness knobs of the TCP frontend.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WireConfig {
+    /// Maximum simultaneously open connections; the acceptor answers
+    /// over-cap connections with a retryable `saturated` error frame and
+    /// closes them instead of spawning an unbounded number of handler
+    /// threads.
+    pub max_connections: usize,
+    /// Per-read socket deadline. A peer that stays silent longer —
+    /// including one that never sends a length header — is disconnected.
+    /// `None` disables the deadline (trusted-network use only).
+    pub read_timeout: Option<Duration>,
+    /// Per-write socket deadline; protects against peers that accept a
+    /// request but never drain the response. `None` disables it.
+    pub write_timeout: Option<Duration>,
+}
+
+impl Default for WireConfig {
+    fn default() -> Self {
+        WireConfig {
+            max_connections: 1024,
+            read_timeout: Some(Duration::from_secs(30)),
+            write_timeout: Some(Duration::from_secs(30)),
+        }
+    }
+}
+
+impl WireConfig {
+    /// Reads the wire knobs from the environment on top of the defaults:
+    /// `QUCLASSI_MAX_CONNECTIONS` (positive integer) and
+    /// `QUCLASSI_WIRE_TIMEOUT_MS` (milliseconds for both read and write;
+    /// `0` disables the deadlines).
+    ///
+    /// # Errors
+    /// A variable that is set but malformed is rejected with
+    /// [`ServeError::InvalidConfig`] — the same contract as
+    /// `ServeConfig::from_env` and `QUCLASSI_THREADS`.
+    pub fn from_env() -> Result<Self, ServeError> {
+        let mut config = WireConfig::default();
+        if let Some(raw) = std::env::var("QUCLASSI_MAX_CONNECTIONS")
+            .ok()
+            .filter(|v| !v.trim().is_empty())
+        {
+            config.max_connections = match raw.trim().parse::<usize>() {
+                Ok(n) if n > 0 => n,
+                _ => {
+                    return Err(ServeError::InvalidConfig(format!(
+                        "QUCLASSI_MAX_CONNECTIONS must be a positive integer, got '{raw}'"
+                    )))
+                }
+            };
+        }
+        if let Some(raw) = std::env::var("QUCLASSI_WIRE_TIMEOUT_MS")
+            .ok()
+            .filter(|v| !v.trim().is_empty())
+        {
+            let ms: u64 = raw.trim().parse().map_err(|_| {
+                ServeError::InvalidConfig(format!(
+                    "QUCLASSI_WIRE_TIMEOUT_MS must be a non-negative integer \
+                     (milliseconds; 0 disables the deadline), got '{raw}'"
+                ))
+            })?;
+            let timeout = (ms > 0).then(|| Duration::from_millis(ms));
+            config.read_timeout = timeout;
+            config.write_timeout = timeout;
+        }
+        config.validate()?;
+        Ok(config)
+    }
+
+    /// Checks the invariants (`max_connections ≥ 1`, non-zero deadlines).
+    pub fn validate(&self) -> Result<(), ServeError> {
+        if self.max_connections == 0 {
+            return Err(ServeError::InvalidConfig(
+                "max_connections must be at least 1".to_string(),
+            ));
+        }
+        for (name, timeout) in [
+            ("read_timeout", self.read_timeout),
+            ("write_timeout", self.write_timeout),
+        ] {
+            if timeout == Some(Duration::ZERO) {
+                // set_read_timeout(Some(ZERO)) is a platform error; the
+                // explicit "disabled" spelling is None.
+                return Err(ServeError::InvalidConfig(format!(
+                    "{name} must be positive (use None to disable the deadline)"
+                )));
+            }
+        }
+        Ok(())
+    }
+}
 
 /// Writes one length-prefixed frame.
 pub fn write_frame(writer: &mut impl Write, payload: &[u8]) -> std::io::Result<()> {
@@ -96,8 +206,23 @@ struct Connection {
 
 impl WireServer {
     /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and
-    /// starts accepting connections, each served on its own thread.
+    /// starts accepting connections, each served on its own thread, under
+    /// the default [`WireConfig`] (1024-connection cap, 30 s socket
+    /// deadlines). Deployments that want the environment knobs
+    /// (`QUCLASSI_MAX_CONNECTIONS` / `QUCLASSI_WIRE_TIMEOUT_MS`) should
+    /// use [`WireServer::start_with`] with [`WireConfig::from_env`], as
+    /// the serving example does.
     pub fn start(addr: impl ToSocketAddrs, client: Client) -> Result<Self, ServeError> {
+        Self::start_with(addr, client, WireConfig::default())
+    }
+
+    /// [`WireServer::start`] with explicit robustness knobs.
+    pub fn start_with(
+        addr: impl ToSocketAddrs,
+        client: Client,
+        config: WireConfig,
+    ) -> Result<Self, ServeError> {
+        config.validate()?;
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
         let shutdown = Arc::new(AtomicBool::new(false));
@@ -113,9 +238,30 @@ impl WireServer {
                             break;
                         }
                         let Ok(stream) = stream else { continue };
+                        // Arm the per-socket deadlines before the first
+                        // read, so even the initial header cannot park a
+                        // handler forever.
+                        if stream.set_read_timeout(config.read_timeout).is_err()
+                            || stream.set_write_timeout(config.write_timeout).is_err()
+                        {
+                            continue;
+                        }
                         let Ok(stream_for_shutdown) = stream.try_clone() else {
                             continue;
                         };
+                        let mut conns =
+                            connections.lock().unwrap_or_else(|e| e.into_inner());
+                        // Reap finished handlers so a long-lived server does
+                        // not accumulate them — and so the cap below counts
+                        // only genuinely live connections.
+                        conns.retain(|c| !c.handle.is_finished());
+                        if conns.len() >= config.max_connections {
+                            let open = conns.len();
+                            drop(conns);
+                            refuse_connection(stream, open, config.max_connections);
+                            continue;
+                        }
+                        drop(conns);
                         let client = client.clone();
                         let handle = std::thread::Builder::new()
                             .name("quclassi-serve-conn".to_string())
@@ -123,9 +269,6 @@ impl WireServer {
                         if let Ok(handle) = handle {
                             let mut conns =
                                 connections.lock().unwrap_or_else(|e| e.into_inner());
-                            // Opportunistically reap finished handlers so a
-                            // long-lived server does not accumulate them.
-                            conns.retain(|c| !c.handle.is_finished());
                             conns.push(Connection {
                                 handle,
                                 stream: stream_for_shutdown,
@@ -184,6 +327,18 @@ impl Drop for WireServer {
     }
 }
 
+/// Answers an over-cap connection with a retryable `saturated` error frame
+/// and closes it. Best-effort: a peer that cannot even take the error
+/// frame is simply dropped.
+fn refuse_connection(mut stream: TcpStream, open: usize, capacity: usize) {
+    let response = error_response(&ServeError::Saturated {
+        depth: open,
+        capacity,
+    });
+    let _ = write_frame(&mut stream, response.to_string().as_bytes());
+    let _ = stream.shutdown(std::net::Shutdown::Both);
+}
+
 fn serve_connection(stream: TcpStream, client: &Client) {
     let mut reader = match stream.try_clone() {
         Ok(r) => r,
@@ -193,10 +348,19 @@ fn serve_connection(stream: TcpStream, client: &Client) {
     loop {
         let payload = match read_frame(&mut reader) {
             Ok(Some(payload)) => payload,
-            Ok(None) | Err(_) => return, // peer hung up / stream broken
+            // Peer hung up, stream broken, or the read deadline fired (a
+            // silent/slow client). Shut the socket down explicitly: the
+            // server's shutdown bookkeeping holds another clone of this
+            // stream, so merely dropping ours would leave the peer's
+            // connection half-open instead of surfacing the disconnect.
+            Ok(None) | Err(_) => {
+                let _ = writer.shutdown(std::net::Shutdown::Both);
+                return;
+            }
         };
         let response = dispatch(&payload, client);
         if write_frame(&mut writer, response.to_string().as_bytes()).is_err() {
+            let _ = writer.shutdown(std::net::Shutdown::Both);
             return;
         }
     }

@@ -20,6 +20,8 @@ use crate::circuit::Circuit;
 use crate::error::SimError;
 use crate::executor::Executor;
 use crate::fusion::FusedCircuit;
+use crate::intra::IntraThreads;
+use crate::state::StateVector;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use threadpool::ThreadPool;
@@ -43,6 +45,7 @@ fn splitmix64(mut state: u64) -> u64 {
 pub struct BatchExecutor {
     pool: ThreadPool,
     root_seed: u64,
+    intra: IntraThreads,
 }
 
 impl Default for BatchExecutor {
@@ -62,6 +65,7 @@ impl BatchExecutor {
         BatchExecutor {
             pool: ThreadPool::new(threads),
             root_seed,
+            intra: IntraThreads::single_threaded(),
         }
     }
 
@@ -70,26 +74,58 @@ impl BatchExecutor {
         BatchExecutor {
             pool: ThreadPool::single_threaded(),
             root_seed,
+            intra: IntraThreads::single_threaded(),
         }
     }
 
-    /// A batch executor sized from the environment: the `QUCLASSI_THREADS`
-    /// variable when set to a positive integer, otherwise the machine's
-    /// available parallelism. This is the constructor servers, benches and
-    /// examples should use — the thread count is a pure throughput knob
-    /// (results are bit-identical for any value), so it is safe to let the
-    /// deployment environment choose it.
+    /// Sets the *within*-circuit thread budget: each job's kernel sweeps
+    /// additionally fan out over this many workers once a register crosses
+    /// the budget's qubit threshold, so the total budget is
+    /// `threads × intra.threads()`. A pure throughput knob — results are
+    /// bit-identical for any combination (see [`IntraThreads`]).
+    pub fn with_intra(mut self, intra: IntraThreads) -> Self {
+        self.intra = intra;
+        self
+    }
+
+    /// The configured within-circuit thread budget.
+    pub fn intra(&self) -> &IntraThreads {
+        &self.intra
+    }
+
+    /// A batch executor sized from the environment: the across-circuit
+    /// worker count from `QUCLASSI_THREADS` (unset → the machine's
+    /// available parallelism) and the within-circuit budget from
+    /// `QUCLASSI_INTRA_THREADS` (unset → 1, i.e. intra-circuit parallelism
+    /// is opt-in — defaulting both to all cores would oversubscribe by the
+    /// square of the core count). This is the constructor servers, benches
+    /// and examples should use — both knobs are pure throughput knobs
+    /// (results are bit-identical for any values), so it is safe to let
+    /// the deployment environment choose them.
     ///
     /// # Errors
-    /// A `QUCLASSI_THREADS` value that is set but does not parse as a
-    /// positive integer is **rejected** with
+    /// A `QUCLASSI_THREADS` or `QUCLASSI_INTRA_THREADS` value that is set
+    /// but does not parse as a positive integer is **rejected** with
     /// [`SimError::InvalidConfiguration`], not silently replaced by a
-    /// default: a typo in the deployment knob must surface at startup, not
-    /// degrade a server to an unintended thread count. An unset (or empty)
-    /// variable falls back to the machine's available parallelism.
+    /// default: a typo in a deployment knob must surface at startup, not
+    /// degrade a server to an unintended thread count.
     pub fn from_env(root_seed: u64) -> Result<Self, SimError> {
-        let raw = std::env::var("QUCLASSI_THREADS").ok();
-        Self::from_thread_spec(raw.as_deref(), root_seed)
+        let across = std::env::var("QUCLASSI_THREADS").ok();
+        let intra = std::env::var("QUCLASSI_INTRA_THREADS").ok();
+        Self::from_thread_specs(across.as_deref(), intra.as_deref(), root_seed)
+    }
+
+    /// The pure core of [`BatchExecutor::from_env`]: builds an executor
+    /// from optional `QUCLASSI_THREADS` / `QUCLASSI_INTRA_THREADS`-style
+    /// specifications (see [`BatchExecutor::from_thread_spec`] and
+    /// [`IntraThreads::from_thread_spec`] for the accepted forms).
+    pub fn from_thread_specs(
+        across: Option<&str>,
+        intra: Option<&str>,
+        root_seed: u64,
+    ) -> Result<Self, SimError> {
+        Ok(Self::from_thread_spec(across, root_seed)?
+            .with_intra(IntraThreads::from_thread_spec(intra)?))
     }
 
     /// The pure core of [`BatchExecutor::from_env`]: builds an executor from
@@ -166,6 +202,32 @@ impl BatchExecutor {
         })
     }
 
+    /// Like [`BatchExecutor::run_seeded`], but every worker additionally
+    /// carries a private scratch value created once by `init` and reused
+    /// across all the jobs that worker runs — the hook that lets execution
+    /// loops reuse statevector buffers instead of allocating one per job.
+    /// Thread-count invariance is preserved as long as jobs fully
+    /// overwrite whatever scratch state they read (buffers reused by the
+    /// executor paths here satisfy that by construction).
+    pub fn run_seeded_with_scratch<T, U, S, I, F>(
+        &self,
+        base: u64,
+        jobs: Vec<T>,
+        init: I,
+        f: F,
+    ) -> Vec<U>
+    where
+        T: Send,
+        U: Send,
+        I: Fn() -> S + Sync,
+        F: Fn(usize, T, &mut StdRng, &mut S) -> U + Sync,
+    {
+        self.pool.scoped_map_with(jobs, init, |index, job, scratch| {
+            let mut rng = StdRng::seed_from_u64(Self::job_seed(base, index as u64));
+            f(index, job, &mut rng, scratch)
+        })
+    }
+
     /// Evaluates `P(qubit = 1)` for each parameter vector against a compiled
     /// circuit through `executor` (which may be noisy and/or shot-limited).
     ///
@@ -180,10 +242,16 @@ impl BatchExecutor {
         qubit: usize,
         base_seed: u64,
     ) -> Result<Vec<f64>, SimError> {
+        let executor = executor.clone().with_intra(self.intra.clone());
         let jobs: Vec<&[f64]> = param_sets.iter().map(Vec::as_slice).collect();
-        self.run_seeded(base_seed, jobs, |_, params, rng| {
-            executor.probability_of_one_compiled(circuit, params, qubit, rng)
-        })
+        self.run_seeded_with_scratch(
+            base_seed,
+            jobs,
+            || StateVector::zero_state(circuit.num_qubits()),
+            |_, params, rng, scratch| {
+                executor.probability_of_one_compiled_reusing(circuit, params, qubit, rng, scratch)
+            },
+        )
         .into_iter()
         .collect()
     }
@@ -202,10 +270,20 @@ impl BatchExecutor {
         qubit: usize,
         base_seed: u64,
     ) -> Result<Vec<f64>, SimError> {
+        let executor = executor.clone().with_intra(self.intra.clone());
+        let width = jobs.first().map_or(1, |(c, _)| c.num_qubits());
         let jobs: Vec<(&FusedCircuit, &[f64])> = jobs.to_vec();
-        self.run_seeded(base_seed, jobs, |_, (circuit, params), rng| {
-            executor.probability_of_one_compiled(circuit, params, qubit, rng)
-        })
+        self.run_seeded_with_scratch(
+            base_seed,
+            jobs,
+            // Jobs may carry different register widths; the scratch's
+            // buffer-reusing copy resizes on a width change, so sizing for
+            // the first job is only a warm start, never a constraint.
+            || StateVector::zero_state(width),
+            |_, (circuit, params), rng, scratch| {
+                executor.probability_of_one_compiled_reusing(circuit, params, qubit, rng, scratch)
+            },
+        )
         .into_iter()
         .collect()
     }
@@ -216,9 +294,9 @@ impl BatchExecutor {
         &self,
         circuit: &FusedCircuit,
         param_sets: &[Vec<f64>],
-    ) -> Result<Vec<crate::state::StateVector>, SimError> {
+    ) -> Result<Vec<StateVector>, SimError> {
         let jobs: Vec<&[f64]> = param_sets.iter().map(Vec::as_slice).collect();
-        self.run(jobs, |_, params, _| circuit.execute(params))
+        self.run(jobs, |_, params, _| circuit.execute_with(params, &self.intra))
             .into_iter()
             .collect()
     }

@@ -19,6 +19,7 @@ use crate::circuit::Circuit;
 use crate::density::DensityMatrix;
 use crate::error::SimError;
 use crate::fusion::FusedCircuit;
+use crate::intra::IntraThreads;
 use crate::noise::NoiseModel;
 use crate::state::StateVector;
 use rand::Rng;
@@ -62,6 +63,7 @@ pub struct Executor {
     method: Method,
     shots: Option<usize>,
     trajectories: usize,
+    intra: IntraThreads,
 }
 
 impl Default for Executor {
@@ -78,6 +80,7 @@ impl Executor {
             method: Method::StateVector,
             shots: None,
             trajectories: 1,
+            intra: IntraThreads::single_threaded(),
         }
     }
 
@@ -88,6 +91,7 @@ impl Executor {
             method: Method::StateVector,
             shots: None,
             trajectories: 16,
+            intra: IntraThreads::single_threaded(),
         }
     }
 
@@ -98,7 +102,23 @@ impl Executor {
             method: Method::DensityMatrix,
             shots: None,
             trajectories: 1,
+            intra: IntraThreads::single_threaded(),
         }
+    }
+
+    /// Sets the intra-circuit thread budget: compiled ideal state-vector
+    /// runs split every kernel sweep and measurement reduction over this
+    /// many workers once the register crosses the budget's qubit
+    /// threshold. A pure throughput knob — results are bit-identical for
+    /// any value.
+    pub fn with_intra(mut self, intra: IntraThreads) -> Self {
+        self.intra = intra;
+        self
+    }
+
+    /// The configured intra-circuit thread budget.
+    pub fn intra(&self) -> &IntraThreads {
+        &self.intra
     }
 
     /// Sets the number of measurement shots; `None` means exact expectation.
@@ -160,8 +180,8 @@ impl Executor {
             }
             Method::StateVector => {
                 if self.noise.is_ideal() {
-                    let sv = circuit.execute(params)?;
-                    return sv.probability_of_one(qubit);
+                    let sv = circuit.execute_with(params, &self.intra)?;
+                    return sv.probability_of_one_with(qubit, &self.intra);
                 }
                 let gates = circuit.bind(params)?;
                 let mut acc = 0.0;
@@ -191,8 +211,8 @@ impl Executor {
         rng: &mut R,
     ) -> Result<f64, SimError> {
         if self.method == Method::StateVector && self.noise.is_ideal() {
-            let sv = fused.execute(params)?;
-            return sv.probability_of_one(qubit);
+            let sv = fused.execute_with(params, &self.intra)?;
+            return sv.probability_of_one_with(qubit, &self.intra);
         }
         self.raw_probability_of_one(fused.source(), params, qubit, rng)
     }
@@ -245,6 +265,29 @@ impl Executor {
     ) -> Result<f64, SimError> {
         let p_true = self.raw_probability_of_one_compiled(fused, params, qubit, rng)?;
         Ok(self.sample_readout(p_true, rng))
+    }
+
+    /// [`Executor::probability_of_one_compiled`] evaluating into a
+    /// caller-owned scratch statevector, so a loop over many evaluations
+    /// of one circuit shape (a batch worker, a serving thread) reuses one
+    /// amplitude buffer instead of allocating per evaluation. Bit-identical
+    /// to the non-reusing call; configurations the fused fast path cannot
+    /// serve (noise, density matrix) transparently fall back to it and
+    /// leave the scratch untouched.
+    pub fn probability_of_one_compiled_reusing<R: Rng + ?Sized>(
+        &self,
+        fused: &FusedCircuit,
+        params: &[f64],
+        qubit: usize,
+        rng: &mut R,
+        scratch: &mut StateVector,
+    ) -> Result<f64, SimError> {
+        if self.method == Method::StateVector && self.noise.is_ideal() {
+            fused.execute_reusing(params, scratch, &self.intra)?;
+            let p_true = scratch.probability_of_one_with(qubit, &self.intra)?;
+            return Ok(self.sample_readout(p_true, rng));
+        }
+        self.probability_of_one_compiled(fused, params, qubit, rng)
     }
 
     /// Estimates ⟨Z⟩ on a qubit: `1 - 2·P(1)`.
@@ -327,7 +370,7 @@ impl Executor {
         rng: &mut R,
     ) -> Result<Vec<(usize, usize)>, SimError> {
         if self.method == Method::StateVector && self.noise.is_ideal() {
-            let sv = fused.execute(params)?;
+            let sv = fused.execute_with(params, &self.intra)?;
             let mut histogram = std::collections::BTreeMap::new();
             for _ in 0..shots {
                 *histogram.entry(sv.sample(rng)).or_insert(0usize) += 1;

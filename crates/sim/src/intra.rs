@@ -1,0 +1,220 @@
+//! Intra-statevector thread budget: parallelism *within* a single circuit
+//! execution.
+//!
+//! [`crate::batch::BatchExecutor`] parallelises *across* circuits — one job
+//! per parameter set or sample. That leaves a single large circuit (the
+//! 17-qubit MNIST SWAP test is the canonical case) running every amplitude
+//! sweep on one thread. An [`IntraThreads`] budget lets the hot kernels in
+//! [`crate::state::StateVector`] split each sweep into cache-block-sized
+//! disjoint amplitude chunks and dispatch them over the vendored scoped
+//! thread pool.
+//!
+//! The two budgets compose multiplicatively: a batch of `B` jobs on an
+//! executor with `across` workers and `intra` threads per circuit uses up
+//! to `across × intra` OS threads. Deployments size them with the
+//! `QUCLASSI_THREADS` (across) and `QUCLASSI_INTRA_THREADS` (within) knobs.
+//!
+//! ## Determinism
+//!
+//! Intra-circuit parallelism never changes any answer:
+//!
+//! * gate kernels are elementwise or permutational per disjoint amplitude
+//!   group, so splitting the sweep cannot reorder any amplitude's
+//!   arithmetic;
+//! * reductions (inner products, measurement probabilities) use a **fixed
+//!   pairwise tree** whose shape depends only on the register size — never
+//!   on the thread count — so partial sums combine in the same order
+//!   whether they were computed by one thread or eight.
+//!
+//! Consequently results are **bit-identical for any intra thread count**
+//! (determinism guarantee 5 in `docs/ARCHITECTURE.md`), pinned by the
+//! `intra_equivalence` property suite.
+
+use crate::error::SimError;
+use threadpool::ThreadPool;
+
+/// Below this register size, parallel dispatch costs more than the sweep
+/// itself: a 2^14-amplitude sweep is a few tens of microseconds, the same
+/// order as spawning scoped workers. Kernels on smaller registers always
+/// run sequentially, whatever the configured thread count.
+pub const DEFAULT_INTRA_THRESHOLD_QUBITS: usize = 14;
+
+/// A within-circuit thread budget: how many workers a single statevector
+/// sweep may fan out over, and the register size at which fanning out
+/// starts to pay.
+///
+/// The default ([`IntraThreads::single_threaded`]) keeps every kernel on
+/// the calling thread — intra-circuit parallelism is strictly opt-in, so
+/// existing single-circuit latencies and the across-circuit budget of
+/// [`crate::batch::BatchExecutor`] are unchanged unless a deployment asks
+/// for it.
+///
+/// ```
+/// use quclassi_sim::intra::IntraThreads;
+///
+/// let intra = IntraThreads::new(8);
+/// assert_eq!(intra.threads(), 8);
+/// // Small registers stay sequential regardless of the budget…
+/// assert!(!intra.parallelizes(10));
+/// // …large ones fan out.
+/// assert!(intra.parallelizes(17));
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct IntraThreads {
+    pool: ThreadPool,
+    threshold_qubits: usize,
+}
+
+impl Default for IntraThreads {
+    fn default() -> Self {
+        IntraThreads::single_threaded()
+    }
+}
+
+impl IntraThreads {
+    /// A budget of `threads` workers per kernel sweep, with the default
+    /// qubit-count threshold.
+    ///
+    /// # Panics
+    /// Panics if `threads` is zero (same contract as
+    /// [`crate::batch::BatchExecutor::new`]).
+    pub fn new(threads: usize) -> Self {
+        IntraThreads {
+            pool: ThreadPool::new(threads),
+            threshold_qubits: DEFAULT_INTRA_THRESHOLD_QUBITS,
+        }
+    }
+
+    /// The no-op budget: every kernel runs inline on the calling thread.
+    pub fn single_threaded() -> Self {
+        IntraThreads {
+            pool: ThreadPool::single_threaded(),
+            threshold_qubits: DEFAULT_INTRA_THRESHOLD_QUBITS,
+        }
+    }
+
+    /// Replaces the qubit-count threshold below which kernels stay
+    /// sequential. Mainly for tests (forcing the parallel code paths on
+    /// tiny registers) and for tuning on unusual hardware.
+    pub fn with_threshold_qubits(mut self, threshold_qubits: usize) -> Self {
+        self.threshold_qubits = threshold_qubits;
+        self
+    }
+
+    /// A budget sized from the `QUCLASSI_INTRA_THREADS` environment
+    /// variable.
+    ///
+    /// Unset (or empty) means **one thread**: within-circuit parallelism is
+    /// opt-in, unlike `QUCLASSI_THREADS` whose unset default is all cores —
+    /// defaulting both to all cores would oversubscribe the machine by the
+    /// square of its core count.
+    ///
+    /// # Errors
+    /// A set-but-malformed or zero value is rejected with
+    /// [`SimError::InvalidConfiguration`], exactly like `QUCLASSI_THREADS`:
+    /// a typo in a deployment knob must fail startup, not silently serve
+    /// with a default.
+    pub fn from_env() -> Result<Self, SimError> {
+        let raw = std::env::var("QUCLASSI_INTRA_THREADS").ok();
+        Self::from_thread_spec(raw.as_deref())
+    }
+
+    /// The pure core of [`IntraThreads::from_env`]: builds a budget from an
+    /// optional `QUCLASSI_INTRA_THREADS`-style specification. `None` and
+    /// the empty string mean "unset — single-threaded"; anything else must
+    /// parse as a positive integer.
+    pub fn from_thread_spec(spec: Option<&str>) -> Result<Self, SimError> {
+        match spec.map(str::trim).filter(|s| !s.is_empty()) {
+            None => Ok(IntraThreads::single_threaded()),
+            Some(raw) => match raw.parse::<usize>() {
+                Ok(n) if n > 0 => Ok(IntraThreads::new(n)),
+                Ok(_) => Err(SimError::InvalidConfiguration(
+                    "QUCLASSI_INTRA_THREADS must be a positive integer; \
+                     0 threads cannot make progress (unset the variable \
+                     for single-threaded kernels)"
+                        .to_string(),
+                )),
+                Err(_) => Err(SimError::InvalidConfiguration(format!(
+                    "QUCLASSI_INTRA_THREADS must be a positive integer, got '{raw}'"
+                ))),
+            },
+        }
+    }
+
+    /// The configured worker count.
+    pub fn threads(&self) -> usize {
+        self.pool.threads()
+    }
+
+    /// The register size (in qubits) at which kernels start fanning out.
+    pub fn threshold_qubits(&self) -> usize {
+        self.threshold_qubits
+    }
+
+    /// Whether a kernel on a `num_qubits`-qubit register should dispatch in
+    /// parallel under this budget.
+    pub fn parallelizes(&self, num_qubits: usize) -> bool {
+        self.pool.threads() > 1 && num_qubits >= self.threshold_qubits
+    }
+
+    /// The scoped pool kernels dispatch over.
+    pub(crate) fn pool(&self) -> &ThreadPool {
+        &self.pool
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_single_threaded_and_never_parallelizes() {
+        let intra = IntraThreads::default();
+        assert_eq!(intra.threads(), 1);
+        assert!(!intra.parallelizes(26));
+    }
+
+    #[test]
+    fn threshold_gates_parallel_dispatch() {
+        let intra = IntraThreads::new(4);
+        assert_eq!(intra.threshold_qubits(), DEFAULT_INTRA_THRESHOLD_QUBITS);
+        assert!(!intra.parallelizes(DEFAULT_INTRA_THRESHOLD_QUBITS - 1));
+        assert!(intra.parallelizes(DEFAULT_INTRA_THRESHOLD_QUBITS));
+        let low = intra.with_threshold_qubits(2);
+        assert!(low.parallelizes(2));
+        assert!(!low.parallelizes(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_threads_rejected_at_construction() {
+        let _ = IntraThreads::new(0);
+    }
+
+    #[test]
+    fn thread_spec_unset_means_single_threaded() {
+        assert_eq!(IntraThreads::from_thread_spec(None).unwrap().threads(), 1);
+        assert_eq!(
+            IntraThreads::from_thread_spec(Some("")).unwrap().threads(),
+            1
+        );
+        assert_eq!(
+            IntraThreads::from_thread_spec(Some(" 6 ")).unwrap().threads(),
+            6
+        );
+    }
+
+    #[test]
+    fn thread_spec_rejects_zero_and_garbage_like_quclassi_threads() {
+        for bad in ["0", "abc", "-3", "2.5", "4x"] {
+            let err = IntraThreads::from_thread_spec(Some(bad))
+                .expect_err("spec should be rejected");
+            match err {
+                SimError::InvalidConfiguration(msg) => {
+                    assert!(msg.contains("QUCLASSI_INTRA_THREADS"), "{msg}")
+                }
+                other => panic!("unexpected error for {bad:?}: {other:?}"),
+            }
+        }
+    }
+}

@@ -26,7 +26,12 @@
 //!   ahead of repeated replays,
 //! * [`batch::BatchExecutor`] — parallel batch evaluation over a scoped
 //!   thread pool with deterministic per-job RNG streams (results are
-//!   bit-identical for any thread count).
+//!   bit-identical for any thread count),
+//! * [`intra::IntraThreads`] — the *within*-circuit thread budget: large
+//!   statevector sweeps and reductions split into cache-block-sized
+//!   disjoint chunks over the same scoped pool, bit-identical for any
+//!   thread count (`QUCLASSI_INTRA_THREADS`). Composes multiplicatively
+//!   with the across-circuit budget of [`batch::BatchExecutor`].
 //!
 //! ## Quick example
 //!
@@ -56,8 +61,10 @@ pub mod error;
 pub mod executor;
 pub mod fusion;
 pub mod gate;
+pub mod intra;
 pub mod linalg;
 pub mod noise;
+mod partition;
 pub mod state;
 pub mod transpile;
 
@@ -72,6 +79,7 @@ pub mod prelude {
     pub use crate::executor::{Executor, Method};
     pub use crate::fusion::{BoundFusedCircuit, FusedCircuit};
     pub use crate::gate::Gate;
+    pub use crate::intra::IntraThreads;
     pub use crate::linalg::CMatrix;
     pub use crate::noise::{NoiseChannel, NoiseModel, ReadoutError};
     pub use crate::state::StateVector;

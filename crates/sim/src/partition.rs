@@ -1,0 +1,190 @@
+//! Segment partitioning for intra-statevector parallel kernels.
+//!
+//! A gate kernel on qubit set `Q` couples amplitudes whose indices differ
+//! only in bits of `Q`; every other qubit is a pure batch dimension. To
+//! parallelise a sweep without `unsafe`, the amplitude array is cut into
+//! equal contiguous **segments** of `2^seg_bits` amplitudes (safe
+//! `chunks_exact_mut` slices) and segments are grouped into **items**:
+//!
+//! * two segments land in the same item iff their (high) index bits differ
+//!   only in *coupled* positions `q ≥ seg_bits` (the "peeled" qubits);
+//! * coupled positions `q < seg_bits` stay internal to every segment
+//!   (their `2^(q+1)`-sized blocks always fit, because `q < seg_bits`).
+//!
+//! Items therefore touch pairwise-disjoint amplitude sets and can run on
+//! different threads, while each item privately owns the `2^a` segments
+//! (`a` = peeled-qubit count) its kernel couples. Within an item, the
+//! segment list is ordered by peeled-qubit assignment, so a kernel indexes
+//! the segment holding any global amplitude index directly.
+//!
+//! The partition affects only *which thread* sweeps which amplitudes —
+//! each amplitude's arithmetic is the per-group butterfly of the
+//! sequential kernel, so results are bit-identical for any item count.
+
+use crate::complex::Complex;
+use crate::state::CACHE_BLOCK_BITS;
+
+/// Preferred segment size: the shared cache-block work unit (2^12
+/// amplitudes = 64 KiB), big enough to amortise dispatch, small enough to
+/// balance.
+const PREFERRED_SEG_BITS: usize = CACHE_BLOCK_BITS;
+
+/// A parallel decomposition plan for one kernel application.
+pub(crate) struct SegPlan {
+    /// log2 of the segment length.
+    pub(crate) seg_bits: usize,
+    /// Coupled qubit positions `≥ seg_bits`, ascending. Bit `r` of an
+    /// item-local segment index is the value of qubit `peeled[r]`.
+    pub(crate) peeled: Vec<usize>,
+}
+
+/// One independent unit of parallel work: the segments (with their global
+/// base indices) that one kernel invocation may touch.
+pub(crate) struct SegItem<'a> {
+    /// `(global base index, amplitudes)`, sorted so entry `s` corresponds
+    /// to peeled-qubit assignment `s`.
+    pub(crate) segs: Vec<(usize, &'a mut [Complex])>,
+}
+
+impl SegPlan {
+    /// Plans a decomposition of a `num_qubits`-register sweep coupling
+    /// `coupled` qubits into at least `2 × workers` items when possible.
+    /// Returns `None` when no split produces ≥ 2 items — the caller then
+    /// runs the sequential kernel.
+    pub(crate) fn plan(num_qubits: usize, coupled: &[usize], workers: usize) -> Option<SegPlan> {
+        let n = num_qubits;
+        if n < 2 {
+            return None;
+        }
+        let target = workers.max(1) * 2;
+        let items_at = |seg_bits: usize| -> usize {
+            let peeled = coupled.iter().filter(|&&q| q >= seg_bits).count();
+            1usize << (n - seg_bits - peeled)
+        };
+        let mut seg_bits = PREFERRED_SEG_BITS.min(n - 1);
+        while seg_bits > 1 && items_at(seg_bits) < target {
+            seg_bits -= 1;
+        }
+        if items_at(seg_bits) < 2 {
+            return None;
+        }
+        let mut peeled: Vec<usize> = coupled.iter().copied().filter(|&q| q >= seg_bits).collect();
+        peeled.sort_unstable();
+        Some(SegPlan { seg_bits, peeled })
+    }
+
+    /// Splits the amplitude array into the planned items.
+    pub(crate) fn split<'a>(&self, amps: &'a mut [Complex]) -> Vec<SegItem<'a>> {
+        let seg_len = 1usize << self.seg_bits;
+        let num_segs = amps.len() >> self.seg_bits;
+        let group = 1usize << self.peeled.len();
+        let mut items: Vec<SegItem<'a>> = (0..num_segs / group)
+            .map(|_| SegItem {
+                segs: Vec::with_capacity(group),
+            })
+            .collect();
+        for (s, seg) in amps.chunks_exact_mut(seg_len).enumerate() {
+            // Item id: the segment index with the peeled bit positions
+            // squeezed out (removed highest-first so positions stay valid).
+            let mut item_id = s;
+            for &q in self.peeled.iter().rev() {
+                let p = q - self.seg_bits;
+                item_id = ((item_id >> (p + 1)) << p) | (item_id & ((1usize << p) - 1));
+            }
+            items[item_id].segs.push((s << self.seg_bits, seg));
+        }
+        items
+    }
+
+    /// Item-local segment index of the segment holding global amplitude
+    /// index `g`: the value of the peeled qubits of `g`, packed ascending.
+    #[inline(always)]
+    pub(crate) fn seg_of(&self, g: usize) -> usize {
+        let mut sel = 0usize;
+        for (r, &q) in self.peeled.iter().enumerate() {
+            if g & (1usize << q) != 0 {
+                sel |= 1 << r;
+            }
+        }
+        sel
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn amps(n: usize) -> Vec<Complex> {
+        (0..1usize << n)
+            .map(|i| Complex::new(i as f64, -(i as f64)))
+            .collect()
+    }
+
+    /// Every amplitude index appears in exactly one item, at the location
+    /// `(seg_of(g), g & seg_mask)` the kernels use to address it.
+    #[test]
+    fn items_cover_the_register_disjointly() {
+        for (n, coupled) in [
+            (6usize, vec![0usize]),
+            (6, vec![5]),
+            (6, vec![0, 5]),
+            (7, vec![2, 5, 6]),
+            (8, vec![6, 7]),
+        ] {
+            let plan = SegPlan::plan(n, &coupled, 4).expect("plan");
+            let mut v = amps(n);
+            let dim = v.len();
+            let seg_mask = (1usize << plan.seg_bits) - 1;
+            let items = plan.split(&mut v);
+            assert!(items.len() >= 2);
+            let mut seen = vec![false; dim];
+            for item in &items {
+                for &(base, ref seg) in &item.segs {
+                    for (i, a) in seg.iter().enumerate() {
+                        let g = base + i;
+                        assert!(!seen[g], "index {g} covered twice");
+                        seen[g] = true;
+                        assert_eq!(a.re, g as f64);
+                    }
+                }
+            }
+            assert!(seen.iter().all(|&s| s), "uncovered indices");
+            // Addressing contract: g lives at segs[seg_of(g)] offset g & mask.
+            let mut v = amps(n);
+            let items = plan.split(&mut v);
+            for item in &items {
+                for &(base, ref seg) in &item.segs {
+                    for i in 0..seg.len() {
+                        let g = base + i;
+                        let (seg_base, s) = &item.segs[plan.seg_of(g)];
+                        assert_eq!(seg_base + (g & seg_mask), g);
+                        assert_eq!(s[g & seg_mask].re, g as f64);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn plan_declines_undecomposable_registers() {
+        // A 1-qubit register cannot split into two items.
+        assert!(SegPlan::plan(1, &[0], 8).is_none());
+        // A 2-qubit register with both qubits coupled has one item only.
+        assert!(SegPlan::plan(2, &[0, 1], 8).is_none());
+        // …but with one coupled qubit it still splits in two.
+        assert!(SegPlan::plan(2, &[0], 8).is_some());
+    }
+
+    #[test]
+    fn segments_within_an_item_are_ordered_by_peeled_assignment() {
+        let plan = SegPlan::plan(6, &[4, 5], 2).expect("plan");
+        let mut v = amps(6);
+        let items = plan.split(&mut v);
+        for item in &items {
+            assert_eq!(item.segs.len(), 4, "two peeled qubits → four segments");
+            for (sub, &(base, _)) in item.segs.iter().enumerate() {
+                assert_eq!(plan.seg_of(base), sub);
+            }
+        }
+    }
+}

@@ -10,7 +10,9 @@
 use crate::complex::Complex;
 use crate::error::SimError;
 use crate::gate::Gate;
+use crate::intra::IntraThreads;
 use crate::linalg::CMatrix;
+use crate::partition::SegPlan;
 use rand::Rng;
 
 /// Largest qubit count accepted by the dense-unitary kernels
@@ -18,11 +20,47 @@ use rand::Rng;
 /// scratch buffers are stack-allocated at `2^MAX_DENSE_QUBITS`.
 pub const MAX_DENSE_QUBITS: usize = 6;
 
+/// log2 of the cache-block work unit shared by every intra-circuit
+/// parallel surface: reduction-tree leaves, elementwise sweep chunks, and
+/// the segment partitioner's preferred segment size. 2^12 amplitudes =
+/// 64 KiB — big enough to amortise dispatch, small enough to balance.
+/// Keeping one constant prevents the three surfaces from drifting apart.
+pub(crate) const CACHE_BLOCK_BITS: usize = 12;
+
+/// Leaf size (in amplitudes) of the fixed pairwise reduction tree used by
+/// [`StateVector::inner_product`] and [`StateVector::probability_of_one`].
+///
+/// Registers at or below this size reduce with a plain sequential fold;
+/// larger registers reduce chunk-by-chunk and combine the partial sums in
+/// a balanced binary tree. The tree's shape depends **only on the register
+/// size** — never on a thread count — so sequential and parallel
+/// reductions produce bit-identical results.
+pub const REDUCTION_CHUNK: usize = 1 << CACHE_BLOCK_BITS;
+
 /// A pure quantum state on `n` qubits, stored as `2^n` amplitudes.
-#[derive(Clone, Debug, PartialEq)]
+#[derive(Debug, PartialEq)]
 pub struct StateVector {
     num_qubits: usize,
     amplitudes: Vec<Complex>,
+}
+
+impl Clone for StateVector {
+    fn clone(&self) -> Self {
+        StateVector {
+            num_qubits: self.num_qubits,
+            amplitudes: self.amplitudes.clone(),
+        }
+    }
+
+    /// Copies `source` into `self`, reusing the existing amplitude buffer
+    /// whenever its capacity suffices. This is what lets replay loops
+    /// (e.g. [`crate::fusion::BoundFusedCircuit::execute_reusing`]) start
+    /// every execution from a prelude state without a per-execution heap
+    /// allocation.
+    fn clone_from(&mut self, source: &Self) {
+        self.num_qubits = source.num_qubits;
+        self.amplitudes.clone_from(&source.amplitudes);
+    }
 }
 
 impl StateVector {
@@ -111,6 +149,12 @@ impl StateVector {
     }
 
     /// Inner product ⟨self|other⟩.
+    ///
+    /// Registers larger than [`REDUCTION_CHUNK`] amplitudes sum through a
+    /// fixed pairwise tree (leaf folds combined by balanced halving) whose
+    /// shape is a pure function of the register size, so
+    /// [`StateVector::inner_product_with`] can compute the identical bits
+    /// on any number of threads.
     pub fn inner_product(&self, other: &StateVector) -> Result<Complex, SimError> {
         if self.num_qubits != other.num_qubits {
             return Err(SimError::DimensionMismatch {
@@ -118,17 +162,50 @@ impl StateVector {
                 found: other.num_qubits,
             });
         }
-        Ok(self
-            .amplitudes
-            .iter()
-            .zip(other.amplitudes.iter())
-            .map(|(a, b)| a.conj() * *b)
-            .sum())
+        Ok(inner_product_tree(&self.amplitudes, &other.amplitudes))
+    }
+
+    /// [`StateVector::inner_product`] with the leaf sums of the reduction
+    /// tree fanned out over an intra-circuit thread budget. Bit-identical
+    /// to the sequential path for any thread count: only *who computes*
+    /// each leaf changes, never the tree shape.
+    pub fn inner_product_with(
+        &self,
+        other: &StateVector,
+        intra: &IntraThreads,
+    ) -> Result<Complex, SimError> {
+        if self.num_qubits != other.num_qubits {
+            return Err(SimError::DimensionMismatch {
+                expected: self.num_qubits,
+                found: other.num_qubits,
+            });
+        }
+        if !intra.parallelizes(self.num_qubits) || self.dim() <= REDUCTION_CHUNK {
+            return Ok(inner_product_tree(&self.amplitudes, &other.amplitudes));
+        }
+        let leaves = self.dim() / REDUCTION_CHUNK;
+        let partials = intra.pool().scoped_map((0..leaves).collect(), |_, leaf| {
+            let lo = leaf * REDUCTION_CHUNK;
+            let hi = lo + REDUCTION_CHUNK;
+            inner_product_leaf(&self.amplitudes[lo..hi], &other.amplitudes[lo..hi])
+        });
+        Ok(combine_complex(&partials))
     }
 
     /// State fidelity |⟨self|other⟩|² between two pure states.
     pub fn fidelity(&self, other: &StateVector) -> Result<f64, SimError> {
         Ok(self.inner_product(other)?.norm_sqr())
+    }
+
+    /// [`StateVector::fidelity`] with the inner product's leaf sums fanned
+    /// out over an intra-circuit thread budget (bit-identical for any
+    /// thread count).
+    pub fn fidelity_with(
+        &self,
+        other: &StateVector,
+        intra: &IntraThreads,
+    ) -> Result<f64, SimError> {
+        Ok(self.inner_product_with(other, intra)?.norm_sqr())
     }
 
     /// Tensor product `self ⊗ other`; `other`'s qubits become the new
@@ -176,8 +253,21 @@ impl StateVector {
     pub fn apply_gate(&mut self, gate: &Gate) -> Result<(), SimError> {
         let qubits = gate.qubits();
         self.validate_qubits(&qubits)?;
+        if !self.apply_gate_specialized(gate) {
+            self.apply_unitary_unchecked(&qubits, gate.matrix().as_slice());
+        }
+        Ok(())
+    }
+
+    /// Applies a gate that has a multiply-free diagonal/permutation
+    /// specialisation, skipping operand validation and without touching
+    /// the heap (no operand-vector or matrix construction). Returns `false`
+    /// for dense gates, which need their matrix built.
+    ///
+    /// Callers guarantee the operands are distinct and in range — this is
+    /// the replay path of circuits whose gates were validated at bind time.
+    pub(crate) fn apply_gate_specialized(&mut self, gate: &Gate) -> bool {
         match gate {
-            // Fast diagonal/permutation special cases.
             Gate::I(_) => {}
             Gate::X(q) => self.apply_x(*q),
             Gate::Z(q) => self.apply_phase_flip(*q, Complex::from_real(-1.0)),
@@ -189,9 +279,90 @@ impl StateVector {
             Gate::Cnot { control, target } => self.apply_cnot(*control, *target),
             Gate::Cz { control, target } => self.apply_cz(*control, *target),
             Gate::CSwap { control, a, b } => self.apply_cswap(*control, *a, *b),
-            g => self.apply_unitary_unchecked(&qubits, g.matrix().as_slice()),
+            _ => return false,
+        }
+        true
+    }
+
+    /// [`StateVector::apply_gate`] under an intra-circuit thread budget:
+    /// above the budget's qubit threshold the sweep is split into disjoint
+    /// segment groups and fanned out over the scoped pool. Results are
+    /// bit-identical to the sequential path for any thread count (gate
+    /// kernels are elementwise or permutational per disjoint amplitude
+    /// group — parallelism only changes which thread sweeps which group).
+    pub(crate) fn apply_gate_intra(
+        &mut self,
+        gate: &Gate,
+        intra: &IntraThreads,
+    ) -> Result<(), SimError> {
+        if !intra.parallelizes(self.num_qubits) {
+            return self.apply_gate(gate);
+        }
+        let qubits = gate.qubits();
+        self.validate_qubits(&qubits)?;
+        if !self.apply_gate_specialized_intra(gate, intra) {
+            self.apply_unitary_unchecked_intra(&qubits, gate.matrix().as_slice(), intra);
         }
         Ok(())
+    }
+
+    /// Parallel counterpart of [`StateVector::apply_gate_specialized`]:
+    /// diagonal gates sweep contiguous chunks, permutation gates sweep
+    /// segment groups. Falls back to the sequential specialisation when no
+    /// useful decomposition exists.
+    fn apply_gate_specialized_intra(&mut self, gate: &Gate, intra: &IntraThreads) -> bool {
+        match gate {
+            Gate::I(_) => {}
+            Gate::X(q) => {
+                let bit = 1usize << *q;
+                if !self.par_permutation(&[*q], intra, |g| (g & bit == 0).then_some(g | bit)) {
+                    self.apply_x(*q);
+                }
+            }
+            Gate::Z(q) => self.par_phase_flip(*q, Complex::from_real(-1.0), intra),
+            Gate::S(q) => self.par_phase_flip(*q, Complex::I, intra),
+            Gate::Sdg(q) => self.par_phase_flip(*q, Complex::new(0.0, -1.0), intra),
+            Gate::T(q) => {
+                self.par_phase_flip(*q, Complex::cis(std::f64::consts::FRAC_PI_4), intra)
+            }
+            Gate::Tdg(q) => {
+                self.par_phase_flip(*q, Complex::cis(-std::f64::consts::FRAC_PI_4), intra)
+            }
+            Gate::Swap(a, b) => {
+                let (ba, bb) = (1usize << *a, 1usize << *b);
+                if !self.par_permutation(&[*a, *b], intra, |g| {
+                    (g & ba != 0 && g & bb == 0).then_some((g & !ba) | bb)
+                }) {
+                    self.apply_swap(*a, *b);
+                }
+            }
+            Gate::Cnot { control, target } => {
+                let (cb, tb) = (1usize << *control, 1usize << *target);
+                if !self.par_permutation(&[*target], intra, |g| {
+                    (g & cb != 0 && g & tb == 0).then_some(g | tb)
+                }) {
+                    self.apply_cnot(*control, *target);
+                }
+            }
+            Gate::Cz { control, target } => {
+                let mask = (1usize << *control) | (1usize << *target);
+                self.par_elementwise(intra, |g, a| {
+                    if g & mask == mask {
+                        *a = Complex::new(-a.re, -a.im);
+                    }
+                });
+            }
+            Gate::CSwap { control, a, b } => {
+                let (cb, ab, bb) = (1usize << *control, 1usize << *a, 1usize << *b);
+                if !self.par_permutation(&[*a, *b], intra, |g| {
+                    (g & cb != 0 && g & ab != 0 && g & bb == 0).then_some((g & !ab) | bb)
+                }) {
+                    self.apply_cswap(*control, *a, *b);
+                }
+            }
+            _ => return false,
+        }
+        true
     }
 
     /// Applies a sequence of gates in order.
@@ -485,7 +656,330 @@ impl StateVector {
         }
     }
 
+    /// The parallel counterpart of
+    /// [`StateVector::apply_unitary_unchecked`]: the same dense kernel,
+    /// with the sweep split into disjoint segment groups dispatched over
+    /// the intra-circuit pool. Falls back to the sequential kernels below
+    /// the budget's threshold or when no useful decomposition exists, and
+    /// reproduces the sequential per-amplitude arithmetic expression
+    /// exactly, so the result is bit-identical for any thread count.
+    pub(crate) fn apply_unitary_unchecked_intra(
+        &mut self,
+        qubits: &[usize],
+        m: &[Complex],
+        intra: &IntraThreads,
+    ) {
+        if !intra.parallelizes(self.num_qubits) {
+            return self.apply_unitary_unchecked(qubits, m);
+        }
+        match qubits.len() {
+            0 => {}
+            1 => {
+                if !self.par_unitary1(qubits[0], m, intra) {
+                    self.apply_unitary1(qubits[0], m);
+                }
+            }
+            2 => {
+                if !self.par_unitary2(qubits[0], qubits[1], m, intra) {
+                    self.apply_unitary2(qubits[0], qubits[1], m);
+                }
+            }
+            _ => {
+                if !self.par_unitary_k(qubits, m, intra) {
+                    self.apply_unitary_k(qubits, m);
+                }
+            }
+        }
+    }
+
+    /// Parallel elementwise sweep: contiguous cache-block chunks, each
+    /// worker applying `f(global_index, amplitude)` to its chunks. Used by
+    /// the diagonal specialisations (phase flips, CZ).
+    fn par_elementwise(&mut self, intra: &IntraThreads, f: impl Fn(usize, &mut Complex) + Sync) {
+        const CHUNK: usize = 1 << CACHE_BLOCK_BITS;
+        let items: Vec<(usize, &mut [Complex])> = self
+            .amplitudes
+            .chunks_mut(CHUNK)
+            .enumerate()
+            .map(|(c, chunk)| (c * CHUNK, chunk))
+            .collect();
+        intra.pool().scoped_map(items, |_, (base, chunk)| {
+            for (i, a) in chunk.iter_mut().enumerate() {
+                f(base + i, a);
+            }
+        });
+    }
+
+    fn par_phase_flip(&mut self, q: usize, phase: Complex, intra: &IntraThreads) {
+        let bit = 1usize << q;
+        self.par_elementwise(intra, |g, a| {
+            if g & bit != 0 {
+                *a *= phase;
+            }
+        });
+    }
+
+    /// Parallel permutation sweep over segment groups coupling `coupled`
+    /// qubits. `pair(g)` returns the swap partner when `g` is a pair's
+    /// canonical initiator (so every unordered pair is swapped exactly
+    /// once, as in the sequential loops). Returns `false` when no
+    /// decomposition exists — the caller then runs the sequential path.
+    fn par_permutation(
+        &mut self,
+        coupled: &[usize],
+        intra: &IntraThreads,
+        pair: impl Fn(usize) -> Option<usize> + Sync,
+    ) -> bool {
+        let Some(plan) = SegPlan::plan(self.num_qubits, coupled, intra.threads()) else {
+            return false;
+        };
+        let seg_mask = (1usize << plan.seg_bits) - 1;
+        let items = plan.split(&mut self.amplitudes);
+        let plan = &plan;
+        intra.pool().scoped_map(items, |_, mut item| {
+            for si in 0..item.segs.len() {
+                let base = item.segs[si].0;
+                for i in 0..=seg_mask {
+                    let g = base | i;
+                    let Some(j) = pair(g) else { continue };
+                    // The partner differs from g only in coupled bits, so
+                    // it lives inside this item by construction.
+                    let sj = plan.seg_of(j);
+                    let lj = j & seg_mask;
+                    match sj.cmp(&si) {
+                        std::cmp::Ordering::Equal => item.segs[si].1.swap(i, lj),
+                        std::cmp::Ordering::Greater => {
+                            let (lo, hi) = item.segs.split_at_mut(sj);
+                            std::mem::swap(&mut lo[si].1[i], &mut hi[0].1[lj]);
+                        }
+                        std::cmp::Ordering::Less => {
+                            let (lo, hi) = item.segs.split_at_mut(si);
+                            std::mem::swap(&mut lo[sj].1[lj], &mut hi[0].1[i]);
+                        }
+                    }
+                }
+            }
+        });
+        true
+    }
+
+    /// Parallel single-qubit dense kernel, butterfly-exact with
+    /// [`StateVector::apply_unitary1`].
+    fn par_unitary1(&mut self, q: usize, m: &[Complex], intra: &IntraThreads) -> bool {
+        debug_assert_eq!(m.len(), 4);
+        let Some(plan) = SegPlan::plan(self.num_qubits, &[q], intra.threads()) else {
+            return false;
+        };
+        let (m00, m01, m10, m11) = (m[0], m[1], m[2], m[3]);
+        let step = 1usize << q;
+        let peeled = q >= plan.seg_bits;
+        let items = plan.split(&mut self.amplitudes);
+        intra.pool().scoped_map(items, |_, mut item| {
+            let butterfly = |r0: &mut Complex, r1: &mut Complex| {
+                let a0 = *r0;
+                let a1 = *r1;
+                *r0 = m00 * a0 + m01 * a1;
+                *r1 = m10 * a0 + m11 * a1;
+            };
+            if peeled {
+                // The operand qubit selects between the item's two
+                // segments: zeros in segs[0], ones in segs[1].
+                let (zeros, ones) = item.segs.split_at_mut(1);
+                for (r0, r1) in zeros[0].1.iter_mut().zip(ones[0].1.iter_mut()) {
+                    butterfly(r0, r1);
+                }
+            } else {
+                for (_, seg) in item.segs.iter_mut() {
+                    for chunk in seg.chunks_exact_mut(step << 1) {
+                        let (zeros, ones) = chunk.split_at_mut(step);
+                        for (r0, r1) in zeros.iter_mut().zip(ones.iter_mut()) {
+                            butterfly(r0, r1);
+                        }
+                    }
+                }
+            }
+        });
+        true
+    }
+
+    /// Parallel two-qubit dense kernel, expression-exact with
+    /// [`StateVector::apply_unitary2`]: the matrix is conjugated into the
+    /// (hi, lo) slice layout up front exactly as the sequential sweep does,
+    /// and every amplitude quartet goes through the identical 4-term update.
+    fn par_unitary2(&mut self, q0: usize, q1: usize, m: &[Complex], intra: &IntraThreads) -> bool {
+        debug_assert_eq!(m.len(), 16);
+        let (lo, hi) = (q0.min(q1), q0.max(q1));
+        let Some(plan) = SegPlan::plan(self.num_qubits, &[lo, hi], intra.threads()) else {
+            return false;
+        };
+        let s_lo = 1usize << lo;
+        let perm = |x: usize| -> usize {
+            if q0 == lo {
+                x
+            } else {
+                ((x & 1) << 1) | (x >> 1)
+            }
+        };
+        let mut mm = [Complex::ZERO; 16];
+        for (r, row) in mm.chunks_exact_mut(4).enumerate() {
+            for (c, slot) in row.iter_mut().enumerate() {
+                *slot = m[perm(r) * 4 + perm(c)];
+            }
+        }
+        let update = move |r0: &mut Complex, r1: &mut Complex, r2: &mut Complex, r3: &mut Complex| {
+            let a = [*r0, *r1, *r2, *r3];
+            *r0 = mm[0] * a[0] + mm[1] * a[1] + mm[2] * a[2] + mm[3] * a[3];
+            *r1 = mm[4] * a[0] + mm[5] * a[1] + mm[6] * a[2] + mm[7] * a[3];
+            *r2 = mm[8] * a[0] + mm[9] * a[1] + mm[10] * a[2] + mm[11] * a[3];
+            *r3 = mm[12] * a[0] + mm[13] * a[1] + mm[14] * a[2] + mm[15] * a[3];
+        };
+        let seg_bits = plan.seg_bits;
+        let s_hi = 1usize << hi;
+        let items = plan.split(&mut self.amplitudes);
+        intra.pool().scoped_map(items, |_, mut item| {
+            if hi < seg_bits {
+                // Both operands internal: the sequential sweep per segment.
+                for (_, seg) in item.segs.iter_mut() {
+                    for chunk in seg.chunks_exact_mut(s_hi << 1) {
+                        let (h0, h1) = chunk.split_at_mut(s_hi);
+                        for (sub0, sub1) in h0
+                            .chunks_exact_mut(s_lo << 1)
+                            .zip(h1.chunks_exact_mut(s_lo << 1))
+                        {
+                            let (a00, a01) = sub0.split_at_mut(s_lo);
+                            let (a10, a11) = sub1.split_at_mut(s_lo);
+                            for (((r0, r1), r2), r3) in a00
+                                .iter_mut()
+                                .zip(a01.iter_mut())
+                                .zip(a10.iter_mut())
+                                .zip(a11.iter_mut())
+                            {
+                                update(r0, r1, r2, r3);
+                            }
+                        }
+                    }
+                }
+            } else if lo < seg_bits {
+                // hi peeled (segs[0] = hi 0, segs[1] = hi 1), lo internal.
+                let (h0, h1) = item.segs.split_at_mut(1);
+                for (sub0, sub1) in h0[0]
+                    .1
+                    .chunks_exact_mut(s_lo << 1)
+                    .zip(h1[0].1.chunks_exact_mut(s_lo << 1))
+                {
+                    let (a00, a01) = sub0.split_at_mut(s_lo);
+                    let (a10, a11) = sub1.split_at_mut(s_lo);
+                    for (((r0, r1), r2), r3) in a00
+                        .iter_mut()
+                        .zip(a01.iter_mut())
+                        .zip(a10.iter_mut())
+                        .zip(a11.iter_mut())
+                    {
+                        update(r0, r1, r2, r3);
+                    }
+                }
+            } else {
+                // Both peeled: segs ordered (lo, hi) ascending → indices
+                // 0b00, 0b01 (lo set), 0b10 (hi set), 0b11 map onto the
+                // (hi, lo) quartet as a00, a01, a10, a11.
+                let (left, right) = item.segs.split_at_mut(2);
+                let (s00, s01) = left.split_at_mut(1);
+                let (s10, s11) = right.split_at_mut(1);
+                for (((r0, r1), r2), r3) in s00[0]
+                    .1
+                    .iter_mut()
+                    .zip(s01[0].1.iter_mut())
+                    .zip(s10[0].1.iter_mut())
+                    .zip(s11[0].1.iter_mut())
+                {
+                    update(r0, r1, r2, r3);
+                }
+            }
+        });
+        true
+    }
+
+    /// Parallel k-qubit dense kernel (3 ≤ k ≤ [`MAX_DENSE_QUBITS`]),
+    /// expression-exact with [`StateVector::apply_unitary_k`]: per base
+    /// index, the same scratch gather in matrix-basis order and the same
+    /// zero-seeded accumulation over columns.
+    fn par_unitary_k(&mut self, qubits: &[usize], m: &[Complex], intra: &IntraThreads) -> bool {
+        let k = qubits.len();
+        debug_assert!(k <= MAX_DENSE_QUBITS);
+        let size = 1usize << k;
+        debug_assert_eq!(m.len(), size * size);
+        let Some(plan) = SegPlan::plan(self.num_qubits, qubits, intra.threads()) else {
+            return false;
+        };
+        // Per matrix-basis-state segment selector and in-segment offset.
+        let mut seg_sel = [0usize; 1 << MAX_DENSE_QUBITS];
+        let mut low_off = [0usize; 1 << MAX_DENSE_QUBITS];
+        for (sub, (sel, off)) in seg_sel[..size]
+            .iter_mut()
+            .zip(low_off[..size].iter_mut())
+            .enumerate()
+        {
+            for (bit, &q) in qubits.iter().enumerate() {
+                if sub & (1 << bit) != 0 {
+                    if q >= plan.seg_bits {
+                        let r = plan
+                            .peeled
+                            .iter()
+                            .position(|&p| p == q)
+                            .expect("coupled high qubit must be peeled");
+                        *sel |= 1 << r;
+                    } else {
+                        *off |= 1 << q;
+                    }
+                }
+            }
+        }
+        // Ascending internal operand positions for base enumeration.
+        let mut low = [0usize; MAX_DENSE_QUBITS];
+        let mut low_count = 0;
+        for &q in qubits {
+            if q < plan.seg_bits {
+                low[low_count] = q;
+                low_count += 1;
+            }
+        }
+        low[..low_count].sort_unstable();
+        let bases = (1usize << plan.seg_bits) >> low_count;
+        let items = plan.split(&mut self.amplitudes);
+        intra.pool().scoped_map(items, |_, mut item| {
+            let mut scratch = [Complex::ZERO; 1 << MAX_DENSE_QUBITS];
+            for i in 0..bases {
+                let mut base = i;
+                for &p in &low[..low_count] {
+                    base = Self::insert_zero_bit(base, p);
+                }
+                for (slot, (&sel, &off)) in scratch[..size]
+                    .iter_mut()
+                    .zip(seg_sel[..size].iter().zip(low_off[..size].iter()))
+                {
+                    *slot = item.segs[sel].1[base | off];
+                }
+                for (row, (&sel, &off)) in
+                    seg_sel[..size].iter().zip(low_off[..size].iter()).enumerate()
+                {
+                    let mrow = &m[row * size..(row + 1) * size];
+                    let mut acc = Complex::ZERO;
+                    for (col, &amp) in scratch[..size].iter().enumerate() {
+                        acc += mrow[col] * amp;
+                    }
+                    item.segs[sel].1[base | off] = acc;
+                }
+            }
+        });
+        true
+    }
+
     /// Probability of measuring qubit `q` in state |1⟩.
+    ///
+    /// Like [`StateVector::inner_product`], registers above
+    /// [`REDUCTION_CHUNK`] amplitudes reduce through the fixed pairwise
+    /// tree, so the parallel variant
+    /// ([`StateVector::probability_of_one_with`]) is bit-identical.
     pub fn probability_of_one(&self, q: usize) -> Result<f64, SimError> {
         if q >= self.num_qubits {
             return Err(SimError::QubitOutOfRange {
@@ -494,13 +988,33 @@ impl StateVector {
             });
         }
         let bit = 1usize << q;
-        Ok(self
-            .amplitudes
-            .iter()
-            .enumerate()
-            .filter(|(i, _)| i & bit != 0)
-            .map(|(_, a)| a.norm_sqr())
-            .sum())
+        Ok(probability_tree(&self.amplitudes, 0, bit))
+    }
+
+    /// [`StateVector::probability_of_one`] with the reduction tree's leaf
+    /// sums fanned out over an intra-circuit thread budget (bit-identical
+    /// for any thread count).
+    pub fn probability_of_one_with(
+        &self,
+        q: usize,
+        intra: &IntraThreads,
+    ) -> Result<f64, SimError> {
+        if q >= self.num_qubits {
+            return Err(SimError::QubitOutOfRange {
+                qubit: q,
+                num_qubits: self.num_qubits,
+            });
+        }
+        let bit = 1usize << q;
+        if !intra.parallelizes(self.num_qubits) || self.dim() <= REDUCTION_CHUNK {
+            return Ok(probability_tree(&self.amplitudes, 0, bit));
+        }
+        let leaves = self.dim() / REDUCTION_CHUNK;
+        let partials = intra.pool().scoped_map((0..leaves).collect(), |_, leaf| {
+            let lo = leaf * REDUCTION_CHUNK;
+            probability_leaf(&self.amplitudes[lo..lo + REDUCTION_CHUNK], lo, bit)
+        });
+        Ok(combine_f64(&partials))
     }
 
     /// Expectation value of Pauli-Z on qubit `q`: `P(0) - P(1)`.
@@ -613,6 +1127,65 @@ impl StateVector {
         let z = 2.0 * rho00 - 1.0;
         Ok([x, y, z])
     }
+}
+
+/// One leaf of the inner-product reduction tree: a plain sequential fold,
+/// exactly the pre-tree arithmetic on registers up to [`REDUCTION_CHUNK`].
+fn inner_product_leaf(a: &[Complex], b: &[Complex]) -> Complex {
+    a.iter().zip(b.iter()).map(|(x, y)| x.conj() * *y).sum()
+}
+
+/// Fixed-shape pairwise reduction of ⟨a|b⟩: balanced halving down to
+/// [`REDUCTION_CHUNK`]-sized leaves. Register dimensions are powers of
+/// two, so the tree is perfect and identical to combining the ordered
+/// leaf sums pairwise ([`combine_complex`]) — which is what makes the
+/// parallel reduction bit-identical.
+fn inner_product_tree(a: &[Complex], b: &[Complex]) -> Complex {
+    if a.len() <= REDUCTION_CHUNK {
+        return inner_product_leaf(a, b);
+    }
+    let mid = a.len() / 2;
+    inner_product_tree(&a[..mid], &b[..mid]) + inner_product_tree(&a[mid..], &b[mid..])
+}
+
+/// Combines ordered leaf partial sums with the same balanced halving as
+/// [`inner_product_tree`] (leaf counts are powers of two).
+fn combine_complex(partials: &[Complex]) -> Complex {
+    if partials.len() == 1 {
+        return partials[0];
+    }
+    let mid = partials.len() / 2;
+    combine_complex(&partials[..mid]) + combine_complex(&partials[mid..])
+}
+
+/// One leaf of the measurement-probability reduction tree over the
+/// amplitudes at global indices `base..base + amps.len()`.
+fn probability_leaf(amps: &[Complex], base: usize, bit: usize) -> f64 {
+    amps.iter()
+        .enumerate()
+        .filter(|(i, _)| (base + i) & bit != 0)
+        .map(|(_, a)| a.norm_sqr())
+        .sum()
+}
+
+/// Fixed-shape pairwise reduction of `P(qubit = 1)`; see
+/// [`inner_product_tree`] for the shape contract.
+fn probability_tree(amps: &[Complex], base: usize, bit: usize) -> f64 {
+    if amps.len() <= REDUCTION_CHUNK {
+        return probability_leaf(amps, base, bit);
+    }
+    let mid = amps.len() / 2;
+    probability_tree(&amps[..mid], base, bit) + probability_tree(&amps[mid..], base + mid, bit)
+}
+
+/// Combines ordered probability leaf sums pairwise (see
+/// [`combine_complex`]).
+fn combine_f64(partials: &[f64]) -> f64 {
+    if partials.len() == 1 {
+        return partials[0];
+    }
+    let mid = partials.len() / 2;
+    combine_f64(&partials[..mid]) + combine_f64(&partials[mid..])
 }
 
 #[cfg(test)]

@@ -1,0 +1,280 @@
+//! Property-test net over the intra-statevector parallel kernels: for
+//! random circuits, execution under any within-circuit thread budget must
+//! be **bit-identical** to sequential execution — state amplitudes, fused
+//! and bound replays, and measurement/fidelity reductions alike.
+//!
+//! The budgets under test force the parallel code paths onto small
+//! registers by lowering the qubit-count threshold to 1, so every segment
+//! partition shape (coupled qubits internal to segments, peeled above
+//! them, and mixed) is exercised at proptest speed. A deterministic
+//! 15-qubit anchor exercises the default threshold on a genuinely large
+//! register.
+
+use proptest::prelude::*;
+use quclassi_sim::circuit::Circuit;
+use quclassi_sim::fusion::FusedCircuit;
+use quclassi_sim::gate::Gate;
+use quclassi_sim::intra::IntraThreads;
+use quclassi_sim::state::StateVector;
+
+/// Decodes one raw tuple into a gate on distinct qubits of an `n`-qubit
+/// register (same generator as the fusion_equivalence suite — all 23
+/// variants, so every specialised and dense kernel is hit).
+fn gate_from_raw(n: usize, kind: usize, qa: usize, qb: usize, qc: usize, theta: f64) -> Gate {
+    let a = qa % n;
+    let b = (a + 1 + qb % (n - 1)) % n;
+    let c = {
+        let mut others: Vec<usize> = (0..n).filter(|&q| q != a && q != b).collect();
+        if others.is_empty() {
+            others.push((a + 1) % n);
+        }
+        others[qc % others.len()]
+    };
+    match kind % 23 {
+        0 => Gate::I(a),
+        1 => Gate::X(a),
+        2 => Gate::Y(a),
+        3 => Gate::Z(a),
+        4 => Gate::H(a),
+        5 => Gate::S(a),
+        6 => Gate::Sdg(a),
+        7 => Gate::T(a),
+        8 => Gate::Tdg(a),
+        9 => Gate::Rx(a, theta),
+        10 => Gate::Ry(a, theta),
+        11 => Gate::Rz(a, theta),
+        12 => Gate::R(a, theta, theta * 0.7 - 1.0),
+        13 => Gate::Cnot {
+            control: a,
+            target: b,
+        },
+        14 => Gate::Cz {
+            control: a,
+            target: b,
+        },
+        15 => Gate::Swap(a, b),
+        16 => Gate::CRx {
+            control: a,
+            target: b,
+            theta,
+        },
+        17 => Gate::CRy {
+            control: a,
+            target: b,
+            theta,
+        },
+        18 => Gate::CRz {
+            control: a,
+            target: b,
+            theta,
+        },
+        19 => Gate::Rxx(a, b, theta),
+        20 => Gate::Ryy(a, b, theta),
+        21 => Gate::Rzz(a, b, theta),
+        _ => {
+            if n >= 3 {
+                Gate::CSwap { control: a, a: b, b: c }
+            } else {
+                Gate::Swap(a, b)
+            }
+        }
+    }
+}
+
+type RawGate = (usize, usize, usize, usize, f64);
+
+fn raw_gates(max_len: usize) -> impl Strategy<Value = Vec<RawGate>> {
+    prop::collection::vec(
+        (0usize..23, 0usize..64, 0usize..64, 0usize..64, -6.3f64..6.3),
+        1..max_len,
+    )
+}
+
+fn build_circuit(n: usize, raw: &[RawGate]) -> Circuit {
+    let mut c = Circuit::new(n);
+    for &(kind, qa, qb, qc, theta) in raw {
+        c.push(gate_from_raw(n, kind, qa, qb, qc, theta));
+    }
+    c
+}
+
+/// A thread budget that forces the parallel kernels onto tiny registers.
+fn forced(threads: usize) -> IntraThreads {
+    IntraThreads::new(threads).with_threshold_qubits(1)
+}
+
+fn assert_bits_equal(par: &StateVector, seq: &StateVector, what: &str) {
+    for (x, y) in par.amplitudes().iter().zip(seq.amplitudes().iter()) {
+        assert_eq!(x.re.to_bits(), y.re.to_bits(), "{what}: re {x:?} vs {y:?}");
+        assert_eq!(x.im.to_bits(), y.im.to_bits(), "{what}: im {x:?} vs {y:?}");
+    }
+}
+
+proptest! {
+    /// Fused execution under 2- and 8-thread intra budgets reproduces the
+    /// sequential fused execution to the last bit, for random circuits
+    /// over 2–6 qubits covering every gate kernel.
+    #[test]
+    fn parallel_fused_execution_is_bit_identical(
+        n in 2usize..=6,
+        raw in raw_gates(40),
+    ) {
+        let circuit = build_circuit(n, &raw);
+        let fused = FusedCircuit::compile(&circuit);
+        let sequential = fused.execute(&[]).unwrap();
+        for threads in [2usize, 8] {
+            let state = fused.execute_with(&[], &forced(threads)).unwrap();
+            assert_bits_equal(&state, &sequential, "fused execute");
+        }
+    }
+
+    /// Bound replays — including the scratch-reusing zero-allocation path
+    /// — are bit-identical across intra thread counts, and reusing a dirty
+    /// scratch cannot leak state between executions.
+    #[test]
+    fn parallel_bound_replay_is_bit_identical(
+        n in 2usize..=6,
+        raw in raw_gates(24),
+        params in prop::collection::vec(-3.2f64..3.2, 6),
+    ) {
+        let mut circuit = Circuit::new(n);
+        let mut next_param = 0usize;
+        for &(kind, qa, qb, qc, theta) in &raw {
+            let gate = gate_from_raw(n, kind, qa, qb, qc, theta);
+            if gate.angle().is_some() && next_param < params.len() {
+                circuit.push_parametric(gate, next_param);
+                next_param += 1;
+            } else {
+                circuit.push(gate);
+            }
+        }
+        let fused = FusedCircuit::compile(&circuit);
+        let bound = fused.bind(&params[..]).unwrap();
+        let sequential = bound.execute();
+        let mut scratch = StateVector::zero_state(n);
+        for threads in [1usize, 2, 8] {
+            let intra = forced(threads);
+            assert_bits_equal(&bound.execute_with(&intra), &sequential, "bound execute");
+            // Twice through the same scratch: the second replay starts from
+            // the first's result and must still land on the same state.
+            bound.execute_reusing(&mut scratch, &intra);
+            assert_bits_equal(&scratch, &sequential, "bound execute_reusing (cold)");
+            bound.execute_reusing(&mut scratch, &intra);
+            assert_bits_equal(&scratch, &sequential, "bound execute_reusing (dirty)");
+        }
+    }
+
+    /// Measurement and fidelity reductions are bit-identical for any
+    /// thread count: the pairwise tree's shape depends only on the
+    /// register size.
+    #[test]
+    fn parallel_reductions_are_bit_identical(
+        n in 2usize..=6,
+        raw_a in raw_gates(20),
+        raw_b in raw_gates(20),
+        qubit in 0usize..6,
+    ) {
+        let a = build_circuit(n, &raw_a).execute(&[]).unwrap();
+        let b = build_circuit(n, &raw_b).execute(&[]).unwrap();
+        let q = qubit % n;
+        let p_seq = a.probability_of_one(q).unwrap();
+        let f_seq = a.fidelity(&b).unwrap();
+        let ip_seq = a.inner_product(&b).unwrap();
+        for threads in [1usize, 2, 8] {
+            let intra = forced(threads);
+            assert_eq!(
+                a.probability_of_one_with(q, &intra).unwrap().to_bits(),
+                p_seq.to_bits()
+            );
+            assert_eq!(a.fidelity_with(&b, &intra).unwrap().to_bits(), f_seq.to_bits());
+            let ip = a.inner_product_with(&b, &intra).unwrap();
+            assert_eq!(ip.re.to_bits(), ip_seq.re.to_bits());
+            assert_eq!(ip.im.to_bits(), ip_seq.im.to_bits());
+        }
+    }
+}
+
+/// A deterministic 15-qubit anchor through the *default* threshold (the
+/// register is large enough that `IntraThreads::new(8)` genuinely fans
+/// out): a layered circuit touching high, low and mixed qubit positions,
+/// including CSWAPs spanning the register and a parametric remainder.
+#[test]
+fn large_register_execution_is_bit_identical_across_budgets() {
+    let n = 15;
+    let mut c = Circuit::new(n);
+    for q in 0..n {
+        c.h(q);
+    }
+    for q in 0..n - 1 {
+        c.cnot(q, q + 1);
+    }
+    // Rotations on every qubit, parametric on the top register half (the
+    // shape of a compiled SWAP-test data register: parameters high).
+    for q in 0..n {
+        if q >= n / 2 {
+            c.ry_param(q, q - n / 2);
+        } else {
+            c.ry(q, 0.21 + 0.13 * q as f64);
+        }
+    }
+    // Permutations that couple low, high, and mixed positions.
+    c.cswap(0, 1, n - 1);
+    c.cswap(n - 1, 2, n - 2);
+    c.push(Gate::Swap(n - 2, n - 3));
+    c.push(Gate::Cz {
+        control: 0,
+        target: n - 1,
+    });
+    c.h(0);
+    let params: Vec<f64> = (0..c.num_parameters()).map(|i| 0.4 - 0.07 * i as f64).collect();
+    let fused = FusedCircuit::compile(&c);
+    let sequential = fused.execute(&params).unwrap();
+    let p_seq = sequential.probability_of_one(0).unwrap();
+    for threads in [2usize, 4, 8] {
+        let intra = IntraThreads::new(threads);
+        assert!(intra.parallelizes(n), "15 qubits must cross the default threshold");
+        let state = fused.execute_with(&params, &intra).unwrap();
+        assert_bits_equal(&state, &sequential, "15-qubit fused execute");
+        assert_eq!(
+            state.probability_of_one_with(0, &intra).unwrap().to_bits(),
+            p_seq.to_bits(),
+            "15-qubit ancilla probability"
+        );
+    }
+    // The bound replay agrees too (it shares the prelude but resolves the
+    // parametric remainder at bind time).
+    let bound = fused.bind(&params).unwrap();
+    let mut scratch = StateVector::zero_state(n);
+    for threads in [1usize, 8] {
+        bound.execute_reusing(&mut scratch, &IntraThreads::new(threads));
+        assert_bits_equal(&scratch, &sequential, "15-qubit bound replay");
+    }
+}
+
+/// `QUCLASSI_INTRA_THREADS` obeys the same rejection contract as
+/// `QUCLASSI_THREADS`: zero and unparsable values fail loudly.
+#[test]
+fn intra_thread_spec_rejection_matches_quclassi_threads_contract() {
+    use quclassi_sim::batch::BatchExecutor;
+    for bad in ["0", "eight", "-1", "3.5"] {
+        assert!(
+            IntraThreads::from_thread_spec(Some(bad)).is_err(),
+            "intra spec {bad:?} must be rejected"
+        );
+        assert!(
+            BatchExecutor::from_thread_specs(Some("2"), Some(bad), 0).is_err(),
+            "batch intra spec {bad:?} must be rejected"
+        );
+        assert!(
+            BatchExecutor::from_thread_spec(Some(bad), 0).is_err(),
+            "across spec {bad:?} must be rejected"
+        );
+    }
+    let b = BatchExecutor::from_thread_specs(Some("3"), Some("4"), 9).unwrap();
+    assert_eq!(b.threads(), 3);
+    assert_eq!(b.intra().threads(), 4);
+    assert_eq!(b.root_seed(), 9);
+    // Unset intra means within-circuit parallelism off.
+    let b = BatchExecutor::from_thread_specs(Some("3"), None, 0).unwrap();
+    assert_eq!(b.intra().threads(), 1);
+}

@@ -94,8 +94,12 @@ fn main() {
     println!("hot-swapped to iris v{version} (warm → atomic switch → drain old)");
     serve_all("v2 (25 epochs)");
 
-    // 5. The same runtime over TCP: length-prefixed JSON on loopback.
-    let server = WireServer::start("127.0.0.1:0", runtime.client()).unwrap();
+    // 5. The same runtime over TCP: length-prefixed JSON on loopback,
+    //    with the hardening knobs (connection cap, socket deadlines) read
+    //    from QUCLASSI_MAX_CONNECTIONS / QUCLASSI_WIRE_TIMEOUT_MS — a
+    //    malformed value fails startup here, never a silent default.
+    let wire_config = WireConfig::from_env().expect("valid wire configuration");
+    let server = WireServer::start_with("127.0.0.1:0", runtime.client(), wire_config).unwrap();
     let mut wire = WireClient::connect(server.local_addr()).unwrap();
     wire.ping().unwrap();
     let remote = wire.predict("iris", &test_x[0]).unwrap();

@@ -66,30 +66,61 @@ impl ThreadPool {
         U: Send,
         F: Fn(usize, T) -> U + Sync,
     {
+        self.scoped_map_with(items, || (), |i, t, ()| f(i, t))
+    }
+
+    /// Like [`ThreadPool::scoped_map`], but every worker carries a private
+    /// mutable state created once by `init` and threaded through all the
+    /// jobs that worker runs. This is the hook batch executors use to reuse
+    /// scratch buffers (statevectors, matrices) *across* jobs instead of
+    /// reallocating them per job.
+    ///
+    /// `init` runs once per worker (once total on the inline path), so
+    /// per-batch setup cost is `O(workers)`, not `O(jobs)`. The state must
+    /// not influence results in any order-dependent way if callers want
+    /// thread-count-invariant output — a scratch buffer that is fully
+    /// overwritten per job satisfies this trivially.
+    pub fn scoped_map_with<T, U, S, I, F>(&self, items: Vec<T>, init: I, f: F) -> Vec<U>
+    where
+        T: Send,
+        U: Send,
+        I: Fn() -> S + Sync,
+        F: Fn(usize, T, &mut S) -> U + Sync,
+    {
         let n = items.len();
         if self.threads == 1 || n <= 1 {
-            return items.into_iter().enumerate().map(|(i, t)| f(i, t)).collect();
+            let mut state = init();
+            return items
+                .into_iter()
+                .enumerate()
+                .map(|(i, t)| f(i, t, &mut state))
+                .collect();
         }
         let jobs: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
         let slots: Vec<Mutex<Option<U>>> = (0..n).map(|_| Mutex::new(None)).collect();
         let cursor = AtomicUsize::new(0);
         let workers = self.threads.min(n);
-        std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| loop {
-                    let i = cursor.fetch_add(1, Ordering::Relaxed);
-                    if i >= n {
-                        break;
-                    }
-                    let item = jobs[i]
-                        .lock()
-                        .expect("job slot poisoned")
-                        .take()
-                        .expect("job claimed twice");
-                    let out = f(i, item);
-                    *slots[i].lock().expect("result slot poisoned") = Some(out);
-                });
+        let work = |state: &mut S| loop {
+            let i = cursor.fetch_add(1, Ordering::Relaxed);
+            if i >= n {
+                break;
             }
+            let item = jobs[i]
+                .lock()
+                .expect("job slot poisoned")
+                .take()
+                .expect("job claimed twice");
+            let out = f(i, item, state);
+            *slots[i].lock().expect("result slot poisoned") = Some(out);
+        };
+        std::thread::scope(|scope| {
+            // The calling thread participates as the last worker: it would
+            // only block on the scope join otherwise, and one fewer spawn
+            // measurably matters when a kernel dispatches per gate.
+            for _ in 0..workers - 1 {
+                scope.spawn(|| work(&mut init()));
+            }
+            work(&mut init());
         });
         slots
             .into_iter()
@@ -150,5 +181,33 @@ mod tests {
     fn more_threads_than_jobs_is_fine() {
         let out = ThreadPool::new(16).scoped_map(vec![1, 2], |_, x| x * x);
         assert_eq!(out, vec![1, 4]);
+    }
+
+    #[test]
+    fn per_worker_state_is_reused_across_jobs() {
+        // Each worker's state counts the jobs it ran; the total across all
+        // reported counts must equal the job count, and inline execution
+        // must create exactly one state.
+        let items: Vec<usize> = (0..64).collect();
+        for threads in [1usize, 4] {
+            let out = ThreadPool::new(threads).scoped_map_with(
+                items.clone(),
+                || 0usize,
+                |i, x, seen| {
+                    *seen += 1;
+                    (i, x, *seen)
+                },
+            );
+            assert_eq!(out.len(), 64);
+            for (i, (idx, x, seen)) in out.iter().enumerate() {
+                assert_eq!(i, *idx);
+                assert_eq!(i, *x);
+                assert!(*seen >= 1);
+            }
+            if threads == 1 {
+                // Inline path: one state threads through every job in order.
+                assert_eq!(out.last().unwrap().2, 64);
+            }
+        }
     }
 }
