@@ -341,9 +341,7 @@ mod tests {
         )
         .unwrap();
         assert!(clf.fit(&[], &[], &mut rng).is_err());
-        assert!(clf
-            .fit(&[vec![0.1, 0.2]], &[3], &mut rng)
-            .is_err());
+        assert!(clf.fit(&[vec![0.1, 0.2]], &[3], &mut rng).is_err());
         assert!(clf
             .evaluate_accuracy(&[vec![0.1, 0.2]], &[], &mut rng)
             .is_err());
@@ -362,10 +360,12 @@ mod tests {
             &mut rng,
         )
         .unwrap();
-        let noisy = clf
-            .clone()
-            .with_executor(Executor::noisy(NoiseModel::depolarizing(0.01, 0.05, 0.02).unwrap()));
-        let p = noisy.predict_proba(&[0.3, 0.3, 0.3, 0.3], &mut rng).unwrap();
+        let noisy = clf.clone().with_executor(Executor::noisy(
+            NoiseModel::depolarizing(0.01, 0.05, 0.02).unwrap(),
+        ));
+        let p = noisy
+            .predict_proba(&[0.3, 0.3, 0.3, 0.3], &mut rng)
+            .unwrap();
         assert!((0.0..=1.0).contains(&p));
     }
 }

@@ -15,8 +15,12 @@ fn bench_fidelity_methods(c: &mut Criterion) {
     for &dims in &[4usize, 8, 16] {
         let encoder = DataEncoder::new(EncodingStrategy::DualAngle, dims).unwrap();
         let stack = LayerStack::qc_s(encoder.num_qubits()).unwrap();
-        let params: Vec<f64> = (0..stack.parameter_count()).map(|i| 0.2 + 0.1 * i as f64).collect();
-        let x: Vec<f64> = (0..dims).map(|i| (i as f64 + 0.5) / (dims as f64 + 1.0)).collect();
+        let params: Vec<f64> = (0..stack.parameter_count())
+            .map(|i| 0.2 + 0.1 * i as f64)
+            .collect();
+        let x: Vec<f64> = (0..dims)
+            .map(|i| (i as f64 + 0.5) / (dims as f64 + 1.0))
+            .collect();
 
         group.bench_with_input(BenchmarkId::new("analytic", dims), &dims, |b, _| {
             let estimator = FidelityEstimator::analytic();

@@ -89,19 +89,15 @@ fn bench_serving_paths(c: &mut Criterion) {
     for (dims, classes) in [(4usize, 3usize), (16, 2)] {
         let w = workload("shape", dims, classes, 8);
         let analytic = FidelityEstimator::analytic();
-        group.bench_with_input(
-            BenchmarkId::new("uncompiled_predict", dims),
-            &w,
-            |b, w| b.iter(|| black_box(serve_uncompiled(w, &analytic))),
-        );
+        group.bench_with_input(BenchmarkId::new("uncompiled_predict", dims), &w, |b, w| {
+            b.iter(|| black_box(serve_uncompiled(w, &analytic)))
+        });
         let compiled = CompiledModel::compile(&w.model, analytic.clone())
             .unwrap()
             .with_cache_capacity(0);
-        group.bench_with_input(
-            BenchmarkId::new("compiled_predict", dims),
-            &w,
-            |b, w| b.iter(|| black_box(serve_compiled_single(w, &compiled))),
-        );
+        group.bench_with_input(BenchmarkId::new("compiled_predict", dims), &w, |b, w| {
+            b.iter(|| black_box(serve_compiled_single(w, &compiled)))
+        });
         let batch = BatchExecutor::from_env(0).expect("invalid QUCLASSI_THREADS");
         group.bench_with_input(
             BenchmarkId::new("compiled_predict_many", dims),
@@ -163,7 +159,7 @@ fn emit_entry(
             "\"samples\": {}, \"uncompiled_single_ns\": {:.0}, \"compiled_single_ns\": {:.0}, ",
             "\"compiled_cached_ns\": {:.0}, \"compiled_batched_per_sample_ns\": {:.0}, ",
             "\"speedup_single\": {:.2}, \"speedup_cached\": {:.2}, \"speedup_batched\": {:.2}, ",
-            "\"threads\": {}}}"
+            "\"threads\": {}, \"hardware_bound\": {}}}"
         ),
         w.name,
         w.total_qubits,
@@ -177,8 +173,11 @@ fn emit_entry(
         uncompiled_ns / cached_ns,
         uncompiled_ns / batched_ns,
         // The pool that actually ran the batched timings (QUCLASSI_THREADS
-        // aware), not the machine's nominal parallelism.
-        batch.threads()
+        // aware), not the machine's nominal parallelism. `hardware_bound`
+        // marks a 1-worker pool: batched speedups are then pure
+        // engine-overhead comparisons, not parallel scaling.
+        batch.threads(),
+        batch.threads() == 1
     )
 }
 
@@ -186,7 +185,10 @@ fn emit_bench_json(smoke: bool) {
     let reps = if smoke { 1 } else { 30 };
     let batch = BatchExecutor::from_env(0).expect("invalid QUCLASSI_THREADS");
     let mut entries = Vec::new();
-    for (name, dims, classes) in [("iris_4_features", 4usize, 3usize), ("mnist_16_features", 16, 2)] {
+    for (name, dims, classes) in [
+        ("iris_4_features", 4usize, 3usize),
+        ("mnist_16_features", 16, 2),
+    ] {
         let w = workload(name, dims, classes, 8);
         entries.push(emit_entry(
             &w,

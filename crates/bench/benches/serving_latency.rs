@@ -110,9 +110,12 @@ fn run_cell(
                 let mut acc = 0usize;
                 for i in 0..requests_per_producer {
                     let x = &pool[(producer * 5 + i) % pool.len()];
-                    acc += client.predict("latency", x).map(|r| r.prediction.label).unwrap_or_else(
-                        |_| unreachable!("closed-loop producers never saturate a 4096 queue"),
-                    );
+                    acc += client
+                        .predict("latency", x)
+                        .map(|r| r.prediction.label)
+                        .unwrap_or_else(|_| {
+                            unreachable!("closed-loop producers never saturate a 4096 queue")
+                        });
                 }
                 acc
             })
@@ -197,17 +200,19 @@ fn bench_serving_roundtrip(c: &mut Criterion) {
         .unwrap();
         runtime.deploy("roundtrip", artifact(&w)).unwrap();
         let client = runtime.client();
-        group.bench_with_input(
-            BenchmarkId::new("predict_roundtrip", dims),
-            &w,
-            |b, w| {
-                let mut i = 0usize;
-                b.iter(|| {
-                    i = (i + 1) % w.pool.len();
-                    black_box(client.predict("roundtrip", &w.pool[i]).unwrap().prediction.label)
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("predict_roundtrip", dims), &w, |b, w| {
+            let mut i = 0usize;
+            b.iter(|| {
+                i = (i + 1) % w.pool.len();
+                black_box(
+                    client
+                        .predict("roundtrip", &w.pool[i])
+                        .unwrap()
+                        .prediction
+                        .label,
+                )
+            })
+        });
         runtime.shutdown();
     }
     group.finish();
@@ -233,8 +238,10 @@ fn emit_bench_json(smoke: bool) {
     let producer_sweep: &[usize] = if smoke { &[2] } else { &[2, 4, 8] };
     let executor = BatchExecutor::from_env(0).expect("invalid QUCLASSI_THREADS");
     let mut workload_entries = Vec::new();
-    for (name, dims, classes) in [("iris_4_features", 4usize, 3usize), ("mnist_16_features", 16, 2)]
-    {
+    for (name, dims, classes) in [
+        ("iris_4_features", 4usize, 3usize),
+        ("mnist_16_features", 16, 2),
+    ] {
         let mut w = workload("latency", dims, classes);
         w.name = "latency";
         assert_serving_consistency(&Workload {

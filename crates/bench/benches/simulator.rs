@@ -38,9 +38,13 @@ fn bench_swap_test_circuit(c: &mut Criterion) {
     for &dims in &[4usize, 8, 16] {
         let encoder = DataEncoder::new(EncodingStrategy::DualAngle, dims).unwrap();
         let stack = LayerStack::qc_s(encoder.num_qubits()).unwrap();
-        let x: Vec<f64> = (0..dims).map(|i| (i as f64 + 1.0) / (dims as f64 + 1.0)).collect();
+        let x: Vec<f64> = (0..dims)
+            .map(|i| (i as f64 + 1.0) / (dims as f64 + 1.0))
+            .collect();
         let (circuit, layout) = build_swap_test_circuit(&stack, &encoder, &x).unwrap();
-        let params: Vec<f64> = (0..stack.parameter_count()).map(|i| 0.1 * i as f64).collect();
+        let params: Vec<f64> = (0..stack.parameter_count())
+            .map(|i| 0.1 * i as f64)
+            .collect();
         group.bench_with_input(
             BenchmarkId::new("qubits", layout.total_qubits),
             &circuit,

@@ -33,7 +33,12 @@ fn bench_training_epoch(c: &mut Criterion) {
                 );
                 black_box(
                     trainer
-                        .fit(&mut model, &task.train.features, &task.train.labels, &mut rng)
+                        .fit(
+                            &mut model,
+                            &task.train.features,
+                            &task.train.labels,
+                            &mut rng,
+                        )
                         .unwrap(),
                 )
             })
@@ -50,7 +55,9 @@ fn bench_gradient_step(c: &mut Criterion) {
     for &dims in &[4usize, 8, 16] {
         let encoder = DataEncoder::new(EncodingStrategy::DualAngle, dims).unwrap();
         let stack = LayerStack::qc_s(encoder.num_qubits()).unwrap();
-        let params: Vec<f64> = (0..stack.parameter_count()).map(|i| 0.1 * i as f64).collect();
+        let params: Vec<f64> = (0..stack.parameter_count())
+            .map(|i| 0.1 * i as f64)
+            .collect();
         let sample: Vec<f64> = (0..dims).map(|i| x[i % x.len()]).collect();
         let estimator = FidelityEstimator::analytic();
         group.bench_with_input(BenchmarkId::from_parameter(dims), &dims, |b, _| {

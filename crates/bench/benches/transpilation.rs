@@ -15,11 +15,17 @@ fn bench_transpile(c: &mut Criterion) {
     let stack = LayerStack::qc_s(encoder.num_qubits()).unwrap();
     let x = vec![0.2, 0.4, 0.6, 0.8];
     let (circuit, _) = build_swap_test_circuit(&stack, &encoder, &x).unwrap();
-    let params: Vec<f64> = (0..stack.parameter_count()).map(|i| 0.3 * i as f64).collect();
+    let params: Vec<f64> = (0..stack.parameter_count())
+        .map(|i| 0.3 * i as f64)
+        .collect();
     let gates = circuit.bind(&params).unwrap();
 
     let mut group = c.benchmark_group("transpile_swap_test");
-    for device in [DeviceModel::ionq(), DeviceModel::ibmq_cairo(), DeviceModel::ibmq_rome()] {
+    for device in [
+        DeviceModel::ionq(),
+        DeviceModel::ibmq_cairo(),
+        DeviceModel::ibmq_rome(),
+    ] {
         group.bench_with_input(
             BenchmarkId::from_parameter(device.name.clone()),
             &device,

@@ -48,9 +48,19 @@ fn main() {
         &["encoding", "total qubits", "parameters", "test accuracy"],
     );
     let (q, p, acc) = run(EncodingStrategy::DualAngle, epochs, &mut rng);
-    report.add_row(vec!["dual-angle (RY+RZ)".into(), q.to_string(), p.to_string(), format!("{acc:.4}")]);
+    report.add_row(vec![
+        "dual-angle (RY+RZ)".into(),
+        q.to_string(),
+        p.to_string(),
+        format!("{acc:.4}"),
+    ]);
     let (q, p, acc) = run(EncodingStrategy::SingleAngle, epochs, &mut rng);
-    report.add_row(vec!["single-angle (RY)".into(), q.to_string(), p.to_string(), format!("{acc:.4}")]);
+    report.add_row(vec![
+        "single-angle (RY)".into(),
+        q.to_string(),
+        p.to_string(),
+        format!("{acc:.4}"),
+    ]);
     report.print();
     report.save_tsv();
 }

@@ -15,8 +15,7 @@ use std::time::Instant;
 
 fn run(estimator: FidelityEstimator, epochs: usize, rng: &mut StdRng) -> (f64, f64) {
     let task = iris_task(55);
-    let mut model =
-        QuClassiModel::with_random_parameters(QuClassiConfig::qc_s(4, 3), rng).unwrap();
+    let mut model = QuClassiModel::with_random_parameters(QuClassiConfig::qc_s(4, 3), rng).unwrap();
     let trainer = Trainer::new(
         TrainingConfig {
             epochs,
@@ -50,19 +49,31 @@ fn main() {
         &["estimator", "test accuracy", "training time (s)"],
     );
     let (acc, secs) = run(FidelityEstimator::analytic(), epochs, &mut rng);
-    report.add_row(vec!["analytic".into(), format!("{acc:.4}"), format!("{secs:.2}")]);
+    report.add_row(vec![
+        "analytic".into(),
+        format!("{acc:.4}"),
+        format!("{secs:.2}"),
+    ]);
     let (acc, secs) = run(
         FidelityEstimator::swap_test(Executor::ideal()),
         epochs,
         &mut rng,
     );
-    report.add_row(vec!["swap test (exact)".into(), format!("{acc:.4}"), format!("{secs:.2}")]);
+    report.add_row(vec![
+        "swap test (exact)".into(),
+        format!("{acc:.4}"),
+        format!("{secs:.2}"),
+    ]);
     let (acc, secs) = run(
         FidelityEstimator::swap_test(Executor::ideal().with_shots(Some(2048))),
         epochs,
         &mut rng,
     );
-    report.add_row(vec!["swap test (2048 shots)".into(), format!("{acc:.4}"), format!("{secs:.2}")]);
+    report.add_row(vec![
+        "swap test (2048 shots)".into(),
+        format!("{acc:.4}"),
+        format!("{secs:.2}"),
+    ]);
     report.print();
     report.save_tsv();
 }

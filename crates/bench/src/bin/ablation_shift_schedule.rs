@@ -10,8 +10,7 @@ use rand::SeedableRng;
 
 fn run(shift: ShiftSchedule, epochs: usize, rng: &mut StdRng) -> (Vec<f64>, f64) {
     let task = iris_task(77);
-    let mut model =
-        QuClassiModel::with_random_parameters(QuClassiConfig::qc_s(4, 3), rng).unwrap();
+    let mut model = QuClassiModel::with_random_parameters(QuClassiConfig::qc_s(4, 3), rng).unwrap();
     let trainer = Trainer::new(
         TrainingConfig {
             epochs,
@@ -47,7 +46,11 @@ fn main() {
 
     let mut report = ExperimentReport::new(
         "ablation_shift_schedule",
-        &["epoch", "loss (epoch-scaled shift)", "loss (fixed pi/2 shift)"],
+        &[
+            "epoch",
+            "loss (epoch-scaled shift)",
+            "loss (fixed pi/2 shift)",
+        ],
     );
     for e in 0..epochs {
         report.add_row(vec![

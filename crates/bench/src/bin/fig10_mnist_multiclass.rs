@@ -92,7 +92,14 @@ fn main() {
 
     let mut report = ExperimentReport::new(
         "fig10_mnist_multiclass",
-        &["task", "QC-S", "QC-S params", "QF-pNet", "DNN-306", "DNN-1308"],
+        &[
+            "task",
+            "QC-S",
+            "QC-S params",
+            "QF-pNet",
+            "DNN-306",
+            "DNN-1308",
+        ],
     );
     for digits in &tasks {
         let task = mnist_task(digits, 16, per_class, digits.len() as u64 + 40);

@@ -18,8 +18,7 @@ fn loss_series(
     rng: &mut StdRng,
 ) -> Vec<f64> {
     let task = iris_task(31);
-    let mut model =
-        QuClassiModel::with_random_parameters(QuClassiConfig::qc_s(4, 3), rng).unwrap();
+    let mut model = QuClassiModel::with_random_parameters(QuClassiConfig::qc_s(4, 3), rng).unwrap();
     let trainer = Trainer::new(
         TrainingConfig {
             epochs,
@@ -42,7 +41,12 @@ fn main() {
     let mut rng = StdRng::seed_from_u64(1111);
 
     // Ideal simulator: analytic fidelity.
-    let simulator = loss_series(FidelityEstimator::analytic(), epochs, max_per_class, &mut rng);
+    let simulator = loss_series(
+        FidelityEstimator::analytic(),
+        epochs,
+        max_per_class,
+        &mut rng,
+    );
 
     // Noisy devices: exact density-matrix evolution of the 5-qubit SWAP-test
     // circuit under each device's noise model, with 8000 measurement shots.

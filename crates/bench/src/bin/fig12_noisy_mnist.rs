@@ -37,7 +37,12 @@ fn train_quclassi(
     model
 }
 
-fn accuracy(model: &QuClassiModel, task: &PreparedTask, est: &FidelityEstimator, rng: &mut StdRng) -> f64 {
+fn accuracy(
+    model: &QuClassiModel,
+    task: &PreparedTask,
+    est: &FidelityEstimator,
+    rng: &mut StdRng,
+) -> f64 {
     model
         .evaluate_accuracy(&task.test.features, &task.test.labels, est, rng)
         .expect("evaluation succeeds")
@@ -52,7 +57,14 @@ fn main() {
 
     let mut report = ExperimentReport::new(
         "fig12_noisy_mnist",
-        &["pair", "QC-S", "QC-SD", "QC-SDE", "IBM-Q (noisy QC-S)", "TFQ"],
+        &[
+            "pair",
+            "QC-S",
+            "QC-SD",
+            "QC-SDE",
+            "IBM-Q (noisy QC-S)",
+            "TFQ",
+        ],
     );
     for (a, b) in pairs {
         let task = mnist_task(&[a, b], 4, per_class, (a * 7 + b) as u64);
@@ -86,9 +98,8 @@ fn main() {
         let p2 = (rome.noise.two_qubit[0].parameter() * amplification).min(0.45);
         let readout = rome.noise.readout.p01;
         let hw_noise = NoiseModel::depolarizing(p1, p2, readout).expect("valid noise model");
-        let noisy_est = FidelityEstimator::swap_test(
-            Executor::noisy_density(hw_noise).with_shots(Some(shots)),
-        );
+        let noisy_est =
+            FidelityEstimator::swap_test(Executor::noisy_density(hw_noise).with_shots(Some(shots)));
         let acc_hw = accuracy(&qc_s, &task, &noisy_est, &mut rng);
 
         let mut tfq = TfqClassifier::new(

@@ -27,12 +27,23 @@ fn main() {
         FidelityEstimator::analytic(),
     );
     let history = trainer
-        .fit(&mut model, &task.train.features, &task.train.labels, &mut rng)
+        .fit(
+            &mut model,
+            &task.train.features,
+            &task.train.labels,
+            &mut rng,
+        )
         .expect("training succeeds");
 
     let mut report = ExperimentReport::new(
         "fig6a_iris_loss",
-        &["epoch", "loss_class1", "loss_class2", "loss_class3", "mean_loss"],
+        &[
+            "epoch",
+            "loss_class1",
+            "loss_class2",
+            "loss_class3",
+            "mean_loss",
+        ],
     );
     for stats in &history.epochs {
         report.add_row(vec![
@@ -46,7 +57,11 @@ fn main() {
     report.print();
     report.save_tsv();
 
-    let first = history.epochs.first().expect("at least one epoch").mean_loss;
+    let first = history
+        .epochs
+        .first()
+        .expect("at least one epoch")
+        .mean_loss;
     let last = history.final_loss().expect("at least one epoch");
     println!("loss decreased from {first:.4} to {last:.4} over {epochs} epochs");
 }

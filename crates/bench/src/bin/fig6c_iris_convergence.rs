@@ -54,7 +54,10 @@ fn main() {
         );
         dnn_series.push((
             format!("DNN-{target}P"),
-            stats.iter().map(|s| s.eval_accuracy.unwrap_or(0.0)).collect(),
+            stats
+                .iter()
+                .map(|s| s.eval_accuracy.unwrap_or(0.0))
+                .collect(),
         ));
     }
 

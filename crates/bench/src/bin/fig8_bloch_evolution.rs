@@ -50,7 +50,12 @@ fn main() {
         FidelityEstimator::analytic(),
     );
     trainer
-        .fit(&mut model, &task.train.features, &task.train.labels, &mut rng)
+        .fit(
+            &mut model,
+            &task.train.features,
+            &task.train.labels,
+            &mut rng,
+        )
         .expect("training succeeds");
 
     let trained_state = model.learned_state(0).expect("class 0 state");
@@ -66,7 +71,11 @@ fn main() {
 
     let mut report = ExperimentReport::new(
         "fig8_bloch_evolution",
-        &["qubit", "distance_to_target_epoch0", "distance_to_target_trained"],
+        &[
+            "qubit",
+            "distance_to_target_epoch0",
+            "distance_to_target_trained",
+        ],
     );
     for q in 0..initial_points.len() {
         let before = angular_distance(&initial_points[q], &target_points[q]);

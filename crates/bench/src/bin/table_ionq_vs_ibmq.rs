@@ -38,7 +38,12 @@ fn main() {
         FidelityEstimator::analytic(),
     );
     trainer
-        .fit(&mut model, &task.train.features, &task.train.labels, &mut rng)
+        .fit(
+            &mut model,
+            &task.train.features,
+            &task.train.labels,
+            &mut rng,
+        )
         .expect("training succeeds");
     let ideal_acc = model
         .evaluate_accuracy(
@@ -50,12 +55,9 @@ fn main() {
         .expect("evaluation succeeds");
 
     // Transpile the inference circuit for each device.
-    let (circuit, _) = build_swap_test_circuit(
-        model.stack(),
-        model.encoder(),
-        &task.test.features[0],
-    )
-    .expect("circuit builds");
+    let (circuit, _) =
+        build_swap_test_circuit(model.stack(), model.encoder(), &task.test.features[0])
+            .expect("circuit builds");
     let gates = circuit.bind(model.class_params(0).unwrap()).expect("bind");
 
     let ionq = DeviceModel::ionq();
@@ -65,7 +67,13 @@ fn main() {
 
     let mut table = ExperimentReport::new(
         "table_ionq_vs_ibmq",
-        &["device", "cnots", "routing swaps", "routing cnots", "accuracy"],
+        &[
+            "device",
+            "cnots",
+            "routing swaps",
+            "routing cnots",
+            "accuracy",
+        ],
     );
 
     // Device-noise evaluation: the effective per-gate error is amplified by
@@ -76,9 +84,8 @@ fn main() {
         let p2 = (device.noise.two_qubit[0].parameter() * scale).min(0.4);
         let readout = device.noise.readout.p01;
         let noise = NoiseModel::depolarizing(p1, p2, readout).expect("valid noise");
-        let est = FidelityEstimator::swap_test(
-            Executor::noisy_density(noise).with_shots(Some(4096)),
-        );
+        let est =
+            FidelityEstimator::swap_test(Executor::noisy_density(noise).with_shots(Some(4096)));
         model
             .evaluate_accuracy(&task.test.features, &task.test.labels, &est, &mut rng)
             .expect("noisy evaluation succeeds")

@@ -14,7 +14,13 @@ fn reduction(quantum: usize, classical: usize) -> f64 {
 fn main() {
     let mut report = ExperimentReport::new(
         "table_param_reduction",
-        &["task", "QuClassi params", "DNN baseline", "DNN params", "reduction %"],
+        &[
+            "task",
+            "QuClassi params",
+            "DNN baseline",
+            "DNN params",
+            "reduction %",
+        ],
     );
 
     // Binary MNIST: QC-S on 16 dims, 2 classes (32 params) vs DNN-1218.

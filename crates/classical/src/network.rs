@@ -62,11 +62,19 @@ impl DenseLayer {
 
     /// Pre-activation outputs `W·x + b`.
     fn pre_activation(&self, input: &[f64]) -> Vec<f64> {
-        assert_eq!(input.len(), self.input_dim, "layer input dimension mismatch");
+        assert_eq!(
+            input.len(),
+            self.input_dim,
+            "layer input dimension mismatch"
+        );
         (0..self.output_dim)
             .map(|o| {
                 let row = &self.weights[o * self.input_dim..(o + 1) * self.input_dim];
-                row.iter().zip(input.iter()).map(|(w, x)| w * x).sum::<f64>() + self.biases[o]
+                row.iter()
+                    .zip(input.iter())
+                    .map(|(w, x)| w * x)
+                    .sum::<f64>()
+                    + self.biases[o]
             })
             .collect()
     }
@@ -210,7 +218,11 @@ impl Mlp {
 
     /// Accuracy over a labelled set.
     pub fn evaluate_accuracy(&self, features: &[Vec<f64>], labels: &[usize]) -> f64 {
-        assert_eq!(features.len(), labels.len(), "features/labels length mismatch");
+        assert_eq!(
+            features.len(),
+            labels.len(),
+            "features/labels length mismatch"
+        );
         if features.is_empty() {
             return 0.0;
         }
@@ -307,7 +319,11 @@ impl Mlp {
         eval: Option<(&[Vec<f64>], &[usize])>,
         rng: &mut R,
     ) -> Vec<MlpEpochStats> {
-        assert_eq!(features.len(), labels.len(), "features/labels length mismatch");
+        assert_eq!(
+            features.len(),
+            labels.len(),
+            "features/labels length mismatch"
+        );
         assert!(!features.is_empty(), "empty training set");
         let mut order: Vec<usize> = (0..features.len()).collect();
         let mut history = Vec::with_capacity(epochs);
@@ -433,7 +449,8 @@ mod tests {
                 let mut minus = net.clone();
                 minus.layers[0].weights[o * 2 + i] -= eps;
                 let numeric = (plus.sample_loss(&x, y) - minus.sample_loss(&x, y)) / (2.0 * eps);
-                let applied = net.layers[0].weights[o * 2 + i] - updated.layers[0].weights[o * 2 + i];
+                let applied =
+                    net.layers[0].weights[o * 2 + i] - updated.layers[0].weights[o * 2 + i];
                 assert!(
                     (numeric - applied).abs() < 1e-4,
                     "weight ({o},{i}): numeric {numeric} vs applied {applied}"

@@ -165,7 +165,11 @@ impl Pca {
 
     /// Projects one sample onto the principal components.
     pub fn transform_one(&self, x: &[f64]) -> Vec<f64> {
-        assert_eq!(x.len(), self.input_dim(), "PCA transform dimension mismatch");
+        assert_eq!(
+            x.len(),
+            self.input_dim(),
+            "PCA transform dimension mismatch"
+        );
         let centered: Vec<f64> = x.iter().zip(self.mean.iter()).map(|(v, m)| v - m).collect();
         self.components.iter().map(|c| dot(&centered, c)).collect()
     }

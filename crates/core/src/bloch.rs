@@ -128,20 +128,39 @@ mod tests {
         })
         .unwrap();
         for p in bloch_points(&sv).unwrap() {
-            assert!(p.radius() < 1e-9, "Bell-state marginals are maximally mixed");
+            assert!(
+                p.radius() < 1e-9,
+                "Bell-state marginals are maximally mixed"
+            );
         }
     }
 
     #[test]
     fn angular_distance_properties() {
-        let north = BlochPoint { x: 0.0, y: 0.0, z: 1.0 };
-        let south = BlochPoint { x: 0.0, y: 0.0, z: -1.0 };
-        let east = BlochPoint { x: 1.0, y: 0.0, z: 0.0 };
+        let north = BlochPoint {
+            x: 0.0,
+            y: 0.0,
+            z: 1.0,
+        };
+        let south = BlochPoint {
+            x: 0.0,
+            y: 0.0,
+            z: -1.0,
+        };
+        let east = BlochPoint {
+            x: 1.0,
+            y: 0.0,
+            z: 0.0,
+        };
         assert!(angular_distance(&north, &north) < 1e-12);
         assert!((angular_distance(&north, &south) - std::f64::consts::PI).abs() < 1e-12);
         assert!((angular_distance(&north, &east) - std::f64::consts::FRAC_PI_2).abs() < 1e-12);
         // Degenerate zero vector.
-        let zero = BlochPoint { x: 0.0, y: 0.0, z: 0.0 };
+        let zero = BlochPoint {
+            x: 0.0,
+            y: 0.0,
+            z: 0.0,
+        };
         assert_eq!(angular_distance(&zero, &north), 0.0);
     }
 

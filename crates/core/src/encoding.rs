@@ -16,7 +16,7 @@
 
 use crate::error::QuClassiError;
 use quclassi_sim::circuit::Circuit;
-use quclassi_sim::gate::Gate;
+use quclassi_sim::gate::{matrices, Gate};
 use quclassi_sim::state::StateVector;
 
 /// How classical features are packed onto qubits.
@@ -276,13 +276,65 @@ impl DataEncoder {
     /// bit-identical to the slow path. This is the per-sample hot path of
     /// the compiled inference engine (`quclassi-infer`).
     pub fn encode_state_from_angles(&self, angles: &[f64]) -> Result<StateVector, QuClassiError> {
-        let gates = self.encoding_gates_from_angles(angles, 0)?;
         let mut sv = StateVector::zero_state(self.num_qubits());
-        for gate in &gates {
-            let q = gate.qubits()[0];
-            sv.apply_single_qubit_matrix_active(q, &gate.matrix())?;
-        }
+        self.encode_state_from_angles_into(angles, &mut sv)?;
         Ok(sv)
+    }
+
+    /// [`DataEncoder::encode_state_from_angles`] into a caller-owned
+    /// register: resets `state` to |0…0⟩ in place and applies the rotations
+    /// through stack-allocated gate entries
+    /// ([`matrices::ry_entries`]/[`matrices::rz_entries`]), so a steady-state
+    /// encode loop performs **zero heap allocations** — no gate list, no
+    /// matrices, no fresh statevector. Produces bit-identical amplitudes to
+    /// the allocating form (both consume the same entry arrays).
+    ///
+    /// # Errors
+    /// Returns an error when the angle count does not match the feature
+    /// dimension or `state` is not on this encoder's register width.
+    pub fn encode_state_from_angles_into(
+        &self,
+        angles: &[f64],
+        state: &mut StateVector,
+    ) -> Result<(), QuClassiError> {
+        if angles.len() != self.dim {
+            return Err(QuClassiError::InvalidData(format!(
+                "expected {} encoding angles, got {}",
+                self.dim,
+                angles.len()
+            )));
+        }
+        if state.num_qubits() != self.num_qubits() {
+            return Err(QuClassiError::InvalidData(format!(
+                "state has {} qubits but the encoder expects {}",
+                state.num_qubits(),
+                self.num_qubits()
+            )));
+        }
+        state.reset_zero();
+        // Both strategies emit rotations in ascending qubit order, so each
+        // RY meets its qubit *fresh* (|0⟩, partner amplitudes exactly zero)
+        // and each RZ is diagonal on the active prefix — the two shapes the
+        // specialised statevector kernels cover at a fraction of the dense
+        // butterfly's arithmetic, bit-identically on nonzero amplitudes.
+        match self.strategy {
+            EncodingStrategy::DualAngle => {
+                for (i, &theta) in angles.iter().enumerate() {
+                    if i % 2 == 0 {
+                        state.apply_fresh_2x2(i / 2, &matrices::ry_entries(theta))?;
+                    } else {
+                        let d = matrices::rz_entries(theta);
+                        state.apply_active_diag(i / 2, d[0], d[3])?;
+                    }
+                }
+            }
+            EncodingStrategy::SingleAngle => {
+                for (i, &theta) in angles.iter().enumerate() {
+                    state.apply_fresh_2x2(i, &matrices::ry_entries(theta))?;
+                }
+            }
+        }
+        Ok(())
     }
 
     /// Reconstructs the feature vector from the encoded state by reading each
@@ -452,7 +504,9 @@ mod tests {
                 (0..dim).map(|i| 0.07 + 0.11 * i as f64).collect(),
                 vec![0.0; dim],
                 vec![1.0; dim],
-                (0..dim).map(|i| if i % 2 == 0 { 0.0 } else { 1.0 }).collect(),
+                (0..dim)
+                    .map(|i| if i % 2 == 0 { 0.0 } else { 1.0 })
+                    .collect(),
             ];
             for x in probes {
                 let slow = enc.encode_state(&x).unwrap();
@@ -463,7 +517,7 @@ mod tests {
                 assert_eq!(fast, slow, "{strategy:?} dim {dim} x {x:?}");
                 // …and bit-identical on every nonzero amplitude, which is
                 // what makes downstream fidelities bit-identical.
-                for (a, b) in fast.amplitudes().iter().zip(slow.amplitudes().iter()) {
+                for (a, b) in fast.to_amplitudes().iter().zip(slow.to_amplitudes().iter()) {
                     if b.re != 0.0 {
                         assert_eq!(a.re.to_bits(), b.re.to_bits());
                     }
@@ -480,6 +534,37 @@ mod tests {
                     slow.fidelity(&reference).unwrap().to_bits()
                 );
             }
+        }
+    }
+
+    #[test]
+    fn encode_into_reuses_dirty_scratch_bit_for_bit() {
+        for (strategy, dim) in [
+            (EncodingStrategy::DualAngle, 5),
+            (EncodingStrategy::SingleAngle, 3),
+        ] {
+            let enc = DataEncoder::new(strategy, dim).unwrap();
+            let mut scratch = StateVector::zero_state(enc.num_qubits());
+            // Encode three different samples through the same scratch: each
+            // must match a fresh encode exactly, regardless of what the
+            // previous iteration left behind.
+            for seed in 0..3 {
+                let x: Vec<f64> = (0..dim).map(|i| 0.05 + 0.09 * (i + seed) as f64).collect();
+                let angles = enc.encoding_angles(&x).unwrap();
+                enc.encode_state_from_angles_into(&angles, &mut scratch)
+                    .unwrap();
+                let fresh = enc.encode_state_from_angles(&angles).unwrap();
+                assert_eq!(scratch, fresh, "{strategy:?} seed {seed}");
+            }
+            // Wrong register width and wrong angle count are rejected.
+            let mut wrong = StateVector::zero_state(enc.num_qubits() + 1);
+            let angles = vec![0.3; dim];
+            assert!(enc
+                .encode_state_from_angles_into(&angles, &mut wrong)
+                .is_err());
+            assert!(enc
+                .encode_state_from_angles_into(&angles[..dim - 1], &mut scratch)
+                .is_err());
         }
     }
 

@@ -77,7 +77,10 @@ mod tests {
     fn display_covers_all_variants() {
         let cases: Vec<(QuClassiError, &str)> = vec![
             (QuClassiError::InvalidData("x".into()), "invalid data"),
-            (QuClassiError::InvalidConfig("y".into()), "invalid configuration"),
+            (
+                QuClassiError::InvalidConfig("y".into()),
+                "invalid configuration",
+            ),
             (
                 QuClassiError::InvalidLabel {
                     label: 5,

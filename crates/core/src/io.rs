@@ -45,7 +45,9 @@ fn layer_from_char(c: char) -> Result<LayerKind, QuClassiError> {
         'S' => Ok(LayerKind::SingleQubitUnitary),
         'D' => Ok(LayerKind::DualQubitUnitary),
         'E' => Ok(LayerKind::Entanglement),
-        other => Err(QuClassiError::Parse(format!("unknown layer code '{other}'"))),
+        other => Err(QuClassiError::Parse(format!(
+            "unknown layer code '{other}'"
+        ))),
     }
 }
 
@@ -77,9 +79,9 @@ pub fn model_to_string(model: &QuClassiModel) -> String {
 
 fn parse_field<'a>(line: Option<&'a str>, key: &str) -> Result<&'a str, QuClassiError> {
     let line = line.ok_or_else(|| QuClassiError::Parse(format!("missing '{key}' line")))?;
-    line.strip_prefix(key)
-        .map(str::trim)
-        .ok_or_else(|| QuClassiError::Parse(format!("expected line starting with '{key}', got '{line}'")))
+    line.strip_prefix(key).map(str::trim).ok_or_else(|| {
+        QuClassiError::Parse(format!("expected line starting with '{key}', got '{line}'"))
+    })
 }
 
 /// Parses a model from the text format produced by [`model_to_string`].

@@ -260,7 +260,12 @@ impl LayerStack {
     /// with the learned-state register starting at `qubit_offset` and
     /// parameters starting at `param_offset`. Returns the number of
     /// parameters consumed.
-    pub fn append_to(&self, circuit: &mut Circuit, qubit_offset: usize, param_offset: usize) -> usize {
+    pub fn append_to(
+        &self,
+        circuit: &mut Circuit,
+        qubit_offset: usize,
+        param_offset: usize,
+    ) -> usize {
         let mut consumed = 0;
         for layer in &self.layers {
             consumed += layer.append_to(

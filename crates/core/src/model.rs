@@ -187,7 +187,11 @@ impl QuClassiModel {
     }
 
     /// Replaces one class's parameters.
-    pub fn set_class_params(&mut self, class: usize, params: Vec<f64>) -> Result<(), QuClassiError> {
+    pub fn set_class_params(
+        &mut self,
+        class: usize,
+        params: Vec<f64>,
+    ) -> Result<(), QuClassiError> {
         if params.len() != self.parameters_per_class() {
             return Err(QuClassiError::InvalidConfig(format!(
                 "expected {} parameters, got {}",
@@ -344,7 +348,10 @@ mod tests {
             }
         }
         // Different classes get different random draws.
-        assert_ne!(model.class_params(0).unwrap(), model.class_params(1).unwrap());
+        assert_ne!(
+            model.class_params(0).unwrap(),
+            model.class_params(1).unwrap()
+        );
     }
 
     #[test]
@@ -384,8 +391,18 @@ mod tests {
         model.set_class_params(1, to_params(&high)).unwrap();
         let estimator = FidelityEstimator::analytic();
         let mut rng = StdRng::seed_from_u64(1);
-        assert_eq!(model.predict(&[0.15, 0.1, 0.12, 0.08], &estimator, &mut rng).unwrap(), 0);
-        assert_eq!(model.predict(&[0.85, 0.92, 0.88, 0.9], &estimator, &mut rng).unwrap(), 1);
+        assert_eq!(
+            model
+                .predict(&[0.15, 0.1, 0.12, 0.08], &estimator, &mut rng)
+                .unwrap(),
+            0
+        );
+        assert_eq!(
+            model
+                .predict(&[0.85, 0.92, 0.88, 0.9], &estimator, &mut rng)
+                .unwrap(),
+            1
+        );
         let probs = model
             .predict_proba(&[0.9, 0.9, 0.9, 0.9], &estimator, &mut rng)
             .unwrap();
@@ -404,12 +421,23 @@ mod tests {
             .unwrap();
         let estimator = FidelityEstimator::analytic();
         let mut rng = StdRng::seed_from_u64(2);
-        let xs = vec![vec![0.1, 0.1], vec![0.0, 0.2], vec![0.9, 0.8], vec![1.0, 0.95]];
+        let xs = vec![
+            vec![0.1, 0.1],
+            vec![0.0, 0.2],
+            vec![0.9, 0.8],
+            vec![1.0, 0.95],
+        ];
         let ys = vec![0, 0, 1, 1];
-        let acc = model.evaluate_accuracy(&xs, &ys, &estimator, &mut rng).unwrap();
+        let acc = model
+            .evaluate_accuracy(&xs, &ys, &estimator, &mut rng)
+            .unwrap();
         assert!((acc - 1.0).abs() < 1e-12);
-        assert!(model.evaluate_accuracy(&xs, &ys[..2], &estimator, &mut rng).is_err());
-        assert!(model.evaluate_accuracy(&[], &[], &estimator, &mut rng).is_err());
+        assert!(model
+            .evaluate_accuracy(&xs, &ys[..2], &estimator, &mut rng)
+            .is_err());
+        assert!(model
+            .evaluate_accuracy(&[], &[], &estimator, &mut rng)
+            .is_err());
     }
 
     #[test]

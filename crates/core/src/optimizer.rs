@@ -39,7 +39,11 @@ impl Default for Sgd {
 
 impl Optimizer for Sgd {
     fn step(&mut self, params: &mut [f64], grads: &[f64]) {
-        assert_eq!(params.len(), grads.len(), "parameter/gradient length mismatch");
+        assert_eq!(
+            params.len(),
+            grads.len(),
+            "parameter/gradient length mismatch"
+        );
         for (p, g) in params.iter_mut().zip(grads.iter()) {
             *p -= self.learning_rate * g;
         }
@@ -75,7 +79,11 @@ impl Momentum {
 
 impl Optimizer for Momentum {
     fn step(&mut self, params: &mut [f64], grads: &[f64]) {
-        assert_eq!(params.len(), grads.len(), "parameter/gradient length mismatch");
+        assert_eq!(
+            params.len(),
+            grads.len(),
+            "parameter/gradient length mismatch"
+        );
         if self.velocity.len() != params.len() {
             self.velocity = vec![0.0; params.len()];
         }
@@ -131,7 +139,11 @@ impl Adam {
 
 impl Optimizer for Adam {
     fn step(&mut self, params: &mut [f64], grads: &[f64]) {
-        assert_eq!(params.len(), grads.len(), "parameter/gradient length mismatch");
+        assert_eq!(
+            params.len(),
+            grads.len(),
+            "parameter/gradient length mismatch"
+        );
         if self.m.len() != params.len() {
             self.m = vec![0.0; params.len()];
             self.v = vec![0.0; params.len()];

@@ -309,7 +309,10 @@ impl FidelityEstimator {
                     layout.ancilla,
                     base_seed,
                 )?;
-                Ok(p1s.into_iter().map(|p1| fidelity_from_p0(1.0 - p1)).collect())
+                Ok(p1s
+                    .into_iter()
+                    .map(|p1| fidelity_from_p0(1.0 - p1))
+                    .collect())
             }
         }
     }
@@ -426,7 +429,9 @@ mod tests {
             FidelityEstimator::analytic(),
             FidelityEstimator::swap_test(Executor::ideal()),
         ] {
-            let f = est.estimate(&stack, &params, &encoder, &x, &mut rng).unwrap();
+            let f = est
+                .estimate(&stack, &params, &encoder, &x, &mut rng)
+                .unwrap();
             assert!((f - 1.0).abs() < 1e-9, "fidelity {f}");
         }
     }
@@ -481,9 +486,8 @@ mod tests {
         let ideal = FidelityEstimator::swap_test(Executor::ideal())
             .estimate(&stack, &params, &encoder, &x, &mut rng)
             .unwrap();
-        let noisy_exec =
-            Executor::noisy(NoiseModel::depolarizing(0.002, 0.02, 0.02).unwrap())
-                .with_trajectories(40);
+        let noisy_exec = Executor::noisy(NoiseModel::depolarizing(0.002, 0.02, 0.02).unwrap())
+            .with_trajectories(40);
         let noisy = FidelityEstimator::swap_test(noisy_exec)
             .estimate(&stack, &params, &encoder, &x, &mut rng)
             .unwrap();
@@ -529,7 +533,11 @@ mod tests {
             let mut rng = StdRng::seed_from_u64(9);
             let sequential: Vec<u64> = sets
                 .iter()
-                .map(|p| est.estimate(&stack, p, &encoder, &x, &mut rng).unwrap().to_bits())
+                .map(|p| {
+                    est.estimate(&stack, p, &encoder, &x, &mut rng)
+                        .unwrap()
+                        .to_bits()
+                })
                 .collect();
             for threads in [1, 2, 8] {
                 let batch = BatchExecutor::new(threads, 0);
@@ -549,7 +557,14 @@ mod tests {
                         assert!((s - b).abs() < 1e-10, "{s} vs {b}");
                     }
                     let one_thread: Vec<u64> = est
-                        .estimate_many(&stack, &sets, &encoder, &x, &BatchExecutor::new(1, 0), 12345)
+                        .estimate_many(
+                            &stack,
+                            &sets,
+                            &encoder,
+                            &x,
+                            &BatchExecutor::new(1, 0),
+                            12345,
+                        )
                         .unwrap()
                         .into_iter()
                         .map(f64::to_bits)
@@ -616,11 +631,18 @@ mod tests {
             .map(|s| vec![0.3 + s as f64 * 0.2, 1.0, 2.0, 0.2])
             .collect();
         let run = |threads: usize, seed: u64| -> Vec<u64> {
-            est.estimate_many(&stack, &sets, &encoder, &x, &BatchExecutor::new(threads, 0), seed)
-                .unwrap()
-                .into_iter()
-                .map(f64::to_bits)
-                .collect()
+            est.estimate_many(
+                &stack,
+                &sets,
+                &encoder,
+                &x,
+                &BatchExecutor::new(threads, 0),
+                seed,
+            )
+            .unwrap()
+            .into_iter()
+            .map(f64::to_bits)
+            .collect()
         };
         assert_eq!(run(1, 7), run(2, 7));
         assert_eq!(run(1, 7), run(8, 7));
@@ -651,15 +673,11 @@ mod tests {
         // the ancilla, for every architecture.
         let encoder = DataEncoder::new(EncodingStrategy::DualAngle, 4).unwrap();
         let x = vec![0.25, 0.7, 0.4, 0.9];
-        for stack in [
-            LayerStack::qc_s(2).unwrap(),
-            LayerStack::qc_sde(2).unwrap(),
-        ] {
+        for stack in [LayerStack::qc_s(2).unwrap(), LayerStack::qc_sde(2).unwrap()] {
             let params: Vec<f64> = (0..stack.parameter_count())
                 .map(|i| 0.3 + 0.17 * i as f64)
                 .collect();
-            let (train_circuit, layout) =
-                build_swap_test_circuit(&stack, &encoder, &x).unwrap();
+            let (train_circuit, layout) = build_swap_test_circuit(&stack, &encoder, &x).unwrap();
             let (serve_circuit, serve_layout) =
                 build_class_swap_test_circuit(&stack, &params, &encoder).unwrap();
             assert_eq!(layout, serve_layout);
@@ -703,7 +721,8 @@ mod tests {
     #[test]
     fn swap_test_circuit_structure() {
         let (stack, encoder) = setup(4);
-        let (circuit, layout) = build_swap_test_circuit(&stack, &encoder, &[0.1, 0.2, 0.3, 0.4]).unwrap();
+        let (circuit, layout) =
+            build_swap_test_circuit(&stack, &encoder, &[0.1, 0.2, 0.3, 0.4]).unwrap();
         assert_eq!(circuit.num_qubits(), 5);
         // 2 Hadamards + 4 learned-state rotations + 4 encoding rotations + 2 CSWAPs.
         assert_eq!(circuit.gate_count(), 12);

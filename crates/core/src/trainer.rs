@@ -112,10 +112,7 @@ impl TrainingHistory {
 
     /// The accuracy series across epochs (for Fig. 6c-style plots).
     pub fn accuracy_series(&self) -> Vec<f64> {
-        self.epochs
-            .iter()
-            .filter_map(|e| e.eval_accuracy)
-            .collect()
+        self.epochs.iter().filter_map(|e| e.eval_accuracy).collect()
     }
 }
 
@@ -271,9 +268,8 @@ impl Trainer {
 
                 for &idx in &indices {
                     let x = &features[idx];
-                    let loss = self.update_class(
-                        model, class, x, 1.0, shift, &mut optimizer, rng,
-                    )?;
+                    let loss =
+                        self.update_class(model, class, x, 1.0, shift, &mut optimizer, rng)?;
                     per_class_loss[class] += loss;
                     per_class_count[class] += 1;
 
@@ -282,7 +278,13 @@ impl Trainer {
                         for other in 0..num_classes {
                             if other != class {
                                 self.update_class(
-                                    model, other, x, 0.0, shift, &mut optimizer, rng,
+                                    model,
+                                    other,
+                                    x,
+                                    0.0,
+                                    shift,
+                                    &mut optimizer,
+                                    rng,
                                 )?;
                             }
                         }
@@ -299,12 +301,9 @@ impl Trainer {
             let mean_loss = per_class_loss.iter().sum::<f64>() / populated as f64;
 
             let eval_accuracy = match eval {
-                Some(set) => Some(model.evaluate_accuracy(
-                    set.features,
-                    set.labels,
-                    &self.estimator,
-                    rng,
-                )?),
+                Some(set) => {
+                    Some(model.evaluate_accuracy(set.features, set.labels, &self.estimator, rng)?)
+                }
                 None => None,
             };
 
@@ -350,9 +349,9 @@ impl Trainer {
         } else {
             0
         };
-        let values = self
-            .estimator
-            .estimate_many(&stack, &sets, &encoder, x, &self.batch, base_seed)?;
+        let values =
+            self.estimator
+                .estimate_many(&stack, &sets, &encoder, x, &self.batch, base_seed)?;
 
         let fidelity = values[0];
         let loss = binary_cross_entropy(fidelity, target);

@@ -23,14 +23,21 @@ impl Dataset {
     /// # Panics
     /// Panics on ragged features, mismatched lengths or out-of-range labels.
     pub fn new(features: Vec<Vec<f64>>, labels: Vec<usize>, num_classes: usize) -> Self {
-        assert_eq!(features.len(), labels.len(), "features/labels length mismatch");
+        assert_eq!(
+            features.len(),
+            labels.len(),
+            "features/labels length mismatch"
+        );
         assert!(!features.is_empty(), "a dataset needs at least one sample");
         let dim = features[0].len();
         for row in &features {
             assert_eq!(row.len(), dim, "ragged feature rows");
         }
         for &y in &labels {
-            assert!(y < num_classes, "label {y} out of range for {num_classes} classes");
+            assert!(
+                y < num_classes,
+                "label {y} out of range for {num_classes} classes"
+            );
         }
         Dataset {
             features,
@@ -89,7 +96,12 @@ impl Dataset {
         } else {
             classes
                 .iter()
-                .map(|&c| self.class_names.get(c).cloned().unwrap_or_else(|| c.to_string()))
+                .map(|&c| {
+                    self.class_names
+                        .get(c)
+                        .cloned()
+                        .unwrap_or_else(|| c.to_string())
+                })
                 .collect()
         };
         Dataset::new(features, labels, classes.len()).with_class_names(class_names)
@@ -225,7 +237,12 @@ mod tests {
         assert_eq!(train.class_counts(), vec![7, 7, 7]);
         assert_eq!(test.class_counts(), vec![3, 3, 3]);
         // No overlap: every feature row appears exactly once across the split.
-        let mut all: Vec<f64> = train.features.iter().chain(test.features.iter()).map(|r| r[0]).collect();
+        let mut all: Vec<f64> = train
+            .features
+            .iter()
+            .chain(test.features.iter())
+            .map(|r| r[0])
+            .collect();
         all.sort_by(|a, b| a.partial_cmp(b).unwrap());
         let expected: Vec<f64> = (0..30).map(|i| i as f64).collect();
         assert_eq!(all, expected);

@@ -65,7 +65,8 @@ pub fn load_with(per_class: usize, seed: u64) -> Dataset {
                 let independent = standard_normal(&mut rng);
                 // Correlate the two petal measurements through a shared factor.
                 let z = if j >= 2 {
-                    PETAL_CORRELATION * shared + (1.0 - PETAL_CORRELATION.powi(2)).sqrt() * independent
+                    PETAL_CORRELATION * shared
+                        + (1.0 - PETAL_CORRELATION.powi(2)).sqrt() * independent
                 } else {
                     independent
                 };

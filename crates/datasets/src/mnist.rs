@@ -24,25 +24,45 @@ pub const NUM_CLASSES: usize = 10;
 /// 7×7 stroke templates for the ten digits ('X' = ink).
 const TEMPLATES: [[&str; 7]; 10] = [
     // 0
-    [".XXXXX.", "X.....X", "X.....X", "X.....X", "X.....X", "X.....X", ".XXXXX."],
+    [
+        ".XXXXX.", "X.....X", "X.....X", "X.....X", "X.....X", "X.....X", ".XXXXX.",
+    ],
     // 1
-    ["...X...", "..XX...", "...X...", "...X...", "...X...", "...X...", "..XXX.."],
+    [
+        "...X...", "..XX...", "...X...", "...X...", "...X...", "...X...", "..XXX..",
+    ],
     // 2
-    [".XXXXX.", "X.....X", "......X", ".....X.", "...XX..", ".XX....", "XXXXXXX"],
+    [
+        ".XXXXX.", "X.....X", "......X", ".....X.", "...XX..", ".XX....", "XXXXXXX",
+    ],
     // 3
-    [".XXXXX.", "......X", "......X", "..XXXX.", "......X", "......X", ".XXXXX."],
+    [
+        ".XXXXX.", "......X", "......X", "..XXXX.", "......X", "......X", ".XXXXX.",
+    ],
     // 4
-    ["X....X.", "X....X.", "X....X.", "XXXXXXX", ".....X.", ".....X.", ".....X."],
+    [
+        "X....X.", "X....X.", "X....X.", "XXXXXXX", ".....X.", ".....X.", ".....X.",
+    ],
     // 5
-    ["XXXXXXX", "X......", "X......", "XXXXXX.", "......X", "......X", "XXXXXX."],
+    [
+        "XXXXXXX", "X......", "X......", "XXXXXX.", "......X", "......X", "XXXXXX.",
+    ],
     // 6
-    [".XXXXX.", "X......", "X......", "XXXXXX.", "X.....X", "X.....X", ".XXXXX."],
+    [
+        ".XXXXX.", "X......", "X......", "XXXXXX.", "X.....X", "X.....X", ".XXXXX.",
+    ],
     // 7
-    ["XXXXXXX", "......X", ".....X.", "....X..", "...X...", "..X....", "..X...."],
+    [
+        "XXXXXXX", "......X", ".....X.", "....X..", "...X...", "..X....", "..X....",
+    ],
     // 8
-    [".XXXXX.", "X.....X", "X.....X", ".XXXXX.", "X.....X", "X.....X", ".XXXXX."],
+    [
+        ".XXXXX.", "X.....X", "X.....X", ".XXXXX.", "X.....X", "X.....X", ".XXXXX.",
+    ],
     // 9
-    [".XXXXX.", "X.....X", "X.....X", ".XXXXXX", "......X", "......X", ".XXXXX."],
+    [
+        ".XXXXX.", "X.....X", "X.....X", ".XXXXXX", "......X", "......X", ".XXXXX.",
+    ],
 ];
 
 /// Renders the clean (noise-free, centred) 28×28 prototype of a digit with
@@ -80,7 +100,8 @@ fn smooth(image: &[f64]) -> Vec<f64> {
                 for dc in -1i32..=1 {
                     let rr = r as i32 + dr;
                     let cc = c as i32 + dc;
-                    if (0..IMAGE_SIDE as i32).contains(&rr) && (0..IMAGE_SIDE as i32).contains(&cc) {
+                    if (0..IMAGE_SIDE as i32).contains(&rr) && (0..IMAGE_SIDE as i32).contains(&cc)
+                    {
                         acc += image[rr as usize * IMAGE_SIDE + cc as usize];
                         count += 1.0;
                     }
@@ -117,7 +138,8 @@ fn thicken(image: &[f64]) -> Vec<f64> {
                 for (dr, dc) in [(0i32, 1i32), (0, -1), (1, 0), (-1, 0)] {
                     let rr = r as i32 + dr;
                     let cc = c as i32 + dc;
-                    if (0..IMAGE_SIDE as i32).contains(&rr) && (0..IMAGE_SIDE as i32).contains(&cc) {
+                    if (0..IMAGE_SIDE as i32).contains(&rr) && (0..IMAGE_SIDE as i32).contains(&cc)
+                    {
                         let idx = rr as usize * IMAGE_SIDE + cc as usize;
                         out[idx] = out[idx].max(0.8);
                     }

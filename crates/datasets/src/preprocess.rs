@@ -16,7 +16,10 @@ impl MinMaxScaler {
     /// # Panics
     /// Panics on an empty dataset.
     pub fn fit(features: &[Vec<f64>]) -> Self {
-        assert!(!features.is_empty(), "cannot fit a scaler on an empty dataset");
+        assert!(
+            !features.is_empty(),
+            "cannot fit a scaler on an empty dataset"
+        );
         let dim = features[0].len();
         let mut mins = vec![f64::INFINITY; dim];
         let mut maxs = vec![f64::NEG_INFINITY; dim];

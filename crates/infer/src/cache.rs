@@ -166,7 +166,10 @@ mod tests {
 
     #[test]
     fn fingerprints_are_exact_bit_patterns() {
-        assert_eq!(fingerprint(&[0.5, -0.0]), vec![0.5f64.to_bits(), (-0.0f64).to_bits()]);
+        assert_eq!(
+            fingerprint(&[0.5, -0.0]),
+            vec![0.5f64.to_bits(), (-0.0f64).to_bits()]
+        );
         // -0.0 and 0.0 differ as fingerprints: they are different bit
         // patterns, and exactness is the contract.
         assert_ne!(fingerprint(&[0.0]), fingerprint(&[-0.0]));

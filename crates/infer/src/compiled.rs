@@ -10,6 +10,7 @@ use quclassi::swap_test::{
 };
 use quclassi_sim::batch::BatchExecutor;
 use quclassi_sim::fusion::FusedCircuit;
+use quclassi_sim::gemm::StateMatrix;
 use quclassi_sim::state::StateVector;
 use rand::Rng;
 use std::collections::HashMap;
@@ -22,9 +23,11 @@ pub const DEFAULT_CACHE_CAPACITY: usize = 1024;
 #[derive(Clone, Debug)]
 enum CompiledClasses {
     /// Analytic method: every class state |ω_c⟩ evaluated once at compile
-    /// time — scoring a sample is one data-register preparation plus one
-    /// inner product per class.
-    Analytic { states: Vec<StateVector> },
+    /// time and packed into one contiguous [`StateMatrix`] — scoring a
+    /// sample is one in-place data-register preparation plus one GEMM row
+    /// sweep over the packed class plane (one fixed-tree inner product per
+    /// class, bit-identical to per-pair [`StateVector::fidelity`]).
+    Analytic { class_matrix: StateMatrix },
     /// SWAP-test method: one fused circuit per class with the trained
     /// angles baked into the precomputed static prelude; the sample's
     /// encoding angles are the circuit's only parameters.
@@ -167,7 +170,8 @@ impl CompiledModel {
                 let states = (0..model.num_classes())
                     .map(|c| model.learned_state(c))
                     .collect::<Result<Vec<_>, _>>()?;
-                CompiledClasses::Analytic { states }
+                let class_matrix = StateMatrix::pack(&states)?;
+                CompiledClasses::Analytic { class_matrix }
             }
             FidelityMethod::SwapTest => {
                 let mut circuits = Vec::with_capacity(model.num_classes());
@@ -262,16 +266,16 @@ impl CompiledModel {
         rng: &mut R,
     ) -> Result<Vec<f64>, QuClassiError> {
         match &self.classes {
-            CompiledClasses::Analytic { states } => {
+            CompiledClasses::Analytic { class_matrix } => {
                 // Product-state fast preparation: bit-identical fidelities
                 // to the uncompiled `encode_state` path (see
-                // `DataEncoder::encode_state_from_angles`).
+                // `DataEncoder::encode_state_from_angles`), swept against
+                // the packed class plane in one GEMM row pass.
                 let data = self.encoder.encode_state_from_angles(angles)?;
                 let intra = self.estimator.executor().intra();
-                states
-                    .iter()
-                    .map(|s| s.fidelity_with(&data, intra).map_err(QuClassiError::from))
-                    .collect()
+                let mut fidelities = vec![0.0; class_matrix.rows()];
+                class_matrix.fidelities_into_with(&data, intra, &mut fidelities)?;
+                Ok(fidelities)
             }
             CompiledClasses::SwapTest { circuits, ancilla } => circuits
                 .iter()
@@ -346,8 +350,10 @@ impl CompiledModel {
     ///
     /// * **Deterministic estimators** — results are bit-identical to
     ///   sequential [`CompiledModel::predict_one`] calls, for any thread
-    ///   count; duplicate encodings inside the batch are evaluated once and
-    ///   answered from the cache afterwards.
+    ///   count. When caching is enabled, duplicate encodings inside the
+    ///   batch are evaluated once and answered from the cache afterwards;
+    ///   with caching disabled every sample is evaluated directly (the
+    ///   answers are identical either way).
     /// * **Stochastic estimators** — every sample × class evaluation draws
     ///   from its own RNG stream derived from `(base_seed, job index)`, so
     ///   results are bit-identical for any thread count and vary with
@@ -392,20 +398,27 @@ impl CompiledModel {
         for a in &angles {
             self.encoder.validate_angles(a)?;
         }
-        if self.estimator.is_stochastic() {
-            // No dedup: each duplicate keeps its own sample draw, matching
-            // sequential serving semantics.
+        if self.estimator.is_stochastic() || !self.cache_enabled() {
+            // Straight evaluation, no fingerprinting. Stochastic: each
+            // duplicate keeps its own sample draw, matching sequential
+            // serving semantics. Deterministic-but-uncached: duplicates
+            // would be answered identically either way, and with no cache
+            // to fill, fingerprint hashing and dedup bookkeeping would tax
+            // every unique sample for nothing.
             let fidelities = self.batched_fidelities(&angles, batch, base_seed)?;
-            return Ok(fidelities.into_iter().map(prediction_from_fidelities).collect());
+            return Ok(fidelities
+                .into_iter()
+                .map(prediction_from_fidelities)
+                .collect());
         }
 
-        // Deterministic path: resolve cache hits, dedup the misses by
-        // fingerprint (first appearance wins — a pure function of the input
-        // batch, so thread count cannot perturb it), evaluate once each.
+        // Cached deterministic path: resolve cache hits, dedup the misses
+        // by fingerprint (first appearance wins — a pure function of the
+        // input batch, so thread count cannot perturb it), evaluate once
+        // each.
         let keys: Vec<Vec<u64>> = angles.iter().map(|a| fingerprint(a)).collect();
-        let cache_enabled = self.cache_enabled();
         let mut resolved: Vec<Option<Vec<f64>>> = vec![None; angles.len()];
-        if cache_enabled {
+        {
             let mut cache = self.lock_cache();
             for (slot, key) in resolved.iter_mut().zip(keys.iter()) {
                 *slot = cache.get(key);
@@ -428,7 +441,7 @@ impl CompiledModel {
         }
 
         let miss_fidelities = self.batched_fidelities(&miss_angles, batch, base_seed)?;
-        if cache_enabled {
+        {
             let mut cache = self.lock_cache();
             for (key, fidelities) in miss_keys.into_iter().zip(miss_fidelities.iter()) {
                 cache.insert(key, fidelities.clone());
@@ -461,17 +474,33 @@ impl CompiledModel {
             return Ok(Vec::new());
         }
         match &self.classes {
-            CompiledClasses::Analytic { states } => {
+            CompiledClasses::Analytic { class_matrix } => {
+                // The batched analytic score is the samples × classes
+                // fidelity GEMM: encoded-sample rows against the packed
+                // (implicitly conjugated, via the inner product) class
+                // plane. Sample rows are distributed over the batch
+                // executor's workers; each worker reuses one scratch
+                // register, so a steady-state flush performs no per-sample
+                // statevector or gate-list allocations. Every entry goes
+                // through the same fixed reduction tree as the
+                // single-sample path, so results stay bit-identical for
+                // any thread count and any batch composition.
                 let jobs: Vec<&[f64]> = angles.iter().map(Vec::as_slice).collect();
                 let intra = batch.intra();
+                let width = class_matrix.num_qubits();
                 batch
-                    .run_seeded(base_seed, jobs, |_, sample_angles, _| {
-                        let data = self.encoder.encode_state_from_angles(sample_angles)?;
-                        states
-                            .iter()
-                            .map(|s| s.fidelity_with(&data, intra).map_err(QuClassiError::from))
-                            .collect::<Result<Vec<f64>, QuClassiError>>()
-                    })
+                    .run_seeded_with_scratch(
+                        base_seed,
+                        jobs,
+                        || StateVector::zero_state(width),
+                        |_, sample_angles, _, scratch| {
+                            self.encoder
+                                .encode_state_from_angles_into(sample_angles, scratch)?;
+                            let mut fidelities = vec![0.0; class_matrix.rows()];
+                            class_matrix.fidelities_into_with(scratch, intra, &mut fidelities)?;
+                            Ok(fidelities)
+                        },
+                    )
                     .into_iter()
                     .collect()
             }

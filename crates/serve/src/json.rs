@@ -49,7 +49,12 @@ impl Json {
 
     /// Builds an object from `(key, value)` pairs.
     pub fn obj(fields: Vec<(&str, Json)>) -> Json {
-        Json::Obj(fields.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+        Json::Obj(
+            fields
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+        )
     }
 
     /// Builds an array of numbers.
@@ -334,8 +339,7 @@ impl<'a> Parser<'a> {
                                 if !(0xDC00..0xE000).contains(&second) {
                                     return Err(self.error("invalid low surrogate"));
                                 }
-                                let code =
-                                    0x10000 + ((first - 0xD800) << 10) + (second - 0xDC00);
+                                let code = 0x10000 + ((first - 0xD800) << 10) + (second - 0xDC00);
                                 char::from_u32(code)
                                     .ok_or_else(|| self.error("invalid surrogate pair"))?
                             } else {
@@ -353,8 +357,7 @@ impl<'a> Parser<'a> {
                     // Consume one UTF-8 character (input is a &str, so the
                     // boundary math is always valid).
                     let rest = &self.bytes[self.pos..];
-                    let s = std::str::from_utf8(rest)
-                        .map_err(|_| self.error("invalid UTF-8"))?;
+                    let s = std::str::from_utf8(rest).map_err(|_| self.error("invalid UTF-8"))?;
                     let c = s.chars().next().expect("peek saw a byte");
                     out.push(c);
                     self.pos += c.len_utf8();
@@ -370,22 +373,42 @@ impl<'a> Parser<'a> {
         }
         let hex = std::str::from_utf8(&self.bytes[self.pos..end])
             .map_err(|_| self.error("invalid \\u escape"))?;
-        let code =
-            u32::from_str_radix(hex, 16).map_err(|_| self.error("invalid \\u escape"))?;
+        let code = u32::from_str_radix(hex, 16).map_err(|_| self.error("invalid \\u escape"))?;
         self.pos = end;
         Ok(code)
     }
 
+    /// Strict JSON number grammar (RFC 8259 §6): `-?int(.frac)?(e±exp)?`
+    /// with a non-empty integer part, no leading zeros, and at least one
+    /// digit after any decimal point or exponent marker. Rust's
+    /// `str::parse::<f64>` accepts a much wider grammar (`1.`, `1e`,
+    /// `01`, `inf`…), so the shape is validated here byte-by-byte and the
+    /// parse only converts.
     fn number(&mut self) -> Result<Json, ServeError> {
         let start = self.pos;
         if self.peek() == Some(b'-') {
             self.pos += 1;
         }
-        while self.peek().is_some_and(|b| b.is_ascii_digit()) {
-            self.pos += 1;
+        // Integer part: `0`, or a nonzero digit followed by any digits.
+        match self.peek() {
+            Some(b'0') => {
+                self.pos += 1;
+                if self.peek().is_some_and(|b| b.is_ascii_digit()) {
+                    return Err(self.error("number has a leading zero"));
+                }
+            }
+            Some(b) if b.is_ascii_digit() => {
+                while self.peek().is_some_and(|b| b.is_ascii_digit()) {
+                    self.pos += 1;
+                }
+            }
+            _ => return Err(self.error("number is missing its integer part")),
         }
         if self.peek() == Some(b'.') {
             self.pos += 1;
+            if !self.peek().is_some_and(|b| b.is_ascii_digit()) {
+                return Err(self.error("number has no digits after the decimal point"));
+            }
             while self.peek().is_some_and(|b| b.is_ascii_digit()) {
                 self.pos += 1;
             }
@@ -395,15 +418,26 @@ impl<'a> Parser<'a> {
             if matches!(self.peek(), Some(b'+') | Some(b'-')) {
                 self.pos += 1;
             }
+            if !self.peek().is_some_and(|b| b.is_ascii_digit()) {
+                return Err(self.error("number has no digits in its exponent"));
+            }
             while self.peek().is_some_and(|b| b.is_ascii_digit()) {
                 self.pos += 1;
             }
         }
         let text = std::str::from_utf8(&self.bytes[start..self.pos])
             .map_err(|_| self.error("invalid number"))?;
-        text.parse::<f64>()
-            .map(Json::Num)
-            .map_err(|_| self.error(&format!("invalid number '{text}'")))
+        let n = text
+            .parse::<f64>()
+            .map_err(|_| self.error(&format!("invalid number '{text}'")))?;
+        // A syntactically valid literal can still overflow f64 (`1e400`
+        // parses to +∞). `Json::Num` guarantees finiteness — an infinity
+        // admitted here would silently serialise back out as `null` —
+        // so magnitude overflow is a client error, not a value.
+        if !n.is_finite() {
+            return Err(self.error(&format!("number '{text}' overflows the finite f64 range")));
+        }
+        Ok(Json::Num(n))
     }
 }
 
@@ -417,7 +451,10 @@ mod tests {
             ("op", Json::str("predict")),
             ("model", Json::str("iris")),
             ("features", Json::nums(&[0.1, 0.25, 1.0, 0.0])),
-            ("nested", Json::obj(vec![("ok", Json::Bool(true)), ("n", Json::Null)])),
+            (
+                "nested",
+                Json::obj(vec![("ok", Json::Bool(true)), ("n", Json::Null)]),
+            ),
         ]);
         let text = value.to_string();
         assert_eq!(Json::parse(&text).unwrap(), value);
@@ -455,9 +492,22 @@ mod tests {
     #[test]
     fn malformed_documents_are_rejected_not_panicked() {
         for bad in [
-            "", "{", "}", "[1,", "{\"a\":}", "tru", "nul", "\"unterminated",
-            "1.2.3", "[1] trailing", "{\"a\" 1}", "\"\\u12\"", "\"\\ud800x\"",
-            "--1", "+1", "0x10",
+            "",
+            "{",
+            "}",
+            "[1,",
+            "{\"a\":}",
+            "tru",
+            "nul",
+            "\"unterminated",
+            "1.2.3",
+            "[1] trailing",
+            "{\"a\" 1}",
+            "\"\\u12\"",
+            "\"\\ud800x\"",
+            "--1",
+            "+1",
+            "0x10",
         ] {
             assert!(Json::parse(bad).is_err(), "should reject {bad:?}");
         }
@@ -482,9 +532,8 @@ mod tests {
         assert_eq!(err.kind(), "protocol");
         assert!(!err.is_retryable(), "a malformed payload is a client error");
         // Object nesting hits the same cap.
-        let objects = "{\"a\":".repeat(MAX_PARSE_DEPTH + 2)
-            + "null"
-            + &"}".repeat(MAX_PARSE_DEPTH + 2);
+        let objects =
+            "{\"a\":".repeat(MAX_PARSE_DEPTH + 2) + "null" + &"}".repeat(MAX_PARSE_DEPTH + 2);
         assert!(Json::parse(&objects).is_err());
         // Mixed array/object nesting too.
         let mixed = "[{\"a\":".repeat((MAX_PARSE_DEPTH + 3) / 2)
@@ -515,6 +564,72 @@ mod tests {
         assert_eq!(v.get("s").unwrap().as_u64(), None);
         assert_eq!(Json::Num(1.5).as_u64(), None);
         assert_eq!(Json::Num(-1.0).as_u64(), None);
+    }
+
+    #[test]
+    fn number_grammar_is_strict_json() {
+        // Shapes Rust's f64 parser would happily accept but RFC 8259
+        // forbids — each must come back as a non-retryable client error.
+        for bad in [
+            "1.", "1e", "1E", "1e+", "1e-", "01", "-01", "007", "0.e1", ".5", "-.5", "-", "+1",
+            "1.e3", "00",
+        ] {
+            let err = Json::parse(bad).unwrap_err();
+            assert_eq!(err.kind(), "protocol", "should reject {bad:?}");
+            assert!(!err.is_retryable(), "{bad:?} is a client error");
+        }
+        // Exact grammar boundaries that MUST parse.
+        let accepted: [(&str, f64); 8] = [
+            ("0", 0.0),
+            ("-0", -0.0),
+            ("0.5", 0.5),
+            ("0e0", 0.0),
+            ("1e3", 1000.0),
+            ("1E+3", 1000.0),
+            ("10", 10.0),
+            ("-1.25e-2", -0.0125),
+        ];
+        for (good, want) in accepted {
+            let n = Json::parse(good).unwrap().as_f64().unwrap();
+            assert_eq!(n.to_bits(), want.to_bits(), "{good}");
+        }
+        // Strictness applies inside containers too.
+        assert!(Json::parse("[1, 01]").is_err());
+        assert!(Json::parse("{\"a\": 2.}").is_err());
+    }
+
+    #[test]
+    fn overflowing_literals_are_rejected_not_admitted_as_infinity() {
+        // `"1e400".parse::<f64>()` is Ok(inf); admitting it would let a
+        // client smuggle a non-finite value past every downstream
+        // validator (and it would re-serialise as `null`).
+        for bad in ["1e400", "-1e400", "1e309", "-1.8e308", "123456789e999"] {
+            let err = Json::parse(bad).unwrap_err();
+            assert_eq!(err.kind(), "protocol", "should reject {bad:?}");
+            assert!(!err.is_retryable());
+        }
+        // The finite extremes still pass, bit-exactly.
+        assert_eq!(
+            Json::parse("1.7976931348623157e308")
+                .unwrap()
+                .as_f64()
+                .unwrap(),
+            f64::MAX
+        );
+        assert_eq!(
+            Json::parse("-1.7976931348623157e308")
+                .unwrap()
+                .as_f64()
+                .unwrap(),
+            f64::MIN
+        );
+        // Underflow toward zero is not overflow: tiny magnitudes round to
+        // (sub)normals or zero, which are finite and admissible.
+        assert_eq!(Json::parse("1e-400").unwrap().as_f64().unwrap(), 0.0);
+        assert_eq!(
+            Json::parse("5e-324").unwrap().as_f64().unwrap(),
+            f64::from_bits(1)
+        );
     }
 
     #[test]

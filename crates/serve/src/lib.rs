@@ -90,9 +90,7 @@ pub use wire::{WireClient, WireConfig, WirePrediction, WireServer};
 /// Re-exports of the most commonly used serving types.
 pub mod prelude {
     pub use crate::error::ServeError;
-    pub use crate::runtime::{
-        Client, MetricsSnapshot, ServeConfig, ServeResponse, ServeRuntime,
-    };
+    pub use crate::runtime::{Client, MetricsSnapshot, ServeConfig, ServeResponse, ServeRuntime};
     pub use crate::wire::{WireClient, WireConfig, WireServer};
     pub use quclassi_sim::batch::BatchExecutor;
 }

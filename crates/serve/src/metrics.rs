@@ -40,6 +40,13 @@ impl LatencyHistogram {
     }
 
     /// Records one observation of `ns` nanoseconds.
+    ///
+    /// Write order is load-bearing for [`LatencyHistogram::snapshot`]:
+    /// the bucket count is bumped *first* and the nanosecond sum is
+    /// published *second* with `Release`. A snapshot that observes an
+    /// observation's nanoseconds is thereby guaranteed to also observe
+    /// its count, so a concurrent snapshot's mean can only be skewed
+    /// *downward* (extra count, missing nanoseconds), never upward.
     pub fn record_ns(&self, ns: u64) {
         let bucket = if ns == 0 {
             0
@@ -47,19 +54,26 @@ impl LatencyHistogram {
             63 - ns.leading_zeros() as usize
         };
         self.counts[bucket].fetch_add(1, Ordering::Relaxed);
-        self.total_ns.fetch_add(ns, Ordering::Relaxed);
+        self.total_ns.fetch_add(ns, Ordering::Release);
     }
 
     /// An immutable copy of the current counts.
+    ///
+    /// The nanosecond sum is read *before* the bucket counts (the mirror
+    /// of [`LatencyHistogram::record_ns`]'s write order, paired via
+    /// `Acquire`/`Release` on `total_ns`): every observation whose
+    /// nanoseconds made it into the sum has its count visible by the time
+    /// the buckets are read. Racing recorders can therefore only leave a
+    /// snapshot with *more* counts than summed nanoseconds — the reported
+    /// mean is exact in quiescence and a lower bound under concurrency,
+    /// never inflated.
     pub fn snapshot(&self) -> HistogramSnapshot {
+        let total_ns = self.total_ns.load(Ordering::Acquire);
         let mut counts = [0u64; HISTOGRAM_BUCKETS];
         for (slot, c) in counts.iter_mut().zip(self.counts.iter()) {
             *slot = c.load(Ordering::Relaxed);
         }
-        HistogramSnapshot {
-            counts,
-            total_ns: self.total_ns.load(Ordering::Relaxed),
-        }
+        HistogramSnapshot { counts, total_ns }
     }
 }
 
@@ -244,10 +258,7 @@ mod tests {
         let p50 = s.quantile_ns(0.50) as f64;
         assert!((5_000.0..=20_000.0).contains(&p50), "p50 = {p50}");
         let p99 = s.quantile_ns(0.99) as f64;
-        assert!(
-            (5_000_000.0..=20_000_000.0).contains(&p99),
-            "p99 = {p99}"
-        );
+        assert!((5_000_000.0..=20_000_000.0).contains(&p99), "p99 = {p99}");
         // The microsecond helpers agree with the raw read-outs.
         assert!((s.p50_us() - p50 / 1000.0).abs() < 1e-9);
         assert!((s.p99_us() - p99 / 1000.0).abs() < 1e-9);
@@ -262,6 +273,50 @@ mod tests {
         let h = LatencyHistogram::new();
         h.record_ns(0); // clamps into bucket 0 rather than panicking
         assert_eq!(h.snapshot().count(), 1);
+    }
+
+    #[test]
+    fn concurrent_snapshots_never_inflate_the_mean() {
+        use std::sync::atomic::AtomicBool;
+        use std::sync::Arc;
+
+        // Every recorded observation is exactly V ns, so any correct
+        // snapshot has mean ≤ V: total_ns is k·V for the k observations
+        // whose sum is visible, over a count m ≥ k. The pre-fix ordering
+        // (count read before total) allowed m < k — a mean *above* V —
+        // under recorder/reader races; hammer that interleaving.
+        const V: u64 = 4096;
+        let h = Arc::new(LatencyHistogram::new());
+        let stop = Arc::new(AtomicBool::new(false));
+        let writers: Vec<_> = (0..4)
+            .map(|_| {
+                let h = Arc::clone(&h);
+                let stop = Arc::clone(&stop);
+                std::thread::spawn(move || {
+                    while !stop.load(Ordering::Relaxed) {
+                        h.record_ns(V);
+                    }
+                })
+            })
+            .collect();
+        for _ in 0..20_000 {
+            let s = h.snapshot();
+            let (count, total) = (s.count(), s.mean_ns() * s.count() as f64);
+            assert!(
+                s.mean_ns() <= V as f64,
+                "snapshot mean {} exceeds the only recorded value {V} \
+                 (count {count}, total {total})",
+                s.mean_ns()
+            );
+        }
+        stop.store(true, Ordering::Relaxed);
+        for w in writers {
+            w.join().unwrap();
+        }
+        // Quiescent snapshot: the mean is exact again.
+        let s = h.snapshot();
+        assert!(s.count() > 0);
+        assert_eq!(s.mean_ns(), V as f64);
     }
 
     #[test]

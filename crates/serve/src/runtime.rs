@@ -21,6 +21,11 @@
 //!    the exact version that admitted them, even across a hot-swap) and
 //!    each group fans out through
 //!    [`CompiledModel::predict_many_from_angles`] on the shared executor.
+//!    For analytic artifacts that flush is a samples × classes fidelity
+//!    GEMM: every worker encodes its sample rows into a reused scratch
+//!    register and sweeps them against the model's packed class-state
+//!    matrix (`quclassi_sim::gemm::StateMatrix`), so a steady-state flush
+//!    performs no per-sample statevector or gate-list allocations.
 //! 4. **Reply** — each request's one-shot slot is fulfilled; blocked
 //!    callers wake with a [`ServeResponse`].
 //!
@@ -49,9 +54,7 @@
 //! dynamically batched server — depend on how requests happened to batch.
 
 use crate::error::ServeError;
-use crate::metrics::{
-    HistogramSnapshot, ModelStatsSnapshot, RuntimeStats,
-};
+use crate::metrics::{HistogramSnapshot, ModelStatsSnapshot, RuntimeStats};
 use crate::queue::BoundedQueue;
 use crate::registry::{ModelEntry, ModelRegistry};
 use quclassi_infer::{CacheStats, CompiledModel, Prediction};
@@ -139,9 +142,7 @@ impl ServeConfig {
 }
 
 fn env_nonempty(key: &str) -> Option<String> {
-    std::env::var(key)
-        .ok()
-        .filter(|v| !v.trim().is_empty())
+    std::env::var(key).ok().filter(|v| !v.trim().is_empty())
 }
 
 fn parse_positive(key: &str, raw: &str) -> Result<usize, ServeError> {

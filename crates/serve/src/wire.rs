@@ -148,9 +148,8 @@ impl WireConfig {
 
 /// Writes one length-prefixed frame.
 pub fn write_frame(writer: &mut impl Write, payload: &[u8]) -> std::io::Result<()> {
-    let len = u32::try_from(payload.len()).map_err(|_| {
-        std::io::Error::new(std::io::ErrorKind::InvalidInput, "frame too large")
-    })?;
+    let len = u32::try_from(payload.len())
+        .map_err(|_| std::io::Error::new(std::io::ErrorKind::InvalidInput, "frame too large"))?;
     writer.write_all(&len.to_be_bytes())?;
     writer.write_all(payload)?;
     writer.flush()
@@ -249,8 +248,7 @@ impl WireServer {
                         let Ok(stream_for_shutdown) = stream.try_clone() else {
                             continue;
                         };
-                        let mut conns =
-                            connections.lock().unwrap_or_else(|e| e.into_inner());
+                        let mut conns = connections.lock().unwrap_or_else(|e| e.into_inner());
                         // Reap finished handlers so a long-lived server does
                         // not accumulate them — and so the cap below counts
                         // only genuinely live connections.
@@ -267,8 +265,7 @@ impl WireServer {
                             .name("quclassi-serve-conn".to_string())
                             .spawn(move || serve_connection(stream, &client));
                         if let Ok(handle) = handle {
-                            let mut conns =
-                                connections.lock().unwrap_or_else(|e| e.into_inner());
+                            let mut conns = connections.lock().unwrap_or_else(|e| e.into_inner());
                             conns.push(Connection {
                                 handle,
                                 stream: stream_for_shutdown,
@@ -309,9 +306,8 @@ impl WireServer {
         if let Some(handle) = self.accept_thread.take() {
             let _ = handle.join();
         }
-        let connections: Vec<Connection> = std::mem::take(
-            &mut *self.connections.lock().unwrap_or_else(|e| e.into_inner()),
-        );
+        let connections: Vec<Connection> =
+            std::mem::take(&mut *self.connections.lock().unwrap_or_else(|e| e.into_inner()));
         for connection in connections {
             // Handlers park in `read_frame` on idle-but-open peers; closing
             // the socket turns that into an EOF so the join cannot hang.
@@ -392,7 +388,10 @@ fn dispatch(payload: &[u8], client: &Client) -> Json {
                     ])
                 })
                 .collect();
-            Json::obj(vec![("ok", Json::Bool(true)), ("models", Json::Arr(models))])
+            Json::obj(vec![
+                ("ok", Json::Bool(true)),
+                ("models", Json::Arr(models)),
+            ])
         }
         "metrics" => Json::obj(vec![
             ("ok", Json::Bool(true)),
@@ -459,22 +458,14 @@ fn error_from_wire(response: &Json, fallback_model: &str) -> ServeError {
     let kind = response.get("kind").and_then(Json::as_str).unwrap_or("");
     match kind {
         "saturated" => ServeError::Saturated {
-            depth: response
-                .get("depth")
-                .and_then(Json::as_u64)
-                .unwrap_or(0) as usize,
-            capacity: response
-                .get("capacity")
-                .and_then(Json::as_u64)
-                .unwrap_or(0) as usize,
+            depth: response.get("depth").and_then(Json::as_u64).unwrap_or(0) as usize,
+            capacity: response.get("capacity").and_then(Json::as_u64).unwrap_or(0) as usize,
         },
         "shutdown" => ServeError::ShutDown,
         "unknown_model" => ServeError::UnknownModel(fallback_model.to_string()),
         "invalid_config" => ServeError::InvalidConfig(message),
         "protocol" => ServeError::Protocol(message),
-        "bad_request" => {
-            ServeError::Model(quclassi::error::QuClassiError::InvalidData(message))
-        }
+        "bad_request" => ServeError::Model(quclassi::error::QuClassiError::InvalidData(message)),
         other => ServeError::Io(format!("server error ({other}): {message}")),
     }
 }
@@ -617,9 +608,8 @@ impl WireClient {
                     .collect::<Option<Vec<f64>>>()?,
             })
         };
-        parse().ok_or_else(|| {
-            ServeError::Protocol(format!("malformed predict response: {response}"))
-        })
+        parse()
+            .ok_or_else(|| ServeError::Protocol(format!("malformed predict response: {response}")))
     }
 
     /// Fetches the server's metrics object.

@@ -1,0 +1,83 @@
+//! Property net over the wire JSON number path: for any finite `f64` —
+//! subnormals, signed zeros, and the extremes of the exponent range
+//! included — `parse(serialize(x))` must return the identical bits, and
+//! the serialized form must be a fixed point after one round trip.
+//!
+//! This is the determinism contract the serving layer leans on: fidelities
+//! and probabilities cross the wire without widening, so remote serving
+//! stays bit-identical to in-process serving.
+
+use proptest::prelude::*;
+use quclassi_serve::json::Json;
+
+fn roundtrip(x: f64) -> f64 {
+    let text = Json::Num(x).to_string();
+    Json::parse(&text)
+        .unwrap_or_else(|e| panic!("serialized form {text:?} of {x:e} must reparse: {e}"))
+        .as_f64()
+        .expect("a number must reparse as a number")
+}
+
+proptest! {
+    /// Doubles drawn uniformly over the whole 64-bit pattern space (every
+    /// exponent, every mantissa, both signs — subnormals included)
+    /// survive parse→serialize→parse bit-exactly. Non-finite patterns are
+    /// skipped: they can never enter `Json::Num` from the parser.
+    #[test]
+    fn finite_doubles_roundtrip_bit_exactly(bits in 0u64..=u64::MAX) {
+        let x = f64::from_bits(bits);
+        if !x.is_finite() {
+            return Ok(());
+        }
+        prop_assert_eq!(roundtrip(x).to_bits(), x.to_bits());
+    }
+
+    /// Structured stress over the exponent range: `m × 10^e` with the
+    /// exponent swept from deep in the subnormal range to the overflow
+    /// edge.
+    #[test]
+    fn scaled_doubles_roundtrip_bit_exactly(m in -1.0f64..1.0, e in -320i32..=308) {
+        let x = m * 10f64.powi(e);
+        prop_assert!(x.is_finite());
+        prop_assert_eq!(roundtrip(x).to_bits(), x.to_bits());
+    }
+
+    /// One serialize→parse→serialize cycle is a fixed point on the wire
+    /// bytes (the serialized form is canonical).
+    #[test]
+    fn serialized_form_is_a_fixed_point(bits in 0u64..=u64::MAX) {
+        let x = f64::from_bits(bits);
+        if !x.is_finite() {
+            return Ok(());
+        }
+        let once = Json::Num(x).to_string();
+        let twice = Json::Num(roundtrip(x)).to_string();
+        prop_assert_eq!(once, twice);
+    }
+}
+
+#[test]
+fn boundary_values_roundtrip_bit_exactly() {
+    let cases = [
+        0.0,
+        -0.0,
+        f64::MIN_POSITIVE, // smallest normal
+        -f64::MIN_POSITIVE,
+        f64::from_bits(1),                     // smallest positive subnormal
+        f64::from_bits(0x000f_ffff_ffff_ffff), // largest subnormal
+        f64::MAX,
+        f64::MIN,
+        1e-308,
+        2.2250738585072011e-308, // the infamous slow-parse literal
+        1.0 / 3.0,
+        std::f64::consts::PI,
+    ];
+    for &x in &cases {
+        let text = Json::Num(x).to_string();
+        let back = Json::parse(&text).unwrap().as_f64().unwrap();
+        assert_eq!(back.to_bits(), x.to_bits(), "{x:e} via {text:?}");
+    }
+    // -0.0 keeps its sign across the wire.
+    let back = roundtrip(-0.0);
+    assert!(back == 0.0 && back.is_sign_negative());
+}

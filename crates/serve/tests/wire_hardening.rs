@@ -73,7 +73,10 @@ fn slow_client_is_disconnected_by_the_read_deadline() {
     // A well-behaved client on the same server still gets served.
     let mut wire = WireClient::connect(server.local_addr()).unwrap();
     wire.ping().unwrap();
-    assert_eq!(wire.predict("iris", &[0.2, 0.4, 0.6, 0.8]).unwrap().model, "iris");
+    assert_eq!(
+        wire.predict("iris", &[0.2, 0.4, 0.6, 0.8]).unwrap().model,
+        "iris"
+    );
 
     server.shutdown();
     runtime.shutdown();
@@ -140,7 +143,10 @@ fn connections_beyond_the_cap_get_a_retryable_saturated_error() {
         std::thread::sleep(Duration::from_millis(50));
     };
     assert_eq!(
-        retried.predict("iris", &[0.1, 0.3, 0.5, 0.7]).unwrap().model,
+        retried
+            .predict("iris", &[0.1, 0.3, 0.5, 0.7])
+            .unwrap()
+            .model,
         "iris"
     );
 
@@ -190,7 +196,10 @@ fn deeply_nested_payloads_get_an_error_frame_and_the_process_survives() {
 
     // …and so does the rest of the server.
     let mut wire = WireClient::connect(server.local_addr()).unwrap();
-    assert_eq!(wire.predict("iris", &[0.9, 0.1, 0.2, 0.6]).unwrap().model, "iris");
+    assert_eq!(
+        wire.predict("iris", &[0.9, 0.1, 0.2, 0.6]).unwrap().model,
+        "iris"
+    );
 
     server.shutdown();
     runtime.shutdown();

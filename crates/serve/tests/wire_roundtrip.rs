@@ -92,7 +92,10 @@ fn wire_errors_carry_stable_kinds() {
     for bad in [
         Json::obj(vec![("op", Json::str("teleport"))]),
         Json::obj(vec![("not_op", Json::Bool(true))]),
-        Json::obj(vec![("op", Json::str("predict")), ("model", Json::str("iris"))]),
+        Json::obj(vec![
+            ("op", Json::str("predict")),
+            ("model", Json::str("iris")),
+        ]),
         Json::obj(vec![
             ("op", Json::str("predict")),
             ("model", Json::str("iris")),
@@ -122,7 +125,9 @@ fn wire_exposes_models_and_metrics() {
     let mut wire = WireClient::connect(server.local_addr()).unwrap();
 
     wire.ping().unwrap();
-    let response = wire.call(&Json::obj(vec![("op", Json::str("models"))])).unwrap();
+    let response = wire
+        .call(&Json::obj(vec![("op", Json::str("models"))]))
+        .unwrap();
     let models = response.get("models").unwrap().as_arr().unwrap();
     let names: Vec<&str> = models
         .iter()
@@ -131,11 +136,18 @@ fn wire_exposes_models_and_metrics() {
     assert_eq!(names, vec!["iris", "mnist"]);
 
     for i in 0..4 {
-        wire.predict("iris", &[0.2, 0.4, 0.6, 0.1 * i as f64]).unwrap();
+        wire.predict("iris", &[0.2, 0.4, 0.6, 0.1 * i as f64])
+            .unwrap();
     }
     let metrics = wire.metrics().unwrap();
     assert_eq!(metrics.get("completed").and_then(Json::as_u64), Some(4));
-    assert!(metrics.get("throughput_rps").and_then(Json::as_f64).unwrap() > 0.0);
+    assert!(
+        metrics
+            .get("throughput_rps")
+            .and_then(Json::as_f64)
+            .unwrap()
+            > 0.0
+    );
     assert!(metrics.get("p50_us").and_then(Json::as_f64).unwrap() > 0.0);
     let per_model = metrics.get("models").unwrap().as_arr().unwrap();
     assert_eq!(per_model.len(), 2);

@@ -222,10 +222,11 @@ impl BatchExecutor {
         I: Fn() -> S + Sync,
         F: Fn(usize, T, &mut StdRng, &mut S) -> U + Sync,
     {
-        self.pool.scoped_map_with(jobs, init, |index, job, scratch| {
-            let mut rng = StdRng::seed_from_u64(Self::job_seed(base, index as u64));
-            f(index, job, &mut rng, scratch)
-        })
+        self.pool
+            .scoped_map_with(jobs, init, |index, job, scratch| {
+                let mut rng = StdRng::seed_from_u64(Self::job_seed(base, index as u64));
+                f(index, job, &mut rng, scratch)
+            })
     }
 
     /// Evaluates `P(qubit = 1)` for each parameter vector against a compiled
@@ -296,9 +297,11 @@ impl BatchExecutor {
         param_sets: &[Vec<f64>],
     ) -> Result<Vec<StateVector>, SimError> {
         let jobs: Vec<&[f64]> = param_sets.iter().map(Vec::as_slice).collect();
-        self.run(jobs, |_, params, _| circuit.execute_with(params, &self.intra))
-            .into_iter()
-            .collect()
+        self.run(jobs, |_, params, _| {
+            circuit.execute_with(params, &self.intra)
+        })
+        .into_iter()
+        .collect()
     }
 
     /// Samples `shots` full-register measurements for each parameter set,
@@ -386,7 +389,11 @@ mod tests {
             .probabilities_of_one(&exec, &fused, &sets, 1, 0)
             .unwrap();
         for (params, p) in sets.iter().zip(got.iter()) {
-            let direct = circuit.execute(params).unwrap().probability_of_one(1).unwrap();
+            let direct = circuit
+                .execute(params)
+                .unwrap()
+                .probability_of_one(1)
+                .unwrap();
             assert!((p - direct).abs() < 1e-12, "{p} vs {direct}");
         }
     }
@@ -464,19 +471,26 @@ mod tests {
         assert_eq!(b.root_seed(), 9);
         // Surrounding whitespace is tolerated (shell quoting artefacts).
         assert_eq!(
-            BatchExecutor::from_thread_spec(Some(" 2 "), 0).unwrap().threads(),
+            BatchExecutor::from_thread_spec(Some(" 2 "), 0)
+                .unwrap()
+                .threads(),
             2
         );
         // Unset and empty both mean "use available parallelism".
         assert!(BatchExecutor::from_thread_spec(None, 0).unwrap().threads() >= 1);
-        assert!(BatchExecutor::from_thread_spec(Some(""), 0).unwrap().threads() >= 1);
+        assert!(
+            BatchExecutor::from_thread_spec(Some(""), 0)
+                .unwrap()
+                .threads()
+                >= 1
+        );
     }
 
     #[test]
     fn thread_spec_rejects_zero_and_garbage() {
         for bad in ["0", "abc", "-2", "1.5", "2x"] {
-            let err = BatchExecutor::from_thread_spec(Some(bad), 0)
-                .expect_err("spec should be rejected");
+            let err =
+                BatchExecutor::from_thread_spec(Some(bad), 0).expect_err("spec should be rejected");
             match err {
                 SimError::InvalidConfiguration(msg) => {
                     assert!(msg.contains("QUCLASSI_THREADS"), "{msg}")

@@ -346,7 +346,12 @@ impl Circuit {
                     } else {
                         format!("{scale:.3}*θ[{index}]+{offset:.3}")
                     };
-                    out.push_str(&format!("{}({}) {};\n", template.name(), expr, qs.join(", ")));
+                    out.push_str(&format!(
+                        "{}({}) {};\n",
+                        template.name(),
+                        expr,
+                        qs.join(", ")
+                    ));
                 }
             }
         }

@@ -257,7 +257,7 @@ mod tests {
         let a = Complex::new(1.0, 2.0);
         let b = Complex::new(3.0, -4.0);
         // (1+2i)(3-4i) = 3 - 4i + 6i + 8 = 11 + 2i
-        assert!(( a * b).approx_eq(Complex::new(11.0, 2.0), TOL));
+        assert!((a * b).approx_eq(Complex::new(11.0, 2.0), TOL));
     }
 
     #[test]

@@ -54,7 +54,7 @@ impl DensityMatrix {
             Self::MAX_QUBITS
         );
         let dim = state.dim();
-        let amps = state.amplitudes();
+        let amps = state.to_amplitudes();
         let mut data = vec![Complex::ZERO; dim * dim];
         for r in 0..dim {
             for c in 0..dim {
@@ -102,7 +102,7 @@ impl DensityMatrix {
                 found: state.num_qubits(),
             });
         }
-        let amps = state.amplitudes();
+        let amps = state.to_amplitudes();
         let mut acc = Complex::ZERO;
         for r in 0..self.dim {
             for c in 0..self.dim {
@@ -301,10 +301,13 @@ mod tests {
     #[test]
     fn from_pure_matches_statevector_probabilities() {
         let mut sv = StateVector::zero_state(2);
-        sv.apply_gates(&[Gate::H(0), Gate::Cnot {
-            control: 0,
-            target: 1,
-        }])
+        sv.apply_gates(&[
+            Gate::H(0),
+            Gate::Cnot {
+                control: 0,
+                target: 1,
+            },
+        ])
         .unwrap();
         let rho = DensityMatrix::from_pure(&sv);
         let p = rho.probabilities();
@@ -350,7 +353,8 @@ mod tests {
     fn trace_preserved_under_gates_and_channels() {
         let mut rho = DensityMatrix::zero_state(2);
         rho.apply_gate(&Gate::H(0)).unwrap();
-        rho.apply_channel(0, &NoiseChannel::Depolarizing(0.2)).unwrap();
+        rho.apply_channel(0, &NoiseChannel::Depolarizing(0.2))
+            .unwrap();
         rho.apply_channel(1, &NoiseChannel::AmplitudeDamping(0.3))
             .unwrap();
         rho.apply_gate(&Gate::Cnot {
@@ -366,14 +370,16 @@ mod tests {
         let mut rho = DensityMatrix::zero_state(1);
         rho.apply_gate(&Gate::H(0)).unwrap();
         let before = rho.purity();
-        rho.apply_channel(0, &NoiseChannel::Depolarizing(0.3)).unwrap();
+        rho.apply_channel(0, &NoiseChannel::Depolarizing(0.3))
+            .unwrap();
         assert!(rho.purity() < before);
     }
 
     #[test]
     fn full_depolarizing_yields_maximally_mixed() {
         let mut rho = DensityMatrix::zero_state(1);
-        rho.apply_channel(0, &NoiseChannel::Depolarizing(0.75)).unwrap();
+        rho.apply_channel(0, &NoiseChannel::Depolarizing(0.75))
+            .unwrap();
         // p = 0.75 with equal Pauli mixing sends any state to I/2.
         assert!((rho.element(0, 0).re - 0.5).abs() < 1e-9);
         assert!((rho.element(1, 1).re - 0.5).abs() < 1e-9);

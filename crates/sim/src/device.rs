@@ -53,7 +53,10 @@ impl CouplingMap {
     pub fn from_edges(num_qubits: usize, edges: &[(usize, usize)]) -> Self {
         let mut adjacency = vec![Vec::new(); num_qubits];
         for &(a, b) in edges {
-            assert!(a < num_qubits && b < num_qubits, "edge ({a},{b}) out of range");
+            assert!(
+                a < num_qubits && b < num_qubits,
+                "edge ({a},{b}) out of range"
+            );
             assert_ne!(a, b, "self-loop edge ({a},{b})");
             if !adjacency[a].contains(&b) {
                 adjacency[a].push(b);
@@ -339,7 +342,10 @@ mod tests {
     fn cairo_is_connected() {
         let d = DeviceModel::ibmq_cairo();
         for q in 1..27 {
-            assert!(d.coupling.shortest_path(0, q).is_ok(), "qubit {q} unreachable");
+            assert!(
+                d.coupling.shortest_path(0, q).is_ok(),
+                "qubit {q} unreachable"
+            );
         }
     }
 
@@ -347,7 +353,10 @@ mod tests {
     fn melbourne_is_connected() {
         let d = DeviceModel::ibmq_melbourne();
         for q in 1..15 {
-            assert!(d.coupling.shortest_path(0, q).is_ok(), "qubit {q} unreachable");
+            assert!(
+                d.coupling.shortest_path(0, q).is_ok(),
+                "qubit {q} unreachable"
+            );
         }
     }
 

@@ -48,11 +48,17 @@ impl fmt::Display for SimError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SimError::QubitOutOfRange { qubit, num_qubits } => {
-                write!(f, "qubit {qubit} out of range for a {num_qubits}-qubit register")
+                write!(
+                    f,
+                    "qubit {qubit} out of range for a {num_qubits}-qubit register"
+                )
             }
             SimError::DuplicateQubit(q) => write!(f, "duplicate qubit operand {q}"),
             SimError::DimensionMismatch { expected, found } => {
-                write!(f, "dimension mismatch: expected {expected} qubits, found {found}")
+                write!(
+                    f,
+                    "dimension mismatch: expected {expected} qubits, found {found}"
+                )
             }
             SimError::InvalidState(msg) => write!(f, "invalid state: {msg}"),
             SimError::UnboundParameter { index, provided } => write!(

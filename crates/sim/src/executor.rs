@@ -488,7 +488,9 @@ mod tests {
     fn sample_counts_sum_to_shots_and_match_distribution() {
         let mut rng = StdRng::seed_from_u64(7);
         let exec = Executor::ideal();
-        let counts = exec.sample_counts(&bell_circuit(), &[], 4000, &mut rng).unwrap();
+        let counts = exec
+            .sample_counts(&bell_circuit(), &[], 4000, &mut rng)
+            .unwrap();
         let total: usize = counts.iter().map(|(_, c)| c).sum();
         assert_eq!(total, 4000);
         for (outcome, count) in counts {
@@ -503,7 +505,9 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(8);
         let noise = NoiseModel::depolarizing(0.1, 0.2, 0.0).unwrap();
         let exec = Executor::noisy(noise);
-        let counts = exec.sample_counts(&bell_circuit(), &[], 500, &mut rng).unwrap();
+        let counts = exec
+            .sample_counts(&bell_circuit(), &[], 500, &mut rng)
+            .unwrap();
         let total: usize = counts.iter().map(|(_, c)| c).sum();
         assert_eq!(total, 500);
         // With strong depolarizing noise some |01> / |10> outcomes appear.
@@ -512,7 +516,10 @@ mod tests {
             .filter(|(o, _)| *o == 1 || *o == 2)
             .map(|(_, c)| *c)
             .sum();
-        assert!(leaked > 0, "expected some leakage outcomes under heavy noise");
+        assert!(
+            leaked > 0,
+            "expected some leakage outcomes under heavy noise"
+        );
     }
 
     #[test]
@@ -529,7 +536,9 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(10);
         let exec = Executor::ideal();
         let a = exec.probability_of_one(&c, &[], 1, &mut rng).unwrap();
-        let b = exec.probability_of_one_compiled(&fused, &[], 1, &mut rng).unwrap();
+        let b = exec
+            .probability_of_one_compiled(&fused, &[], 1, &mut rng)
+            .unwrap();
         assert!((a - b).abs() < 1e-12);
         // Noisy trajectories: identical RNG consumption (per-gate fallback),
         // so identically seeded runs agree bit-for-bit.
@@ -538,12 +547,16 @@ mod tests {
         let mut r1 = StdRng::seed_from_u64(11);
         let mut r2 = StdRng::seed_from_u64(11);
         let a = noisy.probability_of_one(&c, &[], 1, &mut r1).unwrap();
-        let b = noisy.probability_of_one_compiled(&fused, &[], 1, &mut r2).unwrap();
+        let b = noisy
+            .probability_of_one_compiled(&fused, &[], 1, &mut r2)
+            .unwrap();
         assert_eq!(a.to_bits(), b.to_bits());
         // Density matrix: exact agreement.
         let dm = Executor::noisy_density(NoiseModel::depolarizing(0.02, 0.05, 0.0).unwrap());
         let a = dm.probability_of_one(&c, &[], 1, &mut rng).unwrap();
-        let b = dm.probability_of_one_compiled(&fused, &[], 1, &mut rng).unwrap();
+        let b = dm
+            .probability_of_one_compiled(&fused, &[], 1, &mut rng)
+            .unwrap();
         assert!((a - b).abs() < 1e-12);
     }
 
@@ -566,13 +579,11 @@ mod tests {
     fn density_method_matches_statevector_for_ideal_runs() {
         let mut rng = StdRng::seed_from_u64(9);
         let mut c = Circuit::new(3);
-        c.h(0)
-            .cnot(0, 1)
-            .push(Gate::CRy {
-                control: 1,
-                target: 2,
-                theta: 0.8,
-            });
+        c.h(0).cnot(0, 1).push(Gate::CRy {
+            control: 1,
+            target: 2,
+            theta: 0.8,
+        });
         let sv_exec = Executor::ideal();
         let dm_exec = Executor::noisy_density(NoiseModel::ideal());
         for q in 0..3 {

@@ -180,7 +180,7 @@ impl FusedOp {
 /// let params = [0.4, -0.9, 2.2];
 /// let a = fused.execute(&params).unwrap();
 /// let b = c.execute(&params).unwrap();
-/// for (x, y) in a.amplitudes().iter().zip(b.amplitudes().iter()) {
+/// for (x, y) in a.to_amplitudes().iter().zip(b.to_amplitudes().iter()) {
 ///     assert!(x.approx_eq(*y, 1e-12));
 /// }
 /// ```
@@ -392,7 +392,11 @@ impl FusedCircuit {
 
     /// The widest fused group, in qubits.
     pub fn max_group_span(&self) -> usize {
-        self.program.iter().map(FusedOp::qubit_span).max().unwrap_or(0)
+        self.program
+            .iter()
+            .map(FusedOp::qubit_span)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Number of instructions hoisted into the precomputed static prelude.
@@ -824,7 +828,7 @@ mod tests {
     const TOL: f64 = 1e-12;
 
     fn assert_states_close(a: &StateVector, b: &StateVector, tol: f64) {
-        for (x, y) in a.amplitudes().iter().zip(b.amplitudes().iter()) {
+        for (x, y) in a.to_amplitudes().iter().zip(b.to_amplitudes().iter()) {
             assert!(x.approx_eq(*y, tol), "{x:?} vs {y:?}");
         }
     }
@@ -903,7 +907,11 @@ mod tests {
             c.gate_count()
         );
         assert!(fused.max_group_span() <= MAX_FUSED_QUBITS);
-        assert_states_close(&fused.execute(&[]).unwrap(), &c.execute(&[]).unwrap(), 1e-10);
+        assert_states_close(
+            &fused.execute(&[]).unwrap(),
+            &c.execute(&[]).unwrap(),
+            1e-10,
+        );
     }
 
     #[test]
@@ -925,7 +933,7 @@ mod tests {
         assert_eq!(fused.num_fused_ops(), 0);
         assert_eq!(fused.max_group_span(), 0);
         let sv = fused.execute(&[]).unwrap();
-        assert_eq!(sv.amplitudes()[0], Complex::ONE);
+        assert_eq!(sv.amplitude(0), Complex::ONE);
     }
 
     #[test]
@@ -1066,6 +1074,10 @@ mod tests {
         }
         let fused = FusedCircuit::compile(&c);
         assert!(fused.num_fused_ops() < gates.len());
-        assert_states_close(&fused.execute(&[]).unwrap(), &c.execute(&[]).unwrap(), 1e-10);
+        assert_states_close(
+            &fused.execute(&[]).unwrap(),
+            &c.execute(&[]).unwrap(),
+            1e-10,
+        );
     }
 }

@@ -374,25 +374,47 @@ pub mod matrices {
         r(theta, 0.0)
     }
 
-    /// Rotation about Y: `RY(θ) = R(θ, π/2)` (paper Eq. 7).
-    pub fn ry(theta: f64) -> CMatrix {
+    /// The four row-major entries of [`ry`] as a stack array — the single
+    /// source of truth for the RY matrix. Allocation-free hot paths (the
+    /// compiled encoder) consume this directly through
+    /// [`crate::state::StateVector::apply_active_2x2`]; [`ry`] wraps the
+    /// same entries, so both paths see bit-identical values.
+    pub fn ry_entries(theta: f64) -> [Complex; 4] {
         let c = (theta / 2.0).cos();
         let s = (theta / 2.0).sin();
-        CMatrix::from_real(2, 2, &[c, -s, s, c])
+        [
+            Complex::from_real(c),
+            Complex::from_real(-s),
+            Complex::from_real(s),
+            Complex::from_real(c),
+        ]
+    }
+
+    /// Rotation about Y: `RY(θ) = R(θ, π/2)` (paper Eq. 7).
+    pub fn ry(theta: f64) -> CMatrix {
+        CMatrix::from_rows(2, 2, ry_entries(theta).to_vec())
+    }
+
+    /// The four row-major entries of [`rz`] as a stack array (see
+    /// [`ry_entries`] for why this exists).
+    ///
+    /// `e^{-iθ/2}` is the conjugate of `e^{iθ/2}`, so one `sin_cos`
+    /// evaluation covers both diagonal entries (libm's `sin` is odd and
+    /// `cos` even bit-for-bit, so this matches two independent
+    /// [`Complex::cis`] calls exactly).
+    pub fn rz_entries(theta: f64) -> [Complex; 4] {
+        let (s, c) = (theta / 2.0).sin_cos();
+        [
+            Complex::new(c, -s),
+            Complex::ZERO,
+            Complex::ZERO,
+            Complex::new(c, s),
+        ]
     }
 
     /// Rotation about Z: `RZ(θ) = diag(e^{-iθ/2}, e^{iθ/2})` (paper Eq. 8).
     pub fn rz(theta: f64) -> CMatrix {
-        CMatrix::from_rows(
-            2,
-            2,
-            vec![
-                Complex::cis(-theta / 2.0),
-                Complex::ZERO,
-                Complex::ZERO,
-                Complex::cis(theta / 2.0),
-            ],
-        )
+        CMatrix::from_rows(2, 2, rz_entries(theta).to_vec())
     }
 
     /// Promotes a single-qubit unitary to its controlled version on two

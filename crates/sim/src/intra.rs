@@ -199,7 +199,9 @@ mod tests {
             1
         );
         assert_eq!(
-            IntraThreads::from_thread_spec(Some(" 6 ")).unwrap().threads(),
+            IntraThreads::from_thread_spec(Some(" 6 "))
+                .unwrap()
+                .threads(),
             6
         );
     }
@@ -207,8 +209,8 @@ mod tests {
     #[test]
     fn thread_spec_rejects_zero_and_garbage_like_quclassi_threads() {
         for bad in ["0", "abc", "-3", "2.5", "4x"] {
-            let err = IntraThreads::from_thread_spec(Some(bad))
-                .expect_err("spec should be rejected");
+            let err =
+                IntraThreads::from_thread_spec(Some(bad)).expect_err("spec should be rejected");
             match err {
                 SimError::InvalidConfiguration(msg) => {
                     assert!(msg.contains("QUCLASSI_INTRA_THREADS"), "{msg}")

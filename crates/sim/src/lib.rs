@@ -27,6 +27,9 @@
 //! * [`batch::BatchExecutor`] — parallel batch evaluation over a scoped
 //!   thread pool with deterministic per-job RNG streams (results are
 //!   bit-identical for any thread count),
+//! * [`gemm::StateMatrix`] — many same-width pure states packed into one
+//!   dense SoA matrix so batched fidelities become a cache-blocked GEMM
+//!   (bit-identical to the per-pair reduction path),
 //! * [`intra::IntraThreads`] — the *within*-circuit thread budget: large
 //!   statevector sweeps and reductions split into cache-block-sized
 //!   disjoint chunks over the same scoped pool, bit-identical for any
@@ -61,6 +64,7 @@ pub mod error;
 pub mod executor;
 pub mod fusion;
 pub mod gate;
+pub mod gemm;
 pub mod intra;
 pub mod linalg;
 pub mod noise;
@@ -79,6 +83,7 @@ pub mod prelude {
     pub use crate::executor::{Executor, Method};
     pub use crate::fusion::{BoundFusedCircuit, FusedCircuit};
     pub use crate::gate::Gate;
+    pub use crate::gemm::StateMatrix;
     pub use crate::intra::IntraThreads;
     pub use crate::linalg::CMatrix;
     pub use crate::noise::{NoiseChannel, NoiseModel, ReadoutError};

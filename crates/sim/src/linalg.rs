@@ -276,7 +276,11 @@ mod tests {
 
     #[test]
     fn adjoint_conjugates_and_transposes() {
-        let a = CMatrix::from_rows(2, 2, vec![c(1.0, 1.0), c(2.0, 0.0), c(0.0, 3.0), c(4.0, -1.0)]);
+        let a = CMatrix::from_rows(
+            2,
+            2,
+            vec![c(1.0, 1.0), c(2.0, 0.0), c(0.0, 3.0), c(4.0, -1.0)],
+        );
         let ad = a.adjoint();
         assert_eq!(ad[(0, 1)], c(0.0, -3.0));
         assert_eq!(ad[(1, 0)], c(2.0, 0.0));

@@ -356,7 +356,9 @@ mod tests {
     fn readout_error_corrupts_bits_at_expected_rate() {
         let ro = ReadoutError::new(0.25, 0.0).unwrap();
         let mut rng = StdRng::seed_from_u64(123);
-        let flips = (0..4000).filter(|_| ro.corrupt_bit(false, &mut rng)).count();
+        let flips = (0..4000)
+            .filter(|_| ro.corrupt_bit(false, &mut rng))
+            .count();
         let frac = flips as f64 / 4000.0;
         assert!((frac - 0.25).abs() < 0.03);
     }

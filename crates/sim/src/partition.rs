@@ -2,9 +2,10 @@
 //!
 //! A gate kernel on qubit set `Q` couples amplitudes whose indices differ
 //! only in bits of `Q`; every other qubit is a pure batch dimension. To
-//! parallelise a sweep without `unsafe`, the amplitude array is cut into
-//! equal contiguous **segments** of `2^seg_bits` amplitudes (safe
-//! `chunks_exact_mut` slices) and segments are grouped into **items**:
+//! parallelise a sweep without `unsafe`, the two structure-of-arrays
+//! amplitude halves (real and imaginary — see [`crate::state`]) are cut
+//! into equal contiguous **segments** of `2^seg_bits` amplitudes (safe
+//! `chunks_exact_mut` slice pairs) and segments are grouped into **items**:
 //!
 //! * two segments land in the same item iff their (high) index bits differ
 //!   only in *coupled* positions `q ≥ seg_bits` (the "peeled" qubits);
@@ -21,12 +22,11 @@
 //! each amplitude's arithmetic is the per-group butterfly of the
 //! sequential kernel, so results are bit-identical for any item count.
 
-use crate::complex::Complex;
 use crate::state::CACHE_BLOCK_BITS;
 
 /// Preferred segment size: the shared cache-block work unit (2^12
-/// amplitudes = 64 KiB), big enough to amortise dispatch, small enough to
-/// balance.
+/// amplitudes = 64 KiB of interleaved-equivalent data), big enough to
+/// amortise dispatch, small enough to balance.
 const PREFERRED_SEG_BITS: usize = CACHE_BLOCK_BITS;
 
 /// A parallel decomposition plan for one kernel application.
@@ -39,11 +39,12 @@ pub(crate) struct SegPlan {
 }
 
 /// One independent unit of parallel work: the segments (with their global
-/// base indices) that one kernel invocation may touch.
+/// base indices) that one kernel invocation may touch, each a pair of
+/// same-length real/imaginary slices.
 pub(crate) struct SegItem<'a> {
-    /// `(global base index, amplitudes)`, sorted so entry `s` corresponds
-    /// to peeled-qubit assignment `s`.
-    pub(crate) segs: Vec<(usize, &'a mut [Complex])>,
+    /// `(global base index, real parts, imaginary parts)`, sorted so entry
+    /// `s` corresponds to peeled-qubit assignment `s`.
+    pub(crate) segs: Vec<(usize, &'a mut [f64], &'a mut [f64])>,
 }
 
 impl SegPlan {
@@ -73,17 +74,22 @@ impl SegPlan {
         Some(SegPlan { seg_bits, peeled })
     }
 
-    /// Splits the amplitude array into the planned items.
-    pub(crate) fn split<'a>(&self, amps: &'a mut [Complex]) -> Vec<SegItem<'a>> {
+    /// Splits the SoA amplitude halves into the planned items.
+    pub(crate) fn split<'a>(&self, re: &'a mut [f64], im: &'a mut [f64]) -> Vec<SegItem<'a>> {
+        debug_assert_eq!(re.len(), im.len());
         let seg_len = 1usize << self.seg_bits;
-        let num_segs = amps.len() >> self.seg_bits;
+        let num_segs = re.len() >> self.seg_bits;
         let group = 1usize << self.peeled.len();
         let mut items: Vec<SegItem<'a>> = (0..num_segs / group)
             .map(|_| SegItem {
                 segs: Vec::with_capacity(group),
             })
             .collect();
-        for (s, seg) in amps.chunks_exact_mut(seg_len).enumerate() {
+        for (s, (seg_re, seg_im)) in re
+            .chunks_exact_mut(seg_len)
+            .zip(im.chunks_exact_mut(seg_len))
+            .enumerate()
+        {
             // Item id: the segment index with the peeled bit positions
             // squeezed out (removed highest-first so positions stay valid).
             let mut item_id = s;
@@ -91,7 +97,9 @@ impl SegPlan {
                 let p = q - self.seg_bits;
                 item_id = ((item_id >> (p + 1)) << p) | (item_id & ((1usize << p) - 1));
             }
-            items[item_id].segs.push((s << self.seg_bits, seg));
+            items[item_id]
+                .segs
+                .push((s << self.seg_bits, seg_re, seg_im));
         }
         items
     }
@@ -114,10 +122,10 @@ impl SegPlan {
 mod tests {
     use super::*;
 
-    fn amps(n: usize) -> Vec<Complex> {
-        (0..1usize << n)
-            .map(|i| Complex::new(i as f64, -(i as f64)))
-            .collect()
+    fn halves(n: usize) -> (Vec<f64>, Vec<f64>) {
+        let re: Vec<f64> = (0..1usize << n).map(|i| i as f64).collect();
+        let im: Vec<f64> = (0..1usize << n).map(|i| -(i as f64)).collect();
+        (re, im)
     }
 
     /// Every amplitude index appears in exactly one item, at the location
@@ -132,33 +140,35 @@ mod tests {
             (8, vec![6, 7]),
         ] {
             let plan = SegPlan::plan(n, &coupled, 4).expect("plan");
-            let mut v = amps(n);
-            let dim = v.len();
+            let (mut re, mut im) = halves(n);
+            let dim = re.len();
             let seg_mask = (1usize << plan.seg_bits) - 1;
-            let items = plan.split(&mut v);
+            let items = plan.split(&mut re, &mut im);
             assert!(items.len() >= 2);
             let mut seen = vec![false; dim];
             for item in &items {
-                for &(base, ref seg) in &item.segs {
-                    for (i, a) in seg.iter().enumerate() {
+                for &(base, ref seg_re, ref seg_im) in &item.segs {
+                    assert_eq!(seg_re.len(), seg_im.len());
+                    for (i, r) in seg_re.iter().enumerate() {
                         let g = base + i;
                         assert!(!seen[g], "index {g} covered twice");
                         seen[g] = true;
-                        assert_eq!(a.re, g as f64);
+                        assert_eq!(*r, g as f64);
+                        assert_eq!(seg_im[i], -(g as f64));
                     }
                 }
             }
             assert!(seen.iter().all(|&s| s), "uncovered indices");
             // Addressing contract: g lives at segs[seg_of(g)] offset g & mask.
-            let mut v = amps(n);
-            let items = plan.split(&mut v);
+            let (mut re, mut im) = halves(n);
+            let items = plan.split(&mut re, &mut im);
             for item in &items {
-                for &(base, ref seg) in &item.segs {
+                for &(base, ref seg, _) in &item.segs {
                     for i in 0..seg.len() {
                         let g = base + i;
-                        let (seg_base, s) = &item.segs[plan.seg_of(g)];
+                        let (seg_base, s, _) = &item.segs[plan.seg_of(g)];
                         assert_eq!(seg_base + (g & seg_mask), g);
-                        assert_eq!(s[g & seg_mask].re, g as f64);
+                        assert_eq!(s[g & seg_mask], g as f64);
                     }
                 }
             }
@@ -178,11 +188,11 @@ mod tests {
     #[test]
     fn segments_within_an_item_are_ordered_by_peeled_assignment() {
         let plan = SegPlan::plan(6, &[4, 5], 2).expect("plan");
-        let mut v = amps(6);
-        let items = plan.split(&mut v);
+        let (mut re, mut im) = halves(6);
+        let items = plan.split(&mut re, &mut im);
         for item in &items {
             assert_eq!(item.segs.len(), 4, "two peeled qubits → four segments");
-            for (sub, &(base, _)) in item.segs.iter().enumerate() {
+            for (sub, &(base, _, _)) in item.segs.iter().enumerate() {
                 assert_eq!(plan.seg_of(base), sub);
             }
         }

@@ -6,6 +6,20 @@
 //! performed in place without ever materialising the full `2^n × 2^n`
 //! unitary: single- and two-qubit gates use specialised strided loops, and a
 //! general k-qubit path handles everything else (CSWAP in particular).
+//!
+//! # Memory layout: structure of arrays
+//!
+//! Amplitudes are stored as two parallel `Vec<f64>` halves — all real parts
+//! in [`StateVector::re_parts`], all imaginary parts in
+//! [`StateVector::im_parts`] — rather than one `Vec<Complex>` of interleaved
+//! pairs. Every kernel below sweeps the two halves with stride-aligned slice
+//! loops (`chunks_exact_mut` + `split_at_mut`), which keeps the inner loops
+//! free of bounds checks and index arithmetic so the compiler can
+//! autovectorise them: each SIMD lane holds consecutive real (or imaginary)
+//! parts, and the complex butterfly becomes a handful of fused
+//! multiply-add sweeps over contiguous `f64` data. [`Complex`] remains the
+//! interchange type at the API boundary ([`StateVector::to_amplitudes`],
+//! [`StateVector::from_amplitudes`], gate matrices).
 
 use crate::complex::Complex;
 use crate::error::SimError;
@@ -37,29 +51,33 @@ pub(crate) const CACHE_BLOCK_BITS: usize = 12;
 /// reductions produce bit-identical results.
 pub const REDUCTION_CHUNK: usize = 1 << CACHE_BLOCK_BITS;
 
-/// A pure quantum state on `n` qubits, stored as `2^n` amplitudes.
+/// A pure quantum state on `n` qubits, stored as `2^n` amplitudes split
+/// into structure-of-arrays real/imaginary halves (see the module docs).
 #[derive(Debug, PartialEq)]
 pub struct StateVector {
     num_qubits: usize,
-    amplitudes: Vec<Complex>,
+    re: Vec<f64>,
+    im: Vec<f64>,
 }
 
 impl Clone for StateVector {
     fn clone(&self) -> Self {
         StateVector {
             num_qubits: self.num_qubits,
-            amplitudes: self.amplitudes.clone(),
+            re: self.re.clone(),
+            im: self.im.clone(),
         }
     }
 
-    /// Copies `source` into `self`, reusing the existing amplitude buffer
-    /// whenever its capacity suffices. This is what lets replay loops
+    /// Copies `source` into `self`, reusing the existing amplitude buffers
+    /// whenever their capacity suffices. This is what lets replay loops
     /// (e.g. [`crate::fusion::BoundFusedCircuit::execute_reusing`]) start
     /// every execution from a prelude state without a per-execution heap
     /// allocation.
     fn clone_from(&mut self, source: &Self) {
         self.num_qubits = source.num_qubits;
-        self.amplitudes.clone_from(&source.amplitudes);
+        self.re.clone_from(&source.re);
+        self.im.clone_from(&source.im);
     }
 }
 
@@ -74,11 +92,13 @@ impl StateVector {
             (1..=26).contains(&num_qubits),
             "unsupported qubit count: {num_qubits}"
         );
-        let mut amplitudes = vec![Complex::ZERO; 1 << num_qubits];
-        amplitudes[0] = Complex::ONE;
+        let dim = 1usize << num_qubits;
+        let mut re = vec![0.0; dim];
+        re[0] = 1.0;
         StateVector {
             num_qubits,
-            amplitudes,
+            re,
+            im: vec![0.0; dim],
         }
     }
 
@@ -101,7 +121,8 @@ impl StateVector {
         }
         Ok(StateVector {
             num_qubits: len.trailing_zeros() as usize,
-            amplitudes,
+            re: amplitudes.iter().map(|a| a.re).collect(),
+            im: amplitudes.iter().map(|a| a.im).collect(),
         })
     }
 
@@ -113,8 +134,8 @@ impl StateVector {
             )));
         }
         let mut sv = StateVector::zero_state(num_qubits);
-        sv.amplitudes[0] = Complex::ZERO;
-        sv.amplitudes[index] = Complex::ONE;
+        sv.re[0] = 0.0;
+        sv.re[index] = 1.0;
         Ok(sv)
     }
 
@@ -125,25 +146,62 @@ impl StateVector {
 
     /// Dimension of the state (2^n).
     pub fn dim(&self) -> usize {
-        self.amplitudes.len()
+        self.re.len()
     }
 
-    /// Read-only view of the amplitudes.
-    pub fn amplitudes(&self) -> &[Complex] {
-        &self.amplitudes
+    /// The real parts of the amplitudes, in basis-state order.
+    pub fn re_parts(&self) -> &[f64] {
+        &self.re
+    }
+
+    /// The imaginary parts of the amplitudes, in basis-state order.
+    pub fn im_parts(&self) -> &[f64] {
+        &self.im
+    }
+
+    /// The amplitude of basis state `index`.
+    ///
+    /// # Panics
+    /// Panics if `index >= self.dim()`.
+    pub fn amplitude(&self, index: usize) -> Complex {
+        Complex::new(self.re[index], self.im[index])
+    }
+
+    /// Materialises the amplitudes as one `Vec<Complex>` (allocates; the
+    /// statevector itself stores split re/im halves — see the module docs).
+    pub fn to_amplitudes(&self) -> Vec<Complex> {
+        self.re
+            .iter()
+            .zip(self.im.iter())
+            .map(|(&r, &i)| Complex::new(r, i))
+            .collect()
+    }
+
+    /// Resets the register to |0…0⟩ in place, without reallocating.
+    pub fn reset_zero(&mut self) {
+        self.re.fill(0.0);
+        self.im.fill(0.0);
+        self.re[0] = 1.0;
     }
 
     /// The squared norm of the state (should always be ≈ 1).
     pub fn norm_sqr(&self) -> f64 {
-        self.amplitudes.iter().map(|a| a.norm_sqr()).sum()
+        let mut acc = 0.0;
+        for (&r, &i) in self.re.iter().zip(self.im.iter()) {
+            acc += r * r + i * i;
+        }
+        acc
     }
 
     /// Renormalises the state (useful after noisy trajectory jumps).
     pub fn renormalize(&mut self) {
         let n = self.norm_sqr().sqrt();
         if n > 0.0 {
-            for a in &mut self.amplitudes {
-                *a = *a / n;
+            for r in &mut self.re {
+                *r /= n;
+            }
+            for i in &mut self.im {
+                *i /= n;
             }
         }
     }
@@ -162,7 +220,7 @@ impl StateVector {
                 found: other.num_qubits,
             });
         }
-        Ok(inner_product_tree(&self.amplitudes, &other.amplitudes))
+        Ok(inner_product_tree(&self.re, &self.im, &other.re, &other.im))
     }
 
     /// [`StateVector::inner_product`] with the leaf sums of the reduction
@@ -181,13 +239,18 @@ impl StateVector {
             });
         }
         if !intra.parallelizes(self.num_qubits) || self.dim() <= REDUCTION_CHUNK {
-            return Ok(inner_product_tree(&self.amplitudes, &other.amplitudes));
+            return Ok(inner_product_tree(&self.re, &self.im, &other.re, &other.im));
         }
         let leaves = self.dim() / REDUCTION_CHUNK;
         let partials = intra.pool().scoped_map((0..leaves).collect(), |_, leaf| {
             let lo = leaf * REDUCTION_CHUNK;
             let hi = lo + REDUCTION_CHUNK;
-            inner_product_leaf(&self.amplitudes[lo..hi], &other.amplitudes[lo..hi])
+            inner_product_leaf(
+                &self.re[lo..hi],
+                &self.im[lo..hi],
+                &other.re[lo..hi],
+                &other.im[lo..hi],
+            )
         });
         Ok(combine_complex(&partials))
     }
@@ -211,18 +274,25 @@ impl StateVector {
     /// Tensor product `self ⊗ other`; `other`'s qubits become the new
     /// low-order qubits.
     pub fn tensor(&self, other: &StateVector) -> StateVector {
-        let mut amplitudes = vec![Complex::ZERO; self.dim() * other.dim()];
-        for (i, &a) in self.amplitudes.iter().enumerate() {
-            if a == Complex::ZERO {
+        let dim = self.dim() * other.dim();
+        let mut re = vec![0.0; dim];
+        let mut im = vec![0.0; dim];
+        for i in 0..self.dim() {
+            let (ar, ai) = (self.re[i], self.im[i]);
+            if ar == 0.0 && ai == 0.0 {
                 continue;
             }
-            for (j, &b) in other.amplitudes.iter().enumerate() {
-                amplitudes[i * other.dim() + j] = a * b;
+            let base = i * other.dim();
+            for j in 0..other.dim() {
+                let (br, bi) = (other.re[j], other.im[j]);
+                re[base + j] = ar * br - ai * bi;
+                im[base + j] = ar * bi + ai * br;
             }
         }
         StateVector {
             num_qubits: self.num_qubits + other.num_qubits,
-            amplitudes,
+            re,
+            im,
         }
     }
 
@@ -322,9 +392,7 @@ impl StateVector {
             Gate::Z(q) => self.par_phase_flip(*q, Complex::from_real(-1.0), intra),
             Gate::S(q) => self.par_phase_flip(*q, Complex::I, intra),
             Gate::Sdg(q) => self.par_phase_flip(*q, Complex::new(0.0, -1.0), intra),
-            Gate::T(q) => {
-                self.par_phase_flip(*q, Complex::cis(std::f64::consts::FRAC_PI_4), intra)
-            }
+            Gate::T(q) => self.par_phase_flip(*q, Complex::cis(std::f64::consts::FRAC_PI_4), intra),
             Gate::Tdg(q) => {
                 self.par_phase_flip(*q, Complex::cis(-std::f64::consts::FRAC_PI_4), intra)
             }
@@ -345,12 +413,11 @@ impl StateVector {
                 }
             }
             Gate::Cz { control, target } => {
-                let mask = (1usize << *control) | (1usize << *target);
-                self.par_elementwise(intra, |g, a| {
-                    if g & mask == mask {
-                        *a = Complex::new(-a.re, -a.im);
-                    }
-                });
+                let (lo, hi) = (
+                    1usize << (*control).min(*target),
+                    1usize << (*control).max(*target),
+                );
+                self.par_chunks(intra, move |base, rc, ic| cz_slices(rc, ic, base, lo, hi));
             }
             Gate::CSwap { control, a, b } => {
                 let (cb, ab, bb) = (1usize << *control, 1usize << *a, 1usize << *b);
@@ -375,30 +442,35 @@ impl StateVector {
 
     fn apply_x(&mut self, q: usize) {
         let bit = 1usize << q;
-        for i in 0..self.dim() {
-            if i & bit == 0 {
-                self.amplitudes.swap(i, i | bit);
-            }
+        for (rc, ic) in self
+            .re
+            .chunks_exact_mut(bit << 1)
+            .zip(self.im.chunks_exact_mut(bit << 1))
+        {
+            let (r0, r1) = rc.split_at_mut(bit);
+            let (i0, i1) = ic.split_at_mut(bit);
+            r0.swap_with_slice(r1);
+            i0.swap_with_slice(i1);
         }
     }
 
     fn apply_phase_flip(&mut self, q: usize, phase: Complex) {
-        let bit = 1usize << q;
-        for i in 0..self.dim() {
-            if i & bit != 0 {
-                self.amplitudes[i] *= phase;
-            }
-        }
+        phase_flip_slices(&mut self.re, &mut self.im, 0, 1usize << q, phase);
     }
 
     fn apply_swap(&mut self, a: usize, b: usize) {
-        let ba = 1usize << a;
-        let bb = 1usize << b;
-        for i in 0..self.dim() {
-            // Swap amplitudes of |..a=1,b=0..⟩ and |..a=0,b=1..⟩ once.
-            if i & ba != 0 && i & bb == 0 {
-                let j = (i & !ba) | bb;
-                self.amplitudes.swap(i, j);
+        // Permutation: exchange the |hi=1,lo=0⟩ / |hi=0,lo=1⟩ slice strips.
+        let s_lo = 1usize << a.min(b);
+        let s_hi = 1usize << a.max(b);
+        for arr in [&mut self.re, &mut self.im] {
+            for chunk in arr.chunks_exact_mut(s_hi << 1) {
+                let (h0, h1) = chunk.split_at_mut(s_hi);
+                for (sub0, sub1) in h0
+                    .chunks_exact_mut(s_lo << 1)
+                    .zip(h1.chunks_exact_mut(s_lo << 1))
+                {
+                    sub0[s_lo..].swap_with_slice(&mut sub1[..s_lo]);
+                }
             }
         }
     }
@@ -406,35 +478,57 @@ impl StateVector {
     fn apply_cnot(&mut self, control: usize, target: usize) {
         let cb = 1usize << control;
         let tb = 1usize << target;
-        for i in 0..self.dim() {
-            if i & cb != 0 && i & tb == 0 {
-                self.amplitudes.swap(i, i | tb);
+        for arr in [&mut self.re, &mut self.im] {
+            if control > target {
+                // Upper (control=1) halves of each control block flip the
+                // target strips in place.
+                for chunk in arr.chunks_exact_mut(cb << 1) {
+                    for sub in chunk[cb..].chunks_exact_mut(tb << 1) {
+                        let (t0, t1) = sub.split_at_mut(tb);
+                        t0.swap_with_slice(t1);
+                    }
+                }
+            } else {
+                // Target above control: swap the control=1 strips across the
+                // two target halves of each target block.
+                for chunk in arr.chunks_exact_mut(tb << 1) {
+                    let (t0, t1) = chunk.split_at_mut(tb);
+                    for (s0, s1) in t0
+                        .chunks_exact_mut(cb << 1)
+                        .zip(t1.chunks_exact_mut(cb << 1))
+                    {
+                        s0[cb..].swap_with_slice(&mut s1[cb..]);
+                    }
+                }
             }
         }
     }
 
     fn apply_cz(&mut self, control: usize, target: usize) {
         // Diagonal: flip the sign where both bits are set. No multiplies.
-        let mask = (1usize << control) | (1usize << target);
-        for i in 0..self.dim() {
-            if i & mask == mask {
-                let a = self.amplitudes[i];
-                self.amplitudes[i] = Complex::new(-a.re, -a.im);
-            }
-        }
+        let lo = 1usize << control.min(target);
+        let hi = 1usize << control.max(target);
+        cz_slices(&mut self.re, &mut self.im, 0, lo, hi);
     }
 
     fn apply_cswap(&mut self, control: usize, a: usize, b: usize) {
         // Permutation: swap the |a=1,b=0⟩ / |a=0,b=1⟩ amplitudes where the
-        // control bit is set. No multiplies.
+        // control bit is set. No multiplies: enumerate the free-bit bases
+        // directly and exchange one pair per base.
         let cb = 1usize << control;
         let ab = 1usize << a;
         let bb = 1usize << b;
-        for i in 0..self.dim() {
-            if i & cb != 0 && i & ab != 0 && i & bb == 0 {
-                let j = (i & !ab) | bb;
-                self.amplitudes.swap(i, j);
+        let mut pos = [control, a, b];
+        pos.sort_unstable();
+        for i in 0..self.dim() >> 3 {
+            let mut base = i;
+            for &p in &pos {
+                base = Self::insert_zero_bit(base, p);
             }
+            let j0 = base | cb | ab;
+            let j1 = base | cb | bb;
+            self.re.swap(j0, j1);
+            self.im.swap(j0, j1);
         }
     }
 
@@ -444,14 +538,16 @@ impl StateVector {
         self.apply_unitary1(q, m.as_slice());
     }
 
-    /// Applies an arbitrary 2×2 matrix to qubit `q` of a state whose qubits
-    /// *above* `q` are all still |0⟩, sweeping only the `2^(q+1)` active
-    /// amplitudes instead of the whole register.
+    /// Applies an arbitrary 2×2 matrix (given as a flat `[m00, m01, m10,
+    /// m11]` array) to qubit `q` of a state whose qubits *above* `q` are all
+    /// still |0⟩, sweeping only the `2^(q+1)` active amplitudes instead of
+    /// the whole register.
     ///
     /// This is the product-state preparation kernel: building an unentangled
     /// state qubit-by-qubit (e.g. a data-register encoding) costs
-    /// `Σ 2^(q+1)` butterfly updates instead of `gates · 2^n`. Each active
-    /// amplitude goes through the exact arithmetic of the full sweep
+    /// `Σ 2^(q+1)` butterfly updates instead of `gates · 2^n`, and taking
+    /// the entries as a stack array keeps the per-gate cost heap-free. Each
+    /// active amplitude goes through the exact arithmetic of the full sweep
     /// ([`StateVector::apply_single_qubit_matrix`]), so nonzero amplitudes
     /// are bit-identical to full-register application; the only difference
     /// is that amplitudes in the untouched all-zero region keep their exact
@@ -465,12 +561,7 @@ impl StateVector {
     /// # Errors
     /// Returns [`SimError::QubitOutOfRange`] when `q` is outside the
     /// register.
-    pub fn apply_single_qubit_matrix_active(
-        &mut self,
-        q: usize,
-        m: &CMatrix,
-    ) -> Result<(), SimError> {
-        debug_assert_eq!(m.rows(), 2);
+    pub fn apply_active_2x2(&mut self, q: usize, m: &[Complex; 4]) -> Result<(), SimError> {
         if q >= self.num_qubits() {
             return Err(SimError::QubitOutOfRange {
                 qubit: q,
@@ -479,20 +570,139 @@ impl StateVector {
         }
         let step = 1usize << q;
         debug_assert!(
-            self.amplitudes[step << 1..]
-                .iter()
-                .all(|a| a.re == 0.0 && a.im == 0.0),
-            "apply_single_qubit_matrix_active: qubits above {q} are not |0⟩"
+            self.re[step << 1..].iter().all(|&r| r == 0.0)
+                && self.im[step << 1..].iter().all(|&i| i == 0.0),
+            "apply_active_2x2: qubits above {q} are not |0⟩"
         );
-        let m = m.as_slice();
-        let (m00, m01, m10, m11) = (m[0], m[1], m[2], m[3]);
         // The first (and only active) chunk of the apply_unitary1 sweep.
-        let (zeros, ones) = self.amplitudes[..step << 1].split_at_mut(step);
-        for (r0, r1) in zeros.iter_mut().zip(ones.iter_mut()) {
-            let a0 = *r0;
-            let a1 = *r1;
-            *r0 = m00 * a0 + m01 * a1;
-            *r1 = m10 * a0 + m11 * a1;
+        let (r0, r1) = self.re[..step << 1].split_at_mut(step);
+        let (i0, i1) = self.im[..step << 1].split_at_mut(step);
+        butterfly1(m, r0, i0, r1, i1);
+        Ok(())
+    }
+
+    /// [`StateVector::apply_active_2x2`] taking the matrix as a
+    /// [`CMatrix`]; see there for the active-prefix contract.
+    ///
+    /// # Errors
+    /// Returns [`SimError::QubitOutOfRange`] when `q` is outside the
+    /// register.
+    pub fn apply_single_qubit_matrix_active(
+        &mut self,
+        q: usize,
+        m: &CMatrix,
+    ) -> Result<(), SimError> {
+        debug_assert_eq!(m.rows(), 2);
+        let s = m.as_slice();
+        self.apply_active_2x2(q, &[s[0], s[1], s[2], s[3]])
+    }
+
+    /// Applies a 2×2 matrix to a *fresh* qubit `q` — one whose own
+    /// amplitude (and every higher qubit's) is still exactly |0⟩, so only
+    /// the first `2^q` amplitudes can be nonzero. The |1⟩ partner of every
+    /// active amplitude is then exactly `+0.0`, and the
+    /// [`StateVector::apply_active_2x2`] butterfly degenerates to the
+    /// matrix's first column: `amp₁ = m₁₀·amp` and `amp₀ = m₀₀·amp`.
+    ///
+    /// This kernel computes exactly those surviving terms (the same
+    /// products, in the same order, as the dense sweep), so every nonzero
+    /// output amplitude is bit-identical to `apply_active_2x2`; only the
+    /// signed-zero pollution of the skipped `m·0` products differs. It is
+    /// the per-qubit step of product-state preparation at a quarter of the
+    /// dense butterfly's arithmetic.
+    ///
+    /// # Contract
+    /// The caller promises every qubit `>= q` is exactly |0⟩ (only
+    /// amplitudes below `2^q` may be nonzero). Violating it silently
+    /// computes the wrong state — the promise is only debug-asserted.
+    ///
+    /// # Errors
+    /// Returns [`SimError::QubitOutOfRange`] when `q` is outside the
+    /// register.
+    pub fn apply_fresh_2x2(&mut self, q: usize, m: &[Complex; 4]) -> Result<(), SimError> {
+        if q >= self.num_qubits() {
+            return Err(SimError::QubitOutOfRange {
+                qubit: q,
+                num_qubits: self.num_qubits(),
+            });
+        }
+        let step = 1usize << q;
+        debug_assert!(
+            self.re[step..].iter().all(|&r| r == 0.0) && self.im[step..].iter().all(|&i| i == 0.0),
+            "apply_fresh_2x2: qubits at and above {q} are not |0⟩"
+        );
+        let (m00, m10) = (m[0], m[2]);
+        let (r0, r1) = self.re[..step << 1].split_at_mut(step);
+        let (i0, i1) = self.im[..step << 1].split_at_mut(step);
+        for (((r0, i0), r1), i1) in r0
+            .iter_mut()
+            .zip(i0.iter_mut())
+            .zip(r1.iter_mut())
+            .zip(i1.iter_mut())
+        {
+            let (ar, ai) = (*r0, *i0);
+            *r1 = m10.re * ar - m10.im * ai;
+            *i1 = m10.re * ai + m10.im * ar;
+            *r0 = m00.re * ar - m00.im * ai;
+            *i0 = m00.re * ai + m00.im * ar;
+        }
+        Ok(())
+    }
+
+    /// Applies the diagonal matrix `diag(d0, d1)` to qubit `q` of a state
+    /// whose qubits *above* `q` are all still |0⟩, sweeping only the
+    /// `2^(q+1)` active amplitudes.
+    ///
+    /// A diagonal gate scales each amplitude by one entry; the dense
+    /// [`StateVector::apply_active_2x2`] butterfly would additionally
+    /// multiply every amplitude by the exact-zero off-diagonal entries.
+    /// This kernel computes only the surviving diagonal products — the
+    /// same arithmetic, in the same order, as the dense sweep's nonzero
+    /// terms — so every nonzero output amplitude is bit-identical to the
+    /// butterfly; only the signed-zero pollution of the skipped `0·amp`
+    /// products differs. It is the RZ step of product-state preparation at
+    /// a quarter of the dense butterfly's arithmetic.
+    ///
+    /// # Contract
+    /// The caller promises every qubit `> q` is exactly |0⟩ (all
+    /// amplitudes with any higher bit set are zero). Violating it silently
+    /// computes the wrong state — the promise is only debug-asserted.
+    ///
+    /// # Errors
+    /// Returns [`SimError::QubitOutOfRange`] when `q` is outside the
+    /// register.
+    pub fn apply_active_diag(
+        &mut self,
+        q: usize,
+        d0: Complex,
+        d1: Complex,
+    ) -> Result<(), SimError> {
+        if q >= self.num_qubits() {
+            return Err(SimError::QubitOutOfRange {
+                qubit: q,
+                num_qubits: self.num_qubits(),
+            });
+        }
+        let step = 1usize << q;
+        debug_assert!(
+            self.re[step << 1..].iter().all(|&r| r == 0.0)
+                && self.im[step << 1..].iter().all(|&i| i == 0.0),
+            "apply_active_diag: qubits above {q} are not |0⟩"
+        );
+        let (r0, r1) = self.re[..step << 1].split_at_mut(step);
+        let (i0, i1) = self.im[..step << 1].split_at_mut(step);
+        for (((r0, i0), r1), i1) in r0
+            .iter_mut()
+            .zip(i0.iter_mut())
+            .zip(r1.iter_mut())
+            .zip(i1.iter_mut())
+        {
+            let (a0r, a0i) = (*r0, *i0);
+            let (a1r, a1i) = (*r1, *i1);
+            *r0 = d0.re * a0r - d0.im * a0i;
+            *i0 = d0.re * a0i + d0.im * a0r;
+            *r1 = d1.re * a1r - d1.im * a1i;
+            *i1 = d1.re * a1i + d1.im * a1r;
         }
         Ok(())
     }
@@ -556,28 +766,25 @@ impl StateVector {
     fn apply_unitary1(&mut self, q: usize, m: &[Complex]) {
         debug_assert_eq!(m.len(), 4);
         let step = 1usize << q;
-        let (m00, m01, m10, m11) = (m[0], m[1], m[2], m[3]);
+        let mm = [m[0], m[1], m[2], m[3]];
         // Contiguous slice halves per block: no per-index bit twiddling, no
-        // bounds checks, and the inner zip vectorises.
-        for chunk in self.amplitudes.chunks_exact_mut(step << 1) {
-            let (zeros, ones) = chunk.split_at_mut(step);
-            for (r0, r1) in zeros.iter_mut().zip(ones.iter_mut()) {
-                let a0 = *r0;
-                let a1 = *r1;
-                *r0 = m00 * a0 + m01 * a1;
-                *r1 = m10 * a0 + m11 * a1;
-            }
+        // bounds checks, and the inner zip vectorises over the SoA halves.
+        for (rc, ic) in self
+            .re
+            .chunks_exact_mut(step << 1)
+            .zip(self.im.chunks_exact_mut(step << 1))
+        {
+            let (r0, r1) = rc.split_at_mut(step);
+            let (i0, i1) = ic.split_at_mut(step);
+            butterfly1(&mm, r0, i0, r1, i1);
         }
     }
 
-    fn apply_unitary2(&mut self, q0: usize, q1: usize, m: &[Complex]) {
-        debug_assert_eq!(m.len(), 16);
-        let (lo, hi) = (q0.min(q1), q0.max(q1));
-        let s_lo = 1usize << lo;
-        let s_hi = 1usize << hi;
-        // The matrix basis puts q0 on bit 0; when q0 is the *higher* wire,
-        // conjugate the matrix by the bit-swap permutation once up front so
-        // the sweep can use the natural (hi, lo) slice layout throughout.
+    /// Conjugates a 4×4 matrix into the natural (hi, lo) slice layout: the
+    /// matrix basis puts `q0` on bit 0, so when `q0` is the *higher* wire
+    /// the basis bits are swapped once up front and the sweep can use the
+    /// same slice layout throughout.
+    fn conjugate_two_qubit(q0: usize, lo: usize, m: &[Complex]) -> [Complex; 16] {
         let perm = |x: usize| -> usize {
             if q0 == lo {
                 x
@@ -591,26 +798,33 @@ impl StateVector {
                 *slot = m[perm(r) * 4 + perm(c)];
             }
         }
-        for chunk in self.amplitudes.chunks_exact_mut(s_hi << 1) {
-            let (h0, h1) = chunk.split_at_mut(s_hi);
-            for (sub0, sub1) in h0
+        mm
+    }
+
+    fn apply_unitary2(&mut self, q0: usize, q1: usize, m: &[Complex]) {
+        debug_assert_eq!(m.len(), 16);
+        let (lo, hi) = (q0.min(q1), q0.max(q1));
+        let s_lo = 1usize << lo;
+        let s_hi = 1usize << hi;
+        let mm = Self::conjugate_two_qubit(q0, lo, m);
+        for (rc, ic) in self
+            .re
+            .chunks_exact_mut(s_hi << 1)
+            .zip(self.im.chunks_exact_mut(s_hi << 1))
+        {
+            let (rh0, rh1) = rc.split_at_mut(s_hi);
+            let (ih0, ih1) = ic.split_at_mut(s_hi);
+            for (((rs0, is0), rs1), is1) in rh0
                 .chunks_exact_mut(s_lo << 1)
-                .zip(h1.chunks_exact_mut(s_lo << 1))
+                .zip(ih0.chunks_exact_mut(s_lo << 1))
+                .zip(rh1.chunks_exact_mut(s_lo << 1))
+                .zip(ih1.chunks_exact_mut(s_lo << 1))
             {
-                let (a00, a01) = sub0.split_at_mut(s_lo);
-                let (a10, a11) = sub1.split_at_mut(s_lo);
-                for (((r0, r1), r2), r3) in a00
-                    .iter_mut()
-                    .zip(a01.iter_mut())
-                    .zip(a10.iter_mut())
-                    .zip(a11.iter_mut())
-                {
-                    let a = [*r0, *r1, *r2, *r3];
-                    *r0 = mm[0] * a[0] + mm[1] * a[1] + mm[2] * a[2] + mm[3] * a[3];
-                    *r1 = mm[4] * a[0] + mm[5] * a[1] + mm[6] * a[2] + mm[7] * a[3];
-                    *r2 = mm[8] * a[0] + mm[9] * a[1] + mm[10] * a[2] + mm[11] * a[3];
-                    *r3 = mm[12] * a[0] + mm[13] * a[1] + mm[14] * a[2] + mm[15] * a[3];
-                }
+                let (r0, r1) = rs0.split_at_mut(s_lo);
+                let (i0, i1) = is0.split_at_mut(s_lo);
+                let (r2, r3) = rs1.split_at_mut(s_lo);
+                let (i2, i3) = is1.split_at_mut(s_lo);
+                quartet(&mm, r0, i0, r1, i1, r2, i2, r3, i3);
             }
         }
     }
@@ -636,22 +850,25 @@ impl StateVector {
         let mut pos = [0usize; MAX_DENSE_QUBITS];
         pos[..k].copy_from_slice(qubits);
         pos[..k].sort_unstable();
-        let mut scratch = [Complex::ZERO; 1 << MAX_DENSE_QUBITS];
+        let mut s_re = [0.0f64; 1 << MAX_DENSE_QUBITS];
+        let mut s_im = [0.0f64; 1 << MAX_DENSE_QUBITS];
         for i in 0..self.dim() >> k {
             let mut base = i;
             for &p in &pos[..k] {
                 base = Self::insert_zero_bit(base, p);
             }
-            for (slot, &off) in scratch[..size].iter_mut().zip(offs[..size].iter()) {
-                *slot = self.amplitudes[base | off];
+            for (sub, &off) in offs[..size].iter().enumerate() {
+                s_re[sub] = self.re[base | off];
+                s_im[sub] = self.im[base | off];
             }
             for (row, &off) in offs[..size].iter().enumerate() {
-                let mrow = &m[row * size..(row + 1) * size];
-                let mut acc = Complex::ZERO;
-                for (col, &amp) in scratch[..size].iter().enumerate() {
-                    acc += mrow[col] * amp;
-                }
-                self.amplitudes[base | off] = acc;
+                let (acc_re, acc_im) = krow(
+                    &m[row * size..(row + 1) * size],
+                    &s_re[..size],
+                    &s_im[..size],
+                );
+                self.re[base | off] = acc_re;
+                self.im[base | off] = acc_im;
             }
         }
     }
@@ -662,7 +879,8 @@ impl StateVector {
     /// the intra-circuit pool. Falls back to the sequential kernels below
     /// the budget's threshold or when no useful decomposition exists, and
     /// reproduces the sequential per-amplitude arithmetic expression
-    /// exactly, so the result is bit-identical for any thread count.
+    /// exactly (the leaf sweeps are shared helper functions), so the result
+    /// is bit-identical for any thread count.
     pub(crate) fn apply_unitary_unchecked_intra(
         &mut self,
         qubits: &[usize],
@@ -692,30 +910,31 @@ impl StateVector {
         }
     }
 
-    /// Parallel elementwise sweep: contiguous cache-block chunks, each
-    /// worker applying `f(global_index, amplitude)` to its chunks. Used by
-    /// the diagonal specialisations (phase flips, CZ).
-    fn par_elementwise(&mut self, intra: &IntraThreads, f: impl Fn(usize, &mut Complex) + Sync) {
+    /// Parallel sweep over contiguous cache-block chunk pairs of the SoA
+    /// halves: each worker receives `(global_base, re_chunk, im_chunk)`.
+    /// Used by the diagonal specialisations (phase flips, CZ).
+    fn par_chunks(
+        &mut self,
+        intra: &IntraThreads,
+        f: impl Fn(usize, &mut [f64], &mut [f64]) + Sync,
+    ) {
         const CHUNK: usize = 1 << CACHE_BLOCK_BITS;
-        let items: Vec<(usize, &mut [Complex])> = self
-            .amplitudes
+        let items: Vec<(usize, &mut [f64], &mut [f64])> = self
+            .re
             .chunks_mut(CHUNK)
+            .zip(self.im.chunks_mut(CHUNK))
             .enumerate()
-            .map(|(c, chunk)| (c * CHUNK, chunk))
+            .map(|(c, (rc, ic))| (c * CHUNK, rc, ic))
             .collect();
-        intra.pool().scoped_map(items, |_, (base, chunk)| {
-            for (i, a) in chunk.iter_mut().enumerate() {
-                f(base + i, a);
-            }
-        });
+        intra
+            .pool()
+            .scoped_map(items, |_, (base, rc, ic)| f(base, rc, ic));
     }
 
     fn par_phase_flip(&mut self, q: usize, phase: Complex, intra: &IntraThreads) {
         let bit = 1usize << q;
-        self.par_elementwise(intra, |g, a| {
-            if g & bit != 0 {
-                *a *= phase;
-            }
+        self.par_chunks(intra, move |base, rc, ic| {
+            phase_flip_slices(rc, ic, base, bit, phase)
         });
     }
 
@@ -734,7 +953,7 @@ impl StateVector {
             return false;
         };
         let seg_mask = (1usize << plan.seg_bits) - 1;
-        let items = plan.split(&mut self.amplitudes);
+        let items = plan.split(&mut self.re, &mut self.im);
         let plan = &plan;
         intra.pool().scoped_map(items, |_, mut item| {
             for si in 0..item.segs.len() {
@@ -747,14 +966,19 @@ impl StateVector {
                     let sj = plan.seg_of(j);
                     let lj = j & seg_mask;
                     match sj.cmp(&si) {
-                        std::cmp::Ordering::Equal => item.segs[si].1.swap(i, lj),
+                        std::cmp::Ordering::Equal => {
+                            item.segs[si].1.swap(i, lj);
+                            item.segs[si].2.swap(i, lj);
+                        }
                         std::cmp::Ordering::Greater => {
                             let (lo, hi) = item.segs.split_at_mut(sj);
                             std::mem::swap(&mut lo[si].1[i], &mut hi[0].1[lj]);
+                            std::mem::swap(&mut lo[si].2[i], &mut hi[0].2[lj]);
                         }
                         std::cmp::Ordering::Less => {
                             let (lo, hi) = item.segs.split_at_mut(si);
                             std::mem::swap(&mut lo[sj].1[lj], &mut hi[0].1[i]);
+                            std::mem::swap(&mut lo[sj].2[lj], &mut hi[0].2[i]);
                         }
                     }
                 }
@@ -764,37 +988,33 @@ impl StateVector {
     }
 
     /// Parallel single-qubit dense kernel, butterfly-exact with
-    /// [`StateVector::apply_unitary1`].
+    /// [`StateVector::apply_unitary1`] (both call [`butterfly1`]).
     fn par_unitary1(&mut self, q: usize, m: &[Complex], intra: &IntraThreads) -> bool {
         debug_assert_eq!(m.len(), 4);
         let Some(plan) = SegPlan::plan(self.num_qubits, &[q], intra.threads()) else {
             return false;
         };
-        let (m00, m01, m10, m11) = (m[0], m[1], m[2], m[3]);
+        let mm = [m[0], m[1], m[2], m[3]];
         let step = 1usize << q;
         let peeled = q >= plan.seg_bits;
-        let items = plan.split(&mut self.amplitudes);
+        let items = plan.split(&mut self.re, &mut self.im);
         intra.pool().scoped_map(items, |_, mut item| {
-            let butterfly = |r0: &mut Complex, r1: &mut Complex| {
-                let a0 = *r0;
-                let a1 = *r1;
-                *r0 = m00 * a0 + m01 * a1;
-                *r1 = m10 * a0 + m11 * a1;
-            };
             if peeled {
                 // The operand qubit selects between the item's two
                 // segments: zeros in segs[0], ones in segs[1].
                 let (zeros, ones) = item.segs.split_at_mut(1);
-                for (r0, r1) in zeros[0].1.iter_mut().zip(ones[0].1.iter_mut()) {
-                    butterfly(r0, r1);
-                }
+                let (_, zr, zi) = &mut zeros[0];
+                let (_, or, oi) = &mut ones[0];
+                butterfly1(&mm, zr, zi, or, oi);
             } else {
-                for (_, seg) in item.segs.iter_mut() {
-                    for chunk in seg.chunks_exact_mut(step << 1) {
-                        let (zeros, ones) = chunk.split_at_mut(step);
-                        for (r0, r1) in zeros.iter_mut().zip(ones.iter_mut()) {
-                            butterfly(r0, r1);
-                        }
+                for (_, sr, si) in item.segs.iter_mut() {
+                    for (rc, ic) in sr
+                        .chunks_exact_mut(step << 1)
+                        .zip(si.chunks_exact_mut(step << 1))
+                    {
+                        let (r0, r1) = rc.split_at_mut(step);
+                        let (i0, i1) = ic.split_at_mut(step);
+                        butterfly1(&mm, r0, i0, r1, i1);
                     }
                 }
             }
@@ -805,7 +1025,8 @@ impl StateVector {
     /// Parallel two-qubit dense kernel, expression-exact with
     /// [`StateVector::apply_unitary2`]: the matrix is conjugated into the
     /// (hi, lo) slice layout up front exactly as the sequential sweep does,
-    /// and every amplitude quartet goes through the identical 4-term update.
+    /// and every amplitude quartet goes through the identical [`quartet`]
+    /// update.
     fn par_unitary2(&mut self, q0: usize, q1: usize, m: &[Complex], intra: &IntraThreads) -> bool {
         debug_assert_eq!(m.len(), 16);
         let (lo, hi) = (q0.min(q1), q0.max(q1));
@@ -813,70 +1034,50 @@ impl StateVector {
             return false;
         };
         let s_lo = 1usize << lo;
-        let perm = |x: usize| -> usize {
-            if q0 == lo {
-                x
-            } else {
-                ((x & 1) << 1) | (x >> 1)
-            }
-        };
-        let mut mm = [Complex::ZERO; 16];
-        for (r, row) in mm.chunks_exact_mut(4).enumerate() {
-            for (c, slot) in row.iter_mut().enumerate() {
-                *slot = m[perm(r) * 4 + perm(c)];
-            }
-        }
-        let update = move |r0: &mut Complex, r1: &mut Complex, r2: &mut Complex, r3: &mut Complex| {
-            let a = [*r0, *r1, *r2, *r3];
-            *r0 = mm[0] * a[0] + mm[1] * a[1] + mm[2] * a[2] + mm[3] * a[3];
-            *r1 = mm[4] * a[0] + mm[5] * a[1] + mm[6] * a[2] + mm[7] * a[3];
-            *r2 = mm[8] * a[0] + mm[9] * a[1] + mm[10] * a[2] + mm[11] * a[3];
-            *r3 = mm[12] * a[0] + mm[13] * a[1] + mm[14] * a[2] + mm[15] * a[3];
-        };
+        let mm = Self::conjugate_two_qubit(q0, lo, m);
         let seg_bits = plan.seg_bits;
         let s_hi = 1usize << hi;
-        let items = plan.split(&mut self.amplitudes);
+        let items = plan.split(&mut self.re, &mut self.im);
         intra.pool().scoped_map(items, |_, mut item| {
             if hi < seg_bits {
                 // Both operands internal: the sequential sweep per segment.
-                for (_, seg) in item.segs.iter_mut() {
-                    for chunk in seg.chunks_exact_mut(s_hi << 1) {
-                        let (h0, h1) = chunk.split_at_mut(s_hi);
-                        for (sub0, sub1) in h0
+                for (_, sr, si) in item.segs.iter_mut() {
+                    for (rc, ic) in sr
+                        .chunks_exact_mut(s_hi << 1)
+                        .zip(si.chunks_exact_mut(s_hi << 1))
+                    {
+                        let (rh0, rh1) = rc.split_at_mut(s_hi);
+                        let (ih0, ih1) = ic.split_at_mut(s_hi);
+                        for (((rs0, is0), rs1), is1) in rh0
                             .chunks_exact_mut(s_lo << 1)
-                            .zip(h1.chunks_exact_mut(s_lo << 1))
+                            .zip(ih0.chunks_exact_mut(s_lo << 1))
+                            .zip(rh1.chunks_exact_mut(s_lo << 1))
+                            .zip(ih1.chunks_exact_mut(s_lo << 1))
                         {
-                            let (a00, a01) = sub0.split_at_mut(s_lo);
-                            let (a10, a11) = sub1.split_at_mut(s_lo);
-                            for (((r0, r1), r2), r3) in a00
-                                .iter_mut()
-                                .zip(a01.iter_mut())
-                                .zip(a10.iter_mut())
-                                .zip(a11.iter_mut())
-                            {
-                                update(r0, r1, r2, r3);
-                            }
+                            let (r0, r1) = rs0.split_at_mut(s_lo);
+                            let (i0, i1) = is0.split_at_mut(s_lo);
+                            let (r2, r3) = rs1.split_at_mut(s_lo);
+                            let (i2, i3) = is1.split_at_mut(s_lo);
+                            quartet(&mm, r0, i0, r1, i1, r2, i2, r3, i3);
                         }
                     }
                 }
             } else if lo < seg_bits {
                 // hi peeled (segs[0] = hi 0, segs[1] = hi 1), lo internal.
                 let (h0, h1) = item.segs.split_at_mut(1);
-                for (sub0, sub1) in h0[0]
-                    .1
+                let (_, h0r, h0i) = &mut h0[0];
+                let (_, h1r, h1i) = &mut h1[0];
+                for (((rs0, is0), rs1), is1) in h0r
                     .chunks_exact_mut(s_lo << 1)
-                    .zip(h1[0].1.chunks_exact_mut(s_lo << 1))
+                    .zip(h0i.chunks_exact_mut(s_lo << 1))
+                    .zip(h1r.chunks_exact_mut(s_lo << 1))
+                    .zip(h1i.chunks_exact_mut(s_lo << 1))
                 {
-                    let (a00, a01) = sub0.split_at_mut(s_lo);
-                    let (a10, a11) = sub1.split_at_mut(s_lo);
-                    for (((r0, r1), r2), r3) in a00
-                        .iter_mut()
-                        .zip(a01.iter_mut())
-                        .zip(a10.iter_mut())
-                        .zip(a11.iter_mut())
-                    {
-                        update(r0, r1, r2, r3);
-                    }
+                    let (r0, r1) = rs0.split_at_mut(s_lo);
+                    let (i0, i1) = is0.split_at_mut(s_lo);
+                    let (r2, r3) = rs1.split_at_mut(s_lo);
+                    let (i2, i3) = is1.split_at_mut(s_lo);
+                    quartet(&mm, r0, i0, r1, i1, r2, i2, r3, i3);
                 }
             } else {
                 // Both peeled: segs ordered (lo, hi) ascending → indices
@@ -885,15 +1086,11 @@ impl StateVector {
                 let (left, right) = item.segs.split_at_mut(2);
                 let (s00, s01) = left.split_at_mut(1);
                 let (s10, s11) = right.split_at_mut(1);
-                for (((r0, r1), r2), r3) in s00[0]
-                    .1
-                    .iter_mut()
-                    .zip(s01[0].1.iter_mut())
-                    .zip(s10[0].1.iter_mut())
-                    .zip(s11[0].1.iter_mut())
-                {
-                    update(r0, r1, r2, r3);
-                }
+                let (_, r0, i0) = &mut s00[0];
+                let (_, r1, i1) = &mut s01[0];
+                let (_, r2, i2) = &mut s10[0];
+                let (_, r3, i3) = &mut s11[0];
+                quartet(&mm, r0, i0, r1, i1, r2, i2, r3, i3);
             }
         });
         true
@@ -902,7 +1099,7 @@ impl StateVector {
     /// Parallel k-qubit dense kernel (3 ≤ k ≤ [`MAX_DENSE_QUBITS`]),
     /// expression-exact with [`StateVector::apply_unitary_k`]: per base
     /// index, the same scratch gather in matrix-basis order and the same
-    /// zero-seeded accumulation over columns.
+    /// zero-seeded accumulation ([`krow`]) over columns.
     fn par_unitary_k(&mut self, qubits: &[usize], m: &[Complex], intra: &IntraThreads) -> bool {
         let k = qubits.len();
         debug_assert!(k <= MAX_DENSE_QUBITS);
@@ -945,29 +1142,35 @@ impl StateVector {
         }
         low[..low_count].sort_unstable();
         let bases = (1usize << plan.seg_bits) >> low_count;
-        let items = plan.split(&mut self.amplitudes);
+        let items = plan.split(&mut self.re, &mut self.im);
         intra.pool().scoped_map(items, |_, mut item| {
-            let mut scratch = [Complex::ZERO; 1 << MAX_DENSE_QUBITS];
+            let mut s_re = [0.0f64; 1 << MAX_DENSE_QUBITS];
+            let mut s_im = [0.0f64; 1 << MAX_DENSE_QUBITS];
             for i in 0..bases {
                 let mut base = i;
                 for &p in &low[..low_count] {
                     base = Self::insert_zero_bit(base, p);
                 }
-                for (slot, (&sel, &off)) in scratch[..size]
-                    .iter_mut()
-                    .zip(seg_sel[..size].iter().zip(low_off[..size].iter()))
+                for (sub, (&sel, &off)) in seg_sel[..size]
+                    .iter()
+                    .zip(low_off[..size].iter())
+                    .enumerate()
                 {
-                    *slot = item.segs[sel].1[base | off];
+                    s_re[sub] = item.segs[sel].1[base | off];
+                    s_im[sub] = item.segs[sel].2[base | off];
                 }
-                for (row, (&sel, &off)) in
-                    seg_sel[..size].iter().zip(low_off[..size].iter()).enumerate()
+                for (row, (&sel, &off)) in seg_sel[..size]
+                    .iter()
+                    .zip(low_off[..size].iter())
+                    .enumerate()
                 {
-                    let mrow = &m[row * size..(row + 1) * size];
-                    let mut acc = Complex::ZERO;
-                    for (col, &amp) in scratch[..size].iter().enumerate() {
-                        acc += mrow[col] * amp;
-                    }
-                    item.segs[sel].1[base | off] = acc;
+                    let (acc_re, acc_im) = krow(
+                        &m[row * size..(row + 1) * size],
+                        &s_re[..size],
+                        &s_im[..size],
+                    );
+                    item.segs[sel].1[base | off] = acc_re;
+                    item.segs[sel].2[base | off] = acc_im;
                 }
             }
         });
@@ -988,17 +1191,13 @@ impl StateVector {
             });
         }
         let bit = 1usize << q;
-        Ok(probability_tree(&self.amplitudes, 0, bit))
+        Ok(probability_tree(&self.re, &self.im, 0, bit))
     }
 
     /// [`StateVector::probability_of_one`] with the reduction tree's leaf
     /// sums fanned out over an intra-circuit thread budget (bit-identical
     /// for any thread count).
-    pub fn probability_of_one_with(
-        &self,
-        q: usize,
-        intra: &IntraThreads,
-    ) -> Result<f64, SimError> {
+    pub fn probability_of_one_with(&self, q: usize, intra: &IntraThreads) -> Result<f64, SimError> {
         if q >= self.num_qubits {
             return Err(SimError::QubitOutOfRange {
                 qubit: q,
@@ -1007,12 +1206,17 @@ impl StateVector {
         }
         let bit = 1usize << q;
         if !intra.parallelizes(self.num_qubits) || self.dim() <= REDUCTION_CHUNK {
-            return Ok(probability_tree(&self.amplitudes, 0, bit));
+            return Ok(probability_tree(&self.re, &self.im, 0, bit));
         }
         let leaves = self.dim() / REDUCTION_CHUNK;
         let partials = intra.pool().scoped_map((0..leaves).collect(), |_, leaf| {
             let lo = leaf * REDUCTION_CHUNK;
-            probability_leaf(&self.amplitudes[lo..lo + REDUCTION_CHUNK], lo, bit)
+            probability_leaf(
+                &self.re[lo..lo + REDUCTION_CHUNK],
+                &self.im[lo..lo + REDUCTION_CHUNK],
+                lo,
+                bit,
+            )
         });
         Ok(combine_f64(&partials))
     }
@@ -1025,7 +1229,11 @@ impl StateVector {
 
     /// Full probability distribution over the 2^n basis states.
     pub fn probabilities(&self) -> Vec<f64> {
-        self.amplitudes.iter().map(|a| a.norm_sqr()).collect()
+        self.re
+            .iter()
+            .zip(self.im.iter())
+            .map(|(&r, &i)| r * r + i * i)
+            .collect()
     }
 
     /// Samples a full-register measurement outcome (basis-state index)
@@ -1033,8 +1241,8 @@ impl StateVector {
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
         let r: f64 = rng.gen();
         let mut acc = 0.0;
-        for (i, a) in self.amplitudes.iter().enumerate() {
-            acc += a.norm_sqr();
+        for i in 0..self.dim() {
+            acc += self.re[i] * self.re[i] + self.im[i] * self.im[i];
             if r < acc {
                 return i;
             }
@@ -1083,10 +1291,11 @@ impl StateVector {
             });
         }
         let bit = 1usize << q;
-        for (i, a) in self.amplitudes.iter_mut().enumerate() {
+        for i in 0..self.dim() {
             let is_one = i & bit != 0;
             if is_one != outcome {
-                *a = Complex::ZERO;
+                self.re[i] = 0.0;
+                self.im[i] = 0.0;
             }
         }
         self.renormalize();
@@ -1113,26 +1322,238 @@ impl StateVector {
         let bit = 1usize << q;
         // Reduced density matrix entries rho00, rho01 (rho10 = conj, rho11 = 1-rho00).
         let mut rho00 = 0.0;
-        let mut rho01 = Complex::ZERO;
+        let mut rho01_re = 0.0;
+        let mut rho01_im = 0.0;
         for i in 0..self.dim() {
             if i & bit == 0 {
-                let a0 = self.amplitudes[i];
-                let a1 = self.amplitudes[i | bit];
-                rho00 += a0.norm_sqr();
-                rho01 += a0 * a1.conj();
+                let (a0r, a0i) = (self.re[i], self.im[i]);
+                let (a1r, a1i) = (self.re[i | bit], self.im[i | bit]);
+                rho00 += a0r * a0r + a0i * a0i;
+                // a0 * conj(a1)
+                rho01_re += a0r * a1r + a0i * a1i;
+                rho01_im += a0i * a1r - a0r * a1i;
             }
         }
-        let x = 2.0 * rho01.re;
-        let y = -2.0 * rho01.im;
+        let x = 2.0 * rho01_re;
+        let y = -2.0 * rho01_im;
         let z = 2.0 * rho00 - 1.0;
         Ok([x, y, z])
     }
 }
 
-/// One leaf of the inner-product reduction tree: a plain sequential fold,
-/// exactly the pre-tree arithmetic on registers up to [`REDUCTION_CHUNK`].
-fn inner_product_leaf(a: &[Complex], b: &[Complex]) -> Complex {
-    a.iter().zip(b.iter()).map(|(x, y)| x.conj() * *y).sum()
+/// The shared single-qubit butterfly sweep over SoA slice halves: for each
+/// lane `i`, `(a0, a1) ← (m00·a0 + m01·a1, m10·a0 + m11·a1)`, with the
+/// complex products expanded into the exact expression shape used
+/// everywhere (`re·re − im·im` / `re·im + im·re`, products summed left to
+/// right). Both the sequential and the segment-parallel single-qubit
+/// kernels call this, so they are bit-identical by construction.
+fn butterfly1(
+    m: &[Complex; 4],
+    re0: &mut [f64],
+    im0: &mut [f64],
+    re1: &mut [f64],
+    im1: &mut [f64],
+) {
+    let [m00, m01, m10, m11] = *m;
+    for (((r0, i0), r1), i1) in re0
+        .iter_mut()
+        .zip(im0.iter_mut())
+        .zip(re1.iter_mut())
+        .zip(im1.iter_mut())
+    {
+        let (a0r, a0i) = (*r0, *i0);
+        let (a1r, a1i) = (*r1, *i1);
+        *r0 = (m00.re * a0r - m00.im * a0i) + (m01.re * a1r - m01.im * a1i);
+        *i0 = (m00.re * a0i + m00.im * a0r) + (m01.re * a1i + m01.im * a1r);
+        *r1 = (m10.re * a0r - m10.im * a0i) + (m11.re * a1r - m11.im * a1i);
+        *i1 = (m10.re * a0i + m10.im * a0r) + (m11.re * a1i + m11.im * a1r);
+    }
+}
+
+/// One row of a 4-term complex matrix·vector product, products summed
+/// left to right (the fold shape shared by every 4×4 kernel).
+#[inline(always)]
+fn row4(m: &[Complex], ar: &[f64; 4], ai: &[f64; 4]) -> (f64, f64) {
+    let mut sr = m[0].re * ar[0] - m[0].im * ai[0];
+    let mut si = m[0].re * ai[0] + m[0].im * ar[0];
+    for c in 1..4 {
+        sr += m[c].re * ar[c] - m[c].im * ai[c];
+        si += m[c].re * ai[c] + m[c].im * ar[c];
+    }
+    (sr, si)
+}
+
+/// The shared two-qubit quartet sweep over SoA slice strips (`mm` already
+/// conjugated into (hi, lo) layout). Both the sequential and all three
+/// segment-parallel two-qubit cases call this, so they are bit-identical
+/// by construction.
+#[allow(clippy::too_many_arguments)]
+fn quartet(
+    mm: &[Complex; 16],
+    r0: &mut [f64],
+    i0: &mut [f64],
+    r1: &mut [f64],
+    i1: &mut [f64],
+    r2: &mut [f64],
+    i2: &mut [f64],
+    r3: &mut [f64],
+    i3: &mut [f64],
+) {
+    let n = r0.len();
+    assert!(
+        i0.len() == n
+            && r1.len() == n
+            && i1.len() == n
+            && r2.len() == n
+            && i2.len() == n
+            && r3.len() == n
+            && i3.len() == n
+    );
+    for idx in 0..n {
+        let ar = [r0[idx], r1[idx], r2[idx], r3[idx]];
+        let ai = [i0[idx], i1[idx], i2[idx], i3[idx]];
+        let (v0r, v0i) = row4(&mm[0..4], &ar, &ai);
+        let (v1r, v1i) = row4(&mm[4..8], &ar, &ai);
+        let (v2r, v2i) = row4(&mm[8..12], &ar, &ai);
+        let (v3r, v3i) = row4(&mm[12..16], &ar, &ai);
+        r0[idx] = v0r;
+        i0[idx] = v0i;
+        r1[idx] = v1r;
+        i1[idx] = v1i;
+        r2[idx] = v2r;
+        i2[idx] = v2i;
+        r3[idx] = v3r;
+        i3[idx] = v3i;
+    }
+}
+
+/// One row of a 2^k-term complex matrix·vector product with a zero-seeded
+/// accumulator (the fold shape shared by the sequential and parallel
+/// k-qubit kernels).
+#[inline(always)]
+fn krow(mrow: &[Complex], s_re: &[f64], s_im: &[f64]) -> (f64, f64) {
+    let mut acc_re = 0.0;
+    let mut acc_im = 0.0;
+    for (m, (&sr, &si)) in mrow.iter().zip(s_re.iter().zip(s_im.iter())) {
+        acc_re += m.re * sr - m.im * si;
+        acc_im += m.re * si + m.im * sr;
+    }
+    (acc_re, acc_im)
+}
+
+/// Multiplies every amplitude whose global index has `bit` set by `phase`,
+/// sweeping stride-aligned upper slice halves. `base` is the global index
+/// of `re[0]` (only consulted when `bit` spans the whole slice). Shared by
+/// the sequential phase-flip specialisation and the chunked parallel
+/// sweep, so both are bit-identical by construction.
+fn phase_flip_slices(re: &mut [f64], im: &mut [f64], base: usize, bit: usize, phase: Complex) {
+    if bit >= re.len() {
+        if base & bit != 0 {
+            for (r, i) in re.iter_mut().zip(im.iter_mut()) {
+                let (ar, ai) = (*r, *i);
+                *r = ar * phase.re - ai * phase.im;
+                *i = ar * phase.im + ai * phase.re;
+            }
+        }
+        return;
+    }
+    for (rc, ic) in re
+        .chunks_exact_mut(bit << 1)
+        .zip(im.chunks_exact_mut(bit << 1))
+    {
+        let (r1, i1) = (&mut rc[bit..], &mut ic[bit..]);
+        for (r, i) in r1.iter_mut().zip(i1.iter_mut()) {
+            let (ar, ai) = (*r, *i);
+            *r = ar * phase.re - ai * phase.im;
+            *i = ar * phase.im + ai * phase.re;
+        }
+    }
+}
+
+/// Negates every amplitude whose global index has `bit` set (the φ = −1
+/// phase flip, kept multiply-free). Same slice contract as
+/// [`phase_flip_slices`].
+fn negate_slices(re: &mut [f64], im: &mut [f64], base: usize, bit: usize) {
+    if bit >= re.len() {
+        if base & bit != 0 {
+            for (r, i) in re.iter_mut().zip(im.iter_mut()) {
+                *r = -*r;
+                *i = -*i;
+            }
+        }
+        return;
+    }
+    for (rc, ic) in re
+        .chunks_exact_mut(bit << 1)
+        .zip(im.chunks_exact_mut(bit << 1))
+    {
+        for (r, i) in rc[bit..].iter_mut().zip(ic[bit..].iter_mut()) {
+            *r = -*r;
+            *i = -*i;
+        }
+    }
+}
+
+/// CZ over SoA slices: negates amplitudes whose global index has both the
+/// `lo` and `hi` operand bits set. `base` is the global index of `re[0]`.
+/// Sign flips are exact, so the chunked parallel sweep and this sequential
+/// form are bit-identical regardless of sweep order.
+fn cz_slices(re: &mut [f64], im: &mut [f64], base: usize, lo: usize, hi: usize) {
+    debug_assert!(lo < hi);
+    if hi >= re.len() {
+        if base & hi != 0 {
+            negate_slices(re, im, base, lo);
+        }
+        return;
+    }
+    for (rc, ic) in re
+        .chunks_exact_mut(hi << 1)
+        .zip(im.chunks_exact_mut(hi << 1))
+    {
+        // lo < hi ⇒ the upper half is a whole number of lo-strips.
+        negate_slices(&mut rc[hi..], &mut ic[hi..], 0, lo);
+    }
+}
+
+/// One leaf of the inner-product reduction tree over SoA halves, on
+/// registers up to [`REDUCTION_CHUNK`]. The per-lane term is `conj(a)·b`
+/// expanded as `(ar·br + ai·bi, ar·bi − ai·br)`.
+///
+/// The fold runs four independent accumulator lanes (lane `j` sums terms
+/// `j, j+4, j+8, …`; any tail shorter than four joins lane 0) combined
+/// pairwise at the end — a fixed shape, so results are deterministic for
+/// a given length, and the lanes break the loop-carried dependency chain
+/// a single running sum would serialize every `add` behind.
+pub(crate) fn inner_product_leaf(
+    a_re: &[f64],
+    a_im: &[f64],
+    b_re: &[f64],
+    b_im: &[f64],
+) -> Complex {
+    let n = a_re.len();
+    assert!(a_im.len() == n && b_re.len() == n && b_im.len() == n);
+    let mut sr = [0.0f64; 4];
+    let mut si = [0.0f64; 4];
+    for (((ar, ai), br), bi) in a_re
+        .chunks_exact(4)
+        .zip(a_im.chunks_exact(4))
+        .zip(b_re.chunks_exact(4))
+        .zip(b_im.chunks_exact(4))
+    {
+        for j in 0..4 {
+            sr[j] += ar[j] * br[j] + ai[j] * bi[j];
+            si[j] += ar[j] * bi[j] - ai[j] * br[j];
+        }
+    }
+    let tail = n / 4 * 4;
+    for i in tail..n {
+        sr[0] += a_re[i] * b_re[i] + a_im[i] * b_im[i];
+        si[0] += a_re[i] * b_im[i] - a_im[i] * b_re[i];
+    }
+    Complex::new(
+        (sr[0] + sr[1]) + (sr[2] + sr[3]),
+        (si[0] + si[1]) + (si[2] + si[3]),
+    )
 }
 
 /// Fixed-shape pairwise reduction of ⟨a|b⟩: balanced halving down to
@@ -1140,17 +1561,23 @@ fn inner_product_leaf(a: &[Complex], b: &[Complex]) -> Complex {
 /// two, so the tree is perfect and identical to combining the ordered
 /// leaf sums pairwise ([`combine_complex`]) — which is what makes the
 /// parallel reduction bit-identical.
-fn inner_product_tree(a: &[Complex], b: &[Complex]) -> Complex {
-    if a.len() <= REDUCTION_CHUNK {
-        return inner_product_leaf(a, b);
+pub(crate) fn inner_product_tree(
+    a_re: &[f64],
+    a_im: &[f64],
+    b_re: &[f64],
+    b_im: &[f64],
+) -> Complex {
+    if a_re.len() <= REDUCTION_CHUNK {
+        return inner_product_leaf(a_re, a_im, b_re, b_im);
     }
-    let mid = a.len() / 2;
-    inner_product_tree(&a[..mid], &b[..mid]) + inner_product_tree(&a[mid..], &b[mid..])
+    let mid = a_re.len() / 2;
+    inner_product_tree(&a_re[..mid], &a_im[..mid], &b_re[..mid], &b_im[..mid])
+        + inner_product_tree(&a_re[mid..], &a_im[mid..], &b_re[mid..], &b_im[mid..])
 }
 
 /// Combines ordered leaf partial sums with the same balanced halving as
 /// [`inner_product_tree`] (leaf counts are powers of two).
-fn combine_complex(partials: &[Complex]) -> Complex {
+pub(crate) fn combine_complex(partials: &[Complex]) -> Complex {
     if partials.len() == 1 {
         return partials[0];
     }
@@ -1159,28 +1586,42 @@ fn combine_complex(partials: &[Complex]) -> Complex {
 }
 
 /// One leaf of the measurement-probability reduction tree over the
-/// amplitudes at global indices `base..base + amps.len()`.
-fn probability_leaf(amps: &[Complex], base: usize, bit: usize) -> f64 {
-    amps.iter()
-        .enumerate()
-        .filter(|(i, _)| (base + i) & bit != 0)
-        .map(|(_, a)| a.norm_sqr())
-        .sum()
+/// amplitudes at global indices `base..base + re.len()`: sums `|a|²` over
+/// the amplitudes whose index has `bit` set, in ascending index order,
+/// sweeping stride-aligned upper halves.
+fn probability_leaf(re: &[f64], im: &[f64], base: usize, bit: usize) -> f64 {
+    let mut acc = 0.0;
+    if bit >= re.len() {
+        if base & bit == 0 {
+            return 0.0;
+        }
+        for (&r, &i) in re.iter().zip(im.iter()) {
+            acc += r * r + i * i;
+        }
+        return acc;
+    }
+    for (rc, ic) in re.chunks_exact(bit << 1).zip(im.chunks_exact(bit << 1)) {
+        for (&r, &i) in rc[bit..].iter().zip(ic[bit..].iter()) {
+            acc += r * r + i * i;
+        }
+    }
+    acc
 }
 
 /// Fixed-shape pairwise reduction of `P(qubit = 1)`; see
 /// [`inner_product_tree`] for the shape contract.
-fn probability_tree(amps: &[Complex], base: usize, bit: usize) -> f64 {
-    if amps.len() <= REDUCTION_CHUNK {
-        return probability_leaf(amps, base, bit);
+fn probability_tree(re: &[f64], im: &[f64], base: usize, bit: usize) -> f64 {
+    if re.len() <= REDUCTION_CHUNK {
+        return probability_leaf(re, im, base, bit);
     }
-    let mid = amps.len() / 2;
-    probability_tree(&amps[..mid], base, bit) + probability_tree(&amps[mid..], base + mid, bit)
+    let mid = re.len() / 2;
+    probability_tree(&re[..mid], &im[..mid], base, bit)
+        + probability_tree(&re[mid..], &im[mid..], base + mid, bit)
 }
 
 /// Combines ordered probability leaf sums pairwise (see
 /// [`combine_complex`]).
-fn combine_f64(partials: &[f64]) -> f64 {
+pub(crate) fn combine_f64(partials: &[f64]) -> f64 {
     if partials.len() == 1 {
         return partials[0];
     }
@@ -1208,12 +1649,14 @@ mod tests {
         for (q, &(ry, rz)) in angles.iter().enumerate() {
             let gry = Gate::Ry(q, ry);
             let grz = Gate::Rz(q, rz);
-            fast.apply_single_qubit_matrix_active(q, &gry.matrix()).unwrap();
-            fast.apply_single_qubit_matrix_active(q, &grz.matrix()).unwrap();
+            fast.apply_single_qubit_matrix_active(q, &gry.matrix())
+                .unwrap();
+            fast.apply_single_qubit_matrix_active(q, &grz.matrix())
+                .unwrap();
             full.apply_gate(&gry).unwrap();
             full.apply_gate(&grz).unwrap();
         }
-        for (a, b) in fast.amplitudes().iter().zip(full.amplitudes().iter()) {
+        for (a, b) in fast.to_amplitudes().iter().zip(full.to_amplitudes().iter()) {
             assert_eq!(a.re.to_bits(), b.re.to_bits());
             assert_eq!(a.im.to_bits(), b.im.to_bits());
         }
@@ -1230,11 +1673,37 @@ mod tests {
     }
 
     #[test]
+    fn soa_accessors_roundtrip() {
+        let mut sv = StateVector::zero_state(2);
+        sv.apply_gates(&[
+            Gate::H(0),
+            Gate::S(0),
+            Gate::Cnot {
+                control: 0,
+                target: 1,
+            },
+        ])
+        .unwrap();
+        let amps = sv.to_amplitudes();
+        assert_eq!(amps.len(), 4);
+        for (i, a) in amps.iter().enumerate() {
+            assert_eq!(sv.amplitude(i), *a);
+            assert_eq!(sv.re_parts()[i], a.re);
+            assert_eq!(sv.im_parts()[i], a.im);
+        }
+        let rebuilt = StateVector::from_amplitudes(amps).unwrap();
+        assert_eq!(rebuilt, sv);
+        // reset_zero reuses the buffers and lands exactly on |0…0⟩.
+        sv.reset_zero();
+        assert_eq!(sv, StateVector::zero_state(2));
+    }
+
+    #[test]
     fn zero_state_is_normalised() {
         let sv = StateVector::zero_state(3);
         assert_eq!(sv.dim(), 8);
         assert!((sv.norm_sqr() - 1.0).abs() < TOL);
-        assert_eq!(sv.amplitudes()[0], Complex::ONE);
+        assert_eq!(sv.amplitude(0), Complex::ONE);
     }
 
     #[test]
@@ -1254,7 +1723,7 @@ mod tests {
     #[test]
     fn basis_state_sets_single_amplitude() {
         let sv = StateVector::basis_state(3, 5).unwrap();
-        assert_eq!(sv.amplitudes()[5], Complex::ONE);
+        assert_eq!(sv.amplitude(5), Complex::ONE);
         assert!(StateVector::basis_state(2, 4).is_err());
     }
 
@@ -1262,7 +1731,7 @@ mod tests {
     fn x_gate_flips_qubit() {
         let mut sv = StateVector::zero_state(2);
         sv.apply_gate(&Gate::X(1)).unwrap();
-        assert_eq!(sv.amplitudes()[2], Complex::ONE);
+        assert_eq!(sv.amplitude(2), Complex::ONE);
     }
 
     #[test]
@@ -1302,7 +1771,7 @@ mod tests {
         let mut sv = StateVector::zero_state(2);
         sv.apply_gate(&Gate::X(0)).unwrap();
         sv.apply_gate(&Gate::Swap(0, 1)).unwrap();
-        assert_eq!(sv.amplitudes()[2], Complex::ONE);
+        assert_eq!(sv.amplitude(2), Complex::ONE);
     }
 
     #[test]
@@ -1318,7 +1787,7 @@ mod tests {
         })
         .unwrap();
         // Expect |control=1, b=1, a=0⟩ = index 4 + 2 = 6.
-        assert!((sv.amplitudes()[6].norm_sqr() - 1.0).abs() < TOL);
+        assert!((sv.amplitude(6).norm_sqr() - 1.0).abs() < TOL);
     }
 
     #[test]
@@ -1334,8 +1803,8 @@ mod tests {
         let full = CMatrix::identity(2)
             .kron(&crate::gate::matrices::ry(0.7))
             .kron(&CMatrix::identity(2));
-        let expected = full.matvec(sv.amplitudes());
-        for (a, b) in by_gate.amplitudes().iter().zip(expected.iter()) {
+        let expected = full.matvec(&sv.to_amplitudes());
+        for (a, b) in by_gate.to_amplitudes().iter().zip(expected.iter()) {
             assert!(a.approx_eq(*b, 1e-9));
         }
     }
@@ -1349,8 +1818,9 @@ mod tests {
         let mut b = sv.clone();
         let gate = Gate::Rxx(0, 2, 0.9);
         a.apply_gate(&gate).unwrap();
-        b.apply_k_qubit_matrix(&gate.qubits(), &gate.matrix()).unwrap();
-        for (x, y) in a.amplitudes().iter().zip(b.amplitudes().iter()) {
+        b.apply_k_qubit_matrix(&gate.qubits(), &gate.matrix())
+            .unwrap();
+        for (x, y) in a.to_amplitudes().iter().zip(b.to_amplitudes().iter()) {
             assert!(x.approx_eq(*y, 1e-9));
         }
     }
@@ -1410,8 +1880,9 @@ mod tests {
             let mut a = sv.clone();
             let mut b = sv.clone();
             a.apply_gate(&gate).unwrap();
-            b.apply_k_qubit_matrix(&gate.qubits(), &gate.matrix()).unwrap();
-            for (x, y) in a.amplitudes().iter().zip(b.amplitudes().iter()) {
+            b.apply_k_qubit_matrix(&gate.qubits(), &gate.matrix())
+                .unwrap();
+            for (x, y) in a.to_amplitudes().iter().zip(b.to_amplitudes().iter()) {
                 assert!(x.approx_eq(*y, 1e-12), "gate {}", gate.name());
             }
         }
@@ -1435,7 +1906,7 @@ mod tests {
         let t = a.tensor(&b);
         assert_eq!(t.num_qubits(), 3);
         // index = a_index * 2 + b_index = 2*2 + 1 = 5
-        assert_eq!(t.amplitudes()[5], Complex::ONE);
+        assert_eq!(t.amplitude(5), Complex::ONE);
     }
 
     #[test]

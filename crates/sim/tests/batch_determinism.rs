@@ -149,8 +149,12 @@ fn batched_shot_probabilities_match_analytic_at_10k_shots() {
 fn execute_statevectors_is_thread_count_invariant() {
     let fused = FusedCircuit::compile(&parametric_circuit());
     let sets = param_grid(16);
-    let one = BatchExecutor::new(1, 0).execute_statevectors(&fused, &sets).unwrap();
-    let eight = BatchExecutor::new(8, 0).execute_statevectors(&fused, &sets).unwrap();
+    let one = BatchExecutor::new(1, 0)
+        .execute_statevectors(&fused, &sets)
+        .unwrap();
+    let eight = BatchExecutor::new(8, 0)
+        .execute_statevectors(&fused, &sets)
+        .unwrap();
     assert_eq!(one, eight);
 }
 

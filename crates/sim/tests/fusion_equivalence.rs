@@ -19,7 +19,7 @@ const TOL: f64 = 1e-10;
 fn gate_from_raw(n: usize, kind: usize, qa: usize, qb: usize, qc: usize, theta: f64) -> Gate {
     let a = qa % n;
     let b = (a + 1 + qb % (n - 1)) % n; // distinct from a
-    // distinct from both a and b (needs n >= 3; callers gate on arity).
+                                        // distinct from both a and b (needs n >= 3; callers gate on arity).
     let c = {
         let mut others: Vec<usize> = (0..n).filter(|&q| q != a && q != b).collect();
         if others.is_empty() {
@@ -70,7 +70,11 @@ fn gate_from_raw(n: usize, kind: usize, qa: usize, qb: usize, qc: usize, theta: 
         21 => Gate::Rzz(a, b, theta),
         _ => {
             if n >= 3 {
-                Gate::CSwap { control: a, a: b, b: c }
+                Gate::CSwap {
+                    control: a,
+                    a: b,
+                    b: c,
+                }
             } else {
                 Gate::Swap(a, b)
             }
@@ -96,7 +100,11 @@ fn build_circuit(n: usize, raw: &[RawGate]) -> Circuit {
 }
 
 fn assert_states_close(fused: &StateVector, plain: &StateVector, tol: f64) {
-    for (x, y) in fused.amplitudes().iter().zip(plain.amplitudes().iter()) {
+    for (x, y) in fused
+        .to_amplitudes()
+        .iter()
+        .zip(plain.to_amplitudes().iter())
+    {
         assert!(
             x.approx_eq(*y, tol),
             "fused amplitude {x:?} differs from unfused {y:?}"
@@ -120,7 +128,7 @@ proptest! {
         let plain = circuit.execute(&[]).unwrap();
         let state = fused.execute(&[]).unwrap();
         prop_assert!((state.norm_sqr() - 1.0).abs() < TOL, "norm {}", state.norm_sqr());
-        for (x, y) in state.amplitudes().iter().zip(plain.amplitudes().iter()) {
+        for (x, y) in state.to_amplitudes().iter().zip(plain.to_amplitudes().iter()) {
             prop_assert!(x.approx_eq(*y, TOL), "fused {:?} vs unfused {:?}", x, y);
         }
     }
@@ -153,7 +161,7 @@ proptest! {
             let plain = circuit.execute(&bound).unwrap();
             let state = fused.execute(&bound).unwrap();
             prop_assert!((state.norm_sqr() - 1.0).abs() < TOL);
-            for (x, y) in state.amplitudes().iter().zip(plain.amplitudes().iter()) {
+            for (x, y) in state.to_amplitudes().iter().zip(plain.to_amplitudes().iter()) {
                 prop_assert!(x.approx_eq(*y, TOL), "fused {:?} vs unfused {:?}", x, y);
             }
         }
@@ -176,7 +184,7 @@ proptest! {
         circuit.execute_into(&mut a, &[]).unwrap();
         fused.execute_into(&mut b, &[]).unwrap();
         prop_assert!((b.norm_sqr() - 1.0).abs() < TOL);
-        for (x, y) in b.amplitudes().iter().zip(a.amplitudes().iter()) {
+        for (x, y) in b.to_amplitudes().iter().zip(a.to_amplitudes().iter()) {
             prop_assert!(x.approx_eq(*y, TOL), "fused {:?} vs unfused {:?}", x, y);
         }
     }

@@ -73,7 +73,11 @@ fn gate_from_raw(n: usize, kind: usize, qa: usize, qb: usize, qc: usize, theta: 
         21 => Gate::Rzz(a, b, theta),
         _ => {
             if n >= 3 {
-                Gate::CSwap { control: a, a: b, b: c }
+                Gate::CSwap {
+                    control: a,
+                    a: b,
+                    b: c,
+                }
             } else {
                 Gate::Swap(a, b)
             }
@@ -104,7 +108,7 @@ fn forced(threads: usize) -> IntraThreads {
 }
 
 fn assert_bits_equal(par: &StateVector, seq: &StateVector, what: &str) {
-    for (x, y) in par.amplitudes().iter().zip(seq.amplitudes().iter()) {
+    for (x, y) in par.to_amplitudes().iter().zip(seq.to_amplitudes().iter()) {
         assert_eq!(x.re.to_bits(), y.re.to_bits(), "{what}: re {x:?} vs {y:?}");
         assert_eq!(x.im.to_bits(), y.im.to_bits(), "{what}: im {x:?} vs {y:?}");
     }
@@ -226,13 +230,18 @@ fn large_register_execution_is_bit_identical_across_budgets() {
         target: n - 1,
     });
     c.h(0);
-    let params: Vec<f64> = (0..c.num_parameters()).map(|i| 0.4 - 0.07 * i as f64).collect();
+    let params: Vec<f64> = (0..c.num_parameters())
+        .map(|i| 0.4 - 0.07 * i as f64)
+        .collect();
     let fused = FusedCircuit::compile(&c);
     let sequential = fused.execute(&params).unwrap();
     let p_seq = sequential.probability_of_one(0).unwrap();
     for threads in [2usize, 4, 8] {
         let intra = IntraThreads::new(threads);
-        assert!(intra.parallelizes(n), "15 qubits must cross the default threshold");
+        assert!(
+            intra.parallelizes(n),
+            "15 qubits must cross the default threshold"
+        );
         let state = fused.execute_with(&params, &intra).unwrap();
         assert_bits_equal(&state, &sequential, "15-qubit fused execute");
         assert_eq!(

@@ -38,11 +38,7 @@ fn arb_gate(n: usize) -> impl Strategy<Value = Gate> {
                 theta,
             },
             8 => Gate::Rzz(a, b, theta),
-            _ => Gate::CSwap {
-                control: c,
-                a,
-                b,
-            },
+            _ => Gate::CSwap { control: c, a, b },
         }
     })
 }

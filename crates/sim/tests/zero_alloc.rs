@@ -10,6 +10,7 @@
 
 use quclassi_sim::circuit::Circuit;
 use quclassi_sim::fusion::FusedCircuit;
+use quclassi_sim::gemm::StateMatrix;
 use quclassi_sim::intra::IntraThreads;
 use quclassi_sim::state::StateVector;
 use std::alloc::{GlobalAlloc, Layout, System};
@@ -97,7 +98,58 @@ fn bound_replay_with_reused_scratch_performs_zero_heap_allocation() {
         0,
         "steady-state bound replay must not touch the heap"
     );
-    assert_eq!(scratch, expected, "replays must keep producing the same state");
+    assert_eq!(
+        scratch, expected,
+        "replays must keep producing the same state"
+    );
+}
+
+#[test]
+fn gemm_fidelity_sweep_is_allocation_free_in_steady_state() {
+    // The GEMM-shaped batched-inference inner loop: replay a bound circuit
+    // into a reused scratch register, then sweep the scratch against a
+    // packed class matrix. Once the matrix, scratch and output row exist,
+    // the whole loop must never touch the heap.
+    let n = 10;
+    let circuit = replay_workload(n);
+    let fused = FusedCircuit::compile(&circuit);
+    let intra = IntraThreads::single_threaded();
+    let classes: Vec<StateVector> = [0.31, -0.87, 1.62]
+        .iter()
+        .map(|&p| {
+            let bound = fused.bind(&[p, 0.5 - p]).unwrap();
+            bound.execute()
+        })
+        .collect();
+    let matrix = StateMatrix::pack(&classes).unwrap();
+    let bound = fused.bind(&[0.83, -1.21]).unwrap();
+
+    let mut scratch = StateVector::zero_state(n);
+    let mut fidelities = vec![0.0f64; matrix.rows()];
+    // Warm-up, and the reference row the steady-state sweeps must keep
+    // reproducing.
+    bound.execute_reusing(&mut scratch, &intra);
+    matrix
+        .fidelities_into_with(&scratch, &intra, &mut fidelities)
+        .unwrap();
+    let expected: Vec<u64> = fidelities.iter().map(|f| f.to_bits()).collect();
+
+    let before = allocations();
+    for _ in 0..100 {
+        bound.execute_reusing(&mut scratch, &intra);
+        matrix
+            .fidelities_into_with(&scratch, &intra, &mut fidelities)
+            .unwrap();
+        for (f, &bits) in fidelities.iter().zip(expected.iter()) {
+            assert_eq!(f.to_bits(), bits);
+        }
+    }
+    let after = allocations();
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state GEMM fidelity sweeps must not touch the heap"
+    );
 }
 
 #[test]
@@ -113,11 +165,15 @@ fn fused_execute_reusing_amortizes_to_the_dynamic_rebuild_only() {
     let params = [0.83, -1.21];
 
     let mut scratch = StateVector::zero_state(n);
-    fused.execute_reusing(&params, &mut scratch, &intra).unwrap();
+    fused
+        .execute_reusing(&params, &mut scratch, &intra)
+        .unwrap();
 
     let before = allocations();
     for _ in 0..10 {
-        fused.execute_reusing(&params, &mut scratch, &intra).unwrap();
+        fused
+            .execute_reusing(&params, &mut scratch, &intra)
+            .unwrap();
     }
     let per_execution = (allocations() - before) / 10;
     assert!(

@@ -7,10 +7,10 @@
 //! ```
 
 use quclassi::prelude::*;
-use quclassi_infer::prelude::*;
 use quclassi_datasets::iris;
 use quclassi_datasets::preprocess::normalize_split;
 use quclassi_examples::percent;
+use quclassi_infer::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::time::Instant;

@@ -7,10 +7,10 @@
 //! ```
 
 use quclassi::prelude::*;
-use quclassi_infer::prelude::*;
 use quclassi_datasets::iris;
 use quclassi_datasets::preprocess::normalize_split;
 use quclassi_examples::percent;
+use quclassi_infer::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -45,7 +45,11 @@ fn main() {
         let compiled = CompiledModel::compile(&model, FidelityEstimator::analytic())
             .expect("compilation succeeds");
         let predictions: Vec<usize> = compiled
-            .predict_many(&test.features, &BatchExecutor::from_env(0).expect("invalid QUCLASSI_THREADS"), 0)
+            .predict_many(
+                &test.features,
+                &BatchExecutor::from_env(0).expect("invalid QUCLASSI_THREADS"),
+                0,
+            )
             .expect("batched serving succeeds")
             .into_iter()
             .map(|p| p.label)

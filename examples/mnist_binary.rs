@@ -8,12 +8,12 @@
 //! ```
 
 use quclassi::prelude::*;
-use quclassi_infer::prelude::*;
 use quclassi_classical::network::{Mlp, MlpConfig};
 use quclassi_classical::pca::Pca;
 use quclassi_datasets::mnist;
 use quclassi_datasets::preprocess::MinMaxScaler;
 use quclassi_examples::percent;
+use quclassi_infer::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -25,7 +25,10 @@ fn main() {
     // 1. Generate digits and keep the (3, 6) pair.
     let full = mnist::generate(per_class_train + per_class_test, 36);
     let pair = full.filter_classes(&[3, 6]);
-    println!("one training sample of digit 3:\n{}", mnist::render_ascii(&pair.features[0]));
+    println!(
+        "one training sample of digit 3:\n{}",
+        mnist::render_ascii(&pair.features[0])
+    );
 
     // 2. Split, PCA to 16 dimensions (fitted on training pixels), normalise.
     let mut train_x = Vec::new();
@@ -52,7 +55,9 @@ fn main() {
     println!(
         "QuClassi-S: {} qubits, {} parameters",
         config.total_qubits(),
-        QuClassiModel::new(config.clone()).unwrap().parameter_count()
+        QuClassiModel::new(config.clone())
+            .unwrap()
+            .parameter_count()
     );
     let mut model = QuClassiModel::with_random_parameters(config, &mut rng).unwrap();
     let trainer = Trainer::new(
@@ -71,7 +76,12 @@ fn main() {
     // 17-qubit shape — see BENCH_inference_throughput.json).
     let qc_acc = CompiledModel::compile(&model, FidelityEstimator::analytic())
         .unwrap()
-        .evaluate_accuracy(&test_z, &test_y, &BatchExecutor::from_env(0).expect("invalid QUCLASSI_THREADS"), 0)
+        .evaluate_accuracy(
+            &test_z,
+            &test_y,
+            &BatchExecutor::from_env(0).expect("invalid QUCLASSI_THREADS"),
+            0,
+        )
         .unwrap();
 
     // 4. A classical DNN with ~1218 parameters on the same data.

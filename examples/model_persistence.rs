@@ -8,10 +8,10 @@
 
 use quclassi::io::{model_from_string, model_to_string};
 use quclassi::prelude::*;
-use quclassi_infer::prelude::*;
 use quclassi_datasets::iris;
 use quclassi_datasets::preprocess::normalize_split;
 use quclassi_examples::percent;
+use quclassi_infer::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -47,8 +47,8 @@ fn main() {
     let restored_text = std::fs::read_to_string(&path).expect("model file read");
     let restored = model_from_string(&restored_text).expect("model parses");
     let estimator = FidelityEstimator::analytic();
-    let compiled = CompiledModel::compile(&restored, estimator.clone())
-        .expect("restored model compiles");
+    let compiled =
+        CompiledModel::compile(&restored, estimator.clone()).expect("restored model compiles");
     let batch = BatchExecutor::from_env(0).expect("invalid QUCLASSI_THREADS");
     let served = compiled
         .predict_many(&test.features, &batch, 0)

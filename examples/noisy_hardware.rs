@@ -42,7 +42,12 @@ fn main() {
         .expect("training succeeds");
 
     let ideal_acc = model
-        .evaluate_accuracy(&test.features, &test.labels, &FidelityEstimator::analytic(), &mut rng)
+        .evaluate_accuracy(
+            &test.features,
+            &test.labels,
+            &FidelityEstimator::analytic(),
+            &mut rng,
+        )
         .unwrap();
     println!("ideal simulator accuracy: {}", percent(ideal_acc));
 

@@ -32,7 +32,9 @@ fn main() {
     println!(
         "model: {} qubits total, {} trainable parameters",
         config.total_qubits(),
-        QuClassiModel::new(config.clone()).unwrap().parameter_count()
+        QuClassiModel::new(config.clone())
+            .unwrap()
+            .parameter_count()
     );
     let mut model = QuClassiModel::with_random_parameters(config, &mut rng).unwrap();
 

@@ -115,7 +115,10 @@ fn main() {
     // 6. Metrics: latency percentiles, batching efficiency, cache hits.
     let metrics = runtime.shutdown();
     println!("\n== serving metrics ==");
-    println!("admitted {}, completed {}, rejected {}", metrics.admitted, metrics.completed, metrics.rejected);
+    println!(
+        "admitted {}, completed {}, rejected {}",
+        metrics.admitted, metrics.completed, metrics.rejected
+    );
     println!(
         "batches {}, mean occupancy {:.2}, flushes: size {}, deadline {}, close {}",
         metrics.batches,

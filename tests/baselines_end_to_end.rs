@@ -29,7 +29,12 @@ fn all_methods_learn_an_easy_binary_pair() {
         .fit(&mut model, &split.train_x, &split.train_y, &mut rng)
         .unwrap();
     let qc = model
-        .evaluate_accuracy(&split.test_x, &split.test_y, &FidelityEstimator::analytic(), &mut rng)
+        .evaluate_accuracy(
+            &split.test_x,
+            &split.test_y,
+            &FidelityEstimator::analytic(),
+            &mut rng,
+        )
         .unwrap();
 
     // QF-pNet-style.
@@ -122,13 +127,20 @@ fn quclassi_is_more_noise_robust_than_qf_pnet() {
     .fit(&mut model, &split.train_x, &split.train_y, &mut rng)
     .unwrap();
     let qc_ideal = model
-        .evaluate_accuracy(&split.test_x, &split.test_y, &FidelityEstimator::analytic(), &mut rng)
+        .evaluate_accuracy(
+            &split.test_x,
+            &split.test_y,
+            &FidelityEstimator::analytic(),
+            &mut rng,
+        )
         .unwrap();
     let qc_noisy = model
         .evaluate_accuracy(
             &split.test_x,
             &split.test_y,
-            &FidelityEstimator::swap_test(Executor::noisy_density(noise.clone()).with_shots(Some(1024))),
+            &FidelityEstimator::swap_test(
+                Executor::noisy_density(noise.clone()).with_shots(Some(1024)),
+            ),
             &mut rng,
         )
         .unwrap();

@@ -61,8 +61,14 @@ fn batched_fit_matches_single_threaded_golden_run() {
     let (params_1, acc_1) = golden_iris_fit(1);
     let (params_2, acc_2) = golden_iris_fit(2);
     let (params_8, acc_8) = golden_iris_fit(8);
-    assert_eq!(params_1, params_2, "2-thread parameters diverged from golden run");
-    assert_eq!(params_1, params_8, "8-thread parameters diverged from golden run");
+    assert_eq!(
+        params_1, params_2,
+        "2-thread parameters diverged from golden run"
+    );
+    assert_eq!(
+        params_1, params_8,
+        "8-thread parameters diverged from golden run"
+    );
     assert_eq!(acc_1, acc_2);
     assert_eq!(acc_1, acc_8);
 }
@@ -71,11 +77,9 @@ fn batched_fit_matches_single_threaded_golden_run() {
 fn batched_gradients_are_bit_identical_across_thread_counts() {
     let split = iris_split(19);
     let x = &split.train_x[0];
-    let encoder = quclassi::encoding::DataEncoder::new(
-        quclassi::encoding::EncodingStrategy::DualAngle,
-        4,
-    )
-    .unwrap();
+    let encoder =
+        quclassi::encoding::DataEncoder::new(quclassi::encoding::EncodingStrategy::DualAngle, 4)
+            .unwrap();
     let stack = quclassi::layers::LayerStack::qc_sd(2).unwrap();
     let params: Vec<f64> = (0..stack.parameter_count())
         .map(|i| 0.25 + 0.13 * i as f64)
@@ -109,8 +113,7 @@ fn batched_noisy_training_converges_like_sequential() {
     // the learned parameters are deterministic per seed and thread-count
     // invariant; convergence must survive the batched path.
     let split = iris_split(37);
-    let estimator =
-        FidelityEstimator::swap_test(Executor::ideal().with_shots(Some(2048)));
+    let estimator = FidelityEstimator::swap_test(Executor::ideal().with_shots(Some(2048)));
     let run = |threads: usize| {
         let mut rng = StdRng::seed_from_u64(37);
         let mut model =
@@ -138,8 +141,14 @@ fn batched_noisy_training_converges_like_sequential() {
     };
     let (history, params_1) = run(1);
     let (_, params_4) = run(4);
-    assert_eq!(params_1, params_4, "shot-based training diverged across thread counts");
+    assert_eq!(
+        params_1, params_4,
+        "shot-based training diverged across thread counts"
+    );
     let first = history.epochs.first().unwrap().mean_loss;
     let last = history.final_loss().unwrap();
-    assert!(last < first, "batched noisy training did not converge: {first} -> {last}");
+    assert!(
+        last < first,
+        "batched noisy training did not converge: {first} -> {last}"
+    );
 }

@@ -36,7 +36,9 @@ fn trained_iris_model() -> QuClassiModel {
         },
         FidelityEstimator::analytic(),
     );
-    trainer.fit(&mut model, &features, &labels, &mut rng).unwrap();
+    trainer
+        .fit(&mut model, &features, &labels, &mut rng)
+        .unwrap();
     model
 }
 

@@ -22,7 +22,12 @@ fn train_and_evaluate(config: QuClassiConfig, epochs: usize, seed: u64) -> f64 {
         .fit(&mut model, &split.train_x, &split.train_y, &mut rng)
         .expect("training succeeds");
     model
-        .evaluate_accuracy(&split.test_x, &split.test_y, &FidelityEstimator::analytic(), &mut rng)
+        .evaluate_accuracy(
+            &split.test_x,
+            &split.test_y,
+            &FidelityEstimator::analytic(),
+            &mut rng,
+        )
         .expect("evaluation succeeds")
 }
 
@@ -94,17 +99,35 @@ fn training_is_bit_identical_for_equal_seeds() {
             .fit(&mut model, &split.train_x, &split.train_y, &mut rng)
             .unwrap();
         let acc = model
-            .evaluate_accuracy(&split.test_x, &split.test_y, &FidelityEstimator::analytic(), &mut rng)
+            .evaluate_accuracy(
+                &split.test_x,
+                &split.test_y,
+                &FidelityEstimator::analytic(),
+                &mut rng,
+            )
             .unwrap();
         let params: Vec<Vec<u64>> = (0..3)
-            .map(|c| model.class_params(c).unwrap().iter().map(|p| p.to_bits()).collect())
+            .map(|c| {
+                model
+                    .class_params(c)
+                    .unwrap()
+                    .iter()
+                    .map(|p| p.to_bits())
+                    .collect()
+            })
             .collect();
         (params, acc.to_bits())
     };
     let (params_a, acc_a) = run();
     let (params_b, acc_b) = run();
-    assert_eq!(params_a, params_b, "learned parameters diverged between identically seeded runs");
-    assert_eq!(acc_a, acc_b, "accuracy diverged between identically seeded runs");
+    assert_eq!(
+        params_a, params_b,
+        "learned parameters diverged between identically seeded runs"
+    );
+    assert_eq!(
+        acc_a, acc_b,
+        "accuracy diverged between identically seeded runs"
+    );
 }
 
 /// The paper-scale Iris run (Fig. 6): all three architectures at full epoch
@@ -144,5 +167,8 @@ fn training_loss_decreases_monotonically_enough() {
         .unwrap();
     let first = history.epochs.first().unwrap().mean_loss;
     let last = history.final_loss().unwrap();
-    assert!(last < 0.6 * first, "loss {first} -> {last} did not decrease enough");
+    assert!(
+        last < 0.6 * first,
+        "loss {first} -> {last} did not decrease enough"
+    );
 }

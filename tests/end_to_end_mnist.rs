@@ -30,7 +30,12 @@ fn train_pair_with_budget(
         .fit(&mut model, &split.train_x, &split.train_y, &mut rng)
         .expect("training succeeds");
     model
-        .evaluate_accuracy(&split.test_x, &split.test_y, &FidelityEstimator::analytic(), &mut rng)
+        .evaluate_accuracy(
+            &split.test_x,
+            &split.test_y,
+            &FidelityEstimator::analytic(),
+            &mut rng,
+        )
         .expect("evaluation succeeds")
 }
 
@@ -99,7 +104,12 @@ fn three_class_mnist_subset_trains() {
         .fit(&mut model, &train_x, &train_raw.labels, &mut rng)
         .unwrap();
     let acc = model
-        .evaluate_accuracy(&test_x, &test_raw.labels, &FidelityEstimator::analytic(), &mut rng)
+        .evaluate_accuracy(
+            &test_x,
+            &test_raw.labels,
+            &FidelityEstimator::analytic(),
+            &mut rng,
+        )
         .unwrap();
     assert!(acc >= 0.6, "(0,3,6) accuracy {acc}");
 }

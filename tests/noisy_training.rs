@@ -58,7 +58,12 @@ fn noise_does_not_improve_over_ideal_evaluation() {
         .unwrap();
 
     let ideal = model
-        .evaluate_accuracy(&split.test_x, &split.test_y, &FidelityEstimator::analytic(), &mut rng)
+        .evaluate_accuracy(
+            &split.test_x,
+            &split.test_y,
+            &FidelityEstimator::analytic(),
+            &mut rng,
+        )
         .unwrap();
     // A deliberately very noisy device.
     let noisy_est = FidelityEstimator::swap_test(
@@ -83,7 +88,8 @@ fn melbourne_is_noisier_than_london() {
     // noisier Melbourne model than on London.
     let split = iris_split(23);
     let mut rng = StdRng::seed_from_u64(23);
-    let model = QuClassiModel::with_random_parameters(QuClassiConfig::qc_s(4, 3), &mut rng).unwrap();
+    let model =
+        QuClassiModel::with_random_parameters(QuClassiConfig::qc_s(4, 3), &mut rng).unwrap();
     let x = &split.train_x[0];
 
     let fidelity_under = |device: DeviceModel, rng: &mut StdRng| -> f64 {
@@ -91,7 +97,12 @@ fn melbourne_is_noisier_than_london() {
         model.class_fidelity(0, x, &est, rng).unwrap()
     };
     let ideal = model
-        .class_fidelity(0, x, &FidelityEstimator::swap_test(Executor::ideal()), &mut rng)
+        .class_fidelity(
+            0,
+            x,
+            &FidelityEstimator::swap_test(Executor::ideal()),
+            &mut rng,
+        )
         .unwrap();
     let london = fidelity_under(DeviceModel::ibmq_london(), &mut rng);
     let melbourne = fidelity_under(DeviceModel::ibmq_melbourne(), &mut rng);

@@ -52,7 +52,10 @@ fn file_round_trip_through_disk() {
     let restored = model_from_string(&text).unwrap();
     assert_eq!(restored.parameter_count(), model.parameter_count());
     for c in 0..4 {
-        assert_eq!(restored.class_params(c).unwrap(), model.class_params(c).unwrap());
+        assert_eq!(
+            restored.class_params(c).unwrap(),
+            model.class_params(c).unwrap()
+        );
     }
     let _ = std::fs::remove_file(&path);
 }

@@ -98,7 +98,13 @@ impl BenchmarkGroup<'_> {
     {
         let full_id = format!("{}/{}", self.name, id.into_benchmark_id());
         if self.criterion.matches(&full_id) {
-            run_one(None, &full_id, self.sample_size, self.criterion.test_mode, &mut f);
+            run_one(
+                None,
+                &full_id,
+                self.sample_size,
+                self.criterion.test_mode,
+                &mut f,
+            );
         }
         self
     }
@@ -115,9 +121,13 @@ impl BenchmarkGroup<'_> {
     {
         let full_id = format!("{}/{}", self.name, id.into_benchmark_id());
         if self.criterion.matches(&full_id) {
-            run_one(None, &full_id, self.sample_size, self.criterion.test_mode, |b| {
-                f(b, input)
-            });
+            run_one(
+                None,
+                &full_id,
+                self.sample_size,
+                self.criterion.test_mode,
+                |b| f(b, input),
+            );
         }
         self
     }
@@ -247,7 +257,11 @@ fn run_one<F: FnMut(&mut Bencher)>(
     }
     let per_iter = |d: &Duration| d.as_nanos() as f64 / bencher.iters_per_sample as f64;
     let mean = bencher.samples.iter().map(per_iter).sum::<f64>() / bencher.samples.len() as f64;
-    let min = bencher.samples.iter().map(per_iter).fold(f64::INFINITY, f64::min);
+    let min = bencher
+        .samples
+        .iter()
+        .map(per_iter)
+        .fold(f64::INFINITY, f64::min);
     let max = bencher.samples.iter().map(per_iter).fold(0.0f64, f64::max);
     println!(
         "{id:<60} time: [{} {} {}]",
@@ -310,7 +324,10 @@ mod tests {
         };
         let mut iterations = 0u32;
         c.bench_function("smoke", |b| b.iter(|| iterations += 1));
-        assert_eq!(iterations, 1, "--test mode must run the routine exactly once");
+        assert_eq!(
+            iterations, 1,
+            "--test mode must run the routine exactly once"
+        );
     }
 
     #[test]
