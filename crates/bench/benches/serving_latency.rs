@@ -12,6 +12,15 @@
 //! responses are **bit-identical** to direct `CompiledModel::predict_one`
 //! calls — serving must never change an answer.
 //!
+//! A second axis sweeps **open connections** (100 / 1k / 10k mostly-idle
+//! sockets) against both TCP frontends — the event-loop `WireServer` and
+//! the thread-per-connection `ThreadedWireServer` — measuring connection
+//! setup, round-trip latency through the crowd, and pipelined throughput.
+//! The idle sockets are held by a child process (this binary re-executed
+//! with `idle-client-helper`), so each process stays inside its own
+//! `RLIMIT_NOFILE` budget: the server end of every connection lives here,
+//! the client end in the child.
+//!
 //! Results go to `BENCH_serving_latency.json` at the workspace root;
 //! `--test` runs everything once, tiny and untimed, without touching the
 //! committed numbers.
@@ -20,11 +29,15 @@ use criterion::{criterion_group, BenchmarkId, Criterion};
 use quclassi::model::{QuClassiConfig, QuClassiModel};
 use quclassi::swap_test::FidelityEstimator;
 use quclassi_infer::CompiledModel;
-use quclassi_serve::{ServeConfig, ServeRuntime};
+use quclassi_serve::{
+    ServeConfig, ServeRuntime, ThreadedWireServer, WireClient, WireConfig, WireServer,
+};
 use quclassi_sim::batch::BatchExecutor;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::hint::black_box;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -277,10 +290,12 @@ fn emit_bench_json(smoke: bool) {
             cells.join(",\n")
         ));
     }
+    let connections = emit_connections_json(smoke);
     let json = format!(
-        "{{\n  \"bench\": \"serving_latency\",\n  \"smoke\": {},\n  \"requests_per_producer\": {},\n  \"workloads\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"bench\": \"serving_latency\",\n  \"smoke\": {},\n  \"requests_per_producer\": {},\n{}\n  \"workloads\": [\n{}\n  ]\n}}\n",
         smoke,
         requests_per_producer,
+        connections,
         workload_entries.join(",\n")
     );
     if smoke {
@@ -300,9 +315,219 @@ fn emit_bench_json(smoke: bool) {
     print!("{json}");
 }
 
+/// Child-process mode: hold `count` idle client connections to `addr`
+/// until stdin closes. Keeps the client end of the connection sweep in a
+/// separate fd namespace so 10k connections never collide with the
+/// parent's `RLIMIT_NOFILE`.
+fn run_idle_client_helper(addr: &str, count: usize) {
+    let addr: SocketAddr = addr.parse().expect("helper addr");
+    let mut held = Vec::with_capacity(count);
+    for i in 0..count {
+        match TcpStream::connect(addr) {
+            Ok(stream) => held.push(stream),
+            Err(e) => {
+                // Report the shortfall instead of dying: the parent
+                // records how many connections the server actually held.
+                eprintln!("helper: connect {i}/{count} failed: {e}");
+                break;
+            }
+        }
+    }
+    println!("ready {}", held.len());
+    std::io::stdout().flush().ok();
+    // Park until the parent is done measuring (stdin EOF), then drop the
+    // herd all at once.
+    let mut sink = String::new();
+    while std::io::stdin().read_line(&mut sink).is_ok_and(|n| n > 0) {
+        sink.clear();
+    }
+    drop(held);
+}
+
+/// Spawns the helper child and waits for its herd to be fully connected.
+/// Returns the child and how many sockets it holds.
+fn spawn_idle_herd(addr: SocketAddr, count: usize) -> (std::process::Child, usize) {
+    let exe = std::env::current_exe().expect("current_exe");
+    let mut child = std::process::Command::new(exe)
+        .arg("idle-client-helper")
+        .arg(addr.to_string())
+        .arg(count.to_string())
+        .stdin(std::process::Stdio::piped())
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .expect("spawn idle-client helper");
+    let stdout = child.stdout.take().expect("helper stdout");
+    let mut line = String::new();
+    BufReader::new(stdout)
+        .read_line(&mut line)
+        .expect("helper ready line");
+    let held = line
+        .trim()
+        .strip_prefix("ready ")
+        .and_then(|n| n.parse().ok())
+        .unwrap_or(0);
+    (child, held)
+}
+
+struct WireCell {
+    setup_ms: f64,
+    held: usize,
+    refusals: u64,
+    p50_us: f64,
+    p99_us: f64,
+    pipelined_rps: f64,
+}
+
+/// Either TCP frontend, unified for the sweep.
+enum AnyServer {
+    EventLoop(WireServer),
+    Threaded(ThreadedWireServer),
+}
+
+impl AnyServer {
+    fn start(event_loop: bool, client: quclassi_serve::Client, config: WireConfig) -> Self {
+        if event_loop {
+            AnyServer::EventLoop(WireServer::start_with("127.0.0.1:0", client, config).unwrap())
+        } else {
+            AnyServer::Threaded(
+                ThreadedWireServer::start_with("127.0.0.1:0", client, config).unwrap(),
+            )
+        }
+    }
+
+    fn local_addr(&self) -> SocketAddr {
+        match self {
+            AnyServer::EventLoop(s) => s.local_addr(),
+            AnyServer::Threaded(s) => s.local_addr(),
+        }
+    }
+
+    fn shutdown(self) {
+        match self {
+            AnyServer::EventLoop(s) => s.shutdown(),
+            AnyServer::Threaded(s) => s.shutdown(),
+        }
+    }
+}
+
+/// One cell of the connection sweep: `connections` idle sockets held by
+/// the child, then round-trip latency and pipelined throughput measured
+/// through the crowd from this process.
+fn run_wire_cell(
+    w: &Workload,
+    event_loop: bool,
+    connections: usize,
+    roundtrips: usize,
+    pipelined: usize,
+) -> WireCell {
+    let runtime = ServeRuntime::start(
+        serve_config(true),
+        BatchExecutor::from_env(0).expect("invalid QUCLASSI_THREADS"),
+    )
+    .unwrap();
+    runtime.deploy("wire", artifact(w)).unwrap();
+    let config = WireConfig {
+        max_connections: connections + 64,
+        // The herd is deliberately idle; a read deadline would reap it
+        // mid-measurement.
+        read_timeout: None,
+        write_timeout: Some(Duration::from_secs(30)),
+        shards: 2,
+    };
+    let server = AnyServer::start(event_loop, runtime.client(), config);
+    let addr = server.local_addr();
+
+    let setup_started = Instant::now();
+    let (mut child, held) = spawn_idle_herd(addr, connections);
+    let setup_ms = setup_started.elapsed().as_secs_f64() * 1e3;
+
+    // Round-trip latency through the idle crowd, measured client-side.
+    let mut wire = WireClient::connect(addr).unwrap();
+    let x = &w.pool[0];
+    wire.predict("wire", x).unwrap(); // warm the connection
+    let mut samples_us = Vec::with_capacity(roundtrips);
+    for i in 0..roundtrips {
+        let x = &w.pool[i % w.pool.len()];
+        let t = Instant::now();
+        wire.predict("wire", x).unwrap();
+        samples_us.push(t.elapsed().as_secs_f64() * 1e6);
+    }
+    samples_us.sort_by(|a, b| a.total_cmp(b));
+    let q = |p: f64| samples_us[((samples_us.len() - 1) as f64 * p) as usize];
+
+    // Pipelined throughput: fire a burst without reading, then drain.
+    let t = Instant::now();
+    for i in 0..pipelined {
+        wire.send_predict("wire", &w.pool[i % w.pool.len()])
+            .unwrap();
+    }
+    for _ in 0..pipelined {
+        let (_, response) = wire.recv_response().unwrap();
+        assert_eq!(
+            response
+                .get("ok")
+                .and_then(quclassi_serve::json::Json::as_bool),
+            Some(true)
+        );
+    }
+    let pipelined_rps = pipelined as f64 / t.elapsed().as_secs_f64();
+
+    let refusals = runtime.metrics().wire_refusals;
+    drop(child.stdin.take()); // EOF → the child drops its herd and exits
+    let _ = child.wait();
+    server.shutdown();
+    runtime.shutdown();
+    WireCell {
+        setup_ms,
+        held,
+        refusals,
+        p50_us: q(0.50),
+        p99_us: q(0.99),
+        pipelined_rps,
+    }
+}
+
+fn emit_wire_cell_json(server: &str, connections: usize, r: &WireCell) -> String {
+    format!(
+        concat!(
+            "        {{\"server\": \"{}\", \"connections\": {}, \"held\": {}, ",
+            "\"refusals\": {}, \"setup_ms\": {:.1}, \"p50_us\": {:.1}, ",
+            "\"p99_us\": {:.1}, \"pipelined_rps\": {:.0}}}"
+        ),
+        server, connections, r.held, r.refusals, r.setup_ms, r.p50_us, r.p99_us, r.pipelined_rps
+    )
+}
+
+/// The connection-count sweep: both TCP frontends, 100/1k/10k mostly-idle
+/// sockets, one active client measuring through the crowd.
+fn emit_connections_json(smoke: bool) -> String {
+    let connection_sweep: &[usize] = if smoke { &[50] } else { &[100, 1_000, 10_000] };
+    let roundtrips = if smoke { 20 } else { 2_000 };
+    let pipelined = if smoke { 16 } else { 1_024 };
+    let w = workload("wire", 4, 3);
+    let mut cells = Vec::new();
+    for &connections in connection_sweep {
+        for (label, event_loop) in [("event_loop", true), ("thread_per_conn", false)] {
+            let r = run_wire_cell(&w, event_loop, connections, roundtrips, pipelined);
+            cells.push(emit_wire_cell_json(label, connections, &r));
+        }
+    }
+    format!(
+        "  \"connections_sweep\": {{\"workload\": \"iris_4_features\", \"roundtrips\": {}, \"pipelined_burst\": {},\n    \"cells\": [\n{}\n    ]}},",
+        roundtrips,
+        pipelined,
+        cells.join(",\n")
+    )
+}
+
 criterion_group!(benches, bench_serving_roundtrip);
 
 fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if args.get(1).map(String::as_str) == Some("idle-client-helper") {
+        run_idle_client_helper(&args[2], args[3].parse().expect("helper count"));
+        return;
+    }
     benches();
     let smoke = std::env::args().any(|a| a == "--test");
     emit_bench_json(smoke);

@@ -25,10 +25,15 @@
 //! * **Two frontends** — the in-process [`Client`] handle (primary,
 //!   test-friendly), and a minimal length-prefixed-JSON TCP protocol
 //!   ([`WireServer`] / [`WireClient`]) with graceful shutdown, no
-//!   dependencies, and a hardened boundary: per-socket read/write
-//!   deadlines, a connection cap with a retryable `saturated` refusal,
-//!   frame-size limits and a JSON nesting cap ([`WireConfig`],
-//!   `QUCLASSI_MAX_CONNECTIONS` / `QUCLASSI_WIRE_TIMEOUT_MS`).
+//!   dependencies, and a hardened boundary: read/write idle deadlines, a
+//!   connection cap with a retryable `saturated` refusal, frame-size
+//!   limits and a JSON nesting cap ([`WireConfig`],
+//!   `QUCLASSI_MAX_CONNECTIONS` / `QUCLASSI_WIRE_TIMEOUT_MS` /
+//!   `QUCLASSI_WIRE_SHARDS`). The TCP server is a readiness-driven
+//!   event loop (sharded epoll, request multiplexing via `"id"` echo —
+//!   see [`eventloop`]); the original thread-per-connection server
+//!   survives as the benchmark baseline
+//!   ([`threaded::ThreadedWireServer`]).
 //!
 //! ## Determinism
 //!
@@ -71,26 +76,31 @@
 #![forbid(unsafe_code)]
 
 pub mod error;
+pub mod eventloop;
 pub mod json;
 pub mod metrics;
 mod queue;
 pub mod registry;
 pub mod runtime;
+pub mod threaded;
 pub mod wire;
 
 pub use error::ServeError;
+pub use eventloop::WireServer;
 pub use metrics::{FlushReason, HistogramSnapshot, LatencyHistogram, ModelStatsSnapshot};
 pub use registry::{ModelEntry, ModelRegistry};
 pub use runtime::{
-    Client, MetricsSnapshot, ModelMetrics, PendingPrediction, ServeConfig, ServeResponse,
-    ServeRuntime,
+    Client, CompletionNotifier, MetricsSnapshot, ModelMetrics, PendingPrediction, ServeConfig,
+    ServeResponse, ServeRuntime,
 };
-pub use wire::{WireClient, WireConfig, WirePrediction, WireServer};
+pub use threaded::ThreadedWireServer;
+pub use wire::{FrameDecoder, WireClient, WireConfig, WirePrediction};
 
 /// Re-exports of the most commonly used serving types.
 pub mod prelude {
     pub use crate::error::ServeError;
+    pub use crate::eventloop::WireServer;
     pub use crate::runtime::{Client, MetricsSnapshot, ServeConfig, ServeResponse, ServeRuntime};
-    pub use crate::wire::{WireClient, WireConfig, WireServer};
+    pub use crate::wire::{WireClient, WireConfig};
     pub use quclassi_sim::batch::BatchExecutor;
 }

@@ -5,11 +5,14 @@
 //! bumping a counter never takes a lock, so metrics cannot perturb the
 //! batching behaviour they measure. Quantiles come from a fixed
 //! power-of-two-bucketed histogram: each observation lands in bucket
-//! `floor(log2(ns))`, so the p50/p90/p99 read-outs are exact to within a
-//! factor of 2 across a range of 1 ns to ~584 years, with zero allocation
-//! and O(64) snapshot cost. That resolution is the right trade for a
-//! serving dashboard, where the question is "tens of microseconds or tens
-//! of milliseconds?", not "is it 41 or 43 µs?".
+//! `floor(log2(ns))` (zero allocation, O(64) snapshot cost), and read-outs
+//! interpolate linearly *within* the landing bucket by the requested
+//! rank's position among the bucket's entries. The raw bucketing alone is
+//! only exact to within a factor of 2, which made distinct load points
+//! report byte-identical p50 and p99 (e.g. 11.6/11.6 µs) whenever both
+//! ranks landed in the same bucket; the sub-bucket interpolation keeps the
+//! lock-free recording path untouched while separating quantiles that
+//! differ in rank, not just in bucket.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -113,9 +116,13 @@ impl HistogramSnapshot {
     /// The approximate `q`-quantile in nanoseconds (`q` clamped to
     /// `[0, 1]`); 0 when the histogram is empty.
     ///
-    /// The observation with rank `ceil(q·n)` is located in its bucket and
-    /// reported as the bucket's geometric midpoint, so the value is exact
-    /// to within a factor of √2 of a true quantile.
+    /// The observation with rank `ceil(q·n)` is located in its log2
+    /// bucket, then interpolated linearly across the bucket's span
+    /// `[2^b, 2^(b+1))` by the rank's midpoint position among the
+    /// bucket's entries (the entries are assumed uniformly spread across
+    /// the span). Two quantiles whose ranks differ therefore read out
+    /// differently even when both land in the same bucket — the raw
+    /// bucket midpoint used to collapse them into identical values.
     pub fn quantile_ns(&self, q: f64) -> u64 {
         let n = self.count();
         if n == 0 {
@@ -124,11 +131,18 @@ impl HistogramSnapshot {
         let rank = ((q.clamp(0.0, 1.0) * n as f64).ceil() as u64).max(1);
         let mut seen = 0u64;
         for (bucket, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
             seen += c;
             if seen >= rank {
-                // Geometric midpoint of [2^b, 2^(b+1)): 2^b · √2.
-                let low = 1u64 << bucket;
-                return (low as f64 * std::f64::consts::SQRT_2) as u64;
+                // Rank position among this bucket's entries, midpoint
+                // rule: the k-th of c entries sits at (k − ½)/c of the
+                // bucket span. Bucket b spans [2^b, 2^(b+1)), width 2^b.
+                let into = rank - (seen - c);
+                let low = (1u64 << bucket) as f64;
+                let position = (into as f64 - 0.5) / c as f64;
+                return (low + low * position).round() as u64;
             }
         }
         u64::MAX
@@ -212,6 +226,14 @@ pub struct RuntimeStats {
     pub(crate) flush_on_size: AtomicU64,
     pub(crate) flush_on_deadline: AtomicU64,
     pub(crate) flush_on_close: AtomicU64,
+    /// Connections refused at the wire boundary (over the connection cap)
+    /// with a `saturated` error frame.
+    pub(crate) wire_refusals: AtomicU64,
+    /// Refusals whose error frame could not be written to the peer. A
+    /// refused client that also failed the write never *saw* the
+    /// backpressure signal — operationally distinct from a served refusal,
+    /// so it is counted separately instead of silently discarded.
+    pub(crate) refusal_write_failures: AtomicU64,
     pub(crate) latency: LatencyHistogram,
 }
 
@@ -242,6 +264,31 @@ mod tests {
         let s = h.snapshot();
         assert_eq!(s.count(), 5);
         assert!((s.mean_ns() - (1.0 + 2.0 + 3.0 + 1000.0 + 1_000_000.0) / 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quantiles_with_distinct_ranks_read_out_distinctly() {
+        // Regression for the p50 == p99 collapse: 100 observations all in
+        // the *same* log2 bucket used to report the identical bucket
+        // midpoint for every quantile. Sub-bucket interpolation must
+        // separate them monotonically.
+        let h = LatencyHistogram::new();
+        for _ in 0..100 {
+            h.record_ns(10_000); // bucket [8192, 16384)
+        }
+        let s = h.snapshot();
+        let p50 = s.quantile_ns(0.50);
+        let p90 = s.quantile_ns(0.90);
+        let p99 = s.quantile_ns(0.99);
+        assert!(p50 < p90 && p90 < p99, "p50={p50} p90={p90} p99={p99}");
+        // All three stay inside the landing bucket's span.
+        for q in [p50, p90, p99] {
+            assert!((8192..16384).contains(&q), "quantile {q} left its bucket");
+        }
+        // A single observation reads out at its bucket's centre.
+        let h = LatencyHistogram::new();
+        h.record_ns(10_000);
+        assert_eq!(h.snapshot().quantile_ns(0.5), 8192 + 4096);
     }
 
     #[test]

@@ -167,18 +167,36 @@ pub struct ServeResponse {
     pub prediction: Prediction,
 }
 
+/// A callback invoked (from the scheduler thread) the moment a submitted
+/// request's response is ready. The event-loop wire frontend registers its
+/// shard waker here, so a completion immediately unblocks the shard's
+/// `epoll_wait` instead of requiring a blocked thread per in-flight
+/// request. Must be cheap and non-blocking — it runs on the scheduler's
+/// hot path.
+pub type CompletionNotifier = Arc<dyn Fn() + Send + Sync>;
+
 /// One-shot rendezvous between a blocked caller and the scheduler.
-#[derive(Debug)]
 struct ResponseSlot {
     cell: Mutex<Option<Result<ServeResponse, ServeError>>>,
     ready: Condvar,
+    /// Invoked after the result is published (see [`CompletionNotifier`]).
+    notifier: Option<CompletionNotifier>,
+}
+
+impl std::fmt::Debug for ResponseSlot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ResponseSlot")
+            .field("notified", &self.notifier.is_some())
+            .finish_non_exhaustive()
+    }
 }
 
 impl ResponseSlot {
-    fn new() -> Self {
+    fn new(notifier: Option<CompletionNotifier>) -> Self {
         ResponseSlot {
             cell: Mutex::new(None),
             ready: Condvar::new(),
+            notifier,
         }
     }
 
@@ -187,6 +205,9 @@ impl ResponseSlot {
         *cell = Some(result);
         drop(cell);
         self.ready.notify_all();
+        if let Some(notifier) = &self.notifier {
+            notifier();
+        }
     }
 }
 
@@ -219,6 +240,18 @@ impl PendingPrediction {
             .lock()
             .unwrap_or_else(|e| e.into_inner())
             .is_some()
+    }
+
+    /// Takes the response if it has arrived (non-blocking); `None` while
+    /// the request is still in flight. Once this returns `Some`, the slot
+    /// is empty — a later [`PendingPrediction::wait`] would block forever,
+    /// so consume the pending through exactly one of the two.
+    pub fn take_if_ready(&self) -> Option<Result<ServeResponse, ServeError>> {
+        self.slot
+            .cell
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .take()
     }
 }
 
@@ -294,6 +327,12 @@ pub struct MetricsSnapshot {
     pub flush_on_deadline: u64,
     /// Batches flushed while draining at shutdown.
     pub flush_on_close: u64,
+    /// Connections refused at the wire boundary (over the connection cap)
+    /// with a retryable `saturated` error frame.
+    pub wire_refusals: u64,
+    /// Wire refusals whose `saturated` error frame could not be delivered
+    /// to the peer — those clients never saw the backpressure signal.
+    pub refusal_write_failures: u64,
     /// Retired (hot-swapped-out) versions still serving in-flight requests.
     pub draining_models: usize,
     /// End-to-end (admission → reply) latency across all models.
@@ -447,6 +486,29 @@ impl Client {
     /// encoding run synchronously here (errors surface immediately);
     /// evaluation happens on the scheduler.
     pub fn submit(&self, model: &str, x: &[f64]) -> Result<PendingPrediction, ServeError> {
+        self.submit_inner(model, x, None)
+    }
+
+    /// [`Client::submit`] with a [`CompletionNotifier`] invoked the moment
+    /// the response is published. This is the non-blocking completion path
+    /// the event-loop wire frontend multiplexes on: submit many requests,
+    /// get woken once per completion, collect with
+    /// [`PendingPrediction::take_if_ready`].
+    pub fn submit_with_notifier(
+        &self,
+        model: &str,
+        x: &[f64],
+        notifier: CompletionNotifier,
+    ) -> Result<PendingPrediction, ServeError> {
+        self.submit_inner(model, x, Some(notifier))
+    }
+
+    fn submit_inner(
+        &self,
+        model: &str,
+        x: &[f64],
+        notifier: Option<CompletionNotifier>,
+    ) -> Result<PendingPrediction, ServeError> {
         let entry = match self.shared.registry.get(model) {
             Ok(entry) => entry,
             Err(e) => {
@@ -464,7 +526,7 @@ impl Client {
                 return Err(ServeError::Model(e));
             }
         };
-        let slot = Arc::new(ResponseSlot::new());
+        let slot = Arc::new(ResponseSlot::new(notifier));
         let request = Request {
             entry: Arc::clone(&entry),
             angles,
@@ -499,6 +561,12 @@ impl Client {
     pub fn metrics(&self) -> MetricsSnapshot {
         snapshot(&self.shared)
     }
+
+    /// The runtime-wide counters, for wire-frontend bookkeeping (refusal
+    /// accounting happens at the socket boundary, outside admission).
+    pub(crate) fn runtime_stats(&self) -> &RuntimeStats {
+        &self.shared.stats
+    }
 }
 
 fn snapshot(shared: &Shared) -> MetricsSnapshot {
@@ -518,6 +586,8 @@ fn snapshot(shared: &Shared) -> MetricsSnapshot {
         flush_on_size: stats.flush_on_size.load(Ordering::Relaxed),
         flush_on_deadline: stats.flush_on_deadline.load(Ordering::Relaxed),
         flush_on_close: stats.flush_on_close.load(Ordering::Relaxed),
+        wire_refusals: stats.wire_refusals.load(Ordering::Relaxed),
+        refusal_write_failures: stats.refusal_write_failures.load(Ordering::Relaxed),
         draining_models: shared.registry.draining(),
         latency: stats.latency.snapshot(),
         models,

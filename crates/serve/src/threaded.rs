@@ -1,0 +1,306 @@
+//! The legacy thread-per-connection TCP frontend.
+//!
+//! One OS thread per connection, blocking reads with kernel-enforced
+//! socket deadlines, strictly in-order responses. This was the original
+//! wire server; it is kept — renamed [`ThreadedWireServer`] — as the
+//! baseline the event-loop [`WireServer`](crate::eventloop::WireServer)
+//! is benchmarked against (`BENCH_serving_latency.json`, `connections`
+//! axis), and as the simplest-possible reference implementation of the
+//! protocol in [`wire`](crate::wire).
+//!
+//! Its scaling limit is structural: every open connection pins a thread
+//! (stack, scheduler state), so 10k mostly-idle connections cost 10k
+//! threads. The event loop serves the same protocol from a handful of
+//! shards. Both servers share framing, request interpretation, the
+//! [`WireConfig`] knobs, and refusal accounting; this module adds only
+//! the accept loop and the per-connection thread.
+//!
+//! Shutdown is deterministic: the accept loop blocks in an epoll wait on
+//! the listener *and* an eventfd waker, and [`ThreadedWireServer::shutdown`]
+//! fires the waker. (It used to unblock a blocking `accept` by connecting
+//! to itself on loopback — racy against concurrent real connections, and
+//! wrong under exotic routing where loopback cannot reach the bound
+//! address.)
+
+use crate::error::ServeError;
+use crate::runtime::Client;
+use crate::wire::{
+    error_response, interpret, prediction_to_json, read_frame, refuse_stream, with_id, write_frame,
+    WireAction, WireConfig, ACCEPT_ERROR_BACKOFF,
+};
+use std::io::Write;
+use std::net::{Shutdown, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// A handler thread and the stream it serves. The acceptor and the
+/// handler share ONE descriptor through the `Arc` (`&TcpStream`
+/// implements `Read`/`Write`) — a `try_clone` here would double the
+/// process's fd cost per connection, which is exactly what caps out
+/// first at high connection counts.
+struct Connection {
+    handle: JoinHandle<()>,
+    stream: Arc<TcpStream>,
+    done: Arc<AtomicBool>,
+}
+
+/// The thread-per-connection wire server (see the module docs; prefer
+/// [`WireServer`](crate::eventloop::WireServer) for anything beyond a few
+/// hundred connections).
+#[derive(Debug)]
+pub struct ThreadedWireServer {
+    local_addr: std::net::SocketAddr,
+    running: Arc<AtomicBool>,
+    waker: Arc<poll::Waker>,
+    acceptor: Option<JoinHandle<()>>,
+}
+
+impl ThreadedWireServer {
+    /// Binds `addr` and starts serving `client` with default knobs.
+    pub fn start(addr: impl ToSocketAddrs, client: Client) -> Result<Self, ServeError> {
+        Self::start_with(addr, client, WireConfig::default())
+    }
+
+    /// Binds `addr` and starts serving `client` with explicit knobs
+    /// (`config.shards` is ignored — this server's unit of concurrency is
+    /// the connection thread).
+    pub fn start_with(
+        addr: impl ToSocketAddrs,
+        client: Client,
+        config: WireConfig,
+    ) -> Result<Self, ServeError> {
+        config.validate()?;
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let poller = poll::Poller::new()?;
+        let waker = Arc::new(poll::Waker::new()?);
+        poller.register(waker.as_raw_fd(), TOKEN_WAKER, poll::Interest::READABLE)?;
+        // Deepen std's hardcoded 128 backlog so connect storms don't stall
+        // on SYN retransmits (best-effort; kernel-capped at somaxconn).
+        let _ = poll::set_listener_backlog(listener_fd(&listener), 4096);
+        poller.register(
+            listener_fd(&listener),
+            TOKEN_LISTENER,
+            poll::Interest::READABLE,
+        )?;
+        let running = Arc::new(AtomicBool::new(true));
+        let acceptor = {
+            let running = Arc::clone(&running);
+            let waker = Arc::clone(&waker);
+            std::thread::Builder::new()
+                .name("quclassi-wire-accept".to_string())
+                .spawn(move || accept_loop(listener, poller, waker, client, config, running))
+                .map_err(|e| ServeError::Io(format!("failed to spawn acceptor: {e}")))?
+        };
+        Ok(ThreadedWireServer {
+            local_addr,
+            running,
+            waker,
+            acceptor: Some(acceptor),
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> std::net::SocketAddr {
+        self.local_addr
+    }
+
+    /// Stops accepting, closes every open connection, and joins all
+    /// threads.
+    pub fn shutdown(mut self) {
+        self.shutdown_in_place();
+    }
+
+    fn shutdown_in_place(&mut self) {
+        self.running.store(false, Ordering::Release);
+        // Deterministic: the acceptor is parked in epoll_wait on
+        // {listener, waker}; firing the waker returns it immediately.
+        self.waker.wake();
+        if let Some(handle) = self.acceptor.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for ThreadedWireServer {
+    fn drop(&mut self) {
+        self.shutdown_in_place();
+    }
+}
+
+const TOKEN_WAKER: usize = 0;
+const TOKEN_LISTENER: usize = 1;
+
+#[cfg(unix)]
+fn listener_fd(listener: &TcpListener) -> std::os::fd::RawFd {
+    use std::os::fd::AsRawFd;
+    listener.as_raw_fd()
+}
+
+#[cfg(not(unix))]
+fn listener_fd(_listener: &TcpListener) -> std::os::fd::RawFd {
+    unreachable!("the poll shim already refused to construct on this target")
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    poller: poll::Poller,
+    waker: Arc<poll::Waker>,
+    client: Client,
+    config: WireConfig,
+    running: Arc<AtomicBool>,
+) {
+    let mut connections: Vec<Connection> = Vec::new();
+    let mut events = poll::Events::with_capacity(8);
+    while running.load(Ordering::Acquire) {
+        if poller.wait(&mut events, None).is_err() {
+            break;
+        }
+        waker.drain();
+        if !running.load(Ordering::Acquire) {
+            break;
+        }
+        if !events.iter().any(|e| e.token() == TOKEN_LISTENER) {
+            continue;
+        }
+        loop {
+            let (stream, _) = match listener.accept() {
+                Ok(accepted) => accepted,
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    // fd exhaustion (EMFILE/ENFILE) or similar: the
+                    // pending connection keeps the listener readable, so
+                    // breaking straight back into a level-triggered wait
+                    // would spin at 100% CPU. Back off briefly; accepting
+                    // resumes when descriptors free up.
+                    std::thread::sleep(ACCEPT_ERROR_BACKOFF);
+                    break;
+                }
+            };
+            // The listener is nonblocking, so accepted streams inherit
+            // nothing useful — restore blocking semantics for the
+            // per-connection thread.
+            if stream.set_nonblocking(false).is_err() {
+                continue;
+            }
+            // Small response frames + Nagle + delayed ACK = ~40 ms stalls.
+            let _ = stream.set_nodelay(true);
+            // Reap finished handlers before the cap check, so slots freed
+            // by disconnects are reusable.
+            let mut i = 0;
+            while i < connections.len() {
+                if connections[i].done.load(Ordering::Acquire) {
+                    let finished = connections.swap_remove(i);
+                    let _ = finished.handle.join();
+                } else {
+                    i += 1;
+                }
+            }
+            if connections.len() >= config.max_connections {
+                refuse_stream(
+                    stream,
+                    connections.len(),
+                    config.max_connections,
+                    config.write_timeout,
+                    client.runtime_stats(),
+                );
+                continue;
+            }
+            let stream = Arc::new(stream);
+            let done = Arc::new(AtomicBool::new(false));
+            let handle = {
+                let client = client.clone();
+                let config = config.clone();
+                let done = Arc::clone(&done);
+                let stream = Arc::clone(&stream);
+                std::thread::Builder::new()
+                    .name("quclassi-wire-conn".to_string())
+                    // Handlers only frame, parse, and wait on the
+                    // scheduler — a small stack keeps 1k threads cheap.
+                    .stack_size(256 * 1024)
+                    .spawn(move || {
+                        serve_connection(&stream, &client, &config);
+                        done.store(true, Ordering::Release);
+                    })
+            };
+            match handle {
+                Ok(handle) => connections.push(Connection {
+                    handle,
+                    stream,
+                    done,
+                }),
+                Err(_) => {
+                    // Thread exhaustion is saturation by another name.
+                    // (The failed spawn dropped its closure, so this is
+                    // the only reference again.)
+                    if let Ok(stream) = Arc::try_unwrap(stream) {
+                        refuse_stream(
+                            stream,
+                            connections.len(),
+                            config.max_connections,
+                            config.write_timeout,
+                            client.runtime_stats(),
+                        );
+                    }
+                }
+            }
+        }
+    }
+    // Closing the sockets unblocks every handler mid-read; then join.
+    for connection in &connections {
+        let _ = connection.stream.shutdown(Shutdown::Both);
+    }
+    for connection in connections {
+        let _ = connection.handle.join();
+    }
+}
+
+fn serve_connection(stream: &TcpStream, client: &Client, config: &WireConfig) {
+    if stream.set_read_timeout(config.read_timeout).is_err()
+        || stream.set_write_timeout(config.write_timeout).is_err()
+    {
+        return;
+    }
+    // `&TcpStream` is `Read + Write`; all I/O goes through the shared
+    // descriptor, no `try_clone`.
+    let mut stream = stream;
+    loop {
+        let payload = match read_frame(&mut stream) {
+            Ok(Some(payload)) => payload,
+            Ok(None) => return, // clean disconnect
+            Err(e) => {
+                if e.kind() == std::io::ErrorKind::InvalidData {
+                    // Oversized claim: tell the peer why before closing
+                    // (framing cannot be resynchronised afterwards).
+                    let response = error_response(&ServeError::Protocol(e.to_string())).to_string();
+                    let _ = write_frame(&mut stream, response.as_bytes());
+                }
+                return; // deadline, reset, or poisoned framing
+            }
+        };
+        let response = match interpret(&payload, client) {
+            WireAction::Respond(json) => json,
+            WireAction::Predict {
+                model,
+                features,
+                id,
+            } => {
+                // Blocking evaluation: this thread *is* the connection,
+                // so in-order waiting is the natural (and historical)
+                // behaviour even for id-tagged requests.
+                let json = match client.submit(&model, &features).and_then(|p| p.wait()) {
+                    Ok(response) => prediction_to_json(&response),
+                    Err(e) => error_response(&e),
+                };
+                with_id(json, id)
+            }
+        };
+        if write_frame(&mut stream, response.to_string().as_bytes()).is_err() {
+            return;
+        }
+        let _ = stream.flush();
+    }
+}

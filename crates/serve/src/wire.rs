@@ -1,4 +1,5 @@
-//! The wire protocol: length-prefixed JSON over TCP.
+//! The wire protocol: length-prefixed JSON over TCP, with request
+//! multiplexing.
 //!
 //! A deliberately minimal, dependency-free protocol for driving a
 //! [`ServeRuntime`](crate::runtime::ServeRuntime) from another process:
@@ -6,10 +7,24 @@
 //! * **Framing** — every message is a 4-byte big-endian length followed by
 //!   that many bytes of UTF-8 JSON. Framing is independent of payload
 //!   content, so malformed JSON never desynchronises the stream; frames
-//!   above [`MAX_FRAME_BYTES`] are rejected before allocation.
+//!   whose *claimed* length exceeds [`MAX_FRAME_BYTES`] are rejected from
+//!   the header alone, and payload buffers grow only as bytes actually
+//!   arrive — a peer claiming a 16 MiB frame and then trickling (or
+//!   sending nothing) pins at most one read-chunk of memory, not the
+//!   claimed size.
 //! * **Requests** — objects with an `"op"` field:
 //!   `{"op":"predict","model":"iris","features":[0.1,…]}`,
 //!   `{"op":"models"}`, `{"op":"metrics"}`, `{"op":"ping"}`.
+//! * **Request ids / multiplexing** — a request may carry an `"id"` field
+//!   (any JSON value; clients normally use integers). The response echoes
+//!   the same `"id"` verbatim. A connection may have **any number of
+//!   requests in flight**, and responses to id-tagged requests may arrive
+//!   **in any order** — the id, not arrival order, matches a response to
+//!   its request. (In practice control ops answer immediately while
+//!   predictions round-trip through the batching scheduler, so a pipelined
+//!   burst observably reorders.) Requests without an `"id"` are answered
+//!   without one, so a strictly one-at-a-time client — [`WireClient::call`]
+//!   — needs no id bookkeeping.
 //! * **Responses** — `{"ok":true,…}` on success;
 //!   `{"ok":false,"kind":"…","error":"…"}` on failure, where `kind` is the
 //!   stable [`ServeError::kind`] discriminator (`"saturated"` is the
@@ -19,55 +34,61 @@
 //! probabilities and fidelities a remote client parses are bit-identical
 //! to what an in-process [`Client`] receives.
 //!
-//! One OS thread per connection keeps the protocol layer trivial; the
-//! concurrency story lives in the runtime's queue, where every connection
-//! thread is just another producer. Graceful shutdown closes the listener
-//! and joins every connection handler.
-//!
-//! ## Robustness against adversarial / slow clients
-//!
-//! The boundary assumes hostile peers ([`WireConfig`]):
-//!
-//! * **Read/write timeouts** — a client that connects and never sends a
-//!   length header (or never drains its responses) cannot pin its
-//!   connection thread forever: every socket read and write carries a
-//!   deadline, and a timed-out connection is closed.
-//! * **Connection cap** — the accept loop refuses connections beyond
-//!   `max_connections` with a retryable `saturated` wire error instead of
-//!   spawning threads without bound.
-//! * **Frame and parse limits** — frames above [`MAX_FRAME_BYTES`] are
-//!   rejected before allocation, and JSON nesting beyond
-//!   [`crate::json::MAX_PARSE_DEPTH`] is rejected before it can exhaust
-//!   the parser's stack.
+//! Two servers speak this protocol: the readiness-driven event-loop
+//! [`WireServer`](crate::eventloop::WireServer) (the production frontend)
+//! and the legacy thread-per-connection
+//! [`ThreadedWireServer`](crate::threaded::ThreadedWireServer), kept as
+//! the benchmark baseline the event loop is measured against. This module
+//! owns everything both share: framing, request interpretation, response
+//! construction, the robustness knobs ([`WireConfig`]), and the client.
 
 use crate::error::ServeError;
 use crate::json::Json;
+use crate::metrics::RuntimeStats;
 use crate::runtime::{Client, MetricsSnapshot, ServeResponse};
 use std::io::{Read, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex};
-use std::thread::JoinHandle;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::sync::atomic::Ordering;
 use std::time::Duration;
 
-/// Upper bound on a single frame's payload, rejected before allocation.
+/// Upper bound on a single frame's payload, rejected from the length
+/// header alone — before any payload is buffered.
 pub const MAX_FRAME_BYTES: usize = 16 * 1024 * 1024;
+
+/// Granularity of payload reads: buffers grow by at most this much per
+/// read, so memory tracks *received* bytes, never the untrusted claimed
+/// length.
+pub(crate) const READ_CHUNK_BYTES: usize = 64 * 1024;
+
+/// Pause after a persistent `accept` failure (`EMFILE`/`ENFILE` — the
+/// process or system is out of file descriptors). The listener stays
+/// readable while connections are pending, so a level-triggered poll
+/// would otherwise re-report it instantly and turn the accept loop into
+/// a 100%-CPU livelock; backing off keeps the server alive (and every
+/// established connection served) until descriptors free up.
+pub(crate) const ACCEPT_ERROR_BACKOFF: Duration = Duration::from_millis(10);
 
 /// Robustness knobs of the TCP frontend.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct WireConfig {
-    /// Maximum simultaneously open connections; the acceptor answers
-    /// over-cap connections with a retryable `saturated` error frame and
-    /// closes them instead of spawning an unbounded number of handler
-    /// threads.
+    /// Maximum simultaneously open connections; over-cap connections are
+    /// answered with a retryable `saturated` error frame and closed.
     pub max_connections: usize,
-    /// Per-read socket deadline. A peer that stays silent longer —
-    /// including one that never sends a length header — is disconnected.
-    /// `None` disables the deadline (trusted-network use only).
+    /// Idle deadline on the read side: a peer that makes no read progress
+    /// for this long — including one that never sends a length header —
+    /// is disconnected. `None` disables the deadline (trusted-network use
+    /// only).
     pub read_timeout: Option<Duration>,
-    /// Per-write socket deadline; protects against peers that accept a
-    /// request but never drain the response. `None` disables it.
+    /// Deadline for a peer to drain pending responses: a connection with
+    /// buffered output that makes no write progress for this long is
+    /// disconnected. `None` disables it.
     pub write_timeout: Option<Duration>,
+    /// Number of event-loop shards of the
+    /// [`WireServer`](crate::eventloop::WireServer): independent epoll
+    /// loops, each owning a subset of the connections, all feeding the
+    /// same micro-batching scheduler. (Ignored by the legacy
+    /// thread-per-connection server.)
+    pub shards: usize,
 }
 
 impl Default for WireConfig {
@@ -76,15 +97,17 @@ impl Default for WireConfig {
             max_connections: 1024,
             read_timeout: Some(Duration::from_secs(30)),
             write_timeout: Some(Duration::from_secs(30)),
+            shards: 1,
         }
     }
 }
 
 impl WireConfig {
     /// Reads the wire knobs from the environment on top of the defaults:
-    /// `QUCLASSI_MAX_CONNECTIONS` (positive integer) and
+    /// `QUCLASSI_MAX_CONNECTIONS` (positive integer),
     /// `QUCLASSI_WIRE_TIMEOUT_MS` (milliseconds for both read and write;
-    /// `0` disables the deadlines).
+    /// `0` disables the deadlines), and `QUCLASSI_WIRE_SHARDS` (positive
+    /// integer number of event-loop shards).
     ///
     /// # Errors
     /// A variable that is set but malformed is rejected with
@@ -119,15 +142,34 @@ impl WireConfig {
             config.read_timeout = timeout;
             config.write_timeout = timeout;
         }
+        if let Some(raw) = std::env::var("QUCLASSI_WIRE_SHARDS")
+            .ok()
+            .filter(|v| !v.trim().is_empty())
+        {
+            config.shards = match raw.trim().parse::<usize>() {
+                Ok(n) if n > 0 => n,
+                _ => {
+                    return Err(ServeError::InvalidConfig(format!(
+                        "QUCLASSI_WIRE_SHARDS must be a positive integer, got '{raw}'"
+                    )))
+                }
+            };
+        }
         config.validate()?;
         Ok(config)
     }
 
-    /// Checks the invariants (`max_connections ≥ 1`, non-zero deadlines).
+    /// Checks the invariants (`max_connections ≥ 1`, `shards ≥ 1`,
+    /// non-zero deadlines).
     pub fn validate(&self) -> Result<(), ServeError> {
         if self.max_connections == 0 {
             return Err(ServeError::InvalidConfig(
                 "max_connections must be at least 1".to_string(),
+            ));
+        }
+        if self.shards == 0 {
+            return Err(ServeError::InvalidConfig(
+                "shards must be at least 1".to_string(),
             ));
         }
         for (name, timeout) in [
@@ -146,17 +188,39 @@ impl WireConfig {
     }
 }
 
-/// Writes one length-prefixed frame.
+/// Writes one length-prefixed frame. Header and payload go out in a
+/// single write so a request is never split across two TCP segments — a
+/// two-segment frame interacts with Nagle's algorithm and delayed ACKs to
+/// add ~40 ms per round trip on loopback.
 pub fn write_frame(writer: &mut impl Write, payload: &[u8]) -> std::io::Result<()> {
     let len = u32::try_from(payload.len())
         .map_err(|_| std::io::Error::new(std::io::ErrorKind::InvalidInput, "frame too large"))?;
-    writer.write_all(&len.to_be_bytes())?;
-    writer.write_all(payload)?;
+    let mut framed = Vec::with_capacity(4 + payload.len());
+    framed.extend_from_slice(&len.to_be_bytes());
+    framed.extend_from_slice(payload);
+    writer.write_all(&framed)?;
     writer.flush()
+}
+
+/// Appends `payload` as one length-prefixed frame to a byte buffer
+/// (the event loop's enqueue path — same bytes as [`write_frame`], no
+/// syscall).
+pub(crate) fn append_frame(buf: &mut Vec<u8>, payload: &[u8]) {
+    let len = u32::try_from(payload.len()).expect("serialised responses fit u32");
+    buf.extend_from_slice(&len.to_be_bytes());
+    buf.extend_from_slice(payload);
 }
 
 /// Reads one length-prefixed frame. Returns `Ok(None)` on a clean EOF at a
 /// frame boundary (the peer hung up); a mid-frame EOF is an error.
+///
+/// A frame whose claimed length exceeds [`MAX_FRAME_BYTES`] is rejected
+/// from the header alone. The payload buffer grows in
+/// `READ_CHUNK_BYTES` (64 KiB) steps *as bytes arrive*: the untrusted length
+/// header never drives an allocation, so a peer claiming a maximum-size
+/// frame and then stalling pins one read chunk, not 16 MiB. (This used to
+/// allocate the full claimed size up front — a handful of idle
+/// connections each claiming a max frame could pin gigabytes.)
 pub fn read_frame(reader: &mut impl Read) -> std::io::Result<Option<Vec<u8>>> {
     let mut header = [0u8; 4];
     let mut filled = 0;
@@ -179,204 +243,154 @@ pub fn read_frame(reader: &mut impl Read) -> std::io::Result<Option<Vec<u8>>> {
             format!("frame of {len} bytes exceeds the {MAX_FRAME_BYTES}-byte limit"),
         ));
     }
-    let mut payload = vec![0u8; len];
-    reader.read_exact(&mut payload)?;
+    let mut payload = Vec::new();
+    while payload.len() < len {
+        let target = (payload.len() + READ_CHUNK_BYTES).min(len);
+        let start = payload.len();
+        payload.resize(target, 0);
+        let mut at = start;
+        while at < target {
+            match reader.read(&mut payload[at..target])? {
+                0 => {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::UnexpectedEof,
+                        "EOF inside frame payload",
+                    ))
+                }
+                n => at += n,
+            }
+        }
+    }
     Ok(Some(payload))
 }
 
-/// A TCP frontend serving the wire protocol on top of an in-process
-/// [`Client`].
-#[derive(Debug)]
-pub struct WireServer {
-    local_addr: SocketAddr,
-    shutdown: Arc<AtomicBool>,
-    accept_thread: Option<JoinHandle<()>>,
-    connections: Arc<Mutex<Vec<Connection>>>,
+/// Incremental length-prefixed frame assembly for nonblocking sockets.
+///
+/// Bytes are [`FrameDecoder::extend`]ed as they arrive (in whatever
+/// chunking the network produced — mid-header, mid-payload, several frames
+/// at once) and complete frames are popped with
+/// [`FrameDecoder::next_frame`]. By construction the decoder buffers only
+/// bytes that were actually received: the claimed length in a frame header
+/// is *checked* (frames above [`MAX_FRAME_BYTES`] are rejected as soon as
+/// the 4 header bytes are in) but never allocated for.
+#[derive(Debug, Default)]
+pub struct FrameDecoder {
+    buf: Vec<u8>,
+    /// Bytes of `buf` already handed out as frames, compacted lazily.
+    pos: usize,
 }
 
-/// An accepted connection: its handler thread plus a handle to the socket
-/// so shutdown can unblock a handler parked in `read_frame` on an idle but
-/// still-open peer.
-#[derive(Debug)]
-struct Connection {
-    handle: JoinHandle<()>,
-    stream: TcpStream,
-}
-
-impl WireServer {
-    /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and
-    /// starts accepting connections, each served on its own thread, under
-    /// the default [`WireConfig`] (1024-connection cap, 30 s socket
-    /// deadlines). Deployments that want the environment knobs
-    /// (`QUCLASSI_MAX_CONNECTIONS` / `QUCLASSI_WIRE_TIMEOUT_MS`) should
-    /// use [`WireServer::start_with`] with [`WireConfig::from_env`], as
-    /// the serving example does.
-    pub fn start(addr: impl ToSocketAddrs, client: Client) -> Result<Self, ServeError> {
-        Self::start_with(addr, client, WireConfig::default())
+impl FrameDecoder {
+    /// Creates an empty decoder.
+    pub fn new() -> Self {
+        FrameDecoder::default()
     }
 
-    /// [`WireServer::start`] with explicit robustness knobs.
-    pub fn start_with(
-        addr: impl ToSocketAddrs,
-        client: Client,
-        config: WireConfig,
-    ) -> Result<Self, ServeError> {
-        config.validate()?;
-        let listener = TcpListener::bind(addr)?;
-        let local_addr = listener.local_addr()?;
-        let shutdown = Arc::new(AtomicBool::new(false));
-        let connections: Arc<Mutex<Vec<Connection>>> = Arc::new(Mutex::new(Vec::new()));
-        let accept_thread = {
-            let shutdown = Arc::clone(&shutdown);
-            let connections = Arc::clone(&connections);
-            std::thread::Builder::new()
-                .name("quclassi-serve-accept".to_string())
-                .spawn(move || {
-                    for stream in listener.incoming() {
-                        if shutdown.load(Ordering::SeqCst) {
-                            break;
-                        }
-                        let Ok(stream) = stream else { continue };
-                        // Arm the per-socket deadlines before the first
-                        // read, so even the initial header cannot park a
-                        // handler forever.
-                        if stream.set_read_timeout(config.read_timeout).is_err()
-                            || stream.set_write_timeout(config.write_timeout).is_err()
-                        {
-                            continue;
-                        }
-                        let Ok(stream_for_shutdown) = stream.try_clone() else {
-                            continue;
-                        };
-                        let mut conns = connections.lock().unwrap_or_else(|e| e.into_inner());
-                        // Reap finished handlers so a long-lived server does
-                        // not accumulate them — and so the cap below counts
-                        // only genuinely live connections.
-                        conns.retain(|c| !c.handle.is_finished());
-                        if conns.len() >= config.max_connections {
-                            let open = conns.len();
-                            drop(conns);
-                            refuse_connection(stream, open, config.max_connections);
-                            continue;
-                        }
-                        drop(conns);
-                        let client = client.clone();
-                        let handle = std::thread::Builder::new()
-                            .name("quclassi-serve-conn".to_string())
-                            .spawn(move || serve_connection(stream, &client));
-                        if let Ok(handle) = handle {
-                            let mut conns = connections.lock().unwrap_or_else(|e| e.into_inner());
-                            conns.push(Connection {
-                                handle,
-                                stream: stream_for_shutdown,
-                            });
-                        }
-                    }
-                })
-                .map_err(|e| ServeError::Io(format!("cannot spawn acceptor: {e}")))?
-        };
-        Ok(WireServer {
-            local_addr,
-            shutdown,
-            accept_thread: Some(accept_thread),
-            connections,
-        })
-    }
-
-    /// The bound address (useful with an ephemeral port).
-    pub fn local_addr(&self) -> SocketAddr {
-        self.local_addr
-    }
-
-    /// Stops accepting, disconnects every open connection at its next
-    /// frame boundary, joins the handlers, and returns once the listener
-    /// is fully down. A request already handed to the runtime completes
-    /// (the runtime's own graceful shutdown guarantees an answer), but its
-    /// reply may no longer reach a disconnecting peer.
-    pub fn shutdown(mut self) {
-        self.shutdown_in_place();
-    }
-
-    fn shutdown_in_place(&mut self) {
-        if self.shutdown.swap(true, Ordering::SeqCst) {
-            return;
-        }
-        // Unblock the accept loop with a throwaway connection.
-        let _ = TcpStream::connect(self.local_addr);
-        if let Some(handle) = self.accept_thread.take() {
-            let _ = handle.join();
-        }
-        let connections: Vec<Connection> =
-            std::mem::take(&mut *self.connections.lock().unwrap_or_else(|e| e.into_inner()));
-        for connection in connections {
-            // Handlers park in `read_frame` on idle-but-open peers; closing
-            // the socket turns that into an EOF so the join cannot hang.
-            let _ = connection.stream.shutdown(std::net::Shutdown::Both);
-            let _ = connection.handle.join();
-        }
-    }
-}
-
-impl Drop for WireServer {
-    fn drop(&mut self) {
-        self.shutdown_in_place();
-    }
-}
-
-/// Answers an over-cap connection with a retryable `saturated` error frame
-/// and closes it. Best-effort: a peer that cannot even take the error
-/// frame is simply dropped.
-fn refuse_connection(mut stream: TcpStream, open: usize, capacity: usize) {
-    let response = error_response(&ServeError::Saturated {
-        depth: open,
-        capacity,
-    });
-    let _ = write_frame(&mut stream, response.to_string().as_bytes());
-    let _ = stream.shutdown(std::net::Shutdown::Both);
-}
-
-fn serve_connection(stream: TcpStream, client: &Client) {
-    let mut reader = match stream.try_clone() {
-        Ok(r) => r,
-        Err(_) => return,
-    };
-    let mut writer = stream;
-    loop {
-        let payload = match read_frame(&mut reader) {
-            Ok(Some(payload)) => payload,
-            // Peer hung up, stream broken, or the read deadline fired (a
-            // silent/slow client). Shut the socket down explicitly: the
-            // server's shutdown bookkeeping holds another clone of this
-            // stream, so merely dropping ours would leave the peer's
-            // connection half-open instead of surfacing the disconnect.
-            Ok(None) | Err(_) => {
-                let _ = writer.shutdown(std::net::Shutdown::Both);
-                return;
+    /// Appends newly received bytes.
+    ///
+    /// # Errors
+    /// Fails when the pending frame's header claims more than
+    /// [`MAX_FRAME_BYTES`]; the connection should be answered with a
+    /// protocol error and closed (the stream cannot be resynchronised).
+    pub fn extend(&mut self, bytes: &[u8]) -> Result<(), ServeError> {
+        self.buf.extend_from_slice(bytes);
+        if let Some(claimed) = self.pending_claim() {
+            if claimed > MAX_FRAME_BYTES {
+                return Err(ServeError::Protocol(format!(
+                    "frame of {claimed} bytes exceeds the {MAX_FRAME_BYTES}-byte limit"
+                )));
             }
-        };
-        let response = dispatch(&payload, client);
-        if write_frame(&mut writer, response.to_string().as_bytes()).is_err() {
-            let _ = writer.shutdown(std::net::Shutdown::Both);
-            return;
         }
+        Ok(())
+    }
+
+    /// The claimed payload length of the frame currently being assembled,
+    /// once its 4 header bytes are in.
+    fn pending_claim(&self) -> Option<usize> {
+        let avail = self.buf.len() - self.pos;
+        if avail < 4 {
+            return None;
+        }
+        let header: [u8; 4] = self.buf[self.pos..self.pos + 4]
+            .try_into()
+            .expect("4 bytes");
+        Some(u32::from_be_bytes(header) as usize)
+    }
+
+    /// Pops the next complete frame's payload, if one has fully arrived.
+    pub fn next_frame(&mut self) -> Option<Vec<u8>> {
+        let len = self.pending_claim()?;
+        let avail = self.buf.len() - self.pos;
+        if avail < 4 + len {
+            return None;
+        }
+        let frame = self.buf[self.pos + 4..self.pos + 4 + len].to_vec();
+        self.pos += 4 + len;
+        // Compact once the dead prefix dominates, so the buffer cannot
+        // creep upward across many frames.
+        if self.pos >= READ_CHUNK_BYTES || self.pos == self.buf.len() {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+        Some(frame)
+    }
+
+    /// Number of received-but-unconsumed bytes currently buffered.
+    pub fn buffered(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Capacity of the internal buffer — what the decoder actually pins.
+    /// Tracks received bytes (plus amortised growth slack), never the
+    /// claimed frame length; the trickle-attack regression test pins this.
+    pub fn buffer_capacity(&self) -> usize {
+        self.buf.capacity()
     }
 }
 
-fn dispatch(payload: &[u8], client: &Client) -> Json {
+/// What a received frame asks the server to do: answer immediately
+/// (control ops, malformed requests), or submit a prediction whose
+/// response arrives asynchronously from the scheduler.
+pub(crate) enum WireAction {
+    /// A complete response, ready to send (already id-tagged).
+    Respond(Json),
+    /// A well-formed predict request: submit it, echo `id` on completion.
+    Predict {
+        /// Registry model name.
+        model: String,
+        /// Raw feature vector (validated at admission).
+        features: Vec<f64>,
+        /// The request's `"id"` value, echoed verbatim on the response.
+        id: Option<Json>,
+    },
+}
+
+/// Interprets one frame payload. Control ops (`ping`/`models`/`metrics`)
+/// and every error path produce an immediate [`WireAction::Respond`];
+/// well-formed predict requests become [`WireAction::Predict`] so the
+/// caller chooses between blocking evaluation (threaded server) and
+/// submit-and-multiplex (event loop).
+pub(crate) fn interpret(payload: &[u8], client: &Client) -> WireAction {
     let request = match std::str::from_utf8(payload)
         .map_err(|_| ServeError::Protocol("frame is not UTF-8".to_string()))
         .and_then(Json::parse)
     {
         Ok(v) => v,
-        Err(e) => return error_response(&e),
+        // The id cannot be recovered from an unparsable frame.
+        Err(e) => return WireAction::Respond(error_response(&e)),
     };
+    let id = request.get("id").cloned();
+    let respond = |json: Json| WireAction::Respond(with_id(json, id.clone()));
     let Some(op) = request.get("op").and_then(Json::as_str) else {
-        return error_response(&ServeError::Protocol(
+        return respond(error_response(&ServeError::Protocol(
             "request must be an object with a string 'op' field".to_string(),
-        ));
+        )));
     };
     match op {
-        "ping" => Json::obj(vec![("ok", Json::Bool(true)), ("op", Json::str("ping"))]),
+        "ping" => respond(Json::obj(vec![
+            ("ok", Json::Bool(true)),
+            ("op", Json::str("ping")),
+        ])),
         "models" => {
             let models = client
                 .models()
@@ -388,47 +402,59 @@ fn dispatch(payload: &[u8], client: &Client) -> Json {
                     ])
                 })
                 .collect();
-            Json::obj(vec![
+            respond(Json::obj(vec![
                 ("ok", Json::Bool(true)),
                 ("models", Json::Arr(models)),
-            ])
+            ]))
         }
-        "metrics" => Json::obj(vec![
+        "metrics" => respond(Json::obj(vec![
             ("ok", Json::Bool(true)),
             ("metrics", metrics_to_json(&client.metrics())),
-        ]),
+        ])),
         "predict" => {
             let Some(model) = request.get("model").and_then(Json::as_str) else {
-                return error_response(&ServeError::Protocol(
+                return respond(error_response(&ServeError::Protocol(
                     "predict needs a string 'model' field".to_string(),
-                ));
+                )));
             };
             let Some(features) = request.get("features").and_then(Json::as_arr) else {
-                return error_response(&ServeError::Protocol(
+                return respond(error_response(&ServeError::Protocol(
                     "predict needs a 'features' array".to_string(),
-                ));
+                )));
             };
             let mut x = Vec::with_capacity(features.len());
             for item in features {
                 match item.as_f64() {
                     Some(v) => x.push(v),
                     None => {
-                        return error_response(&ServeError::Protocol(
+                        return respond(error_response(&ServeError::Protocol(
                             "'features' must contain only numbers".to_string(),
-                        ))
+                        )))
                     }
                 }
             }
-            match client.predict(model, &x) {
-                Ok(response) => prediction_to_json(&response),
-                Err(e) => error_response(&e),
+            WireAction::Predict {
+                model: model.to_string(),
+                features: x,
+                id,
             }
         }
-        other => error_response(&ServeError::Protocol(format!("unknown op '{other}'"))),
+        other => respond(error_response(&ServeError::Protocol(format!(
+            "unknown op '{other}'"
+        )))),
     }
 }
 
-fn error_response(e: &ServeError) -> Json {
+/// Echoes a request's `"id"` onto a response object (the multiplexing
+/// contract: responses are matched by id, not arrival order).
+pub(crate) fn with_id(mut response: Json, id: Option<Json>) -> Json {
+    if let (Json::Obj(fields), Some(id)) = (&mut response, id) {
+        fields.push(("id".to_string(), id));
+    }
+    response
+}
+
+pub(crate) fn error_response(e: &ServeError) -> Json {
     let mut fields = vec![
         ("ok", Json::Bool(false)),
         ("kind", Json::str(e.kind())),
@@ -443,13 +469,39 @@ fn error_response(e: &ServeError) -> Json {
     Json::obj(fields)
 }
 
+/// Answers an over-cap connection with a retryable `saturated` error frame
+/// and closes it, counting the refusal — and, separately, a refusal whose
+/// error frame could not be delivered: a peer that never saw the
+/// backpressure signal is operationally different from a served refusal,
+/// so the failure is counted in [`RuntimeStats`] rather than silently
+/// discarded (it used to be dropped on the floor).
+pub(crate) fn refuse_stream(
+    mut stream: TcpStream,
+    open: usize,
+    capacity: usize,
+    write_timeout: Option<Duration>,
+    stats: &RuntimeStats,
+) {
+    stats.wire_refusals.fetch_add(1, Ordering::Relaxed);
+    let response = error_response(&ServeError::Saturated {
+        depth: open,
+        capacity,
+    });
+    let delivered = stream.set_write_timeout(write_timeout).is_ok()
+        && write_frame(&mut stream, response.to_string().as_bytes()).is_ok();
+    if !delivered {
+        stats.refusal_write_failures.fetch_add(1, Ordering::Relaxed);
+    }
+    let _ = stream.shutdown(std::net::Shutdown::Both);
+}
+
 /// Reconstructs a [`ServeError`] from a wire error response, preserving
 /// the `kind` contract: `"saturated"` maps back to a retryable
 /// [`ServeError::Saturated`], `"bad_request"` to a client-attributable
 /// model error, and so on. Only `"model_error"` (a server-internal model
 /// failure whose concrete cause cannot cross the wire) degrades to
 /// [`ServeError::Io`].
-fn error_from_wire(response: &Json, fallback_model: &str) -> ServeError {
+pub(crate) fn error_from_wire(response: &Json, fallback_model: &str) -> ServeError {
     let message = response
         .get("error")
         .and_then(Json::as_str)
@@ -470,7 +522,7 @@ fn error_from_wire(response: &Json, fallback_model: &str) -> ServeError {
     }
 }
 
-fn prediction_to_json(response: &ServeResponse) -> Json {
+pub(crate) fn prediction_to_json(response: &ServeResponse) -> Json {
     let p = &response.prediction;
     Json::obj(vec![
         ("ok", Json::Bool(true)),
@@ -517,6 +569,11 @@ fn metrics_to_json(m: &MetricsSnapshot) -> Json {
         ("flush_on_size", Json::Num(m.flush_on_size as f64)),
         ("flush_on_deadline", Json::Num(m.flush_on_deadline as f64)),
         ("flush_on_close", Json::Num(m.flush_on_close as f64)),
+        ("wire_refusals", Json::Num(m.wire_refusals as f64)),
+        (
+            "refusal_write_failures",
+            Json::Num(m.refusal_write_failures as f64),
+        ),
         ("draining_models", Json::Num(m.draining_models as f64)),
         ("throughput_rps", Json::Num(m.throughput_rps())),
         ("p50_us", Json::Num(m.latency.p50_us())),
@@ -541,53 +598,12 @@ pub struct WirePrediction {
     pub fidelities: Vec<f64>,
 }
 
-/// A minimal blocking client for the wire protocol (used by tests, the
-/// serving example, and as a reference implementation for other
-/// languages).
-#[derive(Debug)]
-pub struct WireClient {
-    stream: TcpStream,
-}
-
-impl WireClient {
-    /// Connects to a [`WireServer`].
-    pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, ServeError> {
-        Ok(WireClient {
-            stream: TcpStream::connect(addr)?,
-        })
-    }
-
-    /// Sends one request object and reads one response object.
-    pub fn call(&mut self, request: &Json) -> Result<Json, ServeError> {
-        write_frame(&mut self.stream, request.to_string().as_bytes())?;
-        let payload = read_frame(&mut self.stream)?
-            .ok_or_else(|| ServeError::Io("server closed the connection".to_string()))?;
-        let text = std::str::from_utf8(&payload)
-            .map_err(|_| ServeError::Protocol("response is not UTF-8".to_string()))?;
-        Json::parse(text)
-    }
-
-    /// Round-trips a ping.
-    pub fn ping(&mut self) -> Result<(), ServeError> {
-        let response = self.call(&Json::obj(vec![("op", Json::str("ping"))]))?;
-        if response.get("ok").and_then(Json::as_bool) == Some(true) {
-            Ok(())
-        } else {
-            Err(ServeError::Protocol(format!("unexpected pong: {response}")))
-        }
-    }
-
-    /// Requests a prediction, surfacing server-side errors as their
-    /// [`ServeError`] kinds.
-    pub fn predict(&mut self, model: &str, x: &[f64]) -> Result<WirePrediction, ServeError> {
-        let request = Json::obj(vec![
-            ("op", Json::str("predict")),
-            ("model", Json::str(model)),
-            ("features", Json::nums(x)),
-        ]);
-        let response = self.call(&request)?;
+impl WirePrediction {
+    /// Parses a successful predict response; errors reconstruct their
+    /// [`ServeError`] kinds via the wire `kind` contract.
+    pub fn from_response(response: &Json, fallback_model: &str) -> Result<Self, ServeError> {
         if response.get("ok").and_then(Json::as_bool) != Some(true) {
-            return Err(error_from_wire(&response, model));
+            return Err(error_from_wire(response, fallback_model));
         }
         let parse = || -> Option<WirePrediction> {
             Some(WirePrediction {
@@ -610,6 +626,97 @@ impl WireClient {
         };
         parse()
             .ok_or_else(|| ServeError::Protocol(format!("malformed predict response: {response}")))
+    }
+}
+
+/// A minimal blocking client for the wire protocol (used by tests, the
+/// serving example, and as a reference implementation for other
+/// languages). Supports both one-at-a-time calls ([`WireClient::call`],
+/// [`WireClient::predict`]) and id-tagged pipelining
+/// ([`WireClient::send_predict`] / [`WireClient::recv_response`]): send
+/// any number of requests without waiting, then match responses by id in
+/// whatever order the server delivers them.
+#[derive(Debug)]
+pub struct WireClient {
+    stream: TcpStream,
+    next_id: u64,
+}
+
+impl WireClient {
+    /// Connects to a wire server.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, ServeError> {
+        let stream = TcpStream::connect(addr)?;
+        // Request/response over small frames is exactly the shape Nagle's
+        // algorithm penalises.
+        stream.set_nodelay(true)?;
+        Ok(WireClient { stream, next_id: 1 })
+    }
+
+    /// Sends one request object and reads one response object (no id;
+    /// strictly one request in flight).
+    pub fn call(&mut self, request: &Json) -> Result<Json, ServeError> {
+        write_frame(&mut self.stream, request.to_string().as_bytes())?;
+        let (_, response) = self.recv_response()?;
+        Ok(response)
+    }
+
+    /// Pipelines a predict request: writes the frame tagged with a fresh
+    /// id and returns immediately — match the response by id via
+    /// [`WireClient::recv_response`].
+    pub fn send_predict(&mut self, model: &str, x: &[f64]) -> Result<u64, ServeError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        let request = Json::obj(vec![
+            ("op", Json::str("predict")),
+            ("model", Json::str(model)),
+            ("features", Json::nums(x)),
+            ("id", Json::Num(id as f64)),
+        ]);
+        write_frame(&mut self.stream, request.to_string().as_bytes())?;
+        Ok(id)
+    }
+
+    /// Pipelines an arbitrary request object, tagging it with a fresh id.
+    pub fn send_request(&mut self, request: &Json) -> Result<u64, ServeError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        let tagged = with_id(request.clone(), Some(Json::Num(id as f64)));
+        write_frame(&mut self.stream, tagged.to_string().as_bytes())?;
+        Ok(id)
+    }
+
+    /// Blocks for the next response frame, returning its echoed id (if
+    /// any) and the parsed response object.
+    pub fn recv_response(&mut self) -> Result<(Option<u64>, Json), ServeError> {
+        let payload = read_frame(&mut self.stream)?
+            .ok_or_else(|| ServeError::Io("server closed the connection".to_string()))?;
+        let text = std::str::from_utf8(&payload)
+            .map_err(|_| ServeError::Protocol("response is not UTF-8".to_string()))?;
+        let response = Json::parse(text)?;
+        let id = response.get("id").and_then(Json::as_u64);
+        Ok((id, response))
+    }
+
+    /// Round-trips a ping.
+    pub fn ping(&mut self) -> Result<(), ServeError> {
+        let response = self.call(&Json::obj(vec![("op", Json::str("ping"))]))?;
+        if response.get("ok").and_then(Json::as_bool) == Some(true) {
+            Ok(())
+        } else {
+            Err(ServeError::Protocol(format!("unexpected pong: {response}")))
+        }
+    }
+
+    /// Requests a prediction, surfacing server-side errors as their
+    /// [`ServeError`] kinds.
+    pub fn predict(&mut self, model: &str, x: &[f64]) -> Result<WirePrediction, ServeError> {
+        let request = Json::obj(vec![
+            ("op", Json::str("predict")),
+            ("model", Json::str(model)),
+            ("features", Json::nums(x)),
+        ]);
+        let response = self.call(&request)?;
+        WirePrediction::from_response(&response, model)
     }
 
     /// Fetches the server's metrics object.
@@ -685,6 +792,12 @@ mod tests {
         assert_eq!(read_frame(&mut cursor).unwrap().unwrap(), b"");
         assert_eq!(read_frame(&mut cursor).unwrap().unwrap(), "ψ∿".as_bytes());
         assert!(read_frame(&mut cursor).unwrap().is_none(), "clean EOF");
+        // append_frame produces byte-identical framing to write_frame.
+        let mut appended = Vec::new();
+        append_frame(&mut appended, b"hello");
+        append_frame(&mut appended, b"");
+        append_frame(&mut appended, "ψ∿".as_bytes());
+        assert_eq!(appended, buf);
     }
 
     #[test]
@@ -702,5 +815,208 @@ mod tests {
         let huge = (MAX_FRAME_BYTES as u32 + 1).to_be_bytes();
         let mut cursor = &huge[..];
         assert!(read_frame(&mut cursor).is_err());
+    }
+
+    /// A reader that reveals how much `read_frame` asks for at once — the
+    /// observable difference between allocate-the-claim-up-front (one
+    /// claimed-size read) and incremental growth (chunked reads).
+    struct ChunkSpy<'a> {
+        data: &'a [u8],
+        max_requested: usize,
+    }
+
+    impl Read for ChunkSpy<'_> {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            self.max_requested = self.max_requested.max(buf.len());
+            let n = buf.len().min(self.data.len());
+            buf[..n].copy_from_slice(&self.data[..n]);
+            self.data = &self.data[n..];
+            Ok(n)
+        }
+    }
+
+    #[test]
+    fn read_frame_grows_with_received_bytes_not_the_claimed_length() {
+        // Regression for the trickle attack: the payload buffer used to be
+        // allocated at the untrusted claimed length before any payload
+        // arrived (16 MiB per idle connection). The incremental reader
+        // never requests (= never allocates) more than one chunk at a
+        // time.
+        let payload = vec![7u8; 1_000_000];
+        let mut framed = Vec::new();
+        write_frame(&mut framed, &payload).unwrap();
+        let mut spy = ChunkSpy {
+            data: &framed,
+            max_requested: 0,
+        };
+        let got = read_frame(&mut spy).unwrap().unwrap();
+        assert_eq!(got, payload);
+        assert!(
+            spy.max_requested <= READ_CHUNK_BYTES,
+            "read_frame requested {} bytes at once — buffering is driven \
+             by the claimed length again",
+            spy.max_requested
+        );
+    }
+
+    #[test]
+    fn frame_decoder_assembles_across_arbitrary_splits() {
+        // Three frames, fed at every possible byte boundary: the decoder
+        // must produce identical frames regardless of chunking.
+        let mut stream_bytes = Vec::new();
+        write_frame(&mut stream_bytes, b"alpha").unwrap();
+        write_frame(&mut stream_bytes, b"").unwrap();
+        write_frame(&mut stream_bytes, "βγ".as_bytes()).unwrap();
+        for split in 0..=stream_bytes.len() {
+            let mut decoder = FrameDecoder::new();
+            let mut frames = Vec::new();
+            for part in [&stream_bytes[..split], &stream_bytes[split..]] {
+                decoder.extend(part).unwrap();
+                while let Some(frame) = decoder.next_frame() {
+                    frames.push(frame);
+                }
+            }
+            assert_eq!(
+                frames,
+                vec![b"alpha".to_vec(), b"".to_vec(), "βγ".as_bytes().to_vec()],
+                "split at byte {split}"
+            );
+        }
+        // Byte-at-a-time: the worst chunking the network can produce.
+        let mut decoder = FrameDecoder::new();
+        let mut frames = Vec::new();
+        for byte in &stream_bytes {
+            decoder.extend(std::slice::from_ref(byte)).unwrap();
+            while let Some(frame) = decoder.next_frame() {
+                frames.push(frame);
+            }
+        }
+        assert_eq!(frames.len(), 3);
+        assert_eq!(decoder.buffered(), 0);
+    }
+
+    #[test]
+    fn frame_decoder_rejects_oversized_claims_without_buffering_them() {
+        let mut decoder = FrameDecoder::new();
+        let claim = ((MAX_FRAME_BYTES + 1) as u32).to_be_bytes();
+        // Header arrives split: no rejection until the claim is complete.
+        decoder.extend(&claim[..2]).unwrap();
+        let err = decoder.extend(&claim[2..]).unwrap_err();
+        assert_eq!(err.kind(), "protocol");
+    }
+
+    #[test]
+    fn frame_decoder_pins_received_bytes_not_claimed_bytes() {
+        // The trickle attack, decoder-shaped: claim MAX_FRAME_BYTES, send
+        // a handful of payload bytes, go idle. The decoder must hold the
+        // arrived bytes only.
+        let mut decoder = FrameDecoder::new();
+        let claim = (MAX_FRAME_BYTES as u32).to_be_bytes();
+        decoder.extend(&claim).unwrap();
+        decoder.extend(&[0u8; 10]).unwrap();
+        assert_eq!(decoder.buffered(), 14);
+        assert!(
+            decoder.buffer_capacity() < 1024 * 1024,
+            "decoder pinned {} bytes for a frame of which only 14 arrived",
+            decoder.buffer_capacity()
+        );
+        assert!(decoder.next_frame().is_none());
+    }
+
+    #[test]
+    fn frame_decoder_compacts_consumed_prefixes() {
+        let mut decoder = FrameDecoder::new();
+        let mut frame = Vec::new();
+        write_frame(&mut frame, &vec![3u8; 32 * 1024]).unwrap();
+        for _ in 0..64 {
+            decoder.extend(&frame).unwrap();
+            assert!(decoder.next_frame().is_some());
+        }
+        assert_eq!(decoder.buffered(), 0);
+        assert!(
+            decoder.buffer_capacity() <= 4 * frame.len(),
+            "dead prefix never compacted: capacity {}",
+            decoder.buffer_capacity()
+        );
+    }
+
+    #[test]
+    fn refusal_write_failures_are_counted_not_discarded() {
+        // Regression: handle_saturation used to discard the write_frame
+        // error, making a refused client that never received the frame
+        // indistinguishable from a served refusal.
+        let stats = RuntimeStats::default();
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+
+        // A healthy peer: refusal delivered, no failure counted.
+        let peer = TcpStream::connect(addr).unwrap();
+        let (server_side, _) = listener.accept().unwrap();
+        refuse_stream(server_side, 3, 2, Some(Duration::from_secs(1)), &stats);
+        let mut peer_reader = peer;
+        let frame = read_frame(&mut peer_reader).unwrap().unwrap();
+        let response = Json::parse(std::str::from_utf8(&frame).unwrap()).unwrap();
+        assert_eq!(
+            response.get("kind").and_then(Json::as_str),
+            Some("saturated")
+        );
+        assert_eq!(stats.wire_refusals.load(Ordering::Relaxed), 1);
+        assert_eq!(stats.refusal_write_failures.load(Ordering::Relaxed), 0);
+
+        // A peer whose socket is already dead on the server side: the
+        // refusal write fails deterministically (our half is shut down)
+        // and must be counted.
+        let _peer2 = TcpStream::connect(addr).unwrap();
+        let (server_side, _) = listener.accept().unwrap();
+        server_side.shutdown(std::net::Shutdown::Both).unwrap();
+        refuse_stream(server_side, 3, 2, Some(Duration::from_secs(1)), &stats);
+        assert_eq!(stats.wire_refusals.load(Ordering::Relaxed), 2);
+        assert_eq!(stats.refusal_write_failures.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn ids_echo_verbatim_on_responses_and_errors() {
+        use crate::runtime::{ServeConfig, ServeRuntime};
+        use quclassi_sim::batch::BatchExecutor;
+        let runtime =
+            ServeRuntime::start(ServeConfig::default(), BatchExecutor::single_threaded(0)).unwrap();
+        let client = runtime.client();
+        // Control op echoes a numeric id.
+        let action = interpret(br#"{"op":"ping","id":42}"#, &client);
+        let WireAction::Respond(response) = action else {
+            panic!("ping is a control op");
+        };
+        assert_eq!(response.get("id").and_then(Json::as_u64), Some(42));
+        // Errors echo the id too (a pipelined client must be able to match
+        // failures to requests).
+        let action = interpret(br#"{"op":"teleport","id":7}"#, &client);
+        let WireAction::Respond(response) = action else {
+            panic!("unknown op responds immediately");
+        };
+        assert_eq!(response.get("ok").and_then(Json::as_bool), Some(false));
+        assert_eq!(response.get("id").and_then(Json::as_u64), Some(7));
+        // Non-numeric ids are legal and echo verbatim.
+        let action = interpret(br#"{"op":"ping","id":"req-a"}"#, &client);
+        let WireAction::Respond(response) = action else {
+            panic!("ping is a control op");
+        };
+        assert_eq!(response.get("id").and_then(Json::as_str), Some("req-a"));
+        // A predict request carries its id through to the deferred path.
+        let action = interpret(
+            br#"{"op":"predict","model":"m","features":[0.1],"id":9}"#,
+            &client,
+        );
+        let WireAction::Predict {
+            model,
+            features,
+            id,
+        } = action
+        else {
+            panic!("well-formed predict defers");
+        };
+        assert_eq!(model, "m");
+        assert_eq!(features, vec![0.1]);
+        assert_eq!(id.as_ref().and_then(Json::as_u64), Some(9));
+        runtime.shutdown();
     }
 }

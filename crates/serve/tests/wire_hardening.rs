@@ -120,6 +120,21 @@ fn connections_beyond_the_cap_get_a_retryable_saturated_error() {
     );
     assert_eq!(response.get("capacity").and_then(Json::as_u64), Some(2));
 
+    // The refusal is counted — and counted as *delivered*: the error
+    // frame reached the peer, so the write-failure counter stays zero.
+    // (Refusal-write failures used to be silently discarded; the unit
+    // test in wire.rs pins the failing-write side of this counter.)
+    let metrics = first.metrics().unwrap();
+    assert!(
+        metrics.get("wire_refusals").and_then(Json::as_u64).unwrap() >= 1,
+        "over-cap refusals must be counted"
+    );
+    assert_eq!(
+        metrics.get("refusal_write_failures").and_then(Json::as_u64),
+        Some(0),
+        "this refusal frame was delivered, not dropped"
+    );
+
     // The capped connections are unaffected…
     first.ping().unwrap();
     second.ping().unwrap();

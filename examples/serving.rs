@@ -110,6 +110,28 @@ fn main() {
         remote.version,
         percent(remote.probabilities[remote.label])
     );
+
+    // 5b. Request multiplexing: pipeline several predictions on the one
+    //     connection without reading a response in between. Every request
+    //     carries an auto-assigned `id` echoed verbatim on its response —
+    //     the id, not arrival order, pairs them (the event loop may
+    //     complete batches out of submission order).
+    let mut pending = std::collections::BTreeSet::new();
+    for x in test_x.iter().take(4) {
+        pending.insert(wire.send_predict("iris", x).unwrap());
+    }
+    while !pending.is_empty() {
+        let (id, response) = wire.recv_response().unwrap();
+        let id = id.expect("id-tagged request gets an id-tagged response");
+        assert!(pending.remove(&id), "response carries an unknown id");
+        assert_eq!(
+            response
+                .get("ok")
+                .and_then(quclassi_serve::json::Json::as_bool),
+            Some(true)
+        );
+    }
+    println!("pipelined 4 id-tagged predictions on one connection");
     server.shutdown();
 
     // 6. Metrics: latency percentiles, batching efficiency, cache hits.

@@ -1,0 +1,685 @@
+//! Offline vendored minimal readiness-polling shim.
+//!
+//! The build container has no network access to crates.io, so — exactly as
+//! `rand`/`proptest`/`criterion`/`threadpool` are vendored — this crate
+//! vendors the tiny slice of a `mio`-like polling library the event-loop
+//! wire server needs:
+//!
+//! * [`Poller`] — an `epoll` instance: register/modify/deregister file
+//!   descriptors with a `usize` token and an [`Interest`] (readable,
+//!   writable), and [`Poller::wait`] for readiness [`Events`].
+//! * [`Waker`] — an `eventfd`-backed cross-thread wakeup: any thread calls
+//!   [`Waker::wake`] and the poller owning the registered waker fd returns
+//!   from `wait` with the waker's token. This is what makes event-loop
+//!   shutdown and completion notification *deterministic*: no loopback
+//!   connects, no arbitrary timeouts.
+//! * [`nofile_limit`] / [`raise_nofile_limit`] — `RLIMIT_NOFILE` helpers so
+//!   connection-scale tests and benches can size themselves to (and make
+//!   the most of) the environment's file-descriptor budget.
+//!
+//! This is the **only** crate in the workspace that contains `unsafe`
+//! code: the raw `epoll`/`eventfd`/`rlimit` syscalls are not exposed by
+//! `std`, so they are declared here as `extern "C"` bindings against the
+//! libc every Rust binary on Linux already links. Every call site carries
+//! a `SAFETY:` justification; everything above this module boundary
+//! (including all of `crates/*`) stays `forbid(unsafe_code)`.
+//!
+//! Linux-only by construction (`epoll` is a Linux API). On other targets
+//! the same public API exists but every constructor returns
+//! [`std::io::ErrorKind::Unsupported`], so the workspace still builds.
+
+#![warn(missing_docs)]
+
+/// Readiness interest: which conditions a registration wants reported.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Interest(u32);
+
+impl Interest {
+    /// Wake when the fd becomes readable (or the peer hangs up).
+    pub const READABLE: Interest = Interest(1);
+    /// Wake when the fd becomes writable.
+    pub const WRITABLE: Interest = Interest(2);
+    /// Wake on both readability and writability.
+    pub const BOTH: Interest = Interest(3);
+
+    /// Whether this interest includes readability.
+    pub fn is_readable(self) -> bool {
+        self.0 & 1 != 0
+    }
+
+    /// Whether this interest includes writability.
+    pub fn is_writable(self) -> bool {
+        self.0 & 2 != 0
+    }
+}
+
+impl std::ops::BitOr for Interest {
+    type Output = Interest;
+    fn bitor(self, rhs: Interest) -> Interest {
+        Interest(self.0 | rhs.0)
+    }
+}
+
+/// One readiness notification returned by [`Poller::wait`].
+#[derive(Clone, Copy, Debug)]
+pub struct Event {
+    token: usize,
+    readable: bool,
+    writable: bool,
+    error: bool,
+    hangup: bool,
+}
+
+impl Event {
+    /// The token the fd was registered with.
+    pub fn token(&self) -> usize {
+        self.token
+    }
+
+    /// The fd is readable (data, an incoming connection, or a pending EOF).
+    pub fn is_readable(&self) -> bool {
+        self.readable
+    }
+
+    /// The fd is writable.
+    pub fn is_writable(&self) -> bool {
+        self.writable
+    }
+
+    /// An error condition is pending on the fd (`EPOLLERR`).
+    pub fn is_error(&self) -> bool {
+        self.error
+    }
+
+    /// The peer closed its end (`EPOLLHUP` / `EPOLLRDHUP`).
+    pub fn is_hangup(&self) -> bool {
+        self.hangup
+    }
+}
+
+/// A reusable buffer of readiness [`Event`]s filled by [`Poller::wait`].
+#[derive(Debug)]
+pub struct Events {
+    inner: Vec<Event>,
+    capacity: usize,
+}
+
+impl Events {
+    /// Creates a buffer that can report up to `capacity` events per wait.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero — a poller that can report nothing can
+    /// never make progress.
+    pub fn with_capacity(capacity: usize) -> Events {
+        assert!(capacity > 0, "events capacity must be at least 1");
+        Events {
+            inner: Vec::with_capacity(capacity),
+            capacity,
+        }
+    }
+
+    /// Iterates over the events of the most recent wait.
+    pub fn iter(&self) -> impl Iterator<Item = &Event> {
+        self.inner.iter()
+    }
+
+    /// Number of events reported by the most recent wait.
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// Whether the most recent wait reported no events (timeout).
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+}
+
+#[cfg(target_os = "linux")]
+mod imp {
+    use super::{Event, Events, Interest};
+    use std::io;
+    use std::os::fd::RawFd;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::time::Duration;
+
+    use std::os::raw::{c_int, c_uint, c_void};
+
+    // The epoll/eventfd/rlimit syscall surface `std` does not expose,
+    // bound against the libc already linked into every Rust binary.
+    extern "C" {
+        fn epoll_create1(flags: c_int) -> c_int;
+        fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut EpollEvent) -> c_int;
+        fn epoll_wait(
+            epfd: c_int,
+            events: *mut EpollEvent,
+            maxevents: c_int,
+            timeout_ms: c_int,
+        ) -> c_int;
+        fn eventfd(initval: c_uint, flags: c_int) -> c_int;
+        fn read(fd: c_int, buf: *mut c_void, count: usize) -> isize;
+        fn write(fd: c_int, buf: *const c_void, count: usize) -> isize;
+        fn close(fd: c_int) -> c_int;
+        fn getrlimit(resource: c_int, rlim: *mut RLimit) -> c_int;
+        fn setrlimit(resource: c_int, rlim: *const RLimit) -> c_int;
+        fn listen(fd: c_int, backlog: c_int) -> c_int;
+    }
+
+    const EPOLL_CLOEXEC: c_int = 0o2000000;
+    const EPOLL_CTL_ADD: c_int = 1;
+    const EPOLL_CTL_DEL: c_int = 2;
+    const EPOLL_CTL_MOD: c_int = 3;
+    const EPOLLIN: u32 = 0x001;
+    const EPOLLOUT: u32 = 0x004;
+    const EPOLLERR: u32 = 0x008;
+    const EPOLLHUP: u32 = 0x010;
+    const EPOLLRDHUP: u32 = 0x2000;
+    const EFD_NONBLOCK: c_int = 0o4000;
+    const EFD_CLOEXEC: c_int = 0o2000000;
+    const RLIMIT_NOFILE: c_int = 7;
+
+    /// Mirror of the kernel's `struct epoll_event`. On x86-64 the C
+    /// definition carries `__attribute__((packed))`; reproducing the exact
+    /// layout is what keeps the `data` field (our token) intact.
+    #[repr(C)]
+    #[cfg_attr(any(target_arch = "x86_64", target_arch = "x86"), repr(packed))]
+    #[derive(Clone, Copy)]
+    struct EpollEvent {
+        events: u32,
+        data: u64,
+    }
+
+    #[repr(C)]
+    struct RLimit {
+        rlim_cur: u64,
+        rlim_max: u64,
+    }
+
+    fn last_os_error_if(failed: bool) -> io::Result<()> {
+        if failed {
+            Err(io::Error::last_os_error())
+        } else {
+            Ok(())
+        }
+    }
+
+    fn interest_bits(interest: Interest) -> u32 {
+        let mut bits = EPOLLRDHUP;
+        if interest.is_readable() {
+            bits |= EPOLLIN;
+        }
+        if interest.is_writable() {
+            bits |= EPOLLOUT;
+        }
+        bits
+    }
+
+    /// An `epoll` instance (see the crate docs).
+    #[derive(Debug)]
+    pub struct Poller {
+        epfd: RawFd,
+    }
+
+    impl Poller {
+        /// Creates a new epoll instance.
+        pub fn new() -> io::Result<Poller> {
+            // SAFETY: epoll_create1 takes no pointers; a negative return
+            // is the documented error signal.
+            let epfd = unsafe { epoll_create1(EPOLL_CLOEXEC) };
+            last_os_error_if(epfd < 0)?;
+            Ok(Poller { epfd })
+        }
+
+        fn ctl(&self, op: c_int, fd: RawFd, token: usize, interest: Interest) -> io::Result<()> {
+            let mut event = EpollEvent {
+                events: interest_bits(interest),
+                data: token as u64,
+            };
+            // SAFETY: `event` is a valid, live epoll_event for the duration
+            // of the call; the kernel copies it before returning.
+            let rc = unsafe { epoll_ctl(self.epfd, op, fd, &mut event) };
+            last_os_error_if(rc < 0)
+        }
+
+        /// Starts watching `fd` under `token` for `interest`.
+        pub fn register(&self, fd: RawFd, token: usize, interest: Interest) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_ADD, fd, token, interest)
+        }
+
+        /// Changes the interest set (and token) of a registered fd.
+        pub fn modify(&self, fd: RawFd, token: usize, interest: Interest) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_MOD, fd, token, interest)
+        }
+
+        /// Stops watching `fd`. (The kernel also drops registrations
+        /// automatically when the fd's last copy is closed.)
+        pub fn deregister(&self, fd: RawFd) -> io::Result<()> {
+            let mut event = EpollEvent { events: 0, data: 0 };
+            // SAFETY: pre-2.6.9 kernels demanded a non-null event pointer
+            // for EPOLL_CTL_DEL; passing a valid dummy satisfies both eras.
+            let rc = unsafe { epoll_ctl(self.epfd, EPOLL_CTL_DEL, fd, &mut event) };
+            last_os_error_if(rc < 0)
+        }
+
+        /// Blocks until at least one registered fd is ready, `timeout`
+        /// elapses (`None` waits forever), or a signal arrives (retried
+        /// internally). Fills `events` and returns the count.
+        pub fn wait(&self, events: &mut Events, timeout: Option<Duration>) -> io::Result<usize> {
+            let timeout_ms: c_int = match timeout {
+                // Round *up* so a 100 µs deadline sleeps 1 ms instead of
+                // busy-spinning on a 0 ms poll.
+                Some(t) => {
+                    let ms = t.as_millis().min(c_int::MAX as u128) as c_int;
+                    if ms as u128 * 1_000_000 < t.as_nanos() {
+                        ms.saturating_add(1)
+                    } else {
+                        ms
+                    }
+                }
+                None => -1,
+            };
+            let capacity = events.capacity;
+            let mut raw = vec![EpollEvent { events: 0, data: 0 }; capacity];
+            let n = loop {
+                // SAFETY: `raw` is a live buffer of exactly `capacity`
+                // epoll_event slots; the kernel writes at most that many.
+                let rc = unsafe {
+                    epoll_wait(self.epfd, raw.as_mut_ptr(), capacity as c_int, timeout_ms)
+                };
+                if rc >= 0 {
+                    break rc as usize;
+                }
+                let err = io::Error::last_os_error();
+                if err.kind() != io::ErrorKind::Interrupted {
+                    return Err(err);
+                }
+            };
+            events.inner.clear();
+            for slot in raw.iter().take(n) {
+                let bits = slot.events;
+                let data = slot.data;
+                events.inner.push(Event {
+                    token: data as usize,
+                    readable: bits & (EPOLLIN | EPOLLRDHUP | EPOLLHUP) != 0,
+                    writable: bits & EPOLLOUT != 0,
+                    error: bits & EPOLLERR != 0,
+                    hangup: bits & (EPOLLHUP | EPOLLRDHUP) != 0,
+                });
+            }
+            Ok(n)
+        }
+    }
+
+    impl Drop for Poller {
+        fn drop(&mut self) {
+            // SAFETY: closing an fd we exclusively own.
+            unsafe { close(self.epfd) };
+        }
+    }
+
+    /// An `eventfd`-backed cross-thread wakeup (see the crate docs).
+    #[derive(Debug)]
+    pub struct Waker {
+        fd: RawFd,
+        /// Collapses redundant wakes: `wake` is a no-op while a previous
+        /// wake has not been drained, so N completion notifications cost
+        /// one syscall, not N.
+        armed: AtomicBool,
+    }
+
+    impl Waker {
+        /// Creates a waker. Register [`Waker::as_raw_fd`] with a poller
+        /// under a reserved token and call [`Waker::wake`] from any thread.
+        pub fn new() -> io::Result<Waker> {
+            // SAFETY: eventfd takes no pointers; negative return = error.
+            let fd = unsafe { eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC) };
+            last_os_error_if(fd < 0)?;
+            Ok(Waker {
+                fd,
+                armed: AtomicBool::new(false),
+            })
+        }
+
+        /// The raw fd to register with a [`Poller`] (readable interest).
+        pub fn as_raw_fd(&self) -> RawFd {
+            self.fd
+        }
+
+        /// Makes the owning poller's next (or current) `wait` return with
+        /// this waker's token. Callable from any thread; idempotent until
+        /// the loop drains it.
+        pub fn wake(&self) {
+            if self.armed.swap(true, Ordering::AcqRel) {
+                return; // already pending; the eventfd counter is nonzero
+            }
+            let value: u64 = 1;
+            // SAFETY: writing 8 bytes from a live u64 to an eventfd; the
+            // only possible "failure" (EAGAIN on counter overflow) still
+            // leaves the fd readable, which is all wake() promises.
+            unsafe { write(self.fd, (&value as *const u64).cast(), 8) };
+        }
+
+        /// Consumes pending wakeups (call when the waker's token fires, so
+        /// the level-triggered fd stops reporting readable).
+        pub fn drain(&self) {
+            self.armed.store(false, Ordering::Release);
+            let mut value: u64 = 0;
+            // SAFETY: reading 8 bytes into a live u64; EAGAIN (nothing
+            // pending) is fine and ignored.
+            unsafe { read(self.fd, (&mut value as *mut u64).cast(), 8) };
+        }
+    }
+
+    impl Drop for Waker {
+        fn drop(&mut self) {
+            // SAFETY: closing an fd we exclusively own.
+            unsafe { close(self.fd) };
+        }
+    }
+
+    /// Re-issues `listen(2)` on an already-listening socket to deepen its
+    /// accept backlog (`std::net::TcpListener` hardcodes 128, which a
+    /// connect storm overflows — the kernel then drops SYNs and clients
+    /// stall a full retransmission timeout). The kernel silently caps the
+    /// value at `net.core.somaxconn`.
+    pub fn set_listener_backlog(fd: RawFd, backlog: u32) -> io::Result<()> {
+        let backlog = backlog.min(c_int::MAX as u32) as c_int;
+        // SAFETY: listen takes no pointers; the caller owns `fd`.
+        let rc = unsafe { listen(fd, backlog) };
+        last_os_error_if(rc < 0)
+    }
+
+    /// Returns the current `(soft, hard)` `RLIMIT_NOFILE` — the process's
+    /// open-file-descriptor budget.
+    pub fn nofile_limit() -> io::Result<(u64, u64)> {
+        let mut limit = RLimit {
+            rlim_cur: 0,
+            rlim_max: 0,
+        };
+        // SAFETY: `limit` is a live, correctly laid out rlimit struct the
+        // kernel fills.
+        let rc = unsafe { getrlimit(RLIMIT_NOFILE, &mut limit) };
+        last_os_error_if(rc < 0)?;
+        Ok((limit.rlim_cur, limit.rlim_max))
+    }
+
+    /// Best-effort raises the soft `RLIMIT_NOFILE` to the hard limit
+    /// (unprivileged processes may always do this) and returns the
+    /// resulting soft limit. CI runners typically ship soft 1024 / hard
+    /// 65536+, so connection-scale tests call this first.
+    pub fn raise_nofile_limit() -> io::Result<u64> {
+        let (soft, hard) = nofile_limit()?;
+        if soft >= hard {
+            return Ok(soft);
+        }
+        let limit = RLimit {
+            rlim_cur: hard,
+            rlim_max: hard,
+        };
+        // SAFETY: passing a live rlimit struct by const pointer.
+        let rc = unsafe { setrlimit(RLIMIT_NOFILE, &limit) };
+        last_os_error_if(rc < 0)?;
+        Ok(hard)
+    }
+
+    /// Sets the soft `RLIMIT_NOFILE` to `soft` (clamped to the hard
+    /// limit). Lowering the soft limit is always permitted and only
+    /// affects *new* descriptor allocations, which is how fd-exhaustion
+    /// tests provoke `EMFILE` deterministically without actually opening
+    /// thousands of files.
+    pub fn set_nofile_limit(soft: u64) -> io::Result<u64> {
+        let (_, hard) = nofile_limit()?;
+        let soft = soft.min(hard);
+        let limit = RLimit {
+            rlim_cur: soft,
+            rlim_max: hard,
+        };
+        // SAFETY: passing a live rlimit struct by const pointer.
+        let rc = unsafe { setrlimit(RLIMIT_NOFILE, &limit) };
+        last_os_error_if(rc < 0)?;
+        Ok(soft)
+    }
+}
+
+#[cfg(not(target_os = "linux"))]
+mod imp {
+    //! Non-Linux stub: the same API, every constructor unsupported.
+    use super::{Events, Interest};
+    use std::io;
+    use std::os::fd::RawFd;
+    use std::time::Duration;
+
+    fn unsupported<T>() -> io::Result<T> {
+        Err(io::Error::new(
+            io::ErrorKind::Unsupported,
+            "the vendored poll shim only implements epoll (Linux)",
+        ))
+    }
+
+    /// Stub poller; every constructor fails with `Unsupported`.
+    #[derive(Debug)]
+    pub struct Poller {}
+
+    impl Poller {
+        /// Always fails on non-Linux targets.
+        pub fn new() -> io::Result<Poller> {
+            unsupported()
+        }
+
+        /// Unreachable (no instance can exist).
+        pub fn register(&self, _: RawFd, _: usize, _: Interest) -> io::Result<()> {
+            unsupported()
+        }
+
+        /// Unreachable (no instance can exist).
+        pub fn modify(&self, _: RawFd, _: usize, _: Interest) -> io::Result<()> {
+            unsupported()
+        }
+
+        /// Unreachable (no instance can exist).
+        pub fn deregister(&self, _: RawFd) -> io::Result<()> {
+            unsupported()
+        }
+
+        /// Unreachable (no instance can exist).
+        pub fn wait(&self, _: &mut Events, _: Option<Duration>) -> io::Result<usize> {
+            unsupported()
+        }
+    }
+
+    /// Stub waker; every constructor fails with `Unsupported`.
+    #[derive(Debug)]
+    pub struct Waker {}
+
+    impl Waker {
+        /// Always fails on non-Linux targets.
+        pub fn new() -> io::Result<Waker> {
+            unsupported()
+        }
+
+        /// Unreachable (no instance can exist).
+        pub fn as_raw_fd(&self) -> RawFd {
+            unreachable!("no Waker can be constructed on non-Linux targets")
+        }
+
+        /// Unreachable (no instance can exist).
+        pub fn wake(&self) {}
+
+        /// Unreachable (no instance can exist).
+        pub fn drain(&self) {}
+    }
+
+    /// Always fails on non-Linux targets.
+    pub fn nofile_limit() -> io::Result<(u64, u64)> {
+        unsupported()
+    }
+
+    /// Always fails on non-Linux targets.
+    pub fn raise_nofile_limit() -> io::Result<u64> {
+        unsupported()
+    }
+
+    /// Always fails on non-Linux targets.
+    pub fn set_nofile_limit(_: u64) -> io::Result<u64> {
+        unsupported()
+    }
+
+    /// Always fails on non-Linux targets.
+    pub fn set_listener_backlog(_: RawFd, _: u32) -> io::Result<()> {
+        unsupported()
+    }
+}
+
+pub use imp::{
+    nofile_limit, raise_nofile_limit, set_listener_backlog, set_nofile_limit, Poller, Waker,
+};
+
+#[cfg(all(test, target_os = "linux"))]
+mod tests {
+    use super::*;
+    use std::io::Write;
+    use std::net::{TcpListener, TcpStream};
+    use std::os::fd::AsRawFd;
+    use std::time::{Duration, Instant};
+
+    #[test]
+    fn listener_readability_is_reported_with_its_token() {
+        let poller = Poller::new().unwrap();
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        listener.set_nonblocking(true).unwrap();
+        poller
+            .register(listener.as_raw_fd(), 7, Interest::READABLE)
+            .unwrap();
+
+        let mut events = Events::with_capacity(8);
+        // Nothing pending yet: a short wait times out empty.
+        poller
+            .wait(&mut events, Some(Duration::from_millis(10)))
+            .unwrap();
+        assert!(events.is_empty());
+
+        let _peer = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        let event = events.iter().next().expect("pending accept must report");
+        assert_eq!(event.token(), 7);
+        assert!(event.is_readable());
+    }
+
+    #[test]
+    fn stream_write_readiness_and_peer_data() {
+        let poller = Poller::new().unwrap();
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let mut peer = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let (stream, _) = listener.accept().unwrap();
+        stream.set_nonblocking(true).unwrap();
+        poller
+            .register(stream.as_raw_fd(), 3, Interest::BOTH)
+            .unwrap();
+
+        let mut events = Events::with_capacity(8);
+        poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        // A fresh connected socket with empty buffers is writable.
+        let event = events.iter().find(|e| e.token() == 3).unwrap();
+        assert!(event.is_writable());
+        assert!(!event.is_readable());
+
+        peer.write_all(b"hi").unwrap();
+        poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        let event = events.iter().find(|e| e.token() == 3).unwrap();
+        assert!(event.is_readable());
+
+        // Interest can be narrowed: writable-only stops reporting reads.
+        poller
+            .modify(stream.as_raw_fd(), 3, Interest::WRITABLE)
+            .unwrap();
+        poller
+            .wait(&mut events, Some(Duration::from_millis(50)))
+            .unwrap();
+        let event = events.iter().find(|e| e.token() == 3).unwrap();
+        assert!(event.is_writable());
+        assert!(!event.is_readable());
+
+        poller.deregister(stream.as_raw_fd()).unwrap();
+        poller
+            .wait(&mut events, Some(Duration::from_millis(10)))
+            .unwrap();
+        assert!(events.is_empty(), "deregistered fd must stay silent");
+    }
+
+    #[test]
+    fn hangup_is_reported_when_the_peer_disconnects() {
+        let poller = Poller::new().unwrap();
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let peer = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let (stream, _) = listener.accept().unwrap();
+        stream.set_nonblocking(true).unwrap();
+        poller
+            .register(stream.as_raw_fd(), 1, Interest::READABLE)
+            .unwrap();
+        drop(peer);
+        let mut events = Events::with_capacity(8);
+        poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        let event = events.iter().find(|e| e.token() == 1).unwrap();
+        assert!(event.is_hangup());
+        assert!(event.is_readable(), "hangup also reads as EOF-readable");
+    }
+
+    #[test]
+    fn waker_wakes_a_blocked_wait_from_another_thread() {
+        let poller = Poller::new().unwrap();
+        let waker = std::sync::Arc::new(Waker::new().unwrap());
+        poller
+            .register(waker.as_raw_fd(), 0, Interest::READABLE)
+            .unwrap();
+        let remote = std::sync::Arc::clone(&waker);
+        let handle = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(30));
+            remote.wake();
+            remote.wake(); // redundant wakes collapse
+        });
+        let mut events = Events::with_capacity(4);
+        let start = Instant::now();
+        poller
+            .wait(&mut events, Some(Duration::from_secs(10)))
+            .unwrap();
+        assert!(
+            start.elapsed() < Duration::from_secs(5),
+            "wake must unblock"
+        );
+        assert_eq!(events.iter().next().unwrap().token(), 0);
+        waker.drain();
+        // Drained: the level-triggered fd goes quiet again.
+        poller
+            .wait(&mut events, Some(Duration::from_millis(10)))
+            .unwrap();
+        assert!(events.is_empty());
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn nofile_limits_are_sane_and_raisable() {
+        let (soft, hard) = nofile_limit().unwrap();
+        assert!(soft > 0 && hard >= soft);
+        let raised = raise_nofile_limit().unwrap();
+        assert_eq!(raised, hard);
+        let (soft_after, _) = nofile_limit().unwrap();
+        assert_eq!(soft_after, hard);
+    }
+
+    #[test]
+    fn zero_timeout_polls_without_blocking() {
+        let poller = Poller::new().unwrap();
+        let start = Instant::now();
+        let mut events = Events::with_capacity(4);
+        poller.wait(&mut events, Some(Duration::ZERO)).unwrap();
+        assert!(start.elapsed() < Duration::from_secs(1));
+        assert!(events.is_empty());
+    }
+}
