@@ -28,9 +28,12 @@
 use criterion::{criterion_group, BenchmarkId, Criterion};
 use quclassi::model::{QuClassiConfig, QuClassiModel};
 use quclassi::swap_test::FidelityEstimator;
+use quclassi::trainer::{Trainer, TrainingConfig};
+use quclassi_datasets::stream::ReplayStream;
 use quclassi_infer::CompiledModel;
 use quclassi_serve::{
-    ServeConfig, ServeRuntime, ThreadedWireServer, WireClient, WireConfig, WireServer,
+    OnlineConfig, OnlineLearner, ServeConfig, ServeRuntime, ThreadedWireServer, WireClient,
+    WireConfig, WireServer,
 };
 use quclassi_sim::batch::BatchExecutor;
 use rand::rngs::StdRng;
@@ -291,11 +294,13 @@ fn emit_bench_json(smoke: bool) {
         ));
     }
     let connections = emit_connections_json(smoke);
+    let online = emit_online_json(smoke);
     let json = format!(
-        "{{\n  \"bench\": \"serving_latency\",\n  \"smoke\": {},\n  \"requests_per_producer\": {},\n{}\n  \"workloads\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"bench\": \"serving_latency\",\n  \"smoke\": {},\n  \"requests_per_producer\": {},\n{}\n{}\n  \"workloads\": [\n{}\n  ]\n}}\n",
         smoke,
         requests_per_producer,
         connections,
+        online,
         workload_entries.join(",\n")
     );
     if smoke {
@@ -313,6 +318,136 @@ fn emit_bench_json(smoke: bool) {
         }
     }
     print!("{json}");
+}
+
+/// One closed-loop measurement with an `OnlineLearner` training, shadowing
+/// and promoting concurrently on the same machine — the steady-state cost
+/// of train-while-serve. Producers hammer the runtime for as long as the
+/// learner's `max_cycles` take, so the measurement window is wall-to-wall
+/// concurrent training. Returns the cell plus requests answered and the
+/// learner-side counters.
+fn run_online_cell(
+    w: &Workload,
+    producers: usize,
+    max_cycles: u64,
+) -> (CellResult, usize, u64, u64) {
+    let runtime = ServeRuntime::start(
+        serve_config(true),
+        BatchExecutor::from_env(0).expect("invalid QUCLASSI_THREADS"),
+    )
+    .unwrap();
+    runtime.deploy("latency", artifact(w)).unwrap();
+    // Replayed MNIST 3-vs-6, average-pooled to a 4×4 grid — the
+    // workload's 16 features.
+    let stream = ReplayStream::mnist_pair(3, 6, 64, 4, 11);
+    let trainer = Trainer::new(
+        TrainingConfig {
+            learning_rate: 0.05,
+            ..Default::default()
+        },
+        FidelityEstimator::analytic(),
+    );
+    let learner = OnlineLearner::start(
+        &runtime,
+        "latency",
+        w.model.clone(),
+        trainer,
+        stream,
+        OnlineConfig {
+            window: 16,
+            epochs_per_cycle: 1,
+            shadow_rate: 1.0,
+            min_shadow_requests: 4,
+            shadow_wait: Duration::from_secs(2),
+            promote_min_accuracy: 0.5,
+            accuracy_tolerance: 1.0,
+            max_p99_ratio: 1e6, // measure the penalty, don't gate on it
+            rollback_min_accuracy: 0.0,
+            max_cycles: Some(max_cycles),
+            seed: 7,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+
+    let pool = Arc::new(w.pool.clone());
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let started = Instant::now();
+    let handles: Vec<_> = (0..producers)
+        .map(|producer| {
+            let client = runtime.client();
+            let pool = Arc::clone(&pool);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut answered = 0usize;
+                let mut i = 0usize;
+                while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                    let x = &pool[(producer * 5 + i) % pool.len()];
+                    black_box(
+                        client
+                            .predict("latency", x)
+                            .map(|r| r.prediction.label)
+                            .unwrap_or_else(|_| {
+                                unreachable!("closed-loop producers never saturate a 4096 queue")
+                            }),
+                    );
+                    answered += 1;
+                    i += 1;
+                }
+                answered
+            })
+        })
+        .collect();
+    let report = learner.join();
+    stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    let answered: usize = handles.into_iter().map(|h| h.join().unwrap()).sum();
+    let elapsed = started.elapsed();
+    let metrics = runtime.shutdown();
+    (
+        CellResult {
+            throughput_rps: answered as f64 / elapsed.as_secs_f64(),
+            p50_us: metrics.latency.p50_us(),
+            p99_us: metrics.latency.p99_us(),
+            mean_batch_occupancy: metrics.mean_batch_occupancy(),
+        },
+        answered,
+        metrics.train_cycles,
+        report.promotions(),
+    )
+}
+
+/// The train-while-serve penalty on the 17-qubit MNIST shape: identical
+/// closed-loop load with and without a concurrent online learner.
+fn emit_online_json(smoke: bool) -> String {
+    let producers = 2;
+    let requests_per_producer = if smoke { 10 } else { 400 };
+    let max_cycles = if smoke { 1 } else { 3 };
+    let w = workload("latency", 16, 2);
+    // Warm-up, then baseline without any training alongside.
+    run_cell(&w, true, producers, requests_per_producer / 5 + 1);
+    let baseline = run_cell(&w, true, producers, requests_per_producer);
+    let (online, answered, train_cycles, promotions) = run_online_cell(&w, producers, max_cycles);
+    format!(
+        concat!(
+            "  \"online_penalty\": {{\"workload\": \"mnist_16_features\", \"total_qubits\": {}, ",
+            "\"producers\": {}, \"train_cycles\": {}, \"promotions\": {},\n",
+            "    \"throughput_penalty\": {:.2}, \"p99_inflation\": {:.2},\n",
+            "    \"cells\": [\n{},\n{}\n    ]}},"
+        ),
+        w.total_qubits,
+        producers,
+        train_cycles,
+        promotions,
+        baseline.throughput_rps / online.throughput_rps.max(1e-9),
+        online.p99_us / baseline.p99_us.max(1e-9),
+        emit_cell_json(
+            producers,
+            producers * requests_per_producer,
+            "serve_only",
+            &baseline
+        ),
+        emit_cell_json(producers, answered, "serve_while_training", &online)
+    )
 }
 
 /// Child-process mode: hold `count` idle client connections to `addr`
@@ -529,6 +664,9 @@ fn main() {
         return;
     }
     benches();
-    let smoke = std::env::args().any(|a| a == "--test");
+    // QUCLASSI_QUICK forces smoke sizing even without `--test`, so CI can
+    // exercise the full load-generator path in seconds without clobbering
+    // the committed numbers.
+    let smoke = std::env::args().any(|a| a == "--test") || quclassi_bench::runtime::quick();
     emit_bench_json(smoke);
 }

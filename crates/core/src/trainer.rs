@@ -229,6 +229,27 @@ impl Trainer {
         self.fit_with_eval(model, features, labels, None, rng)
     }
 
+    /// Continues training an already-initialised (and possibly already
+    /// trained) model on a fresh window of samples for `epochs` passes,
+    /// overriding `self.config.epochs` for this call only.
+    ///
+    /// This is the online-learning entry point: [`Trainer::fit`] always
+    /// starts from the model's *current* parameters, so repeated
+    /// `fit_incremental` calls on successive stream windows implement
+    /// continuous training without any extra state.
+    pub fn fit_incremental<R: Rng + ?Sized>(
+        &self,
+        model: &mut QuClassiModel,
+        features: &[Vec<f64>],
+        labels: &[usize],
+        epochs: usize,
+        rng: &mut R,
+    ) -> Result<TrainingHistory, QuClassiError> {
+        let mut pass = self.clone();
+        pass.config.epochs = epochs;
+        pass.fit(model, features, labels, rng)
+    }
+
     /// Trains the model and evaluates accuracy on `eval` after every epoch.
     pub fn fit_with_eval<R: Rng + ?Sized>(
         &self,
@@ -547,6 +568,56 @@ mod tests {
         );
         let history = trainer.fit(&mut model, &xs, &ys, &mut rng).unwrap();
         assert_eq!(history.epochs.len(), 2);
+    }
+
+    #[test]
+    fn fit_incremental_matches_fit_and_continues() {
+        let (xs, ys) = toy_binary();
+        let base_trainer = Trainer::new(
+            TrainingConfig {
+                epochs: 7, // deliberately different from the incremental pass
+                learning_rate: 0.05,
+                ..Default::default()
+            },
+            FidelityEstimator::analytic(),
+        );
+        let params = |m: &QuClassiModel| -> Vec<Vec<u64>> {
+            (0..2)
+                .map(|c| {
+                    m.class_params(c)
+                        .unwrap()
+                        .iter()
+                        .map(|p| p.to_bits())
+                        .collect()
+                })
+                .collect()
+        };
+
+        // One incremental pass with `epochs` overridden is bit-identical to a
+        // plain fit configured with those epochs.
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut a =
+            QuClassiModel::with_random_parameters(QuClassiConfig::qc_s(4, 2), &mut rng).unwrap();
+        let mut b = a.clone();
+        let mut rng_a = StdRng::seed_from_u64(13);
+        let mut rng_b = StdRng::seed_from_u64(13);
+        let history = base_trainer
+            .fit_incremental(&mut a, &xs, &ys, 2, &mut rng_a)
+            .unwrap();
+        assert_eq!(history.epochs.len(), 2);
+        let mut two_epoch = base_trainer.clone();
+        two_epoch.config.epochs = 2;
+        two_epoch.fit(&mut b, &xs, &ys, &mut rng_b).unwrap();
+        assert_eq!(params(&a), params(&b));
+        // The override is per-call: the trainer's own config is untouched.
+        assert_eq!(base_trainer.config.epochs, 7);
+
+        // A second incremental window continues from the current parameters.
+        let before = params(&a);
+        base_trainer
+            .fit_incremental(&mut a, &xs, &ys, 1, &mut rng_a)
+            .unwrap();
+        assert_ne!(params(&a), before, "second window should keep training");
     }
 
     #[test]

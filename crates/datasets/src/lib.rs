@@ -9,7 +9,9 @@
 //! * [`dataset`] — the in-memory [`dataset::Dataset`] container with class
 //!   filtering, stratified splitting and per-class subsampling;
 //! * [`preprocess`] — min–max normalisation into the `[0, 1]` range the
-//!   quantum encoder requires.
+//!   quantum encoder requires;
+//! * [`stream`] — infinite seeded-shuffle replay of a dataset as a labelled
+//!   sample stream for the online-learning pipeline.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -18,9 +20,11 @@ pub mod dataset;
 pub mod iris;
 pub mod mnist;
 pub mod preprocess;
+pub mod stream;
 
 /// Re-exports of the most commonly used types.
 pub mod prelude {
     pub use crate::dataset::Dataset;
     pub use crate::preprocess::{normalize_dataset, normalize_split, MinMaxScaler};
+    pub use crate::stream::ReplayStream;
 }

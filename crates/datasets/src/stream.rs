@@ -1,0 +1,279 @@
+//! Streaming replay of the bundled datasets for online learning.
+//!
+//! The serving runtime's `OnlineLearner` consumes labelled samples from an
+//! infinite iterator rather than a fixed in-memory split: production traffic
+//! never ends, so the training side of a train-while-serve pipeline should
+//! not either. [`ReplayStream`] turns any [`Dataset`] into such a stream by
+//! replaying it forever with a **seeded shuffle that is re-drawn on every
+//! pass**, so (a) two streams built with the same seed yield bit-identical
+//! sequences — the determinism contract the fault-injection harness relies
+//! on — and (b) consecutive windows do not see the samples in a fixed order.
+//!
+//! The iterator yields plain `(Vec<f64>, usize)` pairs so downstream crates
+//! (notably `quclassi-serve`) can consume labelled samples without depending
+//! on this crate's `Dataset` type.
+
+use crate::dataset::Dataset;
+use crate::mnist;
+use crate::preprocess::normalize_dataset;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Odd multiplier from SplitMix64, used to derive one shuffle seed per pass.
+const PASS_SEED_STRIDE: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// An infinite, deterministically shuffled replay of a labelled dataset.
+///
+/// Every pass over the underlying samples uses a fresh permutation derived
+/// from `seed` and the pass index, so the stream is reproducible end to end
+/// while still decorrelating successive training windows.
+///
+/// ```
+/// use quclassi_datasets::stream::ReplayStream;
+///
+/// let mut a = ReplayStream::iris(7);
+/// let mut b = ReplayStream::iris(7);
+/// for _ in 0..300 {
+///     assert_eq!(a.next(), b.next()); // same seed ⇒ same stream
+/// }
+/// ```
+#[derive(Clone, Debug)]
+pub struct ReplayStream {
+    features: Vec<Vec<f64>>,
+    labels: Vec<usize>,
+    num_classes: usize,
+    seed: u64,
+    order: Vec<usize>,
+    cursor: usize,
+    pass: u64,
+}
+
+impl ReplayStream {
+    /// Builds a stream replaying `dataset` as-is (no normalisation applied;
+    /// use the convenience constructors for encoder-ready features).
+    pub fn new(dataset: &Dataset, seed: u64) -> Self {
+        let mut stream = ReplayStream {
+            features: dataset.features.clone(),
+            labels: dataset.labels.clone(),
+            num_classes: dataset.num_classes,
+            seed,
+            order: (0..dataset.len()).collect(),
+            cursor: 0,
+            pass: 0,
+        };
+        stream.reshuffle();
+        stream
+    }
+
+    /// The Iris stream: 150 samples, 4 features min–max normalised into
+    /// `[0, 1]`, 3 classes.
+    pub fn iris(seed: u64) -> Self {
+        ReplayStream::new(&normalize_dataset(&crate::iris::load()), seed)
+    }
+
+    /// A binary MNIST-digit stream with images average-pooled down to a
+    /// `pool × pool` grid (e.g. `pool = 4` gives the paper's 16-feature
+    /// MNIST shape) and min–max normalised into `[0, 1]`.
+    ///
+    /// # Panics
+    /// Panics if the digits are equal or out of range, `per_class` is zero,
+    /// or `pool` does not divide evenly into the 28-pixel image side.
+    pub fn mnist_pair(
+        digit_a: usize,
+        digit_b: usize,
+        per_class: usize,
+        pool: usize,
+        seed: u64,
+    ) -> Self {
+        assert_ne!(digit_a, digit_b, "need two distinct digits");
+        let full = mnist::generate(per_class, seed).filter_classes(&[digit_a, digit_b]);
+        let pooled = Dataset::new(
+            full.features
+                .iter()
+                .map(|img| pool_image(img, pool))
+                .collect(),
+            full.labels.clone(),
+            full.num_classes,
+        )
+        .with_class_names(full.class_names.clone());
+        ReplayStream::new(&normalize_dataset(&pooled), seed)
+    }
+
+    /// Number of distinct samples replayed per pass.
+    pub fn len(&self) -> usize {
+        self.features.len()
+    }
+
+    /// Whether the backing dataset is empty (never true for constructed
+    /// datasets).
+    pub fn is_empty(&self) -> bool {
+        self.features.is_empty()
+    }
+
+    /// Feature dimensionality of every yielded sample.
+    pub fn dim(&self) -> usize {
+        self.features[0].len()
+    }
+
+    /// Number of classes in the label space.
+    pub fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
+    /// Number of completed passes over the backing dataset.
+    pub fn passes(&self) -> u64 {
+        self.pass
+    }
+
+    /// Pulls the next `n` samples into parallel feature/label vectors — the
+    /// window shape the trainer consumes.
+    pub fn next_window(&mut self, n: usize) -> (Vec<Vec<f64>>, Vec<usize>) {
+        let mut features = Vec::with_capacity(n);
+        let mut labels = Vec::with_capacity(n);
+        for _ in 0..n {
+            // The stream is infinite, so this never returns `None`.
+            if let Some((x, y)) = self.next() {
+                features.push(x);
+                labels.push(y);
+            }
+        }
+        (features, labels)
+    }
+
+    fn reshuffle(&mut self) {
+        let pass_seed = self
+            .seed
+            .wrapping_add(self.pass.wrapping_mul(PASS_SEED_STRIDE));
+        let mut rng = StdRng::seed_from_u64(pass_seed);
+        self.order.shuffle(&mut rng);
+        self.cursor = 0;
+    }
+}
+
+impl Iterator for ReplayStream {
+    type Item = (Vec<f64>, usize);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.cursor >= self.order.len() {
+            self.pass += 1;
+            self.reshuffle();
+        }
+        let i = self.order[self.cursor];
+        self.cursor += 1;
+        Some((self.features[i].clone(), self.labels[i]))
+    }
+}
+
+/// Average-pools a square image down to a `pool × pool` grid.
+fn pool_image(image: &[f64], pool: usize) -> Vec<f64> {
+    let side = mnist::IMAGE_SIDE;
+    assert!(
+        pool >= 1 && side.is_multiple_of(pool),
+        "pool must divide the {side}-pixel image side"
+    );
+    let block = side / pool;
+    let norm = (block * block) as f64;
+    let mut out = Vec::with_capacity(pool * pool);
+    for br in 0..pool {
+        for bc in 0..pool {
+            let mut sum = 0.0;
+            for r in 0..block {
+                for c in 0..block {
+                    sum += image[(br * block + r) * side + (bc * block + c)];
+                }
+            }
+            out.push(sum / norm);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let a: Vec<_> = ReplayStream::iris(42).take(400).collect();
+        let b: Vec<_> = ReplayStream::iris(42).take(400).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a: Vec<_> = ReplayStream::iris(1).take(50).map(|(_, y)| y).collect();
+        let b: Vec<_> = ReplayStream::iris(2).take(50).map(|(_, y)| y).collect();
+        assert_ne!(a, b, "different seeds should reorder the replay");
+    }
+
+    #[test]
+    fn each_pass_is_a_permutation() {
+        let mut stream = ReplayStream::iris(3);
+        let n = stream.len();
+        for pass in 0..3 {
+            let (features, _) = stream.next_window(n);
+            // Every pass must contain each sample exactly once: compare the
+            // multiset of first-feature values against the backing data.
+            let mut got: Vec<f64> = features.iter().map(|x| x[0] + 10.0 * x[1]).collect();
+            let mut want: Vec<f64> = stream.features.iter().map(|x| x[0] + 10.0 * x[1]).collect();
+            got.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            want.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            assert_eq!(got, want, "pass {pass} is not a permutation");
+            // The pass counter bumps lazily when the *next* pass starts.
+            assert_eq!(stream.passes(), pass);
+        }
+    }
+
+    #[test]
+    fn passes_reorder_relative_to_each_other() {
+        let mut stream = ReplayStream::iris(4);
+        let n = stream.len();
+        let (_, first) = stream.next_window(n);
+        let (_, second) = stream.next_window(n);
+        assert_ne!(first, second, "per-pass reshuffle should change the order");
+    }
+
+    #[test]
+    fn iris_stream_is_normalized() {
+        let mut stream = ReplayStream::iris(5);
+        assert_eq!(stream.dim(), 4);
+        assert_eq!(stream.num_classes(), 3);
+        for _ in 0..200 {
+            let (x, y) = stream.next().unwrap();
+            assert!(y < 3);
+            assert!(x.iter().all(|&v| (0.0..=1.0).contains(&v)));
+        }
+    }
+
+    #[test]
+    fn mnist_pair_pools_to_requested_grid() {
+        let mut stream = ReplayStream::mnist_pair(3, 6, 8, 4, 9);
+        assert_eq!(stream.dim(), 16);
+        assert_eq!(stream.num_classes(), 2);
+        assert_eq!(stream.len(), 16);
+        let (x, y) = stream.next().unwrap();
+        assert!(y < 2);
+        assert!(x.iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn pool_image_averages_blocks() {
+        let side = mnist::IMAGE_SIDE;
+        let mut image = vec![0.0; side * side];
+        // Light up the top-left 14×14 quadrant.
+        for r in 0..side / 2 {
+            for c in 0..side / 2 {
+                image[r * side + c] = 1.0;
+            }
+        }
+        let pooled = pool_image(&image, 2);
+        assert_eq!(pooled, vec![1.0, 0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "pool must divide")]
+    fn bad_pool_panics() {
+        let _ = pool_image(&vec![0.0; 784], 5);
+    }
+}

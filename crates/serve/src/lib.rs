@@ -77,22 +77,30 @@
 
 pub mod error;
 pub mod eventloop;
+#[cfg(any(test, feature = "fault-injection"))]
+pub mod faults;
 pub mod json;
 pub mod metrics;
+pub mod online;
 mod queue;
 pub mod registry;
 pub mod runtime;
+pub mod shadow;
 pub mod threaded;
 pub mod wire;
 
 pub use error::ServeError;
 pub use eventloop::WireServer;
+#[cfg(any(test, feature = "fault-injection"))]
+pub use faults::{Fault, FaultPlan};
 pub use metrics::{FlushReason, HistogramSnapshot, LatencyHistogram, ModelStatsSnapshot};
+pub use online::{CycleOutcome, CycleReport, OnlineConfig, OnlineLearner, OnlineReport};
 pub use registry::{ModelEntry, ModelRegistry};
 pub use runtime::{
     Client, CompletionNotifier, MetricsSnapshot, ModelMetrics, PendingPrediction, ServeConfig,
     ServeResponse, ServeRuntime,
 };
+pub use shadow::ShadowReport;
 pub use threaded::ThreadedWireServer;
 pub use wire::{FrameDecoder, WireClient, WireConfig, WirePrediction};
 
@@ -100,7 +108,9 @@ pub use wire::{FrameDecoder, WireClient, WireConfig, WirePrediction};
 pub mod prelude {
     pub use crate::error::ServeError;
     pub use crate::eventloop::WireServer;
+    pub use crate::online::{OnlineConfig, OnlineLearner};
     pub use crate::runtime::{Client, MetricsSnapshot, ServeConfig, ServeResponse, ServeRuntime};
+    pub use crate::shadow::ShadowReport;
     pub use crate::wire::{WireClient, WireConfig};
     pub use quclassi_sim::batch::BatchExecutor;
 }

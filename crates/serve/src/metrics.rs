@@ -234,6 +234,26 @@ pub struct RuntimeStats {
     /// backpressure signal — operationally distinct from a served refusal,
     /// so it is counted separately instead of silently discarded.
     pub(crate) refusal_write_failures: AtomicU64,
+    /// Successful deploys through the runtime (initial deploys and
+    /// online-learner candidate promotions alike): the promotion history
+    /// the registry itself does not keep.
+    pub(crate) promotions: AtomicU64,
+    /// Rollbacks to a name's previous artifact (each redeployed as a new
+    /// monotonic version, so a rollback never reuses a version number).
+    pub(crate) rollbacks: AtomicU64,
+    /// Online-learner candidates that failed validation, compilation, the
+    /// promotion gate, or the deploy warm-up — none of which ever reached
+    /// the registry.
+    pub(crate) candidates_rejected: AtomicU64,
+    /// Training cycles the online learner has started.
+    pub(crate) train_cycles: AtomicU64,
+    /// Trainer panics caught and survived by the online learner.
+    pub(crate) learner_panics: AtomicU64,
+    /// Scheduler flushes mirrored to a shadow candidate.
+    pub(crate) shadow_batches: AtomicU64,
+    /// Requests duplicated onto a shadow candidate (user responses always
+    /// come from the live model only).
+    pub(crate) shadow_requests: AtomicU64,
     pub(crate) latency: LatencyHistogram,
 }
 

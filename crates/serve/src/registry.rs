@@ -69,6 +69,12 @@ impl ModelEntry {
 pub struct ModelRegistry {
     active: RwLock<HashMap<String, Arc<ModelEntry>>>,
     retired: Mutex<Vec<Weak<ModelEntry>>>,
+    /// The artifact each name served *before* its current version, kept for
+    /// [`ModelRegistry::rollback`]. Holds the bare `CompiledModel` (not the
+    /// retired `ModelEntry`) so the drain accounting stays truthful: the
+    /// displaced entry's strong count must reach zero once its in-flight
+    /// requests finish.
+    previous: Mutex<HashMap<String, (u64, Arc<CompiledModel>)>>,
 }
 
 impl ModelRegistry {
@@ -110,6 +116,10 @@ impl ModelRegistry {
         let displaced = active.insert(name.to_string(), entry);
         drop(active);
         if let Some(old) = displaced {
+            self.previous
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .insert(name.to_string(), (old.version, Arc::clone(&old.model)));
             self.retired
                 .lock()
                 .unwrap_or_else(|e| e.into_inner())
@@ -118,6 +128,51 @@ impl ModelRegistry {
             // in-flight requests still hold it.
         }
         Ok(version)
+    }
+
+    /// Redeploys the artifact `name` served before its current version, as
+    /// a **new** monotonic version (versions never rewind — in-flight
+    /// responses keep reporting the version that admitted them, and a
+    /// rolled-back-then-fixed model cannot collide with its own history).
+    /// Returns the new version number.
+    ///
+    /// Goes through the full [`ModelRegistry::deploy`] sequence, so the
+    /// restored artifact is warmed before the switch and the displaced
+    /// (regressed) version drains like any other. After a rollback the
+    /// regressed artifact becomes the name's "previous", which makes
+    /// rollback its own inverse.
+    ///
+    /// # Errors
+    /// [`ServeError::UnknownModel`] if `name` has never been deployed, or
+    /// [`ServeError::InvalidConfig`] if it has only seen one version (there
+    /// is nothing to roll back to).
+    pub fn rollback(&self, name: &str) -> Result<u64, ServeError> {
+        if self.active_version(name).is_none() {
+            return Err(ServeError::UnknownModel(name.to_string()));
+        }
+        let artifact = {
+            let previous = self.previous.lock().unwrap_or_else(|e| e.into_inner());
+            match previous.get(name) {
+                Some((_, artifact)) => CompiledModel::clone(artifact),
+                None => {
+                    return Err(ServeError::InvalidConfig(format!(
+                        "model '{name}' has no previous version to roll back to"
+                    )))
+                }
+            }
+        };
+        self.deploy(name, artifact)
+    }
+
+    /// The version whose artifact a [`ModelRegistry::rollback`] of `name`
+    /// would restore (the version displaced by the most recent deploy), if
+    /// any.
+    pub fn previous_version(&self, name: &str) -> Option<u64> {
+        self.previous
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(name)
+            .map(|(v, _)| *v)
     }
 
     /// Resolves `name` to its currently active entry.
@@ -221,6 +276,61 @@ mod tests {
         assert_eq!(reg.draining(), 1);
         drop(in_flight);
         assert_eq!(reg.draining(), 0, "v1 drained once its last ref dropped");
+    }
+
+    #[test]
+    fn rollback_restores_the_previous_artifact_as_a_new_version() {
+        let reg = ModelRegistry::new();
+        reg.deploy("m", compiled(1)).unwrap();
+        assert_eq!(reg.previous_version("m"), None, "v1 has no predecessor");
+        reg.deploy("m", compiled(2)).unwrap();
+        assert_eq!(reg.previous_version("m"), Some(1));
+
+        let v3 = reg.rollback("m").unwrap();
+        assert_eq!(v3, 3, "rollback deploys a new version, never rewinds");
+        assert_eq!(reg.active_version("m"), Some(3));
+        // v3 serves v1's parameters: it predicts identically to a fresh
+        // compile of the same seed.
+        let mut rng = StdRng::seed_from_u64(9);
+        let x = [0.2, 0.7, 0.4, 0.9];
+        let want = compiled(1).predict_one(&x, &mut rng).unwrap();
+        let got = reg
+            .get("m")
+            .unwrap()
+            .model()
+            .predict_one(&x, &mut rng)
+            .unwrap();
+        assert_eq!(got, want);
+        // The regressed v2 artifact is now the rollback target, so a second
+        // rollback is the inverse of the first.
+        assert_eq!(reg.previous_version("m"), Some(2));
+        assert_eq!(reg.rollback("m").unwrap(), 4);
+        let want = compiled(2).predict_one(&x, &mut rng).unwrap();
+        let got = reg
+            .get("m")
+            .unwrap()
+            .model()
+            .predict_one(&x, &mut rng)
+            .unwrap();
+        assert_eq!(got, want);
+        // Rollback never leaks drain references of its own.
+        assert_eq!(reg.draining(), 0);
+    }
+
+    #[test]
+    fn rollback_without_history_is_rejected() {
+        let reg = ModelRegistry::new();
+        assert!(matches!(
+            reg.rollback("ghost"),
+            Err(ServeError::UnknownModel(_))
+        ));
+        reg.deploy("m", compiled(1)).unwrap();
+        assert!(matches!(
+            reg.rollback("m"),
+            Err(ServeError::InvalidConfig(_))
+        ));
+        // The failed rollback left the active version untouched.
+        assert_eq!(reg.active_version("m"), Some(1));
     }
 
     #[test]

@@ -57,10 +57,11 @@ use crate::error::ServeError;
 use crate::metrics::{HistogramSnapshot, ModelStatsSnapshot, RuntimeStats};
 use crate::queue::BoundedQueue;
 use crate::registry::{ModelEntry, ModelRegistry};
+use crate::shadow::{ShadowReport, ShadowState};
 use quclassi_infer::{CacheStats, CompiledModel, Prediction};
 use quclassi_sim::batch::BatchExecutor;
 use std::sync::atomic::Ordering;
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, RwLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -257,20 +258,24 @@ impl PendingPrediction {
 
 /// A queued request: everything the scheduler needs, with the per-request
 /// work (resolution, validation, encoding) already done at admission.
-struct Request {
+pub(crate) struct Request {
     entry: Arc<ModelEntry>,
     angles: Vec<f64>,
     slot: Arc<ResponseSlot>,
     admitted: Instant,
 }
 
-struct Shared {
-    queue: BoundedQueue<Request>,
-    registry: ModelRegistry,
-    executor: BatchExecutor,
-    stats: RuntimeStats,
-    config: ServeConfig,
-    started: Instant,
+pub(crate) struct Shared {
+    pub(crate) queue: BoundedQueue<Request>,
+    pub(crate) registry: ModelRegistry,
+    pub(crate) executor: BatchExecutor,
+    pub(crate) stats: RuntimeStats,
+    pub(crate) config: ServeConfig,
+    pub(crate) started: Instant,
+    /// The installed shadow candidate, if any (see [`crate::shadow`]). The
+    /// scheduler reads it once per flush; install/clear replace the whole
+    /// `Arc`, so a cycle boundary never tears a report.
+    pub(crate) shadow: RwLock<Option<Arc<ShadowState>>>,
 }
 
 impl std::fmt::Debug for Shared {
@@ -333,6 +338,23 @@ pub struct MetricsSnapshot {
     /// Wire refusals whose `saturated` error frame could not be delivered
     /// to the peer — those clients never saw the backpressure signal.
     pub refusal_write_failures: u64,
+    /// Successful deploys through the runtime (initial deploys and online
+    /// candidate promotions alike).
+    pub promotions: u64,
+    /// Rollbacks to a previous artifact (each one a new monotonic version).
+    pub rollbacks: u64,
+    /// Online-learner candidates rejected before reaching the registry
+    /// (validation, compile, gate, or warm-up failures).
+    pub candidates_rejected: u64,
+    /// Training cycles the online learner has started.
+    pub train_cycles: u64,
+    /// Trainer panics caught and survived by the online learner.
+    pub learner_panics: u64,
+    /// Scheduler flushes mirrored to a shadow candidate.
+    pub shadow_batches: u64,
+    /// Requests duplicated onto a shadow candidate (user responses always
+    /// come from the live model only).
+    pub shadow_requests: u64,
     /// Retired (hot-swapped-out) versions still serving in-flight requests.
     pub draining_models: usize,
     /// End-to-end (admission → reply) latency across all models.
@@ -412,6 +434,7 @@ impl ServeRuntime {
             stats: RuntimeStats::default(),
             config: config.clone(),
             started: Instant::now(),
+            shadow: RwLock::new(None),
         });
         let scheduler = {
             let shared = Arc::clone(&shared);
@@ -432,8 +455,56 @@ impl ServeRuntime {
     }
 
     /// Convenience for [`ModelRegistry::deploy`] on the runtime's registry.
+    /// Every successful deploy counts as a promotion in
+    /// [`MetricsSnapshot::promotions`].
     pub fn deploy(&self, name: &str, model: CompiledModel) -> Result<u64, ServeError> {
-        self.shared.registry.deploy(name, model)
+        self.shared.promote(name, model)
+    }
+
+    /// Rolls `name` back to its previous artifact (see
+    /// [`ModelRegistry::rollback`]), counting it in
+    /// [`MetricsSnapshot::rollbacks`]. Returns the new version serving the
+    /// restored artifact.
+    pub fn rollback(&self, name: &str) -> Result<u64, ServeError> {
+        self.shared.rollback_model(name)
+    }
+
+    /// Installs `candidate` as the shadow for `model`: from now on a
+    /// deterministic fraction `rate` of scheduler flushes for `model` are
+    /// mirrored onto the candidate *after* the live responses are
+    /// fulfilled (user-visible output is bit-identical to a shadow-free
+    /// run — see [`crate::shadow`]). Replaces any previously installed
+    /// shadow, discarding its report.
+    ///
+    /// # Errors
+    /// Rejects a rate outside `(0, 1]`, an unknown model name, or a
+    /// candidate whose encoder shape differs from the live model's (its
+    /// mirrored angle rows could never evaluate).
+    pub fn start_shadow(
+        &self,
+        model: &str,
+        candidate: CompiledModel,
+        rate: f64,
+        tag: u64,
+    ) -> Result<(), ServeError> {
+        self.shared.install_shadow(model, candidate, rate, tag)
+    }
+
+    /// The report of the currently installed shadow, if any (leaves the
+    /// shadow running).
+    pub fn shadow_report(&self) -> Option<ShadowReport> {
+        self.shared.shadow_report()
+    }
+
+    /// Uninstalls the shadow and returns its final report, if one was
+    /// installed.
+    pub fn clear_shadow(&self) -> Option<ShadowReport> {
+        self.shared.take_shadow()
+    }
+
+    /// The runtime internals, for in-crate composition (online learner).
+    pub(crate) fn shared(&self) -> &Arc<Shared> {
+        &self.shared
     }
 
     /// A cloneable handle for submitting requests and reading metrics.
@@ -588,6 +659,13 @@ fn snapshot(shared: &Shared) -> MetricsSnapshot {
         flush_on_close: stats.flush_on_close.load(Ordering::Relaxed),
         wire_refusals: stats.wire_refusals.load(Ordering::Relaxed),
         refusal_write_failures: stats.refusal_write_failures.load(Ordering::Relaxed),
+        promotions: stats.promotions.load(Ordering::Relaxed),
+        rollbacks: stats.rollbacks.load(Ordering::Relaxed),
+        candidates_rejected: stats.candidates_rejected.load(Ordering::Relaxed),
+        train_cycles: stats.train_cycles.load(Ordering::Relaxed),
+        learner_panics: stats.learner_panics.load(Ordering::Relaxed),
+        shadow_batches: stats.shadow_batches.load(Ordering::Relaxed),
+        shadow_requests: stats.shadow_requests.load(Ordering::Relaxed),
         draining_models: shared.registry.draining(),
         latency: stats.latency.snapshot(),
         models,
@@ -595,6 +673,62 @@ fn snapshot(shared: &Shared) -> MetricsSnapshot {
 }
 
 impl Shared {
+    /// Deploys through the registry and counts the promotion.
+    pub(crate) fn promote(&self, name: &str, model: CompiledModel) -> Result<u64, ServeError> {
+        let version = self.registry.deploy(name, model)?;
+        self.stats.promotions.fetch_add(1, Ordering::Relaxed);
+        Ok(version)
+    }
+
+    /// Rolls back through the registry and counts the rollback.
+    pub(crate) fn rollback_model(&self, name: &str) -> Result<u64, ServeError> {
+        let version = self.registry.rollback(name)?;
+        self.stats.rollbacks.fetch_add(1, Ordering::Relaxed);
+        Ok(version)
+    }
+
+    pub(crate) fn install_shadow(
+        &self,
+        model: &str,
+        candidate: CompiledModel,
+        rate: f64,
+        tag: u64,
+    ) -> Result<(), ServeError> {
+        if !(rate > 0.0 && rate <= 1.0) {
+            return Err(ServeError::InvalidConfig(format!(
+                "shadow rate must be in (0, 1], got {rate}"
+            )));
+        }
+        let live = self.registry.get(model)?;
+        let live_angles = live.model().encoder().num_angles();
+        let candidate_angles = candidate.encoder().num_angles();
+        if candidate_angles != live_angles {
+            return Err(ServeError::InvalidConfig(format!(
+                "shadow candidate expects {candidate_angles} encoding angles \
+                 but live model '{model}' produces {live_angles}"
+            )));
+        }
+        let state = Arc::new(ShadowState::new(model, candidate, rate, tag));
+        *self.shadow.write().unwrap_or_else(|e| e.into_inner()) = Some(state);
+        Ok(())
+    }
+
+    pub(crate) fn shadow_report(&self) -> Option<ShadowReport> {
+        self.shadow
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .as_ref()
+            .map(|s| s.report())
+    }
+
+    pub(crate) fn take_shadow(&self) -> Option<ShadowReport> {
+        self.shadow
+            .write()
+            .unwrap_or_else(|e| e.into_inner())
+            .take()
+            .map(|s| s.report())
+    }
+
     fn model_metrics(&self) -> Vec<ModelMetrics> {
         self.registry
             .entries()
@@ -639,17 +773,38 @@ fn scheduler_loop(shared: &Shared) {
         // index) — groups in the same flush never share streams.
         let flush_seed = BatchExecutor::job_seed(shared.config.base_seed, flush_index);
         flush_index += 1;
+        // One shadow read per flush: install/clear between flushes, never
+        // mid-flush.
+        let shadow = shared
+            .shadow
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone();
         for (group_index, (entry, mut members)) in groups.into_iter().enumerate() {
             let angles: Vec<Vec<f64>> = members
                 .iter_mut()
                 .map(|r| std::mem::take(&mut r.angles))
                 .collect();
             let seed = BatchExecutor::job_seed(flush_seed, group_index as u64);
+            // Decide mirroring before the live evaluation (the angles are
+            // consumed by it), but run the candidate only *after* every
+            // user slot is fulfilled: live responses, seeds and ordering
+            // are untouched by the presence of a shadow.
+            let mirror = shadow
+                .as_ref()
+                .filter(|s| s.model() == entry.name() && s.should_mirror())
+                .map(Arc::clone);
+            let mirror_angles = mirror.as_ref().map(|_| angles.clone());
+            let eval_started = Instant::now();
             match entry
                 .model()
                 .predict_many_from_angles(angles, &shared.executor, seed)
             {
                 Ok(predictions) => {
+                    let live_elapsed = eval_started.elapsed();
+                    let live_labels: Option<Vec<usize>> = mirror
+                        .as_ref()
+                        .map(|_| predictions.iter().map(|p| p.label).collect());
                     for (request, prediction) in members.into_iter().zip(predictions) {
                         let latency_ns = request.admitted.elapsed().as_nanos() as u64;
                         shared.stats.latency.record_ns(latency_ns);
@@ -662,8 +817,16 @@ fn scheduler_loop(shared: &Shared) {
                             prediction,
                         }));
                     }
+                    if let (Some(state), Some(angles), Some(labels)) =
+                        (mirror, mirror_angles, live_labels)
+                    {
+                        shadow_evaluate(shared, &state, angles, &labels, live_elapsed, seed);
+                    }
                 }
                 Err(e) => {
+                    // The live evaluation itself failed; the mirrored copy
+                    // is dropped — a candidate is never judged on traffic
+                    // the live model could not serve either.
                     for request in members {
                         shared.stats.failed.fetch_add(1, Ordering::Relaxed);
                         entry.stats().failed.fetch_add(1, Ordering::Relaxed);
@@ -671,6 +834,47 @@ fn scheduler_loop(shared: &Shared) {
                     }
                 }
             }
+        }
+    }
+}
+
+/// Runs one mirrored group on the shadow candidate and folds the outcome
+/// into its report. Runs on the scheduler thread, strictly after the
+/// group's user slots were fulfilled from the live model.
+fn shadow_evaluate(
+    shared: &Shared,
+    state: &ShadowState,
+    angles: Vec<Vec<f64>>,
+    live_labels: &[usize],
+    live_elapsed: Duration,
+    live_seed: u64,
+) {
+    let requests = angles.len() as u64;
+    // A seed stream disjoint from every live group's (group indices are
+    // tiny; u64::MAX is unreachable), so stochastic candidates cannot
+    // consume or perturb live randomness.
+    let shadow_seed = BatchExecutor::job_seed(live_seed, u64::MAX);
+    let started = Instant::now();
+    match state
+        .candidate()
+        .predict_many_from_angles(angles, &shared.executor, shadow_seed)
+    {
+        Ok(predictions) => {
+            let agreements = live_labels
+                .iter()
+                .zip(&predictions)
+                .filter(|(live, shadow)| **live == shadow.label)
+                .count() as u64;
+            state.record_batch(requests, agreements, live_elapsed, started.elapsed());
+            shared.stats.shadow_batches.fetch_add(1, Ordering::Relaxed);
+            shared
+                .stats
+                .shadow_requests
+                .fetch_add(requests, Ordering::Relaxed);
+        }
+        Err(_) => {
+            state.record_failure(requests);
+            shared.stats.shadow_batches.fetch_add(1, Ordering::Relaxed);
         }
     }
 }

@@ -575,6 +575,16 @@ fn metrics_to_json(m: &MetricsSnapshot) -> Json {
             Json::Num(m.refusal_write_failures as f64),
         ),
         ("draining_models", Json::Num(m.draining_models as f64)),
+        ("promotions", Json::Num(m.promotions as f64)),
+        ("rollbacks", Json::Num(m.rollbacks as f64)),
+        (
+            "candidates_rejected",
+            Json::Num(m.candidates_rejected as f64),
+        ),
+        ("train_cycles", Json::Num(m.train_cycles as f64)),
+        ("learner_panics", Json::Num(m.learner_panics as f64)),
+        ("shadow_batches", Json::Num(m.shadow_batches as f64)),
+        ("shadow_requests", Json::Num(m.shadow_requests as f64)),
         ("throughput_rps", Json::Num(m.throughput_rps())),
         ("p50_us", Json::Num(m.latency.p50_us())),
         ("p90_us", Json::Num(m.latency.p90_us())),

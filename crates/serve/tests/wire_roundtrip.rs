@@ -149,6 +149,23 @@ fn wire_exposes_models_and_metrics() {
             > 0.0
     );
     assert!(metrics.get("p50_us").and_then(Json::as_f64).unwrap() > 0.0);
+    // The online-learning counters ride along on the same op: two deploys
+    // count as promotions, nothing has been rejected or rolled back yet.
+    assert_eq!(metrics.get("promotions").and_then(Json::as_u64), Some(2));
+    for quiet in [
+        "rollbacks",
+        "candidates_rejected",
+        "train_cycles",
+        "learner_panics",
+        "shadow_batches",
+        "shadow_requests",
+    ] {
+        assert_eq!(
+            metrics.get(quiet).and_then(Json::as_u64),
+            Some(0),
+            "{quiet} should start at zero"
+        );
+    }
     let per_model = metrics.get("models").unwrap().as_arr().unwrap();
     assert_eq!(per_model.len(), 2);
     assert_eq!(

@@ -1,0 +1,198 @@
+//! Train-while-serve, end to end: a runtime serves live iris traffic
+//! without interruption while an `OnlineLearner` trains candidates on a
+//! replayed stream, shadow-evaluates them on mirrored traffic, promotes
+//! the ones that pass the accuracy + latency gate, and — when a scripted
+//! fault pushes a corrupted candidate past a bypassed gate — rolls the
+//! regression back within one cycle. Not a single request is dropped.
+//!
+//! ```text
+//! cargo run --release -p quclassi-examples --example online_learning
+//! ```
+//!
+//! Knobs: `QUCLASSI_ONLINE_WINDOW`, `QUCLASSI_SHADOW_RATE`,
+//! `QUCLASSI_PROMOTE_MIN_ACC` (plus the serving knobs the `serving`
+//! example documents).
+
+use quclassi::prelude::*;
+use quclassi_datasets::stream::ReplayStream;
+use quclassi_examples::percent;
+use quclassi_infer::CompiledModel;
+use quclassi_serve::prelude::*;
+use quclassi_serve::{CycleOutcome, Fault, FaultPlan, OnlineLearner};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(42);
+
+    // 1. Deploy v1: an *untrained* iris model. The learner's whole job is
+    //    to grow something better next to live traffic.
+    let base =
+        QuClassiModel::with_random_parameters(QuClassiConfig::qc_sde(4, 3), &mut rng).unwrap();
+    let v1 = CompiledModel::compile(&base, FidelityEstimator::analytic()).unwrap();
+    let runtime = ServeRuntime::start(
+        ServeConfig::from_env().expect("valid serve configuration"),
+        BatchExecutor::from_env(0).expect("invalid QUCLASSI_THREADS"),
+    )
+    .unwrap();
+    runtime.deploy("iris", v1).unwrap();
+    println!("deployed iris v1 (untrained)");
+
+    // 2. Live traffic: four producers hammer the runtime for the entire
+    //    run, across every promotion and rollback.
+    let stop = Arc::new(AtomicBool::new(false));
+    let sent = Arc::new(AtomicUsize::new(0));
+    let mut feed = ReplayStream::iris(404);
+    let (pool, _) = feed.next_window(24);
+    let pool = Arc::new(pool);
+    let producers: Vec<_> = (0..4)
+        .map(|producer| {
+            let client = runtime.client();
+            let stop = Arc::clone(&stop);
+            let sent = Arc::clone(&sent);
+            let pool = Arc::clone(&pool);
+            std::thread::spawn(move || {
+                let mut answered = 0usize;
+                let mut max_version = 0u64;
+                let mut i = 0usize;
+                while !stop.load(Ordering::Relaxed) {
+                    let x = &pool[(producer * 5 + i * 3) % pool.len()];
+                    match client.predict("iris", x) {
+                        Ok(reply) => {
+                            assert!(
+                                reply.version >= max_version,
+                                "versions only ever move forward"
+                            );
+                            max_version = reply.version;
+                            sent.fetch_add(1, Ordering::Relaxed);
+                            answered += 1;
+                        }
+                        Err(e) if e.is_retryable() => {
+                            std::thread::sleep(Duration::from_micros(200));
+                        }
+                        Err(other) => panic!("producer {producer}: {other}"),
+                    }
+                    i += 1;
+                }
+                answered
+            })
+        })
+        .collect();
+
+    // 3. The fault schedule: seeded, reproducible, printed up front. Cycle
+    //    3 corrupts the candidate *and* bypasses the gate — the injected
+    //    regression the learner must detect and roll back on cycle 4.
+    let plan = FaultPlan::new()
+        .inject(3, Fault::CorruptCandidate)
+        .inject(3, Fault::BypassGate);
+    assert_eq!(
+        FaultPlan::seeded(7, 6, 0.5),
+        FaultPlan::seeded(7, 6, 0.5),
+        "seeded schedules replay bit-for-bit"
+    );
+    println!("fault schedule: corrupt + bypass-gate at cycle 3 (deterministic)");
+
+    // 4. Start the learner: stream windows of replayed iris samples, train
+    //    a candidate per window, gate, shadow, promote. The env knobs
+    //    (QUCLASSI_ONLINE_WINDOW / QUCLASSI_SHADOW_RATE /
+    //    QUCLASSI_PROMOTE_MIN_ACC) land on top of the defaults.
+    let mut config = OnlineConfig::from_env().expect("valid online configuration");
+    config.window = 30;
+    config.epochs_per_cycle = 3;
+    config.min_shadow_requests = 8;
+    config.shadow_wait = Duration::from_secs(5);
+    config.promote_min_accuracy = config.promote_min_accuracy.min(0.6);
+    config.accuracy_tolerance = 1.0;
+    config.max_p99_ratio = 50.0;
+    config.rollback_min_accuracy = 0.5;
+    config.max_cycles = Some(6);
+    config.seed = 21;
+    let trainer = Trainer::new(
+        TrainingConfig {
+            learning_rate: 0.1,
+            ..Default::default()
+        },
+        FidelityEstimator::analytic(),
+    );
+    let learner = OnlineLearner::start_with_faults(
+        &runtime,
+        "iris",
+        base,
+        trainer,
+        ReplayStream::iris(7),
+        config,
+        plan,
+    )
+    .unwrap();
+    println!("online learner started: 6 cycles of train → shadow → gate\n");
+
+    // 5. Wait for the learner to finish its cycles, then stop traffic.
+    let report = learner.join();
+    stop.store(true, Ordering::Relaxed);
+    let answered: usize = producers.into_iter().map(|h| h.join().unwrap()).sum();
+
+    println!("== learner cycles ==");
+    for cycle in &report.cycles {
+        let accuracy = |a: Option<f64>| a.map_or("   -  ".to_string(), percent);
+        let shadow = cycle.shadow.as_ref().map_or(String::new(), |s| {
+            format!(
+                " | shadow: {} reqs, agree {}, p99 ratio {:.2}",
+                s.requests,
+                percent(s.agreement_rate()),
+                s.p99_ratio()
+            )
+        });
+        println!(
+            "cycle {}: live {} cand {} → {:?}{}",
+            cycle.cycle,
+            percent(cycle.live_accuracy),
+            accuracy(cycle.candidate_accuracy),
+            cycle.outcome,
+            shadow
+        );
+    }
+    assert!(
+        report.promotions() >= 1,
+        "the learner should promote at least one candidate"
+    );
+    assert!(
+        matches!(report.outcome_at(3), Some(&CycleOutcome::Promoted { .. })),
+        "cycle 3's corrupted candidate slips through the bypassed gate"
+    );
+    assert!(
+        matches!(report.outcome_at(4), Some(&CycleOutcome::RolledBack { .. })),
+        "cycle 4 detects the regression and rolls back"
+    );
+
+    // 6. The serving ledger: every single request answered, none dropped,
+    //    across promotions AND the rollback.
+    let metrics = runtime.shutdown();
+    println!("\n== serving metrics ==");
+    println!(
+        "completed {} / sent {} (failed {}, dropped 0 — exact match enforced below)",
+        metrics.completed,
+        sent.load(Ordering::Relaxed),
+        metrics.failed
+    );
+    assert_eq!(metrics.completed, answered as u64);
+    assert_eq!(metrics.completed, sent.load(Ordering::Relaxed) as u64);
+    assert_eq!(metrics.failed, 0);
+    println!(
+        "promotions {}, rollbacks {}, candidates rejected {}, train cycles {}",
+        metrics.promotions, metrics.rollbacks, metrics.candidates_rejected, metrics.train_cycles
+    );
+    println!(
+        "shadow: {} mirrored requests over {} batches",
+        metrics.shadow_requests, metrics.shadow_batches
+    );
+    println!(
+        "latency p50 {:.1}µs p99 {:.1}µs over {} live requests",
+        metrics.latency.p50_us(),
+        metrics.latency.p99_us(),
+        metrics.completed
+    );
+    println!("\nzero dropped requests across train → shadow → promote → rollback ✓");
+}

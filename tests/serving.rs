@@ -5,6 +5,7 @@
 //! batching window, batch size target, executor thread count, or arrival
 //! order.
 
+use proptest::prelude::*;
 use quclassi::model::{QuClassiConfig, QuClassiModel};
 use quclassi::swap_test::FidelityEstimator;
 use quclassi_infer::{CompiledModel, Prediction};
@@ -251,4 +252,79 @@ fn saturated_runtime_rejects_excess_but_answers_every_admitted_request() {
         "a 4-deep queue under 80 eager requests must saturate at least once"
     );
     assert!(metrics.peak_queue_depth <= 4);
+}
+
+proptest! {
+    // Each case spins up a full runtime with producer threads, so keep the
+    // case count small; the knob space is still swept meaningfully.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Shadow evaluation is invisible to users: with a candidate mirroring
+    /// live traffic at any rate, every user response stays bit-identical
+    /// to the direct evaluation of the live artifact — which is exactly
+    /// what a shadow-disabled runtime returns — for any batch window,
+    /// batch size target, and executor thread count.
+    #[test]
+    fn shadow_mirroring_never_changes_user_responses(
+        window_us in 0u64..400,
+        max_batch in 1usize..24,
+        threads in 1usize..4,
+        rate_pct in 1u32..=100,
+    ) {
+        const PRODUCERS: usize = 4;
+        const REQUESTS_PER_PRODUCER: usize = 20;
+        let pool = Arc::new(sample_pool(12));
+        let reference = Arc::new(references(21, &pool));
+
+        let runtime = ServeRuntime::start(
+            ServeConfig {
+                batch_window: Duration::from_micros(window_us),
+                max_batch,
+                queue_capacity: 4096,
+                base_seed: 0,
+            },
+            BatchExecutor::new(threads, 0),
+        )
+        .unwrap();
+        runtime.deploy("live", trained_compiled(21)).unwrap();
+        runtime
+            .start_shadow("live", trained_compiled(22), rate_pct as f64 / 100.0, 0)
+            .unwrap();
+
+        let handles: Vec<_> = (0..PRODUCERS)
+            .map(|producer| {
+                let client = runtime.client();
+                let pool = Arc::clone(&pool);
+                let reference = Arc::clone(&reference);
+                std::thread::spawn(move || {
+                    for i in 0..REQUESTS_PER_PRODUCER {
+                        let idx = (producer * 7 + i * 3) % pool.len();
+                        let response = client.predict("live", &pool[idx]).unwrap();
+                        assert_eq!(
+                            response.prediction, reference[idx],
+                            "shadow at {rate_pct}% changed a user response \
+                             (producer {producer}, request {i}, sample {idx})"
+                        );
+                    }
+                })
+            })
+            .collect();
+        for handle in handles {
+            handle.join().unwrap();
+        }
+
+        let report = runtime.clear_shadow().expect("shadow was installed");
+        prop_assert_eq!(report.failures, 0);
+        let metrics = runtime.shutdown();
+        let total = (PRODUCERS * REQUESTS_PER_PRODUCER) as u64;
+        prop_assert_eq!(metrics.completed, total);
+        prop_assert_eq!(metrics.failed, 0);
+        // The mirror only ever duplicates traffic, never consumes it. The
+        // global counter may run ahead of the report: a final mirrored
+        // batch can still be evaluating (after its user slots were
+        // fulfilled) when the shadow is uninstalled.
+        prop_assert!(report.requests <= total);
+        prop_assert!(metrics.shadow_requests >= report.requests);
+        prop_assert!(metrics.shadow_requests <= total);
+    }
 }
