@@ -25,6 +25,8 @@ pub struct CacheStats {
     pub hits: u64,
     /// Lookups that fell through to circuit evaluation.
     pub misses: u64,
+    /// Resident entries displaced to make room for new ones.
+    pub evictions: u64,
     /// Entries currently resident.
     pub entries: usize,
     /// Maximum resident entries (0 = caching disabled).
@@ -57,6 +59,7 @@ pub(crate) struct EncodingCache {
     tick: u64,
     hits: u64,
     misses: u64,
+    evictions: u64,
     map: HashMap<Vec<u64>, (Vec<f64>, u64)>,
 }
 
@@ -67,6 +70,7 @@ impl EncodingCache {
             tick: 0,
             hits: 0,
             misses: 0,
+            evictions: 0,
             map: HashMap::with_capacity(capacity.min(1024)),
         }
     }
@@ -105,6 +109,7 @@ impl EncodingCache {
                 .map(|(k, _)| k.clone())
             {
                 self.map.remove(&oldest);
+                self.evictions += 1;
             }
         }
         self.map.insert(key, (fidelities, self.tick));
@@ -114,6 +119,7 @@ impl EncodingCache {
         CacheStats {
             hits: self.hits,
             misses: self.misses,
+            evictions: self.evictions,
             entries: self.map.len(),
             capacity: self.capacity,
         }
@@ -242,6 +248,8 @@ mod tests {
         assert_eq!(c.stats().entries, 2);
         assert_eq!(c.stats().misses, 6);
         assert_eq!(c.stats().hits, 0);
+        // 6 inserts into a capacity-2 cache displaced 4 residents.
+        assert_eq!(c.stats().evictions, 4);
         // The two most recent keys are resident; older ones miss again.
         assert!(c.get(&[5]).is_some());
         assert!(c.get(&[4]).is_some());

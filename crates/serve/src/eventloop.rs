@@ -63,11 +63,13 @@
 
 use crate::error::ServeError;
 use crate::json::Json;
-use crate::runtime::{Client, CompletionNotifier, PendingPrediction};
+use crate::metrics::Gauge;
+use crate::runtime::{Client, CompletionNotifier, PendingPrediction, ResponseSlot};
 use crate::wire::{
-    append_frame, error_response, interpret, prediction_to_json, refuse_stream, with_id,
-    FrameDecoder, WireAction, WireConfig, ACCEPT_ERROR_BACKOFF, READ_CHUNK_BYTES,
+    append_frame, error_response, interpret, prediction_to_json, refuse_stream, trace_id_for,
+    with_id, FrameDecoder, WireAction, WireConfig, ACCEPT_ERROR_BACKOFF, READ_CHUNK_BYTES,
 };
+use std::collections::VecDeque;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -152,6 +154,9 @@ impl WireServer {
         let mut shards = Vec::with_capacity(config.shards);
         for (index, poller) in pollers.into_iter().enumerate() {
             let waker = Arc::clone(&mailboxes[index].waker);
+            let shard_connections = client.metrics_registry().gauge(&format!(
+                "quclassi_wire_shard_connections{{shard=\"{index}\"}}"
+            ));
             let shard = Shard {
                 index,
                 poller,
@@ -168,6 +173,7 @@ impl WireServer {
                 next_generation: 0,
                 sweep_interval: sweep_interval(&config),
                 last_sweep: Instant::now(),
+                shard_connections,
             };
             let thread = std::thread::Builder::new()
                 .name(format!("quclassi-wire-shard{index}"))
@@ -279,11 +285,28 @@ struct Conn {
     /// Close once `out` drains (set after a protocol error: the error
     /// frame should reach the peer, but framing cannot be resynchronised).
     closing: bool,
+    /// Total response bytes ever enqueued on this connection (monotonic,
+    /// unlike `out`, which is cleared on drain).
+    queued_total: u64,
+    /// Total response bytes the socket has accepted.
+    written_total: u64,
+    /// Prediction responses awaiting their write-completion stamp: once
+    /// `written_total` reaches the recorded offset, the response's last
+    /// byte hit the socket and its trace span is recorded. Offsets are
+    /// enqueued in write order, so only the front is ever inspected.
+    trace_writes: VecDeque<(u64, Instant, Arc<ResponseSlot>)>,
 }
 
 impl Conn {
     fn buffered_out(&self) -> usize {
         self.out.len() - self.out_pos
+    }
+
+    /// Frames `payload` onto the output buffer, tracking the monotonic
+    /// enqueued-byte offset for write-completion stamping.
+    fn enqueue_frame(&mut self, payload: &[u8]) {
+        append_frame(&mut self.out, payload);
+        self.queued_total += 4 + payload.len() as u64;
     }
 }
 
@@ -315,6 +338,21 @@ struct Shard {
     next_generation: u64,
     sweep_interval: Option<Duration>,
     last_sweep: Instant,
+    /// `quclassi_wire_shard_connections{shard="N"}`: connections this
+    /// shard currently owns.
+    shard_connections: Gauge,
+}
+
+impl Shard {
+    /// Mirrors the cross-shard open-connection count into the
+    /// `quclassi_wire_connections` gauge (called after every change to
+    /// `open`; last writer wins, which converges on the true count).
+    fn sync_open_gauge(&self) {
+        self.client
+            .runtime_stats()
+            .wire_connections
+            .set(self.open.load(Ordering::Relaxed) as u64);
+    }
 }
 
 impl Shard {
@@ -361,10 +399,12 @@ impl Shard {
         // Teardown: every owned connection closes (streams drop) and
         // leaves the cap; in-flight predictions resolve into dropped
         // slots (the scheduler still answers them — nobody is listening).
-        for conn in self.conns.drain(..).flatten() {
-            drop(conn);
+        let drained = self.conns.drain(..).flatten().count();
+        for _ in 0..drained {
             self.open.fetch_sub(1, Ordering::Relaxed);
+            self.shard_connections.sub(1);
         }
+        self.sync_open_gauge();
     }
 
     /// Shard 0 only: accept until the listener runs dry, refusing over-cap
@@ -409,6 +449,7 @@ impl Shard {
             // stall ~40 ms behind Nagle + delayed ACK.
             let _ = stream.set_nodelay(true);
             self.open.fetch_add(1, Ordering::Relaxed);
+            self.sync_open_gauge();
             let peer = self.next_peer;
             self.next_peer = (self.next_peer + 1) % self.mailboxes.len();
             self.mailboxes[peer]
@@ -448,9 +489,11 @@ impl Shard {
             {
                 self.free.push(slot);
                 self.open.fetch_sub(1, Ordering::Relaxed);
+                self.sync_open_gauge();
                 continue;
             }
             self.next_generation += 1;
+            self.shard_connections.add(1);
             let now = Instant::now();
             self.conns[slot] = Some(Conn {
                 stream,
@@ -462,6 +505,9 @@ impl Shard {
                 last_read: now,
                 last_write: now,
                 closing: false,
+                queued_total: 0,
+                written_total: 0,
+                trace_writes: VecDeque::new(),
             });
         }
     }
@@ -484,7 +530,14 @@ impl Shard {
             let response = with_id(response, entry.id);
             if let Some(conn) = self.conns.get_mut(entry.slot).and_then(Option::as_mut) {
                 if conn.generation == entry.generation {
-                    append_frame(&mut conn.out, response.to_string().as_bytes());
+                    conn.enqueue_frame(response.to_string().as_bytes());
+                    // The write stage runs from here (response enqueued)
+                    // to the moment the socket accepts its last byte.
+                    conn.trace_writes.push_back((
+                        conn.queued_total,
+                        Instant::now(),
+                        entry.handle.trace_slot(),
+                    ));
                     touched.push(entry.slot);
                 }
             }
@@ -553,7 +606,7 @@ impl Shard {
                 // Oversized frame claim: answer why, then close once the
                 // error frame is out (framing is now desynchronised).
                 let response = error_response(&e).to_string();
-                append_frame(&mut conn.out, response.as_bytes());
+                conn.enqueue_frame(response.as_bytes());
                 conn.closing = true;
                 break;
             }
@@ -573,7 +626,7 @@ impl Shard {
         match interpret(frame, &self.client) {
             WireAction::Respond(response) => {
                 if let Some(conn) = self.conns.get_mut(slot).and_then(Option::as_mut) {
-                    append_frame(&mut conn.out, response.to_string().as_bytes());
+                    conn.enqueue_frame(response.to_string().as_bytes());
                 }
             }
             WireAction::Predict {
@@ -583,10 +636,12 @@ impl Shard {
             } => {
                 let waker = Arc::clone(&self.mailboxes[self.index].waker);
                 let notifier: CompletionNotifier = Arc::new(move || waker.wake());
-                match self
-                    .client
-                    .submit_with_notifier(&model, &features, notifier)
-                {
+                match self.client.submit_wire(
+                    &model,
+                    &features,
+                    Some(notifier),
+                    trace_id_for(id.as_ref()),
+                ) {
                     Ok(handle) => {
                         let generation = match self.conns.get(slot).and_then(Option::as_ref) {
                             Some(conn) => conn.generation,
@@ -605,7 +660,7 @@ impl Shard {
                         // the connection lives on.
                         let response = with_id(error_response(&e), id);
                         if let Some(conn) = self.conns.get_mut(slot).and_then(Option::as_mut) {
-                            append_frame(&mut conn.out, response.to_string().as_bytes());
+                            conn.enqueue_frame(response.to_string().as_bytes());
                         }
                     }
                 }
@@ -613,9 +668,13 @@ impl Shard {
         }
     }
 
-    /// Writes buffered output until the socket stops accepting, then
-    /// reconciles poller interest (and closes drained `closing` conns).
+    /// Writes buffered output until the socket stops accepting, stamping
+    /// the write stage of every prediction response whose last byte the
+    /// socket accepted, then reconciles poller interest (and closes
+    /// drained `closing` conns).
     fn flush(&mut self, slot: usize) {
+        let mut finished: Vec<(Arc<ResponseSlot>, u64)> = Vec::new();
+        let mut close_after = false;
         loop {
             let Some(conn) = self.conns.get_mut(slot).and_then(Option::as_mut) else {
                 return;
@@ -624,28 +683,44 @@ impl Shard {
                 conn.out.clear();
                 conn.out_pos = 0;
                 conn.last_write = Instant::now();
-                if conn.closing {
-                    self.close(slot);
-                    return;
-                }
+                close_after = conn.closing;
                 break;
             }
             match conn.stream.write(&conn.out[conn.out_pos..]) {
                 Ok(0) => {
-                    self.close(slot);
-                    return;
+                    close_after = true;
+                    break;
                 }
                 Ok(n) => {
                     conn.out_pos += n;
+                    conn.written_total += n as u64;
                     conn.last_write = Instant::now();
+                    while conn
+                        .trace_writes
+                        .front()
+                        .is_some_and(|(target, _, _)| *target <= conn.written_total)
+                    {
+                        let (_, enqueued, response_slot) =
+                            conn.trace_writes.pop_front().expect("front exists");
+                        finished.push((response_slot, enqueued.elapsed().as_nanos() as u64));
+                    }
                 }
                 Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
                 Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
                 Err(_) => {
-                    self.close(slot);
-                    return;
+                    close_after = true;
+                    break;
                 }
             }
+        }
+        // Record outside the connection borrow: delivered responses keep
+        // their spans even when the connection dies right after.
+        for (response_slot, write_ns) in finished {
+            self.client.finish_wire_write(&response_slot, write_ns);
+        }
+        if close_after {
+            self.close(slot);
+            return;
         }
         self.update_interest(slot);
     }
@@ -708,7 +783,9 @@ impl Shard {
 
     /// Releases a connection: poller registration, slot, cap count. The
     /// stream drops (closes) here; pending predictions for the slot are
-    /// left to resolve and are discarded by the generation check.
+    /// left to resolve and are discarded by the generation check, and
+    /// undelivered responses' trace spans drop with the connection (an
+    /// undelivered response has no write-stage completion to stamp).
     fn close(&mut self, slot: usize) {
         let Some(conn) = self.conns.get_mut(slot).and_then(Option::take) else {
             return;
@@ -717,5 +794,7 @@ impl Shard {
         drop(conn);
         self.free.push(slot);
         self.open.fetch_sub(1, Ordering::Relaxed);
+        self.shard_connections.sub(1);
+        self.sync_open_gauge();
     }
 }

@@ -87,13 +87,17 @@ pub mod registry;
 pub mod runtime;
 pub mod shadow;
 pub mod threaded;
+pub mod trace;
 pub mod wire;
 
 pub use error::ServeError;
 pub use eventloop::WireServer;
 #[cfg(any(test, feature = "fault-injection"))]
 pub use faults::{Fault, FaultPlan};
-pub use metrics::{FlushReason, HistogramSnapshot, LatencyHistogram, ModelStatsSnapshot};
+pub use metrics::{
+    Counter, FloatGauge, FlushReason, Gauge, HistogramSnapshot, LatencyHistogram, MetricsRegistry,
+    ModelStatsSnapshot, StageLatencies,
+};
 pub use online::{CycleOutcome, CycleReport, OnlineConfig, OnlineLearner, OnlineReport};
 pub use registry::{ModelEntry, ModelRegistry};
 pub use runtime::{
@@ -102,6 +106,7 @@ pub use runtime::{
 };
 pub use shadow::ShadowReport;
 pub use threaded::ThreadedWireServer;
+pub use trace::{TraceRing, TraceSpan, DEFAULT_TRACE_CAPACITY};
 pub use wire::{FrameDecoder, WireClient, WireConfig, WirePrediction};
 
 /// Re-exports of the most commonly used serving types.

@@ -1,5 +1,5 @@
-//! Serving metrics: latency histograms, per-model counters, and the
-//! runtime-wide snapshot.
+//! Serving metrics: the central registry, lock-free latency histograms,
+//! per-model counters, and the runtime-wide snapshot.
 //!
 //! Everything on the hot path is a relaxed atomic — recording a latency or
 //! bumping a counter never takes a lock, so metrics cannot perturb the
@@ -12,19 +12,40 @@
 //! report byte-identical p50 and p99 (e.g. 11.6/11.6 µs) whenever both
 //! ranks landed in the same bucket; the sub-bucket interpolation keeps the
 //! lock-free recording path untouched while separating quantiles that
-//! differ in rank, not just in bucket.
+//! differ in rank, not just in bucket. Exact lock-free min/max accompany
+//! every histogram, and quantile read-outs are clamped into `[min, max]`
+//! so interpolation can never report a value outside what was observed.
+//!
+//! ## The registry
+//!
+//! [`MetricsRegistry`] is the single namespace every serving metric lives
+//! in: counters, gauges, float gauges, and histograms are registered once
+//! by name and handed back as cheap cloneable handles ([`Counter`],
+//! [`Gauge`], [`FloatGauge`], `Arc<`[`LatencyHistogram`]`>`) that write
+//! with relaxed atomics. [`MetricsRegistry::expose`] renders the whole
+//! namespace as Prometheus-style text so it can be scraped or diffed
+//! without JSON parsing. Names follow
+//! `quclassi_<area>_<metric>[_total|_ns]` — `_total` for monotone
+//! counters, `_ns` for nanosecond histograms, labels in `{key="value"}`
+//! form for per-shard / per-model series.
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 
 /// Number of histogram buckets: one per possible `floor(log2)` of a `u64`
 /// nanosecond count.
 pub const HISTOGRAM_BUCKETS: usize = 64;
 
-/// A lock-free latency histogram with power-of-two buckets.
+/// A lock-free latency histogram with power-of-two buckets and exact
+/// min/max tracking.
 #[derive(Debug)]
 pub struct LatencyHistogram {
     counts: [AtomicU64; HISTOGRAM_BUCKETS],
     total_ns: AtomicU64,
+    /// Smallest observation; `u64::MAX` until the first record.
+    min_ns: AtomicU64,
+    /// Largest observation; 0 until the first record.
+    max_ns: AtomicU64,
 }
 
 impl Default for LatencyHistogram {
@@ -32,6 +53,8 @@ impl Default for LatencyHistogram {
         LatencyHistogram {
             counts: std::array::from_fn(|_| AtomicU64::new(0)),
             total_ns: AtomicU64::new(0),
+            min_ns: AtomicU64::new(u64::MAX),
+            max_ns: AtomicU64::new(0),
         }
     }
 }
@@ -57,6 +80,8 @@ impl LatencyHistogram {
             63 - ns.leading_zeros() as usize
         };
         self.counts[bucket].fetch_add(1, Ordering::Relaxed);
+        self.min_ns.fetch_min(ns, Ordering::Relaxed);
+        self.max_ns.fetch_max(ns, Ordering::Relaxed);
         self.total_ns.fetch_add(ns, Ordering::Release);
     }
 
@@ -76,7 +101,12 @@ impl LatencyHistogram {
         for (slot, c) in counts.iter_mut().zip(self.counts.iter()) {
             *slot = c.load(Ordering::Relaxed);
         }
-        HistogramSnapshot { counts, total_ns }
+        HistogramSnapshot {
+            counts,
+            total_ns,
+            min_ns: self.min_ns.load(Ordering::Relaxed),
+            max_ns: self.max_ns.load(Ordering::Relaxed),
+        }
     }
 }
 
@@ -85,6 +115,8 @@ impl LatencyHistogram {
 pub struct HistogramSnapshot {
     counts: [u64; HISTOGRAM_BUCKETS],
     total_ns: u64,
+    min_ns: u64,
+    max_ns: u64,
 }
 
 impl Default for HistogramSnapshot {
@@ -92,6 +124,8 @@ impl Default for HistogramSnapshot {
         HistogramSnapshot {
             counts: [0; HISTOGRAM_BUCKETS],
             total_ns: 0,
+            min_ns: u64::MAX,
+            max_ns: 0,
         }
     }
 }
@@ -100,6 +134,30 @@ impl HistogramSnapshot {
     /// Total number of recorded observations.
     pub fn count(&self) -> u64 {
         self.counts.iter().sum()
+    }
+
+    /// Sum of all recorded observations, in nanoseconds.
+    pub fn sum_ns(&self) -> u64 {
+        self.total_ns
+    }
+
+    /// Smallest recorded observation in nanoseconds (0 when empty).
+    pub fn min_ns(&self) -> u64 {
+        if self.min_ns == u64::MAX {
+            0
+        } else {
+            self.min_ns
+        }
+    }
+
+    /// Largest recorded observation in nanoseconds (0 when empty).
+    pub fn max_ns(&self) -> u64 {
+        self.max_ns
+    }
+
+    /// Per-bucket counts, for exposition rendering.
+    pub(crate) fn bucket_counts(&self) -> &[u64; HISTOGRAM_BUCKETS] {
+        &self.counts
     }
 
     /// Mean observation in nanoseconds (0.0 when empty). The mean is exact
@@ -123,12 +181,24 @@ impl HistogramSnapshot {
     /// the span). Two quantiles whose ranks differ therefore read out
     /// differently even when both land in the same bucket — the raw
     /// bucket midpoint used to collapse them into identical values.
+    /// Interpolated values are clamped into the exact observed
+    /// `[min, max]` range, so the worst-case read-out (p100) is the true
+    /// maximum rather than a bucket-granular estimate.
     pub fn quantile_ns(&self, q: f64) -> u64 {
         let n = self.count();
         if n == 0 {
             return 0;
         }
         let rank = ((q.clamp(0.0, 1.0) * n as f64).ceil() as u64).max(1);
+        // The extreme ranks are tracked exactly — no interpolation needed.
+        if self.min_ns <= self.max_ns {
+            if rank == 1 {
+                return self.min_ns;
+            }
+            if rank == n {
+                return self.max_ns;
+            }
+        }
         let mut seen = 0u64;
         for (bucket, &c) in self.counts.iter().enumerate() {
             if c == 0 {
@@ -138,14 +208,35 @@ impl HistogramSnapshot {
             if seen >= rank {
                 // Rank position among this bucket's entries, midpoint
                 // rule: the k-th of c entries sits at (k − ½)/c of the
-                // bucket span. Bucket b spans [2^b, 2^(b+1)), width 2^b.
+                // bucket span. Bucket b spans [2^b, 2^(b+1)); the span is
+                // narrowed to the observed [min, max] range where they
+                // overlap (the buckets holding the extremes), so quantiles
+                // stay distinct even when every observation shares one
+                // bucket instead of collapsing to the clamped maximum.
                 let into = rank - (seen - c);
-                let low = (1u64 << bucket) as f64;
+                let mut low = (1u64 << bucket) as f64;
+                let mut high = low * 2.0;
+                if self.min_ns <= self.max_ns {
+                    low = low.max(self.min_ns as f64);
+                    high = high.min(self.max_ns as f64 + 1.0).max(low);
+                }
                 let position = (into as f64 - 0.5) / c as f64;
-                return (low + low * position).round() as u64;
+                return self.clamp_to_observed((low + (high - low) * position).round() as u64);
             }
         }
         u64::MAX
+    }
+
+    /// Clamps an interpolated quantile into the observed `[min, max]`
+    /// range. Skipped when the tracked extremes are inconsistent
+    /// (`min > max`), which happens transiently when a snapshot races a
+    /// recorder between its count and min/max updates.
+    fn clamp_to_observed(&self, ns: u64) -> u64 {
+        if self.min_ns <= self.max_ns {
+            ns.clamp(self.min_ns, self.max_ns)
+        } else {
+            ns
+        }
     }
 
     /// Median latency in microseconds.
@@ -164,14 +255,377 @@ impl HistogramSnapshot {
     }
 }
 
+/// A monotonically increasing counter handle.
+///
+/// Cheap to clone (an `Arc` around one atomic); all writes are relaxed
+/// single instructions. Handed out by [`MetricsRegistry::counter`] — or
+/// free-standing via `Counter::default()` for unregistered use in tests.
+#[derive(Clone, Debug, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge handle: a value that can go up and down (queue depth, open
+/// connections, in-flight requests).
+#[derive(Clone, Debug, Default)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    /// Sets the value.
+    #[inline]
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Increments by `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Decrements by `n`, saturating at zero (a racing double-decrement
+    /// must read as an empty gauge, not wrap to 2^64).
+    #[inline]
+    pub fn sub(&self, n: u64) {
+        let _ = self
+            .0
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+                Some(v.saturating_sub(n))
+            });
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge holding an `f64` (accuracies, ratios), stored as raw bits in
+/// one atomic so reads and writes stay lock-free and tear-free.
+#[derive(Clone, Debug)]
+pub struct FloatGauge(Arc<AtomicU64>);
+
+impl Default for FloatGauge {
+    fn default() -> Self {
+        FloatGauge(Arc::new(AtomicU64::new(0f64.to_bits())))
+    }
+}
+
+impl FloatGauge {
+    /// Sets the value.
+    #[inline]
+    pub fn set(&self, v: f64) {
+        self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+/// One registered metric.
+#[derive(Debug)]
+struct Metric {
+    name: String,
+    kind: MetricKind,
+}
+
+#[derive(Debug)]
+enum MetricKind {
+    Counter(Counter),
+    Gauge(Gauge),
+    FloatGauge(FloatGauge),
+    Histogram(Arc<LatencyHistogram>),
+}
+
+impl MetricKind {
+    fn type_name(&self) -> &'static str {
+        match self {
+            MetricKind::Counter(_) => "counter",
+            MetricKind::Gauge(_) | MetricKind::FloatGauge(_) => "gauge",
+            MetricKind::Histogram(_) => "histogram",
+        }
+    }
+}
+
+/// The central namespace of named serving metrics.
+///
+/// Registration is register-or-get: asking for an existing name of the
+/// same kind returns a handle to the *same* underlying metric (so shards,
+/// frontends and the runtime can share series without plumbing), while a
+/// kind mismatch panics — that is a naming bug, not a runtime condition.
+/// Registration takes a lock; the returned handles never do.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    metrics: Mutex<Vec<Metric>>,
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn register_or_get<T: Clone>(
+        &self,
+        name: &str,
+        make: impl FnOnce() -> (T, MetricKind),
+        get: impl Fn(&MetricKind) -> Option<T>,
+    ) -> T {
+        let mut metrics = self.metrics.lock().expect("metrics registry poisoned");
+        if let Some(existing) = metrics.iter().find(|m| m.name == name) {
+            return get(&existing.kind).unwrap_or_else(|| {
+                panic!(
+                    "metric {name:?} already registered as a {}",
+                    existing.kind.type_name()
+                )
+            });
+        }
+        let (handle, kind) = make();
+        metrics.push(Metric {
+            name: name.to_string(),
+            kind,
+        });
+        handle
+    }
+
+    /// Registers (or retrieves) a counter.
+    pub fn counter(&self, name: &str) -> Counter {
+        self.register_or_get(
+            name,
+            || {
+                let c = Counter::default();
+                (c.clone(), MetricKind::Counter(c))
+            },
+            |k| match k {
+                MetricKind::Counter(c) => Some(c.clone()),
+                _ => None,
+            },
+        )
+    }
+
+    /// Registers (or retrieves) a gauge.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        self.register_or_get(
+            name,
+            || {
+                let g = Gauge::default();
+                (g.clone(), MetricKind::Gauge(g))
+            },
+            |k| match k {
+                MetricKind::Gauge(g) => Some(g.clone()),
+                _ => None,
+            },
+        )
+    }
+
+    /// Registers (or retrieves) a float gauge.
+    pub fn float_gauge(&self, name: &str) -> FloatGauge {
+        self.register_or_get(
+            name,
+            || {
+                let g = FloatGauge::default();
+                (g.clone(), MetricKind::FloatGauge(g))
+            },
+            |k| match k {
+                MetricKind::FloatGauge(g) => Some(g.clone()),
+                _ => None,
+            },
+        )
+    }
+
+    /// Registers (or retrieves) a latency histogram.
+    pub fn histogram(&self, name: &str) -> Arc<LatencyHistogram> {
+        self.register_or_get(
+            name,
+            || {
+                let h = Arc::new(LatencyHistogram::new());
+                (Arc::clone(&h), MetricKind::Histogram(h))
+            },
+            |k| match k {
+                MetricKind::Histogram(h) => Some(Arc::clone(h)),
+                _ => None,
+            },
+        )
+    }
+
+    /// Registered metric names, in registration order.
+    pub fn names(&self) -> Vec<String> {
+        self.metrics
+            .lock()
+            .expect("metrics registry poisoned")
+            .iter()
+            .map(|m| m.name.clone())
+            .collect()
+    }
+
+    /// Renders every registered metric as Prometheus-style text.
+    ///
+    /// One `# TYPE` line per metric family (the name with any `{…}` label
+    /// suffix stripped), then the sample lines. Histograms render
+    /// cumulative `_bucket{le="…"}` series over their non-empty log2
+    /// buckets plus `_sum`, `_count`, and the exact `_min`/`_max`.
+    pub fn expose(&self) -> String {
+        let metrics = self.metrics.lock().expect("metrics registry poisoned");
+        let mut out = String::with_capacity(metrics.len() * 64);
+        let mut typed: Vec<&str> = Vec::new();
+        for m in metrics.iter() {
+            let base = family_name(&m.name);
+            if !typed.contains(&base) {
+                typed.push(base);
+                out.push_str("# TYPE ");
+                out.push_str(base);
+                out.push(' ');
+                out.push_str(m.kind.type_name());
+                out.push('\n');
+            }
+            match &m.kind {
+                MetricKind::Counter(c) => {
+                    append_sample(&mut out, &m.name, &c.get().to_string());
+                }
+                MetricKind::Gauge(g) => {
+                    append_sample(&mut out, &m.name, &g.get().to_string());
+                }
+                MetricKind::FloatGauge(g) => {
+                    append_sample(&mut out, &m.name, &format_f64(g.get()));
+                }
+                MetricKind::Histogram(h) => {
+                    expose_histogram(&mut out, &m.name, &h.snapshot());
+                }
+            }
+        }
+        out
+    }
+}
+
+/// The metric-family name: the registered name with any label suffix
+/// stripped.
+fn family_name(name: &str) -> &str {
+    name.split('{').next().unwrap_or(name)
+}
+
+pub(crate) fn append_sample(out: &mut String, name: &str, value: &str) {
+    out.push_str(name);
+    out.push(' ');
+    out.push_str(value);
+    out.push('\n');
+}
+
+/// Formats an `f64` for exposition (finite shortest-form, `NaN`/`±Inf`
+/// spelled the Prometheus way).
+pub(crate) fn format_f64(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_string()
+    } else if v.is_infinite() {
+        if v > 0.0 { "+Inf" } else { "-Inf" }.to_string()
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Renders one histogram snapshot in exposition form. Shared by the
+/// registry (registered histograms) and the runtime's dynamic per-model
+/// series.
+pub(crate) fn expose_histogram(out: &mut String, name: &str, snap: &HistogramSnapshot) {
+    let (base, labels) = match name.find('{') {
+        Some(i) => (&name[..i], &name[i..name.len() - 1]),
+        None => (name, ""),
+    };
+    let label_sep = if labels.is_empty() { "{" } else { ", " };
+    let mut cumulative = 0u64;
+    for (bucket, &c) in snap.bucket_counts().iter().enumerate() {
+        if c == 0 {
+            continue;
+        }
+        cumulative += c;
+        // Bucket b spans [2^b, 2^(b+1)): its inclusive upper bound.
+        let le = if bucket == 63 {
+            u64::MAX
+        } else {
+            (1u64 << (bucket + 1)) - 1
+        };
+        out.push_str(base);
+        out.push_str("_bucket");
+        if labels.is_empty() {
+            out.push_str(&format!("{{le=\"{le}\"}}"));
+        } else {
+            out.push_str(labels);
+            out.push_str(&format!("{label_sep}le=\"{le}\"}}"));
+        }
+        out.push(' ');
+        out.push_str(&cumulative.to_string());
+        out.push('\n');
+    }
+    let suffix_name = |suffix: &str| {
+        if labels.is_empty() {
+            format!("{base}{suffix}")
+        } else {
+            format!("{base}{suffix}{labels}}}")
+        }
+    };
+    if labels.is_empty() {
+        append_sample(
+            out,
+            &format!("{base}_bucket{{le=\"+Inf\"}}"),
+            &cumulative.to_string(),
+        );
+    } else {
+        append_sample(
+            out,
+            &format!("{base}_bucket{labels}{label_sep}le=\"+Inf\"}}"),
+            &cumulative.to_string(),
+        );
+    }
+    append_sample(out, &suffix_name("_sum"), &snap.sum_ns().to_string());
+    append_sample(out, &suffix_name("_count"), &snap.count().to_string());
+    append_sample(out, &suffix_name("_min"), &snap.min_ns().to_string());
+    append_sample(out, &suffix_name("_max"), &snap.max_ns().to_string());
+}
+
+/// Escapes a label value for exposition (`\` → `\\`, `"` → `\"`,
+/// newline → `\n`).
+pub(crate) fn escape_label(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for ch in value.chars() {
+        match ch {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
 /// Lock-free per-model counters, owned by a registry entry and shared by
 /// every request that resolves to it.
 #[derive(Debug, Default)]
 pub struct ModelStats {
-    pub(crate) admitted: AtomicU64,
-    pub(crate) completed: AtomicU64,
-    pub(crate) failed: AtomicU64,
-    pub(crate) rejected: AtomicU64,
+    pub(crate) admitted: Counter,
+    pub(crate) completed: Counter,
+    pub(crate) failed: Counter,
+    pub(crate) rejected: Counter,
     pub(crate) latency: LatencyHistogram,
 }
 
@@ -179,10 +633,10 @@ impl ModelStats {
     /// An immutable copy of the counters.
     pub fn snapshot(&self) -> ModelStatsSnapshot {
         ModelStatsSnapshot {
-            admitted: self.admitted.load(Ordering::Relaxed),
-            completed: self.completed.load(Ordering::Relaxed),
-            failed: self.failed.load(Ordering::Relaxed),
-            rejected: self.rejected.load(Ordering::Relaxed),
+            admitted: self.admitted.get(),
+            completed: self.completed.get(),
+            failed: self.failed.get(),
+            rejected: self.rejected.get(),
             latency: self.latency.snapshot(),
         }
     }
@@ -214,60 +668,160 @@ pub enum FlushReason {
     Close,
 }
 
-/// Lock-free runtime-wide counters.
-#[derive(Debug, Default)]
+/// Per-request pipeline stage latency histograms: where a request's
+/// end-to-end time actually went.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StageLatencies {
+    /// Admission-side encoding (feature → rotation angles) time.
+    pub encode: HistogramSnapshot,
+    /// Time spent queued between admission and scheduler pickup.
+    pub queue_wait: HistogramSnapshot,
+    /// Scheduler batch-assembly time (drain → group → dispatch).
+    pub assemble: HistogramSnapshot,
+    /// Batch compute time (the `predict_many_from_angles` call).
+    pub compute: HistogramSnapshot,
+    /// Wire write time (response serialised → bytes drained to the
+    /// socket). Zero for in-process requests, which have no write stage.
+    pub write: HistogramSnapshot,
+}
+
+/// Runtime-wide counters, gauges, and histograms — every field is a handle
+/// into one shared [`MetricsRegistry`], so the same values are readable as
+/// typed fields (hot paths, [`crate::runtime::MetricsSnapshot`]) and as
+/// named series in the text exposition.
+#[derive(Debug)]
 pub struct RuntimeStats {
-    pub(crate) admitted: AtomicU64,
-    pub(crate) rejected: AtomicU64,
-    pub(crate) completed: AtomicU64,
-    pub(crate) failed: AtomicU64,
-    pub(crate) batches: AtomicU64,
-    pub(crate) batched_requests: AtomicU64,
-    pub(crate) flush_on_size: AtomicU64,
-    pub(crate) flush_on_deadline: AtomicU64,
-    pub(crate) flush_on_close: AtomicU64,
+    pub(crate) admitted: Counter,
+    pub(crate) rejected: Counter,
+    pub(crate) completed: Counter,
+    pub(crate) failed: Counter,
+    pub(crate) batches: Counter,
+    pub(crate) batched_requests: Counter,
+    pub(crate) flush_on_size: Counter,
+    pub(crate) flush_on_deadline: Counter,
+    pub(crate) flush_on_close: Counter,
     /// Connections refused at the wire boundary (over the connection cap)
     /// with a `saturated` error frame.
-    pub(crate) wire_refusals: AtomicU64,
+    pub(crate) wire_refusals: Counter,
     /// Refusals whose error frame could not be written to the peer. A
     /// refused client that also failed the write never *saw* the
     /// backpressure signal — operationally distinct from a served refusal,
     /// so it is counted separately instead of silently discarded.
-    pub(crate) refusal_write_failures: AtomicU64,
+    pub(crate) refusal_write_failures: Counter,
     /// Successful deploys through the runtime (initial deploys and
     /// online-learner candidate promotions alike): the promotion history
     /// the registry itself does not keep.
-    pub(crate) promotions: AtomicU64,
+    pub(crate) promotions: Counter,
     /// Rollbacks to a name's previous artifact (each redeployed as a new
     /// monotonic version, so a rollback never reuses a version number).
-    pub(crate) rollbacks: AtomicU64,
+    pub(crate) rollbacks: Counter,
     /// Online-learner candidates that failed validation, compilation, the
     /// promotion gate, or the deploy warm-up — none of which ever reached
     /// the registry.
-    pub(crate) candidates_rejected: AtomicU64,
+    pub(crate) candidates_rejected: Counter,
     /// Training cycles the online learner has started.
-    pub(crate) train_cycles: AtomicU64,
+    pub(crate) train_cycles: Counter,
     /// Trainer panics caught and survived by the online learner.
-    pub(crate) learner_panics: AtomicU64,
+    pub(crate) learner_panics: Counter,
     /// Scheduler flushes mirrored to a shadow candidate.
-    pub(crate) shadow_batches: AtomicU64,
+    pub(crate) shadow_batches: Counter,
     /// Requests duplicated onto a shadow candidate (user responses always
     /// come from the live model only).
-    pub(crate) shadow_requests: AtomicU64,
-    pub(crate) latency: LatencyHistogram,
+    pub(crate) shadow_requests: Counter,
+    /// Requests currently queued (mirrors the bounded queue's occupancy).
+    pub(crate) queue_depth: Gauge,
+    /// Requests admitted but not yet answered (queued + being evaluated).
+    pub(crate) in_flight: Gauge,
+    /// Open wire connections across all frontends and shards.
+    pub(crate) wire_connections: Gauge,
+    /// Live-model holdout accuracy from the latest online-learner cycle.
+    pub(crate) online_live_accuracy: FloatGauge,
+    /// Candidate holdout accuracy from the latest cycle that trained one.
+    pub(crate) online_candidate_accuracy: FloatGauge,
+    /// Index of the most recently completed online-learner cycle.
+    pub(crate) online_last_cycle: Gauge,
+    /// End-to-end (admission → reply) latency.
+    pub(crate) latency: Arc<LatencyHistogram>,
+    /// Admission-side encoding stage.
+    pub(crate) stage_encode: Arc<LatencyHistogram>,
+    /// Queue-wait stage (admission → scheduler pickup).
+    pub(crate) stage_queue_wait: Arc<LatencyHistogram>,
+    /// Scheduler batch-assembly stage.
+    pub(crate) stage_assemble: Arc<LatencyHistogram>,
+    /// Batch compute stage.
+    pub(crate) stage_compute: Arc<LatencyHistogram>,
+    /// Wire write stage (fulfil → bytes drained).
+    pub(crate) stage_write: Arc<LatencyHistogram>,
 }
 
 impl RuntimeStats {
+    /// Registers every runtime-wide metric into `registry` and returns the
+    /// handle bundle. Calling twice against one registry returns handles
+    /// to the *same* series (register-or-get).
+    pub(crate) fn register(registry: &MetricsRegistry) -> Self {
+        RuntimeStats {
+            admitted: registry.counter("quclassi_serve_admitted_total"),
+            rejected: registry.counter("quclassi_serve_rejected_total"),
+            completed: registry.counter("quclassi_serve_completed_total"),
+            failed: registry.counter("quclassi_serve_failed_total"),
+            batches: registry.counter("quclassi_serve_batches_total"),
+            batched_requests: registry.counter("quclassi_serve_batched_requests_total"),
+            flush_on_size: registry.counter("quclassi_serve_flush_size_total"),
+            flush_on_deadline: registry.counter("quclassi_serve_flush_deadline_total"),
+            flush_on_close: registry.counter("quclassi_serve_flush_close_total"),
+            wire_refusals: registry.counter("quclassi_wire_refusals_total"),
+            refusal_write_failures: registry.counter("quclassi_wire_refusal_write_failures_total"),
+            promotions: registry.counter("quclassi_online_promotions_total"),
+            rollbacks: registry.counter("quclassi_online_rollbacks_total"),
+            candidates_rejected: registry.counter("quclassi_online_candidates_rejected_total"),
+            train_cycles: registry.counter("quclassi_online_train_cycles_total"),
+            learner_panics: registry.counter("quclassi_online_learner_panics_total"),
+            shadow_batches: registry.counter("quclassi_online_shadow_batches_total"),
+            shadow_requests: registry.counter("quclassi_online_shadow_requests_total"),
+            queue_depth: registry.gauge("quclassi_serve_queue_depth"),
+            in_flight: registry.gauge("quclassi_serve_in_flight"),
+            wire_connections: registry.gauge("quclassi_wire_connections"),
+            online_live_accuracy: registry.float_gauge("quclassi_online_live_accuracy"),
+            online_candidate_accuracy: registry.float_gauge("quclassi_online_candidate_accuracy"),
+            online_last_cycle: registry.gauge("quclassi_online_last_cycle"),
+            latency: registry.histogram("quclassi_serve_latency_ns"),
+            stage_encode: registry.histogram("quclassi_serve_stage_encode_ns"),
+            stage_queue_wait: registry.histogram("quclassi_serve_stage_queue_wait_ns"),
+            stage_assemble: registry.histogram("quclassi_serve_stage_assemble_ns"),
+            stage_compute: registry.histogram("quclassi_serve_stage_compute_ns"),
+            stage_write: registry.histogram("quclassi_serve_stage_write_ns"),
+        }
+    }
+
+    /// A snapshot of the five per-stage histograms.
+    pub(crate) fn stage_snapshot(&self) -> StageLatencies {
+        StageLatencies {
+            encode: self.stage_encode.snapshot(),
+            queue_wait: self.stage_queue_wait.snapshot(),
+            assemble: self.stage_assemble.snapshot(),
+            compute: self.stage_compute.snapshot(),
+            write: self.stage_write.snapshot(),
+        }
+    }
+
     pub(crate) fn record_flush(&self, occupancy: usize, reason: FlushReason) {
-        self.batches.fetch_add(1, Ordering::Relaxed);
-        self.batched_requests
-            .fetch_add(occupancy as u64, Ordering::Relaxed);
+        self.batches.inc();
+        self.batched_requests.add(occupancy as u64);
         let counter = match reason {
             FlushReason::Size => &self.flush_on_size,
             FlushReason::Deadline => &self.flush_on_deadline,
             FlushReason::Close => &self.flush_on_close,
         };
-        counter.fetch_add(1, Ordering::Relaxed);
+        counter.inc();
+    }
+}
+
+impl Default for RuntimeStats {
+    /// Stand-alone stats backed by a private throwaway registry (tests,
+    /// contexts with no exposition). The serving runtime registers into
+    /// its shared registry via `RuntimeStats::register` instead.
+    fn default() -> Self {
+        Self::register(&MetricsRegistry::new())
     }
 }
 
@@ -284,6 +838,36 @@ mod tests {
         let s = h.snapshot();
         assert_eq!(s.count(), 5);
         assert!((s.mean_ns() - (1.0 + 2.0 + 3.0 + 1000.0 + 1_000_000.0) / 5.0).abs() < 1e-9);
+        assert_eq!(s.sum_ns(), 1 + 2 + 3 + 1000 + 1_000_000);
+    }
+
+    #[test]
+    fn min_max_track_exact_extremes() {
+        let h = LatencyHistogram::new();
+        let empty = h.snapshot();
+        assert_eq!((empty.min_ns(), empty.max_ns()), (0, 0));
+        for ns in [700u64, 3, 90_000, 41] {
+            h.record_ns(ns);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.min_ns(), 3);
+        assert_eq!(s.max_ns(), 90_000);
+        // Quantiles never leave the observed range, even at the extremes
+        // where bucket interpolation alone would overshoot.
+        assert!(s.quantile_ns(0.0) >= 3);
+        assert_eq!(s.quantile_ns(1.0), 90_000);
+    }
+
+    #[test]
+    fn single_observation_quantiles_collapse_to_the_observation() {
+        // With exactly one observation, every quantile must read out the
+        // observed value itself — min/max clamping pins the interpolation.
+        let h = LatencyHistogram::new();
+        h.record_ns(10_000);
+        let s = h.snapshot();
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(s.quantile_ns(q), 10_000);
+        }
     }
 
     #[test]
@@ -293,8 +877,8 @@ mod tests {
         // midpoint for every quantile. Sub-bucket interpolation must
         // separate them monotonically.
         let h = LatencyHistogram::new();
-        for _ in 0..100 {
-            h.record_ns(10_000); // bucket [8192, 16384)
+        for i in 0..100u64 {
+            h.record_ns(9_000 + 20 * i); // all inside bucket [8192, 16384)
         }
         let s = h.snapshot();
         let p50 = s.quantile_ns(0.50);
@@ -305,10 +889,6 @@ mod tests {
         for q in [p50, p90, p99] {
             assert!((8192..16384).contains(&q), "quantile {q} left its bucket");
         }
-        // A single observation reads out at its bucket's centre.
-        let h = LatencyHistogram::new();
-        h.record_ns(10_000);
-        assert_eq!(h.snapshot().quantile_ns(0.5), 8192 + 4096);
     }
 
     #[test]
@@ -339,13 +919,14 @@ mod tests {
         assert_eq!(s.mean_ns(), 0.0);
         let h = LatencyHistogram::new();
         h.record_ns(0); // clamps into bucket 0 rather than panicking
-        assert_eq!(h.snapshot().count(), 1);
+        let s = h.snapshot();
+        assert_eq!(s.count(), 1);
+        assert_eq!((s.min_ns(), s.max_ns()), (0, 0));
     }
 
     #[test]
     fn concurrent_snapshots_never_inflate_the_mean() {
         use std::sync::atomic::AtomicBool;
-        use std::sync::Arc;
 
         // Every recorded observation is exactly V ns, so any correct
         // snapshot has mean ≤ V: total_ns is k·V for the k observations
@@ -384,6 +965,66 @@ mod tests {
         let s = h.snapshot();
         assert!(s.count() > 0);
         assert_eq!(s.mean_ns(), V as f64);
+        assert_eq!((s.min_ns(), s.max_ns()), (V, V));
+    }
+
+    #[test]
+    fn concurrent_recording_counts_never_exceed_observations() {
+        use std::sync::atomic::AtomicBool;
+
+        // Proptest-style stress: N writers record while a reader snapshots.
+        // Each writer publishes how many observations it has *finished*
+        // (after record_ns returns). A snapshot taken at any moment may see
+        // in-progress observations, so its count is bounded by the number
+        // finished *after* it completes; and every quantile/extreme must
+        // stay within the only values ever recorded.
+        const VALUES: [u64; 3] = [1_000, 30_000, 2_000_000];
+        let h = Arc::new(LatencyHistogram::new());
+        let stop = Arc::new(AtomicBool::new(false));
+        let finished = Arc::new(AtomicU64::new(0));
+        let writers: Vec<_> = (0..4)
+            .map(|w| {
+                let h = Arc::clone(&h);
+                let stop = Arc::clone(&stop);
+                let finished = Arc::clone(&finished);
+                std::thread::spawn(move || {
+                    let mut i = w;
+                    while !stop.load(Ordering::Relaxed) {
+                        h.record_ns(VALUES[i % VALUES.len()]);
+                        finished.fetch_add(1, Ordering::Release);
+                        i += 1;
+                    }
+                })
+            })
+            .collect();
+        for _ in 0..10_000 {
+            let before = finished.load(Ordering::Acquire);
+            let s = h.snapshot();
+            // Upper bound: finished-after + one in-flight per writer.
+            let after = finished.load(Ordering::Acquire);
+            assert!(s.count() >= before.saturating_sub(4));
+            assert!(
+                s.count() <= after + 4,
+                "count {} exceeds observations {}",
+                s.count(),
+                after + 4
+            );
+            if s.count() > 0 {
+                let (min, max) = (s.min_ns(), s.max_ns());
+                assert!(VALUES.contains(&min) || min == 0, "min {min} unobserved");
+                assert!(VALUES.contains(&max) || max == 0, "max {max} unobserved");
+                if min <= max && max > 0 {
+                    let p99 = s.quantile_ns(0.99);
+                    assert!(p99 >= min && p99 <= max, "p99 {p99} outside [{min},{max}]");
+                }
+            }
+        }
+        stop.store(true, Ordering::Relaxed);
+        for w in writers {
+            w.join().unwrap();
+        }
+        // Quiescent: count is exactly the number of finished observations.
+        assert_eq!(h.snapshot().count(), finished.load(Ordering::Acquire));
     }
 
     #[test]
@@ -393,10 +1034,126 @@ mod tests {
         stats.record_flush(1, FlushReason::Deadline);
         stats.record_flush(2, FlushReason::Close);
         stats.record_flush(8, FlushReason::Size);
-        assert_eq!(stats.batches.load(Ordering::Relaxed), 4);
-        assert_eq!(stats.batched_requests.load(Ordering::Relaxed), 15);
-        assert_eq!(stats.flush_on_size.load(Ordering::Relaxed), 2);
-        assert_eq!(stats.flush_on_deadline.load(Ordering::Relaxed), 1);
-        assert_eq!(stats.flush_on_close.load(Ordering::Relaxed), 1);
+        assert_eq!(stats.batches.get(), 4);
+        assert_eq!(stats.batched_requests.get(), 15);
+        assert_eq!(stats.flush_on_size.get(), 2);
+        assert_eq!(stats.flush_on_deadline.get(), 1);
+        assert_eq!(stats.flush_on_close.get(), 1);
+    }
+
+    #[test]
+    fn registry_register_or_get_shares_series() {
+        let reg = MetricsRegistry::new();
+        let a = reg.counter("demo_total");
+        let b = reg.counter("demo_total");
+        a.inc();
+        b.add(2);
+        assert_eq!(a.get(), 3);
+        let g = reg.gauge("demo_gauge");
+        g.set(7);
+        g.add(3);
+        g.sub(4);
+        assert_eq!(reg.gauge("demo_gauge").get(), 6);
+        g.sub(100); // saturates, never wraps
+        assert_eq!(g.get(), 0);
+        let f = reg.float_gauge("demo_ratio");
+        f.set(0.25);
+        assert_eq!(reg.float_gauge("demo_ratio").get(), 0.25);
+        let h = reg.histogram("demo_ns");
+        h.record_ns(5);
+        assert_eq!(reg.histogram("demo_ns").snapshot().count(), 1);
+        assert_eq!(
+            reg.names(),
+            vec!["demo_total", "demo_gauge", "demo_ratio", "demo_ns"]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn registry_kind_mismatch_panics() {
+        let reg = MetricsRegistry::new();
+        reg.counter("oops");
+        reg.gauge("oops");
+    }
+
+    #[test]
+    fn exposition_renders_every_metric_kind() {
+        let reg = MetricsRegistry::new();
+        reg.counter("x_total").add(41);
+        reg.gauge("x_depth").set(3);
+        reg.float_gauge("x_ratio").set(0.5);
+        let h = reg.histogram("x_ns");
+        h.record_ns(100);
+        h.record_ns(300);
+        reg.gauge("x_shard{shard=\"0\"}").set(2);
+        reg.gauge("x_shard{shard=\"1\"}").set(5);
+        let text = reg.expose();
+        assert!(text.contains("# TYPE x_total counter\nx_total 41\n"));
+        assert!(text.contains("# TYPE x_depth gauge\nx_depth 3\n"));
+        assert!(text.contains("x_ratio 0.5\n"));
+        assert!(text.contains("# TYPE x_ns histogram\n"));
+        // 100 lands in [64,128) → le=127; 300 in [256,512) → le=511.
+        assert!(text.contains("x_ns_bucket{le=\"127\"} 1\n"), "{text}");
+        assert!(text.contains("x_ns_bucket{le=\"511\"} 2\n"), "{text}");
+        assert!(text.contains("x_ns_bucket{le=\"+Inf\"} 2\n"));
+        assert!(text.contains("x_ns_sum 400\n"));
+        assert!(text.contains("x_ns_count 2\n"));
+        assert!(text.contains("x_ns_min 100\n"));
+        assert!(text.contains("x_ns_max 300\n"));
+        // Labeled series share one TYPE line for the family.
+        assert_eq!(text.matches("# TYPE x_shard gauge").count(), 1);
+        assert!(text.contains("x_shard{shard=\"0\"} 2\n"));
+        assert!(text.contains("x_shard{shard=\"1\"} 5\n"));
+    }
+
+    #[test]
+    fn runtime_stats_register_exposes_every_counter() {
+        let reg = MetricsRegistry::new();
+        let stats = RuntimeStats::register(&reg);
+        stats.promotions.inc();
+        stats.refusal_write_failures.add(2);
+        let text = reg.expose();
+        for name in [
+            "quclassi_serve_admitted_total",
+            "quclassi_serve_rejected_total",
+            "quclassi_serve_completed_total",
+            "quclassi_serve_failed_total",
+            "quclassi_serve_batches_total",
+            "quclassi_serve_batched_requests_total",
+            "quclassi_serve_flush_size_total",
+            "quclassi_serve_flush_deadline_total",
+            "quclassi_serve_flush_close_total",
+            "quclassi_wire_refusals_total",
+            "quclassi_wire_refusal_write_failures_total",
+            "quclassi_online_promotions_total",
+            "quclassi_online_rollbacks_total",
+            "quclassi_online_candidates_rejected_total",
+            "quclassi_online_train_cycles_total",
+            "quclassi_online_learner_panics_total",
+            "quclassi_online_shadow_batches_total",
+            "quclassi_online_shadow_requests_total",
+            "quclassi_serve_queue_depth",
+            "quclassi_serve_in_flight",
+            "quclassi_wire_connections",
+            "quclassi_online_live_accuracy",
+            "quclassi_online_candidate_accuracy",
+            "quclassi_online_last_cycle",
+            "quclassi_serve_latency_ns",
+            "quclassi_serve_stage_encode_ns",
+            "quclassi_serve_stage_queue_wait_ns",
+            "quclassi_serve_stage_assemble_ns",
+            "quclassi_serve_stage_compute_ns",
+            "quclassi_serve_stage_write_ns",
+        ] {
+            assert!(text.contains(name), "exposition missing {name}");
+        }
+        assert!(text.contains("quclassi_online_promotions_total 1\n"));
+        assert!(text.contains("quclassi_wire_refusal_write_failures_total 2\n"));
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        assert_eq!(escape_label("plain"), "plain");
+        assert_eq!(escape_label("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
     }
 }

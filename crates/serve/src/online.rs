@@ -537,6 +537,18 @@ where
     let mut cycles = Vec::new();
     let mut cycle: u64 = 0;
 
+    // Mirrors a finished cycle's headline numbers into the metrics
+    // registry (`quclassi_online_*` gauges) as it is pushed, so the
+    // exposition tracks the learner without waiting for a final report.
+    let push_cycle = |cycles: &mut Vec<CycleReport>, report: CycleReport| {
+        shared.stats.online_last_cycle.set(report.cycle);
+        shared.stats.online_live_accuracy.set(report.live_accuracy);
+        if let Some(accuracy) = report.candidate_accuracy {
+            shared.stats.online_candidate_accuracy.set(accuracy);
+        }
+        cycles.push(report);
+    };
+
     'cycles: while !stop.load(Ordering::Relaxed) {
         if let Some(max) = config.max_cycles {
             if cycle >= max {
@@ -559,7 +571,7 @@ where
                 None => break 'cycles, // stream ended: nothing left to learn
             }
         }
-        shared.stats.train_cycles.fetch_add(1, Ordering::Relaxed);
+        shared.stats.train_cycles.inc();
         let holdout = ((config.window as f64 * config.holdout_fraction).ceil() as usize)
             .clamp(1, config.window - 1);
         let split = config.window - holdout;
@@ -592,13 +604,16 @@ where
         {
             if let Ok(version) = shared.rollback_model(name) {
                 current = last_good.clone();
-                cycles.push(CycleReport {
-                    cycle,
-                    live_accuracy,
-                    candidate_accuracy: None,
-                    shadow: None,
-                    outcome: CycleOutcome::RolledBack { version },
-                });
+                push_cycle(
+                    &mut cycles,
+                    CycleReport {
+                        cycle,
+                        live_accuracy,
+                        candidate_accuracy: None,
+                        shadow: None,
+                        outcome: CycleOutcome::RolledBack { version },
+                    },
+                );
                 cycle += 1;
                 continue;
             }
@@ -627,17 +642,17 @@ where
         };
         match trained {
             Err(_) => {
-                shared.stats.learner_panics.fetch_add(1, Ordering::Relaxed);
-                cycles.push(record(None, None, CycleOutcome::TrainerPanicked));
+                shared.stats.learner_panics.inc();
+                push_cycle(
+                    &mut cycles,
+                    record(None, None, CycleOutcome::TrainerPanicked),
+                );
                 cycle += 1;
                 continue;
             }
             Ok(Err(_)) => {
-                shared
-                    .stats
-                    .candidates_rejected
-                    .fetch_add(1, Ordering::Relaxed);
-                cycles.push(record(None, None, CycleOutcome::TrainFailed));
+                shared.stats.candidates_rejected.inc();
+                push_cycle(&mut cycles, record(None, None, CycleOutcome::TrainFailed));
                 cycle += 1;
                 continue;
             }
@@ -671,11 +686,11 @@ where
                 .unwrap_or(false)
         });
         if !finite {
-            shared
-                .stats
-                .candidates_rejected
-                .fetch_add(1, Ordering::Relaxed);
-            cycles.push(record(None, None, CycleOutcome::RejectedValidation));
+            shared.stats.candidates_rejected.inc();
+            push_cycle(
+                &mut cycles,
+                record(None, None, CycleOutcome::RejectedValidation),
+            );
             cycle += 1;
             continue;
         }
@@ -690,11 +705,11 @@ where
             CompiledModel::compile(&candidate, trainer.estimator.clone()).ok()
         };
         let Some(compiled) = compiled else {
-            shared
-                .stats
-                .candidates_rejected
-                .fetch_add(1, Ordering::Relaxed);
-            cycles.push(record(None, None, CycleOutcome::RejectedCompile));
+            shared.stats.candidates_rejected.inc();
+            push_cycle(
+                &mut cycles,
+                record(None, None, CycleOutcome::RejectedCompile),
+            );
             cycle += 1;
             continue;
         };
@@ -708,18 +723,18 @@ where
             && (candidate_accuracy < config.promote_min_accuracy
                 || candidate_accuracy + config.accuracy_tolerance < live_accuracy)
         {
-            shared
-                .stats
-                .candidates_rejected
-                .fetch_add(1, Ordering::Relaxed);
-            cycles.push(record(
-                Some(candidate_accuracy),
-                None,
-                CycleOutcome::RejectedAccuracy {
-                    candidate: candidate_accuracy,
-                    live: live_accuracy,
-                },
-            ));
+            shared.stats.candidates_rejected.inc();
+            push_cycle(
+                &mut cycles,
+                record(
+                    Some(candidate_accuracy),
+                    None,
+                    CycleOutcome::RejectedAccuracy {
+                        candidate: candidate_accuracy,
+                        live: live_accuracy,
+                    },
+                ),
+            );
             cycle += 1;
             continue;
         }
@@ -754,46 +769,46 @@ where
                     candidate_latency: Default::default(),
                 });
                 if report.failures > 0 {
-                    shared
-                        .stats
-                        .candidates_rejected
-                        .fetch_add(1, Ordering::Relaxed);
-                    cycles.push(record(
-                        Some(candidate_accuracy),
-                        Some(report.clone()),
-                        CycleOutcome::RejectedShadowFailures {
-                            failures: report.failures,
-                        },
-                    ));
+                    shared.stats.candidates_rejected.inc();
+                    push_cycle(
+                        &mut cycles,
+                        record(
+                            Some(candidate_accuracy),
+                            Some(report.clone()),
+                            CycleOutcome::RejectedShadowFailures {
+                                failures: report.failures,
+                            },
+                        ),
+                    );
                     cycle += 1;
                     continue;
                 }
                 if report.requests < config.min_shadow_requests {
-                    shared
-                        .stats
-                        .candidates_rejected
-                        .fetch_add(1, Ordering::Relaxed);
-                    cycles.push(record(
-                        Some(candidate_accuracy),
-                        Some(report.clone()),
-                        CycleOutcome::ShadowStarved {
-                            requests: report.requests,
-                        },
-                    ));
+                    shared.stats.candidates_rejected.inc();
+                    push_cycle(
+                        &mut cycles,
+                        record(
+                            Some(candidate_accuracy),
+                            Some(report.clone()),
+                            CycleOutcome::ShadowStarved {
+                                requests: report.requests,
+                            },
+                        ),
+                    );
                     cycle += 1;
                     continue;
                 }
                 let p99_ratio = report.p99_ratio();
                 if p99_ratio > config.max_p99_ratio {
-                    shared
-                        .stats
-                        .candidates_rejected
-                        .fetch_add(1, Ordering::Relaxed);
-                    cycles.push(record(
-                        Some(candidate_accuracy),
-                        Some(report),
-                        CycleOutcome::RejectedLatency { p99_ratio },
-                    ));
+                    shared.stats.candidates_rejected.inc();
+                    push_cycle(
+                        &mut cycles,
+                        record(
+                            Some(candidate_accuracy),
+                            Some(report),
+                            CycleOutcome::RejectedLatency { p99_ratio },
+                        ),
+                    );
                     cycle += 1;
                     continue;
                 }
@@ -804,22 +819,25 @@ where
         match shared.promote(name, compiled) {
             Ok(version) => {
                 last_good = std::mem::replace(&mut current, candidate);
-                cycles.push(record(
-                    Some(candidate_accuracy),
-                    shadow_report,
-                    CycleOutcome::Promoted { version },
-                ));
+                push_cycle(
+                    &mut cycles,
+                    record(
+                        Some(candidate_accuracy),
+                        shadow_report,
+                        CycleOutcome::Promoted { version },
+                    ),
+                );
             }
             Err(_) => {
-                shared
-                    .stats
-                    .candidates_rejected
-                    .fetch_add(1, Ordering::Relaxed);
-                cycles.push(record(
-                    Some(candidate_accuracy),
-                    shadow_report,
-                    CycleOutcome::RejectedDeploy,
-                ));
+                shared.stats.candidates_rejected.inc();
+                push_cycle(
+                    &mut cycles,
+                    record(
+                        Some(candidate_accuracy),
+                        shadow_report,
+                        CycleOutcome::RejectedDeploy,
+                    ),
+                );
             }
         }
         cycle += 1;

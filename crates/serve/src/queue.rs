@@ -25,7 +25,7 @@
 //! shutdown lossless.
 
 use crate::error::ServeError;
-use crate::metrics::FlushReason;
+use crate::metrics::{FlushReason, Gauge};
 use std::collections::VecDeque;
 use std::sync::{Condvar, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
@@ -44,6 +44,9 @@ pub(crate) struct BoundedQueue<T> {
     state: Mutex<QueueState<T>>,
     not_empty: Condvar,
     capacity: usize,
+    /// Mirrors the queue depth into the metrics registry; updated under
+    /// the queue lock, so the gauge never drifts from the real depth.
+    depth_gauge: Option<Gauge>,
 }
 
 impl<T> BoundedQueue<T> {
@@ -61,6 +64,15 @@ impl<T> BoundedQueue<T> {
             }),
             not_empty: Condvar::new(),
             capacity,
+            depth_gauge: None,
+        }
+    }
+
+    /// [`BoundedQueue::new`], mirroring the live depth into `gauge`.
+    pub(crate) fn with_depth_gauge(capacity: usize, gauge: Gauge) -> Self {
+        BoundedQueue {
+            depth_gauge: Some(gauge),
+            ..BoundedQueue::new(capacity)
         }
     }
 
@@ -98,6 +110,9 @@ impl<T> BoundedQueue<T> {
         }
         state.items.push_back((Instant::now(), item));
         state.peak_depth = state.peak_depth.max(state.items.len());
+        if let Some(gauge) = &self.depth_gauge {
+            gauge.set(state.items.len() as u64);
+        }
         drop(state);
         // One consumer (the scheduler); one wake is enough.
         self.not_empty.notify_one();
@@ -162,6 +177,9 @@ impl<T> BoundedQueue<T> {
         let closed = state.closed;
         let n = state.items.len().min(max_batch);
         let batch: Vec<T> = state.items.drain(..n).map(|(_, item)| item).collect();
+        if let Some(gauge) = &self.depth_gauge {
+            gauge.set(state.items.len() as u64);
+        }
         let reason = if batch.len() >= max_batch {
             FlushReason::Size
         } else if closed {

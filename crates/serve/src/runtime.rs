@@ -54,13 +54,16 @@
 //! dynamically batched server — depend on how requests happened to batch.
 
 use crate::error::ServeError;
-use crate::metrics::{HistogramSnapshot, ModelStatsSnapshot, RuntimeStats};
+use crate::metrics::{
+    self, HistogramSnapshot, MetricsRegistry, ModelStatsSnapshot, RuntimeStats, StageLatencies,
+};
 use crate::queue::BoundedQueue;
 use crate::registry::{ModelEntry, ModelRegistry};
 use crate::shadow::{ShadowReport, ShadowState};
+use crate::trace::{TraceRing, TraceSpan, TraceState, DEFAULT_TRACE_CAPACITY};
 use quclassi_infer::{CacheStats, CompiledModel, Prediction};
 use quclassi_sim::batch::BatchExecutor;
-use std::sync::atomic::Ordering;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, RwLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -81,6 +84,10 @@ pub struct ServeConfig {
     /// Base seed for per-flush RNG streams (stochastic estimators only;
     /// deterministic estimators ignore it).
     pub base_seed: u64,
+    /// Capacity of the per-request trace ring (most recent completed
+    /// request timelines, retrievable via `Client::traces` and the wire
+    /// `trace` op). 0 disables tracing entirely.
+    pub trace_capacity: usize,
 }
 
 impl Default for ServeConfig {
@@ -90,6 +97,7 @@ impl Default for ServeConfig {
             batch_window: Duration::from_micros(200),
             queue_capacity: 1024,
             base_seed: 0,
+            trace_capacity: DEFAULT_TRACE_CAPACITY,
         }
     }
 }
@@ -97,8 +105,10 @@ impl Default for ServeConfig {
 impl ServeConfig {
     /// Reads the batching knobs from the environment on top of the
     /// defaults: `QUCLASSI_MAX_BATCH` (positive integer),
-    /// `QUCLASSI_BATCH_WINDOW_US` (microseconds, 0 allowed), and
-    /// `QUCLASSI_QUEUE_CAPACITY` (positive integer).
+    /// `QUCLASSI_BATCH_WINDOW_US` (microseconds, 0 allowed),
+    /// `QUCLASSI_QUEUE_CAPACITY` (positive integer), and
+    /// `QUCLASSI_TRACE_CAPACITY` (trace-ring capacity; 0 disables
+    /// tracing).
     ///
     /// # Errors
     /// A variable that is set but malformed is **rejected** with
@@ -121,6 +131,14 @@ impl ServeConfig {
         }
         if let Some(raw) = env_nonempty("QUCLASSI_QUEUE_CAPACITY") {
             config.queue_capacity = parse_positive("QUCLASSI_QUEUE_CAPACITY", &raw)?;
+        }
+        if let Some(raw) = env_nonempty("QUCLASSI_TRACE_CAPACITY") {
+            config.trace_capacity = raw.trim().parse().map_err(|_| {
+                ServeError::InvalidConfig(format!(
+                    "QUCLASSI_TRACE_CAPACITY must be a non-negative integer \
+                     (0 disables tracing), got '{raw}'"
+                ))
+            })?;
         }
         config.validate()?;
         Ok(config)
@@ -177,11 +195,15 @@ pub struct ServeResponse {
 pub type CompletionNotifier = Arc<dyn Fn() + Send + Sync>;
 
 /// One-shot rendezvous between a blocked caller and the scheduler.
-struct ResponseSlot {
+pub(crate) struct ResponseSlot {
     cell: Mutex<Option<Result<ServeResponse, ServeError>>>,
     ready: Condvar,
     /// Invoked after the result is published (see [`CompletionNotifier`]).
     notifier: Option<CompletionNotifier>,
+    /// Per-request stage timeline, stamped as the request moves through
+    /// admission → queue → scheduler (→ wire write) and folded into the
+    /// trace ring when the lifecycle ends.
+    pub(crate) trace: TraceState,
 }
 
 impl std::fmt::Debug for ResponseSlot {
@@ -193,11 +215,12 @@ impl std::fmt::Debug for ResponseSlot {
 }
 
 impl ResponseSlot {
-    fn new(notifier: Option<CompletionNotifier>) -> Self {
+    fn new(notifier: Option<CompletionNotifier>, trace: TraceState) -> Self {
         ResponseSlot {
             cell: Mutex::new(None),
             ready: Condvar::new(),
             notifier,
+            trace,
         }
     }
 
@@ -254,6 +277,12 @@ impl PendingPrediction {
             .unwrap_or_else(|e| e.into_inner())
             .take()
     }
+
+    /// The underlying slot, for wire frontends that stamp the write stage
+    /// after the response bytes actually drain to the socket.
+    pub(crate) fn trace_slot(&self) -> Arc<ResponseSlot> {
+        Arc::clone(&self.slot)
+    }
 }
 
 /// A queued request: everything the scheduler needs, with the per-request
@@ -270,6 +299,15 @@ pub(crate) struct Shared {
     pub(crate) registry: ModelRegistry,
     pub(crate) executor: BatchExecutor,
     pub(crate) stats: RuntimeStats,
+    /// The registry every runtime counter/gauge/histogram is registered
+    /// in; [`Client::exposition`] renders it plus the dynamic per-model,
+    /// cache and simulator sections.
+    pub(crate) metrics: MetricsRegistry,
+    /// Completed-request timelines (capacity [`ServeConfig::trace_capacity`]).
+    pub(crate) trace: TraceRing,
+    /// Trace ids for requests the wire layer did not tag (in-process
+    /// clients); monotonically assigned, disjoint by starting at 1.
+    pub(crate) next_trace_id: AtomicU64,
     pub(crate) config: ServeConfig,
     pub(crate) started: Instant,
     /// The installed shadow candidate, if any (see [`crate::shadow`]). The
@@ -357,8 +395,13 @@ pub struct MetricsSnapshot {
     pub shadow_requests: u64,
     /// Retired (hot-swapped-out) versions still serving in-flight requests.
     pub draining_models: usize,
+    /// Requests admitted but not yet answered (queued or mid-evaluation).
+    pub in_flight: u64,
     /// End-to-end (admission → reply) latency across all models.
     pub latency: HistogramSnapshot,
+    /// Per-stage latency breakdown (encode, queue wait, batch assembly,
+    /// compute, wire write) across all models.
+    pub stages: StageLatencies,
     /// Per-model metrics, sorted by name.
     pub models: Vec<ModelMetrics>,
 }
@@ -427,11 +470,16 @@ impl ServeRuntime {
     /// thread on top of `executor`.
     pub fn start(config: ServeConfig, executor: BatchExecutor) -> Result<Self, ServeError> {
         config.validate()?;
+        let metrics = MetricsRegistry::new();
+        let stats = RuntimeStats::register(&metrics);
         let shared = Arc::new(Shared {
-            queue: BoundedQueue::new(config.queue_capacity),
+            queue: BoundedQueue::with_depth_gauge(config.queue_capacity, stats.queue_depth.clone()),
             registry: ModelRegistry::new(),
             executor,
-            stats: RuntimeStats::default(),
+            stats,
+            metrics,
+            trace: TraceRing::new(config.trace_capacity),
+            next_trace_id: AtomicU64::new(1),
             config: config.clone(),
             started: Instant::now(),
             shadow: RwLock::new(None),
@@ -557,7 +605,7 @@ impl Client {
     /// encoding run synchronously here (errors surface immediately);
     /// evaluation happens on the scheduler.
     pub fn submit(&self, model: &str, x: &[f64]) -> Result<PendingPrediction, ServeError> {
-        self.submit_inner(model, x, None)
+        self.submit_inner(model, x, None, None, false)
     }
 
     /// [`Client::submit`] with a [`CompletionNotifier`] invoked the moment
@@ -571,7 +619,22 @@ impl Client {
         x: &[f64],
         notifier: CompletionNotifier,
     ) -> Result<PendingPrediction, ServeError> {
-        self.submit_inner(model, x, Some(notifier))
+        self.submit_inner(model, x, Some(notifier), None, false)
+    }
+
+    /// [`Client::submit_with_notifier`] for wire frontends: tags the
+    /// request with the caller-derived trace id (or assigns one when the
+    /// frame carried no `"id"`) and defers trace-ring recording to
+    /// [`Client::finish_wire_write`], so the recorded timeline includes
+    /// the socket write stage.
+    pub(crate) fn submit_wire(
+        &self,
+        model: &str,
+        x: &[f64],
+        notifier: Option<CompletionNotifier>,
+        trace_id: Option<u64>,
+    ) -> Result<PendingPrediction, ServeError> {
+        self.submit_inner(model, x, notifier, trace_id, true)
     }
 
     fn submit_inner(
@@ -579,25 +642,34 @@ impl Client {
         model: &str,
         x: &[f64],
         notifier: Option<CompletionNotifier>,
+        trace_id: Option<u64>,
+        wire_managed: bool,
     ) -> Result<PendingPrediction, ServeError> {
+        let received = Instant::now();
         let entry = match self.shared.registry.get(model) {
             Ok(entry) => entry,
             Err(e) => {
                 // Counted runtime-wide (admitted + rejected reconstructs
                 // offered load) but not per-model: there is no entry.
-                self.shared.stats.rejected.fetch_add(1, Ordering::Relaxed);
+                self.shared.stats.rejected.inc();
                 return Err(e);
             }
         };
         let angles = match entry.model().encoder().encoding_angles(x) {
             Ok(angles) => angles,
             Err(e) => {
-                entry.stats().rejected.fetch_add(1, Ordering::Relaxed);
-                self.shared.stats.rejected.fetch_add(1, Ordering::Relaxed);
+                entry.stats().rejected.inc();
+                self.shared.stats.rejected.inc();
                 return Err(ServeError::Model(e));
             }
         };
-        let slot = Arc::new(ResponseSlot::new(notifier));
+        let encode_ns = received.elapsed().as_nanos() as u64;
+        self.shared.stats.stage_encode.record_ns(encode_ns);
+        let trace_id =
+            trace_id.unwrap_or_else(|| self.shared.next_trace_id.fetch_add(1, Ordering::Relaxed));
+        let trace = TraceState::new(trace_id, received, wire_managed);
+        trace.encode_ns.store(encode_ns, Ordering::Relaxed);
+        let slot = Arc::new(ResponseSlot::new(notifier, trace));
         let request = Request {
             entry: Arc::clone(&entry),
             angles,
@@ -606,13 +678,14 @@ impl Client {
         };
         match self.shared.queue.try_push(request) {
             Ok(()) => {
-                self.shared.stats.admitted.fetch_add(1, Ordering::Relaxed);
-                entry.stats().admitted.fetch_add(1, Ordering::Relaxed);
+                self.shared.stats.admitted.inc();
+                self.shared.stats.in_flight.add(1);
+                entry.stats().admitted.inc();
                 Ok(PendingPrediction { slot })
             }
             Err(e) => {
-                self.shared.stats.rejected.fetch_add(1, Ordering::Relaxed);
-                entry.stats().rejected.fetch_add(1, Ordering::Relaxed);
+                self.shared.stats.rejected.inc();
+                entry.stats().rejected.inc();
                 Err(e)
             }
         }
@@ -638,6 +711,48 @@ impl Client {
     pub(crate) fn runtime_stats(&self) -> &RuntimeStats {
         &self.shared.stats
     }
+
+    /// The metrics registry, for wire frontends that register their own
+    /// gauges (per-shard connection counts) alongside the runtime's.
+    pub(crate) fn metrics_registry(&self) -> &MetricsRegistry {
+        &self.shared.metrics
+    }
+
+    /// The most recent `last` completed request timelines, oldest first
+    /// (see [`TraceRing::last`]). Empty when tracing is disabled
+    /// (`trace_capacity` 0).
+    pub fn traces(&self, last: usize) -> Vec<TraceSpan> {
+        self.shared.trace.last(last)
+    }
+
+    /// The configured trace-ring capacity.
+    pub fn trace_capacity(&self) -> usize {
+        self.shared.trace.capacity()
+    }
+
+    /// Total spans recorded since the runtime started (not bounded by the
+    /// ring capacity).
+    pub fn traces_recorded(&self) -> u64 {
+        self.shared.trace.recorded()
+    }
+
+    /// Prometheus-style text exposition of every runtime metric: the
+    /// registered counters/gauges/histograms plus dynamic per-model,
+    /// encoding-cache and simulator-profiling sections.
+    pub fn exposition(&self) -> String {
+        self.shared.exposition()
+    }
+
+    /// Stamps the wire-write stage on a completed request and records its
+    /// span: called by wire frontends once the response bytes have drained
+    /// to the socket (`write_ns` = response enqueued → drained).
+    pub(crate) fn finish_wire_write(&self, slot: &ResponseSlot, write_ns: u64) {
+        self.shared.stats.stage_write.record_ns(write_ns);
+        let total_ns = slot.trace.received.elapsed().as_nanos() as u64;
+        self.shared
+            .trace
+            .record(slot.trace.span(write_ns, total_ns));
+    }
 }
 
 fn snapshot(shared: &Shared) -> MetricsSnapshot {
@@ -648,42 +763,52 @@ fn snapshot(shared: &Shared) -> MetricsSnapshot {
         queue_depth: shared.queue.depth(),
         queue_capacity: shared.queue.capacity(),
         peak_queue_depth: shared.queue.peak_depth(),
-        admitted: stats.admitted.load(Ordering::Relaxed),
-        rejected: stats.rejected.load(Ordering::Relaxed),
-        completed: stats.completed.load(Ordering::Relaxed),
-        failed: stats.failed.load(Ordering::Relaxed),
-        batches: stats.batches.load(Ordering::Relaxed),
-        batched_requests: stats.batched_requests.load(Ordering::Relaxed),
-        flush_on_size: stats.flush_on_size.load(Ordering::Relaxed),
-        flush_on_deadline: stats.flush_on_deadline.load(Ordering::Relaxed),
-        flush_on_close: stats.flush_on_close.load(Ordering::Relaxed),
-        wire_refusals: stats.wire_refusals.load(Ordering::Relaxed),
-        refusal_write_failures: stats.refusal_write_failures.load(Ordering::Relaxed),
-        promotions: stats.promotions.load(Ordering::Relaxed),
-        rollbacks: stats.rollbacks.load(Ordering::Relaxed),
-        candidates_rejected: stats.candidates_rejected.load(Ordering::Relaxed),
-        train_cycles: stats.train_cycles.load(Ordering::Relaxed),
-        learner_panics: stats.learner_panics.load(Ordering::Relaxed),
-        shadow_batches: stats.shadow_batches.load(Ordering::Relaxed),
-        shadow_requests: stats.shadow_requests.load(Ordering::Relaxed),
+        admitted: stats.admitted.get(),
+        rejected: stats.rejected.get(),
+        completed: stats.completed.get(),
+        failed: stats.failed.get(),
+        batches: stats.batches.get(),
+        batched_requests: stats.batched_requests.get(),
+        flush_on_size: stats.flush_on_size.get(),
+        flush_on_deadline: stats.flush_on_deadline.get(),
+        flush_on_close: stats.flush_on_close.get(),
+        wire_refusals: stats.wire_refusals.get(),
+        refusal_write_failures: stats.refusal_write_failures.get(),
+        promotions: stats.promotions.get(),
+        rollbacks: stats.rollbacks.get(),
+        candidates_rejected: stats.candidates_rejected.get(),
+        train_cycles: stats.train_cycles.get(),
+        learner_panics: stats.learner_panics.get(),
+        shadow_batches: stats.shadow_batches.get(),
+        shadow_requests: stats.shadow_requests.get(),
         draining_models: shared.registry.draining(),
+        in_flight: stats.in_flight.get(),
         latency: stats.latency.snapshot(),
+        stages: stats.stage_snapshot(),
         models,
     }
 }
+
+/// One per-model counter family of the text exposition: the metric-name
+/// suffix and the snapshot field it reads.
+type ModelCounterColumn = (&'static str, fn(&ModelStatsSnapshot) -> u64);
+
+/// One per-model cache series of the text exposition: full metric name,
+/// `# TYPE` keyword, and the [`CacheStats`] field it reads.
+type CacheColumn = (&'static str, &'static str, fn(&CacheStats) -> u64);
 
 impl Shared {
     /// Deploys through the registry and counts the promotion.
     pub(crate) fn promote(&self, name: &str, model: CompiledModel) -> Result<u64, ServeError> {
         let version = self.registry.deploy(name, model)?;
-        self.stats.promotions.fetch_add(1, Ordering::Relaxed);
+        self.stats.promotions.inc();
         Ok(version)
     }
 
     /// Rolls back through the registry and counts the rollback.
     pub(crate) fn rollback_model(&self, name: &str) -> Result<u64, ServeError> {
         let version = self.registry.rollback(name)?;
-        self.stats.rollbacks.fetch_add(1, Ordering::Relaxed);
+        self.stats.rollbacks.inc();
         Ok(version)
     }
 
@@ -741,6 +866,106 @@ impl Shared {
             })
             .collect()
     }
+
+    /// Renders the full text exposition: the registered runtime series
+    /// first (registration order), then dynamic per-model, encoding-cache
+    /// and simulator-profiling sections built from live snapshots.
+    pub(crate) fn exposition(&self) -> String {
+        let mut out = self.metrics.expose();
+        let models = self.model_metrics();
+        if !models.is_empty() {
+            let labelled: Vec<(String, ModelMetrics)> = models
+                .into_iter()
+                .map(|m| {
+                    (
+                        format!("{{model=\"{}\"}}", metrics::escape_label(&m.name)),
+                        m,
+                    )
+                })
+                .collect();
+            out.push_str("# TYPE quclassi_model_version gauge\n");
+            for (label, m) in &labelled {
+                metrics::append_sample(
+                    &mut out,
+                    &format!("quclassi_model_version{label}"),
+                    &metrics::format_f64(m.version as f64),
+                );
+            }
+            let counters: [ModelCounterColumn; 4] = [
+                ("admitted", |s| s.admitted),
+                ("completed", |s| s.completed),
+                ("failed", |s| s.failed),
+                ("rejected", |s| s.rejected),
+            ];
+            for (name, get) in counters {
+                out.push_str(&format!("# TYPE quclassi_model_{name}_total counter\n"));
+                for (label, m) in &labelled {
+                    metrics::append_sample(
+                        &mut out,
+                        &format!("quclassi_model_{name}_total{label}"),
+                        &metrics::format_f64(get(&m.stats) as f64),
+                    );
+                }
+            }
+            out.push_str("# TYPE quclassi_model_latency_ns histogram\n");
+            for (label, m) in &labelled {
+                metrics::expose_histogram(
+                    &mut out,
+                    &format!("quclassi_model_latency_ns{label}"),
+                    &m.stats.latency,
+                );
+            }
+            let caches: [CacheColumn; 5] = [
+                ("quclassi_cache_hits_total", "counter", |c| c.hits),
+                ("quclassi_cache_misses_total", "counter", |c| c.misses),
+                ("quclassi_cache_evictions_total", "counter", |c| c.evictions),
+                ("quclassi_cache_entries", "gauge", |c| c.entries as u64),
+                ("quclassi_cache_capacity", "gauge", |c| c.capacity as u64),
+            ];
+            for (name, kind, get) in caches {
+                out.push_str(&format!("# TYPE {name} {kind}\n"));
+                for (label, m) in &labelled {
+                    metrics::append_sample(
+                        &mut out,
+                        &format!("{name}{label}"),
+                        &metrics::format_f64(get(&m.cache) as f64),
+                    );
+                }
+            }
+        }
+        let profile = quclassi_sim::profile::snapshot();
+        out.push_str("# TYPE quclassi_sim_profile_enabled gauge\n");
+        metrics::append_sample(
+            &mut out,
+            "quclassi_sim_profile_enabled",
+            if quclassi_sim::profile::enabled() {
+                "1"
+            } else {
+                "0"
+            },
+        );
+        let sim: [(&str, u64); 5] = [
+            ("quclassi_sim_fused_groups_total", profile.fused_groups),
+            ("quclassi_sim_dense_sweeps_total", profile.dense_sweeps),
+            (
+                "quclassi_sim_diagonal_sweeps_total",
+                profile.diagonal_sweeps,
+            ),
+            (
+                "quclassi_sim_permutation_sweeps_total",
+                profile.permutation_sweeps,
+            ),
+            (
+                "quclassi_sim_amplitudes_touched_total",
+                profile.amplitudes_touched,
+            ),
+        ];
+        for (name, value) in sim {
+            out.push_str(&format!("# TYPE {name} counter\n"));
+            metrics::append_sample(&mut out, name, &metrics::format_f64(value as f64));
+        }
+        out
+    }
 }
 
 /// The scheduler: drains micro-batches, groups them by model entry, fans
@@ -752,11 +977,22 @@ fn scheduler_loop(shared: &Shared) {
         .pop_batch(shared.config.max_batch, shared.config.batch_window)
     {
         shared.stats.record_flush(requests.len(), reason);
+        let assemble_started = Instant::now();
         // Group by registry entry, preserving arrival order within each
         // group. Requests pin the entry that admitted them, so a batch
         // spanning a hot-swap serves each request on its own version.
         let mut groups: Vec<(Arc<ModelEntry>, Vec<Request>)> = Vec::new();
         for request in requests {
+            // Queue wait ends at scheduler pickup; stamped per request.
+            let queue_wait_ns = assemble_started
+                .saturating_duration_since(request.admitted)
+                .as_nanos() as u64;
+            shared.stats.stage_queue_wait.record_ns(queue_wait_ns);
+            request
+                .slot
+                .trace
+                .queue_wait_ns
+                .store(queue_wait_ns, Ordering::Relaxed);
             match groups
                 .iter_mut()
                 .find(|(entry, _)| Arc::ptr_eq(entry, &request.entry))
@@ -768,6 +1004,10 @@ fn scheduler_loop(shared: &Shared) {
                 }
             }
         }
+        // One assembly stamp per flush (drain → group → dispatch); requests
+        // in later groups also wait behind earlier groups' compute, which
+        // stays unattributed — hence stage-sum ≈ total, not ==.
+        let assemble_ns = assemble_started.elapsed().as_nanos() as u64;
         // One seed per flush, split again per model group, so stochastic
         // streams are a pure function of (base_seed, flush index, group
         // index) — groups in the same flush never share streams.
@@ -802,6 +1042,8 @@ fn scheduler_loop(shared: &Shared) {
             {
                 Ok(predictions) => {
                     let live_elapsed = eval_started.elapsed();
+                    let compute_ns = live_elapsed.as_nanos() as u64;
+                    let batch_size = members.len() as u64;
                     let live_labels: Option<Vec<usize>> = mirror
                         .as_ref()
                         .map(|_| predictions.iter().map(|p| p.label).collect());
@@ -809,8 +1051,9 @@ fn scheduler_loop(shared: &Shared) {
                         let latency_ns = request.admitted.elapsed().as_nanos() as u64;
                         shared.stats.latency.record_ns(latency_ns);
                         entry.stats().latency.record_ns(latency_ns);
-                        shared.stats.completed.fetch_add(1, Ordering::Relaxed);
-                        entry.stats().completed.fetch_add(1, Ordering::Relaxed);
+                        shared.stats.completed.inc();
+                        entry.stats().completed.inc();
+                        finish_request(shared, &request, assemble_ns, compute_ns, batch_size);
                         request.slot.fulfill(Ok(ServeResponse {
                             model: entry.name().to_string(),
                             version: entry.version(),
@@ -826,15 +1069,47 @@ fn scheduler_loop(shared: &Shared) {
                 Err(e) => {
                     // The live evaluation itself failed; the mirrored copy
                     // is dropped — a candidate is never judged on traffic
-                    // the live model could not serve either.
+                    // the live model could not serve either. Failed
+                    // requests still get a complete trace lifecycle.
+                    let compute_ns = eval_started.elapsed().as_nanos() as u64;
+                    let batch_size = members.len() as u64;
                     for request in members {
-                        shared.stats.failed.fetch_add(1, Ordering::Relaxed);
-                        entry.stats().failed.fetch_add(1, Ordering::Relaxed);
+                        shared.stats.failed.inc();
+                        entry.stats().failed.inc();
+                        finish_request(shared, &request, assemble_ns, compute_ns, batch_size);
                         request.slot.fulfill(Err(ServeError::Model(e.clone())));
                     }
                 }
             }
         }
+    }
+}
+
+/// Final per-request stage bookkeeping on the scheduler, just before
+/// fulfilment: stamps the assemble/compute stages and batch size, records
+/// the stage histograms, releases the in-flight gauge, and — for
+/// in-process requests, which have no write stage — records the completed
+/// span into the trace ring. Wire-managed requests defer recording to
+/// [`Client::finish_wire_write`] so the span includes the socket drain.
+fn finish_request(
+    shared: &Shared,
+    request: &Request,
+    assemble_ns: u64,
+    compute_ns: u64,
+    batch_size: u64,
+) {
+    shared.stats.stage_assemble.record_ns(assemble_ns);
+    shared.stats.stage_compute.record_ns(compute_ns);
+    let trace = &request.slot.trace;
+    trace.assemble_ns.store(assemble_ns, Ordering::Relaxed);
+    trace.compute_ns.store(compute_ns, Ordering::Relaxed);
+    trace.batch_size.store(batch_size, Ordering::Relaxed);
+    shared.stats.in_flight.sub(1);
+    if !trace.wire_managed {
+        // Record before fulfil: a local waiter that returns from `wait`
+        // can immediately find its own lifecycle in the ring.
+        let total_ns = trace.received.elapsed().as_nanos() as u64;
+        shared.trace.record(trace.span(0, total_ns));
     }
 }
 
@@ -866,15 +1141,12 @@ fn shadow_evaluate(
                 .filter(|(live, shadow)| **live == shadow.label)
                 .count() as u64;
             state.record_batch(requests, agreements, live_elapsed, started.elapsed());
-            shared.stats.shadow_batches.fetch_add(1, Ordering::Relaxed);
-            shared
-                .stats
-                .shadow_requests
-                .fetch_add(requests, Ordering::Relaxed);
+            shared.stats.shadow_batches.inc();
+            shared.stats.shadow_requests.add(requests);
         }
         Err(_) => {
             state.record_failure(requests);
-            shared.stats.shadow_batches.fetch_add(1, Ordering::Relaxed);
+            shared.stats.shadow_batches.inc();
         }
     }
 }

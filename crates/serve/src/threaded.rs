@@ -25,14 +25,15 @@
 use crate::error::ServeError;
 use crate::runtime::Client;
 use crate::wire::{
-    error_response, interpret, prediction_to_json, read_frame, refuse_stream, with_id, write_frame,
-    WireAction, WireConfig, ACCEPT_ERROR_BACKOFF,
+    error_response, interpret, prediction_to_json, read_frame, refuse_stream, trace_id_for,
+    with_id, write_frame, WireAction, WireConfig, ACCEPT_ERROR_BACKOFF,
 };
 use std::io::Write;
 use std::net::{Shutdown, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 /// A handler thread and the stream it serves. The acceptor and the
 /// handler share ONE descriptor through the `Arc` (`&TcpStream`
@@ -199,6 +200,10 @@ fn accept_loop(
                     i += 1;
                 }
             }
+            client
+                .runtime_stats()
+                .wire_connections
+                .set(connections.len() as u64);
             if connections.len() >= config.max_connections {
                 refuse_stream(
                     stream,
@@ -227,11 +232,17 @@ fn accept_loop(
                     })
             };
             match handle {
-                Ok(handle) => connections.push(Connection {
-                    handle,
-                    stream,
-                    done,
-                }),
+                Ok(handle) => {
+                    connections.push(Connection {
+                        handle,
+                        stream,
+                        done,
+                    });
+                    client
+                        .runtime_stats()
+                        .wire_connections
+                        .set(connections.len() as u64);
+                }
                 Err(_) => {
                     // Thread exhaustion is saturation by another name.
                     // (The failed spawn dropped its closure, so this is
@@ -256,6 +267,7 @@ fn accept_loop(
     for connection in connections {
         let _ = connection.handle.join();
     }
+    client.runtime_stats().wire_connections.set(0);
 }
 
 fn serve_connection(stream: &TcpStream, client: &Client, config: &WireConfig) {
@@ -281,8 +293,8 @@ fn serve_connection(stream: &TcpStream, client: &Client, config: &WireConfig) {
                 return; // deadline, reset, or poisoned framing
             }
         };
-        let response = match interpret(&payload, client) {
-            WireAction::Respond(json) => json,
+        let (response, response_slot) = match interpret(&payload, client) {
+            WireAction::Respond(json) => (json, None),
             WireAction::Predict {
                 model,
                 features,
@@ -291,16 +303,28 @@ fn serve_connection(stream: &TcpStream, client: &Client, config: &WireConfig) {
                 // Blocking evaluation: this thread *is* the connection,
                 // so in-order waiting is the natural (and historical)
                 // behaviour even for id-tagged requests.
-                let json = match client.submit(&model, &features).and_then(|p| p.wait()) {
-                    Ok(response) => prediction_to_json(&response),
-                    Err(e) => error_response(&e),
-                };
-                with_id(json, id)
+                match client.submit_wire(&model, &features, None, trace_id_for(id.as_ref())) {
+                    Ok(pending) => {
+                        let slot = pending.trace_slot();
+                        let json = match pending.wait() {
+                            Ok(response) => prediction_to_json(&response),
+                            Err(e) => error_response(&e),
+                        };
+                        (with_id(json, id), Some(slot))
+                    }
+                    Err(e) => (with_id(error_response(&e), id), None),
+                }
             }
         };
+        let write_started = Instant::now();
         if write_frame(&mut stream, response.to_string().as_bytes()).is_err() {
             return;
         }
         let _ = stream.flush();
+        if let Some(slot) = response_slot {
+            // The response bytes are in the kernel's hands: stamp the
+            // write stage and record the request's completed span.
+            client.finish_wire_write(&slot, write_started.elapsed().as_nanos() as u64);
+        }
     }
 }

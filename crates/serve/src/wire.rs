@@ -14,7 +14,10 @@
 //!   claimed size.
 //! * **Requests** — objects with an `"op"` field:
 //!   `{"op":"predict","model":"iris","features":[0.1,…]}`,
-//!   `{"op":"models"}`, `{"op":"metrics"}`, `{"op":"ping"}`.
+//!   `{"op":"models"}`, `{"op":"metrics"}`, `{"op":"metrics_text"}`
+//!   (Prometheus-style text exposition under `"text"`),
+//!   `{"op":"trace","last":N}` (the `N` most recent completed request
+//!   timelines — see [`crate::trace`]), `{"op":"ping"}`.
 //! * **Request ids / multiplexing** — a request may carry an `"id"` field
 //!   (any JSON value; clients normally use integers). The response echoes
 //!   the same `"id"` verbatim. A connection may have **any number of
@@ -48,7 +51,6 @@ use crate::metrics::RuntimeStats;
 use crate::runtime::{Client, MetricsSnapshot, ServeResponse};
 use std::io::{Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
-use std::sync::atomic::Ordering;
 use std::time::Duration;
 
 /// Upper bound on a single frame's payload, rejected from the length
@@ -365,8 +367,9 @@ pub(crate) enum WireAction {
     },
 }
 
-/// Interprets one frame payload. Control ops (`ping`/`models`/`metrics`)
-/// and every error path produce an immediate [`WireAction::Respond`];
+/// Interprets one frame payload. Control ops (`ping`/`models`/`metrics`/
+/// `metrics_text`/`trace`) and every error path produce an immediate
+/// [`WireAction::Respond`];
 /// well-formed predict requests become [`WireAction::Predict`] so the
 /// caller chooses between blocking evaluation (threaded server) and
 /// submit-and-multiplex (event loop).
@@ -411,6 +414,28 @@ pub(crate) fn interpret(payload: &[u8], client: &Client) -> WireAction {
             ("ok", Json::Bool(true)),
             ("metrics", metrics_to_json(&client.metrics())),
         ])),
+        "metrics_text" => respond(Json::obj(vec![
+            ("ok", Json::Bool(true)),
+            ("text", Json::str(client.exposition())),
+        ])),
+        "trace" => {
+            let last = request
+                .get("last")
+                .and_then(Json::as_u64)
+                .map(|n| n as usize)
+                .unwrap_or_else(|| client.trace_capacity());
+            let spans = client
+                .traces(last)
+                .into_iter()
+                .map(|s| span_to_json(&s))
+                .collect();
+            respond(Json::obj(vec![
+                ("ok", Json::Bool(true)),
+                ("capacity", Json::Num(client.trace_capacity() as f64)),
+                ("recorded", Json::Num(client.traces_recorded() as f64)),
+                ("spans", Json::Arr(spans)),
+            ]))
+        }
         "predict" => {
             let Some(model) = request.get("model").and_then(Json::as_str) else {
                 return respond(error_response(&ServeError::Protocol(
@@ -443,6 +468,32 @@ pub(crate) fn interpret(payload: &[u8], client: &Client) -> WireAction {
             "unknown op '{other}'"
         )))),
     }
+}
+
+/// Derives a trace id from a request's `"id"`: a non-negative integral
+/// number is used verbatim (so a client can look up its own request in the
+/// trace output directly); anything else hashes stably; an untagged
+/// request gets `None` (the runtime auto-assigns).
+pub(crate) fn trace_id_for(id: Option<&Json>) -> Option<u64> {
+    let id = id?;
+    match id.as_u64() {
+        Some(n) => Some(n),
+        None => Some(crate::trace::hash_trace_id(&id.to_string())),
+    }
+}
+
+/// Renders one trace span for the wire `trace` op.
+fn span_to_json(s: &crate::trace::TraceSpan) -> Json {
+    Json::obj(vec![
+        ("trace_id", Json::Num(s.trace_id as f64)),
+        ("encode_ns", Json::Num(s.encode_ns as f64)),
+        ("queue_wait_ns", Json::Num(s.queue_wait_ns as f64)),
+        ("assemble_ns", Json::Num(s.assemble_ns as f64)),
+        ("compute_ns", Json::Num(s.compute_ns as f64)),
+        ("write_ns", Json::Num(s.write_ns as f64)),
+        ("total_ns", Json::Num(s.total_ns as f64)),
+        ("batch_size", Json::Num(s.batch_size as f64)),
+    ])
 }
 
 /// Echoes a request's `"id"` onto a response object (the multiplexing
@@ -482,7 +533,7 @@ pub(crate) fn refuse_stream(
     write_timeout: Option<Duration>,
     stats: &RuntimeStats,
 ) {
-    stats.wire_refusals.fetch_add(1, Ordering::Relaxed);
+    stats.wire_refusals.inc();
     let response = error_response(&ServeError::Saturated {
         depth: open,
         capacity,
@@ -490,7 +541,7 @@ pub(crate) fn refuse_stream(
     let delivered = stream.set_write_timeout(write_timeout).is_ok()
         && write_frame(&mut stream, response.to_string().as_bytes()).is_ok();
     if !delivered {
-        stats.refusal_write_failures.fetch_add(1, Ordering::Relaxed);
+        stats.refusal_write_failures.inc();
     }
     let _ = stream.shutdown(std::net::Shutdown::Both);
 }
@@ -552,6 +603,7 @@ fn metrics_to_json(m: &MetricsSnapshot) -> Json {
                 ("p99_us", Json::Num(mm.stats.latency.p99_us())),
                 ("cache_hit_rate", Json::Num(mm.cache.hit_rate())),
                 ("cache_entries", Json::Num(mm.cache.entries as f64)),
+                ("cache_evictions", Json::Num(mm.cache.evictions as f64)),
             ])
         })
         .collect();
@@ -586,10 +638,33 @@ fn metrics_to_json(m: &MetricsSnapshot) -> Json {
         ("shadow_batches", Json::Num(m.shadow_batches as f64)),
         ("shadow_requests", Json::Num(m.shadow_requests as f64)),
         ("throughput_rps", Json::Num(m.throughput_rps())),
+        ("in_flight", Json::Num(m.in_flight as f64)),
         ("p50_us", Json::Num(m.latency.p50_us())),
         ("p90_us", Json::Num(m.latency.p90_us())),
         ("p99_us", Json::Num(m.latency.p99_us())),
+        ("min_us", Json::Num(m.latency.min_ns() as f64 / 1_000.0)),
+        ("max_us", Json::Num(m.latency.max_ns() as f64 / 1_000.0)),
+        ("stages", stages_to_json(&m.stages)),
         ("models", Json::Arr(models)),
+    ])
+}
+
+/// Renders the per-stage latency breakdown for the `metrics` op.
+fn stages_to_json(stages: &crate::metrics::StageLatencies) -> Json {
+    let stage = |snap: &crate::metrics::HistogramSnapshot| {
+        Json::obj(vec![
+            ("count", Json::Num(snap.count() as f64)),
+            ("mean_us", Json::Num(snap.mean_ns() / 1_000.0)),
+            ("p50_us", Json::Num(snap.p50_us())),
+            ("p99_us", Json::Num(snap.p99_us())),
+        ])
+    };
+    Json::obj(vec![
+        ("encode", stage(&stages.encode)),
+        ("queue_wait", stage(&stages.queue_wait)),
+        ("assemble", stage(&stages.assemble)),
+        ("compute", stage(&stages.compute)),
+        ("write", stage(&stages.write)),
     ])
 }
 
@@ -736,6 +811,29 @@ impl WireClient {
             .get("metrics")
             .cloned()
             .ok_or_else(|| ServeError::Protocol(format!("malformed metrics: {response}")))
+    }
+
+    /// Fetches the server's Prometheus-style text exposition.
+    pub fn metrics_text(&mut self) -> Result<String, ServeError> {
+        let response = self.call(&Json::obj(vec![("op", Json::str("metrics_text"))]))?;
+        response
+            .get("text")
+            .and_then(Json::as_str)
+            .map(str::to_string)
+            .ok_or_else(|| ServeError::Protocol(format!("malformed metrics_text: {response}")))
+    }
+
+    /// Fetches the server's most recent `last` completed request
+    /// timelines (the `trace` op), oldest first.
+    pub fn trace(&mut self, last: usize) -> Result<Json, ServeError> {
+        let response = self.call(&Json::obj(vec![
+            ("op", Json::str("trace")),
+            ("last", Json::Num(last as f64)),
+        ]))?;
+        if response.get("ok").and_then(Json::as_bool) != Some(true) {
+            return Err(error_from_wire(&response, ""));
+        }
+        Ok(response)
     }
 }
 
@@ -970,8 +1068,8 @@ mod tests {
             response.get("kind").and_then(Json::as_str),
             Some("saturated")
         );
-        assert_eq!(stats.wire_refusals.load(Ordering::Relaxed), 1);
-        assert_eq!(stats.refusal_write_failures.load(Ordering::Relaxed), 0);
+        assert_eq!(stats.wire_refusals.get(), 1);
+        assert_eq!(stats.refusal_write_failures.get(), 0);
 
         // A peer whose socket is already dead on the server side: the
         // refusal write fails deterministically (our half is shut down)
@@ -980,8 +1078,8 @@ mod tests {
         let (server_side, _) = listener.accept().unwrap();
         server_side.shutdown(std::net::Shutdown::Both).unwrap();
         refuse_stream(server_side, 3, 2, Some(Duration::from_secs(1)), &stats);
-        assert_eq!(stats.wire_refusals.load(Ordering::Relaxed), 2);
-        assert_eq!(stats.refusal_write_failures.load(Ordering::Relaxed), 1);
+        assert_eq!(stats.wire_refusals.get(), 2);
+        assert_eq!(stats.refusal_write_failures.get(), 1);
     }
 
     #[test]

@@ -475,9 +475,11 @@ impl FusedCircuit {
         for op in ops {
             match op {
                 FusedOp::Static { qubits, matrix } => {
+                    crate::profile::fused_group();
                     state.apply_unitary_unchecked_intra(qubits, matrix, intra);
                 }
                 FusedOp::Dynamic { qubits, ops } => {
+                    crate::profile::fused_group();
                     let mut matrix = ZERO_GROUP_MATRIX;
                     fuse_group_into(qubits, ops, params, &mut matrix)?;
                     let size = 1usize << qubits.len();
@@ -613,6 +615,7 @@ impl BoundFusedCircuit {
         for op in &self.ops {
             match op {
                 BoundOp::Unitary { qubits, matrix } => {
+                    crate::profile::fused_group();
                     state.apply_unitary_unchecked_intra(qubits, matrix, intra);
                 }
                 BoundOp::Gate(gate) if parallel => state

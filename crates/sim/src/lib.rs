@@ -34,7 +34,10 @@
 //!   statevector sweeps and reductions split into cache-block-sized
 //!   disjoint chunks over the same scoped pool, bit-identical for any
 //!   thread count (`QUCLASSI_INTRA_THREADS`). Composes multiplicatively
-//!   with the across-circuit budget of [`batch::BatchExecutor`].
+//!   with the across-circuit budget of [`batch::BatchExecutor`],
+//! * [`profile`] — opt-in kernel profiling counters (`QUCLASSI_PROFILE`):
+//!   fused-group invocations, dense vs diagonal vs permutation sweeps, and
+//!   amplitudes touched, at near-zero cost when disabled.
 //!
 //! ## Quick example
 //!
@@ -69,6 +72,7 @@ pub mod intra;
 pub mod linalg;
 pub mod noise;
 mod partition;
+pub mod profile;
 pub mod state;
 pub mod transpile;
 

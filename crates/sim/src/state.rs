@@ -351,6 +351,7 @@ impl StateVector {
             Gate::CSwap { control, a, b } => self.apply_cswap(*control, *a, *b),
             _ => return false,
         }
+        crate::profile::specialized_sweep(gate, self.dim() as u64);
         true
     }
 
@@ -429,6 +430,7 @@ impl StateVector {
             }
             _ => return false,
         }
+        crate::profile::specialized_sweep(gate, self.dim() as u64);
         true
     }
 
@@ -748,6 +750,9 @@ impl StateVector {
     /// This is the shared kernel behind gate application and fused-circuit
     /// execution.
     pub(crate) fn apply_unitary_unchecked(&mut self, qubits: &[usize], m: &[Complex]) {
+        if !qubits.is_empty() {
+            crate::profile::dense_sweep(self.dim() as u64);
+        }
         match qubits.len() {
             0 => {}
             1 => self.apply_unitary1(qubits[0], m),
@@ -889,6 +894,9 @@ impl StateVector {
     ) {
         if !intra.parallelizes(self.num_qubits) {
             return self.apply_unitary_unchecked(qubits, m);
+        }
+        if !qubits.is_empty() {
+            crate::profile::dense_sweep(self.dim() as u64);
         }
         match qubits.len() {
             0 => {}

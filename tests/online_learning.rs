@@ -58,6 +58,7 @@ fn started_runtime() -> ServeRuntime {
             max_batch: 16,
             queue_capacity: 4096,
             base_seed: 0,
+            ..ServeConfig::default()
         },
         BatchExecutor::single_threaded(0),
     )

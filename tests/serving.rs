@@ -68,6 +68,7 @@ fn concurrent_producers_lose_nothing_and_match_direct_evaluation() {
                 max_batch,
                 queue_capacity: 4096,
                 base_seed: 0,
+                ..ServeConfig::default()
             },
             BatchExecutor::new(threads, 0),
         )
@@ -129,6 +130,7 @@ fn hot_swap_under_load_serves_every_request_on_a_consistent_version() {
             max_batch: 8,
             queue_capacity: 4096,
             base_seed: 0,
+            ..ServeConfig::default()
         },
         BatchExecutor::single_threaded(0),
     )
@@ -203,6 +205,7 @@ fn saturated_runtime_rejects_excess_but_answers_every_admitted_request() {
             max_batch: 64,
             queue_capacity: 4,
             base_seed: 0,
+            ..ServeConfig::default()
         },
         BatchExecutor::single_threaded(0),
     )
@@ -282,6 +285,7 @@ proptest! {
                 max_batch,
                 queue_capacity: 4096,
                 base_seed: 0,
+                ..ServeConfig::default()
             },
             BatchExecutor::new(threads, 0),
         )
