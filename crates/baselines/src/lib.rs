@@ -14,7 +14,7 @@
 //! substrate as QuClassi so that the comparisons in Figs. 9, 10 and 12 are
 //! apples-to-apples; DESIGN.md §5 documents the approximations.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod qf_pnet;

@@ -14,7 +14,7 @@
 //! * [`runtime`] — the `QUCLASSI_QUICK` switch that shrinks workloads for
 //!   smoke runs.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
 /// Tabular experiment reports.

@@ -10,7 +10,7 @@
 //! * [`matrix`], [`activation`], [`eigen`] — the small linear-algebra and
 //!   activation utilities those are built on.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod activation;

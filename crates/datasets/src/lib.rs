@@ -13,7 +13,7 @@
 //! * [`stream`] — infinite seeded-shuffle replay of a dataset as a labelled
 //!   sample stream for the online-learning pipeline.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod dataset;

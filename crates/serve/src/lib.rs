@@ -81,11 +81,16 @@ pub mod eventloop;
 pub mod faults;
 pub mod json;
 pub mod metrics;
+#[cfg(quclassi_model)]
+pub mod model_support;
+pub(crate) mod mutation;
 pub mod online;
+pub(crate) mod quclassi_sync;
 mod queue;
 pub mod registry;
 pub mod runtime;
 pub mod shadow;
+pub(crate) mod swap;
 pub mod threaded;
 pub mod trace;
 pub mod wire;

@@ -29,8 +29,9 @@
 //! counters, `_ns` for nanosecond histograms, labels in `{key="value"}`
 //! form for per-shard / per-model series.
 
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use crate::mutation;
+use crate::quclassi_sync::atomic::{AtomicU64, Ordering};
+use crate::quclassi_sync::{Arc, Mutex};
 
 /// Number of histogram buckets: one per possible `floor(log2)` of a `u64`
 /// nanosecond count.
@@ -82,7 +83,7 @@ impl LatencyHistogram {
         self.counts[bucket].fetch_add(1, Ordering::Relaxed);
         self.min_ns.fetch_min(ns, Ordering::Relaxed);
         self.max_ns.fetch_max(ns, Ordering::Relaxed);
-        self.total_ns.fetch_add(ns, Ordering::Release);
+        self.total_ns.fetch_add(ns, mutation::histogram_total());
     }
 
     /// An immutable copy of the current counts.

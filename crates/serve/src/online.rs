@@ -34,7 +34,8 @@
 //! The learner's training and evaluation randomness derives from
 //! [`OnlineConfig::seed`]; mirrored shadow traffic is rate-gated by a
 //! deterministic accumulator; and fault injection (test builds and the
-//! `fault-injection` feature only) follows a seeded [`crate::FaultPlan`].
+//! `fault-injection` feature only) follows a seeded `FaultPlan`
+//! (compiled out of release builds, so plain docs cannot link it).
 //! Gate *measurements* (latency) depend on machine load, but every
 //! injected failure reproduces exactly.
 

@@ -26,8 +26,9 @@
 
 use crate::error::ServeError;
 use crate::metrics::{FlushReason, Gauge};
+use crate::mutation;
+use crate::quclassi_sync::{Condvar, Mutex, MutexGuard};
 use std::collections::VecDeque;
-use std::sync::{Condvar, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
 struct QueueState<T> {
@@ -98,6 +99,15 @@ impl<T> BoundedQueue<T> {
     /// Admits `item`, or rejects it when the queue is full (backpressure)
     /// or closed (shutdown). Never blocks.
     pub(crate) fn try_push(&self, item: T) -> Result<(), ServeError> {
+        let notify_early = mutation::queue_notify_early();
+        if notify_early {
+            // Mutation point: notifying before the item is visible is the
+            // classic lost wakeup — the consumer can check the queue under
+            // the lock, find it empty, and then sleep through the only
+            // notification, which already fired into thin air. Manifests
+            // as a model-detected deadlock in tests/model_queue.rs.
+            self.not_empty.notify_one();
+        }
         let mut state = self.lock();
         if state.closed {
             return Err(ServeError::ShutDown);
@@ -114,8 +124,10 @@ impl<T> BoundedQueue<T> {
             gauge.set(state.items.len() as u64);
         }
         drop(state);
-        // One consumer (the scheduler); one wake is enough.
-        self.not_empty.notify_one();
+        if !notify_early {
+            // One consumer (the scheduler); one wake is enough.
+            self.not_empty.notify_one();
+        }
         Ok(())
     }
 

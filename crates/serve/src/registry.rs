@@ -22,11 +22,12 @@
 
 use crate::error::ServeError;
 use crate::metrics::ModelStats;
+use crate::quclassi_sync::{Arc, Mutex};
+use crate::swap::SwapMap;
 use quclassi_infer::CompiledModel;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::HashMap;
-use std::sync::{Arc, Mutex, RwLock, Weak};
 
 /// One deployed (name, version, artifact) triple plus its serving counters.
 ///
@@ -65,10 +66,14 @@ impl ModelEntry {
 }
 
 /// A thread-safe registry of named, versioned compiled models.
+///
+/// The publication mechanics — write-locked versioned insert, drain
+/// tracking of displaced entries — live in the generic (and model-checked)
+/// crate-private `SwapMap`; this type adds the model-specific policy: warm-up before
+/// the switch, rollback history, and typed errors.
 #[derive(Debug, Default)]
 pub struct ModelRegistry {
-    active: RwLock<HashMap<String, Arc<ModelEntry>>>,
-    retired: Mutex<Vec<Weak<ModelEntry>>>,
+    models: SwapMap<ModelEntry>,
     /// The artifact each name served *before* its current version, kept for
     /// [`ModelRegistry::rollback`]. Holds the bare `CompiledModel` (not the
     /// retired `ModelEntry`) so the drain accounting stays truthful: the
@@ -105,25 +110,18 @@ impl ModelRegistry {
             .predict_one(&warm_sample, &mut rng)
             .map_err(ServeError::Model)?;
 
-        let mut active = self.active.write().unwrap_or_else(|e| e.into_inner());
-        let version = active.get(name).map(|e| e.version + 1).unwrap_or(1);
-        let entry = Arc::new(ModelEntry {
+        let model = Arc::new(model);
+        let (version, displaced) = self.models.publish(name, |version| ModelEntry {
             name: name.to_string(),
             version,
-            model: Arc::new(model),
+            model: Arc::clone(&model),
             stats: ModelStats::default(),
         });
-        let displaced = active.insert(name.to_string(), entry);
-        drop(active);
-        if let Some(old) = displaced {
+        if let Some((old_version, old)) = displaced {
             self.previous
                 .lock()
                 .unwrap_or_else(|e| e.into_inner())
-                .insert(name.to_string(), (old.version, Arc::clone(&old.model)));
-            self.retired
-                .lock()
-                .unwrap_or_else(|e| e.into_inner())
-                .push(Arc::downgrade(&old));
+                .insert(name.to_string(), (old_version, Arc::clone(&old.model)));
             // `old` drops here; the entry stays alive exactly as long as
             // in-flight requests still hold it.
         }
@@ -177,56 +175,32 @@ impl ModelRegistry {
 
     /// Resolves `name` to its currently active entry.
     pub fn get(&self, name: &str) -> Result<Arc<ModelEntry>, ServeError> {
-        self.active
-            .read()
-            .unwrap_or_else(|e| e.into_inner())
+        self.models
             .get(name)
-            .cloned()
+            .map(|(_, entry)| entry)
             .ok_or_else(|| ServeError::UnknownModel(name.to_string()))
     }
 
     /// The active version of `name`, if deployed.
     pub fn active_version(&self, name: &str) -> Option<u64> {
-        self.active
-            .read()
-            .unwrap_or_else(|e| e.into_inner())
-            .get(name)
-            .map(|e| e.version)
+        self.models.version_of(name)
     }
 
     /// Deployed model names, sorted.
     pub fn names(&self) -> Vec<String> {
-        let mut names: Vec<String> = self
-            .active
-            .read()
-            .unwrap_or_else(|e| e.into_inner())
-            .keys()
-            .cloned()
-            .collect();
-        names.sort();
-        names
+        self.models.names()
     }
 
     /// Snapshots of every active entry, sorted by name.
     pub fn entries(&self) -> Vec<Arc<ModelEntry>> {
-        let mut entries: Vec<Arc<ModelEntry>> = self
-            .active
-            .read()
-            .unwrap_or_else(|e| e.into_inner())
-            .values()
-            .cloned()
-            .collect();
-        entries.sort_by(|a, b| a.name.cmp(&b.name));
-        entries
+        self.models.entries()
     }
 
     /// Number of *retired* (hot-swapped-out) versions still referenced by
     /// in-flight requests. Dropped references are pruned on each call, so
     /// a quiescent runtime reports 0.
     pub fn draining(&self) -> usize {
-        let mut retired = self.retired.lock().unwrap_or_else(|e| e.into_inner());
-        retired.retain(|w| w.strong_count() > 0);
-        retired.len()
+        self.models.draining()
     }
 }
 

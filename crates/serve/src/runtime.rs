@@ -57,14 +57,15 @@ use crate::error::ServeError;
 use crate::metrics::{
     self, HistogramSnapshot, MetricsRegistry, ModelStatsSnapshot, RuntimeStats, StageLatencies,
 };
+use crate::mutation;
+use crate::quclassi_sync::atomic::{AtomicU64, Ordering};
+use crate::quclassi_sync::{Arc, Condvar, Mutex, RwLock};
 use crate::queue::BoundedQueue;
 use crate::registry::{ModelEntry, ModelRegistry};
 use crate::shadow::{ShadowReport, ShadowState};
 use crate::trace::{TraceRing, TraceSpan, TraceState, DEFAULT_TRACE_CAPACITY};
 use quclassi_infer::{CacheStats, CompiledModel, Prediction};
 use quclassi_sim::batch::BatchExecutor;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex, RwLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -225,13 +226,57 @@ impl ResponseSlot {
     }
 
     fn fulfill(&self, result: Result<ServeResponse, ServeError>) {
+        let notify_early = mutation::slot_notify_early();
+        if notify_early {
+            // Mutation point: notifying before the result is published is
+            // the lost-wakeup bug — the waiter can find the cell empty
+            // under the lock, then sleep through this already-spent
+            // notification forever. tests/model_slot.rs proves the checker
+            // reports the resulting deadlock.
+            self.ready.notify_all();
+        }
         let mut cell = self.cell.lock().unwrap_or_else(|e| e.into_inner());
         *cell = Some(result);
         drop(cell);
-        self.ready.notify_all();
+        if !notify_early {
+            self.ready.notify_all();
+        }
         if let Some(notifier) = &self.notifier {
             notifier();
         }
+    }
+}
+
+#[cfg(quclassi_model)]
+impl ResponseSlot {
+    /// Model-suite constructor: a bare slot with no notifier and a dummy
+    /// trace (the model tests exercise the rendezvous, not the timeline).
+    pub(crate) fn model_new() -> Self {
+        ResponseSlot::new(None, TraceState::new(0, Instant::now(), false))
+    }
+
+    /// Model-suite access to the scheduler-side publish.
+    pub(crate) fn model_fulfill(&self, result: Result<ServeResponse, ServeError>) {
+        self.fulfill(result);
+    }
+
+    /// [`PendingPrediction::wait`]'s loop, callable on a bare slot.
+    pub(crate) fn model_wait(&self) -> Result<ServeResponse, ServeError> {
+        let mut cell = self.cell.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if let Some(result) = cell.take() {
+                return result;
+            }
+            cell = self.ready.wait(cell).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// [`PendingPrediction::is_ready`], callable on a bare slot.
+    pub(crate) fn model_is_ready(&self) -> bool {
+        self.cell
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .is_some()
     }
 }
 

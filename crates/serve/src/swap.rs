@@ -1,0 +1,124 @@
+//! The hot-swap publication core: named, versioned, atomically replaceable
+//! entries with drain tracking.
+//!
+//! Extracted from [`ModelRegistry`](crate::registry::ModelRegistry) so the
+//! publication protocol itself — version assignment and map insert in one
+//! write-locked critical section, displaced entries retired behind weak
+//! references — is generic over the payload and can be model-checked with a
+//! cheap payload (`tests/model_registry.rs`) instead of a compiled quantum
+//! model. The registry layers warm-up, rollback history, and the public
+//! API on top.
+
+use crate::mutation;
+use crate::quclassi_sync::{Arc, Mutex, RwLock, Weak};
+use std::collections::HashMap;
+
+/// A map of named entries where replacing an entry atomically publishes a
+/// new monotonically-versioned `Arc` and tracks the displaced one until its
+/// last in-flight reference drops.
+#[derive(Debug)]
+pub(crate) struct SwapMap<V> {
+    active: RwLock<HashMap<String, (u64, Arc<V>)>>,
+    retired: Mutex<Vec<Weak<V>>>,
+}
+
+impl<V> Default for SwapMap<V> {
+    fn default() -> Self {
+        SwapMap {
+            active: RwLock::new(HashMap::new()),
+            retired: Mutex::new(Vec::new()),
+        }
+    }
+}
+
+impl<V> SwapMap<V> {
+    /// Publishes `make(version)` under `name`, where `version` is one more
+    /// than the name's current version (1 for a first publish). Version
+    /// assignment and map insert share one write-locked critical section —
+    /// that single lock hold is what makes concurrent publishes of the same
+    /// name linearise with unique, monotonic versions.
+    ///
+    /// Returns the assigned version and the displaced `(version, entry)`,
+    /// if any. The displaced entry is also retired for
+    /// [`SwapMap::draining`] accounting.
+    pub(crate) fn publish(
+        &self,
+        name: &str,
+        make: impl FnOnce(u64) -> V,
+    ) -> (u64, Option<(u64, Arc<V>)>) {
+        let mut active = self.active.write().unwrap_or_else(|e| e.into_inner());
+        let version = active.get(name).map(|(v, _)| v + 1).unwrap_or(1);
+        if mutation::swap_split_publish() {
+            // Mutation point: surrendering the lock between version
+            // assignment and insert lets two publishers assign the same
+            // version — tests/model_registry.rs proves the checker sees it.
+            drop(active);
+            active = self.active.write().unwrap_or_else(|e| e.into_inner());
+        }
+        let entry = Arc::new(make(version));
+        let displaced = active.insert(name.to_string(), (version, entry));
+        drop(active);
+        if let Some((_, old)) = &displaced {
+            self.retired
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .push(Arc::downgrade(old));
+            // The displaced Arc drops with `displaced` unless the caller
+            // keeps it; the entry stays alive exactly as long as in-flight
+            // references do.
+        }
+        (version, displaced)
+    }
+
+    /// The current `(version, entry)` for `name`, if published.
+    pub(crate) fn get(&self, name: &str) -> Option<(u64, Arc<V>)> {
+        self.active
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(name)
+            .map(|(v, e)| (*v, Arc::clone(e)))
+    }
+
+    /// The current version of `name`, if published.
+    pub(crate) fn version_of(&self, name: &str) -> Option<u64> {
+        self.active
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(name)
+            .map(|(v, _)| *v)
+    }
+
+    /// Published names, sorted.
+    pub(crate) fn names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self
+            .active
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .keys()
+            .cloned()
+            .collect();
+        names.sort();
+        names
+    }
+
+    /// Current entries, sorted by name.
+    pub(crate) fn entries(&self) -> Vec<Arc<V>> {
+        let mut entries: Vec<(String, Arc<V>)> = self
+            .active
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .iter()
+            .map(|(name, (_, e))| (name.clone(), Arc::clone(e)))
+            .collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        entries.into_iter().map(|(_, e)| e).collect()
+    }
+
+    /// Number of displaced entries still referenced somewhere. Dead weak
+    /// references are pruned on each call.
+    pub(crate) fn draining(&self) -> usize {
+        let mut retired = self.retired.lock().unwrap_or_else(|e| e.into_inner());
+        retired.retain(|w| w.strong_count() > 0);
+        retired.len()
+    }
+}

@@ -27,7 +27,8 @@
 //! returning a torn span. Capacity 0 disables tracing entirely: recording
 //! is a no-op and retrieval returns nothing.
 
-use std::sync::atomic::{fence, AtomicU64, Ordering};
+use crate::mutation;
+use crate::quclassi_sync::atomic::{fence, AtomicU64, Ordering};
 use std::time::Instant;
 
 /// Default [`TraceRing`] capacity (`ServeConfig::trace_capacity`,
@@ -176,20 +177,35 @@ impl TraceRing {
         if self.slots.is_empty() {
             return;
         }
-        let ticket = self.head.fetch_add(1, Ordering::Relaxed) + 1;
+        let ticket = self.head.fetch_add(1, Ordering::Relaxed).wrapping_add(1);
+        if ticket == 0 {
+            // The 2^64th span wrapped the ticket counter onto the "empty /
+            // mid-write" sentinel; drop this one span rather than publish a
+            // slot readers must treat as invalid.
+            return;
+        }
         let slot = &self.slots[((ticket - 1) % self.slots.len() as u64) as usize];
-        // Seqlock write protocol: invalidate, store fields, publish. The
-        // Release on the final ticket store pairs with readers' Acquire
-        // ticket load, making every field store visible to a reader that
-        // observes the published ticket.
+        // Seqlock write protocol: invalidate, fence, store fields, publish.
+        // The Release *fence* (not merely the release invalidation store)
+        // is what orders the relaxed field stores after the invalidation
+        // from the reader's point of view: it pairs with the reader's
+        // Acquire fence between its field reads and ticket re-check, so a
+        // reader whose re-check still sees the old ticket cannot have read
+        // any of this writer's field values. The Release on the final
+        // ticket store pairs with readers' Acquire ticket load, making
+        // every field store visible to a reader that observes the
+        // published ticket.
         slot.ticket.store(0, Ordering::Release);
+        if mutation::seqlock_release_fence() {
+            fence(Ordering::Release);
+        }
         let fields = span.to_fields();
         for (dst, v) in slot.fields.iter().zip(fields) {
             dst.store(v, Ordering::Relaxed);
         }
         slot.checksum
             .store(span_checksum(ticket, &fields), Ordering::Relaxed);
-        slot.ticket.store(ticket, Ordering::Release);
+        slot.ticket.store(ticket, mutation::seqlock_publish());
     }
 
     /// Reads the slot expected to hold `ticket`, seqlock-style; `None` if
@@ -208,12 +224,20 @@ impl TraceRing {
         // is still ours afterwards *and* the checksum matches, the fields
         // form one consistent record.
         fence(Ordering::Acquire);
-        if slot.ticket.load(Ordering::Relaxed) != ticket
-            || checksum != span_checksum(ticket, &fields)
-        {
+        if slot.ticket.load(Ordering::Relaxed) != ticket {
+            return None;
+        }
+        if mutation::seqlock_verify_checksum() && checksum != span_checksum(ticket, &fields) {
             return None;
         }
         Some(TraceSpan::from_fields(fields))
+    }
+
+    /// Test-only: plants the ticket counter so overflow behaviour can be
+    /// exercised without recording 2^64 spans.
+    #[cfg(test)]
+    fn seed_recorded(&self, n: u64) {
+        self.head.store(n, Ordering::Relaxed);
     }
 
     /// The most recent `n` completed spans, oldest first. Spans that are
@@ -345,11 +369,101 @@ mod tests {
 
     #[test]
     fn zero_capacity_disables_tracing() {
+        // The QUCLASSI_TRACE_CAPACITY=0 contract: recording is a no-op
+        // (not merely "retrieval returns nothing") — the counter stays 0
+        // no matter how much is recorded, and every retrieval shape is
+        // empty without panicking on the empty slot array.
         let ring = TraceRing::new(0);
-        ring.record(span(1));
-        assert_eq!(ring.recorded(), 0);
+        for id in 1..=100 {
+            ring.record(span(id));
+        }
+        assert_eq!(ring.recorded(), 0, "recording must not even count");
         assert!(ring.last(10).is_empty());
+        assert!(ring.last(0).is_empty());
+        assert!(ring.last(usize::MAX).is_empty());
         assert_eq!(ring.capacity(), 0);
+    }
+
+    #[test]
+    fn exact_capacity_boundary_wraps_onto_the_oldest_slot() {
+        let ring = TraceRing::new(4);
+        // Fill to exactly capacity: nothing wrapped yet.
+        for id in 1..=4 {
+            ring.record(span(id));
+        }
+        assert_eq!(
+            ring.last(4).iter().map(|s| s.trace_id).collect::<Vec<_>>(),
+            vec![1, 2, 3, 4]
+        );
+        // Ticket capacity+1 lands on slot 0 (the boundary wrap): span 1 is
+        // gone, spans 2..=5 survive, and last(n) never resurrects the
+        // overwritten span no matter how large n is.
+        ring.record(span(5));
+        let spans = ring.last(usize::MAX);
+        assert_eq!(
+            spans.iter().map(|s| s.trace_id).collect::<Vec<_>>(),
+            vec![2, 3, 4, 5]
+        );
+        for s in &spans {
+            assert_consistent(s);
+        }
+        // A full second lap replaces every slot exactly once.
+        for id in 6..=9 {
+            ring.record(span(id));
+        }
+        assert_eq!(
+            ring.last(4).iter().map(|s| s.trace_id).collect::<Vec<_>>(),
+            vec![6, 7, 8, 9]
+        );
+    }
+
+    #[test]
+    fn capacity_one_ring_keeps_only_the_newest() {
+        let ring = TraceRing::new(1);
+        for id in 1..=3 {
+            ring.record(span(id));
+            assert_eq!(
+                ring.last(8).iter().map(|s| s.trace_id).collect::<Vec<_>>(),
+                vec![id],
+                "a capacity-1 ring holds exactly the newest span"
+            );
+        }
+        assert_eq!(ring.recorded(), 3);
+    }
+
+    #[test]
+    fn ticket_counter_overflow_skips_the_sentinel_and_recovers() {
+        let ring = TraceRing::new(4);
+        ring.seed_recorded(u64::MAX - 2);
+        // The last two tickets before the wrap record and read back
+        // normally (no debug-overflow panic in the ticket arithmetic).
+        ring.record(span(u64::MAX - 1));
+        ring.record(span(u64::MAX));
+        let spans = ring.last(2);
+        assert_eq!(
+            spans.iter().map(|s| s.trace_id).collect::<Vec<_>>(),
+            vec![u64::MAX - 1, u64::MAX]
+        );
+        for s in &spans {
+            assert_consistent(s);
+        }
+        // The 2^64th record wraps the counter onto ticket 0 — the
+        // empty/mid-write sentinel — so that one span is dropped rather
+        // than published as a slot readers must reject. With the counter
+        // back at 0 the ring reads as empty...
+        ring.record(span(123));
+        assert_eq!(ring.recorded(), 0);
+        assert!(ring.last(8).is_empty());
+        // ...and the next record restarts cleanly at ticket 1.
+        ring.record(span(7));
+        let spans = ring.last(8);
+        assert_eq!(
+            spans.iter().map(|s| s.trace_id).collect::<Vec<_>>(),
+            vec![7]
+        );
+        for s in &spans {
+            assert_consistent(s);
+        }
     }
 
     #[test]

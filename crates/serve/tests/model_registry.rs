@@ -1,0 +1,57 @@
+//! Model checks for the `SwapMap` hot-swap publication protocol (the core
+//! the `ModelRegistry` deploys through): version assignment and map
+//! insert in one write-locked critical section.
+//!
+//! Run with `RUSTFLAGS="--cfg quclassi_model" cargo test -p quclassi-serve
+//! --test model_registry`. Compiles to nothing otherwise.
+
+#![cfg(quclassi_model)]
+
+use interleave::thread;
+use quclassi_serve::model_support::{check_protocol, mutations, SwapProbe};
+use std::sync::Arc;
+
+/// Two concurrent publishes of the same name linearise: versions are
+/// unique and monotonic, the surviving entry is the one that got the
+/// higher version, and exactly one entry drains once its `Arc` drops.
+fn concurrent_publish_scenario() {
+    let map = Arc::new(SwapProbe::new());
+    let other = {
+        let map = Arc::clone(&map);
+        thread::spawn(move || map.publish("m", 10))
+    };
+    let mine = map.publish("m", 20);
+    let theirs = other.join().unwrap();
+    let mut versions = vec![mine, theirs];
+    versions.sort_unstable();
+    assert_eq!(
+        versions,
+        vec![1, 2],
+        "concurrent publishes must assign unique, monotonic versions"
+    );
+    let (version, payload) = map.get("m").expect("published");
+    assert_eq!(version, 2, "the later version wins the map slot");
+    assert_eq!(
+        payload,
+        if mine == 2 { 20 } else { 10 },
+        "the surviving payload matches the version-2 publisher"
+    );
+    assert_eq!(map.draining(), 0, "the displaced Arc already dropped");
+}
+
+#[test]
+fn concurrent_publishes_linearise_with_unique_versions() {
+    check_protocol(&[], concurrent_publish_scenario);
+}
+
+/// Mutation proof: surrendering the write lock between version assignment
+/// and insert lets both publishers read the same current version and
+/// forge duplicate version numbers.
+#[test]
+#[should_panic(expected = "interleave: model check failed")]
+fn mutation_split_publish_is_caught() {
+    check_protocol(
+        &[mutations::SWAP_SPLIT_PUBLISH],
+        concurrent_publish_scenario,
+    );
+}

@@ -1,0 +1,60 @@
+//! Model checks for the `ResponseSlot` one-shot rendezvous (mutex +
+//! condvar; publish result, then notify).
+//!
+//! Run with `RUSTFLAGS="--cfg quclassi_model" cargo test -p quclassi-serve
+//! --test model_slot`. Compiles to nothing otherwise.
+
+#![cfg(quclassi_model)]
+
+use interleave::thread;
+use quclassi_serve::model_support::{check_protocol, mutations, SlotProbe};
+
+/// A waiter racing the fulfilment: the waiter always receives the result,
+/// exactly once, in every interleaving — and consuming it empties the
+/// slot.
+#[test]
+fn waiter_receives_the_result_exactly_once() {
+    check_protocol(&[], || {
+        let slot = SlotProbe::new();
+        let waiter = {
+            let slot = slot.clone();
+            thread::spawn(move || slot.wait())
+        };
+        slot.fulfill();
+        assert!(waiter.join().unwrap(), "waiter got the published result");
+        assert!(
+            !slot.is_ready(),
+            "the rendezvous is one-shot: the waiter consumed the result"
+        );
+    });
+}
+
+/// A fulfilment completing before the wait even starts is still received
+/// (the wait loop checks the cell before sleeping).
+#[test]
+fn late_waiter_still_receives() {
+    check_protocol(&[], || {
+        let slot = SlotProbe::new();
+        slot.fulfill();
+        assert!(slot.is_ready());
+        assert!(slot.wait());
+    });
+}
+
+/// Mutation proof: notifying before the result is published is the
+/// lost-wakeup bug — the waiter finds the cell empty under the lock, then
+/// sleeps forever through the already-spent notification. The checker
+/// reports the resulting deadlock.
+#[test]
+#[should_panic(expected = "interleave: model check failed")]
+fn mutation_notify_before_publish_is_caught() {
+    check_protocol(&[mutations::SLOT_NOTIFY_EARLY], || {
+        let slot = SlotProbe::new();
+        let waiter = {
+            let slot = slot.clone();
+            thread::spawn(move || slot.wait())
+        };
+        slot.fulfill();
+        assert!(waiter.join().unwrap());
+    });
+}

@@ -73,6 +73,7 @@ pub mod linalg;
 pub mod noise;
 mod partition;
 pub mod profile;
+pub(crate) mod quclassi_sync;
 pub mod state;
 pub mod transpile;
 

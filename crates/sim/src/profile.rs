@@ -32,7 +32,7 @@
 //! * **amplitudes touched** — the register dimension `2^n` accumulated
 //!   per sweep: the number of amplitudes each sweep ranges over.
 
-use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use crate::quclassi_sync::atomic::{AtomicU64, AtomicU8, Ordering};
 
 use crate::gate::Gate;
 

@@ -1,0 +1,19 @@
+//! Swappable `std::sync` facade for the simulator's lock-free counters.
+//!
+//! Mirrors `quclassi-serve`'s shim of the same name: normal builds
+//! re-export plain `std` atomics (zero-cost — the re-export resolves to
+//! the identical items), while `RUSTFLAGS="--cfg quclassi_model"` builds
+//! substitute the vendored `interleave` model checker's shadow atomics so
+//! the profiling counters' orderings can be explored exhaustively.
+//!
+//! Only what [`crate::profile`] uses is re-exported; widen as more of the
+//! simulator's concurrency moves behind the shim.
+
+/// Atomic integer types and fences, from `std` or the model checker.
+pub(crate) mod atomic {
+    #[cfg(not(quclassi_model))]
+    pub(crate) use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+
+    #[cfg(quclassi_model)]
+    pub(crate) use interleave::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+}

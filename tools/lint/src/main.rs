@@ -1,0 +1,57 @@
+//! `quclassi-lint`: runs the workspace invariant rules and fails on any
+//! finding (the CI `static-analysis` job's first gate; also runnable
+//! locally with `cargo run -p quclassi-lint`).
+
+#![forbid(unsafe_code)]
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// Walks upward from the current directory to the workspace root (the
+/// directory whose `Cargo.toml` declares `[workspace]`), so the binary
+/// works both from the root and from a crate directory.
+fn find_workspace_root() -> Option<PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if manifest.is_file() {
+            if let Ok(text) = std::fs::read_to_string(&manifest) {
+                if text.contains("[workspace]") {
+                    return Some(dir);
+                }
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let root = match find_workspace_root() {
+        Some(root) => root,
+        None => {
+            eprintln!("quclassi-lint: no workspace root ([workspace] in Cargo.toml) above cwd");
+            return ExitCode::FAILURE;
+        }
+    };
+    let findings = match quclassi_lint::run(Path::new(&root)) {
+        Ok(findings) => findings,
+        Err(e) => {
+            eprintln!("quclassi-lint: failed to read the workspace: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if findings.is_empty() {
+        println!("quclassi-lint: ok (0 findings)");
+        return ExitCode::SUCCESS;
+    }
+    for finding in &findings {
+        println!("{finding}");
+    }
+    eprintln!(
+        "quclassi-lint: {} finding(s) — findings are denied",
+        findings.len()
+    );
+    ExitCode::FAILURE
+}

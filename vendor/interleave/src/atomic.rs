@@ -1,0 +1,263 @@
+//! Shadow atomic integer and bool types.
+//!
+//! Each shadow atomic is a `const`-constructible handle: the initial value
+//! plus a real `AtomicU64` that caches a `(epoch, location-id)` pair. The
+//! location itself — modification order, per-thread read floors — lives in
+//! the engine and is lazily re-registered each iteration, which is what lets
+//! `static` shadow atomics work across iterations with fresh state.
+
+use std::sync::atomic::AtomicU64 as StdAtomicU64;
+
+pub use std::sync::atomic::Ordering;
+
+use crate::engine::with_current;
+
+/// Issues a shadow memory fence on the calling model thread.
+///
+/// `Release` fences stamp later relaxed stores with the current clock;
+/// `Acquire` fences publish the accumulated clocks of earlier relaxed
+/// loads. `SeqCst` is modelled conservatively as `AcqRel` (no total order).
+pub fn fence(order: Ordering) {
+    with_current(|engine, me| engine.atomic_fence(me, order));
+}
+
+macro_rules! shadow_int {
+    ($(#[$doc:meta])* $name:ident, $ty:ty, $mask:expr) => {
+        $(#[$doc])*
+        pub struct $name {
+            init: u64,
+            handle: StdAtomicU64,
+        }
+
+        impl $name {
+            /// Creates a shadow atomic holding `value` at iteration start.
+            pub const fn new(value: $ty) -> Self {
+                $name {
+                    init: value as u64,
+                    handle: StdAtomicU64::new(0),
+                }
+            }
+
+            /// Model-checked load.
+            pub fn load(&self, order: Ordering) -> $ty {
+                with_current(|e, me| e.atomic_load(me, &self.handle, self.init, $mask, order)) as $ty
+            }
+
+            /// Model-checked store.
+            pub fn store(&self, value: $ty, order: Ordering) {
+                with_current(|e, me| {
+                    e.atomic_store(me, &self.handle, self.init, $mask, order, value as u64)
+                });
+            }
+
+            /// Model-checked swap.
+            pub fn swap(&self, value: $ty, order: Ordering) -> $ty {
+                self.rmw(order, |_| Some(value as u64))
+            }
+
+            /// Model-checked wrapping add; returns the previous value.
+            pub fn fetch_add(&self, value: $ty, order: Ordering) -> $ty {
+                self.rmw(order, |old| Some(old.wrapping_add(value as u64)))
+            }
+
+            /// Model-checked wrapping subtract; returns the previous value.
+            pub fn fetch_sub(&self, value: $ty, order: Ordering) -> $ty {
+                self.rmw(order, |old| Some(old.wrapping_sub(value as u64)))
+            }
+
+            /// Model-checked bitwise or; returns the previous value.
+            pub fn fetch_or(&self, value: $ty, order: Ordering) -> $ty {
+                self.rmw(order, |old| Some(old | value as u64))
+            }
+
+            /// Model-checked bitwise and; returns the previous value.
+            pub fn fetch_and(&self, value: $ty, order: Ordering) -> $ty {
+                self.rmw(order, |old| Some(old & value as u64))
+            }
+
+            /// Model-checked minimum; returns the previous value.
+            pub fn fetch_min(&self, value: $ty, order: Ordering) -> $ty {
+                self.rmw(order, |old| Some((old as $ty).min(value) as u64))
+            }
+
+            /// Model-checked maximum; returns the previous value.
+            pub fn fetch_max(&self, value: $ty, order: Ordering) -> $ty {
+                self.rmw(order, |old| Some((old as $ty).max(value) as u64))
+            }
+
+            /// Model-checked compare-exchange (the model has no spurious
+            /// failures, so `_weak` and strong coincide).
+            pub fn compare_exchange(
+                &self,
+                current: $ty,
+                new: $ty,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<$ty, $ty> {
+                let (old, stored) = with_current(|e, me| {
+                    e.atomic_rmw(me, &self.handle, self.init, $mask, success, failure, &mut |old| {
+                        if old as $ty == current {
+                            Some(new as u64)
+                        } else {
+                            None
+                        }
+                    })
+                });
+                if stored.is_some() {
+                    Ok(old as $ty)
+                } else {
+                    Err(old as $ty)
+                }
+            }
+
+            /// Model-checked compare-exchange; identical to the strong form.
+            pub fn compare_exchange_weak(
+                &self,
+                current: $ty,
+                new: $ty,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<$ty, $ty> {
+                self.compare_exchange(current, new, success, failure)
+            }
+
+            /// Model-checked `fetch_update`: one atomic read-modify-write
+            /// (never observes interference mid-update, matching the
+            /// semantics of the std retry loop at the point it succeeds).
+            pub fn fetch_update(
+                &self,
+                set_order: Ordering,
+                fetch_order: Ordering,
+                mut f: impl FnMut($ty) -> Option<$ty>,
+            ) -> Result<$ty, $ty> {
+                let (old, stored) = with_current(|e, me| {
+                    e.atomic_rmw(
+                        me,
+                        &self.handle,
+                        self.init,
+                        $mask,
+                        set_order,
+                        fetch_order,
+                        &mut |old| f(old as $ty).map(|v| v as u64),
+                    )
+                });
+                if stored.is_some() {
+                    Ok(old as $ty)
+                } else {
+                    Err(old as $ty)
+                }
+            }
+
+            fn rmw(&self, order: Ordering, mut f: impl FnMut(u64) -> Option<u64>) -> $ty {
+                let (old, _) = with_current(|e, me| {
+                    e.atomic_rmw(me, &self.handle, self.init, $mask, order, order, &mut f)
+                });
+                old as $ty
+            }
+        }
+
+        impl Default for $name {
+            fn default() -> Self {
+                Self::new(0 as $ty)
+            }
+        }
+
+        impl std::fmt::Debug for $name {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                // Reading the value would be a visible op; keep Debug inert.
+                write!(f, concat!(stringify!($name), "(<shadow>)"))
+            }
+        }
+    };
+}
+
+shadow_int!(
+    /// Shadow of [`std::sync::atomic::AtomicU8`].
+    AtomicU8,
+    u8,
+    0xff
+);
+shadow_int!(
+    /// Shadow of [`std::sync::atomic::AtomicU32`].
+    AtomicU32,
+    u32,
+    0xffff_ffff
+);
+shadow_int!(
+    /// Shadow of [`std::sync::atomic::AtomicU64`].
+    AtomicU64,
+    u64,
+    u64::MAX
+);
+shadow_int!(
+    /// Shadow of [`std::sync::atomic::AtomicUsize`].
+    AtomicUsize,
+    usize,
+    u64::MAX
+);
+
+/// Shadow of [`std::sync::atomic::AtomicBool`].
+pub struct AtomicBool {
+    inner: AtomicU8,
+}
+
+impl AtomicBool {
+    /// Creates a shadow atomic bool holding `value` at iteration start.
+    pub const fn new(value: bool) -> Self {
+        AtomicBool {
+            inner: AtomicU8::new(value as u8),
+        }
+    }
+
+    /// Model-checked load.
+    pub fn load(&self, order: Ordering) -> bool {
+        self.inner.load(order) != 0
+    }
+
+    /// Model-checked store.
+    pub fn store(&self, value: bool, order: Ordering) {
+        self.inner.store(value as u8, order);
+    }
+
+    /// Model-checked swap.
+    pub fn swap(&self, value: bool, order: Ordering) -> bool {
+        self.inner.swap(value as u8, order) != 0
+    }
+
+    /// Model-checked compare-exchange.
+    pub fn compare_exchange(
+        &self,
+        current: bool,
+        new: bool,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<bool, bool> {
+        self.inner
+            .compare_exchange(current as u8, new as u8, success, failure)
+            .map(|v| v != 0)
+            .map_err(|v| v != 0)
+    }
+
+    /// Model-checked compare-exchange; identical to the strong form.
+    pub fn compare_exchange_weak(
+        &self,
+        current: bool,
+        new: bool,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<bool, bool> {
+        self.compare_exchange(current, new, success, failure)
+    }
+}
+
+impl Default for AtomicBool {
+    fn default() -> Self {
+        Self::new(false)
+    }
+}
+
+impl std::fmt::Debug for AtomicBool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "AtomicBool(<shadow>)")
+    }
+}

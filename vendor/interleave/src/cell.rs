@@ -1,0 +1,40 @@
+//! `ModelCell`: plain (non-atomic) shared data with data-race detection.
+
+use std::sync::atomic::AtomicU64 as StdAtomicU64;
+use std::sync::Mutex as StdMutex;
+
+use crate::engine::with_current;
+
+/// A cell of plain shared data. Every access is checked against the
+/// happens-before graph: two accesses to the same cell, at least one a
+/// write, with neither ordered before the other, fail the execution as a
+/// data race — exactly the accesses that would be undefined behaviour on
+/// real hardware. Storage sits behind a std mutex so the checker itself
+/// needs no `unsafe`; the engine's serialisation makes it uncontended.
+#[derive(Debug)]
+pub struct ModelCell<T> {
+    handle: StdAtomicU64,
+    data: StdMutex<T>,
+}
+
+impl<T> ModelCell<T> {
+    /// Creates a cell holding `value`.
+    pub const fn new(value: T) -> Self {
+        ModelCell {
+            handle: StdAtomicU64::new(0),
+            data: StdMutex::new(value),
+        }
+    }
+
+    /// Race-checked read access.
+    pub fn with<R>(&self, f: impl FnOnce(&T) -> R) -> R {
+        with_current(|e, me| e.cell_access(me, &self.handle, false));
+        f(&self.data.lock().unwrap_or_else(|p| p.into_inner()))
+    }
+
+    /// Race-checked write access.
+    pub fn with_mut<R>(&self, f: impl FnOnce(&mut T) -> R) -> R {
+        with_current(|e, me| e.cell_access(me, &self.handle, true));
+        f(&mut self.data.lock().unwrap_or_else(|p| p.into_inner()))
+    }
+}

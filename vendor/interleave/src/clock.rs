@@ -1,0 +1,94 @@
+//! Vector clocks: the happens-before backbone of the checker.
+
+/// A vector clock over model-thread ids.
+///
+/// `clock[t]` is the number of visible operations of thread `t` that are
+/// known (transitively, through synchronises-with edges) to have happened
+/// before the point this clock describes. Clocks grow on demand; missing
+/// entries are zero.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct VClock {
+    ticks: Vec<u64>,
+}
+
+impl VClock {
+    /// An empty clock (all components zero).
+    pub fn new() -> Self {
+        VClock { ticks: Vec::new() }
+    }
+
+    /// The component for thread `t`.
+    pub fn get(&self, t: usize) -> u64 {
+        self.ticks.get(t).copied().unwrap_or(0)
+    }
+
+    /// Sets the component for thread `t`.
+    pub fn set(&mut self, t: usize, v: u64) {
+        if self.ticks.len() <= t {
+            self.ticks.resize(t + 1, 0);
+        }
+        self.ticks[t] = v;
+    }
+
+    /// Advances thread `t`'s own component by one.
+    pub fn tick(&mut self, t: usize) {
+        let v = self.get(t) + 1;
+        self.set(t, v);
+    }
+
+    /// Joins `other` into `self` (component-wise max).
+    pub fn join(&mut self, other: &VClock) {
+        if self.ticks.len() < other.ticks.len() {
+            self.ticks.resize(other.ticks.len(), 0);
+        }
+        for (mine, theirs) in self.ticks.iter_mut().zip(other.ticks.iter()) {
+            *mine = (*mine).max(*theirs);
+        }
+    }
+
+    /// Whether every component of `self` is ≤ the matching one in `other`,
+    /// i.e. the point described by `self` happened before (or equals) the
+    /// point described by `other`.
+    pub fn le(&self, other: &VClock) -> bool {
+        self.ticks
+            .iter()
+            .enumerate()
+            .all(|(t, &v)| v <= other.get(t))
+    }
+}
+
+impl std::fmt::Display for VClock {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[")?;
+        for (i, v) in self.ticks.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn join_and_order() {
+        let mut a = VClock::new();
+        a.tick(0);
+        a.tick(0);
+        let mut b = VClock::new();
+        b.tick(1);
+        assert!(!a.le(&b));
+        assert!(!b.le(&a));
+        let mut j = a.clone();
+        j.join(&b);
+        assert!(a.le(&j));
+        assert!(b.le(&j));
+        assert_eq!(j.get(0), 2);
+        assert_eq!(j.get(1), 1);
+        assert!(VClock::new().le(&a));
+    }
+}

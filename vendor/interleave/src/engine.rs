@@ -1,0 +1,1182 @@
+//! The exploration engine: serialized model threads, DFS over schedule and
+//! value choices, and the per-memory-order happens-before model.
+//!
+//! Execution model: every model thread is a real OS thread, but a global
+//! baton (mutex + condvar) keeps exactly one runnable at a time. Each
+//! *visible operation* (atomic access, fence, lock op, cell access) passes
+//! through [`Engine::begin_op`], which consults the DFS path to decide which
+//! thread executes next and whether a relaxed load observes a stale store.
+//! Replaying the recorded prefix and incrementing the last un-exhausted
+//! choice enumerates every schedule within the preemption bound — the
+//! backtracking half of DPOR-style exploration, with the preemption bound as
+//! the reduction.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64 as StdAtomicU64, Ordering as StdOrdering};
+use std::sync::{Arc, Condvar as StdCondvar, Mutex as StdMutex, MutexGuard as StdMutexGuard};
+
+use crate::clock::VClock;
+
+pub use std::sync::atomic::Ordering;
+
+/// Process-wide iteration epoch used to lazily re-register static shadow
+/// atomics: a shadow handle caches `(epoch, location-id)` and re-registers
+/// itself whenever the engine's epoch has moved on.
+static EPOCH: StdAtomicU64 = StdAtomicU64::new(0);
+
+/// Serialises whole explorations: two concurrent `check` calls in one
+/// process (e.g. two `#[test]`s) would otherwise share thread-locals and
+/// mutation flags in undefined ways.
+static EXPLORATION: StdMutex<()> = StdMutex::new(());
+
+thread_local! {
+    static CURRENT: std::cell::RefCell<Option<(Arc<Engine>, usize)>> =
+        const { std::cell::RefCell::new(None) };
+}
+
+/// Runs `f` with the calling model thread's engine handle and thread id.
+///
+/// # Panics
+/// Panics when called from outside a model closure — the shadow types only
+/// work under [`crate::check`].
+pub(crate) fn with_current<R>(f: impl FnOnce(&Arc<Engine>, usize) -> R) -> R {
+    CURRENT.with(|c| {
+        let b = c.borrow();
+        let (engine, me) = b
+            .as_ref()
+            .expect("interleave sync primitive used outside an interleave::check model closure");
+        f(engine, *me)
+    })
+}
+
+/// Sentinel panic payload used to unwind model threads when the current
+/// iteration is being torn down (failure elsewhere, or deadlock).
+struct Abort;
+
+pub(crate) fn panic_abort() -> ! {
+    std::panic::panic_any(Abort)
+}
+
+/// How an exploration is configured. See [`crate::Builder`] for the public
+/// wrapper with documented defaults.
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Maximum number of *preemptive* context switches per execution.
+    pub preemption_bound: usize,
+    /// Iteration budget before the exploration gives up.
+    pub max_iterations: usize,
+    /// Number of trailing events kept for failure traces.
+    pub max_trace: usize,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            preemption_bound: 2,
+            max_iterations: 200_000,
+            max_trace: 200,
+        }
+    }
+}
+
+/// One DFS decision: which alternative was taken out of how many.
+#[derive(Clone, Copy, Debug)]
+struct Choice {
+    taken: usize,
+    total: usize,
+}
+
+/// The DFS path: a recorded prefix that is replayed, then extended with
+/// first-alternative choices. `advance` flips the deepest non-exhausted
+/// choice to enumerate the next execution.
+#[derive(Default)]
+struct Path {
+    choices: Vec<Choice>,
+    cursor: usize,
+}
+
+impl Path {
+    fn choose(&mut self, total: usize) -> usize {
+        debug_assert!(total > 1, "choice points need at least two alternatives");
+        if self.cursor < self.choices.len() {
+            let c = self.choices[self.cursor];
+            self.cursor += 1;
+            debug_assert_eq!(
+                c.total, total,
+                "non-deterministic model closure: replay found a different branch arity"
+            );
+            c.taken.min(total - 1)
+        } else {
+            self.choices.push(Choice { taken: 0, total });
+            self.cursor += 1;
+            0
+        }
+    }
+
+    /// Moves to the next unexplored execution; false when the tree is done.
+    fn advance(&mut self) -> bool {
+        while let Some(last) = self.choices.last_mut() {
+            if last.taken + 1 < last.total {
+                last.taken += 1;
+                self.cursor = 0;
+                return true;
+            }
+            self.choices.pop();
+        }
+        false
+    }
+
+    fn render(&self) -> String {
+        let parts: Vec<String> = self
+            .choices
+            .iter()
+            .map(|c| format!("{}/{}", c.taken, c.total))
+            .collect();
+        parts.join(" ")
+    }
+}
+
+/// What a model thread is currently waiting for, if anything.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Block {
+    /// Waiting to acquire a model mutex.
+    Mutex(usize),
+    /// Parked on a condvar; holds (condvar id, mutex id to re-acquire).
+    CondWait(usize, usize),
+    /// Waiting for a shared rwlock acquisition.
+    RwRead(usize),
+    /// Waiting for an exclusive rwlock acquisition.
+    RwWrite(usize),
+    /// Waiting for another model thread to finish.
+    Join(usize),
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Run {
+    Runnable,
+    Blocked(Block),
+    Finished,
+}
+
+struct ThreadSt {
+    clock: VClock,
+    state: Run,
+    /// Set (together with `active == id`) when the scheduler hands this
+    /// thread the baton; consumed exactly once at each resume point.
+    granted: bool,
+    /// Clock snapshot of the latest `fence(Release)`, stamped onto
+    /// subsequent relaxed stores (fence-to-acquire synchronisation).
+    fence_rel: Option<VClock>,
+    /// Accumulated `msg` clocks of relaxed loads, published into the thread
+    /// clock by a later `fence(Acquire)` (acquire-fence synchronisation).
+    acq_pending: VClock,
+}
+
+impl ThreadSt {
+    fn new(clock: VClock) -> Self {
+        ThreadSt {
+            clock,
+            state: Run::Runnable,
+            granted: false,
+            fence_rel: None,
+            acq_pending: VClock::new(),
+        }
+    }
+}
+
+/// One entry in an atomic location's modification order.
+struct StoreRecord {
+    value: u64,
+    /// The storing thread's clock at the store: used for coherence floors.
+    when: VClock,
+    /// What an acquire load of this store synchronises with: the storer's
+    /// clock for release stores, the release-fence snapshot for relaxed
+    /// stores after a fence, and the carried release-sequence clock for
+    /// read-modify-writes.
+    msg: VClock,
+}
+
+struct Location {
+    stores: Vec<StoreRecord>,
+    /// Per-thread read floor into `stores` (read-read coherence).
+    seen: Vec<usize>,
+}
+
+impl Location {
+    fn seen_for(&mut self, t: usize) -> usize {
+        if self.seen.len() <= t {
+            self.seen.resize(t + 1, 0);
+        }
+        self.seen[t]
+    }
+}
+
+struct MutexSt {
+    locked: bool,
+    /// Join of every unlocker's clock; acquirers join it (release/acquire).
+    clock: VClock,
+}
+
+struct CondvarSt {
+    /// FIFO of parked thread ids. `notify_one` wakes the head — the model
+    /// does not branch over wake order and has no spurious wakeups.
+    waiters: VecDeque<usize>,
+}
+
+struct RwSt {
+    writer: bool,
+    readers: usize,
+    /// Joined by *every* unlock; write acquirers join it.
+    clock_for_writers: VClock,
+    /// Joined only by writer unlocks; read acquirers join it. Readers do
+    /// not synchronise with other readers, matching `std::sync::RwLock`.
+    clock_for_readers: VClock,
+}
+
+struct CellSt {
+    write_clock: VClock,
+    read_clocks: VClock,
+}
+
+/// A recorded visible operation, for failure traces.
+struct Event {
+    thread: usize,
+    what: String,
+}
+
+struct Failure {
+    message: String,
+    trace: Vec<String>,
+    dropped: usize,
+    path: String,
+}
+
+struct EngineState {
+    epoch: u64,
+    config: Config,
+    path: Path,
+    threads: Vec<ThreadSt>,
+    os_handles: Vec<std::thread::JoinHandle<()>>,
+    active: usize,
+    alive: usize,
+    preemptions: usize,
+    locations: Vec<Location>,
+    mutexes: Vec<MutexSt>,
+    condvars: Vec<CondvarSt>,
+    rwlocks: Vec<RwSt>,
+    cells: Vec<CellSt>,
+    events: VecDeque<Event>,
+    events_dropped: usize,
+    failure: Option<Failure>,
+    aborting: bool,
+    iteration_done: bool,
+}
+
+impl EngineState {
+    fn is_enabled(&self, t: usize) -> bool {
+        match self.threads[t].state {
+            Run::Runnable => true,
+            Run::Blocked(Block::Mutex(m)) => !self.mutexes[m].locked,
+            Run::Blocked(Block::CondWait(..)) => false,
+            Run::Blocked(Block::RwRead(r)) => !self.rwlocks[r].writer,
+            Run::Blocked(Block::RwWrite(r)) => {
+                !self.rwlocks[r].writer && self.rwlocks[r].readers == 0
+            }
+            Run::Blocked(Block::Join(t2)) => self.threads[t2].state == Run::Finished,
+            Run::Finished => false,
+        }
+    }
+
+    fn enabled_threads(&self) -> Vec<usize> {
+        (0..self.threads.len())
+            .filter(|&t| self.is_enabled(t))
+            .collect()
+    }
+
+    fn push_event(&mut self, thread: usize, what: String) {
+        if self.events.len() >= self.config.max_trace {
+            self.events.pop_front();
+            self.events_dropped += 1;
+        }
+        self.events.push_back(Event { thread, what });
+    }
+
+    fn fail(&mut self, message: String) {
+        if self.failure.is_none() {
+            self.failure = Some(Failure {
+                message,
+                trace: self
+                    .events
+                    .iter()
+                    .map(|e| format!("  [thread {}] {}", e.thread, e.what))
+                    .collect(),
+                dropped: self.events_dropped,
+                path: self.path.render(),
+            });
+        }
+        self.aborting = true;
+    }
+}
+
+type Guard<'a> = StdMutexGuard<'a, EngineState>;
+
+/// The shared exploration engine: one per `check` call, shared by every
+/// shadow primitive through the thread-local [`with_current`] handle.
+pub(crate) struct Engine {
+    state: StdMutex<EngineState>,
+    cv: StdCondvar,
+}
+
+fn pack(epoch: u64, idx: usize) -> u64 {
+    ((epoch & 0xffff_ffff) << 32) | ((idx as u64 + 1) & 0xffff_ffff)
+}
+
+fn unpack(raw: u64) -> (u64, Option<usize>) {
+    let idx = raw & 0xffff_ffff;
+    (
+        raw >> 32,
+        if idx == 0 {
+            None
+        } else {
+            Some((idx - 1) as usize)
+        },
+    )
+}
+
+fn is_acquire(ord: Ordering) -> bool {
+    matches!(ord, Ordering::Acquire | Ordering::AcqRel | Ordering::SeqCst)
+}
+
+fn is_release(ord: Ordering) -> bool {
+    matches!(ord, Ordering::Release | Ordering::AcqRel | Ordering::SeqCst)
+}
+
+impl Engine {
+    fn new(config: Config) -> Self {
+        Engine {
+            state: StdMutex::new(EngineState {
+                epoch: 0,
+                config,
+                path: Path::default(),
+                threads: Vec::new(),
+                os_handles: Vec::new(),
+                active: 0,
+                alive: 0,
+                preemptions: 0,
+                locations: Vec::new(),
+                mutexes: Vec::new(),
+                condvars: Vec::new(),
+                rwlocks: Vec::new(),
+                cells: Vec::new(),
+                events: VecDeque::new(),
+                events_dropped: 0,
+                failure: None,
+                aborting: false,
+                iteration_done: false,
+            }),
+            cv: StdCondvar::new(),
+        }
+    }
+
+    fn lock(&self) -> Guard<'_> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Parks the calling model thread until the scheduler hands it the
+    /// baton; consumes the grant. Panics with [`Abort`] during teardown.
+    fn wait_until_granted<'a>(&'a self, mut g: Guard<'a>, me: usize) -> Guard<'a> {
+        loop {
+            if g.aborting {
+                drop(g);
+                panic_abort();
+            }
+            if g.active == me && g.threads[me].granted {
+                g.threads[me].granted = false;
+                return g;
+            }
+            g = self.cv.wait(g).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Hands the baton to `pick` (making it runnable) and wakes it.
+    fn hand_off(&self, g: &mut Guard<'_>, pick: usize) {
+        g.threads[pick].state = Run::Runnable;
+        g.threads[pick].granted = true;
+        g.active = pick;
+        self.cv.notify_all();
+    }
+
+    /// Visible-op prologue: schedule point (possible preemption branch),
+    /// then tick the thread clock. Returns the state guard for the op body.
+    fn begin_op(&self, me: usize) -> Guard<'_> {
+        let mut g = self.lock();
+        if g.aborting {
+            drop(g);
+            panic_abort();
+        }
+        debug_assert_eq!(g.active, me, "baton violation: inactive thread ran an op");
+        if g.preemptions < g.config.preemption_bound {
+            let enabled = g.enabled_threads();
+            if enabled.len() > 1 {
+                let mut options = vec![me];
+                options.extend(enabled.into_iter().filter(|&t| t != me));
+                let total = options.len();
+                let pick = options[g.path.choose(total)];
+                if pick != me {
+                    g.preemptions += 1;
+                    self.hand_off(&mut g, pick);
+                    g = self.wait_until_granted(g, me);
+                }
+            }
+        }
+        g.threads[me].clock.tick(me);
+        g
+    }
+
+    /// Blocks the calling thread with reason `kind`, hands the baton to some
+    /// enabled thread (deadlock failure if none), and parks until granted.
+    fn block_and_yield<'a>(&'a self, mut g: Guard<'a>, me: usize, kind: Block) -> Guard<'a> {
+        g.threads[me].state = Run::Blocked(kind);
+        let enabled = g.enabled_threads();
+        if enabled.is_empty() {
+            let states: Vec<String> = g
+                .threads
+                .iter()
+                .enumerate()
+                .map(|(t, th)| format!("thread {t}: {:?}", th.state))
+                .collect();
+            g.fail(format!(
+                "deadlock: every live thread is blocked ({})",
+                states.join("; ")
+            ));
+            self.cv.notify_all();
+            drop(g);
+            panic_abort();
+        }
+        let pick = if enabled.len() == 1 {
+            enabled[0]
+        } else {
+            let total = enabled.len();
+            enabled[g.path.choose(total)]
+        };
+        self.hand_off(&mut g, pick);
+        self.wait_until_granted(g, me)
+    }
+
+    // ------------------------------------------------------------------
+    // Atomics
+    // ------------------------------------------------------------------
+
+    /// Resolves a shadow atomic's handle to a location id, registering it
+    /// with `init` as the sole store if this epoch hasn't seen it yet.
+    fn resolve(&self, g: &mut Guard<'_>, handle: &StdAtomicU64, init: u64, mask: u64) -> usize {
+        let raw = handle.load(StdOrdering::Relaxed);
+        let (epoch, idx) = unpack(raw);
+        if let Some(idx) = idx {
+            if epoch == (g.epoch & 0xffff_ffff) && idx < g.locations.len() {
+                return idx;
+            }
+        }
+        let idx = g.locations.len();
+        g.locations.push(Location {
+            stores: vec![StoreRecord {
+                value: init & mask,
+                when: VClock::new(),
+                msg: VClock::new(),
+            }],
+            seen: Vec::new(),
+        });
+        handle.store(pack(g.epoch, idx), StdOrdering::Relaxed);
+        idx
+    }
+
+    pub(crate) fn atomic_load(
+        &self,
+        me: usize,
+        handle: &StdAtomicU64,
+        init: u64,
+        mask: u64,
+        ord: Ordering,
+    ) -> u64 {
+        assert!(
+            !matches!(ord, Ordering::Release | Ordering::AcqRel),
+            "there is no such thing as a release load"
+        );
+        if std::thread::panicking() {
+            let mut g = self.lock();
+            let idx = self.resolve(&mut g, handle, init, mask);
+            return g.locations[idx].stores.last().map_or(init, |s| s.value);
+        }
+        let mut g = self.begin_op(me);
+        let idx = self.resolve(&mut g, handle, init, mask);
+        let clock = g.threads[me].clock.clone();
+        let loc = &mut g.locations[idx];
+        let mut floor = loc.seen_for(me);
+        for i in floor + 1..loc.stores.len() {
+            if loc.stores[i].when.le(&clock) {
+                floor = i;
+            }
+        }
+        let candidates = loc.stores.len() - floor;
+        let pick = if candidates == 1 {
+            floor
+        } else {
+            let top = loc.stores.len() - 1;
+            // Choice 0 reads the newest store so mutated (buggy) protocols
+            // hit their counterexample interleavings early in the DFS.
+            top - g.path.choose(candidates)
+        };
+        let loc = &mut g.locations[idx];
+        loc.seen[me] = pick;
+        let value = loc.stores[pick].value;
+        let msg = loc.stores[pick].msg.clone();
+        if is_acquire(ord) {
+            g.threads[me].clock.join(&msg);
+        } else {
+            g.threads[me].acq_pending.join(&msg);
+        }
+        g.push_event(me, format!("load loc{idx} -> {value} ({ord:?})"));
+        value
+    }
+
+    pub(crate) fn atomic_store(
+        &self,
+        me: usize,
+        handle: &StdAtomicU64,
+        init: u64,
+        mask: u64,
+        ord: Ordering,
+        value: u64,
+    ) {
+        assert!(
+            !matches!(ord, Ordering::Acquire | Ordering::AcqRel),
+            "there is no such thing as an acquire store"
+        );
+        if std::thread::panicking() {
+            return;
+        }
+        let mut g = self.begin_op(me);
+        let idx = self.resolve(&mut g, handle, init, mask);
+        let when = g.threads[me].clock.clone();
+        let msg = if is_release(ord) {
+            when.clone()
+        } else {
+            g.threads[me].fence_rel.clone().unwrap_or_default()
+        };
+        let loc = &mut g.locations[idx];
+        loc.stores.push(StoreRecord {
+            value: value & mask,
+            when,
+            msg,
+        });
+        let last = loc.stores.len() - 1;
+        loc.seen_for(me);
+        loc.seen[me] = last;
+        g.push_event(me, format!("store loc{idx} <- {value} ({ord:?})"));
+    }
+
+    /// The shared read-modify-write core. `f` sees the newest value in
+    /// modification order; returning `None` means "don't write" (failed
+    /// compare-exchange), in which case `failure_ord` governs the read.
+    #[allow(clippy::too_many_arguments)] // one call site per atomic op; a params struct would obscure it
+    pub(crate) fn atomic_rmw(
+        &self,
+        me: usize,
+        handle: &StdAtomicU64,
+        init: u64,
+        mask: u64,
+        success_ord: Ordering,
+        failure_ord: Ordering,
+        f: &mut dyn FnMut(u64) -> Option<u64>,
+    ) -> (u64, Option<u64>) {
+        if std::thread::panicking() {
+            let mut g = self.lock();
+            let idx = self.resolve(&mut g, handle, init, mask);
+            let old = g.locations[idx].stores.last().map_or(init, |s| s.value);
+            return (old, None);
+        }
+        let mut g = self.begin_op(me);
+        let idx = self.resolve(&mut g, handle, init, mask);
+        let last = g.locations[idx].stores.len() - 1;
+        let old = g.locations[idx].stores[last].value;
+        let new = f(old);
+        let read_ord = if new.is_some() {
+            success_ord
+        } else {
+            failure_ord
+        };
+        let msg_of_read = g.locations[idx].stores[last].msg.clone();
+        if is_acquire(read_ord) {
+            g.threads[me].clock.join(&msg_of_read);
+        } else {
+            g.threads[me].acq_pending.join(&msg_of_read);
+        }
+        {
+            let loc = &mut g.locations[idx];
+            loc.seen_for(me);
+            loc.seen[me] = last;
+        }
+        if let Some(v) = new {
+            // RMWs continue the release sequence of the store they read:
+            // the carried msg stays visible to later acquire loads.
+            let mut msg = msg_of_read;
+            if let Some(fr) = &g.threads[me].fence_rel {
+                msg.join(&fr.clone());
+            }
+            if is_release(success_ord) {
+                let clk = g.threads[me].clock.clone();
+                msg.join(&clk);
+            }
+            let when = g.threads[me].clock.clone();
+            let loc = &mut g.locations[idx];
+            loc.stores.push(StoreRecord {
+                value: v & mask,
+                when,
+                msg,
+            });
+            let newest = loc.stores.len() - 1;
+            loc.seen[me] = newest;
+            g.push_event(
+                me,
+                format!("rmw loc{idx} {old} -> {} ({success_ord:?})", v & mask),
+            );
+        } else {
+            g.push_event(
+                me,
+                format!("rmw-fail loc{idx} read {old} ({failure_ord:?})"),
+            );
+        }
+        (old, new)
+    }
+
+    pub(crate) fn atomic_fence(&self, me: usize, ord: Ordering) {
+        assert!(
+            ord != Ordering::Relaxed,
+            "there is no such thing as a relaxed fence"
+        );
+        if std::thread::panicking() {
+            return;
+        }
+        let mut g = self.begin_op(me);
+        if is_acquire(ord) {
+            let pending = g.threads[me].acq_pending.clone();
+            g.threads[me].clock.join(&pending);
+        }
+        if is_release(ord) {
+            let snapshot = g.threads[me].clock.clone();
+            g.threads[me].fence_rel = Some(snapshot);
+        }
+        g.push_event(me, format!("fence ({ord:?})"));
+    }
+
+    // ------------------------------------------------------------------
+    // Mutex / Condvar / RwLock
+    // ------------------------------------------------------------------
+
+    pub(crate) fn mutex_register(&self, handle: &StdAtomicU64) -> usize {
+        let mut g = self.lock();
+        let raw = handle.load(StdOrdering::Relaxed);
+        let (epoch, idx) = unpack(raw);
+        if let Some(idx) = idx {
+            if epoch == (g.epoch & 0xffff_ffff) && idx < g.mutexes.len() {
+                return idx;
+            }
+        }
+        let idx = g.mutexes.len();
+        g.mutexes.push(MutexSt {
+            locked: false,
+            clock: VClock::new(),
+        });
+        handle.store(pack(g.epoch, idx), StdOrdering::Relaxed);
+        idx
+    }
+
+    pub(crate) fn mutex_lock(&self, me: usize, handle: &StdAtomicU64) -> usize {
+        let mx = self.mutex_register(handle);
+        if std::thread::panicking() {
+            return mx;
+        }
+        let mut g = self.begin_op(me);
+        loop {
+            if !g.mutexes[mx].locked {
+                g.mutexes[mx].locked = true;
+                let clk = g.mutexes[mx].clock.clone();
+                g.threads[me].clock.join(&clk);
+                g.push_event(me, format!("mutex{mx} lock"));
+                return mx;
+            }
+            g = self.block_and_yield(g, me, Block::Mutex(mx));
+        }
+    }
+
+    pub(crate) fn mutex_try_lock(&self, me: usize, handle: &StdAtomicU64) -> Option<usize> {
+        let mx = self.mutex_register(handle);
+        if std::thread::panicking() {
+            return Some(mx);
+        }
+        let mut g = self.begin_op(me);
+        if g.mutexes[mx].locked {
+            g.push_event(me, format!("mutex{mx} try_lock -> busy"));
+            return None;
+        }
+        g.mutexes[mx].locked = true;
+        let clk = g.mutexes[mx].clock.clone();
+        g.threads[me].clock.join(&clk);
+        g.push_event(me, format!("mutex{mx} try_lock -> acquired"));
+        Some(mx)
+    }
+
+    pub(crate) fn mutex_unlock(&self, me: usize, mx: usize) {
+        if std::thread::panicking() {
+            let mut g = self.lock();
+            g.mutexes[mx].locked = false;
+            self.cv.notify_all();
+            return;
+        }
+        let mut g = self.begin_op(me);
+        debug_assert!(g.mutexes[mx].locked, "unlock of an unlocked model mutex");
+        g.mutexes[mx].locked = false;
+        let clk = g.threads[me].clock.clone();
+        g.mutexes[mx].clock.join(&clk);
+        g.push_event(me, format!("mutex{mx} unlock"));
+    }
+
+    pub(crate) fn condvar_register(&self, handle: &StdAtomicU64) -> usize {
+        let mut g = self.lock();
+        let raw = handle.load(StdOrdering::Relaxed);
+        let (epoch, idx) = unpack(raw);
+        if let Some(idx) = idx {
+            if epoch == (g.epoch & 0xffff_ffff) && idx < g.condvars.len() {
+                return idx;
+            }
+        }
+        let idx = g.condvars.len();
+        g.condvars.push(CondvarSt {
+            waiters: VecDeque::new(),
+        });
+        handle.store(pack(g.epoch, idx), StdOrdering::Relaxed);
+        idx
+    }
+
+    /// Releases `mx`, parks on `cv`, and re-acquires `mx` once notified.
+    /// The model has no spurious wakeups and wakes waiters in FIFO order.
+    pub(crate) fn condvar_wait(&self, me: usize, cv: usize, mx: usize) {
+        if std::thread::panicking() {
+            return;
+        }
+        let mut g = self.begin_op(me);
+        debug_assert!(g.mutexes[mx].locked, "condvar wait without the mutex held");
+        g.mutexes[mx].locked = false;
+        let clk = g.threads[me].clock.clone();
+        g.mutexes[mx].clock.join(&clk);
+        g.condvars[cv].waiters.push_back(me);
+        g.push_event(me, format!("condvar{cv} wait (released mutex{mx})"));
+        g = self.block_and_yield(g, me, Block::CondWait(cv, mx));
+        // Granted ⇒ we were notified (state moved to Blocked(Mutex)) and the
+        // mutex is free; the baton guarantees nobody raced us to it.
+        debug_assert!(
+            !g.mutexes[mx].locked,
+            "granted condvar waiter found mutex held"
+        );
+        g.mutexes[mx].locked = true;
+        let clk = g.mutexes[mx].clock.clone();
+        g.threads[me].clock.join(&clk);
+        g.push_event(me, format!("condvar{cv} woke (re-acquired mutex{mx})"));
+    }
+
+    pub(crate) fn condvar_notify(&self, me: usize, cv: usize, all: bool) {
+        if std::thread::panicking() {
+            return;
+        }
+        let mut g = self.begin_op(me);
+        let n = if all { g.condvars[cv].waiters.len() } else { 1 };
+        for _ in 0..n {
+            let Some(w) = g.condvars[cv].waiters.pop_front() else {
+                break;
+            };
+            if let Run::Blocked(Block::CondWait(_, mx)) = g.threads[w].state {
+                g.threads[w].state = Run::Blocked(Block::Mutex(mx));
+            }
+        }
+        g.push_event(
+            me,
+            format!("condvar{cv} notify_{}", if all { "all" } else { "one" }),
+        );
+    }
+
+    pub(crate) fn rwlock_register(&self, handle: &StdAtomicU64) -> usize {
+        let mut g = self.lock();
+        let raw = handle.load(StdOrdering::Relaxed);
+        let (epoch, idx) = unpack(raw);
+        if let Some(idx) = idx {
+            if epoch == (g.epoch & 0xffff_ffff) && idx < g.rwlocks.len() {
+                return idx;
+            }
+        }
+        let idx = g.rwlocks.len();
+        g.rwlocks.push(RwSt {
+            writer: false,
+            readers: 0,
+            clock_for_writers: VClock::new(),
+            clock_for_readers: VClock::new(),
+        });
+        handle.store(pack(g.epoch, idx), StdOrdering::Relaxed);
+        idx
+    }
+
+    pub(crate) fn rwlock_read(&self, me: usize, handle: &StdAtomicU64) -> usize {
+        let rw = self.rwlock_register(handle);
+        if std::thread::panicking() {
+            return rw;
+        }
+        let mut g = self.begin_op(me);
+        loop {
+            if !g.rwlocks[rw].writer {
+                g.rwlocks[rw].readers += 1;
+                let clk = g.rwlocks[rw].clock_for_readers.clone();
+                g.threads[me].clock.join(&clk);
+                g.push_event(me, format!("rwlock{rw} read-lock"));
+                return rw;
+            }
+            g = self.block_and_yield(g, me, Block::RwRead(rw));
+        }
+    }
+
+    pub(crate) fn rwlock_write(&self, me: usize, handle: &StdAtomicU64) -> usize {
+        let rw = self.rwlock_register(handle);
+        if std::thread::panicking() {
+            return rw;
+        }
+        let mut g = self.begin_op(me);
+        loop {
+            if !g.rwlocks[rw].writer && g.rwlocks[rw].readers == 0 {
+                g.rwlocks[rw].writer = true;
+                let clk = g.rwlocks[rw].clock_for_writers.clone();
+                g.threads[me].clock.join(&clk);
+                g.push_event(me, format!("rwlock{rw} write-lock"));
+                return rw;
+            }
+            g = self.block_and_yield(g, me, Block::RwWrite(rw));
+        }
+    }
+
+    pub(crate) fn rwlock_unlock_read(&self, me: usize, rw: usize) {
+        if std::thread::panicking() {
+            let mut g = self.lock();
+            g.rwlocks[rw].readers = g.rwlocks[rw].readers.saturating_sub(1);
+            self.cv.notify_all();
+            return;
+        }
+        let mut g = self.begin_op(me);
+        g.rwlocks[rw].readers -= 1;
+        let clk = g.threads[me].clock.clone();
+        g.rwlocks[rw].clock_for_writers.join(&clk);
+        g.push_event(me, format!("rwlock{rw} read-unlock"));
+    }
+
+    pub(crate) fn rwlock_unlock_write(&self, me: usize, rw: usize) {
+        if std::thread::panicking() {
+            let mut g = self.lock();
+            g.rwlocks[rw].writer = false;
+            self.cv.notify_all();
+            return;
+        }
+        let mut g = self.begin_op(me);
+        g.rwlocks[rw].writer = false;
+        let clk = g.threads[me].clock.clone();
+        g.rwlocks[rw].clock_for_writers.join(&clk);
+        g.rwlocks[rw].clock_for_readers.join(&clk);
+        g.push_event(me, format!("rwlock{rw} write-unlock"));
+    }
+
+    // ------------------------------------------------------------------
+    // ModelCell race detection
+    // ------------------------------------------------------------------
+
+    pub(crate) fn cell_register(&self, handle: &StdAtomicU64) -> usize {
+        let mut g = self.lock();
+        let raw = handle.load(StdOrdering::Relaxed);
+        let (epoch, idx) = unpack(raw);
+        if let Some(idx) = idx {
+            if epoch == (g.epoch & 0xffff_ffff) && idx < g.cells.len() {
+                return idx;
+            }
+        }
+        let idx = g.cells.len();
+        g.cells.push(CellSt {
+            write_clock: VClock::new(),
+            read_clocks: VClock::new(),
+        });
+        handle.store(pack(g.epoch, idx), StdOrdering::Relaxed);
+        idx
+    }
+
+    pub(crate) fn cell_access(&self, me: usize, handle: &StdAtomicU64, write: bool) {
+        let idx = self.cell_register(handle);
+        if std::thread::panicking() {
+            return;
+        }
+        let mut g = self.begin_op(me);
+        let clock = g.threads[me].clock.clone();
+        let racy = {
+            let cell = &g.cells[idx];
+            if write {
+                !cell.write_clock.le(&clock) || !cell.read_clocks.le(&clock)
+            } else {
+                !cell.write_clock.le(&clock)
+            }
+        };
+        if racy {
+            let kind = if write { "write" } else { "read" };
+            g.fail(format!(
+                "data race: unsynchronised {kind} of cell{idx} by thread {me} \
+                 concurrent with a prior access"
+            ));
+            self.cv.notify_all();
+            drop(g);
+            panic_abort();
+        }
+        let cell = &mut g.cells[idx];
+        if write {
+            cell.write_clock = clock;
+            cell.read_clocks = VClock::new();
+            g.push_event(me, format!("cell{idx} write"));
+        } else {
+            let tick = clock.get(me);
+            cell.read_clocks.set(me, tick);
+            g.push_event(me, format!("cell{idx} read"));
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Threads
+    // ------------------------------------------------------------------
+
+    /// Spawns a model thread running `f`; returns its model thread id.
+    pub(crate) fn spawn_thread(
+        self: &Arc<Self>,
+        me: usize,
+        f: Box<dyn FnOnce() + Send + 'static>,
+    ) -> usize {
+        let mut g = self.begin_op(me);
+        let child = g.threads.len();
+        let mut clock = g.threads[me].clock.clone();
+        clock.tick(child);
+        g.threads.push(ThreadSt::new(clock));
+        g.alive += 1;
+        g.push_event(me, format!("spawn thread {child}"));
+        let engine = Arc::clone(self);
+        let handle = std::thread::Builder::new()
+            .name(format!("interleave-{child}"))
+            .spawn(move || run_model_thread(engine, child, f))
+            .expect("failed to spawn a model OS thread");
+        g.os_handles.push(handle);
+        child
+    }
+
+    /// Blocks until model thread `target` finishes, joining its final clock.
+    pub(crate) fn join_thread(&self, me: usize, target: usize) {
+        if std::thread::panicking() {
+            return;
+        }
+        let mut g = self.begin_op(me);
+        while g.threads[target].state != Run::Finished {
+            g = self.block_and_yield(g, me, Block::Join(target));
+        }
+        let clk = g.threads[target].clock.clone();
+        g.threads[me].clock.join(&clk);
+        g.push_event(me, format!("joined thread {target}"));
+    }
+
+    /// Pure schedule point with no memory effect (`yield_now`).
+    pub(crate) fn yield_point(&self, me: usize) {
+        if std::thread::panicking() {
+            return;
+        }
+        let g = self.begin_op(me);
+        drop(g);
+    }
+
+    /// Marks `me` finished and passes the baton on (or ends the iteration).
+    fn finish_thread(&self, me: usize, panic_payload: Option<Box<dyn std::any::Any + Send>>) {
+        let mut g = self.lock();
+        g.threads[me].state = Run::Finished;
+        g.threads[me].clock.tick(me);
+        g.alive -= 1;
+        if let Some(p) = panic_payload {
+            if !p.is::<Abort>() {
+                let msg = p
+                    .downcast_ref::<&str>()
+                    .map(|s| s.to_string())
+                    .or_else(|| p.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "<non-string panic payload>".to_string());
+                g.fail(format!("model thread {me} panicked: {msg}"));
+            }
+        }
+        g.push_event(me, "finished".to_string());
+        if g.alive == 0 {
+            g.iteration_done = true;
+            self.cv.notify_all();
+            return;
+        }
+        if g.aborting {
+            self.cv.notify_all();
+            return;
+        }
+        let enabled = g.enabled_threads();
+        if enabled.is_empty() {
+            let states: Vec<String> = g
+                .threads
+                .iter()
+                .enumerate()
+                .map(|(t, th)| format!("thread {t}: {:?}", th.state))
+                .collect();
+            g.fail(format!(
+                "deadlock: every live thread is blocked ({})",
+                states.join("; ")
+            ));
+            self.cv.notify_all();
+            return;
+        }
+        let pick = if enabled.len() == 1 {
+            enabled[0]
+        } else {
+            let total = enabled.len();
+            enabled[g.path.choose(total)]
+        };
+        self.hand_off(&mut g, pick);
+    }
+}
+
+/// The OS-thread wrapper around one model thread's closure.
+fn run_model_thread(engine: Arc<Engine>, me: usize, f: Box<dyn FnOnce() + Send + 'static>) {
+    CURRENT.with(|c| *c.borrow_mut() = Some((Arc::clone(&engine), me)));
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let g = engine.lock();
+        let g = engine.wait_until_granted(g, me);
+        drop(g);
+        f();
+    }));
+    engine.finish_thread(me, result.err());
+    CURRENT.with(|c| *c.borrow_mut() = None);
+}
+
+/// Outcome of a completed exploration. See [`crate::check`].
+#[derive(Clone, Copy, Debug)]
+pub struct Report {
+    /// Number of distinct executions explored.
+    pub iterations: usize,
+    /// Whether the schedule/value tree was exhausted within the iteration
+    /// budget (true) or the budget ran out first (false).
+    pub complete: bool,
+}
+
+/// Runs the exploration loop for `f` under `config`. Panics with a full
+/// interleaving trace if any execution fails.
+pub(crate) fn explore(
+    config: Config,
+    allow_incomplete: bool,
+    f: Arc<dyn Fn() + Send + Sync>,
+) -> Report {
+    assert!(
+        CURRENT.with(|c| c.borrow().is_none()),
+        "interleave::check cannot be nested inside a model closure"
+    );
+    let _serial = EXPLORATION.lock().unwrap_or_else(|e| e.into_inner());
+    let engine = Arc::new(Engine::new(config.clone()));
+    let mut iterations = 0usize;
+    let mut complete = true;
+    loop {
+        iterations += 1;
+        // Fresh iteration: bump the epoch (invalidates cached static
+        // handles) and reset all per-execution state, keeping the path.
+        {
+            let mut g = engine.lock();
+            g.epoch = EPOCH.fetch_add(1, StdOrdering::Relaxed) + 1;
+            g.threads.clear();
+            g.os_handles.clear();
+            g.active = 0;
+            g.alive = 1;
+            g.preemptions = 0;
+            g.locations.clear();
+            g.mutexes.clear();
+            g.condvars.clear();
+            g.rwlocks.clear();
+            g.cells.clear();
+            g.events.clear();
+            g.events_dropped = 0;
+            g.failure = None;
+            g.aborting = false;
+            g.iteration_done = false;
+            g.path.cursor = 0;
+            let mut root = ThreadSt::new({
+                let mut c = VClock::new();
+                c.tick(0);
+                c
+            });
+            root.granted = true;
+            g.threads.push(root);
+            let engine2 = Arc::clone(&engine);
+            let f2 = Arc::clone(&f);
+            let handle = std::thread::Builder::new()
+                .name("interleave-0".to_string())
+                .spawn(move || run_model_thread(engine2, 0, Box::new(move || f2())))
+                .expect("failed to spawn the root model OS thread");
+            g.os_handles.push(handle);
+        }
+        let handles = {
+            let mut g = engine.lock();
+            while !g.iteration_done {
+                g = engine.cv.wait(g).unwrap_or_else(|e| e.into_inner());
+            }
+            std::mem::take(&mut g.os_handles)
+        };
+        for h in handles {
+            let _ = h.join();
+        }
+        let (failure, exhausted) = {
+            let mut g = engine.lock();
+            let failure = g.failure.take();
+            let exhausted = failure.is_none() && !g.path.advance();
+            (failure, exhausted)
+        };
+        if let Some(fail) = failure {
+            let mut msg = format!(
+                "interleave: model check failed after {iterations} execution(s)\n  cause: {}\n",
+                fail.message
+            );
+            if fail.dropped > 0 {
+                msg.push_str(&format!(
+                    "  trace (last {} events; {} earlier dropped):\n",
+                    fail.trace.len(),
+                    fail.dropped
+                ));
+            } else {
+                msg.push_str("  trace:\n");
+            }
+            for line in &fail.trace {
+                msg.push_str(line);
+                msg.push('\n');
+            }
+            msg.push_str(&format!("  schedule path: {}\n", fail.path));
+            panic!("{msg}");
+        }
+        if exhausted {
+            break;
+        }
+        if iterations >= config.max_iterations {
+            complete = false;
+            break;
+        }
+    }
+    if !complete && !allow_incomplete {
+        panic!(
+            "interleave: exploration budget exceeded ({iterations} executions without \
+             exhausting the schedule tree); raise max_iterations or set allow_incomplete"
+        );
+    }
+    Report {
+        iterations,
+        complete,
+    }
+}

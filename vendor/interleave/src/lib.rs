@@ -1,0 +1,166 @@
+//! Offline vendored loom-style bounded model checker.
+//!
+//! `interleave` exhaustively explores thread interleavings — and, for
+//! relaxed-memory atomics, which store each load observes — of a small
+//! concurrent closure, failing with a full interleaving trace on any panic,
+//! detected data race, or deadlock. The workspace uses it through the
+//! `quclassi_sync` shim modules: protocol code compiled under
+//! `--cfg quclassi_model` runs on the shadow types below, while normal
+//! builds re-export plain `std::sync` and pay nothing.
+//!
+//! # How it works
+//!
+//! Model threads are real OS threads serialised by a baton: exactly one runs
+//! at a time, and every *visible operation* (atomic access, fence, lock
+//! operation, [`ModelCell`] access) is a schedule point. A DFS path records
+//! every decision — which thread runs next, which store a relaxed load
+//! observes — and backtracking over that path enumerates every execution
+//! within a configurable preemption bound (DPOR-style exploration with the
+//! bound as the reduction). Happens-before is tracked with vector clocks
+//! per memory order: release stores carry the writer's clock, acquire loads
+//! join it, release/acquire fences stamp and collect clocks, and RMW
+//! operations carry release sequences.
+//!
+//! # Modelling limits (deliberate, documented)
+//!
+//! - `SeqCst` is treated as `AcqRel`: no single total order is modelled.
+//!   Protocols that *need* sequential consistency (e.g. Dekker) may pass
+//!   here incorrectly — the workspace linter independently flags `SeqCst`
+//!   use, so nothing in-tree relies on it.
+//! - Condvars have no spurious wakeups and wake FIFO; `wait_timeout` always
+//!   times out immediately (the most hostile timer, and it keeps
+//!   exploration finite).
+//! - Loads observe any store not yet overwritten in their happens-before
+//!   past; acquire joins *mask* stale stores, so correctly synchronised
+//!   protocols stay cheap to explore.
+//!
+//! # Example
+//!
+//! ```
+//! use interleave::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+//! use interleave::{check, thread};
+//! use std::sync::Arc;
+//!
+//! let report = check(|| {
+//!     let flag = Arc::new(AtomicBool::new(false));
+//!     let data = Arc::new(AtomicU64::new(0));
+//!     let (f2, d2) = (Arc::clone(&flag), Arc::clone(&data));
+//!     let t = thread::spawn(move || {
+//!         d2.store(7, Ordering::Relaxed);
+//!         f2.store(true, Ordering::Release);
+//!     });
+//!     if flag.load(Ordering::Acquire) {
+//!         // Release/acquire publication: 7 is guaranteed visible.
+//!         assert_eq!(data.load(Ordering::Relaxed), 7);
+//!     }
+//!     t.join().unwrap();
+//! });
+//! assert!(report.complete);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod atomic;
+mod cell;
+mod clock;
+mod engine;
+mod model_thread;
+mod shim;
+
+pub use cell::ModelCell;
+pub use engine::Report;
+
+/// Shadow counterparts of the `std::sync` types the workspace protocols
+/// use. `Arc`/`Weak` are the real std types: reference counting is already
+/// sound and the checker only needs to see the *protocol's* operations.
+pub mod sync {
+    pub use std::sync::{Arc, LockResult, PoisonError, TryLockError, TryLockResult, Weak};
+
+    pub use crate::shim::{
+        Condvar, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard, WaitTimeoutResult,
+    };
+
+    /// Shadow atomics and fences.
+    pub mod atomic {
+        pub use crate::atomic::{
+            fence, AtomicBool, AtomicU32, AtomicU64, AtomicU8, AtomicUsize, Ordering,
+        };
+    }
+}
+
+/// Shadow threading: [`thread::spawn`], [`thread::JoinHandle`],
+/// [`thread::yield_now`].
+pub mod thread {
+    pub use crate::model_thread::{spawn, yield_now, JoinHandle};
+}
+
+/// Configures and runs an exploration. The defaults match [`check`].
+#[derive(Clone, Debug)]
+pub struct Builder {
+    /// Maximum *preemptive* context switches per execution (switches away
+    /// from a thread that could have kept running). Voluntary switches at
+    /// blocking points are always free. Default 2 — empirically, almost
+    /// every real concurrency bug needs at most two preemptions.
+    pub preemption_bound: usize,
+    /// Executions to explore before giving up. Default 200 000.
+    pub max_iterations: usize,
+    /// Trailing visible operations kept for failure traces. Default 200.
+    pub max_trace: usize,
+    /// When true, hitting `max_iterations` returns `complete: false`
+    /// instead of panicking. Default false.
+    pub allow_incomplete: bool,
+}
+
+impl Default for Builder {
+    fn default() -> Self {
+        Builder {
+            preemption_bound: 2,
+            max_iterations: 200_000,
+            max_trace: 200,
+            allow_incomplete: false,
+        }
+    }
+}
+
+impl Builder {
+    /// A builder with the default bounds.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Explores every execution of `f` within the configured bounds.
+    ///
+    /// `f` runs once per execution and must be deterministic apart from the
+    /// scheduling the checker controls.
+    ///
+    /// # Panics
+    /// Panics with an interleaving trace if any execution panics, data
+    /// races, or deadlocks; panics on budget exhaustion unless
+    /// `allow_incomplete` is set.
+    pub fn check<F>(&self, f: F) -> Report
+    where
+        F: Fn() + Send + Sync + 'static,
+    {
+        engine::explore(
+            engine::Config {
+                preemption_bound: self.preemption_bound,
+                max_iterations: self.max_iterations,
+                max_trace: self.max_trace,
+            },
+            self.allow_incomplete,
+            std::sync::Arc::new(f),
+        )
+    }
+}
+
+/// Explores every execution of `f` with the default [`Builder`] bounds.
+///
+/// # Panics
+/// See [`Builder::check`].
+pub fn check<F>(f: F) -> Report
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    Builder::new().check(f)
+}

@@ -1,0 +1,53 @@
+//! Shadow `thread::spawn` / `JoinHandle` for model closures.
+
+use std::sync::{Arc, Mutex as StdMutex};
+
+use crate::engine::{panic_abort, with_current};
+
+/// Spawns a model thread. The closure runs on a real OS thread, but only
+/// when the exploration engine hands it the baton.
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    let slot = Arc::new(StdMutex::new(None));
+    let slot2 = Arc::clone(&slot);
+    let id = with_current(|e, me| {
+        e.spawn_thread(
+            me,
+            Box::new(move || {
+                let value = f();
+                *slot2.lock().unwrap_or_else(|p| p.into_inner()) = Some(value);
+            }),
+        )
+    });
+    JoinHandle { id, slot }
+}
+
+/// Handle to a spawned model thread; mirrors [`std::thread::JoinHandle`].
+pub struct JoinHandle<T> {
+    id: usize,
+    slot: Arc<StdMutex<Option<T>>>,
+}
+
+impl<T> JoinHandle<T> {
+    /// Blocks (in model time) until the thread finishes and returns its
+    /// value. A panicking child aborts the whole iteration, so unlike std
+    /// this never returns `Err` in an execution that survives.
+    pub fn join(self) -> std::thread::Result<T> {
+        with_current(|e, me| e.join_thread(me, self.id));
+        match self.slot.lock().unwrap_or_else(|p| p.into_inner()).take() {
+            Some(value) => Ok(value),
+            // The child panicked; its failure is already recorded and the
+            // iteration is tearing down — unwind quietly.
+            None => panic_abort(),
+        }
+    }
+}
+
+/// Pure schedule point: lets the explorer switch threads with no memory
+/// effect, mirroring [`std::thread::yield_now`].
+pub fn yield_now() {
+    with_current(|e, me| e.yield_point(me));
+}

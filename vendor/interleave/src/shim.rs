@@ -1,0 +1,283 @@
+//! Shadow `Mutex`, `Condvar`, and `RwLock`.
+//!
+//! Each shadow lock pairs an engine-side lock model (scheduling, blocking,
+//! happens-before clocks) with a real `std::sync` lock that stores the data.
+//! Because the engine serialises model threads, the inner std lock is always
+//! free when the model grants an acquisition, so `try_lock` on it cannot
+//! fail — this keeps the checker free of `unsafe` interior-mutability code.
+
+use std::ops::{Deref, DerefMut};
+use std::sync::atomic::AtomicU64 as StdAtomicU64;
+use std::sync::{
+    LockResult, Mutex as StdMutex, MutexGuard as StdMutexGuard, RwLock as StdRwLock,
+    RwLockReadGuard as StdRwLockReadGuard, RwLockWriteGuard as StdRwLockWriteGuard, TryLockError,
+    TryLockResult,
+};
+use std::time::Duration;
+
+use crate::engine::with_current;
+
+/// Shadow of [`std::sync::Mutex`]. Panics inside model threads abort the
+/// whole iteration, so guards are never poisoned: lock results are always
+/// `Ok`, which is API-compatible with the std poisoning signatures.
+#[derive(Debug)]
+pub struct Mutex<T: ?Sized> {
+    handle: StdAtomicU64,
+    inner: StdMutex<T>,
+}
+
+impl<T> Mutex<T> {
+    /// Creates a shadow mutex holding `value`.
+    pub const fn new(value: T) -> Self {
+        Mutex {
+            handle: StdAtomicU64::new(0),
+            inner: StdMutex::new(value),
+        }
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Model-checked blocking acquisition.
+    pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+        let mx = with_current(|e, me| e.mutex_lock(me, &self.handle));
+        Ok(self.guard(mx))
+    }
+
+    /// Model-checked non-blocking acquisition.
+    pub fn try_lock(&self) -> TryLockResult<MutexGuard<'_, T>> {
+        match with_current(|e, me| e.mutex_try_lock(me, &self.handle)) {
+            Some(mx) => Ok(self.guard(mx)),
+            None => Err(TryLockError::WouldBlock),
+        }
+    }
+
+    fn guard(&self, mx: usize) -> MutexGuard<'_, T> {
+        let inner = match self.inner.try_lock() {
+            Ok(g) => g,
+            Err(TryLockError::Poisoned(p)) => p.into_inner(),
+            Err(TryLockError::WouldBlock) => {
+                unreachable!("model serialisation violated: inner mutex held")
+            }
+        };
+        MutexGuard {
+            lock: self,
+            mx,
+            inner: Some(inner),
+        }
+    }
+}
+
+impl<T: Default> Default for Mutex<T> {
+    fn default() -> Self {
+        Self::new(T::default())
+    }
+}
+
+/// Guard for a shadow [`Mutex`]; releasing it is a visible operation.
+pub struct MutexGuard<'a, T: ?Sized> {
+    lock: &'a Mutex<T>,
+    mx: usize,
+    inner: Option<StdMutexGuard<'a, T>>,
+}
+
+impl<T: ?Sized> Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard already released")
+    }
+}
+
+impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard already released")
+    }
+}
+
+impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        if self.inner.take().is_some() {
+            let mx = self.mx;
+            with_current(|e, me| e.mutex_unlock(me, mx));
+        }
+    }
+}
+
+/// Result of a shadow [`Condvar::wait_timeout`]; mirrors
+/// [`std::sync::WaitTimeoutResult`], which has no public constructor.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WaitTimeoutResult {
+    timed_out: bool,
+}
+
+impl WaitTimeoutResult {
+    /// Whether the wait ended because the timeout elapsed.
+    pub fn timed_out(&self) -> bool {
+        self.timed_out
+    }
+}
+
+/// Shadow of [`std::sync::Condvar`]: no spurious wakeups, FIFO wake order,
+/// and `wait_timeout` always times out immediately (a correct protocol must
+/// tolerate the most hostile timer, and this keeps exploration finite).
+#[derive(Debug, Default)]
+pub struct Condvar {
+    handle: StdAtomicU64,
+}
+
+impl Condvar {
+    /// Creates a shadow condvar.
+    pub const fn new() -> Self {
+        Condvar {
+            handle: StdAtomicU64::new(0),
+        }
+    }
+
+    /// Atomically releases the guard's mutex and parks until notified.
+    pub fn wait<'a, T: ?Sized>(
+        &self,
+        mut guard: MutexGuard<'a, T>,
+    ) -> LockResult<MutexGuard<'a, T>> {
+        let cv = with_current(|e, _| e.condvar_register(&self.handle));
+        let lock = guard.lock;
+        let mx = guard.mx;
+        // Hand the inner std guard back before parking; the engine performs
+        // the model-side release inside condvar_wait, so the guard's Drop
+        // must not release again — clearing `inner` disarms it.
+        guard.inner.take();
+        drop(guard);
+        with_current(|e, me| e.condvar_wait(me, cv, mx));
+        Ok(lock.guard(mx))
+    }
+
+    /// Modelled as an immediate timeout: yields a schedule point, keeps the
+    /// mutex, and reports `timed_out() == true` without ever parking.
+    pub fn wait_timeout<'a, T: ?Sized>(
+        &self,
+        guard: MutexGuard<'a, T>,
+        _dur: Duration,
+    ) -> LockResult<(MutexGuard<'a, T>, WaitTimeoutResult)> {
+        let _ = with_current(|e, _| e.condvar_register(&self.handle));
+        with_current(|e, me| e.yield_point(me));
+        Ok((guard, WaitTimeoutResult { timed_out: true }))
+    }
+
+    /// Wakes the longest-parked waiter, if any.
+    pub fn notify_one(&self) {
+        let cv = with_current(|e, _| e.condvar_register(&self.handle));
+        with_current(|e, me| e.condvar_notify(me, cv, false));
+    }
+
+    /// Wakes every parked waiter.
+    pub fn notify_all(&self) {
+        let cv = with_current(|e, _| e.condvar_register(&self.handle));
+        with_current(|e, me| e.condvar_notify(me, cv, true));
+    }
+}
+
+/// Shadow of [`std::sync::RwLock`]. Readers synchronise with writers (both
+/// directions) but not with other readers, matching the std contract.
+#[derive(Debug)]
+pub struct RwLock<T: ?Sized> {
+    handle: StdAtomicU64,
+    inner: StdRwLock<T>,
+}
+
+impl<T> RwLock<T> {
+    /// Creates a shadow rwlock holding `value`.
+    pub const fn new(value: T) -> Self {
+        RwLock {
+            handle: StdAtomicU64::new(0),
+            inner: StdRwLock::new(value),
+        }
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    /// Model-checked shared acquisition.
+    pub fn read(&self) -> LockResult<RwLockReadGuard<'_, T>> {
+        let rw = with_current(|e, me| e.rwlock_read(me, &self.handle));
+        let inner = match self.inner.try_read() {
+            Ok(g) => g,
+            Err(TryLockError::Poisoned(p)) => p.into_inner(),
+            Err(TryLockError::WouldBlock) => {
+                unreachable!("model serialisation violated: inner rwlock write-held")
+            }
+        };
+        Ok(RwLockReadGuard {
+            rw,
+            inner: Some(inner),
+        })
+    }
+
+    /// Model-checked exclusive acquisition.
+    pub fn write(&self) -> LockResult<RwLockWriteGuard<'_, T>> {
+        let rw = with_current(|e, me| e.rwlock_write(me, &self.handle));
+        let inner = match self.inner.try_write() {
+            Ok(g) => g,
+            Err(TryLockError::Poisoned(p)) => p.into_inner(),
+            Err(TryLockError::WouldBlock) => {
+                unreachable!("model serialisation violated: inner rwlock held")
+            }
+        };
+        Ok(RwLockWriteGuard {
+            rw,
+            inner: Some(inner),
+        })
+    }
+}
+
+impl<T: Default> Default for RwLock<T> {
+    fn default() -> Self {
+        Self::new(T::default())
+    }
+}
+
+/// Shared guard for a shadow [`RwLock`].
+pub struct RwLockReadGuard<'a, T: ?Sized> {
+    rw: usize,
+    inner: Option<StdRwLockReadGuard<'a, T>>,
+}
+
+impl<T: ?Sized> Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard already released")
+    }
+}
+
+impl<T: ?Sized> Drop for RwLockReadGuard<'_, T> {
+    fn drop(&mut self) {
+        if self.inner.take().is_some() {
+            let rw = self.rw;
+            with_current(|e, me| e.rwlock_unlock_read(me, rw));
+        }
+    }
+}
+
+/// Exclusive guard for a shadow [`RwLock`].
+pub struct RwLockWriteGuard<'a, T: ?Sized> {
+    rw: usize,
+    inner: Option<StdRwLockWriteGuard<'a, T>>,
+}
+
+impl<T: ?Sized> Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard already released")
+    }
+}
+
+impl<T: ?Sized> DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard already released")
+    }
+}
+
+impl<T: ?Sized> Drop for RwLockWriteGuard<'_, T> {
+    fn drop(&mut self) {
+        if self.inner.take().is_some() {
+            let rw = self.rw;
+            with_current(|e, me| e.rwlock_unlock_write(me, rw));
+        }
+    }
+}

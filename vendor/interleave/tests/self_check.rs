@@ -1,0 +1,319 @@
+//! Self-tests for the model checker: correct protocols must pass
+//! exhaustively, and canonical broken protocols must be caught. The
+//! catching half is what makes the serve-side mutation proofs meaningful —
+//! checker power is demonstrated here, not assumed.
+
+use std::sync::Arc;
+
+use interleave::sync::atomic::{fence, AtomicBool, AtomicU64, Ordering};
+use interleave::sync::{Condvar, Mutex};
+use interleave::{check, thread, Builder, ModelCell};
+
+// ---------------------------------------------------------------------
+// Protocols that must pass
+// ---------------------------------------------------------------------
+
+#[test]
+fn release_acquire_publication_holds() {
+    let report = check(|| {
+        let flag = Arc::new(AtomicBool::new(false));
+        let data = Arc::new(AtomicU64::new(0));
+        let (f2, d2) = (Arc::clone(&flag), Arc::clone(&data));
+        let t = thread::spawn(move || {
+            d2.store(7, Ordering::Relaxed);
+            f2.store(true, Ordering::Release);
+        });
+        if flag.load(Ordering::Acquire) {
+            assert_eq!(data.load(Ordering::Relaxed), 7, "publication violated");
+        }
+        t.join().unwrap();
+    });
+    assert!(report.complete, "exploration must exhaust the tree");
+    assert!(report.iterations > 1, "must explore more than one schedule");
+}
+
+#[test]
+fn fence_based_publication_holds() {
+    let report = check(|| {
+        let flag = Arc::new(AtomicBool::new(false));
+        let data = Arc::new(AtomicU64::new(0));
+        let (f2, d2) = (Arc::clone(&flag), Arc::clone(&data));
+        let t = thread::spawn(move || {
+            d2.store(9, Ordering::Relaxed);
+            fence(Ordering::Release);
+            f2.store(true, Ordering::Relaxed);
+        });
+        if flag.load(Ordering::Relaxed) {
+            fence(Ordering::Acquire);
+            assert_eq!(
+                data.load(Ordering::Relaxed),
+                9,
+                "fence publication violated"
+            );
+        }
+        t.join().unwrap();
+    });
+    assert!(report.complete);
+}
+
+#[test]
+fn mutex_protects_plain_data() {
+    let report = check(|| {
+        let cell = Arc::new(Mutex::new(0u64));
+        let c2 = Arc::clone(&cell);
+        let t = thread::spawn(move || {
+            *c2.lock().unwrap() += 1;
+        });
+        *cell.lock().unwrap() += 1;
+        t.join().unwrap();
+        assert_eq!(*cell.lock().unwrap(), 2, "an increment was lost");
+    });
+    assert!(report.complete);
+}
+
+#[test]
+fn mutex_synchronises_model_cells() {
+    // The same unsynchronised access that fails in
+    // `unsynchronised_cell_write_is_a_data_race`, but under a mutex: the
+    // lock's happens-before edges must silence the race detector.
+    let report = check(|| {
+        let lock = Arc::new(Mutex::new(()));
+        let cell = Arc::new(ModelCell::new(0u64));
+        let (l2, c2) = (Arc::clone(&lock), Arc::clone(&cell));
+        let t = thread::spawn(move || {
+            let _g = l2.lock().unwrap();
+            c2.with_mut(|v| *v += 1);
+        });
+        {
+            let _g = lock.lock().unwrap();
+            cell.with_mut(|v| *v += 1);
+        }
+        t.join().unwrap();
+        assert_eq!(cell.with(|v| *v), 2);
+    });
+    assert!(report.complete);
+}
+
+#[test]
+fn rmw_increments_never_lose_updates() {
+    let report = check(|| {
+        let n = Arc::new(AtomicU64::new(0));
+        let n2 = Arc::clone(&n);
+        let t = thread::spawn(move || {
+            n2.fetch_add(1, Ordering::Relaxed);
+        });
+        n.fetch_add(1, Ordering::Relaxed);
+        t.join().unwrap();
+        assert_eq!(n.load(Ordering::Relaxed), 2, "atomic RMW lost an update");
+    });
+    assert!(report.complete);
+}
+
+#[test]
+fn condvar_handoff_completes() {
+    let report = check(|| {
+        let state = Arc::new((Mutex::new(false), Condvar::new()));
+        let s2 = Arc::clone(&state);
+        let t = thread::spawn(move || {
+            let (lock, cv) = &*s2;
+            let mut ready = lock.lock().unwrap();
+            *ready = true;
+            drop(ready);
+            cv.notify_one();
+        });
+        let (lock, cv) = &*state;
+        let mut ready = lock.lock().unwrap();
+        while !*ready {
+            ready = cv.wait(ready).unwrap();
+        }
+        drop(ready);
+        t.join().unwrap();
+    });
+    assert!(report.complete);
+}
+
+#[test]
+fn relaxed_loads_do_observe_stale_values() {
+    // Sanity check on the weak-memory model itself: without any ordering
+    // there must exist an execution where the reader misses the write even
+    // though the writer has already finished... detectable because the
+    // model branches on the observed value. We count executions where a
+    // stale value was seen; if the model were sequentially consistent the
+    // assert below would fail the whole test.
+    use std::sync::atomic::AtomicUsize as RealAtomicUsize;
+    let stale = Arc::new(RealAtomicUsize::new(0));
+    let stale2 = Arc::clone(&stale);
+    let report = check(move || {
+        let x = Arc::new(AtomicU64::new(0));
+        let flag = Arc::new(AtomicBool::new(false));
+        let (x2, f2) = (Arc::clone(&x), Arc::clone(&flag));
+        let t = thread::spawn(move || {
+            x2.store(1, Ordering::Relaxed);
+            f2.store(true, Ordering::Relaxed);
+        });
+        if flag.load(Ordering::Relaxed) && x.load(Ordering::Relaxed) == 0 {
+            stale2.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        }
+        t.join().unwrap();
+    });
+    assert!(report.complete);
+    assert!(
+        stale.load(std::sync::atomic::Ordering::Relaxed) > 0,
+        "the weak-memory model never produced a stale read through a relaxed flag"
+    );
+}
+
+// ---------------------------------------------------------------------
+// Protocols that must FAIL — checker power
+// ---------------------------------------------------------------------
+
+#[test]
+#[should_panic(expected = "publication violated")]
+fn relaxed_publication_is_caught() {
+    check(|| {
+        let flag = Arc::new(AtomicBool::new(false));
+        let data = Arc::new(AtomicU64::new(0));
+        let (f2, d2) = (Arc::clone(&flag), Arc::clone(&data));
+        let t = thread::spawn(move || {
+            d2.store(7, Ordering::Relaxed);
+            f2.store(true, Ordering::Relaxed); // bug: needs Release
+        });
+        if flag.load(Ordering::Acquire) {
+            assert_eq!(data.load(Ordering::Relaxed), 7, "publication violated");
+        }
+        t.join().unwrap();
+    });
+}
+
+#[test]
+#[should_panic(expected = "lost update")]
+fn load_store_race_is_caught() {
+    check(|| {
+        let n = Arc::new(AtomicU64::new(0));
+        let n2 = Arc::clone(&n);
+        let t = thread::spawn(move || {
+            let v = n2.load(Ordering::Relaxed);
+            n2.store(v + 1, Ordering::Relaxed); // bug: not atomic
+        });
+        let v = n.load(Ordering::Relaxed);
+        n.store(v + 1, Ordering::Relaxed);
+        t.join().unwrap();
+        assert_eq!(n.load(Ordering::Relaxed), 2, "lost update");
+    });
+}
+
+#[test]
+#[should_panic(expected = "data race")]
+fn unsynchronised_cell_write_is_a_data_race() {
+    check(|| {
+        let cell = Arc::new(ModelCell::new(0u64));
+        let c2 = Arc::clone(&cell);
+        let t = thread::spawn(move || {
+            c2.with_mut(|v| *v += 1);
+        });
+        cell.with_mut(|v| *v += 1); // bug: no synchronisation at all
+        t.join().unwrap();
+    });
+}
+
+#[test]
+#[should_panic(expected = "deadlock")]
+fn lost_wakeup_deadlock_is_caught() {
+    check(|| {
+        let state = Arc::new((Mutex::new(false), Condvar::new()));
+        let s2 = Arc::clone(&state);
+        let t = thread::spawn(move || {
+            let (lock, cv) = &*s2;
+            // Bug: notify before publishing, and without holding the lock.
+            // If the waiter checks `ready` first but parks after this
+            // notify fires, the wakeup is lost forever.
+            cv.notify_one();
+            let mut ready = lock.lock().unwrap();
+            *ready = true;
+        });
+        let (lock, cv) = &*state;
+        let mut ready = lock.lock().unwrap();
+        while !*ready {
+            ready = cv.wait(ready).unwrap();
+        }
+        drop(ready);
+        t.join().unwrap();
+    });
+}
+
+#[test]
+#[should_panic(expected = "deadlock")]
+fn abba_lock_inversion_is_caught() {
+    check(|| {
+        let a = Arc::new(Mutex::new(()));
+        let b = Arc::new(Mutex::new(()));
+        let (a2, b2) = (Arc::clone(&a), Arc::clone(&b));
+        let t = thread::spawn(move || {
+            let _ga = a2.lock().unwrap();
+            let _gb = b2.lock().unwrap();
+        });
+        let _gb = b.lock().unwrap();
+        let _ga = a.lock().unwrap();
+        drop((_ga, _gb));
+        t.join().unwrap();
+    });
+}
+
+// ---------------------------------------------------------------------
+// Exploration mechanics
+// ---------------------------------------------------------------------
+
+#[test]
+fn static_shadow_atomics_reset_each_iteration() {
+    static COUNTER: AtomicU64 = AtomicU64::new(5);
+    let report = check(|| {
+        // If state leaked across iterations the second execution would
+        // start from 6 and this assert would fire.
+        assert_eq!(COUNTER.load(Ordering::Relaxed), 5);
+        COUNTER.fetch_add(1, Ordering::Relaxed);
+        let t = thread::spawn(|| {
+            COUNTER.fetch_add(1, Ordering::Relaxed);
+        });
+        t.join().unwrap();
+        assert_eq!(COUNTER.load(Ordering::Relaxed), 7);
+    });
+    assert!(report.complete);
+    assert!(report.iterations > 1);
+}
+
+#[test]
+fn iteration_budget_is_enforced() {
+    let mut b = Builder::new();
+    b.max_iterations = 3;
+    b.allow_incomplete = true;
+    let report = b.check(|| {
+        let x = Arc::new(AtomicU64::new(0));
+        let x2 = Arc::clone(&x);
+        let t = thread::spawn(move || {
+            x2.fetch_add(1, Ordering::Relaxed);
+            x2.fetch_add(1, Ordering::Relaxed);
+        });
+        x.fetch_add(1, Ordering::Relaxed);
+        x.fetch_add(1, Ordering::Relaxed);
+        t.join().unwrap();
+    });
+    assert!(!report.complete, "tiny budget cannot exhaust this tree");
+    assert_eq!(report.iterations, 3);
+}
+
+#[test]
+fn preemption_bound_zero_still_runs_every_thread() {
+    let mut b = Builder::new();
+    b.preemption_bound = 0;
+    let report = b.check(|| {
+        let n = Arc::new(AtomicU64::new(0));
+        let n2 = Arc::clone(&n);
+        let t = thread::spawn(move || {
+            n2.fetch_add(1, Ordering::Relaxed);
+        });
+        n.fetch_add(1, Ordering::Relaxed);
+        t.join().unwrap();
+        assert_eq!(n.load(Ordering::Relaxed), 2);
+    });
+    assert!(report.complete);
+}
